@@ -1,0 +1,181 @@
+// Package calgo is a library for specifying and verifying
+// concurrency-aware linearizability (CAL), reproducing "Brief announcement:
+// Concurrency-aware linearizability" (Hemed & Rinetzky, PODC 2014) and its
+// full version "Modular Verification of Concurrency-Aware Linearizability"
+// (Hemed, Rinetzky & Vafeiadis).
+//
+// Linearizability explains every concurrent execution by a sequence of
+// instantaneous operations. Concurrency-aware objects — exchangers,
+// synchronous queues, elimination layers — cannot be specified that way:
+// some of their operations must "seem to take effect simultaneously". CAL
+// generalizes linearizability by explaining executions with CA-traces,
+// sequences of sets of overlapping operations.
+//
+// The package is a facade re-exporting the library's layers:
+//
+//   - histories and object actions (Definitions 1-3);
+//   - CA-traces and the agreement relation H ⊑CAL T (Definitions 4-5);
+//   - CA-specifications as state machines over CA-elements, with the
+//     paper's exchanger, elimination array, stack WFS, synchronous queue,
+//     plus FIFO queue and register specs (§4);
+//   - the CAL decision procedure (Definition 6), with classical
+//     linearizability and set-linearizability as special cases;
+//   - the auxiliary trace recorder with per-object view functions F_o and
+//     their composition F̂_o (§4);
+//   - real lock-free implementations of the paper's objects under
+//     calgo/internal/objects, re-exported through objects.go;
+//   - an exhaustive model checker discharging the §5 proof obligations
+//     (calgo/internal/{model,sched,rg}).
+//
+// See the examples directory for runnable walkthroughs and EXPERIMENTS.md
+// for the paper-artifact index.
+package calgo
+
+import (
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// Core history types (Definitions 1-3).
+type (
+	// ThreadID identifies a client thread.
+	ThreadID = history.ThreadID
+	// ObjectID identifies a concurrent object.
+	ObjectID = history.ObjectID
+	// Method names an object method.
+	Method = history.Method
+	// Value is an argument or return value.
+	Value = history.Value
+	// Event is an invocation or response action.
+	Event = history.Event
+	// History is a finite sequence of actions.
+	History = history.History
+	// Op is an operation (an invocation paired with its response).
+	Op = history.Op
+	// Capture records the observable history of a concurrent run.
+	Capture = history.Capture
+)
+
+// Value constructors.
+var (
+	// Unit returns the unit value.
+	Unit = history.Unit
+	// Bool returns a boolean value.
+	Bool = history.Bool
+	// Int returns an integer value.
+	Int = history.Int
+	// Pair returns a (bool, int) pair value.
+	Pair = history.Pair
+	// Inv constructs an invocation action.
+	Inv = history.Inv
+	// Res constructs a response action.
+	Res = history.Res
+	// ParseHistory reads the line-oriented history interchange format.
+	ParseHistory = history.Parse
+	// FormatHistory renders a history in the interchange format.
+	FormatHistory = history.Format
+)
+
+// CA-trace types (Definitions 4-5).
+type (
+	// Operation is a completed operation (t, f(n) ▷ n').
+	Operation = trace.Operation
+	// Element is a CA-element: a set of overlapping operations of one
+	// object.
+	Element = trace.Element
+	// Trace is a CA-trace: a sequence of CA-elements.
+	Trace = trace.Trace
+)
+
+var (
+	// NewElement builds a canonical CA-element.
+	NewElement = trace.NewElement
+	// Singleton builds a one-operation CA-element.
+	Singleton = trace.Singleton
+	// Agrees decides the agreement relation H ⊑CAL T (Definition 5).
+	Agrees = trace.Agrees
+)
+
+// Specification types (§4).
+type (
+	// Spec is a concurrency-aware specification: a prefix-closed set of
+	// CA-traces presented as a state machine over CA-elements.
+	Spec = spec.Spec
+	// SpecState is a specification state.
+	SpecState = spec.State
+)
+
+var (
+	// NewExchangerSpec returns the exchanger CA-specification.
+	NewExchangerSpec = spec.NewExchanger
+	// NewElimArraySpec returns the elimination array specification (the
+	// same as a single exchanger's).
+	NewElimArraySpec = spec.NewElimArray
+	// NewStackSpec returns the sequential stack specification WFS.
+	NewStackSpec = spec.NewStack
+	// NewCentralStackSpec returns the one-shot central stack spec, whose
+	// operations may fail under contention.
+	NewCentralStackSpec = spec.NewCentralStack
+	// NewQueueSpec returns the sequential FIFO queue specification.
+	NewQueueSpec = spec.NewQueue
+	// NewSyncQueueSpec returns the synchronous queue CA-specification.
+	NewSyncQueueSpec = spec.NewSyncQueue
+	// NewRegisterSpec returns the atomic register specification.
+	NewRegisterSpec = spec.NewRegister
+	// NewDualStackSpec returns the dual stack CA-specification (§6): a
+	// push fulfilling a waiting pop is one CA-element.
+	NewDualStackSpec = spec.NewDualStack
+	// NewDualQueueSpec returns the dual queue CA-specification (§6):
+	// fulfilments are single CA-elements, admitted only on the empty
+	// queue (FIFO).
+	NewDualQueueSpec = spec.NewDualQueue
+	// NewSnapshotSpec returns the immediate atomic snapshot
+	// CA-specification (Neiger's set-linearizability example, §6), with
+	// CA-elements of size up to n.
+	NewSnapshotSpec = spec.NewSnapshot
+	// NewProductSpec composes specifications of disjoint objects.
+	NewProductSpec = spec.NewProduct
+	// SpecAccepts runs a trace through a specification.
+	SpecAccepts = spec.Accepts
+)
+
+// Checking (Definition 6).
+type (
+	// Result reports a checker verdict with witness or reason.
+	Result = check.Result
+	// CheckOption configures the checkers.
+	CheckOption = check.Option
+)
+
+var (
+	// CAL decides concurrency-aware linearizability of a history.
+	CAL = check.CAL
+	// Linearizable decides classical linearizability (singleton
+	// CA-elements).
+	Linearizable = check.Linearizable
+	// SetLinearizable decides set-linearizability (Neiger 1994).
+	SetLinearizable = check.SetLinearizable
+	// WithElementCap caps CA-element sizes.
+	WithElementCap = check.WithElementCap
+	// WithMaxStates bounds the checker's search.
+	WithMaxStates = check.WithMaxStates
+	// WithoutMemo disables search memoization (for ablation).
+	WithoutMemo = check.WithoutMemo
+	// WithCompleteOnly rejects histories with pending invocations.
+	WithCompleteOnly = check.WithCompleteOnly
+)
+
+// Recording (§4): the auxiliary trace 𝒯 and object views F_o.
+type (
+	// Recorder is the global auxiliary CA-trace with per-object views.
+	Recorder = recorder.Recorder
+	// ViewFunc is a view function F_o from subobject CA-elements to
+	// owner CA-traces.
+	ViewFunc = recorder.ViewFunc
+)
+
+// NewRecorder returns an empty Recorder.
+var NewRecorder = recorder.New

@@ -1,0 +1,111 @@
+package calgo_test
+
+import (
+	"sync"
+	"testing"
+
+	"calgo"
+)
+
+// TestPublicAPIExchangerRoundTrip exercises the whole public surface the
+// way a downstream user would: build an instrumented exchanger, run it,
+// capture the history, and verify CAL three ways.
+func TestPublicAPIExchangerRoundTrip(t *testing.T) {
+	rec := calgo.NewRecorder()
+	ex := calgo.NewExchanger("E",
+		calgo.ExchangerWithRecorder(rec),
+		calgo.ExchangerWithWaitPolicy(calgo.SpinWait(64)),
+	)
+	var cap calgo.Capture
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(w + 1)
+			for i := 0; i < 10; i++ {
+				v := int64(w*1_000 + i)
+				cap.Inv(tid, "E", calgo.MethodExchange, calgo.Int(v))
+				ok, out := ex.Exchange(tid, v)
+				cap.Res(tid, "E", calgo.MethodExchange, calgo.Pair(ok, out))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	h := cap.History()
+	tr := rec.View("E")
+	if _, err := calgo.SpecAccepts(calgo.NewExchangerSpec("E"), tr); err != nil {
+		t.Fatalf("trace rejected: %v", err)
+	}
+	if err := calgo.Agrees(h, tr); err != nil {
+		t.Fatalf("agreement: %v", err)
+	}
+	r, err := calgo.CAL(h, calgo.NewExchangerSpec("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("not CA-linearizable: %s", r.Reason)
+	}
+}
+
+func TestPublicAPIHistoryParsing(t *testing.T) {
+	src := `
+inv t1 E.exchange 3
+inv t2 E.exchange 4
+res t1 E.exchange (true,4)
+res t2 E.exchange (true,3)
+`
+	h, err := calgo.ParseHistory(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := calgo.CAL(h, calgo.NewExchangerSpec("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("paper swap history rejected: %s", r.Reason)
+	}
+	lin, err := calgo.Linearizable(h, calgo.NewExchangerSpec("E"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.OK {
+		t.Fatal("swap history must not be sequentially explainable")
+	}
+	if calgo.FormatHistory(h) == "" {
+		t.Error("FormatHistory returned empty")
+	}
+}
+
+func TestPublicAPIElimStack(t *testing.T) {
+	es, err := calgo.NewElimStack("ES", calgo.ElimStackWithSlots(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Push(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v := es.Pop(1); v != 42 {
+		t.Fatalf("Pop = %d", v)
+	}
+	if err := es.Push(1, calgo.PopSentinel); err == nil {
+		t.Error("pushing the sentinel must fail")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	ls := calgo.NewLockStack()
+	ls.Push(1, 5)
+	if ok, v := ls.Pop(1); !ok || v != 5 {
+		t.Fatal("lock stack broken")
+	}
+	ts := calgo.NewTreiberStack("S")
+	ts.Push(1, 6)
+	if ok, v := ts.Pop(1); !ok || v != 6 {
+		t.Fatal("treiber stack broken")
+	}
+}

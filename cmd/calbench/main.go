@@ -1,0 +1,318 @@
+// Command calbench regenerates the performance tables of EXPERIMENTS.md:
+// throughput sweeps over goroutine counts comparing the elimination stack
+// against the retrying Treiber stack and a lock-based stack (the
+// motivating claim of Hendler et al. [10]), the CAS exchanger against a
+// lock-based exchanger and an unbuffered Go channel, the synchronous
+// queue, and the elimination-array width ablation.
+//
+// Usage:
+//
+//	calbench                        # all tables, default settings
+//	calbench -table stacks -dur 2s  # one table, longer runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"calgo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calbench:", err)
+		os.Exit(1)
+	}
+}
+
+var (
+	duration = flag.Duration("dur", 500*time.Millisecond, "measurement window per cell")
+	table    = flag.String("table", "all", "table to print: stacks, exchangers, syncqueue, queues, duals, elimk, all")
+	maxG     = flag.Int("max-goroutines", 2*runtime.GOMAXPROCS(0), "largest goroutine count in sweeps")
+	spin     = flag.Int("spin", 1, "exchanger partner-wait spin iterations (1 is best on few cores; raise on large machines)")
+)
+
+func run() error {
+	flag.Parse()
+	fmt.Printf("GOMAXPROCS=%d, window=%v\n\n", runtime.GOMAXPROCS(0), *duration)
+	switch *table {
+	case "stacks":
+		benchStacks()
+	case "exchangers":
+		benchExchangers()
+	case "syncqueue":
+		benchSyncQueue()
+	case "queues":
+		benchQueues()
+	case "duals":
+		benchDuals()
+	case "elimk":
+		benchElimK()
+	case "all":
+		benchStacks()
+		benchExchangers()
+		benchSyncQueue()
+		benchQueues()
+		benchDuals()
+		benchElimK()
+	default:
+		return fmt.Errorf("unknown table %q", *table)
+	}
+	return nil
+}
+
+// sweep runs work on each goroutine count for the window and returns
+// successful ops/sec per count. work(tid) performs one operation attempt
+// and reports whether it succeeded.
+func sweep(counts []int, work func(tid calgo.ThreadID) bool) []float64 {
+	out := make([]float64, len(counts))
+	for i, g := range counts {
+		var ops atomic.Int64
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				tid := calgo.ThreadID(w + 1)
+				n := int64(0)
+				for !stop.Load() {
+					if work(tid) {
+						n++
+					}
+				}
+				ops.Add(n)
+			}(w)
+		}
+		time.Sleep(*duration)
+		stop.Store(true)
+		wg.Wait()
+		out[i] = float64(ops.Load()) / duration.Seconds()
+	}
+	return out
+}
+
+func gCounts() []int {
+	counts := []int{1, 2, 4, 8}
+	for g := 16; g <= *maxG; g *= 2 {
+		counts = append(counts, g)
+	}
+	return counts
+}
+
+func printTable(title string, counts []int, rows map[string][]float64, order []string) {
+	fmt.Println(title)
+	fmt.Printf("%-22s", "goroutines")
+	for _, g := range counts {
+		fmt.Printf("%12d", g)
+	}
+	fmt.Println()
+	for _, name := range order {
+		fmt.Printf("%-22s", name)
+		for _, v := range rows[name] {
+			fmt.Printf("%12.0f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// benchStacks is experiment B1: balanced push/pop throughput.
+func benchStacks() {
+	counts := gCounts()
+	treiber := calgo.NewTreiberStack("S")
+	elim, err := calgo.NewElimStack("ES", calgo.ElimStackWithSlots(runtime.GOMAXPROCS(0)), calgo.ElimStackWithWaitPolicy(calgo.SpinWait(*spin)))
+	if err != nil {
+		panic(err)
+	}
+	lock := calgo.NewLockStack()
+
+	rows := map[string][]float64{
+		"treiber (lock-free)": sweep(counts, func(tid calgo.ThreadID) bool {
+			treiber.Push(tid, int64(tid))
+			treiber.Pop(tid)
+			return true
+		}),
+		"elimination stack": sweep(counts, func(tid calgo.ThreadID) bool {
+			_ = elim.Push(tid, int64(tid))
+			elim.Pop(tid)
+			return true
+		}),
+		"lock-based stack": sweep(counts, func(tid calgo.ThreadID) bool {
+			lock.Push(tid, int64(tid))
+			lock.Pop(tid)
+			return true
+		}),
+	}
+	printTable("B1: stack throughput, balanced push/pop (ops/sec; one op = push+pop)",
+		counts, rows, []string{"treiber (lock-free)", "elimination stack", "lock-based stack"})
+}
+
+// benchExchangers is experiment B2: pairing throughput.
+func benchExchangers() {
+	counts := gCounts()
+	cas := calgo.NewExchanger("E", calgo.ExchangerWithWaitPolicy(calgo.SpinWait(*spin)))
+	lock := calgo.NewLockExchanger(50 * time.Microsecond)
+	ch := make(chan int64)
+
+	rows := map[string][]float64{
+		"cas exchanger (Fig.1)": sweep(counts, func(tid calgo.ThreadID) bool {
+			ok, _ := cas.Exchange(tid, int64(tid))
+			return ok
+		}),
+		"lock exchanger": sweep(counts, func(tid calgo.ThreadID) bool {
+			ok, _ := lock.Exchange(tid, int64(tid))
+			return ok
+		}),
+		// Blocking rendezvous with the same 50µs give-up window as the
+		// lock exchanger (an unbounded select would hang the 1-goroutine
+		// cell and ignore the stop flag).
+		"go channel rendezvous": sweep(counts, func(tid calgo.ThreadID) bool {
+			timer := time.NewTimer(50 * time.Microsecond)
+			defer timer.Stop()
+			select {
+			case ch <- int64(tid):
+				return true
+			case <-ch:
+				return true
+			case <-timer.C:
+				return false
+			}
+		}),
+	}
+	printTable("B2: exchanger throughput (successful exchanges/sec, both sides counted)",
+		counts, rows, []string{"cas exchanger (Fig.1)", "lock exchanger", "go channel rendezvous"})
+}
+
+// benchSyncQueue is experiment B5: hand-off throughput with half the
+// goroutines putting and half taking.
+func benchSyncQueue() {
+	counts := []int{2, 4, 8}
+	for g := 16; g <= *maxG; g *= 2 {
+		counts = append(counts, g)
+	}
+	q := calgo.NewSyncQueue("SQ", calgo.SyncQueueWithWaitPolicy(calgo.SpinWait(*spin)))
+	// A striped variant: G/2 independent rendezvous slots with random slot
+	// choice — the elimination-array principle applied to the synchronous
+	// queue, as in the scalable synchronous queues the paper cites ([22]).
+	striped := make([]*calgo.SyncQueue, *maxG/2)
+	for i := range striped {
+		striped[i] = calgo.NewSyncQueue(calgo.ObjectID(fmt.Sprintf("SQ%d", i)), calgo.SyncQueueWithWaitPolicy(calgo.SpinWait(*spin)))
+	}
+	ch := make(chan int64)
+
+	rows := map[string][]float64{
+		"dual syncqueue": sweep(counts, func(tid calgo.ThreadID) bool {
+			if tid%2 == 0 {
+				return q.TryPut(tid, int64(tid))
+			}
+			_, ok := q.TryTake(tid)
+			return ok
+		}),
+		"striped syncqueue": sweep(counts, func(tid calgo.ThreadID) bool {
+			q := striped[rand.IntN(len(striped))]
+			if tid%2 == 0 {
+				return q.TryPut(tid, int64(tid))
+			}
+			_, ok := q.TryTake(tid)
+			return ok
+		}),
+		"go channel": sweep(counts, func(tid calgo.ThreadID) bool {
+			timer := time.NewTimer(50 * time.Microsecond)
+			defer timer.Stop()
+			if tid%2 == 0 {
+				select {
+				case ch <- int64(tid):
+					return true
+				case <-timer.C:
+					return false
+				}
+			}
+			select {
+			case <-ch:
+				return true
+			case <-timer.C:
+				return false
+			}
+		}),
+	}
+	printTable("B5: synchronous queue successful hand-off sides/sec (half putters, half takers)",
+		counts, rows, []string{"dual syncqueue", "striped syncqueue", "go channel"})
+}
+
+// benchQueues is experiment B7: FIFO queue throughput, Michael-Scott vs a
+// lock-based queue (the queue-side analogue of B1).
+func benchQueues() {
+	counts := gCounts()
+	ms := calgo.NewMSQueue("Q")
+	lock := calgo.NewLockQueue()
+	rows := map[string][]float64{
+		"michael-scott": sweep(counts, func(tid calgo.ThreadID) bool {
+			ms.Enq(tid, int64(tid))
+			ms.Deq(tid)
+			return true
+		}),
+		"lock-based queue": sweep(counts, func(tid calgo.ThreadID) bool {
+			lock.Enq(tid, int64(tid))
+			lock.Deq(tid)
+			return true
+		}),
+	}
+	printTable("B7: FIFO queue throughput, balanced enq/deq (ops/sec; one op = enq+deq)",
+		counts, rows, []string{"michael-scott", "lock-based queue"})
+}
+
+// benchDuals is experiment B8: hand-off throughput of the §6 dual data
+// structures, half producers and half consumers with bounded patience.
+func benchDuals() {
+	counts := []int{2, 4, 8}
+	for g := 16; g <= *maxG; g *= 2 {
+		counts = append(counts, g)
+	}
+	ds := calgo.NewDualStack("DS", calgo.DualStackWithWaitPolicy(calgo.SpinWait(*spin)))
+	dq := calgo.NewDualQueue("DQ", calgo.DualQueueWithWaitPolicy(calgo.SpinWait(*spin)))
+	// Each goroutine alternates produce/consume so the structures stay
+	// bounded regardless of the window length.
+	rows := map[string][]float64{
+		"dual stack": sweep(counts, func(tid calgo.ThreadID) bool {
+			ds.Push(tid, int64(tid))
+			_, ok := ds.TryPop(tid, 4)
+			return ok
+		}),
+		"dual queue": sweep(counts, func(tid calgo.ThreadID) bool {
+			dq.Enq(tid, int64(tid))
+			_, ok := dq.TryDeq(tid, 4)
+			return ok
+		}),
+	}
+	printTable("B8: dual data structures, completed produce+consume rounds/sec",
+		counts, rows, []string{"dual stack", "dual queue"})
+}
+
+// benchElimK is experiment B6: the elimination-array width ablation at a
+// fixed high goroutine count.
+func benchElimK() {
+	g := *maxG
+	ks := []int{1, 2, 4, 8, 16}
+	fmt.Printf("B6: elimination stack throughput vs array width K (goroutines=%d)\n", g)
+	fmt.Printf("%-10s%14s\n", "K", "ops/sec")
+	for _, k := range ks {
+		es, err := calgo.NewElimStack("ES", calgo.ElimStackWithSlots(k), calgo.ElimStackWithWaitPolicy(calgo.SpinWait(*spin)))
+		if err != nil {
+			panic(err)
+		}
+		r := sweep([]int{g}, func(tid calgo.ThreadID) bool {
+			_ = es.Push(tid, int64(tid))
+			es.Pop(tid)
+			return true
+		})
+		fmt.Printf("%-10d%14.0f\n", k, r[0])
+	}
+	fmt.Println()
+}

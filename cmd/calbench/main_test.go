@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"calgo"
+)
+
+func TestGCounts(t *testing.T) {
+	old := *maxG
+	defer func() { *maxG = old }()
+	*maxG = 32
+	got := gCounts()
+	want := []int{1, 2, 4, 8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("gCounts = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("gCounts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSweepCountsSuccesses(t *testing.T) {
+	old := *duration
+	defer func() { *duration = old }()
+	*duration = 10 * time.Millisecond
+	// Alternate success/failure per call: roughly half the rate.
+	var parity [64]bool
+	all := sweep([]int{1, 2}, func(tid calgo.ThreadID) bool {
+		parity[tid] = !parity[tid]
+		return parity[tid]
+	})
+	if len(all) != 2 {
+		t.Fatalf("sweep returned %d cells", len(all))
+	}
+	for i, v := range all {
+		if v <= 0 {
+			t.Errorf("cell %d = %f, want positive rate", i, v)
+		}
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	oldTable := *table
+	defer func() { *table = oldTable }()
+	*table = "bogus"
+	// run() calls flag.Parse on the default set; neutralize os.Args side
+	// effects by parsing an empty set.
+	flag.CommandLine.Parse(nil)
+	if err := run(); err == nil {
+		t.Error("unknown table should error")
+	}
+}
+
+func TestBenchTablesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock sweeps in -short mode")
+	}
+	oldDur, oldMax := *duration, *maxG
+	defer func() { *duration, *maxG = oldDur, oldMax }()
+	*duration = 5 * time.Millisecond
+	*maxG = 2
+	benchStacks()
+	benchExchangers()
+	benchSyncQueue()
+	benchQueues()
+	benchElimK()
+}

@@ -1,0 +1,146 @@
+// Command calcheck decides concurrency-aware linearizability (or classical
+// linearizability) of a history read from a file or stdin, against a named
+// specification.
+//
+// Usage:
+//
+//	calcheck -spec exchanger -object E -mode cal history.txt
+//	calcheck -spec stack -object S -mode lin < history.txt
+//
+// The history format is line-oriented:
+//
+//	inv t1 E.exchange 3
+//	res t1 E.exchange (true,4)
+//
+// Exit status: 0 when the history satisfies the property, 1 when it does
+// not, 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"calgo"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		specName = flag.String("spec", "exchanger", "specification: exchanger, elimarray, stack, central-stack, dual-stack, queue, syncqueue, register, snapshot")
+		object   = flag.String("object", "E", "object identifier the spec constrains")
+		threads  = flag.Int("threads", 4, "participant bound for -spec snapshot")
+		mode     = flag.String("mode", "cal", "property: cal (concurrency-aware), lin (classical), setlin")
+		verbose  = flag.Bool("v", false, "print the witness trace and search statistics")
+		maxStats = flag.Int("max-states", 4_000_000, "checker state budget")
+	)
+	flag.Parse()
+
+	sp, err := specByName(*specName, calgo.ObjectID(*object), *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		return 2
+	}
+
+	src, err := readInput(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		return 2
+	}
+	h, err := calgo.ParseHistory(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		return 2
+	}
+
+	var r calgo.Result
+	opts := []calgo.CheckOption{calgo.WithMaxStates(*maxStats)}
+	switch *mode {
+	case "cal":
+		r, err = calgo.CAL(h, sp, opts...)
+	case "lin":
+		r, err = calgo.Linearizable(h, sp, opts...)
+	case "setlin":
+		r, err = calgo.SetLinearizable(h, sp, opts...)
+	default:
+		fmt.Fprintf(os.Stderr, "calcheck: unknown mode %q\n", *mode)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		return 2
+	}
+
+	if r.OK {
+		fmt.Printf("OK: history is %s w.r.t. %s\n", propertyName(*mode), sp.Name())
+		if *verbose {
+			fmt.Printf("witness: %s\n", r.Witness)
+			if len(r.Dropped) > 0 {
+				fmt.Printf("dropped pending operations: %v\n", r.Dropped)
+			}
+			fmt.Printf("states explored: %d (memo hits %d)\n", r.States, r.MemoHits)
+		}
+		return 0
+	}
+	fmt.Printf("VIOLATION: history is not %s w.r.t. %s\n", propertyName(*mode), sp.Name())
+	fmt.Println(r.Reason)
+	if *verbose {
+		fmt.Printf("states explored: %d (memo hits %d)\n", r.States, r.MemoHits)
+	}
+	return 1
+}
+
+func propertyName(mode string) string {
+	switch mode {
+	case "cal":
+		return "CA-linearizable"
+	case "lin":
+		return "linearizable"
+	default:
+		return "set-linearizable"
+	}
+}
+
+func specByName(name string, o calgo.ObjectID, threads int) (calgo.Spec, error) {
+	switch name {
+	case "exchanger":
+		return calgo.NewExchangerSpec(o), nil
+	case "elimarray":
+		return calgo.NewElimArraySpec(o), nil
+	case "stack":
+		return calgo.NewStackSpec(o), nil
+	case "central-stack":
+		return calgo.NewCentralStackSpec(o), nil
+	case "dual-stack":
+		return calgo.NewDualStackSpec(o), nil
+	case "snapshot":
+		return calgo.NewSnapshotSpec(o, threads), nil
+	case "queue":
+		return calgo.NewQueueSpec(o), nil
+	case "syncqueue":
+		return calgo.NewSyncQueueSpec(o), nil
+	case "register":
+		return calgo.NewRegisterSpec(o), nil
+	default:
+		return nil, fmt.Errorf("unknown spec %q", name)
+	}
+}
+
+func readInput(args []string) (string, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", fmt.Errorf("reading stdin: %w", err)
+		}
+		return string(b), nil
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// resetFlagsForTest lets run() re-parse a fresh flag set per subtest.
+func resetFlagsForTest(t *testing.T, args []string) {
+	t.Helper()
+	oldArgs := os.Args
+	oldCmd := flag.CommandLine
+	flag.CommandLine = flag.NewFlagSet("calcheck", flag.ExitOnError)
+	os.Args = append([]string{"calcheck"}, args...)
+	t.Cleanup(func() {
+		os.Args = oldArgs
+		flag.CommandLine = oldCmd
+	})
+}
+
+func TestSpecByName(t *testing.T) {
+	known := []string{"exchanger", "elimarray", "stack", "central-stack", "dual-stack", "queue", "syncqueue", "register", "snapshot"}
+	for _, name := range known {
+		sp, err := specByName(name, "O", 3)
+		if err != nil {
+			t.Errorf("specByName(%q): %v", name, err)
+			continue
+		}
+		if sp.Object() != "O" {
+			t.Errorf("specByName(%q).Object() = %q", name, sp.Object())
+		}
+	}
+	if _, err := specByName("nonsense", "O", 3); err == nil {
+		t.Error("unknown spec should fail")
+	}
+}
+
+func TestPropertyName(t *testing.T) {
+	tests := map[string]string{
+		"cal":    "CA-linearizable",
+		"lin":    "linearizable",
+		"setlin": "set-linearizable",
+	}
+	for mode, want := range tests {
+		if got := propertyName(mode); got != want {
+			t.Errorf("propertyName(%q) = %q, want %q", mode, got, want)
+		}
+	}
+}
+
+func TestReadInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.txt")
+	const content = "inv t1 E.exchange 3\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readInput([]string{path})
+	if err != nil || got != content {
+		t.Errorf("readInput = %q, %v", got, err)
+	}
+	if _, err := readInput([]string{filepath.Join(dir, "missing.txt")}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+// TestSampleHistories pins the verdicts promised by the files in
+// examples/histories.
+func TestSampleHistories(t *testing.T) {
+	base := "../../examples/histories/"
+	tests := []struct {
+		file, spec, object, mode string
+		want                     int
+	}{
+		{"fig3-h1.txt", "exchanger", "E", "cal", 0},
+		{"fig3-h1.txt", "exchanger", "E", "lin", 1},
+		{"fig3-h3.txt", "exchanger", "E", "cal", 1},
+		{"fig3-h3.txt", "exchanger", "E", "lin", 1},
+		{"stack-lifo.txt", "stack", "S", "cal", 0},
+		{"stack-violation.txt", "stack", "S", "cal", 1},
+		{"syncqueue-handoff.txt", "syncqueue", "SQ", "cal", 0},
+		{"syncqueue-handoff.txt", "syncqueue", "SQ", "lin", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.file+"/"+tt.mode, func(t *testing.T) {
+			resetFlagsForTest(t, []string{"-spec", tt.spec, "-object", tt.object, "-mode", tt.mode, base + tt.file})
+			if got := run(); got != tt.want {
+				t.Errorf("run() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestRunEndToEnd drives the full command (including exit codes) on
+// temporary history files.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	swap := write("swap.txt", strings.Join([]string{
+		"inv t1 E.exchange 3",
+		"inv t2 E.exchange 4",
+		"res t1 E.exchange (true,4)",
+		"res t2 E.exchange (true,3)",
+	}, "\n"))
+	loneSuccess := write("lone.txt", strings.Join([]string{
+		"inv t1 E.exchange 3",
+		"res t1 E.exchange (true,4)",
+	}, "\n"))
+	garbage := write("garbage.txt", "zap zap zap")
+
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"swap is CAL", []string{"-spec", "exchanger", "-mode", "cal", "-v", swap}, 0},
+		{"swap is not lin", []string{"-spec", "exchanger", "-mode", "lin", swap}, 1},
+		{"swap is setlin", []string{"-spec", "exchanger", "-mode", "setlin", swap}, 0},
+		{"lone success rejected", []string{"-spec", "exchanger", "-mode", "cal", "-v", loneSuccess}, 1},
+		{"bad mode", []string{"-mode", "frob", swap}, 2},
+		{"bad spec", []string{"-spec", "frob", swap}, 2},
+		{"bad file", []string{"-spec", "exchanger", filepath.Join(dir, "nope.txt")}, 2},
+		{"garbage input", []string{"-spec", "exchanger", garbage}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resetFlagsForTest(t, tt.args)
+			if got := run(); got != tt.want {
+				t.Errorf("run() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}

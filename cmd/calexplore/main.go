@@ -1,0 +1,290 @@
+// Command calexplore runs the bounded model checker over one of the
+// paper's algorithms, discharging the §5 proof obligations on every
+// interleaving of a configurable client program.
+//
+// Usage:
+//
+//	calexplore -target exchanger -values 3,4,7
+//	calexplore -target stack -program "push:1 pop,push:2 pop"
+//	calexplore -target elimstack -program "push:1,push:2,pop" -slots 1 -retries 2
+//
+// For -target exchanger, each comma-separated value is one thread
+// performing a single exchange. For the stacks, -program is a
+// comma-separated list of threads, each a space-separated list of push:V
+// and pop operations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"calgo/internal/model"
+	"calgo/internal/rg"
+	"calgo/internal/sched"
+	"calgo/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		target    = flag.String("target", "exchanger", "model: exchanger, stack, elimstack, syncqueue, dualstack, dualqueue, snapshot")
+		values    = flag.String("values", "3,4,7", "exchanger: one exchange value per thread")
+		program   = flag.String("program", "push:1,pop", "stacks: comma-separated threads of push:V/pop ops")
+		sqProgram = flag.String("sq-program", "put:1,take", "syncqueue: comma-separated threads of put:V/take ops")
+		dqProgram = flag.String("dq-program", "enq:1,deq", "dualqueue: comma-separated threads of enq:V/deq ops")
+		slots     = flag.Int("slots", 1, "elimstack: elimination array width K")
+		retries   = flag.Int("retries", 2, "elimstack: retry rounds before a thread halts")
+		maxStates = flag.Int("max-states", 4_000_000, "state budget")
+	)
+	flag.Parse()
+
+	switch *target {
+	case "exchanger":
+		return exploreExchanger(*values, *maxStates)
+	case "stack":
+		progs, err := parsePrograms(*program)
+		if err != nil {
+			return err
+		}
+		return exploreStack(progs, *maxStates)
+	case "elimstack":
+		progs, err := parsePrograms(*program)
+		if err != nil {
+			return err
+		}
+		return exploreElimStack(progs, *slots, *retries, *maxStates)
+	case "syncqueue":
+		progs, err := parseSQPrograms(*sqProgram)
+		if err != nil {
+			return err
+		}
+		return exploreSyncQueue(progs, *maxStates)
+	case "dualstack":
+		progs, err := parsePrograms(*program)
+		if err != nil {
+			return err
+		}
+		return exploreDualStack(progs, *retries, *maxStates)
+	case "dualqueue":
+		progs, err := parseDQPrograms(*dqProgram)
+		if err != nil {
+			return err
+		}
+		return exploreDualQueue(progs, *retries, *maxStates)
+	case "snapshot":
+		vals, err := parseValues(*values)
+		if err != nil {
+			return err
+		}
+		return exploreSnapshot(vals, *maxStates)
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+}
+
+func parseValues(values string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(values, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func exploreExchanger(values string, maxStates int) error {
+	vals, err := parseValues(values)
+	if err != nil {
+		return err
+	}
+	programs := make([][]int64, len(vals))
+	for i, v := range vals {
+		programs[i] = []int64{v}
+	}
+	init := model.NewExchanger(model.ExchangerConfig{Programs: programs})
+	fmt.Printf("exploring exchanger: %d threads, checking proof outline + J + rely/guarantee + CAL\n", len(programs))
+	stats, err := sched.Explore(init, sched.Options{
+		Invariant: func(st sched.State) error {
+			if err := model.InvariantJ(st); err != nil {
+				return err
+			}
+			return model.ProofOutline(st)
+		},
+		Transition: rg.Hook(true),
+		Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+		MaxStates:  maxStates,
+	})
+	report(stats, err)
+	return err
+}
+
+func exploreStack(programs [][]model.StackOp, maxStates int) error {
+	init := model.NewStack(model.StackConfig{Programs: programs})
+	fmt.Printf("exploring central stack: %d threads, checking linearizability of every execution\n", len(programs))
+	stats, err := sched.Explore(init, sched.Options{
+		Terminal:  model.VerifyCAL(spec.NewCentralStack("S"), nil, true),
+		MaxStates: maxStates,
+	})
+	report(stats, err)
+	return err
+}
+
+func exploreElimStack(programs [][]model.StackOp, slots, retries, maxStates int) error {
+	init := model.NewElimStack(model.ESConfig{
+		Slots:    slots,
+		Retries:  retries,
+		Programs: programs,
+	})
+	fmt.Printf("exploring elimination stack: %d threads, K=%d, R=%d, checking linearizability via F_ES ∘ F̂_AR\n",
+		len(programs), slots, retries)
+	stats, err := sched.Explore(init, sched.Options{
+		Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, true),
+		AllowDeadlock: true,
+		MaxStates:     maxStates,
+	})
+	report(stats, err)
+	return err
+}
+
+func report(stats sched.Stats, err error) {
+	fmt.Printf("states=%d transitions=%d terminals=%d max-depth=%d\n",
+		stats.States, stats.Transitions, stats.Terminals, stats.MaxDepth)
+	if err == nil {
+		fmt.Println("VERIFIED: all obligations hold on every interleaving")
+	}
+}
+
+func exploreSyncQueue(programs [][]model.SQOp, maxStates int) error {
+	init := model.NewSyncQueue(model.SQConfig{Programs: programs})
+	fmt.Printf("exploring synchronous queue: %d threads, checking CAL of every execution\n", len(programs))
+	stats, err := sched.Explore(init, sched.Options{
+		Terminal:  model.VerifyCAL(spec.NewSyncQueue("SQ"), nil, true),
+		MaxStates: maxStates,
+	})
+	report(stats, err)
+	return err
+}
+
+func parseSQPrograms(src string) ([][]model.SQOp, error) {
+	var programs [][]model.SQOp
+	for _, threadSrc := range strings.Split(src, ",") {
+		var prog []model.SQOp
+		for _, opSrc := range strings.Fields(threadSrc) {
+			switch {
+			case opSrc == "take":
+				prog = append(prog, model.Take())
+			case strings.HasPrefix(opSrc, "put:"):
+				v, err := strconv.ParseInt(opSrc[len("put:"):], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad op %q: %w", opSrc, err)
+				}
+				prog = append(prog, model.Put(v))
+			default:
+				return nil, fmt.Errorf("bad op %q, want put:V or take", opSrc)
+			}
+		}
+		if len(prog) == 0 {
+			return nil, fmt.Errorf("empty thread program in %q", src)
+		}
+		programs = append(programs, prog)
+	}
+	return programs, nil
+}
+
+func parsePrograms(src string) ([][]model.StackOp, error) {
+	var programs [][]model.StackOp
+	for _, threadSrc := range strings.Split(src, ",") {
+		var prog []model.StackOp
+		for _, opSrc := range strings.Fields(threadSrc) {
+			switch {
+			case opSrc == "pop":
+				prog = append(prog, model.Pop())
+			case strings.HasPrefix(opSrc, "push:"):
+				v, err := strconv.ParseInt(opSrc[len("push:"):], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad op %q: %w", opSrc, err)
+				}
+				prog = append(prog, model.Push(v))
+			default:
+				return nil, fmt.Errorf("bad op %q, want push:V or pop", opSrc)
+			}
+		}
+		if len(prog) == 0 {
+			return nil, fmt.Errorf("empty thread program in %q", src)
+		}
+		programs = append(programs, prog)
+	}
+	return programs, nil
+}
+
+func exploreDualStack(programs [][]model.StackOp, retries, maxStates int) error {
+	init := model.NewDualStack(model.DSConfig{Retries: retries, Programs: programs})
+	fmt.Printf("exploring dual stack: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
+	stats, err := sched.Explore(init, sched.Options{
+		Terminal:      model.VerifyCAL(spec.NewDualStack("DS"), nil, true),
+		AllowDeadlock: true,
+		MaxStates:     maxStates,
+	})
+	report(stats, err)
+	return err
+}
+
+func exploreDualQueue(programs [][]model.QOp, retries, maxStates int) error {
+	init := model.NewDualQueue(model.DQConfig{Retries: retries, Programs: programs})
+	fmt.Printf("exploring dual queue: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
+	stats, err := sched.Explore(init, sched.Options{
+		Terminal:      model.VerifyCAL(spec.NewDualQueue("DQ"), nil, true),
+		AllowDeadlock: true,
+		MaxStates:     maxStates,
+	})
+	report(stats, err)
+	return err
+}
+
+func exploreSnapshot(values []int64, maxStates int) error {
+	init := model.NewSnapshot(model.ISConfig{Values: values})
+	fmt.Printf("exploring immediate snapshot: %d participants, register-accurate scans\n", len(values))
+	stats, err := sched.Explore(init, sched.Options{
+		Terminal:  model.VerifyCAL(spec.NewSnapshot("IS", len(values)), init.Project, true),
+		MaxStates: maxStates,
+	})
+	report(stats, err)
+	return err
+}
+
+func parseDQPrograms(src string) ([][]model.QOp, error) {
+	var programs [][]model.QOp
+	for _, threadSrc := range strings.Split(src, ",") {
+		var prog []model.QOp
+		for _, opSrc := range strings.Fields(threadSrc) {
+			switch {
+			case opSrc == "deq":
+				prog = append(prog, model.Deq())
+			case strings.HasPrefix(opSrc, "enq:"):
+				v, err := strconv.ParseInt(opSrc[len("enq:"):], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad op %q: %w", opSrc, err)
+				}
+				prog = append(prog, model.Enq(v))
+			default:
+				return nil, fmt.Errorf("bad op %q, want enq:V or deq", opSrc)
+			}
+		}
+		if len(prog) == 0 {
+			return nil, fmt.Errorf("empty thread program in %q", src)
+		}
+		programs = append(programs, prog)
+	}
+	return programs, nil
+}

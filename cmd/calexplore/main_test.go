@@ -1,0 +1,109 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"calgo/internal/model"
+)
+
+func TestParsePrograms(t *testing.T) {
+	got, err := parsePrograms("push:1 pop,push:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]model.StackOp{
+		{model.Push(1), model.Pop()},
+		{model.Push(2)},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parsePrograms = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "push:x", "peek", "push:1,,pop", "push:"} {
+		if _, err := parsePrograms(bad); err == nil {
+			t.Errorf("parsePrograms(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSQPrograms(t *testing.T) {
+	got, err := parseSQPrograms("put:5 take,take")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]model.SQOp{
+		{model.Put(5), model.Take()},
+		{model.Take()},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseSQPrograms = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "put:x", "poll", "take,,take"} {
+		if _, err := parseSQPrograms(bad); err == nil {
+			t.Errorf("parseSQPrograms(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDQPrograms(t *testing.T) {
+	got, err := parseDQPrograms("enq:5 deq,deq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]model.QOp{
+		{model.Enq(5), model.Deq()},
+		{model.Deq()},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseDQPrograms = %v, want %v", got, want)
+	}
+	for _, bad := range []string{"", "enq:x", "peek", "deq,,deq"} {
+		if _, err := parseDQPrograms(bad); err == nil {
+			t.Errorf("parseDQPrograms(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseValues(t *testing.T) {
+	got, err := parseValues("1, 2,3")
+	if err != nil || !reflect.DeepEqual(got, []int64{1, 2, 3}) {
+		t.Errorf("parseValues = %v, %v", got, err)
+	}
+	if _, err := parseValues("1,x"); err == nil {
+		t.Error("bad values should fail")
+	}
+}
+
+func TestExploreNewTargetsEndToEnd(t *testing.T) {
+	progs, _ := parsePrograms("push:1,pop")
+	if err := exploreDualStack(progs, 1, 1_000_000); err != nil {
+		t.Errorf("dualstack: %v", err)
+	}
+	dq, _ := parseDQPrograms("enq:1,deq")
+	if err := exploreDualQueue(dq, 1, 1_000_000); err != nil {
+		t.Errorf("dualqueue: %v", err)
+	}
+	if err := exploreSnapshot([]int64{1, 2}, 1_000_000); err != nil {
+		t.Errorf("snapshot: %v", err)
+	}
+}
+
+func TestExploreTargetsEndToEnd(t *testing.T) {
+	if err := exploreExchanger("1,2", 1_000_000); err != nil {
+		t.Errorf("exchanger: %v", err)
+	}
+	if err := exploreExchanger("x", 10); err == nil {
+		t.Error("bad values should fail")
+	}
+	progs, _ := parsePrograms("push:1,pop")
+	if err := exploreStack(progs, 1_000_000); err != nil {
+		t.Errorf("stack: %v", err)
+	}
+	if err := exploreElimStack(progs, 1, 1, 1_000_000); err != nil {
+		t.Errorf("elimstack: %v", err)
+	}
+	sq, _ := parseSQPrograms("put:1,take")
+	if err := exploreSyncQueue(sq, 1_000_000); err != nil {
+		t.Errorf("syncqueue: %v", err)
+	}
+}

@@ -1,0 +1,321 @@
+// Command calfuzz stress-tests the instrumented objects with randomized
+// concurrent workloads and verifies every run end to end: the recorded
+// CA-trace must be admitted by the object's specification, the captured
+// history must agree with the trace (Definition 5), and the CAL checker
+// must accept the history independently (Definition 6).
+//
+// Usage:
+//
+//	calfuzz -iters 50 -seed 1 -object all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"calgo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		iters  = flag.Int("iters", 30, "iterations per object")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		object = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, snapshot, all")
+	)
+	flag.Parse()
+
+	targets := []string{"exchanger", "elimstack", "syncqueue", "dualstack", "dualqueue", "msqueue", "snapshot"}
+	if *object != "all" {
+		targets = []string{*object}
+	}
+	for _, target := range targets {
+		fuzz, ok := fuzzers[target]
+		if !ok {
+			return fmt.Errorf("unknown object %q", target)
+		}
+		for i := 0; i < *iters; i++ {
+			rng := rand.New(rand.NewSource(*seed + int64(i)))
+			if err := fuzz(rng); err != nil {
+				return fmt.Errorf("%s iteration %d (seed %d): %w", target, i, *seed+int64(i), err)
+			}
+		}
+		fmt.Printf("✓ %-10s %d randomized runs verified\n", target, *iters)
+	}
+	return nil
+}
+
+var fuzzers = map[string]func(*rand.Rand) error{
+	"exchanger": fuzzExchanger,
+	"elimstack": fuzzElimStack,
+	"syncqueue": fuzzSyncQueue,
+	"dualstack": fuzzDualStack,
+	"dualqueue": fuzzDualQueue,
+	"msqueue":   fuzzMSQueue,
+	"snapshot":  fuzzSnapshot,
+}
+
+func fuzzExchanger(rng *rand.Rand) error {
+	rec := calgo.NewRecorder()
+	ex := calgo.NewExchanger("E",
+		calgo.ExchangerWithRecorder(rec),
+		calgo.ExchangerWithWaitPolicy(calgo.SpinWait(rng.Intn(128)+1)),
+	)
+	workers := rng.Intn(6) + 2
+	per := rng.Intn(20) + 5
+	var cap calgo.Capture
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				cap.Inv(tid, "E", calgo.MethodExchange, calgo.Int(v))
+				ok, out := ex.Exchange(tid, v)
+				cap.Res(tid, "E", calgo.MethodExchange, calgo.Pair(ok, out))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return verify(cap.History(), rec.View("E"), calgo.NewExchangerSpec("E"))
+}
+
+func fuzzElimStack(rng *rand.Rand) error {
+	rec := calgo.NewRecorder()
+	es, err := calgo.NewElimStack("ES",
+		calgo.ElimStackWithRecorder(rec),
+		calgo.ElimStackWithSlots(rng.Intn(4)+1),
+		calgo.ElimStackWithWaitPolicy(calgo.SpinWait(rng.Intn(64)+1)),
+	)
+	if err != nil {
+		return err
+	}
+	pairs := rng.Intn(3) + 1
+	per := rng.Intn(15) + 5
+	var cap calgo.Capture
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, "ES", calgo.MethodPush, calgo.Int(v))
+				if err := es.Push(tid, v); err != nil {
+					panic(err)
+				}
+				cap.Res(tid, "ES", calgo.MethodPush, calgo.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, "ES", calgo.MethodPop, calgo.Unit())
+				v := es.Pop(tid)
+				cap.Res(tid, "ES", calgo.MethodPop, calgo.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	return verify(cap.History(), rec.View("ES"), calgo.NewStackSpec("ES"))
+}
+
+func fuzzSyncQueue(rng *rand.Rand) error {
+	rec := calgo.NewRecorder()
+	q := calgo.NewSyncQueue("SQ",
+		calgo.SyncQueueWithRecorder(rec),
+		calgo.SyncQueueWithWaitPolicy(calgo.SpinWait(rng.Intn(64)+1)),
+	)
+	pairs := rng.Intn(3) + 1
+	per := rng.Intn(12) + 4
+	var cap calgo.Capture
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, "SQ", calgo.MethodPut, calgo.Int(v))
+				q.Put(tid, v)
+				cap.Res(tid, "SQ", calgo.MethodPut, calgo.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, "SQ", calgo.MethodTake, calgo.Unit())
+				v := q.Take(tid)
+				cap.Res(tid, "SQ", calgo.MethodTake, calgo.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	return verify(cap.History(), rec.View("SQ"), calgo.NewSyncQueueSpec("SQ"))
+}
+
+func verify(h calgo.History, tr calgo.Trace, sp calgo.Spec) error {
+	if _, err := calgo.SpecAccepts(sp, tr); err != nil {
+		return fmt.Errorf("recorded trace rejected by %s: %w", sp.Name(), err)
+	}
+	if err := calgo.Agrees(h, tr); err != nil {
+		return fmt.Errorf("history does not agree with recorded trace: %w", err)
+	}
+	r, err := calgo.CAL(h, sp)
+	if err != nil {
+		return err
+	}
+	if !r.OK {
+		return fmt.Errorf("CAL checker rejected the history: %s", r.Reason)
+	}
+	return nil
+}
+
+func fuzzDualStack(rng *rand.Rand) error {
+	rec := calgo.NewRecorder()
+	s := calgo.NewDualStack("DS",
+		calgo.DualStackWithRecorder(rec),
+		calgo.DualStackWithWaitPolicy(calgo.SpinWait(rng.Intn(8)+1)),
+	)
+	pairs := rng.Intn(3) + 1
+	per := rng.Intn(12) + 4
+	var cap calgo.Capture
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, "DS", calgo.MethodPush, calgo.Int(v))
+				s.Push(tid, v)
+				cap.Res(tid, "DS", calgo.MethodPush, calgo.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, "DS", calgo.MethodPop, calgo.Unit())
+				v := s.Pop(tid)
+				cap.Res(tid, "DS", calgo.MethodPop, calgo.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	return verify(cap.History(), rec.View("DS"), calgo.NewDualStackSpec("DS"))
+}
+
+func fuzzMSQueue(rng *rand.Rand) error {
+	rec := calgo.NewRecorder()
+	q := calgo.NewMSQueue("Q", calgo.MSQueueWithRecorder(rec))
+	workers := rng.Intn(4) + 2
+	per := rng.Intn(16) + 4
+	var cap calgo.Capture
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				if i%2 == 0 {
+					cap.Inv(tid, "Q", calgo.MethodEnq, calgo.Int(v))
+					q.Enq(tid, v)
+					cap.Res(tid, "Q", calgo.MethodEnq, calgo.Bool(true))
+				} else {
+					cap.Inv(tid, "Q", calgo.MethodDeq, calgo.Unit())
+					ok, got := q.Deq(tid)
+					cap.Res(tid, "Q", calgo.MethodDeq, calgo.Pair(ok, got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return verify(cap.History(), rec.View("Q"), calgo.NewQueueSpec("Q"))
+}
+
+func fuzzSnapshot(rng *rand.Rand) error {
+	n := rng.Intn(4) + 2
+	s, err := calgo.NewImmediateSnapshot("IS", n)
+	if err != nil {
+		return err
+	}
+	var cap calgo.Capture
+	results := make([]calgo.SnapshotResult, n)
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(p + 1)
+			v := int64(100 + p)
+			cap.Inv(tid, "IS", calgo.MethodUpdate, calgo.Int(v))
+			view, err := s.Update(p, tid, v)
+			if err != nil {
+				panic(err) // slots are distinct by construction
+			}
+			cap.Res(tid, "IS", calgo.MethodUpdate, calgo.Pair(true, int64(len(view))))
+			results[p] = calgo.SnapshotResult{Thread: tid, Value: v, View: view}
+		}(p)
+	}
+	wg.Wait()
+	tr, err := calgo.DeriveSnapshotTrace("IS", results)
+	if err != nil {
+		return err
+	}
+	return verify(cap.History(), tr, calgo.NewSnapshotSpec("IS", n))
+}
+
+func fuzzDualQueue(rng *rand.Rand) error {
+	rec := calgo.NewRecorder()
+	q := calgo.NewDualQueue("DQ",
+		calgo.DualQueueWithRecorder(rec),
+		calgo.DualQueueWithWaitPolicy(calgo.SpinWait(rng.Intn(8)+1)),
+	)
+	pairs := rng.Intn(3) + 1
+	per := rng.Intn(12) + 4
+	var cap calgo.Capture
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, "DQ", calgo.MethodEnq, calgo.Int(v))
+				q.Enq(tid, v)
+				cap.Res(tid, "DQ", calgo.MethodEnq, calgo.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, "DQ", calgo.MethodDeq, calgo.Unit())
+				v := q.Deq(tid)
+				cap.Res(tid, "DQ", calgo.MethodDeq, calgo.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	return verify(cap.History(), rec.View("DQ"), calgo.NewDualQueueSpec("DQ"))
+}

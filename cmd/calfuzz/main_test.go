@@ -1,0 +1,51 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"calgo"
+)
+
+func TestAllFuzzersOnce(t *testing.T) {
+	for name, fuzz := range fuzzers {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				if err := fuzz(rand.New(rand.NewSource(seed))); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsBadTrace(t *testing.T) {
+	h := calgo.History{
+		calgo.Inv(1, "E", calgo.MethodExchange, calgo.Int(3)),
+		calgo.Res(1, "E", calgo.MethodExchange, calgo.Pair(false, 3)),
+	}
+	// Trace claims a lone successful exchange: spec-invalid.
+	badTrace := calgo.Trace{calgo.Singleton(calgo.Operation{
+		Thread: 1, Object: "E", Method: calgo.MethodExchange,
+		Arg: calgo.Int(3), Ret: calgo.Pair(true, 4),
+	})}
+	if err := verify(h, badTrace, calgo.NewExchangerSpec("E")); err == nil {
+		t.Error("spec-invalid trace must fail verification")
+	}
+	// Trace valid for the spec but disagreeing with the history.
+	otherTrace := calgo.Trace{calgo.Singleton(calgo.Operation{
+		Thread: 2, Object: "E", Method: calgo.MethodExchange,
+		Arg: calgo.Int(9), Ret: calgo.Pair(false, 9),
+	})}
+	if err := verify(h, otherTrace, calgo.NewExchangerSpec("E")); err == nil {
+		t.Error("disagreeing trace must fail verification")
+	}
+	// Matching trace passes.
+	good := calgo.Trace{calgo.Singleton(calgo.Operation{
+		Thread: 1, Object: "E", Method: calgo.MethodExchange,
+		Arg: calgo.Int(3), Ret: calgo.Pair(false, 3),
+	})}
+	if err := verify(h, good, calgo.NewExchangerSpec("E")); err != nil {
+		t.Errorf("valid run failed verification: %v", err)
+	}
+}

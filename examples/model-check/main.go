@@ -1,0 +1,110 @@
+// Command model-check discharges the paper's §5 proof obligations
+// mechanically, on a bounded universe, for both verification targets:
+//
+//   - the exchanger of Figure 1: every interleaving of the Figure 3 client
+//     program is explored; Figure 1's proof-outline assertions and the
+//     invariant J hold in every state; every transition is justified by a
+//     Figure 4 rely/guarantee action; and every terminal history agrees
+//     with its recorded CA-trace, which the exchanger spec admits;
+//
+//   - the elimination stack of Figure 2: every interleaving of a
+//     contended push/push/pop program is explored, and every terminal
+//     history is linearizable w.r.t. the SEQUENTIAL stack spec via the
+//     composed view F_ES ∘ F̂_AR.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"calgo/internal/model"
+	"calgo/internal/rg"
+	"calgo/internal/sched"
+	"calgo/internal/spec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "model-check:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== Obligation 1: the exchanger (Figure 1 + Figure 4) ==")
+	init := model.NewExchanger(model.ExchangerConfig{
+		Programs: [][]int64{{3}, {4}, {7}}, // the paper's program P
+	})
+	stats, err := sched.Explore(init, sched.Options{
+		Invariant: func(st sched.State) error {
+			if err := model.InvariantJ(st); err != nil {
+				return err
+			}
+			return model.ProofOutline(st)
+		},
+		Transition: rg.Hook(true),
+		Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+	})
+	if err != nil {
+		return fmt.Errorf("exchanger verification FAILED: %w", err)
+	}
+	fmt.Printf("✓ %d states, %d transitions, %d maximal executions — all obligations hold\n",
+		stats.States, stats.Transitions, stats.Terminals)
+	fmt.Println("  • proof-outline assertions A, B and lines 14-37 of Fig. 1: checked per state")
+	fmt.Println("  • invariant J: checked per state")
+	fmt.Println("  • rely/guarantee: every step justified by INIT/CLEAN/PASS/XCHG/FAIL/τ")
+	fmt.Println("  • every terminal history ⊑CAL its recorded trace ∈ exchanger spec")
+
+	fmt.Println()
+	fmt.Println("== Obligation 2: the elimination stack (Figure 2, via F_ES ∘ F̂_AR) ==")
+	esInit := model.NewElimStack(model.ESConfig{
+		Slots:   1,
+		Retries: 2,
+		Programs: [][]model.StackOp{
+			{model.Push(1)},
+			{model.Push(2)},
+			{model.Pop()},
+		},
+	})
+	esStats, err := sched.Explore(esInit, sched.Options{
+		Terminal:      model.VerifyCAL(spec.NewStack("ES"), esInit.Project, true),
+		AllowDeadlock: true,
+		MaxStates:     4_000_000,
+	})
+	if err != nil {
+		return fmt.Errorf("elimination stack verification FAILED: %w", err)
+	}
+	fmt.Printf("✓ %d states, %d transitions, %d maximal executions — all obligations hold\n",
+		esStats.States, esStats.Transitions, esStats.Terminals)
+	fmt.Println("  • every terminal history is linearizable w.r.t. the sequential stack spec")
+	fmt.Println("  • elimination and central-stack paths both exercised")
+
+	fmt.Println()
+	fmt.Println("== Sanity: the battery actually catches bugs ==")
+	for _, bug := range []string{"drop-pass-log", "wrong-swap-values", "late-swap-log"} {
+		buggy := model.NewExchanger(model.ExchangerConfig{
+			Programs: [][]int64{{3}, {4}},
+			Bug:      bug,
+		})
+		_, err := sched.Explore(buggy, sched.Options{
+			Invariant: func(st sched.State) error {
+				if err := model.InvariantJ(st); err != nil {
+					return err
+				}
+				return model.ProofOutline(st)
+			},
+			Transition: rg.Hook(false),
+			Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+		})
+		if err == nil {
+			return fmt.Errorf("injected bug %q escaped verification", bug)
+		}
+		var verr *sched.ViolationError
+		if !errors.As(err, &verr) {
+			return fmt.Errorf("bug %q: unexpected error %w", bug, err)
+		}
+		fmt.Printf("✓ injected %-18s caught as %s violation\n", bug+":", verr.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module calgo
+
+go 1.22

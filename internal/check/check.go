@@ -1,0 +1,371 @@
+// Package check decides concurrency-aware linearizability (Definition 6 of
+// the paper): given a history H of an object system and a CA-specification,
+// it searches for a completion Hc of H and a CA-trace T admitted by the
+// specification such that Hc ⊑CAL T (Definition 5).
+//
+// The decision procedure generalizes the classic Wing-Gong linearizability
+// search from single operations to operation *sets*: instead of picking one
+// ready operation as the next linearization point, it picks a set of
+// pairwise-overlapping ready operations as the next CA-element. Classical
+// linearizability and Neiger's set-linearizability fall out as the special
+// cases with element size capped at 1 and at the specification's bound,
+// respectively. The search is memoized on (linearized-set, spec-state) pairs
+// in the style of Lowe's linearizability tester.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// ErrBound is returned when the search exceeds the configured state bound.
+var ErrBound = errors.New("check: state bound exceeded")
+
+// Result reports the outcome of a check.
+type Result struct {
+	// OK is true iff the history is CA-linearizable w.r.t. the spec.
+	OK bool
+	// Witness is an admitted CA-trace the (completed) history agrees
+	// with; set only when OK.
+	Witness trace.Trace
+	// Dropped lists pending operations removed by the chosen completion;
+	// set only when OK.
+	Dropped []history.Op
+	// Reason describes the failure; set only when !OK.
+	Reason string
+	// States counts distinct (linearized-set, spec-state) pairs visited.
+	States int
+	// MemoHits counts search nodes pruned by memoization.
+	MemoHits int
+}
+
+type config struct {
+	elementCap   int  // 0 = use spec's MaxElementSize
+	maxStates    int  // memo-entry budget
+	memo         bool // memoize failed nodes
+	completeOnly bool // reject histories with pending invocations
+}
+
+// Option configures a check.
+type Option func(*config)
+
+// WithElementCap caps CA-element sizes below the specification's own bound.
+// A cap of 1 yields classical linearizability.
+func WithElementCap(n int) Option { return func(c *config) { c.elementCap = n } }
+
+// WithMaxStates bounds the number of distinct search states visited before
+// the check aborts with ErrBound. The default is 4_000_000.
+func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+
+// WithoutMemo disables memoization of failed search nodes. Exists for the
+// memoization ablation benchmark; never useful otherwise.
+func WithoutMemo() Option { return func(c *config) { c.memo = false } }
+
+// WithCompleteOnly rejects histories containing pending invocations instead
+// of exploring their completions.
+func WithCompleteOnly() Option { return func(c *config) { c.completeOnly = true } }
+
+// CAL decides whether h is concurrency-aware linearizable with respect to
+// sp. The history must be well-formed; pending invocations are handled per
+// Definition 2 (dropped, or completed with responses proposed by the
+// specification when it implements spec.PendingResolver).
+func CAL(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	cfg := config{maxStates: 4_000_000, memo: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !h.IsWellFormed() {
+		return Result{}, errors.New("check: history is not well-formed")
+	}
+	if cfg.completeOnly && !h.IsComplete() {
+		return Result{}, fmt.Errorf("check: history has pending invocations %v", h.PendingThreads())
+	}
+	if cfg.elementCap < 0 {
+		return Result{}, fmt.Errorf("check: element size cap %d < 1", cfg.elementCap)
+	}
+	maxElem := sp.MaxElementSize()
+	if cfg.elementCap > 0 && cfg.elementCap < maxElem {
+		maxElem = cfg.elementCap
+	}
+	if maxElem < 1 {
+		return Result{}, fmt.Errorf("check: element size cap %d < 1", maxElem)
+	}
+	s := &searcher{
+		sp:      sp,
+		cfg:     cfg,
+		maxElem: maxElem,
+		ops:     h.Operations(),
+	}
+	s.rt = history.RTOrder(s.ops)
+	s.resolver, _ = sp.(spec.PendingResolver)
+	return s.run()
+}
+
+// Linearizable decides classical linearizability: CAL restricted to
+// singleton CA-elements, i.e. sequential specifications (Herlihy & Wing).
+func Linearizable(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return CAL(h, sp, append(opts, WithElementCap(1))...)
+}
+
+// SetLinearizable decides set-linearizability (Neiger 1994): identical to
+// CAL under this package's trace model, provided as a named entry point.
+func SetLinearizable(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return CAL(h, sp, opts...)
+}
+
+type searcher struct {
+	sp       spec.Spec
+	resolver spec.PendingResolver
+	cfg      config
+	maxElem  int
+	ops      []history.Op
+	rt       [][]bool
+
+	linearized []bool
+	memo       map[string]bool
+	states     int
+	memoHits   int
+	witness    trace.Trace
+
+	// Failure diagnostics: the deepest linearization reached.
+	bestCount int
+	bestMask  []bool
+}
+
+func (s *searcher) run() (Result, error) {
+	n := len(s.ops)
+	s.linearized = make([]bool, n)
+	s.bestMask = make([]bool, n)
+	s.memo = make(map[string]bool)
+	ok, err := s.dfs(s.sp.Init())
+	res := Result{States: s.states, MemoHits: s.memoHits}
+	if err != nil {
+		return res, err
+	}
+	if !ok {
+		res.Reason = s.failureReason()
+		return res, nil
+	}
+	res.OK = true
+	res.Witness = s.witness
+	for i, op := range s.ops {
+		if !s.linearized[i] {
+			res.Dropped = append(res.Dropped, op)
+		}
+	}
+	return res, nil
+}
+
+func (s *searcher) failureReason() string {
+	reason := fmt.Sprintf("no completion of the history agrees with any CA-trace admitted by %s (explored %d states)",
+		s.sp.Name(), s.states)
+	if s.bestMask == nil {
+		return reason
+	}
+	var stuck []string
+	for i, op := range s.ops {
+		if !s.bestMask[i] && !op.Pending {
+			stuck = append(stuck, op.String())
+			if len(stuck) == 4 {
+				stuck = append(stuck, "...")
+				break
+			}
+		}
+	}
+	if len(stuck) == 0 {
+		return reason
+	}
+	return fmt.Sprintf("%s; best search linearized %d of %d operations, stuck on %s",
+		reason, s.bestCount, len(s.ops), strings.Join(stuck, ", "))
+}
+
+// countLinearized returns the number of currently linearized operations.
+func (s *searcher) countLinearized() int {
+	n := 0
+	for _, l := range s.linearized {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// done reports whether every completed operation has been linearized.
+func (s *searcher) done() bool {
+	for i, op := range s.ops {
+		if !op.Pending && !s.linearized[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ready returns the indices of unlinearized operations all of whose
+// real-time predecessors are linearized.
+func (s *searcher) ready() []int {
+	var out []int
+	n := len(s.ops)
+	for i := 0; i < n; i++ {
+		if s.linearized[i] {
+			continue
+		}
+		ok := true
+		for j := 0; j < n; j++ {
+			if s.rt[j][i] && !s.linearized[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (s *searcher) stateKey(st spec.State) string {
+	buf := make([]byte, (len(s.linearized)+7)/8)
+	for i, a := range s.linearized {
+		if a {
+			buf[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(buf) + "\x00" + st.Key()
+}
+
+func (s *searcher) dfs(st spec.State) (bool, error) {
+	if s.done() {
+		return true, nil
+	}
+	if n := s.countLinearized(); n > s.bestCount {
+		s.bestCount = n
+		s.bestMask = append(s.bestMask[:0], s.linearized...)
+	}
+	key := s.stateKey(st)
+	if s.cfg.memo {
+		if s.memo[key] {
+			s.memoHits++
+			return false, nil
+		}
+	}
+	s.states++
+	if s.states > s.cfg.maxStates {
+		return false, fmt.Errorf("%w (limit %d)", ErrBound, s.cfg.maxStates)
+	}
+
+	ready := s.ready()
+	// Enumerate candidate subsets of ready operations sharing an object,
+	// pairwise concurrent, of size 1..maxElem.
+	subset := make([]int, 0, s.maxElem)
+	var enumerate func(start int) (bool, error)
+	enumerate = func(start int) (bool, error) {
+		if len(subset) > 0 {
+			ok, err := s.tryElement(st, subset)
+			if ok || err != nil {
+				return ok, err
+			}
+		}
+		if len(subset) == s.maxElem {
+			return false, nil
+		}
+		for k := start; k < len(ready); k++ {
+			i := ready[k]
+			if !s.compatible(subset, i) {
+				continue
+			}
+			subset = append(subset, i)
+			ok, err := enumerate(k + 1)
+			subset = subset[:len(subset)-1]
+			if ok || err != nil {
+				return ok, err
+			}
+		}
+		return false, nil
+	}
+	ok, err := enumerate(0)
+	if err != nil {
+		return false, err
+	}
+	if !ok && s.cfg.memo {
+		s.memo[key] = true
+	}
+	return ok, nil
+}
+
+// compatible reports whether op i can join the candidate element subset:
+// same object as the existing members and concurrent with each of them.
+func (s *searcher) compatible(subset []int, i int) bool {
+	for _, j := range subset {
+		if s.ops[j].Object != s.ops[i].Object {
+			return false
+		}
+		if s.rt[i][j] || s.rt[j][i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryElement attempts to linearize the operations in subset as one
+// CA-element, resolving pending returns through the specification.
+func (s *searcher) tryElement(st spec.State, subset []int) (bool, error) {
+	ops := make([]trace.Operation, len(subset))
+	var pendingIdx []int
+	for k, i := range subset {
+		op := s.ops[i]
+		ops[k] = trace.OpOf(op)
+		if op.Pending {
+			pendingIdx = append(pendingIdx, k)
+		}
+	}
+
+	var resolutions [][]history.Value
+	if len(pendingIdx) == 0 {
+		resolutions = [][]history.Value{nil}
+	} else {
+		if s.resolver == nil {
+			return false, nil // pending ops can only be dropped
+		}
+		resolutions = s.resolver.ResolveReturns(st, ops, pendingIdx)
+	}
+
+	for _, rets := range resolutions {
+		if len(rets) != len(pendingIdx) {
+			if len(pendingIdx) > 0 {
+				continue // malformed resolution; skip defensively
+			}
+		}
+		for k, idx := range pendingIdx {
+			ops[idx].Ret = rets[k]
+		}
+		el, err := trace.NewElement(ops...)
+		if err != nil {
+			continue // e.g. resolution created a duplicate operation
+		}
+		next, err := s.sp.Step(st, el)
+		if err != nil {
+			continue // spec rejects this element
+		}
+		for _, i := range subset {
+			s.linearized[i] = true
+		}
+		s.witness = append(s.witness, el)
+		ok, derr := s.dfs(next)
+		if ok {
+			return true, nil
+		}
+		s.witness = s.witness[:len(s.witness)-1]
+		for _, i := range subset {
+			s.linearized[i] = false
+		}
+		if derr != nil {
+			return false, derr
+		}
+	}
+	return false, nil
+}

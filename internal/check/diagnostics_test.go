@@ -1,0 +1,56 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// TestFailureReasonNamesStuckOps: the rejection reason identifies which
+// operations could not be linearized.
+func TestFailureReasonNamesStuckOps(t *testing.T) {
+	// A valid fail, then a lone successful exchange: the second op is the
+	// culprit.
+	h := history.History{
+		inv(1, objE, spec.MethodExchange, history.Int(3)),
+		res(1, objE, spec.MethodExchange, history.Pair(false, 3)),
+		inv(2, objE, spec.MethodExchange, history.Int(4)),
+		res(2, objE, spec.MethodExchange, history.Pair(true, 9)),
+	}
+	r := mustCAL(t, h, spec.NewExchanger(objE))
+	if r.OK {
+		t.Fatal("history must be rejected")
+	}
+	if !strings.Contains(r.Reason, "linearized 1 of 2") {
+		t.Errorf("reason should report best progress: %s", r.Reason)
+	}
+	if !strings.Contains(r.Reason, "t2") || !strings.Contains(r.Reason, "exchange(4)") {
+		t.Errorf("reason should name the stuck operation: %s", r.Reason)
+	}
+}
+
+// TestFailureReasonTruncatesLongLists: at most a handful of stuck ops are
+// printed.
+func TestFailureReasonTruncatesLongLists(t *testing.T) {
+	var h history.History
+	// Ten lone successful exchanges: all stuck.
+	for i := int64(1); i <= 10; i++ {
+		tid := history.ThreadID(i)
+		h = append(h,
+			inv(tid, objE, spec.MethodExchange, history.Int(i)),
+			res(tid, objE, spec.MethodExchange, history.Pair(true, i+100)),
+		)
+	}
+	r := mustCAL(t, h, spec.NewExchanger(objE))
+	if r.OK {
+		t.Fatal("history must be rejected")
+	}
+	if !strings.Contains(r.Reason, "...") {
+		t.Errorf("long stuck lists should be truncated: %s", r.Reason)
+	}
+	if got := strings.Count(r.Reason, "exchange("); got > 4 {
+		t.Errorf("reason lists %d ops, want at most 4: %s", got, r.Reason)
+	}
+}

@@ -1,0 +1,234 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// genStackHistory produces a history by simulating a real concurrent stack
+// execution: ops are generated against a ground-truth stack with random
+// interleaving of inv/res boundaries, so the result is linearizable by
+// construction.
+func genStackHistory(rng *rand.Rand, nThreads, nOps int) history.History {
+	type pending struct {
+		t   history.ThreadID
+		f   history.Method
+		arg history.Value
+		ret history.Value
+	}
+	var h history.History
+	var stack []int64
+	busy := make(map[history.ThreadID]*pending)
+	free := make([]history.ThreadID, 0, nThreads)
+	for i := 1; i <= nThreads; i++ {
+		free = append(free, history.ThreadID(i))
+	}
+	done := 0
+	next := int64(1)
+	for done < nOps || len(busy) > 0 {
+		// Either start a new op (take effect immediately at invocation,
+		// one legal choice among many) or retire a pending one.
+		if len(free) > 0 && done < nOps && (len(busy) == 0 || rng.Intn(2) == 0) {
+			t := free[len(free)-1]
+			free = free[:len(free)-1]
+			p := &pending{t: t}
+			if rng.Intn(2) == 0 {
+				p.f = spec.MethodPush
+				p.arg = history.Int(next)
+				stack = append(stack, next)
+				next++
+				p.ret = history.Bool(true)
+			} else {
+				p.f = spec.MethodPop
+				p.arg = history.Unit()
+				if len(stack) == 0 {
+					p.ret = history.Pair(false, 0)
+				} else {
+					p.ret = history.Pair(true, stack[len(stack)-1])
+					stack = stack[:len(stack)-1]
+				}
+			}
+			busy[t] = p
+			h = append(h, history.Inv(t, objS, p.f, p.arg))
+			done++
+			continue
+		}
+		// Retire a random pending op.
+		for t, p := range busy {
+			h = append(h, history.Res(t, objS, p.f, p.ret))
+			delete(busy, t)
+			free = append(free, t)
+			break
+		}
+	}
+	return h
+}
+
+func TestCALAcceptsSimulatedStackExecutions(t *testing.T) {
+	st := spec.NewStack(objS)
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := genStackHistory(rng, 1+rng.Intn(4), 6+rng.Intn(14))
+		r, err := CAL(h, st)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.OK {
+			t.Fatalf("seed %d: valid execution rejected: %s\n%v", seed, r.Reason, h)
+		}
+	}
+}
+
+// Linearizing at invocation time is only ONE schedule; corrupting a return
+// value must (almost always) break linearizability. We corrupt a successful
+// pop's value to one never pushed, which is always a violation.
+func TestCALRejectsCorruptedStackExecutions(t *testing.T) {
+	st := spec.NewStack(objS)
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := genStackHistory(rng, 3, 12)
+		corrupted := false
+		for i, e := range h {
+			if e.IsRes() && e.Method == spec.MethodPop && e.Ret.B {
+				h[i].Ret = history.Pair(true, 999_999) // never pushed
+				corrupted = true
+				break
+			}
+		}
+		if !corrupted {
+			continue
+		}
+		r, err := CAL(h, st)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.OK {
+			t.Fatalf("seed %d: corrupted execution accepted:\n%v\nwitness %s", seed, h, r.Witness)
+		}
+	}
+}
+
+// genExchangerHistory simulates a valid exchanger execution: pairs of
+// overlapping exchanges swap, loners fail.
+func genExchangerHistory(rng *rand.Rand, nRounds int) history.History {
+	var h history.History
+	tid := history.ThreadID(1)
+	v := int64(1)
+	for i := 0; i < nRounds; i++ {
+		if rng.Intn(3) == 0 {
+			t := tid
+			tid++
+			h = append(h,
+				history.Inv(t, objE, spec.MethodExchange, history.Int(v)),
+				history.Res(t, objE, spec.MethodExchange, history.Pair(false, v)))
+			v++
+			continue
+		}
+		t1, t2 := tid, tid+1
+		tid += 2
+		a, b := v, v+1
+		v += 2
+		h = append(h,
+			history.Inv(t1, objE, spec.MethodExchange, history.Int(a)),
+			history.Inv(t2, objE, spec.MethodExchange, history.Int(b)),
+		)
+		if rng.Intn(2) == 0 {
+			h = append(h,
+				history.Res(t1, objE, spec.MethodExchange, history.Pair(true, b)),
+				history.Res(t2, objE, spec.MethodExchange, history.Pair(true, a)))
+		} else {
+			h = append(h,
+				history.Res(t2, objE, spec.MethodExchange, history.Pair(true, a)),
+				history.Res(t1, objE, spec.MethodExchange, history.Pair(true, b)))
+		}
+	}
+	return h
+}
+
+func TestCALAcceptsSimulatedExchangerExecutions(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := genExchangerHistory(rng, 2+rng.Intn(10))
+		r, err := CAL(h, e)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !r.OK {
+			t.Fatalf("seed %d: valid exchanger execution rejected: %s\n%v", seed, r.Reason, h)
+		}
+	}
+}
+
+// TestLinearizableEqualsElementCapOne_Quick: on arbitrary (possibly invalid)
+// exchanger histories, Linearizable and CAL-with-cap-1 are the same check.
+func TestLinearizableEqualsElementCapOne_Quick(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := genExchangerHistory(rng, 1+rng.Intn(6))
+		// Randomly corrupt half the time.
+		if rng.Intn(2) == 0 && len(h) > 0 {
+			i := rng.Intn(len(h))
+			if h[i].IsRes() {
+				h[i].Ret = history.Pair(rng.Intn(2) == 0, int64(rng.Intn(5)))
+			}
+		}
+		if !h.IsWellFormed() {
+			return true
+		}
+		a, errA := Linearizable(h, e)
+		b, errB := CAL(h, e, WithElementCap(1))
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		return errA != nil || a.OK == b.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCALImpliesWeakerThanLin_Quick: anything classically linearizable is
+// also CA-linearizable (CAL generalizes linearizability).
+func TestCALImpliesWeakerThanLin_Quick(t *testing.T) {
+	st := spec.NewStack(objS)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := genStackHistory(rng, 1+rng.Intn(3), 4+rng.Intn(8))
+		lin, err := Linearizable(h, st)
+		if err != nil {
+			return false
+		}
+		cal, err := CAL(h, st)
+		if err != nil {
+			return false
+		}
+		// For a sequential spec they coincide; in general lin ⇒ cal.
+		return !lin.OK || cal.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCALMemoAblationAgrees_Quick(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := genExchangerHistory(rng, 1+rng.Intn(5))
+		a, errA := CAL(h, e)
+		b, errB := CAL(h, e, WithoutMemo())
+		if errA != nil || errB != nil {
+			return errA != nil && errB != nil
+		}
+		return a.OK == b.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// TestWitnessSoundness: whenever CAL accepts a complete history, the
+// returned witness must itself be admitted by the specification and agreed
+// with by the history — the two halves of Definition 6.
+func TestWitnessSoundness(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	st := spec.NewStack(objS)
+	for seed := int64(0); seed < 80; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		if seed%2 == 0 {
+			h := genExchangerHistory(rng, 1+rng.Intn(8))
+			r, err := CAL(h, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.OK {
+				t.Fatalf("seed %d: valid history rejected: %s", seed, r.Reason)
+			}
+			if _, err := spec.Accepts(e, r.Witness); err != nil {
+				t.Fatalf("seed %d: witness not admitted: %v", seed, err)
+			}
+			if err := trace.Agrees(h, r.Witness); err != nil {
+				t.Fatalf("seed %d: history disagrees with witness: %v", seed, err)
+			}
+		} else {
+			h := genStackHistory(rng, 1+rng.Intn(3), 4+rng.Intn(10))
+			r, err := CAL(h, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.OK {
+				t.Fatalf("seed %d: valid stack history rejected: %s", seed, r.Reason)
+			}
+			if _, err := spec.Accepts(st, r.Witness); err != nil {
+				t.Fatalf("seed %d: witness not admitted: %v", seed, err)
+			}
+			if err := trace.Agrees(h, r.Witness); err != nil {
+				t.Fatalf("seed %d: history disagrees with witness: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestVerdictInvariantUnderSameKindSwaps: swapping adjacent same-kind
+// actions of different threads preserves the real-time order and hence
+// the CAL verdict — valid and corrupted histories alike.
+func TestVerdictInvariantUnderSameKindSwaps(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := genExchangerHistory(rng, 1+rng.Intn(6))
+		if rng.Intn(2) == 0 && len(h) > 0 { // corrupt half the runs
+			i := rng.Intn(len(h))
+			if h[i].IsRes() {
+				h[i].Ret = history.Pair(rng.Intn(2) == 0, int64(rng.Intn(5)))
+			}
+		}
+		base, err := CAL(h, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append(h[:0:0], h...)
+		for k := 0; k < 6; k++ {
+			i := rng.Intn(len(mut) - 1)
+			a, b := mut[i], mut[i+1]
+			if a.Thread != b.Thread && a.Kind == b.Kind {
+				mut[i], mut[i+1] = b, a
+			}
+		}
+		got, err := CAL(mut, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OK != base.OK {
+			t.Fatalf("seed %d: verdict changed %v -> %v after same-kind swaps\nbase %v\nmut  %v",
+				seed, base.OK, got.OK, h, mut)
+		}
+	}
+}
+
+// TestDegenerateWidthOne: with a single thread every history is sequential
+// and CAL degenerates to spec replay.
+func TestDegenerateWidthOne(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	h := genExchangerHistory(rand.New(rand.NewSource(3)), 5)
+	// Filter to thread 1's ops only — all-fail singletons.
+	single := h.ByThread(h.Threads()[0])
+	r, err := CAL(single, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := Linearizable(single, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK != lin.OK {
+		t.Error("single-thread CAL and linearizability must coincide")
+	}
+}

@@ -1,0 +1,49 @@
+package history
+
+import "sync"
+
+// Capture is a thread-safe recorder of the observable history of a run.
+// Client code brackets each object call with Inv and Res; the resulting
+// History is well-formed provided each goroutine uses a fixed ThreadID and
+// calls objects sequentially (the ownership discipline of §2).
+//
+// The zero Capture is ready to use.
+type Capture struct {
+	mu sync.Mutex
+	h  History
+}
+
+// Inv records an invocation action.
+func (c *Capture) Inv(t ThreadID, o ObjectID, f Method, arg Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.h = append(c.h, Inv(t, o, f, arg))
+}
+
+// Res records a response action.
+func (c *Capture) Res(t ThreadID, o ObjectID, f Method, ret Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.h = append(c.h, Res(t, o, f, ret))
+}
+
+// History returns a copy of the captured history so far.
+func (c *Capture) History() History {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append(History(nil), c.h...)
+}
+
+// Len returns the number of captured actions.
+func (c *Capture) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.h)
+}
+
+// Reset discards all captured actions.
+func (c *Capture) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.h = nil
+}

@@ -1,0 +1,61 @@
+package history
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCaptureSequential(t *testing.T) {
+	var c Capture
+	c.Inv(1, objE, exch, Int(3))
+	c.Res(1, objE, exch, Pair(false, 3))
+	h := c.History()
+	if len(h) != 2 || !h.IsComplete() {
+		t.Fatalf("captured %v", h)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len() = %d, want 2", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("Reset did not clear capture")
+	}
+}
+
+func TestCaptureHistoryIsCopy(t *testing.T) {
+	var c Capture
+	c.Inv(1, objE, exch, Int(3))
+	h := c.History()
+	c.Res(1, objE, exch, Pair(false, 3))
+	if len(h) != 1 {
+		t.Error("History() must return a snapshot copy")
+	}
+}
+
+func TestCaptureConcurrentWellFormed(t *testing.T) {
+	var c Capture
+	const workers = 8
+	const opsPer = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tid ThreadID) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				c.Inv(tid, objE, exch, Int(int64(i)))
+				c.Res(tid, objE, exch, Pair(false, int64(i)))
+			}
+		}(ThreadID(w + 1))
+	}
+	wg.Wait()
+	h := c.History()
+	if len(h) != 2*workers*opsPer {
+		t.Fatalf("captured %d actions, want %d", len(h), 2*workers*opsPer)
+	}
+	if !h.IsWellFormed() {
+		t.Error("concurrent capture must be well-formed when each goroutine is sequential")
+	}
+	if !h.IsComplete() {
+		t.Error("all calls returned; capture must be complete")
+	}
+}

@@ -1,0 +1,77 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ThreadID identifies a client thread (t in the paper).
+type ThreadID int
+
+// String renders the thread id as in the paper's examples: t1, t2, ...
+func (t ThreadID) String() string { return "t" + strconv.Itoa(int(t)) }
+
+// ObjectID identifies a concurrent object (o in the paper).
+type ObjectID string
+
+// Method names a method of a concurrent object (f in the paper).
+type Method string
+
+// EventKind discriminates invocation and response actions.
+type EventKind uint8
+
+// The two kinds of object actions (Definition 1).
+const (
+	Invoke EventKind = iota + 1
+	Respond
+)
+
+// Event is an object action: either an invocation (t, inv o.f(n)) or a
+// response (t, res o.f ▷ n) (Definition 1).
+type Event struct {
+	Kind   EventKind
+	Thread ThreadID
+	Object ObjectID
+	Method Method
+	// Arg is the invocation argument; meaningful only when Kind == Invoke.
+	Arg Value
+	// Ret is the response value; meaningful only when Kind == Respond.
+	Ret Value
+}
+
+// Inv constructs an invocation action.
+func Inv(t ThreadID, o ObjectID, f Method, arg Value) Event {
+	return Event{Kind: Invoke, Thread: t, Object: o, Method: f, Arg: arg}
+}
+
+// Res constructs a response action.
+func Res(t ThreadID, o ObjectID, f Method, ret Value) Event {
+	return Event{Kind: Respond, Thread: t, Object: o, Method: f, Ret: ret}
+}
+
+// IsInv reports whether the event is an invocation.
+func (e Event) IsInv() bool { return e.Kind == Invoke }
+
+// IsRes reports whether the event is a response.
+func (e Event) IsRes() bool { return e.Kind == Respond }
+
+// Matches reports whether r is a response matching invocation e: same
+// thread, object and method. (Per-thread sequentiality makes this pairing
+// unambiguous within a well-formed history.)
+func (e Event) Matches(r Event) bool {
+	return e.Kind == Invoke && r.Kind == Respond &&
+		e.Thread == r.Thread && e.Object == r.Object && e.Method == r.Method
+}
+
+// String renders the action in the paper's notation, e.g.
+// "t1: inv E.exchange(3)" or "t1: res E.exchange ▷ (true,4)".
+func (e Event) String() string {
+	switch e.Kind {
+	case Invoke:
+		return fmt.Sprintf("%s: inv %s.%s(%s)", e.Thread, e.Object, e.Method, e.Arg)
+	case Respond:
+		return fmt.Sprintf("%s: res %s.%s ▷ %s", e.Thread, e.Object, e.Method, e.Ret)
+	default:
+		return "<invalid event>"
+	}
+}

@@ -1,0 +1,88 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders h in the line-oriented interchange format accepted by
+// Parse:
+//
+//	inv t1 E.exchange 3
+//	res t1 E.exchange (true,4)
+//
+// Blank lines and lines starting with '#' are ignored by Parse.
+func Format(h History) string {
+	var b strings.Builder
+	for _, e := range h {
+		switch e.Kind {
+		case Invoke:
+			fmt.Fprintf(&b, "inv %s %s.%s %s\n", e.Thread, e.Object, e.Method, e.Arg)
+		case Respond:
+			fmt.Fprintf(&b, "res %s %s.%s %s\n", e.Thread, e.Object, e.Method, e.Ret)
+		}
+	}
+	return b.String()
+}
+
+// Parse reads the interchange format produced by Format.
+func Parse(src string) (History, error) {
+	var h History
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("history: line %d: %w", ln+1, err)
+		}
+		h = append(h, e)
+	}
+	return h, nil
+}
+
+func parseLine(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return Event{}, fmt.Errorf("want 4 fields %q, got %d", "kind thread obj.method value", len(fields))
+	}
+	var kind EventKind
+	switch fields[0] {
+	case "inv":
+		kind = Invoke
+	case "res":
+		kind = Respond
+	default:
+		return Event{}, fmt.Errorf("unknown action kind %q", fields[0])
+	}
+	t, err := parseThread(fields[1])
+	if err != nil {
+		return Event{}, err
+	}
+	dot := strings.LastIndexByte(fields[2], '.')
+	if dot <= 0 || dot == len(fields[2])-1 {
+		return Event{}, fmt.Errorf("malformed target %q, want obj.method", fields[2])
+	}
+	o, f := ObjectID(fields[2][:dot]), Method(fields[2][dot+1:])
+	v, err := ParseValue(fields[3])
+	if err != nil {
+		return Event{}, err
+	}
+	if kind == Invoke {
+		return Inv(t, o, f, v), nil
+	}
+	return Res(t, o, f, v), nil
+}
+
+func parseThread(s string) (ThreadID, error) {
+	if !strings.HasPrefix(s, "t") {
+		return 0, fmt.Errorf("malformed thread id %q, want tN", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("malformed thread id %q: %w", s, err)
+	}
+	return ThreadID(n), nil
+}

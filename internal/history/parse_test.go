@@ -1,0 +1,75 @@
+package history
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFormatParse(t *testing.T) {
+	for _, h := range []History{fig3H1(), fig3H2(), fig3H3(), {}} {
+		src := Format(h)
+		got, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(Format(h)): %v", err)
+		}
+		if len(h) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, h) {
+			t.Errorf("round trip mismatch:\n got %v\nwant %v", got, h)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+# history H2 of Figure 3
+inv t1 E.exchange 3
+inv t2 E.exchange 4
+
+res t1 E.exchange (true,4)
+res t2 E.exchange (true,3)
+# trailing comment
+`
+	h, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(h) != 4 || !h.IsComplete() {
+		t.Errorf("parsed %d events, want 4 complete: %v", len(h), h)
+	}
+}
+
+func TestParseDottedObjectNames(t *testing.T) {
+	// Nested object ids like AR.E[3] are kept intact; the method is the
+	// segment after the last dot.
+	h, err := Parse("inv t1 AR.E[3].exchange 5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if h[0].Object != "AR.E[3]" || h[0].Method != "exchange" {
+		t.Errorf("got object %q method %q", h[0].Object, h[0].Method)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"inv t1 E.exchange",              // missing value
+		"zap t1 E.exchange 3",            // bad kind
+		"inv x1 E.exchange 3",            // bad thread
+		"inv tX E.exchange 3",            // bad thread number
+		"inv t1 Eexchange 3",             // no dot
+		"inv t1 .exchange 3",             // empty object
+		"inv t1 E. 3",                    // empty method
+		"inv t1 E.exchange (wibble)",     // bad value
+		"inv t1 E.exchange 3 extra junk", // too many fields
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("Parse(%q) error should cite line 1: %v", src, err)
+		}
+	}
+}

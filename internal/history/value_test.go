@@ -1,0 +1,127 @@
+package history
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		want string
+	}{
+		{"unit", Unit(), "()"},
+		{"true", Bool(true), "true"},
+		{"false", Bool(false), "false"},
+		{"int", Int(7), "7"},
+		{"negative int", Int(-42), "-42"},
+		{"zero int", Int(0), "0"},
+		{"pair ok", Pair(true, 4), "(true,4)"},
+		{"pair fail", Pair(false, 7), "(false,7)"},
+		{"pair negative", Pair(true, -1), "(true,-1)"},
+		{"invalid zero", Value{}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Value
+		wantErr bool
+	}{
+		{in: "()", want: Unit()},
+		{in: "true", want: Bool(true)},
+		{in: "false", want: Bool(false)},
+		{in: "17", want: Int(17)},
+		{in: "-3", want: Int(-3)},
+		{in: "(true,4)", want: Pair(true, 4)},
+		{in: "(false,0)", want: Pair(false, 0)},
+		{in: "( true , 12 )", want: Pair(true, 12)},
+		{in: "  42  ", want: Int(42)},
+		{in: "garbage", wantErr: true},
+		{in: "(true)", wantErr: true},
+		{in: "(maybe,1)", wantErr: true},
+		{in: "(true,x)", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := ParseValue(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseValue(%q) = %v, want error", tt.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseValue(%q) unexpected error: %v", tt.in, err)
+			}
+			if got != tt.want {
+				t.Errorf("ParseValue(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestValueRoundTrip_Quick checks ParseValue ∘ String = id over the whole
+// value universe.
+func TestValueRoundTrip_Quick(t *testing.T) {
+	f := func(kindSel uint8, b bool, n int64) bool {
+		var v Value
+		switch kindSel % 4 {
+		case 0:
+			v = Unit()
+		case 1:
+			v = Bool(b)
+		case 2:
+			v = Int(n)
+		case 3:
+			v = Pair(b, n)
+		}
+		got, err := ParseValue(v.String())
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueRoundTripExtremes(t *testing.T) {
+	for _, v := range []Value{Int(math.MaxInt64), Int(math.MinInt64), Pair(true, math.MaxInt64), Pair(false, math.MinInt64)} {
+		got, err := ParseValue(v.String())
+		if err != nil || got != v {
+			t.Errorf("round trip of %v failed: got %v, err %v", v, got, err)
+		}
+	}
+}
+
+func TestValueComparable(t *testing.T) {
+	// Values must be usable as map keys; identical constructions collide.
+	m := map[Value]int{}
+	m[Pair(true, 4)]++
+	m[Pair(true, 4)]++
+	m[Pair(false, 4)]++
+	if m[Pair(true, 4)] != 2 || m[Pair(false, 4)] != 1 {
+		t.Errorf("value map semantics broken: %v", m)
+	}
+}
+
+func TestValueIsZero(t *testing.T) {
+	if !(Value{}).IsZero() {
+		t.Error("zero Value should report IsZero")
+	}
+	for _, v := range []Value{Unit(), Bool(false), Int(0), Pair(false, 0)} {
+		if v.IsZero() {
+			t.Errorf("%v should not report IsZero", v)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package model_test
+
+import (
+	"testing"
+
+	"calgo/internal/model"
+	"calgo/internal/rg"
+	"calgo/internal/sched"
+	"calgo/internal/spec"
+)
+
+func exploreDS(t *testing.T, cfg model.DSConfig, maxStates int) sched.Stats {
+	t.Helper()
+	init := model.NewDualStack(cfg)
+	stats, err := sched.Explore(init, sched.Options{
+		Terminal:      model.VerifyCAL(spec.NewDualStack(init.Object()), nil, true),
+		AllowDeadlock: true,
+		MaxStates:     maxStates,
+	})
+	if err != nil {
+		t.Fatalf("exploration failed: %v", err)
+	}
+	return stats
+}
+
+func TestDualStackModelPushPop(t *testing.T) {
+	stats := exploreDS(t, model.DSConfig{Programs: [][]model.StackOp{
+		{model.Push(7)},
+		{model.Pop()},
+	}}, 2_000_000)
+	t.Logf("push||pop: %+v", stats)
+	if stats.Terminals == 0 {
+		t.Error("no terminal states")
+	}
+}
+
+func TestDualStackModelTwoPushersOnePopper(t *testing.T) {
+	stats := exploreDS(t, model.DSConfig{Programs: [][]model.StackOp{
+		{model.Push(1)},
+		{model.Push(2)},
+		{model.Pop()},
+	}}, 4_000_000)
+	t.Logf("2 push || pop: %+v", stats)
+}
+
+func TestDualStackModelTwoPoppers(t *testing.T) {
+	stats := exploreDS(t, model.DSConfig{Programs: [][]model.StackOp{
+		{model.Pop()},
+		{model.Pop()},
+		{model.Push(9)},
+	}}, 4_000_000)
+	t.Logf("2 pop || push: %+v", stats)
+}
+
+func TestDualStackModelRepeatedOps(t *testing.T) {
+	stats := exploreDS(t, model.DSConfig{Programs: [][]model.StackOp{
+		{model.Push(1), model.Pop()},
+		{model.Pop(), model.Push(2)},
+	}}, 4_000_000)
+	t.Logf("mixed 2x2: %+v", stats)
+}
+
+// TestDualStackModelOutcomeCoverage: fulfilments, cancellations and
+// ordinary pops all occur across the interleavings.
+func TestDualStackModelOutcomeCoverage(t *testing.T) {
+	init := model.NewDualStack(model.DSConfig{Programs: [][]model.StackOp{
+		{model.Push(7)},
+		{model.Pop()},
+	}})
+	fulfilments, cancels, ordinary := 0, 0, 0
+	_, err := sched.Explore(init, sched.Options{
+		AllowDeadlock: true,
+		Terminal: func(st sched.State) error {
+			s := st.(*model.DSState)
+			for _, el := range s.Trace {
+				switch {
+				case el.Size() == 2:
+					fulfilments++
+				case el.Ops[0].Method == spec.MethodPop && !el.Ops[0].Ret.B:
+					cancels++
+				case el.Ops[0].Method == spec.MethodPop:
+					ordinary++
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fulfilments == 0 {
+		t.Error("no execution fulfilled a waiting pop")
+	}
+	if cancels == 0 {
+		t.Error("no execution cancelled a reservation")
+	}
+	if ordinary == 0 {
+		t.Error("no execution popped an ordinary data node")
+	}
+	t.Logf("outcomes: %d fulfilments, %d cancellations, %d ordinary pops", fulfilments, cancels, ordinary)
+}
+
+func TestDualStackModelDefaults(t *testing.T) {
+	s := model.NewDualStack(model.DSConfig{})
+	if s.Object() != "DS" || !s.Done() {
+		t.Error("defaults wrong")
+	}
+	if len(s.History()) != 0 || len(s.AuxTrace()) != 0 {
+		t.Error("initial state not empty")
+	}
+}
+
+// TestExchangerModelFourThreads is the deepest exploration in the suite
+// (≈2.5M states); skipped in -short mode.
+func TestExchangerModelFourThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2.5M-state exploration skipped in -short mode")
+	}
+	init := model.NewExchanger(model.ExchangerConfig{Programs: [][]int64{{1}, {2}, {3}, {4}}})
+	stats, err := sched.Explore(init, sched.Options{
+		Invariant: func(st sched.State) error {
+			if err := model.InvariantJ(st); err != nil {
+				return err
+			}
+			return model.ProofOutline(st)
+		},
+		Transition: rg.Hook(true),
+		Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+		MaxStates:  3_000_000,
+	})
+	if err != nil {
+		t.Fatalf("exploration failed: %v", err)
+	}
+	t.Logf("4 threads x 1 op: %+v", stats)
+	if stats.States < 2_000_000 {
+		t.Errorf("expected ≥2M states, explored %d", stats.States)
+	}
+}

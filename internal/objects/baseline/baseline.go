@@ -1,0 +1,138 @@
+// Package baseline provides coarse-grained lock-based implementations of
+// the paper's objects — a stack and an exchanger — used as comparison
+// points by the benchmark harness. They are correct and simple, and their
+// throughput collapse under contention is the behaviour the elimination
+// stack ([10]) and the CAS exchanger are designed to beat.
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"calgo/internal/history"
+)
+
+// LockStack is a mutex-protected LIFO stack of int64 values.
+type LockStack struct {
+	mu    sync.Mutex
+	items []int64
+}
+
+// NewLockStack returns an empty lock-based stack.
+func NewLockStack() *LockStack { return &LockStack{} }
+
+// Push appends v.
+func (s *LockStack) Push(_ history.ThreadID, v int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, v)
+}
+
+// Pop removes and returns the top value, or (false, 0) when empty.
+func (s *LockStack) Pop(_ history.ThreadID) (bool, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return false, 0
+	}
+	v := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return true, v
+}
+
+// Len returns the current depth.
+func (s *LockStack) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// LockQueue is a mutex-protected FIFO queue of int64 values.
+type LockQueue struct {
+	mu    sync.Mutex
+	items []int64
+}
+
+// NewLockQueue returns an empty lock-based queue.
+func NewLockQueue() *LockQueue { return &LockQueue{} }
+
+// Enq appends v.
+func (q *LockQueue) Enq(_ history.ThreadID, v int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}
+
+// Deq removes and returns the head value, or (false, 0) when empty.
+func (q *LockQueue) Deq(_ history.ThreadID) (bool, int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return false, 0
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return true, v
+}
+
+// Len returns the current depth.
+func (q *LockQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// waiter is a parked exchange operation.
+type waiter struct {
+	v  int64
+	ch chan int64
+}
+
+// LockExchanger is a monitor-style exchanger: a slot guarded by a mutex
+// plus a channel hand-off. Functionally equivalent to the CAS exchanger
+// but serializing all arrivals through one lock.
+type LockExchanger struct {
+	mu      sync.Mutex
+	waiting *waiter
+	timeout time.Duration
+}
+
+// NewLockExchanger returns a lock-based exchanger whose unpaired
+// operations fail after timeout.
+func NewLockExchanger(timeout time.Duration) *LockExchanger {
+	return &LockExchanger{timeout: timeout}
+}
+
+// Exchange offers v; it returns (true, w) when paired with a concurrent
+// partner offering w and (false, v) on timeout.
+func (e *LockExchanger) Exchange(_ history.ThreadID, v int64) (bool, int64) {
+	e.mu.Lock()
+	if w := e.waiting; w != nil {
+		e.waiting = nil
+		e.mu.Unlock()
+		w.ch <- v
+		return true, w.v
+	}
+	me := &waiter{v: v, ch: make(chan int64, 1)}
+	e.waiting = me
+	e.mu.Unlock()
+
+	timer := time.NewTimer(e.timeout)
+	defer timer.Stop()
+	select {
+	case d := <-me.ch:
+		return true, d
+	case <-timer.C:
+	}
+	// Timed out; withdraw unless a partner claimed us concurrently.
+	e.mu.Lock()
+	if e.waiting == me {
+		e.waiting = nil
+		e.mu.Unlock()
+		return false, v
+	}
+	e.mu.Unlock()
+	// A partner removed us from the slot before we withdrew: its value
+	// is already on (or about to hit) the channel.
+	return true, <-me.ch
+}

@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLockStackLIFO(t *testing.T) {
+	s := NewLockStack()
+	if ok, _ := s.Pop(1); ok {
+		t.Error("pop on empty must fail")
+	}
+	for _, v := range []int64{1, 2, 3} {
+		s.Push(1, v)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	for _, want := range []int64{3, 2, 1} {
+		ok, v := s.Pop(1)
+		if !ok || v != want {
+			t.Fatalf("Pop = (%v,%d), want (true,%d)", ok, v, want)
+		}
+	}
+}
+
+func TestLockStackConcurrent(t *testing.T) {
+	s := NewLockStack()
+	const workers = 8
+	const per = 500
+	var wg sync.WaitGroup
+	var popped sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := int64(w*100_000 + i)
+				s.Push(0, v)
+				if ok, got := s.Pop(0); ok {
+					if _, dup := popped.LoadOrStore(got, true); dup {
+						t.Errorf("value %d popped twice", got)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Errorf("stack should be empty, has %d", s.Len())
+	}
+}
+
+func TestLockQueueFIFO(t *testing.T) {
+	q := NewLockQueue()
+	if ok, _ := q.Deq(1); ok {
+		t.Error("deq on empty must fail")
+	}
+	for _, v := range []int64{1, 2, 3} {
+		q.Enq(1, v)
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	for _, want := range []int64{1, 2, 3} {
+		ok, v := q.Deq(1)
+		if !ok || v != want {
+			t.Fatalf("Deq = (%v,%d), want (true,%d)", ok, v, want)
+		}
+	}
+}
+
+func TestLockQueueConcurrent(t *testing.T) {
+	q := NewLockQueue()
+	const workers = 8
+	const per = 300
+	var wg sync.WaitGroup
+	var deqd sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enq(0, int64(w*100_000+i))
+				if ok, v := q.Deq(0); ok {
+					if _, dup := deqd.LoadOrStore(v, true); dup {
+						t.Errorf("value %d dequeued twice", v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Errorf("queue should be empty, has %d", q.Len())
+	}
+}
+
+func TestLockExchangerTimeout(t *testing.T) {
+	e := NewLockExchanger(time.Millisecond)
+	ok, v := e.Exchange(1, 42)
+	if ok || v != 42 {
+		t.Errorf("Exchange = (%v,%d), want (false,42)", ok, v)
+	}
+}
+
+func TestLockExchangerPairs(t *testing.T) {
+	e := NewLockExchanger(time.Second)
+	var wg sync.WaitGroup
+	var ok1 bool
+	var v1 int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ok1, v1 = e.Exchange(1, 3)
+	}()
+	ok2, v2 := e.Exchange(2, 4)
+	wg.Wait()
+	if !ok1 || !ok2 {
+		t.Fatalf("both should succeed: (%v,%d) (%v,%d)", ok1, v1, ok2, v2)
+	}
+	if v1+v2 != 7 || v1 == v2 {
+		t.Errorf("values did not cross: %d %d", v1, v2)
+	}
+}
+
+func TestLockExchangerStress(t *testing.T) {
+	e := NewLockExchanger(10 * time.Millisecond)
+	const workers = 8
+	const per = 100
+	var wg sync.WaitGroup
+	results := make([][]int64, workers) // offered value -> received (or -1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				ok, got := e.Exchange(0, v)
+				if ok {
+					results[w] = append(results[w], v, got)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every successful pairing must be mutual.
+	recv := make(map[int64]int64)
+	for _, rs := range results {
+		for i := 0; i < len(rs); i += 2 {
+			recv[rs[i]] = rs[i+1]
+		}
+	}
+	for in, out := range recv {
+		back, ok := recv[out]
+		if !ok || back != in {
+			t.Fatalf("pairing not mutual: %d -> %d -> %v", in, out, back)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package dualqueue implements a lock-free dual FIFO queue in the style
+// of Scherer and Scott's dualqueue (the algorithm underlying
+// java.util.concurrent.SynchronousQueue's fair mode): a Michael-Scott
+// queue whose nodes are either data or *reservations*. A dequeuer that
+// finds no data appends a reservation and waits; an enqueuer that finds
+// reservations at the head fulfils the oldest one instead of appending.
+//
+// Together with the dual stack, this completes the paper's §6 observation
+// about dual data structures: the fulfilling CAS logs the CA-element
+// {(enqueuer, enq(v) ▷ true), (dequeuer, deq() ▷ (true,v))} in one atomic
+// step. Because the queue is always uniformly data or uniformly
+// reservations, fulfilments (and reservation cancellations) occur only
+// when the abstract queue is empty — exactly when the DualQueue
+// specification admits them under FIFO order.
+package dualqueue
+
+import (
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+type settle struct {
+	value     int64
+	cancelled bool
+}
+
+// node is a queue node: a data node (isRes == false) or a reservation
+// whose hole is CASed from nil to a fulfilment or cancellation.
+type node struct {
+	isRes bool
+	data  int64
+	tid   history.ThreadID // reserving thread (reservations only)
+	hole  atomic.Pointer[settle]
+	next  atomic.Pointer[node]
+}
+
+// Queue is a lock-free dual FIFO queue of int64 values.
+type Queue struct {
+	id   history.ObjectID
+	head atomic.Pointer[node] // dummy-headed
+	tail atomic.Pointer[node]
+	wait exchanger.WaitPolicy
+	rec  *recorder.Recorder
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithRecorder enables CA-trace instrumentation.
+func WithRecorder(r *recorder.Recorder) Option {
+	return func(q *Queue) { q.rec = r }
+}
+
+// WithWaitPolicy sets how a waiting dequeuer spins between checks of its
+// reservation.
+func WithWaitPolicy(w exchanger.WaitPolicy) Option {
+	return func(q *Queue) { q.wait = w }
+}
+
+// New returns an empty dual queue identified as object id.
+func New(id history.ObjectID, opts ...Option) *Queue {
+	q := &Queue{id: id, wait: exchanger.Spin(1)}
+	dummy := &node{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// ID returns the queue's object identifier.
+func (q *Queue) ID() history.ObjectID { return q.id }
+
+// Enq appends v on behalf of thread tid, fulfilling the oldest waiting
+// dequeuer when reservations are queued.
+//
+// As in Scherer & Scott's dualqueue, the mode is decided by the TAIL
+// node's kind (the queue is uniformly data or uniformly reservations, so
+// the tail's kind is the queue's kind): deciding by the head's first node
+// would race with a drain-and-refill and let a data node be appended
+// behind an open reservation, breaking FIFO.
+func (q *Queue) Enq(tid history.ThreadID, v int64) {
+	n := &node{data: v}
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		if tail == head || !tail.isRes {
+			// Empty or all-data: ordinary MS-queue append.
+			next := tail.next.Load()
+			if tail != q.tail.Load() {
+				continue
+			}
+			if next != nil {
+				q.tail.CompareAndSwap(tail, next)
+				continue
+			}
+			if q.enqCAS(tail, n, tid, v) {
+				q.tail.CompareAndSwap(tail, n)
+				return
+			}
+			continue
+		}
+		// All-reservations: fulfil the oldest.
+		first := head.next.Load()
+		if head != q.head.Load() || first == nil {
+			continue
+		}
+		if !first.isRes {
+			continue // queue flipped to data under us: retry
+		}
+		if q.fulfil(first, tid, v) {
+			q.head.CompareAndSwap(head, first) // dequeue the fulfilled node
+			return
+		}
+		// Settled by someone else (fulfilled or cancelled): help dequeue
+		// the dead reservation and retry.
+		q.head.CompareAndSwap(head, first)
+	}
+}
+
+// Deq returns the head value, waiting for an enqueue when the queue is
+// empty.
+func (q *Queue) Deq(tid history.ThreadID) int64 {
+	v, _ := q.deq(tid, -1)
+	return v
+}
+
+// TryDeq attempts to dequeue, waiting at most attempts rounds once a
+// reservation is installed; (0, false) means the reservation was
+// cancelled unfulfilled.
+func (q *Queue) TryDeq(tid history.ThreadID, attempts int) (int64, bool) {
+	return q.deq(tid, attempts)
+}
+
+// deq decides its mode by the tail's kind, symmetrically to Enq: it
+// appends a reservation only when the queue is empty or already holds
+// reservations, preserving uniformity.
+func (q *Queue) deq(tid history.ThreadID, attempts int) (int64, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		if tail == head || tail.isRes {
+			// Empty or all-reservations: append our own reservation.
+			next := tail.next.Load()
+			if tail != q.tail.Load() {
+				continue
+			}
+			if next != nil {
+				q.tail.CompareAndSwap(tail, next)
+				continue
+			}
+			r := &node{isRes: true, tid: tid}
+			if !tail.next.CompareAndSwap(nil, r) {
+				continue
+			}
+			q.tail.CompareAndSwap(tail, r)
+			if v, ok := q.await(r, tid, attempts); ok {
+				return v, true
+			}
+			if attempts >= 0 {
+				return 0, false
+			}
+			continue
+		}
+		// All-data: ordinary MS-queue dequeue from the head.
+		first := head.next.Load()
+		if head != q.head.Load() || first == nil {
+			continue
+		}
+		if first.isRes {
+			// Leftover settled reservation at the head of a now-data
+			// queue: help dequeue it.
+			if first.hole.Load() != nil {
+				q.head.CompareAndSwap(head, first)
+			}
+			continue
+		}
+		if q.deqCAS(head, first, tid) {
+			return first.data, true
+		}
+	}
+}
+
+// await waits for the reservation to settle; with a bounded budget it
+// attempts cancellation, which can lose to a concurrent fulfilment.
+func (q *Queue) await(r *node, tid history.ThreadID, attempts int) (int64, bool) {
+	for round := 0; ; round++ {
+		if f := r.hole.Load(); f != nil {
+			return f.value, true
+		}
+		if attempts >= 0 && round >= attempts {
+			if q.cancel(r, tid) {
+				return 0, false
+			}
+			f := r.hole.Load()
+			return f.value, true
+		}
+		q.wait.Wait()
+	}
+}
+
+func (q *Queue) enqCAS(tail, n *node, tid history.ThreadID, v int64) bool {
+	if q.rec == nil {
+		return tail.next.CompareAndSwap(nil, n)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = tail.next.CompareAndSwap(nil, n)
+		if ok {
+			log(trace.Singleton(trace.Operation{
+				Thread: tid, Object: q.id, Method: spec.MethodEnq,
+				Arg: history.Int(v), Ret: history.Bool(true),
+			}))
+		}
+	})
+	return ok
+}
+
+func (q *Queue) deqCAS(head, first *node, tid history.ThreadID) bool {
+	if q.rec == nil {
+		return q.head.CompareAndSwap(head, first)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = q.head.CompareAndSwap(head, first)
+		if ok {
+			log(trace.Singleton(trace.Operation{
+				Thread: tid, Object: q.id, Method: spec.MethodDeq,
+				Arg: history.Unit(), Ret: history.Pair(true, first.data),
+			}))
+		}
+	})
+	return ok
+}
+
+// fulfil settles the oldest reservation with our value, logging the
+// enq/deq pair atomically with the CAS.
+func (q *Queue) fulfil(r *node, tid history.ThreadID, v int64) bool {
+	f := &settle{value: v}
+	if q.rec == nil {
+		return r.hole.CompareAndSwap(nil, f)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = r.hole.CompareAndSwap(nil, f)
+		if ok {
+			log(spec.QFulfilmentElement(q.id, tid, v, r.tid))
+		}
+	})
+	return ok
+}
+
+// cancel settles our own reservation as cancelled — a failed dequeue on
+// the (necessarily empty) abstract queue.
+func (q *Queue) cancel(r *node, tid history.ThreadID) bool {
+	c := &settle{cancelled: true}
+	if q.rec == nil {
+		return r.hole.CompareAndSwap(nil, c)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = r.hole.CompareAndSwap(nil, c)
+		if ok {
+			log(trace.Singleton(trace.Operation{
+				Thread: tid, Object: q.id, Method: spec.MethodDeq,
+				Arg: history.Unit(), Ret: history.Pair(false, 0),
+			}))
+		}
+	})
+	return ok
+}
+
+// Len counts queued data nodes; a test helper.
+func (q *Queue) Len() int {
+	n := 0
+	for c := q.head.Load().next.Load(); c != nil; c = c.next.Load() {
+		if !c.isRes {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+package dualqueue
+
+import (
+	"sync"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objDQ history.ObjectID = "DQ"
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(objDQ)
+	for _, v := range []int64{1, 2, 3} {
+		q.Enq(1, v)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for _, want := range []int64{1, 2, 3} {
+		if got := q.Deq(1); got != want {
+			t.Fatalf("Deq = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestTryDeqCancelsOnEmpty(t *testing.T) {
+	rec := recorder.New()
+	q := New(objDQ, WithRecorder(rec), WithWaitPolicy(exchanger.NoWait{}))
+	if v, ok := q.TryDeq(1, 0); ok {
+		t.Fatalf("TryDeq on empty = (%d,true), want cancellation", v)
+	}
+	got := rec.View(objDQ)
+	want := trace.Trace{trace.Singleton(trace.Operation{
+		Thread: 1, Object: objDQ, Method: spec.MethodDeq,
+		Arg: history.Unit(), Ret: history.Pair(false, 0),
+	})}
+	if !got.Equal(want) {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+	// The queue remains usable past the dead reservation.
+	q.Enq(2, 7)
+	if v := q.Deq(2); v != 7 {
+		t.Errorf("Deq after cancel = %d, want 7", v)
+	}
+}
+
+func TestFulfilmentPairsOldestWaiter(t *testing.T) {
+	rec := recorder.New()
+	q := New(objDQ, WithRecorder(rec), WithWaitPolicy(exchanger.Spin(1)))
+
+	first := make(chan int64)
+	second := make(chan int64)
+	go func() { first <- q.Deq(2) }()
+	// Wait for t2's reservation before t3 queues behind it.
+	for q.head.Load().next.Load() == nil {
+	}
+	go func() { second <- q.Deq(3) }()
+	for {
+		n := q.head.Load().next.Load()
+		if n != nil && n.next.Load() != nil {
+			break
+		}
+	}
+	q.Enq(1, 10) // must fulfil t2 (FIFO), not t3
+	if got := <-first; got != 10 {
+		t.Fatalf("first waiter got %d, want 10", got)
+	}
+	q.Enq(4, 20)
+	if got := <-second; got != 20 {
+		t.Fatalf("second waiter got %d, want 20", got)
+	}
+	tr := rec.View(objDQ)
+	want := trace.Trace{
+		spec.QFulfilmentElement(objDQ, 1, 10, 2),
+		spec.QFulfilmentElement(objDQ, 4, 20, 3),
+	}
+	if !tr.Equal(want) {
+		t.Errorf("trace = %s, want %s", tr, want)
+	}
+	if _, err := spec.Accepts(spec.NewDualQueue(objDQ), tr); err != nil {
+		t.Errorf("trace not admitted: %v", err)
+	}
+}
+
+func TestConcurrentStressNoLossNoDup(t *testing.T) {
+	q := New(objDQ, WithWaitPolicy(exchanger.Spin(1)))
+	const pairs = 4
+	const per = 300
+	var wg sync.WaitGroup
+	var taken sync.Map
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				q.Enq(tid, int64(p*100_000+i))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				v := q.Deq(tid)
+				if _, dup := taken.LoadOrStore(v, true); dup {
+					t.Errorf("value %d dequeued twice", v)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	n := 0
+	taken.Range(func(_, _ any) bool { n++; return true })
+	if n != pairs*per {
+		t.Errorf("dequeued %d distinct values, want %d", n, pairs*per)
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue should hold no data, has %d", q.Len())
+	}
+}
+
+// TestRuntimeVerificationDualQueue verifies live runs against the
+// DualQueue CA-spec, including the FIFO-specific constraint that
+// fulfilments are only admitted on the empty queue.
+func TestRuntimeVerificationDualQueue(t *testing.T) {
+	rec := recorder.New()
+	q := New(objDQ, WithRecorder(rec), WithWaitPolicy(exchanger.Spin(1)))
+	var cap history.Capture
+
+	const pairs = 3
+	const per = 15
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, objDQ, spec.MethodEnq, history.Int(v))
+				q.Enq(tid, v)
+				cap.Res(tid, objDQ, spec.MethodEnq, history.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, objDQ, spec.MethodDeq, history.Unit())
+				v := q.Deq(tid)
+				cap.Res(tid, objDQ, spec.MethodDeq, history.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	h := cap.History()
+	tr := rec.View(objDQ)
+	sp := spec.NewDualQueue(objDQ)
+	if _, err := spec.Accepts(sp, tr); err != nil {
+		t.Fatalf("recorded trace violates dual-queue spec: %v", err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with recorded trace: %v", err)
+	}
+	r, err := check.CAL(h, sp)
+	if err != nil {
+		t.Fatalf("CAL: %v", err)
+	}
+	if !r.OK {
+		t.Fatalf("dual queue history not CA-linearizable: %s", r.Reason)
+	}
+}
+
+func TestID(t *testing.T) {
+	if New("X").ID() != "X" {
+		t.Error("ID mismatch")
+	}
+}

@@ -1,0 +1,247 @@
+// Package dualstack implements a lock-free dual stack in the style of
+// Scherer and Scott's dual data structures (discussed in the paper's
+// related work, §6): a LIFO stack whose Pop waits for a value instead of
+// failing when the stack is empty. A popper that finds no data pushes a
+// *reservation* node; a pusher that finds an open reservation on top
+// fulfils it by CASing its value into the reservation's hole instead of
+// pushing a node.
+//
+// The paper observes that dual data structures are CA-objects and that
+// CA-traces obviate Scherer & Scott's separate "request" and "follow-up"
+// linearization points: here a fulfilment logs the single CA-element
+// {(pusher, push(v) ▷ true), (popper, pop() ▷ (true,v))} atomically at the
+// fulfilling CAS, and the object is verified against the DualStack
+// CA-specification.
+//
+// Invariant: the stack is always all-data or all-reservations — a push
+// never stacks data on an open reservation (it fulfils it instead), so a
+// cancelled or fulfilled reservation always corresponds to an empty
+// abstract stack.
+package dualstack
+
+import (
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// node is either a data node (reservation == nil) or a reservation whose
+// hole is CASed from nil to a fulfilment (or to the cancel sentinel).
+type node struct {
+	data int64
+	next *node
+	// hole is non-nil only for reservation nodes: it is CASed from nil
+	// to the fulfilling value, or to the cancelled sentinel.
+	hole *atomic.Pointer[fulfilment]
+	tid  history.ThreadID // reserving thread (reservations only)
+}
+
+type fulfilment struct {
+	value     int64
+	cancelled bool
+}
+
+// Stack is a lock-free dual LIFO stack of int64 values.
+type Stack struct {
+	id   history.ObjectID
+	top  atomic.Pointer[node]
+	wait exchanger.WaitPolicy
+	rec  *recorder.Recorder
+}
+
+// Option configures a Stack.
+type Option func(*Stack)
+
+// WithRecorder enables CA-trace instrumentation.
+func WithRecorder(r *recorder.Recorder) Option {
+	return func(s *Stack) { s.rec = r }
+}
+
+// WithWaitPolicy sets how a waiting popper spins between checks of its
+// reservation (and how long TryPop waits before cancelling).
+func WithWaitPolicy(w exchanger.WaitPolicy) Option {
+	return func(s *Stack) { s.wait = w }
+}
+
+// New returns an empty dual stack identified as object id.
+func New(id history.ObjectID, opts ...Option) *Stack {
+	s := &Stack{id: id, wait: exchanger.Spin(1)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ID returns the stack's object identifier.
+func (s *Stack) ID() history.ObjectID { return s.id }
+
+// Push pushes v on behalf of thread tid, fulfilling a waiting popper when
+// one is available.
+func (s *Stack) Push(tid history.ThreadID, v int64) {
+	for {
+		h := s.top.Load()
+		if h != nil && h.hole != nil {
+			f := h.hole.Load()
+			switch {
+			case f == nil:
+				// Open reservation on top: fulfil it.
+				if s.fulfil(h, tid, v) {
+					s.top.CompareAndSwap(h, h.next) // help unlink
+					return
+				}
+				// Lost the race (fulfilled or cancelled by others): the
+				// reservation is settled, help unlink and retry.
+				s.top.CompareAndSwap(h, h.next)
+			default:
+				// Settled reservation: help unlink and retry.
+				s.top.CompareAndSwap(h, h.next)
+			}
+			continue
+		}
+		n := &node{data: v, next: h}
+		if s.pushCAS(h, n, tid, v) {
+			return
+		}
+	}
+}
+
+// Pop returns the top value, waiting for a push when the stack is empty.
+func (s *Stack) Pop(tid history.ThreadID) int64 {
+	v, _ := s.pop(tid, -1)
+	return v
+}
+
+// TryPop attempts to pop for at most attempts wait rounds once a
+// reservation is installed; it returns (0, false) if the reservation was
+// cancelled without being fulfilled.
+func (s *Stack) TryPop(tid history.ThreadID, attempts int) (int64, bool) {
+	return s.pop(tid, attempts)
+}
+
+// pop implements Pop (attempts < 0) and TryPop (attempts >= 0).
+func (s *Stack) pop(tid history.ThreadID, attempts int) (int64, bool) {
+	for {
+		h := s.top.Load()
+		switch {
+		case h == nil || h.hole != nil:
+			// Empty stack or reservations on top. Settled reservations
+			// get unlinked; otherwise install our own reservation.
+			if h != nil && h.hole.Load() != nil {
+				s.top.CompareAndSwap(h, h.next)
+				continue
+			}
+			var hole atomic.Pointer[fulfilment]
+			r := &node{next: h, hole: &hole, tid: tid}
+			if !s.top.CompareAndSwap(h, r) {
+				continue
+			}
+			if v, ok := s.await(r, tid, attempts); ok {
+				return v, true
+			}
+			if attempts >= 0 {
+				return 0, false
+			}
+			// Blocking pop never gives up; cancellation is only for
+			// TryPop, so await with attempts < 0 always returns a value.
+		default:
+			// Data on top: ordinary pop.
+			if s.popCAS(h, tid) {
+				return h.data, true
+			}
+		}
+	}
+}
+
+// await waits for the reservation to be fulfilled. With a bounded budget
+// it attempts cancellation when patience runs out; cancellation can lose
+// to a concurrent fulfilment, in which case the value is returned.
+func (s *Stack) await(r *node, tid history.ThreadID, attempts int) (int64, bool) {
+	for round := 0; ; round++ {
+		if f := r.hole.Load(); f != nil {
+			s.top.CompareAndSwap(r, r.next) // help unlink
+			return f.value, true
+		}
+		if attempts >= 0 && round >= attempts {
+			if s.cancel(r, tid) {
+				s.top.CompareAndSwap(r, r.next)
+				return 0, false
+			}
+			// Fulfilment won the race.
+			f := r.hole.Load()
+			s.top.CompareAndSwap(r, r.next)
+			return f.value, true
+		}
+		s.wait.Wait()
+	}
+}
+
+// pushCAS performs an ordinary data push, logging the singleton element
+// atomically with the successful CAS.
+func (s *Stack) pushCAS(h, n *node, tid history.ThreadID, v int64) bool {
+	if s.rec == nil {
+		return s.top.CompareAndSwap(h, n)
+	}
+	var ok bool
+	s.rec.Do(func(log func(trace.Element)) {
+		ok = s.top.CompareAndSwap(h, n)
+		if ok {
+			log(spec.PushElement(s.id, tid, v, true))
+		}
+	})
+	return ok
+}
+
+// popCAS performs an ordinary data pop.
+func (s *Stack) popCAS(h *node, tid history.ThreadID) bool {
+	if s.rec == nil {
+		return s.top.CompareAndSwap(h, h.next)
+	}
+	var ok bool
+	s.rec.Do(func(log func(trace.Element)) {
+		ok = s.top.CompareAndSwap(h, h.next)
+		if ok {
+			log(spec.PopElement(s.id, tid, true, h.data))
+		}
+	})
+	return ok
+}
+
+// fulfil CASes the reservation's hole from nil to our value, logging the
+// push/pop pair as one CA-element in the same atomic step — the dual-
+// structure analogue of the exchanger's XCHG instrumentation.
+func (s *Stack) fulfil(r *node, tid history.ThreadID, v int64) bool {
+	f := &fulfilment{value: v}
+	if s.rec == nil {
+		return r.hole.CompareAndSwap(nil, f)
+	}
+	var ok bool
+	s.rec.Do(func(log func(trace.Element)) {
+		ok = r.hole.CompareAndSwap(nil, f)
+		if ok {
+			log(spec.FulfilmentElement(s.id, tid, v, r.tid))
+		}
+	})
+	return ok
+}
+
+// cancel CASes the reservation's hole from nil to the cancelled sentinel.
+// A cancelled reservation corresponds to a failed pop on an empty stack
+// (the all-reservations invariant), logged as pop ▷ (false,0).
+func (s *Stack) cancel(r *node, tid history.ThreadID) bool {
+	c := &fulfilment{cancelled: true}
+	if s.rec == nil {
+		return r.hole.CompareAndSwap(nil, c)
+	}
+	var ok bool
+	s.rec.Do(func(log func(trace.Element)) {
+		ok = r.hole.CompareAndSwap(nil, c)
+		if ok {
+			log(spec.PopElement(s.id, tid, false, 0))
+		}
+	})
+	return ok
+}

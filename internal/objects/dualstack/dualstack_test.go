@@ -1,0 +1,180 @@
+package dualstack
+
+import (
+	"sync"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objDS history.ObjectID = "DS"
+
+func TestSequentialLIFO(t *testing.T) {
+	s := New(objDS)
+	for _, v := range []int64{1, 2, 3} {
+		s.Push(1, v)
+	}
+	for _, want := range []int64{3, 2, 1} {
+		if got := s.Pop(1); got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestTryPopCancelsOnEmpty(t *testing.T) {
+	rec := recorder.New()
+	s := New(objDS, WithRecorder(rec), WithWaitPolicy(exchanger.NoWait{}))
+	if v, ok := s.TryPop(1, 0); ok {
+		t.Fatalf("TryPop on empty = (%d,true), want cancellation", v)
+	}
+	got := rec.View(objDS)
+	want := trace.Trace{spec.PopElement(objDS, 1, false, 0)}
+	if !got.Equal(want) {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+	// The stack is reusable after a cancelled reservation.
+	s.Push(2, 7)
+	if v := s.Pop(2); v != 7 {
+		t.Errorf("Pop after cancel = %d, want 7", v)
+	}
+}
+
+func TestFulfilmentPairsWaitingPopper(t *testing.T) {
+	rec := recorder.New()
+	s := New(objDS, WithRecorder(rec), WithWaitPolicy(exchanger.Spin(1)))
+
+	done := make(chan int64)
+	go func() {
+		done <- s.Pop(2) // waits: stack is empty
+	}()
+	// Wait until the reservation is visible, then push.
+	for s.top.Load() == nil {
+	}
+	s.Push(1, 42)
+	if got := <-done; got != 42 {
+		t.Fatalf("waiting Pop = %d, want 42", got)
+	}
+	got := rec.View(objDS)
+	want := trace.Trace{spec.FulfilmentElement(objDS, 1, 42, 2)}
+	if !got.Equal(want) {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+	if _, err := spec.Accepts(spec.NewDualStack(objDS), got); err != nil {
+		t.Errorf("trace not admitted: %v", err)
+	}
+}
+
+func TestAllDataOrAllReservationsInvariant(t *testing.T) {
+	// A cancelled TryPop while data exists must not happen: data on top
+	// means TryPop pops it instead of reserving.
+	rec := recorder.New()
+	s := New(objDS, WithRecorder(rec), WithWaitPolicy(exchanger.NoWait{}))
+	s.Push(1, 5)
+	if v, ok := s.TryPop(2, 0); !ok || v != 5 {
+		t.Fatalf("TryPop with data = (%d,%v), want (5,true)", v, ok)
+	}
+	if _, err := spec.Accepts(spec.NewDualStack(objDS), rec.View(objDS)); err != nil {
+		t.Errorf("trace not admitted: %v", err)
+	}
+}
+
+func TestConcurrentStressNoLossNoDup(t *testing.T) {
+	s := New(objDS, WithWaitPolicy(exchanger.Spin(1)))
+	const pairs = 4
+	const per = 300
+	var wg sync.WaitGroup
+	var popped sync.Map
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				s.Push(tid, int64(p*100_000+i))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				v := s.Pop(tid)
+				if _, dup := popped.LoadOrStore(v, true); dup {
+					t.Errorf("value %d popped twice", v)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	n := 0
+	popped.Range(func(_, _ any) bool { n++; return true })
+	if n != pairs*per {
+		t.Errorf("popped %d distinct values, want %d", n, pairs*per)
+	}
+	if s.top.Load() != nil {
+		t.Error("stack should be physically empty")
+	}
+}
+
+// TestRuntimeVerificationDualStack is the §6 claim made executable: the
+// dual stack's runs are CA-linearizable w.r.t. the DualStack spec, with
+// fulfilments as single CA-elements (no request/follow-up split).
+func TestRuntimeVerificationDualStack(t *testing.T) {
+	rec := recorder.New()
+	s := New(objDS, WithRecorder(rec), WithWaitPolicy(exchanger.Spin(1)))
+	var cap history.Capture
+
+	const pairs = 3
+	const per = 15
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, objDS, spec.MethodPush, history.Int(v))
+				s.Push(tid, v)
+				cap.Res(tid, objDS, spec.MethodPush, history.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, objDS, spec.MethodPop, history.Unit())
+				v := s.Pop(tid)
+				cap.Res(tid, objDS, spec.MethodPop, history.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	h := cap.History()
+	tr := rec.View(objDS)
+	sp := spec.NewDualStack(objDS)
+	if _, err := spec.Accepts(sp, tr); err != nil {
+		t.Fatalf("recorded trace violates dual-stack spec: %v", err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with recorded trace: %v", err)
+	}
+	r, err := check.CAL(h, sp)
+	if err != nil {
+		t.Fatalf("CAL: %v", err)
+	}
+	if !r.OK {
+		t.Fatalf("dual stack history not CA-linearizable: %s", r.Reason)
+	}
+}
+
+func TestID(t *testing.T) {
+	if New("X").ID() != "X" {
+		t.Error("ID mismatch")
+	}
+}

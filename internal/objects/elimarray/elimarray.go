@@ -1,0 +1,116 @@
+// Package elimarray implements the elimination layer of the elimination
+// stack (§2.2): an array of K exchangers behind the single-exchanger
+// interface. A caller picks a random slot and attempts one exchange there;
+// spreading callers over K slots reduces contention on any one exchanger.
+//
+// Per §5, the elimination array "exposes the same specification as a single
+// exchanger": its view function F_AR relabels an exchange performed on any
+// E[i] as an exchange on AR, hiding the array from clients.
+package elimarray
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/trace"
+)
+
+// Slotter picks the elimination slot for one exchange attempt. It must be
+// safe for concurrent use. The default chooses uniformly at random, as in
+// the paper (line 4 of Figure 2).
+type Slotter func(k int) int
+
+// ElimArray is an array of K exchangers used as a single exchange channel.
+type ElimArray struct {
+	id   history.ObjectID
+	exs  []*exchanger.Exchanger
+	slot Slotter
+	rec  *recorder.Recorder
+}
+
+// Option configures an ElimArray.
+type Option func(*cfg)
+
+type cfg struct {
+	slot Slotter
+	wait exchanger.WaitPolicy
+	rec  *recorder.Recorder
+}
+
+// WithSlotter overrides slot selection; tests use it to force schedules.
+func WithSlotter(s Slotter) Option { return func(c *cfg) { c.slot = s } }
+
+// WithWaitPolicy sets the wait policy of every underlying exchanger.
+func WithWaitPolicy(w exchanger.WaitPolicy) Option { return func(c *cfg) { c.wait = w } }
+
+// WithRecorder instruments every underlying exchanger with the recorder.
+// Call RegisterViews to install F_AR.
+func WithRecorder(r *recorder.Recorder) Option { return func(c *cfg) { c.rec = r } }
+
+// New returns an elimination array with k slots, identified as object id.
+func New(id history.ObjectID, k int, opts ...Option) (*ElimArray, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("elimarray: need at least one slot, got %d", k)
+	}
+	c := cfg{
+		slot: func(k int) int { return rand.IntN(k) },
+		wait: exchanger.Spin(64),
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	a := &ElimArray{id: id, slot: c.slot, rec: c.rec}
+	for i := 0; i < k; i++ {
+		exOpts := []exchanger.Option{exchanger.WithWaitPolicy(c.wait)}
+		if c.rec != nil {
+			exOpts = append(exOpts, exchanger.WithRecorder(c.rec))
+		}
+		a.exs = append(a.exs, exchanger.New(SlotID(id, i), exOpts...))
+	}
+	return a, nil
+}
+
+// SlotID returns the object identifier of slot i of elimination array id.
+func SlotID(id history.ObjectID, i int) history.ObjectID {
+	return history.ObjectID(fmt.Sprintf("%s.E[%d]", id, i))
+}
+
+// ID returns the array's object identifier.
+func (a *ElimArray) ID() history.ObjectID { return a.id }
+
+// Size returns the number of slots K.
+func (a *ElimArray) Size() int { return len(a.exs) }
+
+// Exchange picks a slot and attempts a single exchange there on behalf of
+// thread tid (Figure 2, lines 3-6).
+func (a *ElimArray) Exchange(tid history.ThreadID, v int64) (bool, int64) {
+	return a.exs[a.slot(len(a.exs))].Exchange(tid, v)
+}
+
+// RegisterViews registers the array and its exchanger subobjects with the
+// recorder, installing the view function F_AR(E[i].S) = AR.S of §5.
+func (a *ElimArray) RegisterViews(rec *recorder.Recorder) error {
+	children := make([]history.ObjectID, len(a.exs))
+	for i, ex := range a.exs {
+		children[i] = ex.ID()
+	}
+	return rec.Register(a.id, children, a.relabel)
+}
+
+// relabel is F_AR: any exchange on a subobject becomes an exchange on AR.
+func (a *ElimArray) relabel(el trace.Element) (trace.Trace, bool) {
+	ops := make([]trace.Operation, len(el.Ops))
+	for i, op := range el.Ops {
+		op.Object = a.id
+		ops[i] = op
+	}
+	out, err := trace.NewElement(ops...)
+	if err != nil {
+		// Unreachable: relabeling preserves element validity.
+		return nil, false
+	}
+	return trace.Trace{out}, true
+}

@@ -1,0 +1,151 @@
+package elimarray
+
+import (
+	"sync"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objAR history.ObjectID = "AR"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(objAR, 0); err == nil {
+		t.Error("K=0 must be rejected")
+	}
+	a, err := New(objAR, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != 3 || a.ID() != objAR {
+		t.Errorf("Size=%d ID=%s", a.Size(), a.ID())
+	}
+}
+
+func TestSlotID(t *testing.T) {
+	if got := SlotID(objAR, 2); got != "AR.E[2]" {
+		t.Errorf("SlotID = %s", got)
+	}
+}
+
+func TestLoneExchangeFails(t *testing.T) {
+	a, err := New(objAR, 2, WithWaitPolicy(exchanger.NoWait{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := a.Exchange(1, 5); ok || v != 5 {
+		t.Errorf("Exchange = (%v,%d), want (false,5)", ok, v)
+	}
+}
+
+func TestForcedPairingThroughFixedSlot(t *testing.T) {
+	rec := recorder.New()
+	installed := make(chan struct{})
+	matched := make(chan struct{})
+	var once sync.Once
+	a, err := New(objAR, 4,
+		WithRecorder(rec),
+		WithSlotter(func(int) int { return 2 }), // always slot 2
+		WithWaitPolicy(exchanger.Func(func() {
+			once.Do(func() {
+				close(installed)
+				<-matched
+			})
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterViews(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var ok1 bool
+	var v1 int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ok1, v1 = a.Exchange(1, 10)
+	}()
+	<-installed
+	ok2, v2 := a.Exchange(2, 20)
+	close(matched)
+	wg.Wait()
+
+	if !ok1 || v1 != 20 || !ok2 || v2 != 10 {
+		t.Errorf("exchange results (%v,%d) (%v,%d)", ok1, v1, ok2, v2)
+	}
+	// Raw trace names the slot; the view relabels it to AR.
+	raw := rec.Snapshot()
+	if len(raw) != 1 || raw[0].Object != "AR.E[2]" {
+		t.Errorf("raw trace = %s", raw)
+	}
+	got := rec.View(objAR)
+	want := trace.Trace{spec.SwapElement(objAR, 1, 10, 2, 20)}
+	if !got.Equal(want) {
+		t.Errorf("View(AR) = %s, want %s", got, want)
+	}
+	if _, err := spec.Accepts(spec.NewElimArray(objAR), got); err != nil {
+		t.Errorf("view not admitted by elim-array spec: %v", err)
+	}
+}
+
+func TestStressSpreadAcrossSlots(t *testing.T) {
+	rec := recorder.New()
+	a, err := New(objAR, 4, WithRecorder(rec), WithWaitPolicy(exchanger.Spin(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RegisterViews(rec); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const per = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				a.Exchange(tid, int64(w*10_000+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Whatever happened, the AR view must satisfy the exchanger spec.
+	if _, err := spec.Accepts(spec.NewElimArray(objAR), rec.View(objAR)); err != nil {
+		t.Fatalf("stressed view violates spec: %v", err)
+	}
+	// And the raw per-slot traces must each satisfy their own spec.
+	for i := 0; i < a.Size(); i++ {
+		slot := SlotID(objAR, i)
+		if _, err := spec.Accepts(spec.NewExchanger(slot), rec.Snapshot().ByObject(slot)); err != nil {
+			t.Fatalf("slot %d trace violates spec: %v", i, err)
+		}
+	}
+}
+
+func TestDefaultSlotterCoversRange(t *testing.T) {
+	a, err := New(objAR, 8, WithWaitPolicy(exchanger.NoWait{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 4_000; i++ {
+		seen[a.slot(a.Size())] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("default slotter hit %d/8 slots", len(seen))
+	}
+	for s := range seen {
+		if s < 0 || s >= 8 {
+			t.Errorf("slot %d out of range", s)
+		}
+	}
+}

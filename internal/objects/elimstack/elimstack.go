@@ -1,0 +1,229 @@
+// Package elimstack implements the elimination stack of Hendler, Shavit
+// and Yerushalmi, following the paper's Figure 2: a central lock-free stack
+// plus an elimination array. A thread first attempts its operation on the
+// central stack; if the single CAS fails under contention it tries to
+// eliminate against a concurrently executing opposite operation through
+// the elimination array — a pushing thread offers its value, a popping
+// thread offers the POP sentinel, and a successful exchange of value
+// against sentinel eliminates the pair without touching the stack.
+//
+// The package also carries the object's view function F_ES (§5), which
+// derives the elimination stack's CA-trace from those of its subobjects:
+// successful central-stack operations map to the corresponding
+// elimination-stack operations, a value/sentinel exchange maps to a push
+// linearized immediately before the matching pop, and everything else
+// (contention failures, same-operation exchanges, failed exchanges) is
+// erased. Under this view the elimination stack is linearizable with
+// respect to the ordinary sequential stack specification.
+package elimstack
+
+import (
+	"errors"
+	"math"
+
+	"calgo/internal/history"
+	"calgo/internal/objects/elimarray"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/objects/treiber"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// PopSentinel is the reserved value offered to the elimination array by
+// popping threads (POP_SENTINAL = INFINITY in Figure 2). Client values must
+// be smaller.
+const PopSentinel int64 = math.MaxInt64
+
+// ErrSentinel is returned when a client attempts to push PopSentinel.
+var ErrSentinel = errors.New("elimstack: cannot push the pop sentinel value")
+
+// Stack is an elimination-backed lock-free stack of int64 values.
+type Stack struct {
+	id history.ObjectID
+	s  *treiber.Stack
+	ar *elimarray.ElimArray
+}
+
+// Option configures a Stack.
+type Option func(*cfg)
+
+type cfg struct {
+	slots int
+	wait  exchanger.WaitPolicy
+	slot  elimarray.Slotter
+	rec   *recorder.Recorder
+}
+
+// WithSlots sets the elimination array width K (default 4).
+func WithSlots(k int) Option { return func(c *cfg) { c.slots = k } }
+
+// WithWaitPolicy sets the exchangers' partner-wait policy.
+func WithWaitPolicy(w exchanger.WaitPolicy) Option { return func(c *cfg) { c.wait = w } }
+
+// WithSlotter overrides elimination slot selection (tests only).
+func WithSlotter(s elimarray.Slotter) Option { return func(c *cfg) { c.slot = s } }
+
+// WithRecorder instruments the stack and its subobjects and registers the
+// view functions F_AR and F_ES with the recorder.
+func WithRecorder(r *recorder.Recorder) Option { return func(c *cfg) { c.rec = r } }
+
+// New returns an elimination stack identified as object id. Its subobjects
+// are identified as id+".S" and id+".AR".
+func New(id history.ObjectID, opts ...Option) (*Stack, error) {
+	c := cfg{slots: 4, wait: exchanger.Spin(64)}
+	for _, o := range opts {
+		o(&c)
+	}
+	var sOpts []treiber.Option
+	arOpts := []elimarray.Option{elimarray.WithWaitPolicy(c.wait)}
+	if c.slot != nil {
+		arOpts = append(arOpts, elimarray.WithSlotter(c.slot))
+	}
+	if c.rec != nil {
+		sOpts = append(sOpts, treiber.WithRecorder(c.rec))
+		arOpts = append(arOpts, elimarray.WithRecorder(c.rec))
+	}
+	sub := treiber.New(id+".S", sOpts...)
+	ar, err := elimarray.New(id+".AR", c.slots, arOpts...)
+	if err != nil {
+		return nil, err
+	}
+	es := &Stack{id: id, s: sub, ar: ar}
+	if c.rec != nil {
+		if err := es.registerViews(c.rec); err != nil {
+			return nil, err
+		}
+	}
+	return es, nil
+}
+
+// ID returns the stack's object identifier.
+func (es *Stack) ID() history.ObjectID { return es.id }
+
+// Central returns the central stack subobject (for tests and examples).
+func (es *Stack) Central() *treiber.Stack { return es.s }
+
+// ElimArray returns the elimination array subobject.
+func (es *Stack) ElimArray() *elimarray.ElimArray { return es.ar }
+
+// Push pushes v on behalf of thread tid (Figure 2, lines 29-37), retrying
+// until the push either lands on the central stack or is eliminated by a
+// concurrent pop.
+func (es *Stack) Push(tid history.ThreadID, v int64) error {
+	if v == PopSentinel {
+		return ErrSentinel
+	}
+	for {
+		if es.s.TryPush(tid, v) {
+			return nil
+		}
+		if _, d := es.ar.Exchange(tid, v); d == PopSentinel {
+			return nil // eliminated by a popper
+		}
+		// Failed or same-operation exchange: retry.
+	}
+}
+
+// Pop pops a value on behalf of thread tid (Figure 2, lines 38-47). Like
+// the paper's code it retries until a value is obtained, so it blocks while
+// the stack stays empty and no pusher arrives; use TryPop for bounded
+// attempts.
+func (es *Stack) Pop(tid history.ThreadID) int64 {
+	for {
+		if ok, v := es.s.TryPop(tid); ok {
+			return v
+		}
+		if _, v := es.ar.Exchange(tid, PopSentinel); v != PopSentinel {
+			return v // eliminated a pusher
+		}
+	}
+}
+
+// TryPop attempts at most attempts rounds of Pop's loop, returning
+// (0, false) if none yielded a value.
+func (es *Stack) TryPop(tid history.ThreadID, attempts int) (int64, bool) {
+	for i := 0; i < attempts; i++ {
+		if ok, v := es.s.TryPop(tid); ok {
+			return v, true
+		}
+		if _, v := es.ar.Exchange(tid, PopSentinel); v != PopSentinel {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TryPush attempts at most attempts rounds of Push's loop.
+func (es *Stack) TryPush(tid history.ThreadID, v int64, attempts int) (bool, error) {
+	if v == PopSentinel {
+		return false, ErrSentinel
+	}
+	for i := 0; i < attempts; i++ {
+		if es.s.TryPush(tid, v) {
+			return true, nil
+		}
+		if _, d := es.ar.Exchange(tid, v); d == PopSentinel {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// registerViews wires the subobjects' view functions and F_ES into rec.
+func (es *Stack) registerViews(rec *recorder.Recorder) error {
+	if err := rec.Register(es.s.ID(), nil, nil); err != nil {
+		return err
+	}
+	if err := es.ar.RegisterViews(rec); err != nil {
+		return err
+	}
+	return rec.Register(es.id, []history.ObjectID{es.s.ID(), es.ar.ID()}, es.view)
+}
+
+// view is F_ES (§5). It receives elements of the immediate subobjects (the
+// central stack S and the elimination array AR, the latter already
+// relabeled by F_AR) and produces elimination-stack operations:
+//
+//	F_ES(S.(t,push(n)▷true))          = ES.(t,push(n)▷true)
+//	F_ES(S.(t,pop()▷(true,n)))        = ES.(t,pop()▷(true,n))
+//	F_ES(AR.swap value n vs sentinel) = ES.push(n) · ES.pop▷n
+//	F_ES(anything else)               = ε
+func (es *Stack) view(el trace.Element) (trace.Trace, bool) {
+	switch el.Object {
+	case es.s.ID():
+		if len(el.Ops) != 1 {
+			return nil, true
+		}
+		op := el.Ops[0]
+		switch {
+		case op.Method == spec.MethodPush && op.Ret.Kind == history.KindBool && op.Ret.B:
+			return trace.Trace{spec.PushElement(es.id, op.Thread, op.Arg.N, true)}, true
+		case op.Method == spec.MethodPop && op.Ret.Kind == history.KindPair && op.Ret.B:
+			return trace.Trace{spec.PopElement(es.id, op.Thread, true, op.Ret.N)}, true
+		default:
+			return nil, true // contention or empty failure: erased
+		}
+	case es.ar.ID():
+		if len(el.Ops) != 2 {
+			return nil, true // failed exchange: erased
+		}
+		push, pop := el.Ops[0], el.Ops[1]
+		if push.Arg.N == PopSentinel {
+			push, pop = pop, push
+		}
+		if push.Arg.N == PopSentinel || pop.Arg.N != PopSentinel {
+			return nil, true // same-operation exchange: erased
+		}
+		if !push.Ret.B || !pop.Ret.B {
+			return nil, true
+		}
+		// The push is linearized immediately before the pop (§5).
+		return trace.Trace{
+			spec.PushElement(es.id, push.Thread, push.Arg.N, true),
+			spec.PopElement(es.id, pop.Thread, true, push.Arg.N),
+		}, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,145 @@
+// Package exchanger implements the wait-free exchanger CA-object of the
+// paper's Figure 1 — a simplified form of java.util.concurrent.Exchanger.
+// Two concurrent threads pair up and atomically swap values; a thread that
+// finds no partner within its wait window fails and gets its own value
+// back.
+//
+// The implementation follows the offer/hole CAS protocol exactly: a thread
+// either installs its Offer in the global slot g and waits for a partner to
+// fill the offer's hole, or finds an installed offer and attempts to fill
+// its hole with its own offer. The optional recorder instrumentation logs
+// the CA-trace witnessing concurrency-aware linearizability at the
+// linearization points identified by the paper's proof (§5): the XCHG CAS
+// logs the swap pair for both threads in one atomic step; the PASS CAS and
+// the final return log failure singletons.
+package exchanger
+
+import (
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// offer mirrors the paper's Offer class: the offering thread, the datum,
+// and the hole pointer that a partner CASes from nil to its own offer. The
+// thread id is the auxiliary tid field added by the proof (§5); here it
+// also carries the value back to the waiting partner.
+type offer struct {
+	tid  history.ThreadID
+	data int64
+	hole atomic.Pointer[offer]
+}
+
+// Exchanger is a wait-free exchange channel for int64 values.
+type Exchanger struct {
+	id   history.ObjectID
+	g    atomic.Pointer[offer]
+	fail *offer // sentinel marking a withdrawn offer
+	wait WaitPolicy
+	rec  *recorder.Recorder
+}
+
+// Option configures an Exchanger.
+type Option func(*Exchanger)
+
+// WithWaitPolicy sets how long a thread that installed its offer waits for
+// a partner before withdrawing (the paper's sleep(50)). The default is
+// Spin(64).
+func WithWaitPolicy(w WaitPolicy) Option {
+	return func(e *Exchanger) { e.wait = w }
+}
+
+// WithRecorder enables CA-trace instrumentation: the exchanger logs a
+// CA-element on 𝒯 at each linearization point. Used by the runtime
+// verification tests; nil disables instrumentation (the default).
+func WithRecorder(r *recorder.Recorder) Option {
+	return func(e *Exchanger) { e.rec = r }
+}
+
+// New returns an exchanger identified as object id in histories and traces.
+func New(id history.ObjectID, opts ...Option) *Exchanger {
+	e := &Exchanger{id: id, fail: &offer{}, wait: Spin(64)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// ID returns the exchanger's object identifier.
+func (e *Exchanger) ID() history.ObjectID { return e.id }
+
+// Exchange offers v for swapping on behalf of thread tid. It returns
+// (true, w) if a partner thread concurrently offered w, and (false, v) if
+// no partner was found. tid identifies the calling goroutine in recorded
+// traces; callers must not run two operations with the same tid
+// concurrently.
+func (e *Exchanger) Exchange(tid history.ThreadID, v int64) (bool, int64) {
+	n := &offer{tid: tid, data: v}
+	if e.g.CompareAndSwap(nil, n) { // init: offer installed
+		e.wait.Wait()
+		if e.pass(n) { // withdraw the offer
+			return false, v
+		}
+		// A partner filled our hole; it logged the swap at its XCHG.
+		return true, n.hole.Load().data
+	}
+	cur := e.g.Load()
+	if cur != nil {
+		s := e.xchg(cur, n, tid, v)
+		// clean: unconditionally help remove the matched/withdrawn offer,
+		// preserving wait-freedom (nobody ever waits for the offerer).
+		e.g.CompareAndSwap(cur, nil)
+		if s {
+			return true, cur.data
+		}
+	}
+	e.logFail(tid, v)
+	return false, v
+}
+
+// pass performs the PASS action: CAS our own hole from nil to the fail
+// sentinel, signalling withdrawal. On success the failed operation is
+// logged; on failure a partner got there first.
+func (e *Exchanger) pass(n *offer) bool {
+	if e.rec == nil {
+		return n.hole.CompareAndSwap(nil, e.fail)
+	}
+	var ok bool
+	e.rec.Do(func(log func(trace.Element)) {
+		ok = n.hole.CompareAndSwap(nil, e.fail)
+		if ok {
+			log(spec.FailElement(e.id, n.tid, n.data))
+		}
+	})
+	return ok
+}
+
+// xchg performs the XCHG action: CAS the found offer's hole from nil to our
+// own offer. On success both operations of the swap are logged as a single
+// CA-element in the same atomic step — the paper's treatment of one
+// concrete atomic action as a sequence of operations by different threads.
+func (e *Exchanger) xchg(cur, n *offer, tid history.ThreadID, v int64) bool {
+	if e.rec == nil {
+		return cur.hole.CompareAndSwap(nil, n)
+	}
+	var ok bool
+	e.rec.Do(func(log func(trace.Element)) {
+		ok = cur.hole.CompareAndSwap(nil, n)
+		if ok {
+			log(spec.SwapElement(e.id, cur.tid, cur.data, tid, v))
+		}
+	})
+	return ok
+}
+
+// logFail performs the FAIL action for the slow-path failure (line 35 of
+// Figure 1).
+func (e *Exchanger) logFail(tid history.ThreadID, v int64) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Append(spec.FailElement(e.id, tid, v))
+}

@@ -1,0 +1,257 @@
+package exchanger
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objE history.ObjectID = "E"
+
+func TestLoneExchangeFails(t *testing.T) {
+	e := New(objE, WithWaitPolicy(NoWait{}))
+	ok, v := e.Exchange(1, 42)
+	if ok || v != 42 {
+		t.Errorf("Exchange = (%v,%d), want (false,42)", ok, v)
+	}
+	// The slot must be reusable afterwards.
+	ok, v = e.Exchange(1, 43)
+	if ok || v != 43 {
+		t.Errorf("second Exchange = (%v,%d), want (false,43)", ok, v)
+	}
+}
+
+func TestForcedPairing(t *testing.T) {
+	// Force the schedule: t1 installs its offer and blocks in its wait
+	// window until t2 has matched it.
+	rec := recorder.New()
+	installed := make(chan struct{})
+	matched := make(chan struct{})
+	e := New(objE,
+		WithRecorder(rec),
+		WithWaitPolicy(Func(func() {
+			close(installed)
+			<-matched
+		})),
+	)
+
+	var ok1, ok2 bool
+	var v1, v2 int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ok1, v1 = e.Exchange(1, 3)
+	}()
+	<-installed
+	ok2, v2 = e.Exchange(2, 4)
+	close(matched)
+	wg.Wait()
+
+	if !ok1 || v1 != 4 {
+		t.Errorf("t1 got (%v,%d), want (true,4)", ok1, v1)
+	}
+	if !ok2 || v2 != 3 {
+		t.Errorf("t2 got (%v,%d), want (true,3)", ok2, v2)
+	}
+	got := rec.View(objE)
+	want := trace.Trace{spec.SwapElement(objE, 1, 3, 2, 4)}
+	if !got.Equal(want) {
+		t.Errorf("recorded trace = %s, want %s", got, want)
+	}
+}
+
+func TestForcedWithdrawal(t *testing.T) {
+	// t1 installs and withdraws before t2 arrives: both must fail.
+	rec := recorder.New()
+	e := New(objE, WithRecorder(rec), WithWaitPolicy(NoWait{}))
+	if ok, v := e.Exchange(1, 3); ok || v != 3 {
+		t.Errorf("t1 = (%v,%d), want (false,3)", ok, v)
+	}
+	if ok, v := e.Exchange(2, 4); ok || v != 4 {
+		t.Errorf("t2 = (%v,%d), want (false,4)", ok, v)
+	}
+	got := rec.View(objE)
+	want := trace.Trace{spec.FailElement(objE, 1, 3), spec.FailElement(objE, 2, 4)}
+	if !got.Equal(want) {
+		t.Errorf("recorded trace = %s, want %s", got, want)
+	}
+}
+
+func TestSlowPathFailure(t *testing.T) {
+	// t2 finds an already-matched offer in g whose hole is taken: its
+	// XCHG CAS fails, it helps clean g and fails.
+	rec := recorder.New()
+	installed := make(chan struct{})
+	proceed := make(chan struct{})
+	var once sync.Once
+	e := New(objE, WithRecorder(rec), WithWaitPolicy(Func(func() {
+		// Only t1's wait blocks; later offers (t3) pass straight through.
+		once.Do(func() {
+			close(installed)
+			<-proceed
+		})
+	})))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Exchange(1, 3)
+	}()
+	<-installed
+	// t2 matches t1.
+	if ok, v := e.Exchange(2, 4); !ok || v != 3 {
+		t.Fatalf("t2 = (%v,%d), want (true,3)", ok, v)
+	}
+	close(proceed)
+	wg.Wait()
+	// One swap recorded; subsequent lone exchange fails.
+	if ok, _ := e.Exchange(3, 9); ok {
+		t.Error("t3 should fail with no partner")
+	}
+	tr := rec.View(objE)
+	if len(tr) != 2 || tr[0].Size() != 2 || tr[1].Size() != 1 {
+		t.Errorf("trace = %s, want swap then fail", tr)
+	}
+}
+
+func TestExchangeStressPairingInvariants(t *testing.T) {
+	e := New(objE, WithWaitPolicy(Spin(128)))
+	const workers = 8
+	const perWorker = 200
+
+	type result struct {
+		tid history.ThreadID
+		in  int64
+		ok  bool
+		out int64
+	}
+	results := make([][]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < perWorker; i++ {
+				v := int64(w*10_000 + i) // globally unique
+				ok, out := e.Exchange(tid, v)
+				results[w] = append(results[w], result{tid, v, ok, out})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every successful exchange must have exactly one partner whose
+	// in/out values cross.
+	gotByIn := make(map[int64]result)
+	for _, rs := range results {
+		for _, r := range rs {
+			gotByIn[r.in] = r
+		}
+	}
+	successes := 0
+	for _, rs := range results {
+		for _, r := range rs {
+			if !r.ok {
+				if r.out != r.in {
+					t.Fatalf("failed exchange returned foreign value: %+v", r)
+				}
+				continue
+			}
+			successes++
+			p, found := gotByIn[r.out]
+			if !found {
+				t.Fatalf("partner value %d never offered", r.out)
+			}
+			if !p.ok || p.out != r.in {
+				t.Fatalf("pairing not mutual: %+v vs %+v", r, p)
+			}
+			if p.tid == r.tid {
+				t.Fatalf("thread paired with itself: %+v", r)
+			}
+		}
+	}
+	if successes%2 != 0 {
+		t.Errorf("odd number of successful exchanges: %d", successes)
+	}
+	t.Logf("stress: %d/%d exchanges succeeded", successes, workers*perWorker)
+}
+
+// TestRuntimeVerificationCAL is the end-to-end runtime check of §4-5: run
+// the real instrumented exchanger under load, capture the observable
+// history, and verify (i) the recorded trace is admitted by the exchanger
+// CA-spec, (ii) the history agrees with the recorded trace (Definition 5),
+// and (iii) the CAL checker independently accepts the history
+// (Definition 6).
+func TestRuntimeVerificationCAL(t *testing.T) {
+	rec := recorder.New()
+	e := New(objE, WithRecorder(rec), WithWaitPolicy(Spin(64)))
+	var cap history.Capture
+
+	const workers = 6
+	const perWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < perWorker; i++ {
+				v := int64(w*10_000 + i)
+				cap.Inv(tid, objE, spec.MethodExchange, history.Int(v))
+				ok, out := e.Exchange(tid, v)
+				cap.Res(tid, objE, spec.MethodExchange, history.Pair(ok, out))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	h := cap.History()
+	if !h.IsComplete() {
+		t.Fatal("history must be complete after all workers returned")
+	}
+	tr := rec.View(objE)
+
+	if _, err := spec.Accepts(spec.NewExchanger(objE), tr); err != nil {
+		t.Fatalf("recorded trace violates exchanger spec: %v", err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with recorded trace: %v", err)
+	}
+	r, err := check.CAL(h, spec.NewExchanger(objE))
+	if err != nil {
+		t.Fatalf("CAL: %v", err)
+	}
+	if !r.OK {
+		t.Fatalf("history not CA-linearizable: %s", r.Reason)
+	}
+}
+
+func TestWaitPolicies(t *testing.T) {
+	start := time.Now()
+	Sleep(time.Millisecond).Wait()
+	if time.Since(start) < time.Millisecond {
+		t.Error("Sleep returned too early")
+	}
+	Spin(4).Wait() // must terminate
+	NoWait{}.Wait()
+	ran := false
+	Func(func() { ran = true }).Wait()
+	if !ran {
+		t.Error("Func policy did not run")
+	}
+}
+
+func TestExchangerID(t *testing.T) {
+	if New("X").ID() != "X" {
+		t.Error("ID mismatch")
+	}
+}

@@ -1,0 +1,52 @@
+package exchanger
+
+import (
+	"runtime"
+	"time"
+)
+
+// WaitPolicy controls how a thread that installed its offer waits for a
+// partner before attempting to withdraw — the paper's sleep(50) at line 17
+// of Figure 1. The choice trades latency under low load against pairing
+// probability under high load; it never affects correctness (the protocol
+// is wait-free either way), so tests inject fast policies.
+type WaitPolicy interface {
+	// Wait blocks the caller for the policy's partner-wait window.
+	Wait()
+}
+
+// Sleep waits by sleeping for a fixed duration, as in Figure 1 and
+// java.util.concurrent. Suitable for real workloads; too slow for unit
+// tests.
+type Sleep time.Duration
+
+// Wait implements WaitPolicy.
+func (s Sleep) Wait() { time.Sleep(time.Duration(s)) }
+
+// Spin waits by yielding the processor a fixed number of times. This is
+// the default: it keeps unit tests and benchmarks fast while still giving
+// concurrent partners a scheduling window.
+type Spin int
+
+// Wait implements WaitPolicy.
+func (s Spin) Wait() {
+	for i := 0; i < int(s); i++ {
+		runtime.Gosched()
+	}
+}
+
+// NoWait withdraws immediately: the offering thread never waits for a
+// partner. Pairing then requires the partner to interpose between the
+// install CAS and the withdraw CAS, which makes failures overwhelmingly
+// likely — useful for exercising the failure paths deterministically.
+type NoWait struct{}
+
+// Wait implements WaitPolicy.
+func (NoWait) Wait() {}
+
+// Func adapts an arbitrary function to a WaitPolicy; used by tests that
+// need to block the offering thread on a channel to force a schedule.
+type Func func()
+
+// Wait implements WaitPolicy.
+func (f Func) Wait() { f() }

@@ -1,0 +1,172 @@
+// Package msqueue implements the Michael-Scott lock-free FIFO queue. It is
+// not itself a CA-object: it serves as a classically linearizable
+// substrate that cross-validates the checker stack (Definition 6 with
+// singleton elements must coincide with ordinary linearizability checking)
+// and as the FIFO counterpart of the central stack in the benchmarks.
+//
+// When instrumented, the queue logs singleton CA-elements at its
+// linearization points: the tail-next CAS for enqueue, the head CAS for
+// dequeue, and the empty observation (head == tail with nil next) for a
+// failed dequeue.
+package msqueue
+
+import (
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+type node struct {
+	data int64
+	next atomic.Pointer[node]
+}
+
+// Queue is a lock-free FIFO queue of int64 values.
+type Queue struct {
+	id   history.ObjectID
+	head atomic.Pointer[node] // dummy-headed
+	tail atomic.Pointer[node]
+	rec  *recorder.Recorder
+}
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithRecorder enables CA-trace instrumentation.
+func WithRecorder(r *recorder.Recorder) Option {
+	return func(q *Queue) { q.rec = r }
+}
+
+// New returns an empty queue identified as object id.
+func New(id history.ObjectID, opts ...Option) *Queue {
+	q := &Queue{id: id}
+	dummy := &node{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// ID returns the queue's object identifier.
+func (q *Queue) ID() history.ObjectID { return q.id }
+
+// Enq appends v on behalf of thread tid.
+func (q *Queue) Enq(tid history.ThreadID, v int64) {
+	n := &node{data: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			// Tail lagging: help advance.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if q.enqCAS(tail, n, tid, v) {
+			q.tail.CompareAndSwap(tail, n)
+			return
+		}
+	}
+}
+
+// Deq removes and returns the head value, or (false, 0) when the queue is
+// observed empty.
+func (q *Queue) Deq(tid history.ThreadID) (bool, int64) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if head == tail {
+			if next == nil {
+				if q.emptyLogged(tid) {
+					return false, 0
+				}
+				continue // queue changed while logging: retry
+			}
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if next == nil {
+			continue // transient: retry
+		}
+		if q.deqCAS(head, next, tid) {
+			return true, next.data
+		}
+	}
+}
+
+// Len counts the queued elements; a test helper, not linearizable under
+// concurrent mutation.
+func (q *Queue) Len() int {
+	n := 0
+	for c := q.head.Load().next.Load(); c != nil; c = c.next.Load() {
+		n++
+	}
+	return n
+}
+
+func (q *Queue) enqCAS(tail, n *node, tid history.ThreadID, v int64) bool {
+	if q.rec == nil {
+		return tail.next.CompareAndSwap(nil, n)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = tail.next.CompareAndSwap(nil, n)
+		if ok {
+			log(trace.Singleton(trace.Operation{
+				Thread: tid, Object: q.id, Method: spec.MethodEnq,
+				Arg: history.Int(v), Ret: history.Bool(true),
+			}))
+		}
+	})
+	return ok
+}
+
+func (q *Queue) deqCAS(head, next *node, tid history.ThreadID) bool {
+	if q.rec == nil {
+		return q.head.CompareAndSwap(head, next)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = q.head.CompareAndSwap(head, next)
+		if ok {
+			log(trace.Singleton(trace.Operation{
+				Thread: tid, Object: q.id, Method: spec.MethodDeq,
+				Arg: history.Unit(), Ret: history.Pair(true, next.data),
+			}))
+		}
+	})
+	return ok
+}
+
+// emptyLogged records the failed dequeue. The empty observation made in
+// Deq happened outside the recorder lock, so the emptiness is re-validated
+// inside the atomic step — the re-read IS the linearization point; if the
+// queue changed in between, nothing is logged and the caller retries.
+func (q *Queue) emptyLogged(tid history.ThreadID) bool {
+	if q.rec == nil {
+		return true
+	}
+	var empty bool
+	q.rec.Do(func(log func(trace.Element)) {
+		head := q.head.Load()
+		empty = head == q.tail.Load() && head.next.Load() == nil
+		if empty {
+			log(trace.Singleton(trace.Operation{
+				Thread: tid, Object: q.id, Method: spec.MethodDeq,
+				Arg: history.Unit(), Ret: history.Pair(false, 0),
+			}))
+		}
+	})
+	return empty
+}

@@ -1,0 +1,144 @@
+package msqueue
+
+import (
+	"sync"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objQ history.ObjectID = "Q"
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New(objQ)
+	if ok, _ := q.Deq(1); ok {
+		t.Error("deq on empty must fail")
+	}
+	for _, v := range []int64{1, 2, 3} {
+		q.Enq(1, v)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for _, want := range []int64{1, 2, 3} {
+		ok, v := q.Deq(1)
+		if !ok || v != want {
+			t.Fatalf("Deq = (%v,%d), want (true,%d)", ok, v, want)
+		}
+	}
+	if ok, _ := q.Deq(1); ok {
+		t.Error("drained queue must be empty")
+	}
+}
+
+func TestInstrumentedTraceMatchesQueueSpec(t *testing.T) {
+	rec := recorder.New()
+	q := New(objQ, WithRecorder(rec))
+	q.Enq(1, 5)
+	q.Enq(1, 6)
+	q.Deq(2)
+	q.Deq(2)
+	q.Deq(2) // empty
+	tr := rec.View(objQ)
+	if len(tr) != 5 {
+		t.Fatalf("trace = %s", tr)
+	}
+	if _, err := spec.Accepts(spec.NewQueue(objQ), tr); err != nil {
+		t.Fatalf("trace not admitted: %v", err)
+	}
+}
+
+func TestConcurrentStressNoLossNoDup(t *testing.T) {
+	q := New(objQ)
+	const workers = 8
+	const per = 400
+	var wg sync.WaitGroup
+	var deqd sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				q.Enq(tid, int64(w*100_000+i))
+				if ok, v := q.Deq(tid); ok {
+					if _, dup := deqd.LoadOrStore(v, true); dup {
+						t.Errorf("value %d dequeued twice", v)
+					}
+				} else {
+					t.Error("deq failed with a value pending per worker")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Errorf("queue should be empty, has %d", q.Len())
+	}
+}
+
+// TestRuntimeVerificationLinearizable cross-validates the checker: the
+// MS queue's concurrent histories must be linearizable w.r.t. the FIFO
+// queue spec, and CAL must coincide with Linearizable on them.
+func TestRuntimeVerificationLinearizable(t *testing.T) {
+	rec := recorder.New()
+	q := New(objQ, WithRecorder(rec))
+	var cap history.Capture
+
+	const workers = 4
+	const per = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				if i%2 == 0 {
+					cap.Inv(tid, objQ, spec.MethodEnq, history.Int(v))
+					q.Enq(tid, v)
+					cap.Res(tid, objQ, spec.MethodEnq, history.Bool(true))
+				} else {
+					cap.Inv(tid, objQ, spec.MethodDeq, history.Unit())
+					ok, got := q.Deq(tid)
+					cap.Res(tid, objQ, spec.MethodDeq, history.Pair(ok, got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	h := cap.History()
+	tr := rec.View(objQ)
+	if _, err := spec.Accepts(spec.NewQueue(objQ), tr); err != nil {
+		t.Fatalf("recorded trace violates queue spec: %v", err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with recorded trace: %v", err)
+	}
+	lin, err := check.Linearizable(h, spec.NewQueue(objQ))
+	if err != nil {
+		t.Fatalf("Linearizable: %v", err)
+	}
+	if !lin.OK {
+		t.Fatalf("MS queue history not linearizable: %s", lin.Reason)
+	}
+	cal, err := check.CAL(h, spec.NewQueue(objQ))
+	if err != nil {
+		t.Fatalf("CAL: %v", err)
+	}
+	if cal.OK != lin.OK {
+		t.Error("CAL and Linearizable must coincide for a sequential spec")
+	}
+}
+
+func TestID(t *testing.T) {
+	if New("X").ID() != "X" {
+		t.Error("ID mismatch")
+	}
+}

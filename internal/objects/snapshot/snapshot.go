@@ -1,0 +1,193 @@
+// Package snapshot implements the one-shot immediate atomic snapshot
+// object of Borowsky and Gafni — the example Neiger used to motivate
+// set-linearizability, which the paper's related work (§6) identifies as a
+// CA-object. Each of n participants calls Update(v) once and receives a
+// view: the set of (participant, value) pairs of everyone whose operation
+// "took effect" no later than its own. Views satisfy
+//
+//   - self-inclusion: a participant's own value is in its view;
+//   - containment: any two views are ordered by ⊆;
+//   - immediacy: participants with equal-size views have EQUAL views, and
+//     their operations form one block that takes effect simultaneously.
+//
+// The implementation is the classic wait-free level-descent algorithm:
+// participant p writes its value, then descends levels n, n-1, ...,
+// scanning all levels at each step; it terminates at the first level l
+// where exactly l participants (including itself) are at level ≤ l, and
+// returns their values. At most l participants ever reach level l, so the
+// descent terminates by level 1.
+//
+// Because a block's membership is only determined when its members
+// terminate (a scanned participant may keep descending), the CA-trace of a
+// run is derived at quiescence by DeriveTrace — grouping completed
+// operations into blocks by view cardinality — rather than logged online;
+// see the package tests for the resulting Definition 5/6 verification.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// Pair is one (participant thread, value) entry of a view.
+type Pair struct {
+	Thread history.ThreadID
+	Value  int64
+}
+
+// View is a set of pairs, sorted by thread id.
+type View []Pair
+
+// Contains reports whether the view includes thread t.
+func (v View) Contains(t history.ThreadID) bool {
+	for _, p := range v {
+		if p.Thread == t {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether v ⊆ w.
+func (v View) SubsetOf(w View) bool {
+	for _, p := range v {
+		found := false
+		for _, q := range w {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two views contain the same pairs.
+func (v View) Equal(w View) bool {
+	return len(v) == len(w) && v.SubsetOf(w)
+}
+
+// Snapshot is a one-shot immediate snapshot object for n participants.
+type Snapshot struct {
+	id     history.ObjectID
+	n      int
+	levels []atomic.Int64 // participant slot -> current level; n+1 = not started
+	values []atomic.Int64
+	tids   []atomic.Int64 // ThreadID of the participant using each slot
+}
+
+// New returns an immediate snapshot object for n participants, identified
+// as object id.
+func New(id history.ObjectID, n int) (*Snapshot, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("snapshot: need at least one participant, got %d", n)
+	}
+	s := &Snapshot{
+		id:     id,
+		n:      n,
+		levels: make([]atomic.Int64, n),
+		values: make([]atomic.Int64, n),
+		tids:   make([]atomic.Int64, n),
+	}
+	for i := range s.levels {
+		s.levels[i].Store(int64(n + 1))
+	}
+	return s, nil
+}
+
+// ID returns the object identifier.
+func (s *Snapshot) ID() history.ObjectID { return s.id }
+
+// Participants returns n.
+func (s *Snapshot) Participants() int { return s.n }
+
+// Update submits value v for participant slot (0 ≤ slot < n) on behalf of
+// thread tid and returns the view of the operation's block. Each slot must
+// be used exactly once; a reused or out-of-range slot returns an error.
+func (s *Snapshot) Update(slot int, tid history.ThreadID, v int64) (View, error) {
+	if slot < 0 || slot >= s.n {
+		return nil, fmt.Errorf("snapshot: slot %d out of range [0,%d)", slot, s.n)
+	}
+	if s.levels[slot].Load() != int64(s.n+1) {
+		return nil, fmt.Errorf("snapshot: slot %d already used (one-shot object)", slot)
+	}
+	s.values[slot].Store(v)
+	s.tids[slot].Store(int64(tid))
+	for lev := int64(s.n); lev >= 1; lev-- {
+		s.levels[slot].Store(lev)
+		var members []int
+		for q := 0; q < s.n; q++ {
+			if s.levels[q].Load() <= lev {
+				members = append(members, q)
+			}
+		}
+		if int64(len(members)) == lev {
+			view := make(View, 0, len(members))
+			for _, q := range members {
+				view = append(view, Pair{
+					Thread: history.ThreadID(s.tids[q].Load()),
+					Value:  s.values[q].Load(),
+				})
+			}
+			sort.Slice(view, func(i, j int) bool { return view[i].Thread < view[j].Thread })
+			return view, nil
+		}
+	}
+	// Unreachable: at most one participant reaches level 1.
+	return nil, fmt.Errorf("snapshot: descent fell through level 1")
+}
+
+// Result pairs a completed operation with its view, for DeriveTrace.
+type Result struct {
+	Thread history.ThreadID
+	Value  int64
+	View   View
+}
+
+// DeriveTrace computes the CA-trace of a quiescent run from its completed
+// operations: operations are grouped into blocks by view cardinality and
+// blocks ordered by cardinality — the unique candidate trace under the
+// immediate snapshot specification. It returns an error if the results
+// cannot form such a trace (which itself indicates a violation).
+func DeriveTrace(o history.ObjectID, results []Result) (trace.Trace, error) {
+	byCard := map[int][]Result{}
+	for _, r := range results {
+		byCard[len(r.View)] = append(byCard[len(r.View)], r)
+	}
+	cards := make([]int, 0, len(byCard))
+	for c := range byCard {
+		cards = append(cards, c)
+	}
+	sort.Ints(cards)
+	var tr trace.Trace
+	prior := 0
+	for _, c := range cards {
+		block := byCard[c]
+		if prior+len(block) != c {
+			return nil, fmt.Errorf("snapshot: block of %d ops at cardinality %d does not extend prior count %d",
+				len(block), c, prior)
+		}
+		ops := make([]trace.Operation, len(block))
+		for i, r := range block {
+			ops[i] = trace.Operation{
+				Thread: r.Thread, Object: o, Method: spec.MethodUpdate,
+				Arg: history.Int(r.Value), Ret: history.Pair(true, int64(c)),
+			}
+		}
+		el, err := trace.NewElement(ops...)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: invalid block: %w", err)
+		}
+		tr = append(tr, el)
+		prior = c
+	}
+	return tr, nil
+}

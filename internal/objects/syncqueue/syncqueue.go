@@ -1,0 +1,197 @@
+// Package syncqueue implements a synchronous (hand-off) queue, the second
+// exchanger client discussed by the paper ([9], [22]): a put blocks until a
+// take arrives and vice versa, and the paired operations "seem to take
+// effect simultaneously" — making the object concurrency-aware, with no
+// useful sequential specification.
+//
+// The implementation adapts the exchanger's offer/hole protocol to the
+// asymmetric case: the global slot holds either a waiting put offer or a
+// waiting take reservation, and only an operation of the opposite kind may
+// fill its hole. The instrumented build logs the hand-off pair as a single
+// CA-element at the matching CAS, exactly as the exchanger logs swaps.
+package syncqueue
+
+import (
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+type kind uint8
+
+const (
+	kindPut kind = iota + 1
+	kindTake
+)
+
+type node struct {
+	kind kind
+	tid  history.ThreadID
+	data int64
+	hole atomic.Pointer[node]
+}
+
+// SyncQueue is a rendezvous channel for int64 values.
+type SyncQueue struct {
+	id   history.ObjectID
+	g    atomic.Pointer[node]
+	fail *node
+	wait exchanger.WaitPolicy
+	rec  *recorder.Recorder
+}
+
+// Option configures a SyncQueue.
+type Option func(*SyncQueue)
+
+// WithWaitPolicy sets the partner-wait window of a waiting operation.
+func WithWaitPolicy(w exchanger.WaitPolicy) Option {
+	return func(q *SyncQueue) { q.wait = w }
+}
+
+// WithRecorder enables CA-trace instrumentation.
+func WithRecorder(r *recorder.Recorder) Option {
+	return func(q *SyncQueue) { q.rec = r }
+}
+
+// New returns a synchronous queue identified as object id.
+func New(id history.ObjectID, opts ...Option) *SyncQueue {
+	q := &SyncQueue{id: id, fail: &node{}, wait: exchanger.Spin(64)}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// ID returns the queue's object identifier.
+func (q *SyncQueue) ID() history.ObjectID { return q.id }
+
+// TryPut attempts one hand-off of v to a concurrent taker; it fails if
+// none arrives within the wait window. Failures are logged as failed-put
+// singletons.
+func (q *SyncQueue) TryPut(tid history.ThreadID, v int64) bool {
+	ok, _ := q.attempt(tid, kindPut, v, true)
+	return ok
+}
+
+// TryTake attempts one hand-off from a concurrent putter.
+func (q *SyncQueue) TryTake(tid history.ThreadID) (int64, bool) {
+	ok, v := q.attempt(tid, kindTake, 0, true)
+	return v, ok
+}
+
+// Put hands v to a taker, retrying until one arrives. Internal failed
+// attempts are not interface operations and are not logged.
+func (q *SyncQueue) Put(tid history.ThreadID, v int64) {
+	for {
+		if ok, _ := q.attempt(tid, kindPut, v, false); ok {
+			return
+		}
+	}
+}
+
+// Take receives a value from a putter, retrying until one arrives.
+func (q *SyncQueue) Take(tid history.ThreadID) int64 {
+	for {
+		if ok, v := q.attempt(tid, kindTake, 0, false); ok {
+			return v
+		}
+	}
+}
+
+// attempt runs one round of the offer/hole protocol for an operation of
+// the given kind. logFail controls whether an unsuccessful round is logged
+// as a failure singleton (true for the Try variants).
+func (q *SyncQueue) attempt(tid history.ThreadID, k kind, v int64, logFail bool) (bool, int64) {
+	n := &node{kind: k, tid: tid, data: v}
+	if q.g.CompareAndSwap(nil, n) {
+		q.wait.Wait()
+		if q.pass(n, logFail) {
+			return false, 0
+		}
+		m := n.hole.Load()
+		if k == kindPut {
+			return true, v
+		}
+		return true, m.data
+	}
+	cur := q.g.Load()
+	if cur != nil {
+		if cur.kind != k {
+			matched := q.match(cur, n)
+			q.g.CompareAndSwap(cur, nil)
+			if matched {
+				if k == kindPut {
+					return true, v
+				}
+				return true, cur.data
+			}
+		} else if cur.hole.Load() != nil {
+			// Same kind, already matched or withdrawn: help clean.
+			q.g.CompareAndSwap(cur, nil)
+		}
+	}
+	if logFail {
+		q.logFail(tid, k, v)
+	}
+	return false, 0
+}
+
+// pass withdraws our own waiting offer (the PASS action).
+func (q *SyncQueue) pass(n *node, logFail bool) bool {
+	if q.rec == nil || !logFail {
+		return n.hole.CompareAndSwap(nil, q.fail)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = n.hole.CompareAndSwap(nil, q.fail)
+		if ok {
+			log(q.failElement(n.tid, n.kind, n.data))
+		}
+	})
+	return ok
+}
+
+// match fills the waiting opposite-kind offer's hole with ours (the XCHG
+// analogue), logging the hand-off pair for both threads atomically.
+func (q *SyncQueue) match(cur, n *node) bool {
+	if q.rec == nil {
+		return cur.hole.CompareAndSwap(nil, n)
+	}
+	var ok bool
+	q.rec.Do(func(log func(trace.Element)) {
+		ok = cur.hole.CompareAndSwap(nil, n)
+		if !ok {
+			return
+		}
+		putter, taker := cur, n
+		if putter.kind != kindPut {
+			putter, taker = n, cur
+		}
+		log(spec.HandOffElement(q.id, putter.tid, putter.data, taker.tid))
+	})
+	return ok
+}
+
+func (q *SyncQueue) logFail(tid history.ThreadID, k kind, v int64) {
+	if q.rec == nil {
+		return
+	}
+	q.rec.Append(q.failElement(tid, k, v))
+}
+
+func (q *SyncQueue) failElement(tid history.ThreadID, k kind, v int64) trace.Element {
+	if k == kindPut {
+		return trace.Singleton(trace.Operation{
+			Thread: tid, Object: q.id, Method: spec.MethodPut,
+			Arg: history.Int(v), Ret: history.Bool(false),
+		})
+	}
+	return trace.Singleton(trace.Operation{
+		Thread: tid, Object: q.id, Method: spec.MethodTake,
+		Arg: history.Unit(), Ret: history.Pair(false, 0),
+	})
+}

@@ -1,0 +1,200 @@
+package syncqueue
+
+import (
+	"sync"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objQ history.ObjectID = "SQ"
+
+func TestTryPutAloneFails(t *testing.T) {
+	rec := recorder.New()
+	q := New(objQ, WithWaitPolicy(exchanger.NoWait{}), WithRecorder(rec))
+	if q.TryPut(1, 5) {
+		t.Error("TryPut with no taker must fail")
+	}
+	if _, ok := q.TryTake(2); ok {
+		t.Error("TryTake with no putter must fail")
+	}
+	tr := rec.View(objQ)
+	if len(tr) != 2 {
+		t.Fatalf("trace = %s, want two failure singletons", tr)
+	}
+	if _, err := spec.Accepts(spec.NewSyncQueue(objQ), tr); err != nil {
+		t.Errorf("trace not admitted: %v", err)
+	}
+}
+
+func TestForcedHandOff(t *testing.T) {
+	rec := recorder.New()
+	installed := make(chan struct{})
+	matched := make(chan struct{})
+	var once sync.Once
+	q := New(objQ, WithRecorder(rec), WithWaitPolicy(exchanger.Func(func() {
+		once.Do(func() {
+			close(installed)
+			<-matched
+		})
+	})))
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q.Put(1, 42)
+	}()
+	<-installed
+	if v, ok := q.TryTake(2); !ok || v != 42 {
+		t.Fatalf("TryTake = (%d,%v), want (42,true)", v, ok)
+	}
+	close(matched)
+	wg.Wait()
+
+	got := rec.View(objQ)
+	want := trace.Trace{spec.HandOffElement(objQ, 1, 42, 2)}
+	if !got.Equal(want) {
+		t.Errorf("trace = %s, want %s", got, want)
+	}
+}
+
+func TestForcedHandOffTakerWaits(t *testing.T) {
+	// Symmetric case: the taker installs its reservation first.
+	rec := recorder.New()
+	installed := make(chan struct{})
+	matched := make(chan struct{})
+	var once sync.Once
+	q := New(objQ, WithRecorder(rec), WithWaitPolicy(exchanger.Func(func() {
+		once.Do(func() {
+			close(installed)
+			<-matched
+		})
+	})))
+
+	var got int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got = q.Take(2)
+	}()
+	<-installed
+	if !q.TryPut(1, 7) {
+		t.Fatal("TryPut should match the waiting taker")
+	}
+	close(matched)
+	wg.Wait()
+	if got != 7 {
+		t.Fatalf("Take = %d, want 7", got)
+	}
+	want := trace.Trace{spec.HandOffElement(objQ, 1, 7, 2)}
+	if tr := rec.View(objQ); !tr.Equal(want) {
+		t.Errorf("trace = %s, want %s", tr, want)
+	}
+}
+
+func TestBlockingPairsUnderLoad(t *testing.T) {
+	q := New(objQ, WithWaitPolicy(exchanger.Spin(64)))
+	const pairs = 4
+	const per = 200
+	var wg sync.WaitGroup
+	var taken sync.Map
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				q.Put(tid, int64(p*100_000+i))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				v := q.Take(tid)
+				if _, dup := taken.LoadOrStore(v, true); dup {
+					t.Errorf("value %d taken twice", v)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	n := 0
+	taken.Range(func(_, _ any) bool { n++; return true })
+	if n != pairs*per {
+		t.Errorf("took %d distinct values, want %d", n, pairs*per)
+	}
+}
+
+// TestRuntimeVerificationSyncQueue: capture the history of an instrumented
+// run and verify CAL against the synchronous queue CA-spec.
+func TestRuntimeVerificationSyncQueue(t *testing.T) {
+	rec := recorder.New()
+	q := New(objQ, WithRecorder(rec), WithWaitPolicy(exchanger.Spin(64)))
+	var cap history.Capture
+
+	const pairs = 3
+	const per = 15
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, objQ, spec.MethodPut, history.Int(v))
+				q.Put(tid, v)
+				cap.Res(tid, objQ, spec.MethodPut, history.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, objQ, spec.MethodTake, history.Unit())
+				v := q.Take(tid)
+				cap.Res(tid, objQ, spec.MethodTake, history.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	h := cap.History()
+	tr := rec.View(objQ)
+	if _, err := spec.Accepts(spec.NewSyncQueue(objQ), tr); err != nil {
+		t.Fatalf("trace violates sync-queue spec: %v", err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with trace: %v", err)
+	}
+	r, err := check.CAL(h, spec.NewSyncQueue(objQ))
+	if err != nil {
+		t.Fatalf("CAL: %v", err)
+	}
+	if !r.OK {
+		t.Fatalf("sync-queue history not CA-linearizable: %s", r.Reason)
+	}
+	// Under a sequential reading the same history must be rejected as soon
+	// as any hand-off succeeded (successful puts cannot stand alone).
+	lin, err := check.Linearizable(h, spec.NewSyncQueue(objQ))
+	if err != nil {
+		t.Fatalf("Linearizable: %v", err)
+	}
+	if lin.OK {
+		t.Error("hand-off history must not be explainable sequentially")
+	}
+}
+
+func TestID(t *testing.T) {
+	if New("X").ID() != "X" {
+		t.Error("ID mismatch")
+	}
+}

@@ -1,0 +1,173 @@
+// Package treiber implements the central concurrent stack of the
+// elimination stack (Figure 2, class Stack): a linked stack whose push and
+// pop perform a single CAS on the top pointer and report failure under
+// contention instead of retrying. The retrying wrappers Push and Pop turn
+// it into the classic Treiber stack, used as the lock-free baseline in the
+// benchmarks.
+//
+// When instrumented with a recorder, every operation logs a singleton
+// CA-element at its linearization point: the top CAS for successful (and
+// contended) operations, and the top read for the empty-pop case.
+package treiber
+
+import (
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+type cell struct {
+	data int64
+	next *cell
+}
+
+// Stack is a lock-free LIFO stack of int64 values.
+type Stack struct {
+	id  history.ObjectID
+	top atomic.Pointer[cell]
+	rec *recorder.Recorder
+}
+
+// Option configures a Stack.
+type Option func(*Stack)
+
+// WithRecorder enables CA-trace instrumentation at linearization points.
+func WithRecorder(r *recorder.Recorder) Option {
+	return func(s *Stack) { s.rec = r }
+}
+
+// New returns an empty stack identified as object id.
+func New(id history.ObjectID, opts ...Option) *Stack {
+	s := &Stack{id: id}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ID returns the stack's object identifier.
+func (s *Stack) ID() history.ObjectID { return s.id }
+
+// TryPush attempts one push of v (Figure 2, lines 10-14). It returns false
+// if the single CAS on top fails due to contention.
+func (s *Stack) TryPush(tid history.ThreadID, v int64) bool {
+	h := s.top.Load()
+	n := &cell{data: v, next: h}
+	if s.rec == nil {
+		return s.top.CompareAndSwap(h, n)
+	}
+	var ok bool
+	s.rec.Do(func(log func(trace.Element)) {
+		ok = s.top.CompareAndSwap(h, n)
+		log(spec.PushElement(s.id, tid, v, ok))
+	})
+	return ok
+}
+
+// TryPop attempts one pop (Figure 2, lines 15-24). It returns (false, 0)
+// when the stack is empty or the single CAS on top fails due to contention.
+func (s *Stack) TryPop(tid history.ThreadID) (bool, int64) {
+	if s.rec == nil {
+		h := s.top.Load()
+		if h == nil {
+			return false, 0
+		}
+		if s.top.CompareAndSwap(h, h.next) {
+			return true, h.data
+		}
+		return false, 0
+	}
+	var ok bool
+	var v int64
+	s.rec.Do(func(log func(trace.Element)) {
+		h := s.top.Load()
+		if h == nil {
+			log(spec.PopElement(s.id, tid, false, 0))
+			return
+		}
+		if s.top.CompareAndSwap(h, h.next) {
+			ok, v = true, h.data
+		}
+		log(spec.PopElement(s.id, tid, ok, v))
+	})
+	return ok, v
+}
+
+// Push pushes v, retrying until the CAS succeeds (the classic Treiber
+// stack). Unlike repeated TryPush calls, internal retries are not logged:
+// only the final successful CAS is an operation at the interface.
+func (s *Stack) Push(tid history.ThreadID, v int64) {
+	for {
+		h := s.top.Load()
+		n := &cell{data: v, next: h}
+		if s.rec == nil {
+			if s.top.CompareAndSwap(h, n) {
+				return
+			}
+			continue
+		}
+		var ok bool
+		s.rec.Do(func(log func(trace.Element)) {
+			ok = s.top.CompareAndSwap(h, n)
+			if ok {
+				log(spec.PushElement(s.id, tid, v, true))
+			}
+		})
+		if ok {
+			return
+		}
+	}
+}
+
+// Pop pops the top value, retrying CAS failures; it returns (false, 0)
+// only when the stack is observed empty.
+func (s *Stack) Pop(tid history.ThreadID) (bool, int64) {
+	for {
+		if s.rec == nil {
+			h := s.top.Load()
+			if h == nil {
+				return false, 0
+			}
+			if s.top.CompareAndSwap(h, h.next) {
+				return true, h.data
+			}
+			continue
+		}
+		done, ok, v := s.popOnceLogged(tid)
+		if done {
+			return ok, v
+		}
+	}
+}
+
+// popOnceLogged performs one instrumented pop attempt for Pop: contended
+// attempts are NOT logged (they are retried internally, so they are not
+// operations at the interface), while empty and successful outcomes are.
+func (s *Stack) popOnceLogged(tid history.ThreadID) (done, ok bool, v int64) {
+	s.rec.Do(func(log func(trace.Element)) {
+		h := s.top.Load()
+		if h == nil {
+			log(spec.PopElement(s.id, tid, false, 0))
+			done = true
+			return
+		}
+		if s.top.CompareAndSwap(h, h.next) {
+			log(spec.PopElement(s.id, tid, true, h.data))
+			done, ok, v = true, true, h.data
+		}
+	})
+	return done, ok, v
+}
+
+// Len counts the stack's elements; it is a snapshot helper for tests and
+// is not linearizable with respect to concurrent mutation.
+func (s *Stack) Len() int {
+	n := 0
+	for c := s.top.Load(); c != nil; c = c.next {
+		n++
+	}
+	return n
+}

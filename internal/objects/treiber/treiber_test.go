@@ -1,0 +1,186 @@
+package treiber
+
+import (
+	"sync"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objS history.ObjectID = "S"
+
+func TestSequentialLIFO(t *testing.T) {
+	s := New(objS)
+	for _, v := range []int64{1, 2, 3} {
+		if !s.TryPush(1, v) {
+			t.Fatalf("uncontended TryPush(%d) failed", v)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	for _, want := range []int64{3, 2, 1} {
+		ok, v := s.TryPop(1)
+		if !ok || v != want {
+			t.Fatalf("TryPop = (%v,%d), want (true,%d)", ok, v, want)
+		}
+	}
+	if ok, _ := s.TryPop(1); ok {
+		t.Error("pop on empty must fail")
+	}
+	if ok, _ := s.Pop(1); ok {
+		t.Error("retrying Pop on empty must fail")
+	}
+}
+
+func TestRetryingPushPop(t *testing.T) {
+	s := New(objS)
+	s.Push(1, 7)
+	s.Push(1, 8)
+	if ok, v := s.Pop(1); !ok || v != 8 {
+		t.Errorf("Pop = (%v,%d), want (true,8)", ok, v)
+	}
+}
+
+func TestInstrumentedTraceMatchesCentralStackSpec(t *testing.T) {
+	rec := recorder.New()
+	s := New(objS, WithRecorder(rec))
+	s.TryPush(1, 5)
+	s.TryPush(1, 6)
+	s.TryPop(2)
+	s.TryPop(2)
+	s.TryPop(2) // empty: logged failure
+	got := rec.View(objS)
+	want := trace.Trace{
+		spec.PushElement(objS, 1, 5, true),
+		spec.PushElement(objS, 1, 6, true),
+		spec.PopElement(objS, 2, true, 6),
+		spec.PopElement(objS, 2, true, 5),
+		spec.PopElement(objS, 2, false, 0),
+	}
+	if !got.Equal(want) {
+		t.Errorf("trace = %s\nwant %s", got, want)
+	}
+	if _, err := spec.Accepts(spec.NewCentralStack(objS), got); err != nil {
+		t.Errorf("trace not admitted: %v", err)
+	}
+}
+
+func TestConcurrentStressBalance(t *testing.T) {
+	s := New(objS)
+	const workers = 8
+	const per = 500
+	var popped sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*100_000 + i)
+				s.Push(tid, v)
+				if ok, got := s.Pop(tid); ok {
+					if _, dup := popped.LoadOrStore(got, true); dup {
+						t.Errorf("value %d popped twice", got)
+					}
+				} else {
+					t.Error("pop failed with at least one value present per worker")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Errorf("stack should be empty, has %d", s.Len())
+	}
+}
+
+// TestRuntimeVerificationLinearizable: run the instrumented central stack
+// under contention, capture the history, and verify it is linearizable
+// w.r.t. the central-stack spec, agreeing with the recorded trace.
+func TestRuntimeVerificationLinearizable(t *testing.T) {
+	rec := recorder.New()
+	s := New(objS, WithRecorder(rec))
+	var cap history.Capture
+
+	const workers = 4
+	const per = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				if i%2 == 0 {
+					cap.Inv(tid, objS, spec.MethodPush, history.Int(v))
+					ok := s.TryPush(tid, v)
+					cap.Res(tid, objS, spec.MethodPush, history.Bool(ok))
+				} else {
+					cap.Inv(tid, objS, spec.MethodPop, history.Unit())
+					ok, got := s.TryPop(tid)
+					cap.Res(tid, objS, spec.MethodPop, history.Pair(ok, got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	h := cap.History()
+	tr := rec.View(objS)
+	if _, err := spec.Accepts(spec.NewCentralStack(objS), tr); err != nil {
+		t.Fatalf("recorded trace violates central-stack spec: %v", err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with recorded trace: %v", err)
+	}
+	r, err := check.Linearizable(h, spec.NewCentralStack(objS))
+	if err != nil {
+		t.Fatalf("Linearizable: %v", err)
+	}
+	if !r.OK {
+		t.Fatalf("central stack history not linearizable: %s", r.Reason)
+	}
+}
+
+func TestPopRetrySkipsContendedLogs(t *testing.T) {
+	// The retrying Pop must not log contended internal attempts; under a
+	// push/pop storm the recorded trace must still satisfy the spec with
+	// one element per interface operation.
+	rec := recorder.New()
+	s := New(objS, WithRecorder(rec))
+	const workers = 4
+	const per = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				s.Push(tid, int64(w*1_000+i))
+				s.Pop(tid)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr := rec.View(objS)
+	if len(tr) != 2*workers*per {
+		t.Errorf("trace has %d elements, want %d (one per interface op)", len(tr), 2*workers*per)
+	}
+	if _, err := spec.Accepts(spec.NewCentralStack(objS), tr); err != nil {
+		t.Fatalf("trace violates spec: %v", err)
+	}
+}
+
+func TestID(t *testing.T) {
+	if New("X").ID() != "X" {
+		t.Error("ID mismatch")
+	}
+}

@@ -1,0 +1,191 @@
+// Package recorder implements the paper's auxiliary history variable 𝒯
+// (§4): a single global, thread-safe CA-trace that instrumented objects
+// append to at their linearization points, together with per-object view
+// functions F_o and their recursive composition F̂_o over the object nesting
+// structure.
+//
+// An object o that encapsulates subobjects o1..on registers a view function
+// F_o translating CA-elements of its immediate subobjects into CA-traces of
+// its own operations. The view T_o of the global trace according to o is
+// obtained by recursively applying the subobjects' compositions, then F_o,
+// then projecting to o — so clients of o reason purely in terms of o's
+// operations without peeking into its implementation. This is what makes
+// the verification compositional.
+package recorder
+
+import (
+	"fmt"
+	"sync"
+
+	"calgo/internal/history"
+	"calgo/internal/trace"
+)
+
+// ViewFunc is the paper's F_o: a partial function from CA-elements (of o's
+// immediate subobjects) to CA-traces containing only operations of o.
+// Return ok == false where F_o is undefined; the total extension F̂_o then
+// passes the element through unchanged. Returning (nil, true) erases the
+// element (F_o(a) = ε).
+type ViewFunc func(trace.Element) (trace.Trace, bool)
+
+type objectInfo struct {
+	children []history.ObjectID
+	fn       ViewFunc
+}
+
+// Recorder is the global auxiliary trace 𝒯 plus the registry of object view
+// functions. All methods are safe for concurrent use.
+//
+// The zero Recorder is ready to use.
+type Recorder struct {
+	mu      sync.Mutex
+	t       trace.Trace
+	objects map[history.ObjectID]*objectInfo
+	parent  map[history.ObjectID]history.ObjectID
+}
+
+// New returns an empty Recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Register declares object o with its immediate subobjects and view
+// function F_o. Registration is bottom-up: children must be registered (or
+// be leaves registered implicitly by passing nil info) before parents, each
+// object may have at most one owner (the strict ownership discipline of
+// §2), and o must not already be registered. fn may be nil for objects like
+// the exchanger that encapsulate no subobjects (F_o completely undefined).
+func (r *Recorder) Register(o history.ObjectID, children []history.ObjectID, fn ViewFunc) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.objects == nil {
+		r.objects = make(map[history.ObjectID]*objectInfo)
+		r.parent = make(map[history.ObjectID]history.ObjectID)
+	}
+	if _, dup := r.objects[o]; dup {
+		return fmt.Errorf("recorder: object %s already registered", o)
+	}
+	for _, c := range children {
+		if c == o {
+			return fmt.Errorf("recorder: object %s cannot contain itself", o)
+		}
+		if p, owned := r.parent[c]; owned {
+			return fmt.Errorf("recorder: object %s already owned by %s", c, p)
+		}
+	}
+	r.objects[o] = &objectInfo{children: append([]history.ObjectID(nil), children...), fn: fn}
+	for _, c := range children {
+		r.parent[c] = o
+	}
+	return nil
+}
+
+// Append atomically appends one CA-element to 𝒯. Appending an element with
+// several operations is the paper's mechanism for letting "a single atomic
+// action [be treated] as a sequence of operations by different threads":
+// the pair of a successful exchange is logged in one step by the thread
+// whose CAS took effect.
+func (r *Recorder) Append(el trace.Element) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.t = append(r.t, el)
+}
+
+// Do runs fn while holding the trace lock; fn may append CA-elements
+// through the provided log callback. This implements the paper's
+// instrumented atomic actions (§5): a shared-state update (e.g. the XCHG
+// CAS) and its auxiliary assignment to 𝒯 execute as one step, so no other
+// thread can interpose an element between the update taking effect and it
+// being logged. fn must not call other Recorder methods.
+func (r *Recorder) Do(fn func(log func(trace.Element))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(func(el trace.Element) {
+		r.t = append(r.t, el)
+	})
+}
+
+// AppendOps builds a canonical CA-element from ops and appends it.
+func (r *Recorder) AppendOps(ops ...trace.Operation) error {
+	el, err := trace.NewElement(ops...)
+	if err != nil {
+		return err
+	}
+	r.Append(el)
+	return nil
+}
+
+// Snapshot returns a copy of the raw global trace 𝒯.
+func (r *Recorder) Snapshot() trace.Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(trace.Trace(nil), r.t...)
+}
+
+// Len returns the current number of elements in 𝒯.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.t)
+}
+
+// Reset clears the trace but keeps object registrations.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.t = nil
+}
+
+// View returns T_o: the global trace rewritten by F̂_o — the recursive
+// application of the view functions of o's encapsulated objects followed by
+// o's own — and projected to the CA-elements of o.
+func (r *Recorder) View(o history.ObjectID) trace.Trace {
+	r.mu.Lock()
+	snap := append(trace.Trace(nil), r.t...)
+	r.mu.Unlock()
+	return r.RewriteTrace(o, snap).ByObject(o)
+}
+
+// RewriteTrace applies F̂_o to an arbitrary trace without projecting.
+//
+// F_o is "a function from the CA-elements of [o's] immediate subobjects"
+// (§4), so the recorder restricts fn's domain structurally: it is consulted
+// only for elements whose object is one of o's registered children;
+// elements of other objects pass through unchanged. This makes F̂_o
+// idempotent by construction and makes the total extensions of disjoint
+// objects commute — both properties the paper relies on, and both
+// property-tested.
+func (r *Recorder) RewriteTrace(o history.ObjectID, tr trace.Trace) trace.Trace {
+	r.mu.Lock()
+	info := r.objects[o]
+	var children []history.ObjectID
+	var fn ViewFunc
+	if info != nil {
+		children = info.children
+		fn = info.fn
+	}
+	r.mu.Unlock()
+
+	out := tr
+	for _, c := range children {
+		out = r.RewriteTrace(c, out)
+	}
+	if fn == nil {
+		return out
+	}
+	childSet := make(map[history.ObjectID]bool, len(children))
+	for _, c := range children {
+		childSet[c] = true
+	}
+	rewritten := make(trace.Trace, 0, len(out))
+	for _, el := range out {
+		if !childSet[el.Object] {
+			rewritten = append(rewritten, el)
+			continue
+		}
+		if repl, ok := fn(el); ok {
+			rewritten = append(rewritten, repl...)
+		} else {
+			rewritten = append(rewritten, el)
+		}
+	}
+	return rewritten
+}

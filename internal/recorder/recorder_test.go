@@ -1,0 +1,282 @@
+package recorder
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const (
+	objAR history.ObjectID = "AR"
+	objES history.ObjectID = "ES"
+	objS  history.ObjectID = "S"
+)
+
+func exchObj(i int) history.ObjectID {
+	return history.ObjectID(fmt.Sprintf("AR.E[%d]", i))
+}
+
+// relabel builds the elimination array's F_AR: an exchange on any E[i]
+// becomes an exchange on AR.
+func relabel(to history.ObjectID) ViewFunc {
+	return func(el trace.Element) (trace.Trace, bool) {
+		ops := make([]trace.Operation, len(el.Ops))
+		for i, op := range el.Ops {
+			op.Object = to
+			ops[i] = op
+		}
+		return trace.Trace{trace.MustElement(ops...)}, true
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := New()
+	if err := r.Register(objAR, []history.ObjectID{exchObj(0)}, relabel(objAR)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register(objAR, nil, nil); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	if err := r.Register("X", []history.ObjectID{"X"}, nil); err == nil {
+		t.Error("self-containment must fail")
+	}
+	if err := r.Register("Y", []history.ObjectID{exchObj(0)}, nil); err == nil {
+		t.Error("double ownership must fail (strict ownership discipline)")
+	}
+}
+
+func TestAppendSnapshotReset(t *testing.T) {
+	r := New()
+	el := spec.FailElement("E", 1, 7)
+	r.Append(el)
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	snap := r.Snapshot()
+	r.Append(el)
+	if len(snap) != 1 {
+		t.Error("Snapshot must be a copy")
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset must clear the trace")
+	}
+}
+
+func TestAppendOpsValidates(t *testing.T) {
+	var r Recorder
+	err := r.AppendOps() // empty element
+	if err == nil {
+		t.Error("empty element must be rejected")
+	}
+	if err := r.AppendOps(trace.Operation{
+		Thread: 1, Object: "E", Method: spec.MethodExchange,
+		Arg: history.Int(1), Ret: history.Pair(false, 1),
+	}); err != nil {
+		t.Errorf("AppendOps: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Error("valid element not appended")
+	}
+}
+
+func TestViewElimArrayRelabeling(t *testing.T) {
+	// The elimination array's view: F_AR(E[i].S) = AR.S (§5).
+	r := New()
+	children := []history.ObjectID{exchObj(0), exchObj(1)}
+	if err := r.Register(objAR, children, relabel(objAR)); err != nil {
+		t.Fatal(err)
+	}
+	r.Append(spec.SwapElement(exchObj(0), 1, 3, 2, 4))
+	r.Append(spec.FailElement(exchObj(1), 3, 7))
+
+	got := r.View(objAR)
+	want := trace.Trace{
+		spec.SwapElement(objAR, 1, 3, 2, 4),
+		spec.FailElement(objAR, 3, 7),
+	}
+	if !got.Equal(want) {
+		t.Errorf("View(AR) = %s, want %s", got, want)
+	}
+	// The relabeled trace satisfies the exchanger spec for object AR —
+	// "the elimination array exposes the same specification as a single
+	// exchanger".
+	if _, err := spec.Accepts(spec.NewElimArray(objAR), got); err != nil {
+		t.Errorf("View(AR) not admitted by elim-array spec: %v", err)
+	}
+}
+
+// elimStackView is the paper's F_ES (§5): successful central-stack pushes
+// and pops become elimination-stack operations; an AR swap of (n, ∞) with
+// n ≠ ∞ becomes push(n) linearized immediately before a pop returning n;
+// everything else is erased.
+func elimStackView(sentinel int64) ViewFunc {
+	return func(el trace.Element) (trace.Trace, bool) {
+		switch el.Object {
+		case objS:
+			op := el.Ops[0]
+			switch {
+			case op.Method == spec.MethodPush && op.Ret.B:
+				return trace.Trace{spec.PushElement(objES, op.Thread, op.Arg.N, true)}, true
+			case op.Method == spec.MethodPop && op.Ret.B:
+				return trace.Trace{spec.PopElement(objES, op.Thread, true, op.Ret.N)}, true
+			default:
+				return nil, true // failed central-stack op: erased
+			}
+		case objAR:
+			if len(el.Ops) == 2 {
+				a, b := el.Ops[0], el.Ops[1]
+				if a.Arg.N == sentinel && b.Arg.N != sentinel {
+					a, b = b, a
+				}
+				if a.Arg.N != sentinel && b.Arg.N == sentinel && a.Ret.B && b.Ret.B {
+					return trace.Trace{
+						spec.PushElement(objES, a.Thread, a.Arg.N, true),
+						spec.PopElement(objES, b.Thread, true, a.Arg.N),
+					}, true
+				}
+			}
+			return nil, true // failed or same-operation exchange: erased
+		default:
+			return nil, false
+		}
+	}
+}
+
+func TestViewElimStackComposition(t *testing.T) {
+	const sentinel = int64(1 << 40)
+	r := New()
+	if err := r.Register(objAR, []history.ObjectID{exchObj(0), exchObj(1)}, relabel(objAR)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(objS, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(objES, []history.ObjectID{objS, objAR}, elimStackView(sentinel)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A run: t1 pushes 5 on the central stack; t2's push(6) is eliminated
+	// by t3's pop through exchanger E[1]; t4's central pop takes the 5;
+	// t5's exchange fails; t6's failed central push is erased.
+	r.Append(spec.PushElement(objS, 1, 5, true))
+	r.Append(spec.SwapElement(exchObj(1), 2, 6, 3, sentinel))
+	r.Append(spec.PopElement(objS, 4, true, 5))
+	r.Append(spec.FailElement(exchObj(0), 5, 9))
+	r.Append(spec.PushElement(objS, 6, 7, false))
+
+	got := r.View(objES)
+	want := trace.Trace{
+		spec.PushElement(objES, 1, 5, true),
+		spec.PushElement(objES, 2, 6, true),
+		spec.PopElement(objES, 3, true, 6),
+		spec.PopElement(objES, 4, true, 5),
+	}
+	if !got.Equal(want) {
+		t.Errorf("View(ES) = %s\nwant %s", got, want)
+	}
+	// The derived trace is a valid sequential stack trace: the elimination
+	// stack is linearizable w.r.t. the ordinary stack specification.
+	if _, err := spec.Accepts(spec.NewStack(objES), got); err != nil {
+		t.Errorf("View(ES) not admitted by stack spec: %v", err)
+	}
+	// Subobject views remain available and disjoint.
+	if n := len(r.View(objS)); n != 3 {
+		t.Errorf("|View(S)| = %d, want 3", n)
+	}
+	if n := len(r.View(objAR)); n != 2 {
+		t.Errorf("|View(AR)| = %d, want 2", n)
+	}
+}
+
+func TestViewUnregisteredObjectIsProjection(t *testing.T) {
+	// For an object with no registered view (F_o completely undefined, as
+	// for the exchanger), T_o = 𝒯|o.
+	var r Recorder
+	r.Append(spec.FailElement("E", 1, 7))
+	r.Append(spec.PushElement(objS, 2, 5, true))
+	got := r.View("E")
+	if len(got) != 1 || got[0].Object != "E" {
+		t.Errorf("View(E) = %s, want the projection 𝒯|E", got)
+	}
+}
+
+// TestCompositionOrderIrrelevant checks the paper's claim that for disjoint
+// objects o and o', F̂_o ∘ F̂_o' = F̂_o' ∘ F̂_o.
+func TestCompositionOrderIrrelevant(t *testing.T) {
+	mk := func(order []history.ObjectID) trace.Trace {
+		r := New()
+		for _, o := range order {
+			var err error
+			switch o {
+			case objAR:
+				err = r.Register(objAR, []history.ObjectID{exchObj(0)}, relabel(objAR))
+			case "AR2":
+				err = r.Register("AR2", []history.ObjectID{exchObj(1)}, relabel("AR2"))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.Append(spec.SwapElement(exchObj(0), 1, 3, 2, 4))
+		r.Append(spec.SwapElement(exchObj(1), 3, 5, 4, 6))
+		tr := r.Snapshot()
+		for _, o := range order {
+			tr = r.RewriteTrace(o, tr)
+		}
+		return tr
+	}
+	a := mk([]history.ObjectID{objAR, "AR2"})
+	b := mk([]history.ObjectID{"AR2", objAR})
+	if !a.Equal(b) {
+		t.Errorf("composition order changed the rewritten trace:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRewriteIdempotent checks F̂_o ∘ F̂_o = F̂_o on rewritten traces: once an
+// element has been translated to o's operations, F_o is undefined on it.
+func TestRewriteIdempotent(t *testing.T) {
+	r := New()
+	if err := r.Register(objAR, []history.ObjectID{exchObj(0)}, func(el trace.Element) (trace.Trace, bool) {
+		if el.Object != exchObj(0) {
+			return nil, false
+		}
+		return relabel(objAR)(el)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.Append(spec.SwapElement(exchObj(0), 1, 3, 2, 4))
+	once := r.RewriteTrace(objAR, r.Snapshot())
+	twice := r.RewriteTrace(objAR, once)
+	if !once.Equal(twice) {
+		t.Errorf("rewrite not idempotent: %s vs %s", once, twice)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	var r Recorder
+	const workers = 8
+	const per = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Append(spec.FailElement("E", history.ThreadID(base+1), int64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != workers*per {
+		t.Errorf("Len = %d, want %d", r.Len(), workers*per)
+	}
+	// The trace must still be per-object admissible.
+	if _, err := spec.Accepts(spec.NewExchanger("E"), r.Snapshot()); err != nil {
+		t.Errorf("concurrent appends produced invalid trace: %v", err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package rg implements the rely/guarantee side of the paper's proof
+// (Figure 4): every shared-state transition of the exchanger must be
+// justified by one of the actions INIT, CLEAN, PASS, XCHG or FAIL (plus
+// thread-local steps that leave the shared state untouched, and offer
+// allocations, which publish nothing). Installing Justify as the
+// exploration's transition hook checks that every thread's every step lies
+// within its guarantee G^t — and hence, by G^t ⇒ R^t' for t ≠ t', within
+// every other thread's rely.
+package rg
+
+import (
+	"fmt"
+
+	"calgo/internal/history"
+	"calgo/internal/model"
+	"calgo/internal/sched"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// Action names, as in Figure 4. Tau covers steps with no shared effect
+// (reads, CAS misses, local branching, interface inv/res events) and Alloc
+// covers `new Offer(...)`, which touches only unpublished memory.
+const (
+	ActionInit  = "INIT"
+	ActionClean = "CLEAN"
+	ActionPass  = "PASS"
+	ActionXchg  = "XCHG"
+	ActionFail  = "FAIL"
+	ActionAlloc = "alloc"
+	ActionTau   = "tau"
+)
+
+// Justify checks one transition of the exchanger model against the
+// guarantee of the stepping thread, returning the matched action name.
+func Justify(pre, post *model.ExchangerState, t history.ThreadID) (string, error) {
+	switch {
+	case isTau(pre, post):
+		return ActionTau, nil
+	case isAlloc(pre, post, t):
+		return ActionAlloc, nil
+	case isInit(pre, post, t):
+		return ActionInit, nil
+	case isClean(pre, post):
+		return ActionClean, nil
+	case isPass(pre, post, t):
+		return ActionPass, nil
+	case isXchg(pre, post, t):
+		return ActionXchg, nil
+	case isFail(pre, post, t):
+		return ActionFail, nil
+	default:
+		return "", fmt.Errorf("rg: transition of %s matches no action in G^t", t)
+	}
+}
+
+// Hook adapts Justify to a sched transition hook. If strict labels are
+// requested, the action matched by shape must also agree with the model's
+// own label for CAS-success steps (catching instrumentation drift).
+func Hook(strict bool) func(sched.State, sched.Succ) error {
+	named := map[string]bool{
+		ActionInit: true, ActionClean: true, ActionPass: true,
+		ActionXchg: true, ActionFail: true,
+	}
+	return func(from sched.State, s sched.Succ) error {
+		pre, ok := from.(*model.ExchangerState)
+		if !ok {
+			return fmt.Errorf("rg: hook applied to %T", from)
+		}
+		post, ok := s.Next.(*model.ExchangerState)
+		if !ok {
+			return fmt.Errorf("rg: successor is %T", s.Next)
+		}
+		action, err := Justify(pre, post, history.ThreadID(s.Thread+1))
+		if err != nil {
+			return fmt.Errorf("%w (labelled %q)", err, s.Label)
+		}
+		if strict && (named[action] || named[s.Label]) && action != s.Label {
+			return fmt.Errorf("rg: shape matches %s but step is labelled %s", action, s.Label)
+		}
+		return nil
+	}
+}
+
+// sameOffers reports whether the offer heaps agree on the first n entries.
+func sameOffers(pre, post *model.ExchangerState, skipHole int) bool {
+	if len(post.Offers) != len(pre.Offers) {
+		return false
+	}
+	for i := range pre.Offers {
+		a, b := pre.Offers[i], post.Offers[i]
+		if i == skipHole {
+			a.Hole, b.Hole = 0, 0
+		}
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTrace(pre, post *model.ExchangerState) bool {
+	return post.AuxTrace().Equal(pre.AuxTrace())
+}
+
+// traceGrewBy reports whether post's trace is pre's plus exactly el.
+func traceGrewBy(pre, post *model.ExchangerState, el trace.Element) bool {
+	tp, tq := pre.AuxTrace(), post.AuxTrace()
+	if len(tq) != len(tp)+1 {
+		return false
+	}
+	if !trace.Trace(tq[:len(tp)]).Equal(tp) {
+		return false
+	}
+	return tq[len(tq)-1].Equal(el)
+}
+
+// isTau: no shared mutation at all (G, offers, 𝒯 unchanged).
+func isTau(pre, post *model.ExchangerState) bool {
+	return pre.G == post.G && sameOffers(pre, post, -1) && sameTrace(pre, post)
+}
+
+// isAlloc: one fresh unpublished offer of thread t appended; rest same.
+func isAlloc(pre, post *model.ExchangerState, t history.ThreadID) bool {
+	if len(post.Offers) != len(pre.Offers)+1 || pre.G != post.G || !sameTrace(pre, post) {
+		return false
+	}
+	for i := range pre.Offers {
+		if pre.Offers[i] != post.Offers[i] {
+			return false
+		}
+	}
+	fresh := post.Offers[len(post.Offers)-1]
+	return fresh.Tid == t && fresh.Hole == model.HoleNull
+}
+
+// isInit is INIT^t: [∃n. g = null ∧ n.tid = t ∧ n.hole = null ∧ g' = n]_g.
+func isInit(pre, post *model.ExchangerState, t history.ThreadID) bool {
+	if pre.G != -1 || post.G == -1 || !sameOffers(pre, post, -1) || !sameTrace(pre, post) {
+		return false
+	}
+	n := post.Offers[post.G]
+	return n.Tid == t && n.Hole == model.HoleNull
+}
+
+// isClean is CLEAN^t: [g.hole ≠ null ∧ g' = null]_g.
+func isClean(pre, post *model.ExchangerState) bool {
+	if pre.G == -1 || post.G != -1 || !sameOffers(pre, post, -1) || !sameTrace(pre, post) {
+		return false
+	}
+	return pre.Offers[pre.G].Hole != model.HoleNull
+}
+
+// isPass is PASS^t: [g.hole = null ∧ g.tid = t ∧ g.hole' = fail]_{g.hole},
+// extended (per §5's prose) with the auxiliary assignment logging the
+// failed operation.
+func isPass(pre, post *model.ExchangerState, t history.ThreadID) bool {
+	if pre.G == -1 || post.G != pre.G || !sameOffers(pre, post, pre.G) {
+		return false
+	}
+	own := pre.Offers[pre.G]
+	if own.Tid != t || own.Hole != model.HoleNull || post.Offers[pre.G].Hole != model.HoleFail {
+		return false
+	}
+	return traceGrewBy(pre, post, spec.FailElement(pre.Object(), t, own.Data))
+}
+
+// isXchg is XCHG^t: [∃n ≠ fail. n.tid = t ∧ g.hole = null ∧ g.tid ≠ t ∧
+// g.hole' = n ∧ 𝒯' = 𝒯 · E.swap(g.tid, g.data, t, n.data)]_{g.hole, 𝒯}.
+func isXchg(pre, post *model.ExchangerState, t history.ThreadID) bool {
+	if pre.G == -1 || post.G != pre.G || !sameOffers(pre, post, pre.G) {
+		return false
+	}
+	cur := pre.Offers[pre.G]
+	if cur.Tid == t || cur.Hole != model.HoleNull {
+		return false
+	}
+	holeAfter := post.Offers[pre.G].Hole
+	if holeAfter < 0 || holeAfter >= len(post.Offers) {
+		return false
+	}
+	n := post.Offers[holeAfter]
+	if n.Tid != t {
+		return false
+	}
+	return traceGrewBy(pre, post, spec.SwapElement(pre.Object(), cur.Tid, cur.Data, t, n.Data))
+}
+
+// isFail is FAIL^t: [∃d. 𝒯' = 𝒯 · (E.{(t, ex(d) ▷ false, d)})]_𝒯.
+func isFail(pre, post *model.ExchangerState, t history.ThreadID) bool {
+	if pre.G != post.G || !sameOffers(pre, post, -1) {
+		return false
+	}
+	tq := post.AuxTrace()
+	if len(tq) != len(pre.AuxTrace())+1 {
+		return false
+	}
+	last := tq[len(tq)-1]
+	if last.Size() != 1 || last.Ops[0].Thread != t {
+		return false
+	}
+	op := last.Ops[0]
+	return op.Method == spec.MethodExchange && op.Ret == history.Pair(false, op.Arg.N)
+}

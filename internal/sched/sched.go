@@ -1,0 +1,176 @@
+// Package sched is an exhaustive interleaving explorer for finite-state
+// concurrent programs. The models in calgo/internal/model encode the
+// paper's algorithms as fine-grained atomic step machines; this package
+// enumerates every schedule, checking user-supplied invariants on every
+// state, justifying every transition (rely/guarantee checking), and
+// running a terminal-state check (CAL verification of the produced history
+// against the recorded auxiliary trace) on every maximal execution.
+//
+// The search is a depth-first traversal with a visited set keyed on
+// canonical state encodings, so confluent interleavings and retry cycles
+// are each explored once.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// State is a node of the transition system. Implementations must be
+// immutable: Successors returns fresh states.
+type State interface {
+	// Key is a canonical encoding of the state; two states are identified
+	// iff their keys are equal.
+	Key() string
+	// Successors enumerates every atomic step any thread can take.
+	Successors() []Succ
+	// Done reports whether the state is terminal by completion (every
+	// thread finished its program). States with no successors that are
+	// not Done are deadlocks and reported as errors.
+	Done() bool
+}
+
+// Succ is one outgoing transition.
+type Succ struct {
+	// Thread is the index of the stepping thread.
+	Thread int
+	// Label names the action taken, e.g. "INIT", "XCHG", "tau". Labels
+	// appear in counterexample traces and are passed to the Transition
+	// hook.
+	Label string
+	// Next is the successor state.
+	Next State
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Invariant, if set, is checked on every reached state.
+	Invariant func(State) error
+	// Transition, if set, is checked on every explored transition; use it
+	// for rely/guarantee action justification.
+	Transition func(from State, s Succ) error
+	// Terminal, if set, is checked on every Done state.
+	Terminal func(State) error
+	// MaxStates bounds the number of distinct states visited
+	// (default 1_000_000).
+	MaxStates int
+	// AllowDeadlock suppresses the deadlock error for non-Done states
+	// without successors. Bounded-retry models use it: a thread that
+	// exhausted its retry budget halts without completing its program.
+	AllowDeadlock bool
+}
+
+// Stats summarizes an exploration.
+type Stats struct {
+	// States is the number of distinct states visited.
+	States int
+	// Transitions is the number of transitions explored.
+	Transitions int
+	// Terminals is the number of terminal (Done or halted) states reached.
+	Terminals int
+	// MaxDepth is the deepest schedule explored.
+	MaxDepth int
+}
+
+// ErrMaxStates is returned when the exploration exceeds its state budget.
+var ErrMaxStates = errors.New("sched: state budget exceeded")
+
+// ViolationError describes a check failure together with the schedule that
+// reached it.
+type ViolationError struct {
+	// Kind is "invariant", "transition", "terminal" or "deadlock".
+	Kind string
+	// Err is the underlying check failure.
+	Err error
+	// Schedule is the sequence of "t0:LABEL" steps from the initial state.
+	Schedule []string
+}
+
+// Error implements error.
+func (v *ViolationError) Error() string {
+	return fmt.Sprintf("sched: %s violation: %v\nschedule: %s",
+		v.Kind, v.Err, strings.Join(v.Schedule, " "))
+}
+
+// Unwrap exposes the underlying failure.
+func (v *ViolationError) Unwrap() error { return v.Err }
+
+// Explore exhaustively explores the transition system rooted at init.
+func Explore(init State, opts Options) (Stats, error) {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 1_000_000
+	}
+	e := &explorer{opts: opts, visited: make(map[string]bool)}
+	if err := e.check("invariant", opts.Invariant, init); err != nil {
+		return e.stats, err
+	}
+	err := e.dfs(init, 0)
+	return e.stats, err
+}
+
+type explorer struct {
+	opts     Options
+	visited  map[string]bool
+	stats    Stats
+	schedule []string
+}
+
+func (e *explorer) check(kind string, fn func(State) error, s State) error {
+	if fn == nil {
+		return nil
+	}
+	if err := fn(s); err != nil {
+		return &ViolationError{Kind: kind, Err: err, Schedule: append([]string(nil), e.schedule...)}
+	}
+	return nil
+}
+
+func (e *explorer) dfs(s State, depth int) error {
+	key := s.Key()
+	if e.visited[key] {
+		return nil
+	}
+	e.visited[key] = true
+	e.stats.States++
+	if e.stats.States > e.opts.MaxStates {
+		return fmt.Errorf("%w (limit %d)", ErrMaxStates, e.opts.MaxStates)
+	}
+	if depth > e.stats.MaxDepth {
+		e.stats.MaxDepth = depth
+	}
+
+	succs := s.Successors()
+	if len(succs) == 0 {
+		e.stats.Terminals++
+		if !s.Done() && !e.opts.AllowDeadlock {
+			return &ViolationError{
+				Kind:     "deadlock",
+				Err:      errors.New("state has no successors but threads are unfinished"),
+				Schedule: append([]string(nil), e.schedule...),
+			}
+		}
+		return e.check("terminal", e.opts.Terminal, s)
+	}
+	for _, succ := range succs {
+		e.schedule = append(e.schedule, fmt.Sprintf("t%d:%s", succ.Thread, succ.Label))
+		e.stats.Transitions++
+		if e.opts.Transition != nil {
+			if err := e.opts.Transition(s, succ); err != nil {
+				verr := &ViolationError{Kind: "transition", Err: err, Schedule: append([]string(nil), e.schedule...)}
+				e.schedule = e.schedule[:len(e.schedule)-1]
+				return verr
+			}
+		}
+		if err := e.check("invariant", e.opts.Invariant, succ.Next); err != nil {
+			e.schedule = e.schedule[:len(e.schedule)-1]
+			return err
+		}
+		err := e.dfs(succ.Next, depth+1)
+		e.schedule = e.schedule[:len(e.schedule)-1]
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

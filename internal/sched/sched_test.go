@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// counterState is a toy machine: n threads each increment a shared counter
+// k times; one atomic step per increment.
+type counterState struct {
+	remaining []int
+	total     int
+	stuck     bool // when set, threads refuse to step (deadlock fixture)
+}
+
+func (s counterState) Key() string {
+	return fmt.Sprintf("%v|%d|%t", s.remaining, s.total, s.stuck)
+}
+
+func (s counterState) Done() bool {
+	for _, r := range s.remaining {
+		if r > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s counterState) Successors() []Succ {
+	if s.stuck {
+		return nil
+	}
+	var out []Succ
+	for t, r := range s.remaining {
+		if r == 0 {
+			continue
+		}
+		next := counterState{remaining: append([]int(nil), s.remaining...), total: s.total + 1}
+		next.remaining[t]--
+		out = append(out, Succ{Thread: t, Label: "inc", Next: next})
+	}
+	return out
+}
+
+func TestExploreCountsStates(t *testing.T) {
+	// 2 threads x 2 increments: states form the grid (2-r1, 2-r2) and the
+	// total is determined by position, so states = 3*3 = 9.
+	stats, err := Explore(counterState{remaining: []int{2, 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.States != 9 {
+		t.Errorf("States = %d, want 9", stats.States)
+	}
+	if stats.Terminals != 1 {
+		t.Errorf("Terminals = %d, want 1 (confluent)", stats.Terminals)
+	}
+	if stats.MaxDepth != 4 {
+		t.Errorf("MaxDepth = %d, want 4", stats.MaxDepth)
+	}
+}
+
+func TestExploreInvariantViolation(t *testing.T) {
+	_, err := Explore(counterState{remaining: []int{1, 1}}, Options{
+		Invariant: func(s State) error {
+			if s.(counterState).total >= 2 {
+				return errors.New("counter reached 2")
+			}
+			return nil
+		},
+	})
+	var verr *ViolationError
+	if !errors.As(err, &verr) || verr.Kind != "invariant" {
+		t.Fatalf("err = %v, want invariant violation", err)
+	}
+	if len(verr.Schedule) != 2 {
+		t.Errorf("schedule = %v, want two steps", verr.Schedule)
+	}
+	if !strings.Contains(verr.Error(), "schedule:") {
+		t.Errorf("Error() should include the schedule: %s", verr)
+	}
+	if !errors.Is(err, verr.Err) {
+		t.Error("Unwrap should expose the underlying error")
+	}
+}
+
+func TestExploreTransitionHook(t *testing.T) {
+	var labels []string
+	_, err := Explore(counterState{remaining: []int{1}}, Options{
+		Transition: func(from State, s Succ) error {
+			labels = append(labels, fmt.Sprintf("t%d:%s", s.Thread, s.Label))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 1 || labels[0] != "t0:inc" {
+		t.Errorf("labels = %v", labels)
+	}
+	// A failing transition hook aborts with the schedule.
+	_, err = Explore(counterState{remaining: []int{1}}, Options{
+		Transition: func(State, Succ) error { return errors.New("nope") },
+	})
+	var verr *ViolationError
+	if !errors.As(err, &verr) || verr.Kind != "transition" {
+		t.Fatalf("err = %v, want transition violation", err)
+	}
+}
+
+func TestExploreTerminalHook(t *testing.T) {
+	calls := 0
+	_, err := Explore(counterState{remaining: []int{1, 1}}, Options{
+		Terminal: func(s State) error {
+			calls++
+			if got := s.(counterState).total; got != 2 {
+				return fmt.Errorf("terminal total = %d", got)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("terminal hook ran %d times, want 1", calls)
+	}
+}
+
+func TestExploreDeadlock(t *testing.T) {
+	init := counterState{remaining: []int{1}, stuck: true}
+	_, err := Explore(init, Options{})
+	var verr *ViolationError
+	if !errors.As(err, &verr) || verr.Kind != "deadlock" {
+		t.Fatalf("err = %v, want deadlock violation", err)
+	}
+	// AllowDeadlock turns it into a terminal.
+	stats, err := Explore(init, Options{AllowDeadlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Terminals != 1 {
+		t.Errorf("Terminals = %d, want 1", stats.Terminals)
+	}
+}
+
+func TestExploreMaxStatesBound(t *testing.T) {
+	_, err := Explore(counterState{remaining: []int{5, 5}}, Options{MaxStates: 3})
+	if !errors.Is(err, ErrMaxStates) {
+		t.Fatalf("err = %v, want ErrMaxStates", err)
+	}
+}
+
+func TestExploreInitialInvariant(t *testing.T) {
+	_, err := Explore(counterState{remaining: []int{1}}, Options{
+		Invariant: func(s State) error {
+			if s.(counterState).total == 0 {
+				return errors.New("bad initial state")
+			}
+			return nil
+		},
+	})
+	var verr *ViolationError
+	if !errors.As(err, &verr) || len(verr.Schedule) != 0 {
+		t.Fatalf("initial-state violation should carry an empty schedule: %v", err)
+	}
+}
+
+func TestExploreRevisitsPruned(t *testing.T) {
+	// Transitions into an already-visited state are counted but not
+	// re-expanded: with 2x1 increments there are 4 transitions, 5 states.
+	stats, err := Explore(counterState{remaining: []int{1, 1}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transitions != 4 {
+		t.Errorf("Transitions = %d, want 4", stats.Transitions)
+	}
+	if stats.States != 4 {
+		t.Errorf("States = %d, want 4 (diamond)", stats.States)
+	}
+}

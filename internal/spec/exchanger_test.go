@@ -1,0 +1,119 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/trace"
+)
+
+const objE history.ObjectID = "E"
+
+func exOp(t history.ThreadID, arg int64, ok bool, ret int64) trace.Operation {
+	return trace.Operation{Thread: t, Object: objE, Method: MethodExchange, Arg: history.Int(arg), Ret: history.Pair(ok, ret)}
+}
+
+func TestExchangerAcceptsPaperTraces(t *testing.T) {
+	e := NewExchanger(objE)
+	traces := []trace.Trace{
+		{},
+		{FailElement(objE, 3, 7)},
+		{SwapElement(objE, 1, 3, 2, 4)},
+		{SwapElement(objE, 1, 3, 2, 4), FailElement(objE, 3, 7)},
+		{FailElement(objE, 3, 7), SwapElement(objE, 1, 3, 2, 4), SwapElement(objE, 5, 10, 6, 20)},
+	}
+	for _, tr := range traces {
+		if _, err := Accepts(e, tr); err != nil {
+			t.Errorf("exchanger should accept %s: %v", tr, err)
+		}
+	}
+}
+
+func TestExchangerRejections(t *testing.T) {
+	e := NewExchanger(objE)
+	tests := []struct {
+		name    string
+		el      trace.Element
+		wantErr string
+	}{
+		{"lone success", trace.Singleton(exOp(1, 3, true, 4)), "cannot stand alone"},
+		{"fail returns wrong value", trace.Singleton(exOp(1, 3, false, 9)), "own value"},
+		{"swap values do not cross", trace.MustElement(exOp(1, 3, true, 9), exOp(2, 4, true, 3)), "cross"},
+		{"half-failed pair", trace.MustElement(exOp(1, 3, false, 3), exOp(2, 4, true, 3)), "succeed"},
+		{"wrong object", FailElement("X", 1, 1), "constrains"},
+		{"wrong method", trace.Singleton(trace.Operation{Thread: 1, Object: objE, Method: "frob", Arg: history.Int(1), Ret: history.Pair(false, 1)}), "unknown method"},
+		{"bad arg kind", trace.Singleton(trace.Operation{Thread: 1, Object: objE, Method: MethodExchange, Arg: history.Unit(), Ret: history.Pair(false, 1)}), "int"},
+		{"bad ret kind", trace.Singleton(trace.Operation{Thread: 1, Object: objE, Method: MethodExchange, Arg: history.Int(1), Ret: history.Bool(false)}), "pair"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := e.Step(e.Init(), tt.el)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("Step(%s) error = %v, want containing %q", tt.el, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestExchangerSelfSwapImpossible(t *testing.T) {
+	// trace.NewElement already rejects two operations of the same thread,
+	// which is what makes t ≠ t' in E.swap structural.
+	if _, err := trace.NewElement(exOp(1, 3, true, 4), exOp(1, 4, true, 3)); err == nil {
+		t.Error("an element pairing one thread with itself must be invalid")
+	}
+}
+
+func TestExchangerResolveReturns(t *testing.T) {
+	e := NewExchanger(objE)
+	// Lone pending exchange: only failure.
+	got := e.ResolveReturns(Empty(), []trace.Operation{{Thread: 1, Object: objE, Method: MethodExchange, Arg: history.Int(5)}}, []int{0})
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != history.Pair(false, 5) {
+		t.Errorf("lone pending resolution = %v", got)
+	}
+	// Pair with one pending: forced to partner's argument.
+	ops := []trace.Operation{exOp(1, 3, true, 4), {Thread: 2, Object: objE, Method: MethodExchange, Arg: history.Int(4)}}
+	got = e.ResolveReturns(Empty(), ops, []int{1})
+	if len(got) != 1 || got[0][0] != history.Pair(true, 3) {
+		t.Errorf("pair resolution = %v", got)
+	}
+	// Both pending.
+	ops = []trace.Operation{
+		{Thread: 1, Object: objE, Method: MethodExchange, Arg: history.Int(3)},
+		{Thread: 2, Object: objE, Method: MethodExchange, Arg: history.Int(4)},
+	}
+	got = e.ResolveReturns(Empty(), ops, []int{0, 1})
+	if len(got) != 1 || got[0][0] != history.Pair(true, 4) || got[0][1] != history.Pair(true, 3) {
+		t.Errorf("double-pending resolution = %v", got)
+	}
+	// Oversized sets resolve to nothing.
+	if got := e.ResolveReturns(Empty(), make([]trace.Operation, 3), []int{0}); got != nil {
+		t.Errorf("3-op resolution = %v, want nil", got)
+	}
+}
+
+func TestExchangerMeta(t *testing.T) {
+	e := NewExchanger(objE)
+	if e.MaxElementSize() != 2 {
+		t.Errorf("MaxElementSize = %d, want 2", e.MaxElementSize())
+	}
+	if e.Object() != objE {
+		t.Errorf("Object = %s", e.Object())
+	}
+	if !strings.Contains(e.Name(), "exchanger") {
+		t.Errorf("Name = %s", e.Name())
+	}
+	ar := NewElimArray("AR")
+	if ar.Object() != "AR" {
+		t.Errorf("elim array object = %s", ar.Object())
+	}
+}
+
+func TestAcceptsReportsElementIndex(t *testing.T) {
+	e := NewExchanger(objE)
+	tr := trace.Trace{FailElement(objE, 1, 1), trace.Singleton(exOp(2, 3, true, 4))}
+	_, err := Accepts(e, tr)
+	if err == nil || !strings.Contains(err.Error(), "element 2") {
+		t.Errorf("Accepts error = %v, want element index 2", err)
+	}
+}

@@ -1,0 +1,257 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/trace"
+)
+
+// TestSpecMetaContract checks the Spec interface contract uniformly for
+// every specification: Name is informative, Object matches, element sizes
+// are sane, Init().Key() is stable, and Step rejects foreign states and
+// wrong objects.
+func TestSpecMetaContract(t *testing.T) {
+	specs := []struct {
+		sp       Spec
+		obj      history.ObjectID
+		nameFrag string
+		maxElem  int
+		// el is a valid first element for the spec.
+		el trace.Element
+	}{
+		{NewExchanger("E"), "E", "exchanger", 2, FailElement("E", 1, 7)},
+		{NewElimArray("AR"), "AR", "exchanger", 2, FailElement("AR", 1, 7)},
+		{NewStack("S"), "S", "stack", 1, PushElement("S", 1, 5, true)},
+		{NewCentralStack("S"), "S", "central-stack", 1, PushElement("S", 1, 5, false)},
+		{NewDualStack("DS"), "DS", "dual-stack", 2, FulfilmentElement("DS", 1, 5, 2)},
+		{NewQueue("Q"), "Q", "queue", 1, trace.Singleton(trace.Operation{
+			Thread: 1, Object: "Q", Method: MethodEnq, Arg: history.Int(1), Ret: history.Bool(true)})},
+		{NewSyncQueue("SQ"), "SQ", "syncqueue", 2, HandOffElement("SQ", 1, 5, 2)},
+		{NewRegister("R"), "R", "register", 1, trace.Singleton(trace.Operation{
+			Thread: 1, Object: "R", Method: MethodWrite, Arg: history.Int(1), Ret: history.Unit()})},
+		{NewSnapshot("IS", 3), "IS", "snapshot", 3, BlockElement("IS", 0, [2]int64{1, 5})},
+	}
+	for _, tt := range specs {
+		t.Run(tt.sp.Name(), func(t *testing.T) {
+			if !strings.Contains(tt.sp.Name(), tt.nameFrag) {
+				t.Errorf("Name() = %q, want containing %q", tt.sp.Name(), tt.nameFrag)
+			}
+			if tt.sp.Object() != tt.obj {
+				t.Errorf("Object() = %q, want %q", tt.sp.Object(), tt.obj)
+			}
+			if got := tt.sp.MaxElementSize(); got != tt.maxElem {
+				t.Errorf("MaxElementSize() = %d, want %d", got, tt.maxElem)
+			}
+			init := tt.sp.Init()
+			if init.Key() != tt.sp.Init().Key() {
+				t.Error("Init().Key() must be deterministic")
+			}
+			// Foreign state must be rejected (the stateless exchanger and
+			// sync queue legitimately ignore the state).
+			if _, err := tt.sp.Step(init, tt.el); err != nil {
+				t.Errorf("valid first element rejected: %v", err)
+			}
+			bad := tt.el
+			bad.Object = "ZZZ"
+			for i := range bad.Ops {
+				bad.Ops[i].Object = "ZZZ"
+			}
+			if _, err := tt.sp.Step(init, bad); err == nil {
+				t.Error("element on a foreign object must be rejected")
+			}
+		})
+	}
+}
+
+// TestStatefulSpecsRejectForeignStates: stateful specs must not accept
+// another spec's state value.
+func TestStatefulSpecsRejectForeignStates(t *testing.T) {
+	type stepper interface {
+		Step(State, trace.Element) (State, error)
+	}
+	cases := []struct {
+		name string
+		sp   stepper
+		el   trace.Element
+	}{
+		{"stack", NewStack("S"), PushElement("S", 1, 1, true)},
+		{"queue", NewQueue("Q"), trace.Singleton(trace.Operation{
+			Thread: 1, Object: "Q", Method: MethodEnq, Arg: history.Int(1), Ret: history.Bool(true)})},
+		{"register", NewRegister("R"), trace.Singleton(trace.Operation{
+			Thread: 1, Object: "R", Method: MethodRead, Arg: history.Unit(), Ret: history.Int(0)})},
+		{"snapshot", NewSnapshot("IS", 2), BlockElement("IS", 0, [2]int64{1, 1})},
+		{"product", MustProduct(NewStack("S")), PushElement("S", 1, 1, true)},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.sp.Step(Empty(), tt.el); err == nil {
+				t.Error("foreign state must be rejected")
+			}
+		})
+	}
+}
+
+func TestResolveReturnsDegenerateInputs(t *testing.T) {
+	// Resolvers must return nil (not panic) on shapes they cannot handle.
+	reg := NewRegister("R")
+	if got := reg.ResolveReturns(reg.Init(), make([]trace.Operation, 2), []int{0, 1}); got != nil {
+		t.Errorf("register pair resolution = %v, want nil", got)
+	}
+	if got := reg.ResolveReturns(Empty(), make([]trace.Operation, 1), []int{0}); got != nil {
+		t.Errorf("register foreign-state resolution = %v, want nil", got)
+	}
+	q := NewQueue("Q")
+	if got := q.ResolveReturns(Empty(), make([]trace.Operation, 1), []int{0}); got != nil {
+		t.Errorf("queue foreign-state resolution = %v, want nil", got)
+	}
+	st := NewStack("S")
+	if got := st.ResolveReturns(Empty(), make([]trace.Operation, 1), []int{0}); got != nil {
+		t.Errorf("stack foreign-state resolution = %v, want nil", got)
+	}
+	sq := NewSyncQueue("SQ")
+	if got := sq.ResolveReturns(Empty(), make([]trace.Operation, 3), []int{0}); got != nil {
+		t.Errorf("syncqueue 3-op resolution = %v, want nil", got)
+	}
+	// Two takes pending: no put argument to hand over.
+	takes := []trace.Operation{
+		{Thread: 1, Object: "SQ", Method: MethodTake, Arg: history.Unit()},
+		{Thread: 2, Object: "SQ", Method: MethodTake, Arg: history.Unit()},
+	}
+	if got := sq.ResolveReturns(Empty(), takes, []int{0, 1}); got != nil {
+		t.Errorf("take/take resolution = %v, want nil", got)
+	}
+	ds := NewDualStack("DS")
+	pops := []trace.Operation{
+		{Thread: 1, Object: "DS", Method: MethodPop, Arg: history.Unit()},
+		{Thread: 2, Object: "DS", Method: MethodPop, Arg: history.Unit()},
+	}
+	if got := ds.ResolveReturns(ds.Init(), pops, []int{0, 1}); got != nil {
+		t.Errorf("pop/pop resolution = %v, want nil", got)
+	}
+	if got := ds.ResolveReturns(ds.Init(), make([]trace.Operation, 3), []int{0}); got != nil {
+		t.Errorf("dual stack 3-op resolution = %v, want nil", got)
+	}
+}
+
+func TestQueueStepEdgeCases(t *testing.T) {
+	q := NewQueue("Q")
+	badEnq := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "Q", Method: MethodEnq, Arg: history.Int(1), Ret: history.Bool(false)})
+	if _, err := q.Step(q.Init(), badEnq); err == nil {
+		t.Error("failed enq must be rejected")
+	}
+	badDeqVal := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "Q", Method: MethodDeq, Arg: history.Unit(), Ret: history.Pair(false, 9)})
+	if _, err := q.Step(q.Init(), badDeqVal); err == nil {
+		t.Error("failed deq with nonzero value must be rejected")
+	}
+	unknown := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "Q", Method: "peek", Arg: history.Unit(), Ret: history.Int(0)})
+	if _, err := q.Step(q.Init(), unknown); err == nil {
+		t.Error("unknown method must be rejected")
+	}
+	pair := trace.MustElement(
+		trace.Operation{Thread: 1, Object: "Q", Method: MethodEnq, Arg: history.Int(1), Ret: history.Bool(true)},
+		trace.Operation{Thread: 2, Object: "Q", Method: MethodEnq, Arg: history.Int(2), Ret: history.Bool(true)})
+	if _, err := q.Step(q.Init(), pair); err == nil {
+		t.Error("queue elements must be singletons")
+	}
+}
+
+func TestRegisterStepEdgeCases(t *testing.T) {
+	r := NewRegister("R")
+	badWrite := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "R", Method: MethodWrite, Arg: history.Unit(), Ret: history.Unit()})
+	if _, err := r.Step(r.Init(), badWrite); err == nil {
+		t.Error("write with unit arg must be rejected")
+	}
+	badRead := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "R", Method: MethodRead, Arg: history.Int(1), Ret: history.Int(0)})
+	if _, err := r.Step(r.Init(), badRead); err == nil {
+		t.Error("read with int arg must be rejected")
+	}
+	unknown := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "R", Method: "cas", Arg: history.Int(1), Ret: history.Bool(true)})
+	if _, err := r.Step(r.Init(), unknown); err == nil {
+		t.Error("unknown method must be rejected")
+	}
+	pair := trace.MustElement(
+		trace.Operation{Thread: 1, Object: "R", Method: MethodWrite, Arg: history.Int(1), Ret: history.Unit()},
+		trace.Operation{Thread: 2, Object: "R", Method: MethodWrite, Arg: history.Int(2), Ret: history.Unit()})
+	if _, err := r.Step(r.Init(), pair); err == nil {
+		t.Error("register elements must be singletons")
+	}
+}
+
+func TestSyncQueueStepEdgeCases(t *testing.T) {
+	sq := NewSyncQueue("SQ")
+	badPut := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "SQ", Method: MethodPut, Arg: history.Unit(), Ret: history.Bool(false)})
+	if _, err := sq.Step(sq.Init(), badPut); err == nil {
+		t.Error("put with unit arg must be rejected")
+	}
+	badTake := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "SQ", Method: MethodTake, Arg: history.Unit(), Ret: history.Pair(false, 4)})
+	if _, err := sq.Step(sq.Init(), badTake); err == nil {
+		t.Error("failed take with nonzero value must be rejected")
+	}
+	unknown := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "SQ", Method: "poll", Arg: history.Unit(), Ret: history.Pair(false, 0)})
+	if _, err := sq.Step(sq.Init(), unknown); err == nil {
+		t.Error("unknown method must be rejected")
+	}
+	badPair := trace.MustElement(
+		trace.Operation{Thread: 1, Object: "SQ", Method: MethodPut, Arg: history.Int(1), Ret: history.Bool(false)},
+		trace.Operation{Thread: 2, Object: "SQ", Method: MethodTake, Arg: history.Unit(), Ret: history.Pair(true, 1)})
+	if _, err := sq.Step(sq.Init(), badPair); err == nil {
+		t.Error("hand-off with failed put must be rejected")
+	}
+}
+
+func TestSnapshotStepEdgeCases(t *testing.T) {
+	sp := NewSnapshot("IS", 3)
+	badMethod := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "IS", Method: "scan", Arg: history.Int(1), Ret: history.Pair(true, 1)})
+	if _, err := sp.Step(sp.Init(), badMethod); err == nil {
+		t.Error("unknown method must be rejected")
+	}
+	badArg := trace.Singleton(trace.Operation{
+		Thread: 1, Object: "IS", Method: MethodUpdate, Arg: history.Unit(), Ret: history.Pair(true, 1)})
+	if _, err := sp.Step(sp.Init(), badArg); err == nil {
+		t.Error("unit argument must be rejected")
+	}
+}
+
+func TestDualStackSingletonDelegation(t *testing.T) {
+	d := NewDualStack("DS")
+	// Ordinary stack semantics apply to singletons: LIFO violation caught.
+	s1, err := d.Step(d.Init(), PushElement("DS", 1, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Step(s1, PopElement("DS", 2, true, 99)); err == nil {
+		t.Error("pop of never-pushed value must be rejected")
+	}
+	// Oversized elements rejected.
+	if _, err := d.Step(d.Init(), trace.MustElement(
+		trace.Operation{Thread: 1, Object: "DS", Method: MethodPush, Arg: history.Int(1), Ret: history.Bool(true)},
+		trace.Operation{Thread: 2, Object: "DS", Method: MethodPush, Arg: history.Int(2), Ret: history.Bool(true)},
+		trace.Operation{Thread: 3, Object: "DS", Method: MethodPop, Arg: history.Unit(), Ret: history.Pair(true, 1)},
+	)); err == nil {
+		t.Error("3-op dual stack element must be rejected")
+	}
+}
+
+func TestProductStateKeyFormat(t *testing.T) {
+	p := MustProduct(NewStack("S"), NewQueue("Q"))
+	s, err := p.Step(p.Init(), PushElement("S", 1, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.Key()
+	if !strings.Contains(key, "S=") || !strings.Contains(key, "Q=") {
+		t.Errorf("product key should name components: %q", key)
+	}
+}

@@ -1,0 +1,166 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"calgo/internal/history"
+	"calgo/internal/trace"
+)
+
+// MethodUpdate is the single method of the immediate snapshot interface.
+const MethodUpdate history.Method = "update"
+
+// Snapshot is the CA-specification of the one-shot immediate atomic
+// snapshot object of Borowsky and Gafni — the example Neiger used to
+// motivate set-linearizability, discussed in the paper's related work
+// (§6). Each participating thread calls update(v) once; operations are
+// grouped into "blocks" that seem to take effect simultaneously, and every
+// operation returns the view containing the values of all blocks up to and
+// including its own:
+//
+//   - containment: views of consecutive blocks grow monotonically;
+//   - self-inclusion: each operation's own value is in its view;
+//   - immediacy: operations of the same block return the SAME view.
+//
+// A CA-element is a block: a set of update operations that take effect
+// simultaneously. Unlike the exchanger, blocks may have any size up to the
+// number of threads, which exercises the checker's wide-element search.
+//
+// Histories record each operation's view by its CARDINALITY: update(v) ▷
+// (true, |view|). Because every thread writes exactly once, the
+// cardinality bookkeeping over ordered blocks captures containment and
+// immediacy at the history level (an op's cardinality must equal the
+// cumulative operation count through its own block); the value-level view
+// properties are checked directly against the implementation's full views
+// by its tests, out of band of the small history value universe.
+type Snapshot struct {
+	Obj history.ObjectID
+	// Threads bounds the number of participants (and hence the maximal
+	// block size).
+	Threads int
+}
+
+var _ Spec = Snapshot{}
+
+// NewSnapshot returns the immediate snapshot specification for object o
+// with at most n participating threads.
+func NewSnapshot(o history.ObjectID, n int) Snapshot {
+	return Snapshot{Obj: o, Threads: n}
+}
+
+// snapshotState is the set of values written so far, canonically encoded,
+// plus the set of threads that already updated (one-shot).
+type snapshotState struct {
+	values  string // sorted comma-joined values
+	threads string // sorted comma-joined thread ids
+	count   int    // number of values written
+}
+
+func (s snapshotState) Key() string { return s.values + "|" + s.threads }
+
+func encodeSorted(ns []int64) string {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.FormatInt(n, 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Name implements Spec.
+func (sp Snapshot) Name() string { return "snapshot(" + string(sp.Obj) + ")" }
+
+// Object implements Spec.
+func (sp Snapshot) Object() history.ObjectID { return sp.Obj }
+
+// Init implements Spec.
+func (sp Snapshot) Init() State { return snapshotState{} }
+
+// MaxElementSize implements Spec: a block can contain every thread.
+func (sp Snapshot) MaxElementSize() int {
+	if sp.Threads < 1 {
+		return 1
+	}
+	return sp.Threads
+}
+
+// Step implements Spec. The element is a block; every operation must be a
+// first-time update whose returned view cardinality equals the state's
+// count plus the block size (containment + immediacy + self-inclusion all
+// follow from cardinality bookkeeping because each thread writes once).
+func (sp Snapshot) Step(s State, el trace.Element) (State, error) {
+	if el.Object != sp.Obj {
+		return nil, fmt.Errorf("element on object %s, spec constrains %s", el.Object, sp.Obj)
+	}
+	ss, ok := s.(snapshotState)
+	if !ok {
+		return nil, fmt.Errorf("foreign state %T", s)
+	}
+	if len(el.Ops) > sp.MaxElementSize() {
+		return nil, fmt.Errorf("block of %d operations exceeds %d threads", len(el.Ops), sp.Threads)
+	}
+	seen := map[history.ThreadID]bool{}
+	for _, t := range strings.Split(ss.threads, ",") {
+		if t == "" {
+			continue
+		}
+		n, err := strconv.Atoi(t)
+		if err != nil {
+			return nil, fmt.Errorf("corrupt state %q", ss.threads)
+		}
+		seen[history.ThreadID(n)] = true
+	}
+	newCard := ss.count + len(el.Ops)
+	var newVals []int64
+	var newThreads []int64
+	for _, t := range strings.Split(ss.values, ",") {
+		if t == "" {
+			continue
+		}
+		n, _ := strconv.ParseInt(t, 10, 64)
+		newVals = append(newVals, n)
+	}
+	for t := range seen {
+		newThreads = append(newThreads, int64(t))
+	}
+	for _, op := range el.Ops {
+		if op.Method != MethodUpdate {
+			return nil, fmt.Errorf("unknown method %s", op.Method)
+		}
+		if op.Arg.Kind != history.KindInt {
+			return nil, fmt.Errorf("update argument must be an int, got %s", op.Arg)
+		}
+		if seen[op.Thread] {
+			return nil, fmt.Errorf("thread %s updated twice (one-shot object)", op.Thread)
+		}
+		seen[op.Thread] = true
+		if op.Ret != history.Pair(true, int64(newCard)) {
+			return nil, fmt.Errorf("operation %s returned view of cardinality %s, block requires %d (immediacy)",
+				op, op.Ret, newCard)
+		}
+		newVals = append(newVals, op.Arg.N)
+		newThreads = append(newThreads, int64(op.Thread))
+	}
+	return snapshotState{
+		values:  encodeSorted(newVals),
+		threads: encodeSorted(newThreads),
+		count:   newCard,
+	}, nil
+}
+
+// BlockElement builds a snapshot block element: ops[i] = (thread, value);
+// every operation returns (true, prior+len(ops)).
+func BlockElement(o history.ObjectID, prior int, pairs ...[2]int64) trace.Element {
+	card := int64(prior + len(pairs))
+	ops := make([]trace.Operation, len(pairs))
+	for i, p := range pairs {
+		ops[i] = trace.Operation{
+			Thread: history.ThreadID(p[0]), Object: o, Method: MethodUpdate,
+			Arg: history.Int(p[1]), Ret: history.Pair(true, card),
+		}
+	}
+	return trace.MustElement(ops...)
+}

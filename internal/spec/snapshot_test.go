@@ -1,0 +1,212 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/trace"
+)
+
+const objIS history.ObjectID = "IS"
+
+func TestSnapshotBlocks(t *testing.T) {
+	sp := NewSnapshot(objIS, 4)
+	// Block of {t1,t2} then block of {t3} then block of {t4}: cardinalities
+	// 2, 3, 4.
+	tr := trace.Trace{
+		BlockElement(objIS, 0, [2]int64{1, 10}, [2]int64{2, 20}),
+		BlockElement(objIS, 2, [2]int64{3, 30}),
+		BlockElement(objIS, 3, [2]int64{4, 40}),
+	}
+	if _, err := Accepts(sp, tr); err != nil {
+		t.Fatalf("valid block trace rejected: %v", err)
+	}
+	// One big simultaneous block.
+	all := trace.Trace{BlockElement(objIS, 0,
+		[2]int64{1, 10}, [2]int64{2, 20}, [2]int64{3, 30}, [2]int64{4, 40})}
+	if _, err := Accepts(sp, all); err != nil {
+		t.Fatalf("maximal block rejected: %v", err)
+	}
+}
+
+func TestSnapshotRejections(t *testing.T) {
+	sp := NewSnapshot(objIS, 3)
+	tests := []struct {
+		name    string
+		tr      trace.Trace
+		wantErr string
+	}{
+		{"wrong cardinality", trace.Trace{
+			BlockElement(objIS, 1, [2]int64{1, 10}), // claims prior=1 on empty state
+		}, "immediacy"},
+		{"double update", trace.Trace{
+			BlockElement(objIS, 0, [2]int64{1, 10}),
+			BlockElement(objIS, 1, [2]int64{1, 11}),
+		}, "twice"},
+		{"oversized block", trace.Trace{
+			BlockElement(objIS, 0, [2]int64{1, 1}, [2]int64{2, 2}, [2]int64{3, 3}, [2]int64{4, 4}),
+		}, "exceeds"},
+		{"wrong object", trace.Trace{BlockElement("X", 0, [2]int64{1, 1})}, "constrains"},
+		{"immediacy violated across block", trace.Trace{
+			func() trace.Element {
+				// Two ops in one block with different cardinalities.
+				return trace.MustElement(
+					trace.Operation{Thread: 1, Object: objIS, Method: MethodUpdate, Arg: history.Int(1), Ret: history.Pair(true, 2)},
+					trace.Operation{Thread: 2, Object: objIS, Method: MethodUpdate, Arg: history.Int(2), Ret: history.Pair(true, 1)},
+				)
+			}(),
+		}, "immediacy"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Accepts(sp, tt.tr)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("Accepts error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSnapshotMeta(t *testing.T) {
+	sp := NewSnapshot(objIS, 5)
+	if sp.MaxElementSize() != 5 {
+		t.Errorf("MaxElementSize = %d", sp.MaxElementSize())
+	}
+	if NewSnapshot(objIS, 0).MaxElementSize() != 1 {
+		t.Error("degenerate thread bound should cap at 1")
+	}
+	if sp.Object() != objIS || !strings.Contains(sp.Name(), "snapshot") {
+		t.Error("meta accessors wrong")
+	}
+}
+
+func TestDualStackSpec(t *testing.T) {
+	d := NewDualStack(objS)
+	tr := trace.Trace{
+		PushElement(objS, 1, 5, true),    // ordinary push
+		FulfilmentElement(objS, 2, 7, 3), // push(7) fulfils t3's waiting pop
+		PopElement(objS, 4, true, 5),     // ordinary pop takes the 5
+		FulfilmentElement(objS, 1, 9, 4), // another fulfilment on empty stack
+		PopElement(objS, 2, false, 0),    // empty
+	}
+	if _, err := Accepts(d, tr); err != nil {
+		t.Fatalf("valid dual-stack trace rejected: %v", err)
+	}
+
+	rejects := []struct {
+		name string
+		el   trace.Element
+	}{
+		{"value mismatch", trace.MustElement(
+			trace.Operation{Thread: 1, Object: objS, Method: MethodPush, Arg: history.Int(7), Ret: history.Bool(true)},
+			trace.Operation{Thread: 2, Object: objS, Method: MethodPop, Arg: history.Unit(), Ret: history.Pair(true, 8)},
+		)},
+		{"two pushes", trace.MustElement(
+			trace.Operation{Thread: 1, Object: objS, Method: MethodPush, Arg: history.Int(7), Ret: history.Bool(true)},
+			trace.Operation{Thread: 2, Object: objS, Method: MethodPush, Arg: history.Int(8), Ret: history.Bool(true)},
+		)},
+		{"failed push in pair", trace.MustElement(
+			trace.Operation{Thread: 1, Object: objS, Method: MethodPush, Arg: history.Int(7), Ret: history.Bool(false)},
+			trace.Operation{Thread: 2, Object: objS, Method: MethodPop, Arg: history.Unit(), Ret: history.Pair(true, 7)},
+		)},
+	}
+	for _, tt := range rejects {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := d.Step(d.Init(), tt.el); err == nil {
+				t.Errorf("Step(%s) should fail", tt.el)
+			}
+		})
+	}
+
+	// Fulfilment leaves the state unchanged.
+	s1, err := d.Step(d.Init(), PushElement(objS, 1, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := d.Step(s1, FulfilmentElement(objS, 2, 7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Key() != s2.Key() {
+		t.Errorf("fulfilment changed state: %q -> %q", s1.Key(), s2.Key())
+	}
+}
+
+func TestDualQueueSpec(t *testing.T) {
+	d := NewDualQueue(objQ)
+	enq := func(t history.ThreadID, v int64) trace.Element {
+		return trace.Singleton(trace.Operation{Thread: t, Object: objQ, Method: MethodEnq, Arg: history.Int(v), Ret: history.Bool(true)})
+	}
+	deq := func(t history.ThreadID, ok bool, v int64) trace.Element {
+		return trace.Singleton(trace.Operation{Thread: t, Object: objQ, Method: MethodDeq, Arg: history.Unit(), Ret: history.Pair(ok, v)})
+	}
+	good := trace.Trace{
+		QFulfilmentElement(objQ, 1, 10, 2), // fulfilment on empty queue
+		enq(1, 5),
+		enq(3, 6),
+		deq(2, true, 5),
+		deq(2, true, 6),
+		QFulfilmentElement(objQ, 3, 11, 4), // empty again
+		deq(1, false, 0),
+	}
+	if _, err := Accepts(d, good); err != nil {
+		t.Fatalf("valid dual-queue trace rejected: %v", err)
+	}
+
+	// The FIFO-specific constraint: fulfilment on a NON-empty queue is
+	// rejected (a waiting deq must have taken the older head value).
+	bad := trace.Trace{enq(1, 5), QFulfilmentElement(objQ, 2, 9, 3)}
+	if _, err := Accepts(d, bad); err == nil {
+		t.Error("fulfilment on non-empty queue must be rejected")
+	}
+	// Value mismatch within the pair.
+	if _, err := d.Step(d.Init(), trace.MustElement(
+		trace.Operation{Thread: 1, Object: objQ, Method: MethodEnq, Arg: history.Int(7), Ret: history.Bool(true)},
+		trace.Operation{Thread: 2, Object: objQ, Method: MethodDeq, Arg: history.Unit(), Ret: history.Pair(true, 8)},
+	)); err == nil {
+		t.Error("value mismatch must be rejected")
+	}
+	// Two enqs paired.
+	if _, err := d.Step(d.Init(), trace.MustElement(
+		trace.Operation{Thread: 1, Object: objQ, Method: MethodEnq, Arg: history.Int(7), Ret: history.Bool(true)},
+		trace.Operation{Thread: 2, Object: objQ, Method: MethodEnq, Arg: history.Int(8), Ret: history.Bool(true)},
+	)); err == nil {
+		t.Error("enq/enq pair must be rejected")
+	}
+	if d.MaxElementSize() != 2 || d.Object() != objQ {
+		t.Error("meta accessors wrong")
+	}
+}
+
+func TestDualQueueResolveReturns(t *testing.T) {
+	d := NewDualQueue(objQ)
+	enq := trace.Operation{Thread: 1, Object: objQ, Method: MethodEnq, Arg: history.Int(5)}
+	deq := trace.Operation{Thread: 2, Object: objQ, Method: MethodDeq, Arg: history.Unit()}
+	got := d.ResolveReturns(d.Init(), []trace.Operation{enq, deq}, []int{0, 1})
+	if len(got) != 1 || got[0][0] != history.Bool(true) || got[0][1] != history.Pair(true, 5) {
+		t.Errorf("fulfilment resolution = %v", got)
+	}
+	if got := d.ResolveReturns(d.Init(), []trace.Operation{deq, deq}, []int{0, 1}); got != nil {
+		t.Errorf("deq/deq resolution = %v, want nil", got)
+	}
+	got = d.ResolveReturns(d.Init(), []trace.Operation{enq}, []int{0})
+	if len(got) != 1 || got[0][0] != history.Bool(true) {
+		t.Errorf("singleton resolution = %v", got)
+	}
+}
+
+func TestDualStackResolveReturns(t *testing.T) {
+	d := NewDualStack(objS)
+	push := trace.Operation{Thread: 1, Object: objS, Method: MethodPush, Arg: history.Int(5)}
+	pop := trace.Operation{Thread: 2, Object: objS, Method: MethodPop, Arg: history.Unit()}
+	got := d.ResolveReturns(d.Init(), []trace.Operation{push, pop}, []int{0, 1})
+	if len(got) != 1 || got[0][0] != history.Bool(true) || got[0][1] != history.Pair(true, 5) {
+		t.Errorf("fulfilment resolution = %v", got)
+	}
+	// Singleton falls back to stack resolution.
+	got = d.ResolveReturns(d.Init(), []trace.Operation{push}, []int{0})
+	if len(got) != 1 || got[0][0] != history.Bool(true) {
+		t.Errorf("singleton resolution = %v", got)
+	}
+}

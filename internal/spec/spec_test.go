@@ -1,0 +1,213 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/trace"
+)
+
+const (
+	objQ  history.ObjectID = "Q"
+	objR  history.ObjectID = "R"
+	objSQ history.ObjectID = "SQ"
+)
+
+func enqElem(t history.ThreadID, v int64) trace.Element {
+	return trace.Singleton(trace.Operation{Thread: t, Object: objQ, Method: MethodEnq, Arg: history.Int(v), Ret: history.Bool(true)})
+}
+
+func deqElem(t history.ThreadID, ok bool, v int64) trace.Element {
+	return trace.Singleton(trace.Operation{Thread: t, Object: objQ, Method: MethodDeq, Arg: history.Unit(), Ret: history.Pair(ok, v)})
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(objQ)
+	tr := trace.Trace{
+		enqElem(1, 10), enqElem(2, 20),
+		deqElem(1, true, 10), deqElem(2, true, 20),
+		deqElem(1, false, 0),
+	}
+	if _, err := Accepts(q, tr); err != nil {
+		t.Fatalf("FIFO trace rejected: %v", err)
+	}
+	// LIFO order must be rejected.
+	bad := trace.Trace{enqElem(1, 10), enqElem(2, 20), deqElem(1, true, 20)}
+	if _, err := Accepts(q, bad); err == nil {
+		t.Error("queue must reject LIFO order")
+	}
+	if _, err := Accepts(q, trace.Trace{deqElem(1, true, 5)}); err == nil {
+		t.Error("deq on empty queue must fail")
+	}
+	if _, err := Accepts(q, trace.Trace{enqElem(1, 1), deqElem(1, false, 0)}); err == nil {
+		t.Error("failed deq on non-empty queue must be rejected")
+	}
+}
+
+func TestQueueResolveReturns(t *testing.T) {
+	q := NewQueue(objQ)
+	s, _ := q.Step(q.Init(), enqElem(1, 9))
+	pendDeq := []trace.Operation{{Thread: 2, Object: objQ, Method: MethodDeq, Arg: history.Unit()}}
+	got := q.ResolveReturns(s, pendDeq, []int{0})
+	if len(got) != 1 || got[0][0] != history.Pair(true, 9) {
+		t.Errorf("pending deq = %v", got)
+	}
+	got = q.ResolveReturns(q.Init(), pendDeq, []int{0})
+	if len(got) != 1 || got[0][0] != history.Pair(false, 0) {
+		t.Errorf("pending deq on empty = %v", got)
+	}
+}
+
+func TestSyncQueueSpec(t *testing.T) {
+	sq := NewSyncQueue(objSQ)
+	good := trace.Trace{
+		HandOffElement(objSQ, 1, 42, 2),
+		trace.Singleton(trace.Operation{Thread: 3, Object: objSQ, Method: MethodPut, Arg: history.Int(7), Ret: history.Bool(false)}),
+		trace.Singleton(trace.Operation{Thread: 4, Object: objSQ, Method: MethodTake, Arg: history.Unit(), Ret: history.Pair(false, 0)}),
+	}
+	if _, err := Accepts(sq, good); err != nil {
+		t.Fatalf("valid sync-queue trace rejected: %v", err)
+	}
+
+	rejects := []struct {
+		name string
+		el   trace.Element
+	}{
+		{"lone successful put", trace.Singleton(trace.Operation{Thread: 1, Object: objSQ, Method: MethodPut, Arg: history.Int(1), Ret: history.Bool(true)})},
+		{"lone successful take", trace.Singleton(trace.Operation{Thread: 1, Object: objSQ, Method: MethodTake, Arg: history.Unit(), Ret: history.Pair(true, 3)})},
+		{"two puts paired", trace.MustElement(
+			trace.Operation{Thread: 1, Object: objSQ, Method: MethodPut, Arg: history.Int(1), Ret: history.Bool(true)},
+			trace.Operation{Thread: 2, Object: objSQ, Method: MethodPut, Arg: history.Int(2), Ret: history.Bool(true)},
+		)},
+		{"value mismatch", trace.MustElement(
+			trace.Operation{Thread: 1, Object: objSQ, Method: MethodPut, Arg: history.Int(1), Ret: history.Bool(true)},
+			trace.Operation{Thread: 2, Object: objSQ, Method: MethodTake, Arg: history.Unit(), Ret: history.Pair(true, 99)},
+		)},
+	}
+	for _, tt := range rejects {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := sq.Step(sq.Init(), tt.el); err == nil {
+				t.Errorf("Step(%s) should fail", tt.el)
+			}
+		})
+	}
+}
+
+func TestSyncQueueResolveReturns(t *testing.T) {
+	sq := NewSyncQueue(objSQ)
+	put := trace.Operation{Thread: 1, Object: objSQ, Method: MethodPut, Arg: history.Int(5)}
+	take := trace.Operation{Thread: 2, Object: objSQ, Method: MethodTake, Arg: history.Unit()}
+	got := sq.ResolveReturns(Empty(), []trace.Operation{put, take}, []int{0, 1})
+	if len(got) != 1 || got[0][0] != history.Bool(true) || got[0][1] != history.Pair(true, 5) {
+		t.Errorf("hand-off resolution = %v", got)
+	}
+	got = sq.ResolveReturns(Empty(), []trace.Operation{put}, []int{0})
+	if len(got) != 1 || got[0][0] != history.Bool(false) {
+		t.Errorf("lone put resolution = %v", got)
+	}
+}
+
+func TestRegisterSpec(t *testing.T) {
+	r := NewRegister(objR)
+	w := func(t history.ThreadID, v int64) trace.Element {
+		return trace.Singleton(trace.Operation{Thread: t, Object: objR, Method: MethodWrite, Arg: history.Int(v), Ret: history.Unit()})
+	}
+	rd := func(t history.ThreadID, v int64) trace.Element {
+		return trace.Singleton(trace.Operation{Thread: t, Object: objR, Method: MethodRead, Arg: history.Unit(), Ret: history.Int(v)})
+	}
+	if _, err := Accepts(r, trace.Trace{rd(1, 0), w(1, 5), rd(2, 5), w(2, 9), rd(1, 9)}); err != nil {
+		t.Fatalf("valid register trace rejected: %v", err)
+	}
+	if _, err := Accepts(r, trace.Trace{w(1, 5), rd(2, 6)}); err == nil {
+		t.Error("stale read must be rejected")
+	}
+	got := r.ResolveReturns(r.Init(), []trace.Operation{{Thread: 1, Object: objR, Method: MethodRead, Arg: history.Unit()}}, []int{0})
+	if len(got) != 1 || got[0][0] != history.Int(0) {
+		t.Errorf("pending read resolution = %v", got)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	p := MustProduct(NewStack(objS), NewExchanger(objE))
+	tr := trace.Trace{
+		PushElement(objS, 1, 10, true),
+		SwapElement(objE, 2, 3, 3, 4),
+		PopElement(objS, 1, true, 10),
+		FailElement(objE, 1, 9),
+	}
+	if _, err := Accepts(p, tr); err != nil {
+		t.Fatalf("product trace rejected: %v", err)
+	}
+	// Component violation propagates.
+	if _, err := Accepts(p, trace.Trace{PopElement(objS, 1, true, 10)}); err == nil {
+		t.Error("product must reject component violations")
+	}
+	// Unknown object.
+	if _, err := Accepts(p, trace.Trace{PushElement("Z", 1, 1, true)}); err == nil {
+		t.Error("product must reject unknown objects")
+	}
+	if p.MaxElementSize() != 2 {
+		t.Errorf("MaxElementSize = %d, want 2", p.MaxElementSize())
+	}
+	if p.Object() != "" {
+		t.Errorf("Object = %q, want empty", p.Object())
+	}
+}
+
+func TestProductStateIndependence(t *testing.T) {
+	// Stepping one component must not disturb the other.
+	p := MustProduct(NewStack(objS), NewQueue(objQ))
+	s, err := p.Step(p.Init(), PushElement(objS, 1, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = p.Step(s, enqElem(2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Step(s, PopElement(objS, 1, true, 5)); err != nil {
+		t.Errorf("stack component disturbed: %v", err)
+	}
+	if _, err := p.Step(s, deqElem(2, true, 7)); err != nil {
+		t.Errorf("queue component disturbed: %v", err)
+	}
+}
+
+func TestProductConstruction(t *testing.T) {
+	if _, err := NewProduct(NewStack(objS), NewStack(objS)); err == nil {
+		t.Error("duplicate objects must be rejected")
+	}
+	inner := MustProduct(NewStack(objS))
+	if _, err := NewProduct(inner); err == nil {
+		t.Error("nesting products (empty object id) must be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProduct should panic on error")
+		}
+	}()
+	MustProduct(NewStack(objS), NewStack(objS))
+}
+
+func TestProductResolveDispatch(t *testing.T) {
+	p := MustProduct(NewStack(objS), NewExchanger(objE))
+	pend := []trace.Operation{{Thread: 1, Object: objE, Method: MethodExchange, Arg: history.Int(5)}}
+	got := p.ResolveReturns(p.Init(), pend, []int{0})
+	if len(got) != 1 || got[0][0] != history.Pair(false, 5) {
+		t.Errorf("dispatched resolution = %v", got)
+	}
+	unknown := []trace.Operation{{Thread: 1, Object: "Z", Method: MethodExchange, Arg: history.Int(5)}}
+	if got := p.ResolveReturns(p.Init(), unknown, []int{0}); got != nil {
+		t.Errorf("unknown object resolution = %v, want nil", got)
+	}
+}
+
+func TestEmptyStateKey(t *testing.T) {
+	if Empty().Key() != "" {
+		t.Error("empty state key must be empty")
+	}
+	if !strings.Contains(MustProduct(NewStack(objS)).Name(), "stack") {
+		t.Error("product name should include components")
+	}
+}

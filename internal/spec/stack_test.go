@@ -1,0 +1,149 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/trace"
+)
+
+const objS history.ObjectID = "S"
+
+func TestStackLIFO(t *testing.T) {
+	st := NewStack(objS)
+	tr := trace.Trace{
+		PushElement(objS, 1, 10, true),
+		PushElement(objS, 2, 20, true),
+		PopElement(objS, 1, true, 20),
+		PopElement(objS, 2, true, 10),
+		PopElement(objS, 1, false, 0), // empty
+	}
+	if _, err := Accepts(st, tr); err != nil {
+		t.Fatalf("LIFO trace rejected: %v", err)
+	}
+}
+
+func TestStackRejections(t *testing.T) {
+	st := NewStack(objS)
+	tests := []struct {
+		name    string
+		tr      trace.Trace
+		wantErr string
+	}{
+		{"pop wrong order", trace.Trace{
+			PushElement(objS, 1, 10, true),
+			PushElement(objS, 2, 20, true),
+			PopElement(objS, 1, true, 10),
+		}, "top is 20"},
+		{"pop empty success", trace.Trace{PopElement(objS, 1, true, 5)}, "empty"},
+		{"failed pop nonempty", trace.Trace{
+			PushElement(objS, 1, 10, true),
+			PopElement(objS, 2, false, 0),
+		}, "only on the empty stack"},
+		{"failed push", trace.Trace{PushElement(objS, 1, 10, false)}, "cannot fail"},
+		{"failed pop nonzero", trace.Trace{PopElement(objS, 1, false, 7)}, "(false,0)"},
+		{"pair element", trace.Trace{trace.MustElement(
+			trace.Operation{Thread: 1, Object: objS, Method: MethodPush, Arg: history.Int(1), Ret: history.Bool(true)},
+			trace.Operation{Thread: 2, Object: objS, Method: MethodPush, Arg: history.Int(2), Ret: history.Bool(true)},
+		)}, "singleton"},
+		{"wrong object", trace.Trace{PushElement("X", 1, 1, true)}, "constrains"},
+		{"unknown method", trace.Trace{trace.Singleton(trace.Operation{
+			Thread: 1, Object: objS, Method: "peek", Arg: history.Unit(), Ret: history.Int(0),
+		})}, "unknown method"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Accepts(st, tt.tr)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("Accepts error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCentralStackContention(t *testing.T) {
+	cs := NewCentralStack(objS)
+	tr := trace.Trace{
+		PushElement(objS, 1, 10, false), // contention: no-op
+		PushElement(objS, 1, 10, true),
+		PopElement(objS, 2, false, 0), // contention: no-op, stack non-empty
+		PopElement(objS, 2, true, 10),
+		PopElement(objS, 2, false, 0), // empty
+	}
+	if _, err := Accepts(cs, tr); err != nil {
+		t.Fatalf("central stack trace rejected: %v", err)
+	}
+	// Contention failures are no-ops: state must be unchanged.
+	s1, err := cs.Step(cs.Init(), PushElement(objS, 1, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cs.Step(s1, PushElement(objS, 2, 6, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Key() != s2.Key() {
+		t.Errorf("failed push changed state: %q -> %q", s1.Key(), s2.Key())
+	}
+}
+
+func TestStackStateEncoding(t *testing.T) {
+	st := NewStack(objS)
+	s := st.Init()
+	var err error
+	for _, v := range []int64{-5, 0, 123456789} {
+		s, err = st.Step(s, PushElement(objS, 1, v, true))
+		if err != nil {
+			t.Fatalf("push %d: %v", v, err)
+		}
+	}
+	for _, v := range []int64{123456789, 0, -5} {
+		s, err = st.Step(s, PopElement(objS, 1, true, v))
+		if err != nil {
+			t.Fatalf("pop %d: %v", v, err)
+		}
+	}
+	if s.Key() != "" {
+		t.Errorf("final state = %q, want empty", s.Key())
+	}
+}
+
+func TestStackResolveReturns(t *testing.T) {
+	st := NewStack(objS)
+	cs := NewCentralStack(objS)
+	s1, _ := st.Step(st.Init(), PushElement(objS, 1, 42, true))
+
+	pendPush := []trace.Operation{{Thread: 1, Object: objS, Method: MethodPush, Arg: history.Int(7)}}
+	pendPop := []trace.Operation{{Thread: 1, Object: objS, Method: MethodPop, Arg: history.Unit()}}
+
+	if got := st.ResolveReturns(st.Init(), pendPush, []int{0}); len(got) != 1 || got[0][0] != history.Bool(true) {
+		t.Errorf("abstract pending push = %v", got)
+	}
+	if got := cs.ResolveReturns(cs.Init(), pendPush, []int{0}); len(got) != 2 {
+		t.Errorf("central pending push should offer success and failure: %v", got)
+	}
+	if got := st.ResolveReturns(s1, pendPop, []int{0}); len(got) != 1 || got[0][0] != history.Pair(true, 42) {
+		t.Errorf("pending pop on [42] = %v", got)
+	}
+	if got := st.ResolveReturns(st.Init(), pendPop, []int{0}); len(got) != 1 || got[0][0] != history.Pair(false, 0) {
+		t.Errorf("pending pop on empty = %v", got)
+	}
+}
+
+func TestStackPrefixClosure(t *testing.T) {
+	// Every prefix of an accepted trace is accepted (Definition 6 requires
+	// prefix-closed object systems; our Step construction guarantees it).
+	st := NewStack(objS)
+	full := trace.Trace{
+		PushElement(objS, 1, 1, true),
+		PushElement(objS, 2, 2, true),
+		PopElement(objS, 1, true, 2),
+		PopElement(objS, 2, true, 1),
+	}
+	for i := 0; i <= len(full); i++ {
+		if _, err := Accepts(st, full[:i]); err != nil {
+			t.Errorf("prefix of length %d rejected: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+
+	"calgo/internal/history"
+)
+
+// Agrees decides H ⊑CAL T (Definition 5): whether there is a surjection π
+// from the operations of the complete history h onto the element indices of
+// tr such that (i) the real-time order of h is preserved (i ≺H j implies
+// π(i) < π(j)) and (ii) every CA-element of tr is exactly the set of
+// operations mapped to it. It returns nil if h agrees with tr and an error
+// explaining the failure otherwise.
+func Agrees(h history.History, tr Trace) error {
+	if !h.IsWellFormed() {
+		return fmt.Errorf("trace: history is not well-formed")
+	}
+	if !h.IsComplete() {
+		return fmt.Errorf("trace: agreement is defined on complete histories; history has pending invocations %v", h.PendingThreads())
+	}
+	ops := h.Operations()
+	total := 0
+	for _, e := range tr {
+		total += e.Size()
+	}
+	if total != len(ops) {
+		return fmt.Errorf("trace: history has %d operations but trace has %d", len(ops), total)
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+
+	rt := history.RTOrder(ops)
+	n := len(ops)
+	assigned := make([]bool, n)
+	memo := make(map[string]bool) // masks known to fail
+	maxElem := 0                  // deepest element index reached, for diagnostics
+
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k > maxElem {
+			maxElem = k
+		}
+		if k == len(tr) {
+			return true
+		}
+		key := maskKey(assigned)
+		if memo[key] {
+			return false
+		}
+		e := tr[k]
+		chosen := make([]int, 0, e.Size())
+		var assign func(slot int) bool
+		assign = func(slot int) bool {
+			if slot == len(e.Ops) {
+				return rec(k + 1)
+			}
+			want := e.Ops[slot]
+		candidates:
+			for i := range ops {
+				if assigned[i] || OpOf(ops[i]) != want {
+					continue
+				}
+				// Every real-time predecessor of ops[i] must already be
+				// mapped to an earlier element.
+				for j := 0; j < n; j++ {
+					if rt[j][i] && !assigned[j] {
+						continue candidates
+					}
+				}
+				// Co-members of one CA-element must be pairwise concurrent.
+				for _, c := range chosen {
+					if rt[c][i] || rt[i][c] {
+						continue candidates
+					}
+				}
+				assigned[i] = true
+				chosen = append(chosen, i)
+				if assign(slot + 1) {
+					return true
+				}
+				assigned[i] = false
+				chosen = chosen[:len(chosen)-1]
+			}
+			return false
+		}
+		if assign(0) {
+			return true
+		}
+		memo[key] = true
+		return false
+	}
+
+	if rec(0) {
+		return nil
+	}
+	return fmt.Errorf("trace: history does not agree with trace; no order-preserving surjection exists (matching stuck at element %d of %d: %s)",
+		maxElem+1, len(tr), elementAt(tr, maxElem))
+}
+
+func elementAt(tr Trace, k int) string {
+	if k >= len(tr) {
+		return "<past end>"
+	}
+	return tr[k].String()
+}
+
+func maskKey(assigned []bool) string {
+	buf := make([]byte, (len(assigned)+7)/8)
+	for i, a := range assigned {
+		if a {
+			buf[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(buf)
+}

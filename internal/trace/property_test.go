@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"calgo/internal/history"
+)
+
+// genHistoryAndTrace builds a valid exchanger-style history together with
+// an agreeing trace: rounds of either a swap pair or a lone failure, with
+// the response order within a round randomized.
+func genHistoryAndTrace(rng *rand.Rand, rounds int) (history.History, Trace) {
+	var h history.History
+	var tr Trace
+	tid := history.ThreadID(1)
+	v := int64(1)
+	for i := 0; i < rounds; i++ {
+		if rng.Intn(3) == 0 {
+			t := tid
+			tid++
+			h = append(h,
+				history.Inv(t, objE, exch, history.Int(v)),
+				history.Res(t, objE, exch, history.Pair(false, v)))
+			tr = append(tr, failElem(t, v))
+			v++
+			continue
+		}
+		t1, t2 := tid, tid+1
+		tid += 2
+		a, b := v, v+1
+		v += 2
+		h = append(h,
+			history.Inv(t1, objE, exch, history.Int(a)),
+			history.Inv(t2, objE, exch, history.Int(b)))
+		if rng.Intn(2) == 0 {
+			h = append(h,
+				history.Res(t1, objE, exch, history.Pair(true, b)),
+				history.Res(t2, objE, exch, history.Pair(true, a)))
+		} else {
+			h = append(h,
+				history.Res(t2, objE, exch, history.Pair(true, a)),
+				history.Res(t1, objE, exch, history.Pair(true, b)))
+		}
+		tr = append(tr, swapElem(t1, a, t2, b))
+	}
+	return h, tr
+}
+
+// TestAgreesInvariantUnderSameKindSwaps: exchanging two adjacent actions
+// of different threads with the same kind (inv/inv or res/res) does not
+// change any real-time precedence, so agreement must be preserved.
+func TestAgreesInvariantUnderSameKindSwaps(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h, tr := genHistoryAndTrace(rng, 2+rng.Intn(5))
+		if err := Agrees(h, tr); err != nil {
+			t.Fatalf("seed %d: base agreement failed: %v", seed, err)
+		}
+		// Apply a few random same-kind adjacent swaps.
+		mut := append(history.History(nil), h...)
+		for k := 0; k < 5; k++ {
+			i := rng.Intn(len(mut) - 1)
+			a, b := mut[i], mut[i+1]
+			if a.Thread != b.Thread && a.Kind == b.Kind {
+				mut[i], mut[i+1] = b, a
+			}
+		}
+		if !mut.IsWellFormed() {
+			t.Fatalf("seed %d: mutation broke well-formedness", seed)
+		}
+		if err := Agrees(mut, tr); err != nil {
+			t.Fatalf("seed %d: agreement lost after same-kind swaps: %v\n%v", seed, err, mut)
+		}
+	}
+}
+
+// TestAgreesDetectsElementOrderViolations: moving a later element before
+// an earlier one whose operations really precede it must break agreement.
+func TestAgreesDetectsElementOrderViolations(t *testing.T) {
+	// Build a strictly sequential run: every op really precedes the next.
+	var h history.History
+	var tr Trace
+	for i := int64(0); i < 5; i++ {
+		t := history.ThreadID(i + 1)
+		h = append(h,
+			history.Inv(t, objE, exch, history.Int(i)),
+			history.Res(t, objE, exch, history.Pair(false, i)))
+		tr = append(tr, failElem(t, i))
+	}
+	if err := Agrees(h, tr); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tr)-1; i++ {
+		bad := append(Trace(nil), tr...)
+		bad[i], bad[i+1] = bad[i+1], bad[i]
+		if err := Agrees(h, bad); err == nil {
+			t.Errorf("swapping sequential elements %d/%d should break agreement", i, i+1)
+		}
+	}
+}
+
+// TestProjectionLaws: T|t and T|o are subsequences partitioning behaviour
+// sensibly.
+func TestProjectionLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, tr := genHistoryAndTrace(rng, 8)
+	// Every element of T|t mentions t.
+	for _, tid := range []history.ThreadID{1, 2, 3} {
+		for _, el := range tr.ByThread(tid) {
+			if !el.Mentions(tid) {
+				t.Fatalf("T|%v contains %s", tid, el)
+			}
+		}
+	}
+	// Object projection partitions the trace (single-object here).
+	if got := tr.ByObject(objE); !got.Equal(tr) {
+		t.Error("single-object trace should project to itself")
+	}
+	if got := tr.ByObject("Z"); len(got) != 0 {
+		t.Error("projection to absent object should be empty")
+	}
+	// Projection is idempotent.
+	p := tr.ByThread(1)
+	if !p.ByThread(1).Equal(p) {
+		t.Error("thread projection must be idempotent")
+	}
+}
+
+// TestAgreesPermutationOfConcurrentRounds: two fully-overlapping rounds
+// may appear in either element order.
+func TestAgreesPermutationOfConcurrentRounds(t *testing.T) {
+	// Four threads, two swap pairs, all overlapping.
+	h := history.History{
+		history.Inv(1, objE, exch, history.Int(1)),
+		history.Inv(2, objE, exch, history.Int(2)),
+		history.Inv(3, objE, exch, history.Int(3)),
+		history.Inv(4, objE, exch, history.Int(4)),
+		history.Res(1, objE, exch, history.Pair(true, 2)),
+		history.Res(2, objE, exch, history.Pair(true, 1)),
+		history.Res(3, objE, exch, history.Pair(true, 4)),
+		history.Res(4, objE, exch, history.Pair(true, 3)),
+	}
+	ab := Trace{swapElem(1, 1, 2, 2), swapElem(3, 3, 4, 4)}
+	ba := Trace{swapElem(3, 3, 4, 4), swapElem(1, 1, 2, 2)}
+	if err := Agrees(h, ab); err != nil {
+		t.Errorf("order ab: %v", err)
+	}
+	if err := Agrees(h, ba); err != nil {
+		t.Errorf("order ba: %v", err)
+	}
+}

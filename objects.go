@@ -1,0 +1,165 @@
+package calgo
+
+import (
+	"calgo/internal/objects/baseline"
+	"calgo/internal/objects/dualqueue"
+	"calgo/internal/objects/dualstack"
+	"calgo/internal/objects/elimarray"
+	"calgo/internal/objects/elimstack"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/objects/msqueue"
+	"calgo/internal/objects/snapshot"
+	"calgo/internal/objects/syncqueue"
+	"calgo/internal/objects/treiber"
+)
+
+// Concurrent objects (§2): the exchanger of Figure 1, the elimination
+// stack of Figure 2 with its central stack and elimination array, the
+// synchronous queue client, and lock-based baselines for benchmarking.
+type (
+	// Exchanger is the wait-free exchanger CA-object (Figure 1).
+	Exchanger = exchanger.Exchanger
+	// WaitPolicy controls an offering thread's partner-wait window.
+	WaitPolicy = exchanger.WaitPolicy
+	// ElimArray is an array of exchangers behind a single-exchanger
+	// interface (§2.2).
+	ElimArray = elimarray.ElimArray
+	// TreiberStack is the central lock-free stack of Figure 2; its Try
+	// operations fail under contention, its Push/Pop retry.
+	TreiberStack = treiber.Stack
+	// ElimStack is the elimination stack of Hendler et al. (Figure 2).
+	ElimStack = elimstack.Stack
+	// SyncQueue is a synchronous hand-off queue ([9], [22]).
+	SyncQueue = syncqueue.SyncQueue
+	// LockStack is the coarse-grained stack baseline.
+	LockStack = baseline.LockStack
+	// LockExchanger is the coarse-grained exchanger baseline.
+	LockExchanger = baseline.LockExchanger
+	// LockQueue is the coarse-grained queue baseline.
+	LockQueue = baseline.LockQueue
+	// DualQueue is a lock-free dual FIFO queue (Scherer & Scott): deqs
+	// wait for values, and an enq fulfilling the oldest waiting deq forms
+	// one CA-element.
+	DualQueue = dualqueue.Queue
+	// DualStack is a lock-free dual stack (Scherer & Scott, §6): pops
+	// wait for values, and a push fulfilling a waiting pop forms one
+	// CA-element.
+	DualStack = dualstack.Stack
+	// MSQueue is the Michael-Scott lock-free FIFO queue, a classically
+	// linearizable substrate.
+	MSQueue = msqueue.Queue
+	// ImmediateSnapshot is the one-shot immediate atomic snapshot object
+	// of Borowsky and Gafni (Neiger's set-linearizability example, §6).
+	ImmediateSnapshot = snapshot.Snapshot
+	// SnapshotView is the view returned by an immediate snapshot update.
+	SnapshotView = snapshot.View
+	// SnapshotPair is one (thread, value) entry of a view.
+	SnapshotPair = snapshot.Pair
+	// SnapshotResult pairs a completed update with its view, for
+	// DeriveSnapshotTrace.
+	SnapshotResult = snapshot.Result
+)
+
+// Wait policies for exchanger-based objects.
+type (
+	// SleepWait waits by sleeping, as in java.util.concurrent.
+	SleepWait = exchanger.Sleep
+	// SpinWait waits by yielding the processor repeatedly.
+	SpinWait = exchanger.Spin
+	// NoWait withdraws immediately.
+	NoWait = exchanger.NoWait
+	// FuncWait adapts a function to a WaitPolicy (tests).
+	FuncWait = exchanger.Func
+)
+
+// Constructors and options.
+var (
+	// NewExchanger returns a wait-free exchanger.
+	NewExchanger = exchanger.New
+	// ExchangerWithWaitPolicy sets the exchanger's wait policy.
+	ExchangerWithWaitPolicy = exchanger.WithWaitPolicy
+	// ExchangerWithRecorder instruments the exchanger.
+	ExchangerWithRecorder = exchanger.WithRecorder
+
+	// NewElimArray returns a K-slot elimination array.
+	NewElimArray = elimarray.New
+	// ElimArrayWithWaitPolicy sets the slots' wait policy.
+	ElimArrayWithWaitPolicy = elimarray.WithWaitPolicy
+	// ElimArrayWithRecorder instruments the array's exchangers.
+	ElimArrayWithRecorder = elimarray.WithRecorder
+	// ElimArrayWithSlotter overrides slot selection.
+	ElimArrayWithSlotter = elimarray.WithSlotter
+
+	// NewTreiberStack returns the central lock-free stack.
+	NewTreiberStack = treiber.New
+	// TreiberWithRecorder instruments the stack.
+	TreiberWithRecorder = treiber.WithRecorder
+
+	// NewElimStack returns an elimination stack.
+	NewElimStack = elimstack.New
+	// ElimStackWithSlots sets the elimination array width K.
+	ElimStackWithSlots = elimstack.WithSlots
+	// ElimStackWithWaitPolicy sets the exchangers' wait policy.
+	ElimStackWithWaitPolicy = elimstack.WithWaitPolicy
+	// ElimStackWithRecorder instruments the stack and its subobjects and
+	// registers the view functions F_AR and F_ES.
+	ElimStackWithRecorder = elimstack.WithRecorder
+
+	// NewSyncQueue returns a synchronous queue.
+	NewSyncQueue = syncqueue.New
+	// SyncQueueWithWaitPolicy sets the partner-wait policy.
+	SyncQueueWithWaitPolicy = syncqueue.WithWaitPolicy
+	// SyncQueueWithRecorder instruments the queue.
+	SyncQueueWithRecorder = syncqueue.WithRecorder
+
+	// NewLockStack returns the lock-based stack baseline.
+	NewLockStack = baseline.NewLockStack
+	// NewLockExchanger returns the lock-based exchanger baseline.
+	NewLockExchanger = baseline.NewLockExchanger
+	// NewLockQueue returns the lock-based queue baseline.
+	NewLockQueue = baseline.NewLockQueue
+
+	// NewDualQueue returns a dual queue.
+	NewDualQueue = dualqueue.New
+	// DualQueueWithRecorder instruments the dual queue.
+	DualQueueWithRecorder = dualqueue.WithRecorder
+	// DualQueueWithWaitPolicy sets the waiting dequeuers' spin policy.
+	DualQueueWithWaitPolicy = dualqueue.WithWaitPolicy
+
+	// NewDualStack returns a dual stack.
+	NewDualStack = dualstack.New
+	// DualStackWithRecorder instruments the dual stack.
+	DualStackWithRecorder = dualstack.WithRecorder
+	// DualStackWithWaitPolicy sets the waiting poppers' spin policy.
+	DualStackWithWaitPolicy = dualstack.WithWaitPolicy
+
+	// NewMSQueue returns a Michael-Scott queue.
+	NewMSQueue = msqueue.New
+	// MSQueueWithRecorder instruments the queue.
+	MSQueueWithRecorder = msqueue.WithRecorder
+
+	// NewImmediateSnapshot returns a one-shot immediate snapshot object
+	// for n participants.
+	NewImmediateSnapshot = snapshot.New
+	// DeriveSnapshotTrace computes the CA-trace of a quiescent immediate
+	// snapshot run from its completed operations.
+	DeriveSnapshotTrace = snapshot.DeriveTrace
+)
+
+// PopSentinel is the reserved value popping threads offer to the
+// elimination array; elimination-stack clients must not push it.
+const PopSentinel = elimstack.PopSentinel
+
+// Method names used in histories and traces.
+const (
+	MethodExchange = "exchange"
+	MethodPush     = "push"
+	MethodPop      = "pop"
+	MethodPut      = "put"
+	MethodTake     = "take"
+	MethodEnq      = "enq"
+	MethodDeq      = "deq"
+	MethodRead     = "read"
+	MethodWrite    = "write"
+	MethodUpdate   = "update"
+)
