@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race chaos fuzz vet fmt ci
+
+build:
+	$(GO) build ./...
+
+# Default suite: everything except the tag-gated extended soak.
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the quick suite (-short skips the exhaustive
+# model explorations, which are minutes-long even without -race).
+race:
+	$(GO) test -race -short ./...
+
+# Extended chaos soak: the full policy x object fault-injection matrix,
+# iterated over rotating seeds. See EXPERIMENTS.md (R1).
+chaos:
+	$(GO) test -count=1 -tags chaos -run TestSoakLong -v ./internal/chaos/
+
+# Parser robustness fuzzing (bounded; CI-friendly).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParseHistory -fuzztime=30s ./internal/history/
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+ci:
+	./ci.sh

@@ -75,6 +75,9 @@ var (
 	Res = history.Res
 	// ParseHistory reads the line-oriented history interchange format.
 	ParseHistory = history.Parse
+	// ParseHistoryFile is ParseHistory with a source name for file:line
+	// diagnostics; errors are *HistorySyntaxError values.
+	ParseHistoryFile = history.ParseFile
 	// FormatHistory renders a history in the interchange format.
 	FormatHistory = history.Format
 )
@@ -148,24 +151,56 @@ type (
 	Result = check.Result
 	// CheckOption configures the checkers.
 	CheckOption = check.Option
+	// Verdict is the three-valued checking outcome: Sat, Unsat or Unknown.
+	Verdict = check.Verdict
+	// UnknownInfo explains an Unknown verdict: abort cause, frontier
+	// statistics and partial witness.
+	UnknownInfo = check.UnknownInfo
+	// Frontier summarizes how far an interrupted search got.
+	Frontier = check.Frontier
+)
+
+// Verdict values.
+const (
+	// VerdictUnsat: the search space was exhausted with no witness.
+	VerdictUnsat = check.Unsat
+	// VerdictSat: a witness CA-trace was found.
+	VerdictSat = check.Sat
+	// VerdictUnknown: the search was cancelled or ran out of budget.
+	VerdictUnknown = check.Unknown
 )
 
 var (
 	// CAL decides concurrency-aware linearizability of a history.
 	CAL = check.CAL
+	// CALContext is CAL with cooperative cancellation: deadlines and
+	// cancellation yield an Unknown verdict instead of hanging.
+	CALContext = check.CALContext
 	// Linearizable decides classical linearizability (singleton
 	// CA-elements).
 	Linearizable = check.Linearizable
+	// LinearizableContext is Linearizable with cancellation.
+	LinearizableContext = check.LinearizableContext
 	// SetLinearizable decides set-linearizability (Neiger 1994).
 	SetLinearizable = check.SetLinearizable
 	// WithElementCap caps CA-element sizes.
 	WithElementCap = check.WithElementCap
 	// WithMaxStates bounds the checker's search.
 	WithMaxStates = check.WithMaxStates
+	// WithMemoBudget bounds the memoization table's memory footprint.
+	WithMemoBudget = check.WithMemoBudget
 	// WithoutMemo disables search memoization (for ablation).
 	WithoutMemo = check.WithoutMemo
 	// WithCompleteOnly rejects histories with pending invocations.
 	WithCompleteOnly = check.WithCompleteOnly
+)
+
+// Budget-exhaustion causes carried by Unknown verdicts.
+var (
+	// ErrCheckBound is the Unknown cause for an exceeded state budget.
+	ErrCheckBound = check.ErrBound
+	// ErrCheckMemoBudget is the Unknown cause for an exceeded memo budget.
+	ErrCheckMemoBudget = check.ErrMemoBudget
 )
 
 // Recording (§4): the auxiliary trace 𝒯 and object views F_o.
@@ -177,5 +212,18 @@ type (
 	ViewFunc = recorder.ViewFunc
 )
 
-// NewRecorder returns an empty Recorder.
-var NewRecorder = recorder.New
+var (
+	// NewRecorder returns an empty, unbounded Recorder.
+	NewRecorder = recorder.New
+	// NewBoundedRecorder returns a Recorder that holds at most capacity
+	// elements; overflow is detected via Recorder.Err.
+	NewBoundedRecorder = recorder.NewBounded
+)
+
+// RecorderOverflowError reports that a bounded recorder dropped elements;
+// the truncated trace must not be used as verification evidence.
+type RecorderOverflowError = recorder.OverflowError
+
+// HistorySyntaxError reports a malformed history line with its file:line
+// position.
+type HistorySyntaxError = history.SyntaxError

@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repo's single verification gate (ROADMAP tier-1 and more):
+# formatting, vet, build, the default test suite, and a race-detector
+# pass. The extended chaos soak is tag-gated (make chaos) and not part of
+# this gate; the race pass uses -short to skip the exhaustive model
+# explorations, which dominate runtime even without the race detector.
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race -short ./... =="
+go test -race -short ./...
+
+echo "CI gate passed."

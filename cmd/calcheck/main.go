@@ -12,15 +12,24 @@
 //	inv t1 E.exchange 3
 //	res t1 E.exchange (true,4)
 //
+// The check is resource-bounded: -timeout imposes a wall-clock deadline,
+// -max-states and -memo-budget bound the search, and the process responds
+// to interrupts (SIGINT/SIGTERM) by reporting how far the search got
+// instead of dying mid-answer.
+//
 // Exit status: 0 when the history satisfies the property, 1 when it does
-// not, 2 on usage or input errors.
+// not, 2 on usage or input errors, 3 when the check was cancelled or ran
+// out of budget before reaching a verdict (UNKNOWN).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"calgo"
 )
@@ -31,12 +40,14 @@ func main() {
 
 func run() int {
 	var (
-		specName = flag.String("spec", "exchanger", "specification: exchanger, elimarray, stack, central-stack, dual-stack, queue, syncqueue, register, snapshot")
-		object   = flag.String("object", "E", "object identifier the spec constrains")
-		threads  = flag.Int("threads", 4, "participant bound for -spec snapshot")
-		mode     = flag.String("mode", "cal", "property: cal (concurrency-aware), lin (classical), setlin")
-		verbose  = flag.Bool("v", false, "print the witness trace and search statistics")
-		maxStats = flag.Int("max-states", 4_000_000, "checker state budget")
+		specName   = flag.String("spec", "exchanger", "specification: exchanger, elimarray, stack, central-stack, dual-stack, queue, syncqueue, register, snapshot")
+		object     = flag.String("object", "E", "object identifier the spec constrains")
+		threads    = flag.Int("threads", 4, "participant bound for -spec snapshot")
+		mode       = flag.String("mode", "cal", "property: cal (concurrency-aware), lin (classical), setlin")
+		verbose    = flag.Bool("v", false, "print the witness trace and search statistics")
+		maxStats   = flag.Int("max-states", 4_000_000, "checker state budget")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the check (0 = none), e.g. 100ms, 30s")
+		memoBudget = flag.Int("memo-budget", 0, "approximate memoization memory budget in bytes (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -46,26 +57,37 @@ func run() int {
 		return 2
 	}
 
-	src, err := readInput(flag.Args())
+	name, src, err := readInput(flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calcheck:", err)
 		return 2
 	}
-	h, err := calgo.ParseHistory(src)
+	h, err := calgo.ParseHistoryFile(name, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calcheck:", err)
 		return 2
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var r calgo.Result
 	opts := []calgo.CheckOption{calgo.WithMaxStates(*maxStats)}
+	if *memoBudget > 0 {
+		opts = append(opts, calgo.WithMemoBudget(*memoBudget))
+	}
 	switch *mode {
 	case "cal":
-		r, err = calgo.CAL(h, sp, opts...)
+		r, err = calgo.CALContext(ctx, h, sp, opts...)
 	case "lin":
-		r, err = calgo.Linearizable(h, sp, opts...)
+		r, err = calgo.LinearizableContext(ctx, h, sp, opts...)
 	case "setlin":
-		r, err = calgo.SetLinearizable(h, sp, opts...)
+		r, err = calgo.CALContext(ctx, h, sp, opts...)
 	default:
 		fmt.Fprintf(os.Stderr, "calcheck: unknown mode %q\n", *mode)
 		return 2
@@ -75,6 +97,16 @@ func run() int {
 		return 2
 	}
 
+	if r.Verdict == calgo.VerdictUnknown {
+		fmt.Printf("UNKNOWN: could not decide whether the history is %s w.r.t. %s\n",
+			propertyName(*mode), sp.Name())
+		fmt.Printf("cause: %s\n", r.Unknown.Reason)
+		fmt.Printf("frontier: %s\n", r.Unknown.Frontier)
+		if *verbose && len(r.Unknown.PartialWitness) > 0 {
+			fmt.Printf("partial witness: %s\n", r.Unknown.PartialWitness)
+		}
+		return 3
+	}
 	if r.OK {
 		fmt.Printf("OK: history is %s w.r.t. %s\n", propertyName(*mode), sp.Name())
 		if *verbose {
@@ -130,17 +162,18 @@ func specByName(name string, o calgo.ObjectID, threads int) (calgo.Spec, error) 
 	}
 }
 
-func readInput(args []string) (string, error) {
+// readInput returns the history source and a name for diagnostics.
+func readInput(args []string) (name, src string, err error) {
 	if len(args) == 0 {
 		b, err := io.ReadAll(os.Stdin)
 		if err != nil {
-			return "", fmt.Errorf("reading stdin: %w", err)
+			return "", "", fmt.Errorf("reading stdin: %w", err)
 		}
-		return string(b), nil
+		return "<stdin>", string(b), nil
 	}
 	b, err := os.ReadFile(args[0])
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
-	return string(b), nil
+	return args[0], string(b), nil
 }

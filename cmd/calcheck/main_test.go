@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // resetFlagsForTest lets run() re-parse a fresh flag set per subtest.
@@ -58,11 +59,11 @@ func TestReadInput(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readInput([]string{path})
-	if err != nil || got != content {
-		t.Errorf("readInput = %q, %v", got, err)
+	name, got, err := readInput([]string{path})
+	if err != nil || got != content || name != path {
+		t.Errorf("readInput = %q, %q, %v", name, got, err)
 	}
-	if _, err := readInput([]string{filepath.Join(dir, "missing.txt")}); err == nil {
+	if _, _, err := readInput([]string{filepath.Join(dir, "missing.txt")}); err == nil {
 		t.Error("missing file should fail")
 	}
 }
@@ -139,5 +140,40 @@ func TestRunEndToEnd(t *testing.T) {
 				t.Errorf("run() = %d, want %d", got, tt.want)
 			}
 		})
+	}
+}
+
+// TestUnknownExitCode pins the resilience contract: on the adversarial
+// history (exponential subset enumeration at one node) a 100ms deadline
+// must yield the three-valued UNKNOWN verdict and exit code 3, promptly.
+func TestUnknownExitCode(t *testing.T) {
+	adversarial := "../../examples/histories/snapshot-adversarial.txt"
+	resetFlagsForTest(t, []string{
+		"-spec", "snapshot", "-object", "IS", "-threads", "23",
+		"-timeout", "100ms", "-v", adversarial,
+	})
+	start := time.Now()
+	if got := run(); got != 3 {
+		t.Errorf("run() = %d, want 3 (UNKNOWN)", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("took %v to honour a 100ms deadline", elapsed)
+	}
+	// Without a deadline but with a tiny state budget the same verdict
+	// path triggers via ErrBound on a decidable history.
+	resetFlagsForTest(t, []string{
+		"-spec", "exchanger", "-object", "E", "-max-states", "1",
+		"../../examples/histories/fig3-h1.txt",
+	})
+	if got := run(); got != 3 {
+		t.Errorf("run() with -max-states 1 = %d, want 3", got)
+	}
+	// A memo budget of one byte trips on the first memoized failure.
+	resetFlagsForTest(t, []string{
+		"-spec", "exchanger", "-object", "E", "-mode", "lin", "-memo-budget", "1",
+		"../../examples/histories/fig3-h1.txt",
+	})
+	if got := run(); got != 3 {
+		t.Errorf("run() with -memo-budget 1 = %d, want 3", got)
 	}
 }

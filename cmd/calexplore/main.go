@@ -12,14 +12,24 @@
 // performing a single exchange. For the stacks, -program is a
 // comma-separated list of threads, each a space-separated list of push:V
 // and pop operations.
+//
+// The exploration is resource-bounded: -timeout imposes a wall-clock
+// deadline and -max-states bounds the search; interrupts (SIGINT/SIGTERM)
+// stop the exploration cooperatively. A bounded or interrupted run reports
+// UNKNOWN with partial statistics and exits 3; a genuine violation exits 1;
+// usage errors exit 2.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"calgo/internal/model"
 	"calgo/internal/rg"
@@ -28,9 +38,25 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	os.Exit(mainExit(run()))
+}
+
+// mainExit maps exploration outcomes to the exit-code convention: 0
+// verified, 1 violation, 2 usage error, 3 undecided (budget or deadline).
+func mainExit(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, sched.ErrInterrupted) || errors.Is(err, sched.ErrMaxStates):
+		fmt.Printf("UNKNOWN: exploration stopped before covering every interleaving: %v\n", err)
+		return 3
+	default:
 		fmt.Fprintln(os.Stderr, "calexplore:", err)
-		os.Exit(1)
+		var verr *sched.ViolationError
+		if errors.As(err, &verr) {
+			return 1
+		}
+		return 2
 	}
 }
 
@@ -44,48 +70,57 @@ func run() error {
 		slots     = flag.Int("slots", 1, "elimstack: elimination array width K")
 		retries   = flag.Int("retries", 2, "elimstack: retry rounds before a thread halts")
 		maxStates = flag.Int("max-states", 4_000_000, "state budget")
+		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the exploration (0 = none)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	switch *target {
 	case "exchanger":
-		return exploreExchanger(*values, *maxStates)
+		return exploreExchanger(ctx, *values, *maxStates)
 	case "stack":
 		progs, err := parsePrograms(*program)
 		if err != nil {
 			return err
 		}
-		return exploreStack(progs, *maxStates)
+		return exploreStack(ctx, progs, *maxStates)
 	case "elimstack":
 		progs, err := parsePrograms(*program)
 		if err != nil {
 			return err
 		}
-		return exploreElimStack(progs, *slots, *retries, *maxStates)
+		return exploreElimStack(ctx, progs, *slots, *retries, *maxStates)
 	case "syncqueue":
 		progs, err := parseSQPrograms(*sqProgram)
 		if err != nil {
 			return err
 		}
-		return exploreSyncQueue(progs, *maxStates)
+		return exploreSyncQueue(ctx, progs, *maxStates)
 	case "dualstack":
 		progs, err := parsePrograms(*program)
 		if err != nil {
 			return err
 		}
-		return exploreDualStack(progs, *retries, *maxStates)
+		return exploreDualStack(ctx, progs, *retries, *maxStates)
 	case "dualqueue":
 		progs, err := parseDQPrograms(*dqProgram)
 		if err != nil {
 			return err
 		}
-		return exploreDualQueue(progs, *retries, *maxStates)
+		return exploreDualQueue(ctx, progs, *retries, *maxStates)
 	case "snapshot":
 		vals, err := parseValues(*values)
 		if err != nil {
 			return err
 		}
-		return exploreSnapshot(vals, *maxStates)
+		return exploreSnapshot(ctx, vals, *maxStates)
 	default:
 		return fmt.Errorf("unknown target %q", *target)
 	}
@@ -103,7 +138,7 @@ func parseValues(values string) ([]int64, error) {
 	return out, nil
 }
 
-func exploreExchanger(values string, maxStates int) error {
+func exploreExchanger(ctx context.Context, values string, maxStates int) error {
 	vals, err := parseValues(values)
 	if err != nil {
 		return err
@@ -124,23 +159,25 @@ func exploreExchanger(values string, maxStates int) error {
 		Transition: rg.Hook(true),
 		Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
 		MaxStates:  maxStates,
+		Context:    ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreStack(programs [][]model.StackOp, maxStates int) error {
+func exploreStack(ctx context.Context, programs [][]model.StackOp, maxStates int) error {
 	init := model.NewStack(model.StackConfig{Programs: programs})
 	fmt.Printf("exploring central stack: %d threads, checking linearizability of every execution\n", len(programs))
 	stats, err := sched.Explore(init, sched.Options{
 		Terminal:  model.VerifyCAL(spec.NewCentralStack("S"), nil, true),
 		MaxStates: maxStates,
+		Context:   ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreElimStack(programs [][]model.StackOp, slots, retries, maxStates int) error {
+func exploreElimStack(ctx context.Context, programs [][]model.StackOp, slots, retries, maxStates int) error {
 	init := model.NewElimStack(model.ESConfig{
 		Slots:    slots,
 		Retries:  retries,
@@ -152,6 +189,7 @@ func exploreElimStack(programs [][]model.StackOp, slots, retries, maxStates int)
 		Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, true),
 		AllowDeadlock: true,
 		MaxStates:     maxStates,
+		Context:       ctx,
 	})
 	report(stats, err)
 	return err
@@ -165,12 +203,13 @@ func report(stats sched.Stats, err error) {
 	}
 }
 
-func exploreSyncQueue(programs [][]model.SQOp, maxStates int) error {
+func exploreSyncQueue(ctx context.Context, programs [][]model.SQOp, maxStates int) error {
 	init := model.NewSyncQueue(model.SQConfig{Programs: programs})
 	fmt.Printf("exploring synchronous queue: %d threads, checking CAL of every execution\n", len(programs))
 	stats, err := sched.Explore(init, sched.Options{
 		Terminal:  model.VerifyCAL(spec.NewSyncQueue("SQ"), nil, true),
 		MaxStates: maxStates,
+		Context:   ctx,
 	})
 	report(stats, err)
 	return err
@@ -228,36 +267,39 @@ func parsePrograms(src string) ([][]model.StackOp, error) {
 	return programs, nil
 }
 
-func exploreDualStack(programs [][]model.StackOp, retries, maxStates int) error {
+func exploreDualStack(ctx context.Context, programs [][]model.StackOp, retries, maxStates int) error {
 	init := model.NewDualStack(model.DSConfig{Retries: retries, Programs: programs})
 	fmt.Printf("exploring dual stack: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
 	stats, err := sched.Explore(init, sched.Options{
 		Terminal:      model.VerifyCAL(spec.NewDualStack("DS"), nil, true),
 		AllowDeadlock: true,
 		MaxStates:     maxStates,
+		Context:       ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreDualQueue(programs [][]model.QOp, retries, maxStates int) error {
+func exploreDualQueue(ctx context.Context, programs [][]model.QOp, retries, maxStates int) error {
 	init := model.NewDualQueue(model.DQConfig{Retries: retries, Programs: programs})
 	fmt.Printf("exploring dual queue: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
 	stats, err := sched.Explore(init, sched.Options{
 		Terminal:      model.VerifyCAL(spec.NewDualQueue("DQ"), nil, true),
 		AllowDeadlock: true,
 		MaxStates:     maxStates,
+		Context:       ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreSnapshot(values []int64, maxStates int) error {
+func exploreSnapshot(ctx context.Context, values []int64, maxStates int) error {
 	init := model.NewSnapshot(model.ISConfig{Values: values})
 	fmt.Printf("exploring immediate snapshot: %d participants, register-accurate scans\n", len(values))
 	stats, err := sched.Explore(init, sched.Options{
 		Terminal:  model.VerifyCAL(spec.NewSnapshot("IS", len(values)), init.Project, true),
 		MaxStates: maxStates,
+		Context:   ctx,
 	})
 	report(stats, err)
 	return err

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	"calgo/internal/model"
+	"calgo/internal/sched"
 )
 
 func TestParsePrograms(t *testing.T) {
@@ -75,35 +79,68 @@ func TestParseValues(t *testing.T) {
 }
 
 func TestExploreNewTargetsEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	progs, _ := parsePrograms("push:1,pop")
-	if err := exploreDualStack(progs, 1, 1_000_000); err != nil {
+	if err := exploreDualStack(ctx, progs, 1, 1_000_000); err != nil {
 		t.Errorf("dualstack: %v", err)
 	}
 	dq, _ := parseDQPrograms("enq:1,deq")
-	if err := exploreDualQueue(dq, 1, 1_000_000); err != nil {
+	if err := exploreDualQueue(ctx, dq, 1, 1_000_000); err != nil {
 		t.Errorf("dualqueue: %v", err)
 	}
-	if err := exploreSnapshot([]int64{1, 2}, 1_000_000); err != nil {
+	if err := exploreSnapshot(ctx, []int64{1, 2}, 1_000_000); err != nil {
 		t.Errorf("snapshot: %v", err)
 	}
 }
 
 func TestExploreTargetsEndToEnd(t *testing.T) {
-	if err := exploreExchanger("1,2", 1_000_000); err != nil {
+	ctx := context.Background()
+	if err := exploreExchanger(ctx, "1,2", 1_000_000); err != nil {
 		t.Errorf("exchanger: %v", err)
 	}
-	if err := exploreExchanger("x", 10); err == nil {
+	if err := exploreExchanger(ctx, "x", 10); err == nil {
 		t.Error("bad values should fail")
 	}
 	progs, _ := parsePrograms("push:1,pop")
-	if err := exploreStack(progs, 1_000_000); err != nil {
+	if err := exploreStack(ctx, progs, 1_000_000); err != nil {
 		t.Errorf("stack: %v", err)
 	}
-	if err := exploreElimStack(progs, 1, 1, 1_000_000); err != nil {
+	if err := exploreElimStack(ctx, progs, 1, 1, 1_000_000); err != nil {
 		t.Errorf("elimstack: %v", err)
 	}
 	sq, _ := parseSQPrograms("put:1,take")
-	if err := exploreSyncQueue(sq, 1_000_000); err != nil {
+	if err := exploreSyncQueue(ctx, sq, 1_000_000); err != nil {
 		t.Errorf("syncqueue: %v", err)
+	}
+}
+
+func TestExploreDeadlineMapsToUnknownExit(t *testing.T) {
+	// An immediately-expired deadline interrupts the exploration; the
+	// exit-code mapping must classify that as UNKNOWN (3), not violation.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	err := exploreExchanger(ctx, "1,2,3,4", 10_000_000)
+	if !errors.Is(err, sched.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if got := mainExit(err); got != 3 {
+		t.Errorf("mainExit = %d, want 3", got)
+	}
+}
+
+func TestMainExitCodes(t *testing.T) {
+	if got := mainExit(nil); got != 0 {
+		t.Errorf("mainExit(nil) = %d, want 0", got)
+	}
+	if got := mainExit(sched.ErrMaxStates); got != 3 {
+		t.Errorf("mainExit(ErrMaxStates) = %d, want 3", got)
+	}
+	verr := &sched.ViolationError{Kind: "terminal", Err: errors.New("boom")}
+	if got := mainExit(verr); got != 1 {
+		t.Errorf("mainExit(violation) = %d, want 1", got)
+	}
+	if got := mainExit(errors.New("bad flag")); got != 2 {
+		t.Errorf("mainExit(usage) = %d, want 2", got)
 	}
 }

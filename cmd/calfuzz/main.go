@@ -4,35 +4,80 @@
 // history must agree with the trace (Definition 5), and the CAL checker
 // must accept the history independently (Definition 6).
 //
+// Runs can additionally be subjected to fault injection (-chaos): seeded
+// policies that delay, stall, bias and force CAS retries at the objects'
+// labeled synchronization points; every verification must still pass,
+// since chaos perturbs timing, never semantics. -timeout bounds each CAL
+// check; a check that exhausts it counts as UNKNOWN (exit 3), not as a
+// violation.
+//
 // Usage:
 //
 //	calfuzz -iters 50 -seed 1 -object all
+//	calfuzz -iters 20 -object exchanger -chaos havoc
+//
+// Exit status: 0 when all runs verified, 1 when a run failed
+// verification, 2 on usage errors, 3 when a CAL check was inconclusive
+// within its budget.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
+	"time"
 
 	"calgo"
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	switch {
+	case err == nil:
+		os.Exit(0)
+	case errors.Is(err, errUnknown):
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		os.Exit(3)
+	case errors.Is(err, errUsage):
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "calfuzz:", err)
 		os.Exit(1)
 	}
 }
 
+// errUnknown marks an inconclusive (budget-bound) verification; errUsage
+// marks bad flags. Anything else is a real verification failure.
+var (
+	errUnknown = errors.New("verification inconclusive")
+	errUsage   = errors.New("usage")
+)
+
+// checkTimeout bounds each CAL check; set from -timeout.
+var checkTimeout time.Duration
+
 func run() error {
 	var (
-		iters  = flag.Int("iters", 30, "iterations per object")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		object = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, snapshot, all")
+		iters   = flag.Int("iters", 30, "iterations per object")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		object  = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, snapshot, all")
+		chaos   = flag.String("chaos", "none", "fault-injection policy: none, yield-storm, stall, cas-storm, bias, havoc, all")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-run CAL check deadline (0 = none)")
 	)
 	flag.Parse()
+	checkTimeout = *timeout
+
+	policies := []string{*chaos}
+	if *chaos == "all" {
+		policies = calgo.ChaosPolicyNames()
+	} else if _, ok := calgo.ChaosPolicies()[*chaos]; !ok {
+		return fmt.Errorf("%w: unknown chaos policy %q", errUsage, *chaos)
+	}
 
 	targets := []string{"exchanger", "elimstack", "syncqueue", "dualstack", "dualqueue", "msqueue", "snapshot"}
 	if *object != "all" {
@@ -41,20 +86,30 @@ func run() error {
 	for _, target := range targets {
 		fuzz, ok := fuzzers[target]
 		if !ok {
-			return fmt.Errorf("unknown object %q", target)
+			return fmt.Errorf("%w: unknown object %q", errUsage, target)
 		}
-		for i := 0; i < *iters; i++ {
-			rng := rand.New(rand.NewSource(*seed + int64(i)))
-			if err := fuzz(rng); err != nil {
-				return fmt.Errorf("%s iteration %d (seed %d): %w", target, i, *seed+int64(i), err)
+		for _, policy := range policies {
+			for i := 0; i < *iters; i++ {
+				// A fresh policy instance per run: stateful policies keep
+				// per-thread state valid only under one injector's lock.
+				inj := calgo.NewChaosInjector(calgo.ChaosPolicies()[policy], *seed+int64(i))
+				rng := rand.New(rand.NewSource(*seed + int64(i)))
+				if err := fuzz(rng, inj); err != nil {
+					return fmt.Errorf("%s iteration %d (chaos %s, seed %d): %w",
+						target, i, policy, *seed+int64(i), err)
+				}
+			}
+			if policy == "none" {
+				fmt.Printf("✓ %-10s %d randomized runs verified\n", target, *iters)
+			} else {
+				fmt.Printf("✓ %-10s %d randomized runs verified under chaos policy %s\n", target, *iters, policy)
 			}
 		}
-		fmt.Printf("✓ %-10s %d randomized runs verified\n", target, *iters)
 	}
 	return nil
 }
 
-var fuzzers = map[string]func(*rand.Rand) error{
+var fuzzers = map[string]func(*rand.Rand, *calgo.ChaosInjector) error{
 	"exchanger": fuzzExchanger,
 	"elimstack": fuzzElimStack,
 	"syncqueue": fuzzSyncQueue,
@@ -64,11 +119,12 @@ var fuzzers = map[string]func(*rand.Rand) error{
 	"snapshot":  fuzzSnapshot,
 }
 
-func fuzzExchanger(rng *rand.Rand) error {
-	rec := calgo.NewRecorder()
+func fuzzExchanger(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+	rec := calgo.NewBoundedRecorder(1 << 14)
 	ex := calgo.NewExchanger("E",
 		calgo.ExchangerWithRecorder(rec),
 		calgo.ExchangerWithWaitPolicy(calgo.SpinWait(rng.Intn(128)+1)),
+		calgo.ExchangerWithChaos(inj),
 	)
 	workers := rng.Intn(6) + 2
 	per := rng.Intn(20) + 5
@@ -88,15 +144,20 @@ func fuzzExchanger(rng *rand.Rand) error {
 		}(w)
 	}
 	wg.Wait()
-	return verify(cap.History(), rec.View("E"), calgo.NewExchangerSpec("E"))
+	tr, err := checkedView(rec, "E")
+	if err != nil {
+		return err
+	}
+	return verify(cap.History(), tr, calgo.NewExchangerSpec("E"))
 }
 
-func fuzzElimStack(rng *rand.Rand) error {
-	rec := calgo.NewRecorder()
+func fuzzElimStack(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+	rec := calgo.NewBoundedRecorder(1 << 14)
 	es, err := calgo.NewElimStack("ES",
 		calgo.ElimStackWithRecorder(rec),
 		calgo.ElimStackWithSlots(rng.Intn(4)+1),
 		calgo.ElimStackWithWaitPolicy(calgo.SpinWait(rng.Intn(64)+1)),
+		calgo.ElimStackWithChaos(inj),
 	)
 	if err != nil {
 		return err
@@ -130,14 +191,19 @@ func fuzzElimStack(rng *rand.Rand) error {
 		}(p)
 	}
 	wg.Wait()
-	return verify(cap.History(), rec.View("ES"), calgo.NewStackSpec("ES"))
+	tr, err := checkedView(rec, "ES")
+	if err != nil {
+		return err
+	}
+	return verify(cap.History(), tr, calgo.NewStackSpec("ES"))
 }
 
-func fuzzSyncQueue(rng *rand.Rand) error {
-	rec := calgo.NewRecorder()
+func fuzzSyncQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+	rec := calgo.NewBoundedRecorder(1 << 14)
 	q := calgo.NewSyncQueue("SQ",
 		calgo.SyncQueueWithRecorder(rec),
 		calgo.SyncQueueWithWaitPolicy(calgo.SpinWait(rng.Intn(64)+1)),
+		calgo.SyncQueueWithChaos(inj),
 	)
 	pairs := rng.Intn(3) + 1
 	per := rng.Intn(12) + 4
@@ -166,7 +232,11 @@ func fuzzSyncQueue(rng *rand.Rand) error {
 		}(p)
 	}
 	wg.Wait()
-	return verify(cap.History(), rec.View("SQ"), calgo.NewSyncQueueSpec("SQ"))
+	tr, err := checkedView(rec, "SQ")
+	if err != nil {
+		return err
+	}
+	return verify(cap.History(), tr, calgo.NewSyncQueueSpec("SQ"))
 }
 
 func verify(h calgo.History, tr calgo.Trace, sp calgo.Spec) error {
@@ -176,21 +246,40 @@ func verify(h calgo.History, tr calgo.Trace, sp calgo.Spec) error {
 	if err := calgo.Agrees(h, tr); err != nil {
 		return fmt.Errorf("history does not agree with recorded trace: %w", err)
 	}
-	r, err := calgo.CAL(h, sp)
+	ctx := context.Background()
+	if checkTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, checkTimeout)
+		defer cancel()
+	}
+	r, err := calgo.CALContext(ctx, h, sp)
 	if err != nil {
 		return err
 	}
-	if !r.OK {
+	switch r.Verdict {
+	case calgo.VerdictUnknown:
+		return fmt.Errorf("%w: %s (%s)", errUnknown, r.Unknown.Reason, r.Unknown.Frontier)
+	case calgo.VerdictUnsat:
 		return fmt.Errorf("CAL checker rejected the history: %s", r.Reason)
 	}
 	return nil
 }
 
-func fuzzDualStack(rng *rand.Rand) error {
-	rec := calgo.NewRecorder()
+// checkedView snapshots the recorder's view of o after verifying the trace
+// was not truncated; a bounded recorder that overflowed yields no evidence.
+func checkedView(rec *calgo.Recorder, o calgo.ObjectID) (calgo.Trace, error) {
+	if err := rec.Err(); err != nil {
+		return nil, err
+	}
+	return rec.View(o), nil
+}
+
+func fuzzDualStack(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+	rec := calgo.NewBoundedRecorder(1 << 14)
 	s := calgo.NewDualStack("DS",
 		calgo.DualStackWithRecorder(rec),
 		calgo.DualStackWithWaitPolicy(calgo.SpinWait(rng.Intn(8)+1)),
+		calgo.DualStackWithChaos(inj),
 	)
 	pairs := rng.Intn(3) + 1
 	per := rng.Intn(12) + 4
@@ -219,12 +308,16 @@ func fuzzDualStack(rng *rand.Rand) error {
 		}(p)
 	}
 	wg.Wait()
-	return verify(cap.History(), rec.View("DS"), calgo.NewDualStackSpec("DS"))
+	tr, err := checkedView(rec, "DS")
+	if err != nil {
+		return err
+	}
+	return verify(cap.History(), tr, calgo.NewDualStackSpec("DS"))
 }
 
-func fuzzMSQueue(rng *rand.Rand) error {
-	rec := calgo.NewRecorder()
-	q := calgo.NewMSQueue("Q", calgo.MSQueueWithRecorder(rec))
+func fuzzMSQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+	rec := calgo.NewBoundedRecorder(1 << 14)
+	q := calgo.NewMSQueue("Q", calgo.MSQueueWithRecorder(rec), calgo.MSQueueWithChaos(inj))
 	workers := rng.Intn(4) + 2
 	per := rng.Intn(16) + 4
 	var cap calgo.Capture
@@ -249,12 +342,16 @@ func fuzzMSQueue(rng *rand.Rand) error {
 		}(w)
 	}
 	wg.Wait()
-	return verify(cap.History(), rec.View("Q"), calgo.NewQueueSpec("Q"))
+	tr, err := checkedView(rec, "Q")
+	if err != nil {
+		return err
+	}
+	return verify(cap.History(), tr, calgo.NewQueueSpec("Q"))
 }
 
-func fuzzSnapshot(rng *rand.Rand) error {
+func fuzzSnapshot(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	n := rng.Intn(4) + 2
-	s, err := calgo.NewImmediateSnapshot("IS", n)
+	s, err := calgo.NewImmediateSnapshot("IS", n, calgo.SnapshotWithChaos(inj))
 	if err != nil {
 		return err
 	}
@@ -284,11 +381,12 @@ func fuzzSnapshot(rng *rand.Rand) error {
 	return verify(cap.History(), tr, calgo.NewSnapshotSpec("IS", n))
 }
 
-func fuzzDualQueue(rng *rand.Rand) error {
-	rec := calgo.NewRecorder()
+func fuzzDualQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+	rec := calgo.NewBoundedRecorder(1 << 14)
 	q := calgo.NewDualQueue("DQ",
 		calgo.DualQueueWithRecorder(rec),
 		calgo.DualQueueWithWaitPolicy(calgo.SpinWait(rng.Intn(8)+1)),
+		calgo.DualQueueWithChaos(inj),
 	)
 	pairs := rng.Intn(3) + 1
 	per := rng.Intn(12) + 4
@@ -317,5 +415,9 @@ func fuzzDualQueue(rng *rand.Rand) error {
 		}(p)
 	}
 	wg.Wait()
-	return verify(cap.History(), rec.View("DQ"), calgo.NewDualQueueSpec("DQ"))
+	tr, err := checkedView(rec, "DQ")
+	if err != nil {
+		return err
+	}
+	return verify(cap.History(), tr, calgo.NewDualQueueSpec("DQ"))
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -11,11 +12,32 @@ func TestAllFuzzersOnce(t *testing.T) {
 	for name, fuzz := range fuzzers {
 		t.Run(name, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
-				if err := fuzz(rand.New(rand.NewSource(seed))); err != nil {
+				if err := fuzz(rand.New(rand.NewSource(seed)), nil); err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
 				}
 			}
 		})
+	}
+}
+
+// TestAllFuzzersUnderChaos runs every fuzzer once per chaos policy: the
+// full verification battery must still pass with faults injected.
+func TestAllFuzzersUnderChaos(t *testing.T) {
+	for _, policy := range calgo.ChaosPolicyNames() {
+		for name, fuzz := range fuzzers {
+			policy, name, fuzz := policy, name, fuzz
+			t.Run(policy+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				seed := int64(7)
+				inj := calgo.NewChaosInjector(calgo.ChaosPolicies()[policy], seed)
+				if err := fuzz(rand.New(rand.NewSource(seed)), inj); err != nil {
+					t.Fatalf("policy %s seed %d: %v", policy, seed, err)
+				}
+				if st := inj.Stats(); st.Points == 0 && policy != "none" {
+					t.Errorf("policy %s visited no injection points", policy)
+				}
+			})
+		}
 	}
 }
 
@@ -47,5 +69,25 @@ func TestVerifyRejectsBadTrace(t *testing.T) {
 	})}
 	if err := verify(h, good, calgo.NewExchangerSpec("E")); err != nil {
 		t.Errorf("valid run failed verification: %v", err)
+	}
+}
+
+// TestCheckedViewRejectsOverflow pins that a truncated bounded recorder is
+// never used as verification evidence.
+func TestCheckedViewRejectsOverflow(t *testing.T) {
+	rec := calgo.NewBoundedRecorder(1)
+	for i := 0; i < 3; i++ {
+		rec.Append(calgo.Singleton(calgo.Operation{
+			Thread: 1, Object: "E", Method: calgo.MethodExchange,
+			Arg: calgo.Int(int64(i)), Ret: calgo.Pair(false, int64(i)),
+		}))
+	}
+	_, err := checkedView(rec, "E")
+	var of *calgo.RecorderOverflowError
+	if !errors.As(err, &of) {
+		t.Fatalf("checkedView on overflowed recorder = %v, want *RecorderOverflowError", err)
+	}
+	if of.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", of.Dropped)
 	}
 }

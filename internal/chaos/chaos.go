@@ -1,0 +1,364 @@
+// Package chaos is a fault-injection layer for the runtime objects under
+// calgo/internal/objects. The paper's central claim is schedule-universal:
+// a CA-object must be CA-linearizable under *every* interleaving, not just
+// the benign ones the Go scheduler happens to produce on an idle test
+// machine. This package manufactures hostile interleavings on real
+// hardware: an Injector, threaded through an object via its WithChaos
+// option, is consulted at every labeled synchronization point (pre/post
+// CAS, partner waits, retry loops) and may delay the calling goroutine,
+// stall it at specific labeled points, bias scheduling against chosen
+// threads, or force a retryable CAS to report failure without being
+// attempted — a CAS retry storm.
+//
+// Forced CAS failures are only installed at sites where losing is
+// indistinguishable from losing a real race (pure retry loops and
+// failure-reporting one-shot attempts); sites whose failure path *infers*
+// facts about other threads (e.g. "my hole was filled, so a partner
+// exists") are never forced, so every injected execution remains a
+// legitimate execution of the protocol and the recorded CA-trace stays
+// sound. Chaos therefore changes timing and contention, never semantics:
+// any CAL violation observed under injection is a real violation.
+//
+// All decisions are made by a pluggable, seeded Policy, so a failing soak
+// reproduces from its seed.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"calgo/internal/history"
+)
+
+// Site labels an injection point as "object-kind.operation.moment",
+// e.g. "treiber.push.pre-cas" or "exchanger.xchg.cas".
+type Site string
+
+// Policy decides what happens at each injection point. Policy methods are
+// always invoked under the owning Injector's lock, so a policy may keep
+// unsynchronized internal state, provided the instance is not shared
+// between injectors.
+type Policy interface {
+	// Name identifies the policy in logs and stats.
+	Name() string
+	// Delay returns how many scheduler yields the calling goroutine must
+	// perform at site (0 = run through).
+	Delay(r *rand.Rand, tid history.ThreadID, site Site) int
+	// FailCAS reports whether the retryable CAS at site should be forced
+	// to fail without being attempted.
+	FailCAS(r *rand.Rand, tid history.ThreadID, site Site) bool
+}
+
+// Stats counts the faults an Injector has delivered.
+type Stats struct {
+	// Points is the number of injection points passed.
+	Points int64
+	// Delays is the number of points at which a nonzero delay was injected.
+	Delays int64
+	// Yields is the total number of scheduler yields performed.
+	Yields int64
+	// ForcedFails is the number of CAS attempts forced to fail.
+	ForcedFails int64
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("points=%d delays=%d yields=%d forced-cas-fails=%d",
+		s.Points, s.Delays, s.Yields, s.ForcedFails)
+}
+
+// Injector delivers policy-driven faults at labeled synchronization
+// points. All methods are safe for concurrent use and safe on a nil
+// receiver (a nil *Injector injects nothing), so instrumented objects call
+// hooks unconditionally.
+type Injector struct {
+	mu     sync.Mutex
+	policy Policy
+	rng    *rand.Rand
+
+	points      atomic.Int64
+	delays      atomic.Int64
+	yields      atomic.Int64
+	forcedFails atomic.Int64
+}
+
+// NewInjector returns an injector driving policy p from the given seed.
+// A nil policy injects nothing.
+func NewInjector(p Policy, seed int64) *Injector {
+	return &Injector{policy: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Policy returns the injector's policy (nil for a nil injector).
+func (in *Injector) Policy() Policy {
+	if in == nil {
+		return nil
+	}
+	return in.policy
+}
+
+// Pause is called by instrumented objects at a labeled synchronization
+// point; it yields the processor as many times as the policy demands.
+func (in *Injector) Pause(tid history.ThreadID, site Site) {
+	if in == nil || in.policy == nil {
+		return
+	}
+	in.points.Add(1)
+	in.mu.Lock()
+	n := in.policy.Delay(in.rng, tid, site)
+	in.mu.Unlock()
+	if n <= 0 {
+		return
+	}
+	in.delays.Add(1)
+	in.yields.Add(int64(n))
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
+// FailCAS reports whether the retryable CAS at site should be forced to
+// fail. Callers must consult it *instead of* attempting the CAS, taking
+// their ordinary contention-failure path when it returns true.
+func (in *Injector) FailCAS(tid history.ThreadID, site Site) bool {
+	if in == nil || in.policy == nil {
+		return false
+	}
+	in.points.Add(1)
+	in.mu.Lock()
+	fail := in.policy.FailCAS(in.rng, tid, site)
+	in.mu.Unlock()
+	if fail {
+		in.forcedFails.Add(1)
+	}
+	return fail
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Points:      in.points.Load(),
+		Delays:      in.delays.Load(),
+		Yields:      in.yields.Load(),
+		ForcedFails: in.forcedFails.Load(),
+	}
+}
+
+// None injects nothing; the control policy of every soak matrix.
+type None struct{}
+
+// Name implements Policy.
+func (None) Name() string { return "none" }
+
+// Delay implements Policy.
+func (None) Delay(*rand.Rand, history.ThreadID, Site) int { return 0 }
+
+// FailCAS implements Policy.
+func (None) FailCAS(*rand.Rand, history.ThreadID, Site) bool { return false }
+
+// YieldStorm delays every injection point with probability P by 1..Max
+// scheduler yields, widening the windows between loads and CASes where
+// racing threads can interpose.
+type YieldStorm struct {
+	// P is the per-point delay probability in [0,1].
+	P float64
+	// Max bounds the yields per delay (default 8).
+	Max int
+}
+
+// Name implements Policy.
+func (y YieldStorm) Name() string { return "yield-storm" }
+
+// Delay implements Policy.
+func (y YieldStorm) Delay(r *rand.Rand, _ history.ThreadID, _ Site) int {
+	if r.Float64() >= y.P {
+		return 0
+	}
+	max := y.Max
+	if max < 1 {
+		max = 8
+	}
+	return 1 + r.Intn(max)
+}
+
+// FailCAS implements Policy.
+func (YieldStorm) FailCAS(*rand.Rand, history.ThreadID, Site) bool { return false }
+
+// Stall parks goroutines for a long burst of yields at every site whose
+// label contains Match, holding a thread inside a specific window (e.g.
+// between an offer install and its withdrawal) while the rest of the
+// system runs on.
+type Stall struct {
+	// Match selects sites by substring; empty matches every site.
+	Match string
+	// Yields is the stall length in scheduler yields (default 64).
+	Yields int
+	// P is the probability of stalling at a matching site (default 1).
+	P float64
+}
+
+// Name implements Policy.
+func (s Stall) Name() string {
+	if s.Match == "" {
+		return "stall"
+	}
+	return "stall:" + s.Match
+}
+
+// Delay implements Policy.
+func (s Stall) Delay(r *rand.Rand, _ history.ThreadID, site Site) int {
+	if s.Match != "" && !strings.Contains(string(site), s.Match) {
+		return 0
+	}
+	if s.P > 0 && s.P < 1 && r.Float64() >= s.P {
+		return 0
+	}
+	if s.Yields < 1 {
+		return 64
+	}
+	return s.Yields
+}
+
+// FailCAS implements Policy.
+func (Stall) FailCAS(*rand.Rand, history.ThreadID, Site) bool { return false }
+
+// CASStorm forces retryable CASes to fail with probability P, bounded by
+// Streak consecutive forced failures per thread so retry loops cannot be
+// starved forever (the injected adversary is unfair, but not infinitely
+// so — wait-freedom of the objects is preserved).
+type CASStorm struct {
+	// P is the per-attempt forced-failure probability in [0,1].
+	P float64
+	// Streak bounds consecutive forced failures per thread (default 4).
+	Streak int
+
+	streaks map[history.ThreadID]int
+}
+
+// NewCASStorm returns a CAS retry storm policy.
+func NewCASStorm(p float64, streak int) *CASStorm {
+	return &CASStorm{P: p, Streak: streak}
+}
+
+// Name implements Policy.
+func (c *CASStorm) Name() string { return "cas-storm" }
+
+// Delay implements Policy.
+func (c *CASStorm) Delay(*rand.Rand, history.ThreadID, Site) int { return 0 }
+
+// FailCAS implements Policy.
+func (c *CASStorm) FailCAS(r *rand.Rand, tid history.ThreadID, _ Site) bool {
+	streak := c.Streak
+	if streak < 1 {
+		streak = 4
+	}
+	if c.streaks == nil {
+		c.streaks = make(map[history.ThreadID]int)
+	}
+	if c.streaks[tid] >= streak || r.Float64() >= c.P {
+		c.streaks[tid] = 0
+		return false
+	}
+	c.streaks[tid]++
+	return true
+}
+
+// Bias starves a subset of threads: every thread whose id is congruent to
+// Rem modulo Mod pays Yields scheduler yields at every injection point,
+// letting the favored threads race far ahead — the software analogue of a
+// core running hot interrupts.
+type Bias struct {
+	// Mod and Rem select the victims: tid % Mod == Rem (Mod default 2).
+	Mod, Rem int
+	// Yields is the per-point penalty (default 16).
+	Yields int
+}
+
+// Name implements Policy.
+func (Bias) Name() string { return "bias" }
+
+// Delay implements Policy.
+func (b Bias) Delay(_ *rand.Rand, tid history.ThreadID, _ Site) int {
+	mod := b.Mod
+	if mod < 2 {
+		mod = 2
+	}
+	if int(tid)%mod != b.Rem {
+		return 0
+	}
+	if b.Yields < 1 {
+		return 16
+	}
+	return b.Yields
+}
+
+// FailCAS implements Policy.
+func (Bias) FailCAS(*rand.Rand, history.ThreadID, Site) bool { return false }
+
+// Combined composes policies: delays add, and a CAS fails if any member
+// forces it.
+type Combined struct {
+	Policies []Policy
+}
+
+// Combine returns the composition of ps.
+func Combine(ps ...Policy) Combined { return Combined{Policies: ps} }
+
+// Name implements Policy.
+func (c Combined) Name() string {
+	names := make([]string, len(c.Policies))
+	for i, p := range c.Policies {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Delay implements Policy.
+func (c Combined) Delay(r *rand.Rand, tid history.ThreadID, site Site) int {
+	n := 0
+	for _, p := range c.Policies {
+		n += p.Delay(r, tid, site)
+	}
+	return n
+}
+
+// FailCAS implements Policy.
+func (c Combined) FailCAS(r *rand.Rand, tid history.ThreadID, site Site) bool {
+	fail := false
+	for _, p := range c.Policies {
+		if p.FailCAS(r, tid, site) {
+			fail = true
+		}
+	}
+	return fail
+}
+
+// Named returns the standard policy suite keyed by name, freshly
+// constructed (stateful policies must not be shared between injectors).
+// The suite is the soak matrix run by the chaos tests and cmd/calfuzz.
+func Named() map[string]Policy {
+	return map[string]Policy{
+		"none":        None{},
+		"yield-storm": YieldStorm{P: 0.3, Max: 12},
+		"stall":       Stall{Match: "pre-cas", Yields: 48, P: 0.2},
+		"cas-storm":   NewCASStorm(0.4, 4),
+		"bias":        Bias{Mod: 2, Rem: 1, Yields: 12},
+		"havoc": Combine(
+			YieldStorm{P: 0.2, Max: 8},
+			NewCASStorm(0.25, 3),
+			Bias{Mod: 3, Rem: 0, Yields: 8},
+		),
+	}
+}
+
+// PolicyNames returns the names of the standard suite in deterministic
+// order, control policy first.
+func PolicyNames() []string {
+	return []string{"none", "yield-storm", "stall", "cas-storm", "bias", "havoc"}
+}

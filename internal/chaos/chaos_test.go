@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"calgo/internal/history"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.Pause(1, "x.y.z") // must not panic
+	if in.FailCAS(1, "x.y.z") {
+		t.Error("nil injector forced a CAS failure")
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Errorf("nil injector stats = %+v", s)
+	}
+	if in.Policy() != nil {
+		t.Error("nil injector has a policy")
+	}
+}
+
+func TestNonePolicyInjectsNothing(t *testing.T) {
+	in := NewInjector(None{}, 1)
+	for i := 0; i < 100; i++ {
+		in.Pause(history.ThreadID(i), "treiber.push.pre-cas")
+		if in.FailCAS(history.ThreadID(i), "treiber.push.cas") {
+			t.Fatal("None forced a CAS failure")
+		}
+	}
+	s := in.Stats()
+	if s.Delays != 0 || s.Yields != 0 || s.ForcedFails != 0 {
+		t.Errorf("stats = %+v, want no faults", s)
+	}
+	if s.Points != 200 {
+		t.Errorf("points = %d, want 200", s.Points)
+	}
+}
+
+func TestYieldStormDelays(t *testing.T) {
+	in := NewInjector(YieldStorm{P: 1, Max: 4}, 42)
+	for i := 0; i < 50; i++ {
+		in.Pause(1, "site")
+	}
+	s := in.Stats()
+	if s.Delays != 50 {
+		t.Errorf("delays = %d, want 50", s.Delays)
+	}
+	if s.Yields < 50 || s.Yields > 200 {
+		t.Errorf("yields = %d, want within [50,200]", s.Yields)
+	}
+}
+
+func TestStallMatchesSites(t *testing.T) {
+	p := Stall{Match: "pre-cas", Yields: 7}
+	r := rand.New(rand.NewSource(1))
+	if n := p.Delay(r, 1, "treiber.push.pre-cas"); n != 7 {
+		t.Errorf("matching site delay = %d, want 7", n)
+	}
+	if n := p.Delay(r, 1, "treiber.push.post-cas"); n != 0 {
+		t.Errorf("non-matching site delay = %d, want 0", n)
+	}
+}
+
+func TestCASStormBoundsStreaks(t *testing.T) {
+	p := NewCASStorm(1, 3) // always fail, streak cap 3
+	r := rand.New(rand.NewSource(1))
+	consecutive, maxConsecutive := 0, 0
+	for i := 0; i < 100; i++ {
+		if p.FailCAS(r, 7, "s") {
+			consecutive++
+			if consecutive > maxConsecutive {
+				maxConsecutive = consecutive
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+	if maxConsecutive != 3 {
+		t.Errorf("max consecutive forced failures = %d, want 3", maxConsecutive)
+	}
+}
+
+func TestCASStormStreaksPerThread(t *testing.T) {
+	p := NewCASStorm(1, 2)
+	r := rand.New(rand.NewSource(1))
+	// Interleaving two threads must not share one streak budget.
+	got := 0
+	for i := 0; i < 2; i++ {
+		if p.FailCAS(r, 1, "s") {
+			got++
+		}
+		if p.FailCAS(r, 2, "s") {
+			got++
+		}
+	}
+	if got != 4 {
+		t.Errorf("forced failures = %d, want 4 (2 per thread)", got)
+	}
+}
+
+func TestBiasTargetsResidueClass(t *testing.T) {
+	p := Bias{Mod: 3, Rem: 1, Yields: 5}
+	r := rand.New(rand.NewSource(1))
+	if n := p.Delay(r, 4, "s"); n != 5 { // 4 % 3 == 1
+		t.Errorf("victim delay = %d, want 5", n)
+	}
+	if n := p.Delay(r, 3, "s"); n != 0 {
+		t.Errorf("non-victim delay = %d, want 0", n)
+	}
+}
+
+func TestCombineAddsDelaysAndOrsFailures(t *testing.T) {
+	p := Combine(Stall{Yields: 2}, Stall{Yields: 3}, NewCASStorm(1, 1))
+	r := rand.New(rand.NewSource(1))
+	if n := p.Delay(r, 1, "s"); n != 5 {
+		t.Errorf("combined delay = %d, want 5", n)
+	}
+	if !p.FailCAS(r, 1, "s") {
+		t.Error("combined policy should force the first failure")
+	}
+}
+
+func TestInjectorConcurrentUse(t *testing.T) {
+	in := NewInjector(Combine(YieldStorm{P: 0.5, Max: 2}, NewCASStorm(0.5, 2)), 99)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w)
+			for i := 0; i < 200; i++ {
+				in.Pause(tid, "a.b.pre-cas")
+				in.FailCAS(tid, "a.b.cas")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := in.Stats(); s.Points != 8*200*2 {
+		t.Errorf("points = %d, want %d", s.Points, 8*200*2)
+	}
+}
+
+func TestNamedSuiteIsComplete(t *testing.T) {
+	suite := Named()
+	for _, name := range PolicyNames() {
+		p, ok := suite[name]
+		if !ok {
+			t.Errorf("PolicyNames lists %q but Named() lacks it", name)
+			continue
+		}
+		if name != "none" && name != p.Name() && p.Name() == "none" {
+			t.Errorf("policy %q resolves to the control policy", name)
+		}
+	}
+	if len(suite) != len(PolicyNames()) {
+		t.Errorf("Named() has %d policies, PolicyNames %d", len(suite), len(PolicyNames()))
+	}
+}

@@ -1,0 +1,44 @@
+//go:build chaos
+
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"calgo/internal/chaos"
+)
+
+// TestSoakLong is the extended chaos soak, gated behind `-tags chaos`
+// (run via `make chaos`): the same policy x object matrix as the default
+// soak, but iterated with rotating seeds so differently-aligned fault
+// schedules are explored. Each round re-runs the full Definition 5/6
+// verification battery; every failure reproduces from its printed seed.
+func TestSoakLong(t *testing.T) {
+	const rounds = 10
+	cases := []soakCase{
+		{"treiber", soakTreiber},
+		{"msqueue", soakMSQueue},
+		{"exchanger", soakExchanger},
+		{"syncqueue", soakSyncQueue},
+		{"dualstack", soakDualStack},
+		{"dualqueue", soakDualQueue},
+		{"elimstack", soakElimStack},
+		{"snapshot", soakSnapshot},
+	}
+	for round := 0; round < rounds; round++ {
+		for _, name := range chaos.PolicyNames() {
+			name := name
+			for i, c := range cases {
+				i, c, round := i, c, round
+				seed := int64(round*1_000_003 + i*101 + 1)
+				t.Run(fmt.Sprintf("r%d/%s/%s", round, name, c.name), func(t *testing.T) {
+					t.Parallel()
+					inj := chaos.NewInjector(chaos.Named()[name], seed)
+					c.run(t, inj)
+					t.Logf("chaos stats: %v", inj.Stats())
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package chaos_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"calgo/internal/chaos"
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/objects/dualqueue"
+	"calgo/internal/objects/dualstack"
+	"calgo/internal/objects/elimstack"
+	"calgo/internal/objects/exchanger"
+	"calgo/internal/objects/msqueue"
+	"calgo/internal/objects/snapshot"
+	"calgo/internal/objects/syncqueue"
+	"calgo/internal/objects/treiber"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// The soak battery re-runs each object's runtime verification — recorded
+// trace admitted by the spec, history agrees with the trace (Definition 5),
+// history independently CA-linearizable (Definition 6) — under every named
+// chaos policy. Delays, stalls, biased scheduling and forced CAS retries
+// must never produce a history the checker rejects: the objects' safety
+// arguments do not depend on timing, and the forced-failure sites were
+// chosen so a forced loss is indistinguishable from losing a real race.
+
+// soakRecorder returns a bounded recorder sized generously for the
+// workload; the soak checks Err() afterwards, so a sizing bug surfaces as
+// an explicit overflow failure rather than silent truncation.
+func soakRecorder(capacity int) *recorder.Recorder {
+	return recorder.NewBounded(capacity)
+}
+
+// verify runs the Definition 5/6 battery on a captured run.
+func verify(t *testing.T, h history.History, tr trace.Trace, sp spec.Spec) {
+	t.Helper()
+	if !h.IsComplete() {
+		t.Fatal("history must be complete after all workers returned")
+	}
+	if _, err := spec.Accepts(sp, tr); err != nil {
+		t.Fatalf("recorded trace violates %s: %v", sp.Name(), err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with recorded trace: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	r, err := check.CALContext(ctx, h, sp)
+	if err != nil {
+		t.Fatalf("CAL: %v", err)
+	}
+	switch r.Verdict {
+	case check.Sat:
+	case check.Unsat:
+		t.Fatalf("history not CA-linearizable under chaos: %s", r.Reason)
+	case check.Unknown:
+		t.Fatalf("CAL gave up on a soak-sized history: %s (%s)",
+			r.Unknown.Reason, r.Unknown.Frontier)
+	}
+}
+
+func checkRecorder(t *testing.T, rec *recorder.Recorder) {
+	t.Helper()
+	if err := rec.Err(); err != nil {
+		t.Fatalf("recorder overflowed; the trace is not evidence: %v", err)
+	}
+}
+
+type soakCase struct {
+	name string
+	run  func(t *testing.T, inj *chaos.Injector)
+}
+
+func soakTreiber(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "S"
+	rec := soakRecorder(1 << 12)
+	s := treiber.New(obj, treiber.WithRecorder(rec), treiber.WithChaos(inj))
+	var cap history.Capture
+	const workers, per = 4, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				if i%2 == 0 {
+					cap.Inv(tid, obj, spec.MethodPush, history.Int(v))
+					ok := s.TryPush(tid, v)
+					cap.Res(tid, obj, spec.MethodPush, history.Bool(ok))
+				} else {
+					cap.Inv(tid, obj, spec.MethodPop, history.Unit())
+					ok, got := s.TryPop(tid)
+					cap.Res(tid, obj, spec.MethodPop, history.Pair(ok, got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkRecorder(t, rec)
+	verify(t, cap.History(), rec.View(obj), spec.NewCentralStack(obj))
+}
+
+func soakMSQueue(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "Q"
+	rec := soakRecorder(1 << 12)
+	q := msqueue.New(obj, msqueue.WithRecorder(rec), msqueue.WithChaos(inj))
+	var cap history.Capture
+	const workers, per = 4, 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				if i%2 == 0 {
+					cap.Inv(tid, obj, spec.MethodEnq, history.Int(v))
+					q.Enq(tid, v)
+					cap.Res(tid, obj, spec.MethodEnq, history.Bool(true))
+				} else {
+					cap.Inv(tid, obj, spec.MethodDeq, history.Unit())
+					ok, got := q.Deq(tid)
+					cap.Res(tid, obj, spec.MethodDeq, history.Pair(ok, got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkRecorder(t, rec)
+	verify(t, cap.History(), rec.View(obj), spec.NewQueue(obj))
+}
+
+func soakExchanger(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "E"
+	rec := soakRecorder(1 << 12)
+	e := exchanger.New(obj, exchanger.WithRecorder(rec),
+		exchanger.WithWaitPolicy(exchanger.Spin(64)), exchanger.WithChaos(inj))
+	var cap history.Capture
+	const workers, per = 4, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				cap.Inv(tid, obj, spec.MethodExchange, history.Int(v))
+				ok, out := e.Exchange(tid, v)
+				cap.Res(tid, obj, spec.MethodExchange, history.Pair(ok, out))
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkRecorder(t, rec)
+	verify(t, cap.History(), rec.View(obj), spec.NewExchanger(obj))
+}
+
+func soakSyncQueue(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "SQ"
+	rec := soakRecorder(1 << 12)
+	q := syncqueue.New(obj, syncqueue.WithRecorder(rec),
+		syncqueue.WithWaitPolicy(exchanger.Spin(64)), syncqueue.WithChaos(inj))
+	var cap history.Capture
+	const pairs, per = 2, 8
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, obj, spec.MethodPut, history.Int(v))
+				q.Put(tid, v)
+				cap.Res(tid, obj, spec.MethodPut, history.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, obj, spec.MethodTake, history.Unit())
+				v := q.Take(tid)
+				cap.Res(tid, obj, spec.MethodTake, history.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	checkRecorder(t, rec)
+	verify(t, cap.History(), rec.View(obj), spec.NewSyncQueue(obj))
+}
+
+func soakDualStack(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "DS"
+	rec := soakRecorder(1 << 12)
+	s := dualstack.New(obj, dualstack.WithRecorder(rec),
+		dualstack.WithWaitPolicy(exchanger.Spin(1)), dualstack.WithChaos(inj))
+	var cap history.Capture
+	const pairs, per = 2, 8
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, obj, spec.MethodPush, history.Int(v))
+				s.Push(tid, v)
+				cap.Res(tid, obj, spec.MethodPush, history.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, obj, spec.MethodPop, history.Unit())
+				v := s.Pop(tid)
+				cap.Res(tid, obj, spec.MethodPop, history.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	checkRecorder(t, rec)
+	verify(t, cap.History(), rec.View(obj), spec.NewDualStack(obj))
+}
+
+func soakDualQueue(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "DQ"
+	rec := soakRecorder(1 << 12)
+	q := dualqueue.New(obj, dualqueue.WithRecorder(rec),
+		dualqueue.WithWaitPolicy(exchanger.Spin(1)), dualqueue.WithChaos(inj))
+	var cap history.Capture
+	const pairs, per = 2, 8
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, obj, spec.MethodEnq, history.Int(v))
+				q.Enq(tid, v)
+				cap.Res(tid, obj, spec.MethodEnq, history.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, obj, spec.MethodDeq, history.Unit())
+				v := q.Deq(tid)
+				cap.Res(tid, obj, spec.MethodDeq, history.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	checkRecorder(t, rec)
+	verify(t, cap.History(), rec.View(obj), spec.NewDualQueue(obj))
+}
+
+func soakElimStack(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "ES"
+	rec := soakRecorder(1 << 12)
+	es, err := elimstack.New(obj, elimstack.WithRecorder(rec), elimstack.WithSlots(2),
+		elimstack.WithWaitPolicy(exchanger.Spin(64)), elimstack.WithChaos(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cap history.Capture
+	const pairs, per = 2, 10
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 1)
+			for i := 0; i < per; i++ {
+				v := int64(p*10_000 + i)
+				cap.Inv(tid, obj, spec.MethodPush, history.Int(v))
+				if err := es.Push(tid, v); err != nil {
+					t.Errorf("Push: %v", err)
+				}
+				cap.Res(tid, obj, spec.MethodPush, history.Bool(true))
+			}
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			tid := history.ThreadID(2*p + 2)
+			for i := 0; i < per; i++ {
+				cap.Inv(tid, obj, spec.MethodPop, history.Unit())
+				v := es.Pop(tid)
+				cap.Res(tid, obj, spec.MethodPop, history.Pair(true, v))
+			}
+		}(p)
+	}
+	wg.Wait()
+	checkRecorder(t, rec)
+	h := cap.History()
+	tr := rec.View(obj)
+	if !h.IsComplete() {
+		t.Fatal("history must be complete")
+	}
+	if _, err := spec.Accepts(spec.NewStack(obj), tr); err != nil {
+		t.Fatalf("derived trace violates stack spec: %v", err)
+	}
+	if err := trace.Agrees(h, tr); err != nil {
+		t.Fatalf("history does not agree with derived trace: %v", err)
+	}
+	r, err := check.Linearizable(h, spec.NewStack(obj))
+	if err != nil {
+		t.Fatalf("Linearizable: %v", err)
+	}
+	if !r.OK {
+		t.Fatalf("elimination stack history not linearizable under chaos: %s", r.Reason)
+	}
+}
+
+func soakSnapshot(t *testing.T, inj *chaos.Injector) {
+	const obj history.ObjectID = "IS"
+	const n = 4
+	for round := 0; round < 4; round++ {
+		s, err := snapshot.New(obj, n, snapshot.WithChaos(inj))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cap history.Capture
+		results := make([]snapshot.Result, n)
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				tid := history.ThreadID(p + 1)
+				v := int64(100 + p)
+				cap.Inv(tid, obj, spec.MethodUpdate, history.Int(v))
+				view, err := s.Update(p, tid, v)
+				if err != nil {
+					t.Errorf("Update: %v", err)
+					return
+				}
+				cap.Res(tid, obj, spec.MethodUpdate, history.Pair(true, int64(len(view))))
+				results[p] = snapshot.Result{Thread: tid, Value: v, View: view}
+			}(p)
+		}
+		wg.Wait()
+		tr, err := snapshot.DeriveTrace(obj, results)
+		if err != nil {
+			t.Fatalf("round %d: DeriveTrace: %v", round, err)
+		}
+		verify(t, cap.History(), tr, spec.NewSnapshot(obj, n))
+	}
+}
+
+// TestSoakAllPoliciesAllObjects is the chaos-soak matrix: every named
+// policy against every instrumented object, each run re-verified by the
+// checker. Seeds are fixed so failures replay.
+func TestSoakAllPoliciesAllObjects(t *testing.T) {
+	cases := []soakCase{
+		{"treiber", soakTreiber},
+		{"msqueue", soakMSQueue},
+		{"exchanger", soakExchanger},
+		{"syncqueue", soakSyncQueue},
+		{"dualstack", soakDualStack},
+		{"dualqueue", soakDualQueue},
+		{"elimstack", soakElimStack},
+		{"snapshot", soakSnapshot},
+	}
+	for _, name := range chaos.PolicyNames() {
+		name := name
+		for i, c := range cases {
+			i, c := i, c
+			t.Run(name+"/"+c.name, func(t *testing.T) {
+				t.Parallel()
+				// Fresh policy per injector: stateful policies (cas-storm)
+				// must not be shared between concurrently running soaks.
+				inj := chaos.NewInjector(chaos.Named()[name], int64(1000+i))
+				c.run(t, inj)
+				st := inj.Stats()
+				if st.Points == 0 && name != "none" {
+					t.Errorf("policy %s injected nothing (stats %+v)", name, st)
+				}
+				t.Logf("chaos stats: %+v", st)
+			})
+		}
+	}
+}
+
+// TestSoakStatsAccumulate pins the observability contract: an aggressive
+// policy must report delays and forced failures after a soak.
+func TestSoakStatsAccumulate(t *testing.T) {
+	inj := chaos.NewInjector(chaos.Named()["havoc"], 7)
+	soakTreiber(t, inj)
+	st := inj.Stats()
+	if st.Points == 0 || st.Delays == 0 {
+		t.Errorf("havoc soak recorded no faults: %+v", st)
+	}
+}

@@ -11,9 +11,18 @@
 // cases with element size capped at 1 and at the specification's bound,
 // respectively. The search is memoized on (linearized-set, spec-state) pairs
 // in the style of Lowe's linearizability tester.
+//
+// The decision problem is NP-complete, so the searcher is built to degrade
+// gracefully rather than hang or exhaust memory: it takes a context.Context
+// for cooperative cancellation and wall-clock deadlines, enforces state and
+// memoization-memory budgets, and reports a three-valued Verdict — Sat,
+// Unsat, or Unknown with the abort cause, frontier statistics and a partial
+// witness. Exhausting a budget is an answer ("ran out of resources here"),
+// not an error.
 package check
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -23,12 +32,19 @@ import (
 	"calgo/internal/trace"
 )
 
-// ErrBound is returned when the search exceeds the configured state bound.
+// ErrBound is the Unknown cause when the search exceeds its state budget.
 var ErrBound = errors.New("check: state bound exceeded")
+
+// ErrMemoBudget is the Unknown cause when the memoization table exceeds its
+// memory budget.
+var ErrMemoBudget = errors.New("check: memo memory budget exceeded")
 
 // Result reports the outcome of a check.
 type Result struct {
-	// OK is true iff the history is CA-linearizable w.r.t. the spec.
+	// Verdict is the three-valued outcome: Sat, Unsat or Unknown.
+	Verdict Verdict
+	// OK is true iff Verdict == Sat. Kept as the convenient boolean for
+	// the overwhelmingly common two-valued callers.
 	OK bool
 	// Witness is an admitted CA-trace the (completed) history agrees
 	// with; set only when OK.
@@ -36,17 +52,21 @@ type Result struct {
 	// Dropped lists pending operations removed by the chosen completion;
 	// set only when OK.
 	Dropped []history.Op
-	// Reason describes the failure; set only when !OK.
+	// Reason describes the failure; set only when Verdict == Unsat.
 	Reason string
 	// States counts distinct (linearized-set, spec-state) pairs visited.
 	States int
 	// MemoHits counts search nodes pruned by memoization.
 	MemoHits int
+	// Unknown carries the abort cause, frontier statistics and partial
+	// witness; set only when Verdict == Unknown.
+	Unknown *UnknownInfo
 }
 
 type config struct {
 	elementCap   int  // 0 = use spec's MaxElementSize
-	maxStates    int  // memo-entry budget
+	maxStates    int  // search-state budget
+	memoBudget   int  // approximate memo-table key bytes; 0 = unlimited
 	memo         bool // memoize failed nodes
 	completeOnly bool // reject histories with pending invocations
 }
@@ -59,8 +79,14 @@ type Option func(*config)
 func WithElementCap(n int) Option { return func(c *config) { c.elementCap = n } }
 
 // WithMaxStates bounds the number of distinct search states visited before
-// the check aborts with ErrBound. The default is 4_000_000.
+// the check gives up with an Unknown verdict (cause ErrBound). The default
+// is 4_000_000.
 func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+
+// WithMemoBudget bounds the approximate byte footprint of the memoization
+// table; exceeding it yields an Unknown verdict (cause ErrMemoBudget)
+// instead of an OOM kill. 0 (the default) means unlimited.
+func WithMemoBudget(bytes int) Option { return func(c *config) { c.memoBudget = bytes } }
 
 // WithoutMemo disables memoization of failed search nodes. Exists for the
 // memoization ablation benchmark; never useful otherwise.
@@ -71,10 +97,23 @@ func WithoutMemo() Option { return func(c *config) { c.memo = false } }
 func WithCompleteOnly() Option { return func(c *config) { c.completeOnly = true } }
 
 // CAL decides whether h is concurrency-aware linearizable with respect to
-// sp. The history must be well-formed; pending invocations are handled per
-// Definition 2 (dropped, or completed with responses proposed by the
-// specification when it implements spec.PendingResolver).
+// sp, without cancellation. See CALContext.
 func CAL(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return CALContext(context.Background(), h, sp, opts...)
+}
+
+// CALContext decides whether h is concurrency-aware linearizable with
+// respect to sp. The history must be well-formed; pending invocations are
+// handled per Definition 2 (dropped, or completed with responses proposed
+// by the specification when it implements spec.PendingResolver).
+//
+// The returned error is non-nil only for input errors (ill-formed history,
+// invalid options). Cancellation, deadline expiry and budget exhaustion
+// are reported in-band as Verdict == Unknown with Result.Unknown set.
+func CALContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := config{maxStates: 4_000_000, memo: true}
 	for _, o := range opts {
 		o(&cfg)
@@ -96,6 +135,7 @@ func CAL(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
 		return Result{}, fmt.Errorf("check: element size cap %d < 1", maxElem)
 	}
 	s := &searcher{
+		ctx:     ctx,
 		sp:      sp,
 		cfg:     cfg,
 		maxElem: maxElem,
@@ -112,13 +152,26 @@ func Linearizable(h history.History, sp spec.Spec, opts ...Option) (Result, erro
 	return CAL(h, sp, append(opts, WithElementCap(1))...)
 }
 
+// LinearizableContext is Linearizable with cancellation.
+func LinearizableContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return CALContext(ctx, h, sp, append(opts, WithElementCap(1))...)
+}
+
 // SetLinearizable decides set-linearizability (Neiger 1994): identical to
 // CAL under this package's trace model, provided as a named entry point.
 func SetLinearizable(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
 	return CAL(h, sp, opts...)
 }
 
+// abortError interrupts the depth-first search; cause is one of ErrBound,
+// ErrMemoBudget, context.Canceled or context.DeadlineExceeded.
+type abortError struct{ cause error }
+
+func (a *abortError) Error() string { return a.cause.Error() }
+func (a *abortError) Unwrap() error { return a.cause }
+
 type searcher struct {
+	ctx      context.Context
 	sp       spec.Spec
 	resolver spec.PendingResolver
 	cfg      config
@@ -128,13 +181,31 @@ type searcher struct {
 
 	linearized []bool
 	memo       map[string]bool
+	memoBytes  int
 	states     int
 	memoHits   int
+	elements   int
+	work       int // ticks since the last context poll
 	witness    trace.Trace
 
 	// Failure diagnostics: the deepest linearization reached.
-	bestCount int
-	bestMask  []bool
+	bestCount   int
+	bestMask    []bool
+	bestWitness trace.Trace
+}
+
+// tick counts one unit of search work and polls the context every 1024
+// units, so a single pathological node (e.g. subset enumeration over many
+// concurrent operations) cannot outlive the deadline.
+func (s *searcher) tick() error {
+	s.work++
+	if s.work&1023 != 0 {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return &abortError{cause: err}
+	}
+	return nil
 }
 
 func (s *searcher) run() (Result, error) {
@@ -145,12 +216,25 @@ func (s *searcher) run() (Result, error) {
 	ok, err := s.dfs(s.sp.Init())
 	res := Result{States: s.states, MemoHits: s.memoHits}
 	if err != nil {
+		var abort *abortError
+		if errors.As(err, &abort) {
+			res.Verdict = Unknown
+			res.Unknown = &UnknownInfo{
+				Cause:          abort.cause,
+				Reason:         abort.cause.Error(),
+				Frontier:       s.frontier(),
+				PartialWitness: append(trace.Trace(nil), s.bestWitness...),
+			}
+			return res, nil
+		}
 		return res, err
 	}
 	if !ok {
+		res.Verdict = Unsat
 		res.Reason = s.failureReason()
 		return res, nil
 	}
+	res.Verdict = Sat
 	res.OK = true
 	res.Witness = s.witness
 	for i, op := range s.ops {
@@ -159,6 +243,17 @@ func (s *searcher) run() (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+func (s *searcher) frontier() Frontier {
+	return Frontier{
+		BestLinearized: s.bestCount,
+		TotalOps:       len(s.ops),
+		States:         s.states,
+		MemoHits:       s.memoHits,
+		MemoBytes:      s.memoBytes,
+		Elements:       s.elements,
+	}
 }
 
 func (s *searcher) failureReason() string {
@@ -242,9 +337,13 @@ func (s *searcher) dfs(st spec.State) (bool, error) {
 	if s.done() {
 		return true, nil
 	}
+	if err := s.tick(); err != nil {
+		return false, err
+	}
 	if n := s.countLinearized(); n > s.bestCount {
 		s.bestCount = n
 		s.bestMask = append(s.bestMask[:0], s.linearized...)
+		s.bestWitness = append(s.bestWitness[:0], s.witness...)
 	}
 	key := s.stateKey(st)
 	if s.cfg.memo {
@@ -255,7 +354,7 @@ func (s *searcher) dfs(st spec.State) (bool, error) {
 	}
 	s.states++
 	if s.states > s.cfg.maxStates {
-		return false, fmt.Errorf("%w (limit %d)", ErrBound, s.cfg.maxStates)
+		return false, &abortError{cause: fmt.Errorf("%w (limit %d)", ErrBound, s.cfg.maxStates)}
 	}
 
 	ready := s.ready()
@@ -292,6 +391,10 @@ func (s *searcher) dfs(st spec.State) (bool, error) {
 		return false, err
 	}
 	if !ok && s.cfg.memo {
+		s.memoBytes += len(key) + 1
+		if s.cfg.memoBudget > 0 && s.memoBytes > s.cfg.memoBudget {
+			return false, &abortError{cause: fmt.Errorf("%w (limit %d bytes)", ErrMemoBudget, s.cfg.memoBudget)}
+		}
 		s.memo[key] = true
 	}
 	return ok, nil
@@ -314,6 +417,10 @@ func (s *searcher) compatible(subset []int, i int) bool {
 // tryElement attempts to linearize the operations in subset as one
 // CA-element, resolving pending returns through the specification.
 func (s *searcher) tryElement(st spec.State, subset []int) (bool, error) {
+	s.elements++
+	if err := s.tick(); err != nil {
+		return false, err
+	}
 	ops := make([]trace.Operation, len(subset))
 	var pendingIdx []int
 	for k, i := range subset {

@@ -281,9 +281,18 @@ func TestCALIllFormed(t *testing.T) {
 
 func TestCALStateBound(t *testing.T) {
 	h := fig3H1()
-	_, err := CAL(h, spec.NewExchanger(objE), WithMaxStates(1))
-	if !errors.Is(err, ErrBound) {
-		t.Errorf("err = %v, want ErrBound", err)
+	r, err := CAL(h, spec.NewExchanger(objE), WithMaxStates(1))
+	if err != nil {
+		t.Fatalf("budget exhaustion must not be an error: %v", err)
+	}
+	if r.Verdict != Unknown || r.OK {
+		t.Fatalf("verdict = %v (OK=%v), want Unknown", r.Verdict, r.OK)
+	}
+	if r.Unknown == nil || !errors.Is(r.Unknown.Cause, ErrBound) {
+		t.Errorf("Unknown cause = %+v, want ErrBound", r.Unknown)
+	}
+	if r.Unknown != nil && r.Unknown.Frontier.TotalOps != len(h.Operations()) {
+		t.Errorf("frontier TotalOps = %d, want %d", r.Unknown.Frontier.TotalOps, len(h.Operations()))
 	}
 }
 

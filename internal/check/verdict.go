@@ -1,0 +1,77 @@
+package check
+
+import (
+	"fmt"
+
+	"calgo/internal/trace"
+)
+
+// Verdict is the three-valued outcome of a resource-bounded check. A
+// search that exhausts its wall-clock deadline, its state budget, or its
+// memoization-memory budget — or is cancelled — reports Unknown instead of
+// hanging, panicking, or pretending to a boolean answer it never computed.
+type Verdict uint8
+
+const (
+	// Unsat: the search space was exhausted and no completion of the
+	// history agrees with any admitted CA-trace.
+	Unsat Verdict = iota
+	// Sat: a witness CA-trace was found.
+	Sat
+	// Unknown: the search was cut short by cancellation, a deadline, or a
+	// budget; Result.Unknown carries the cause and frontier statistics.
+	Unknown
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Sat:
+		return "Sat"
+	case Unsat:
+		return "Unsat"
+	case Unknown:
+		return "Unknown"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// Frontier summarizes how far an interrupted search got — enough to
+// diagnose whether a retry with a bigger budget is promising or the
+// history is hopelessly exponential.
+type Frontier struct {
+	// BestLinearized is the most operations any explored path linearized.
+	BestLinearized int
+	// TotalOps is the number of operations in the history.
+	TotalOps int
+	// States is the number of distinct search states visited.
+	States int
+	// MemoHits counts nodes pruned by memoization.
+	MemoHits int
+	// MemoBytes approximates the memoization table's key footprint.
+	MemoBytes int
+	// Elements counts CA-element linearization attempts (the unit of
+	// search work between state-node visits).
+	Elements int
+}
+
+// String renders the frontier statistics.
+func (f Frontier) String() string {
+	return fmt.Sprintf("linearized %d/%d ops, %d states, %d element attempts, %d memo hits, ~%d memo bytes",
+		f.BestLinearized, f.TotalOps, f.States, f.Elements, f.MemoHits, f.MemoBytes)
+}
+
+// UnknownInfo explains an Unknown verdict.
+type UnknownInfo struct {
+	// Cause is the abort reason: ErrBound, ErrMemoBudget,
+	// context.DeadlineExceeded or context.Canceled.
+	Cause error
+	// Reason is a human-readable rendering of Cause.
+	Reason string
+	// Frontier summarizes how far the search got.
+	Frontier Frontier
+	// PartialWitness is the CA-trace prefix of the deepest linearization
+	// reached — a diagnostic lead, not a proof of anything.
+	PartialWitness trace.Trace
+}

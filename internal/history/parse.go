@@ -26,8 +26,31 @@ func Format(h History) string {
 	return b.String()
 }
 
-// Parse reads the interchange format produced by Format.
+// SyntaxError reports a malformed history line with its position. File is
+// empty when the source had no name (e.g. a string literal or stdin).
+type SyntaxError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("history: line %d: %s", e.Line, e.Msg)
+	}
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Parse reads the interchange format produced by Format. Errors are
+// *SyntaxError values citing the offending line; Parse never panics,
+// whatever the input.
 func Parse(src string) (History, error) {
+	return ParseFile("", src)
+}
+
+// ParseFile is Parse with a source name for diagnostics: errors render as
+// name:line: message, the convention editors and CI log scrapers follow.
+func ParseFile(name, src string) (History, error) {
 	var h History
 	for ln, line := range strings.Split(src, "\n") {
 		line = strings.TrimSpace(line)
@@ -36,7 +59,7 @@ func Parse(src string) (History, error) {
 		}
 		e, err := parseLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("history: line %d: %w", ln+1, err)
+			return nil, &SyntaxError{File: name, Line: ln + 1, Msg: err.Error()}
 		}
 		h = append(h, e)
 	}
@@ -77,10 +100,17 @@ func parseLine(line string) (Event, error) {
 }
 
 func parseThread(s string) (ThreadID, error) {
-	if !strings.HasPrefix(s, "t") {
+	// Insist on t followed by decimal digits only: no signs, no spaces, so
+	// every accepted id round-trips through ThreadID.String.
+	if len(s) < 2 || s[0] != 't' {
 		return 0, fmt.Errorf("malformed thread id %q, want tN", s)
 	}
-	n, err := strconv.Atoi(s[1:])
+	for i := 1; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("malformed thread id %q, want tN", s)
+		}
+	}
+	n, err := strconv.ParseInt(s[1:], 10, 64)
 	if err != nil {
 		return 0, fmt.Errorf("malformed thread id %q: %w", s, err)
 	}

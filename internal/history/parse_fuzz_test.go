@@ -1,0 +1,72 @@
+package history
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFileDiagnostics(t *testing.T) {
+	src := "inv t1 E.exchange 3\nres t1 E.exchange wibble\n"
+	_, err := ParseFile("h.txt", src)
+	if err == nil {
+		t.Fatal("malformed value should fail")
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error should be a *SyntaxError, got %T: %v", err, err)
+	}
+	if se.File != "h.txt" || se.Line != 2 {
+		t.Errorf("SyntaxError position = %s:%d, want h.txt:2", se.File, se.Line)
+	}
+	if !strings.HasPrefix(err.Error(), "h.txt:2: ") {
+		t.Errorf("error should render file:line: prefix, got %q", err.Error())
+	}
+}
+
+func TestParseRejectsSignedThreadIDs(t *testing.T) {
+	for _, src := range []string{
+		"inv t-1 E.exchange 3",
+		"inv t+1 E.exchange 3",
+		"inv t1x E.exchange 3",
+		"inv t E.exchange 3",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// FuzzParseHistory asserts the parser's robustness contract: it never
+// panics on arbitrary (including truncated) input, and any input it
+// accepts round-trips through Format and back unchanged.
+func FuzzParseHistory(f *testing.F) {
+	f.Add("inv t1 E.exchange 3\nres t1 E.exchange (true,4)\n")
+	f.Add("# comment\n\ninv t2 AR.E[3].exchange 5\n")
+	f.Add("res t9 S.pop (false,0)")
+	f.Add("inv t1 E.exchange")   // truncated line
+	f.Add("inv t1 E.exchange (") // truncated value
+	f.Add("zap\x00zap")
+	f.Add(strings.Repeat("inv t1 E.exchange 3\n", 100))
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := Parse(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse error is %T, want *SyntaxError: %v", err, err)
+			}
+			return
+		}
+		again, err := Parse(Format(h))
+		if err != nil {
+			t.Fatalf("re-parsing formatted history: %v", err)
+		}
+		if len(h) == 0 && len(again) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(again, h) {
+			t.Fatalf("round trip mismatch:\n got %v\nwant %v", again, h)
+		}
+	})
+}

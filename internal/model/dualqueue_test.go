@@ -64,6 +64,9 @@ func TestDualQueueModelMixedPrograms(t *testing.T) {
 // TestDualQueueModelFIFOAcrossFulfilment is the FIFO-critical scenario:
 // with two waiting dequeuers, fulfilments must serve the OLDEST first.
 func TestDualQueueModelFIFOAcrossFulfilment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("~1M-state exploration skipped in -short mode")
+	}
 	stats := exploreDQ(t, model.DQConfig{
 		Retries: 2,
 		Programs: [][]model.QOp{

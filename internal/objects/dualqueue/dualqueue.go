@@ -17,6 +17,7 @@ package dualqueue
 import (
 	"sync/atomic"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/objects/exchanger"
 	"calgo/internal/recorder"
@@ -46,6 +47,7 @@ type Queue struct {
 	tail atomic.Pointer[node]
 	wait exchanger.WaitPolicy
 	rec  *recorder.Recorder
+	inj  *chaos.Injector
 }
 
 // Option configures a Queue.
@@ -60,6 +62,15 @@ func WithRecorder(r *recorder.Recorder) Option {
 // reservation.
 func WithWaitPolicy(w exchanger.WaitPolicy) Option {
 	return func(q *Queue) { q.wait = w }
+}
+
+// WithChaos threads fault-injection hooks through the queue's retry loops.
+// Forced failures are installed only at the append CASes (data and
+// reservation); the fulfil and cancel CASes are never forced — their
+// failure paths correctly assume the reservation was settled by another
+// thread.
+func WithChaos(in *chaos.Injector) Option {
+	return func(q *Queue) { q.inj = in }
 }
 
 // New returns an empty dual queue identified as object id.
@@ -88,6 +99,7 @@ func (q *Queue) ID() history.ObjectID { return q.id }
 func (q *Queue) Enq(tid history.ThreadID, v int64) {
 	n := &node{data: v}
 	for {
+		q.inj.Pause(tid, "dualqueue.enq.pre-read")
 		head := q.head.Load()
 		tail := q.tail.Load()
 		if tail == head || !tail.isRes {
@@ -99,6 +111,10 @@ func (q *Queue) Enq(tid history.ThreadID, v int64) {
 			if next != nil {
 				q.tail.CompareAndSwap(tail, next)
 				continue
+			}
+			q.inj.Pause(tid, "dualqueue.enq.pre-cas")
+			if q.inj.FailCAS(tid, "dualqueue.enq.cas") {
+				continue // forced retry
 			}
 			if q.enqCAS(tail, n, tid, v) {
 				q.tail.CompareAndSwap(tail, n)
@@ -114,6 +130,7 @@ func (q *Queue) Enq(tid history.ThreadID, v int64) {
 		if !first.isRes {
 			continue // queue flipped to data under us: retry
 		}
+		q.inj.Pause(tid, "dualqueue.fulfil.pre-cas")
 		if q.fulfil(first, tid, v) {
 			q.head.CompareAndSwap(head, first) // dequeue the fulfilled node
 			return
@@ -143,6 +160,7 @@ func (q *Queue) TryDeq(tid history.ThreadID, attempts int) (int64, bool) {
 // reservations, preserving uniformity.
 func (q *Queue) deq(tid history.ThreadID, attempts int) (int64, bool) {
 	for {
+		q.inj.Pause(tid, "dualqueue.deq.pre-read")
 		head := q.head.Load()
 		tail := q.tail.Load()
 		if tail == head || tail.isRes {
@@ -156,6 +174,10 @@ func (q *Queue) deq(tid history.ThreadID, attempts int) (int64, bool) {
 				continue
 			}
 			r := &node{isRes: true, tid: tid}
+			q.inj.Pause(tid, "dualqueue.reserve.pre-cas")
+			if q.inj.FailCAS(tid, "dualqueue.reserve.cas") {
+				continue // forced retry
+			}
 			if !tail.next.CompareAndSwap(nil, r) {
 				continue
 			}
@@ -180,6 +202,10 @@ func (q *Queue) deq(tid history.ThreadID, attempts int) (int64, bool) {
 				q.head.CompareAndSwap(head, first)
 			}
 			continue
+		}
+		q.inj.Pause(tid, "dualqueue.deq.pre-cas")
+		if q.inj.FailCAS(tid, "dualqueue.deq.cas") {
+			continue // forced retry
 		}
 		if q.deqCAS(head, first, tid) {
 			return first.data, true

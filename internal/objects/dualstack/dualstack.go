@@ -22,6 +22,7 @@ package dualstack
 import (
 	"sync/atomic"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/objects/exchanger"
 	"calgo/internal/recorder"
@@ -51,6 +52,7 @@ type Stack struct {
 	top  atomic.Pointer[node]
 	wait exchanger.WaitPolicy
 	rec  *recorder.Recorder
+	inj  *chaos.Injector
 }
 
 // Option configures a Stack.
@@ -65,6 +67,14 @@ func WithRecorder(r *recorder.Recorder) Option {
 // reservation (and how long TryPop waits before cancelling).
 func WithWaitPolicy(w exchanger.WaitPolicy) Option {
 	return func(s *Stack) { s.wait = w }
+}
+
+// WithChaos threads fault-injection hooks through the stack's retry loops.
+// Forced failures are installed only at the top-pointer CASes (push, pop,
+// reservation install); fulfil and cancel are never forced — their failure
+// paths correctly assume the reservation was settled by another thread.
+func WithChaos(in *chaos.Injector) Option {
+	return func(s *Stack) { s.inj = in }
 }
 
 // New returns an empty dual stack identified as object id.
@@ -83,12 +93,14 @@ func (s *Stack) ID() history.ObjectID { return s.id }
 // one is available.
 func (s *Stack) Push(tid history.ThreadID, v int64) {
 	for {
+		s.inj.Pause(tid, "dualstack.push.pre-read")
 		h := s.top.Load()
 		if h != nil && h.hole != nil {
 			f := h.hole.Load()
 			switch {
 			case f == nil:
 				// Open reservation on top: fulfil it.
+				s.inj.Pause(tid, "dualstack.fulfil.pre-cas")
 				if s.fulfil(h, tid, v) {
 					s.top.CompareAndSwap(h, h.next) // help unlink
 					return
@@ -103,6 +115,10 @@ func (s *Stack) Push(tid history.ThreadID, v int64) {
 			continue
 		}
 		n := &node{data: v, next: h}
+		s.inj.Pause(tid, "dualstack.push.pre-cas")
+		if s.inj.FailCAS(tid, "dualstack.push.cas") {
+			continue // forced retry
+		}
 		if s.pushCAS(h, n, tid, v) {
 			return
 		}
@@ -125,6 +141,7 @@ func (s *Stack) TryPop(tid history.ThreadID, attempts int) (int64, bool) {
 // pop implements Pop (attempts < 0) and TryPop (attempts >= 0).
 func (s *Stack) pop(tid history.ThreadID, attempts int) (int64, bool) {
 	for {
+		s.inj.Pause(tid, "dualstack.pop.pre-read")
 		h := s.top.Load()
 		switch {
 		case h == nil || h.hole != nil:
@@ -136,6 +153,10 @@ func (s *Stack) pop(tid history.ThreadID, attempts int) (int64, bool) {
 			}
 			var hole atomic.Pointer[fulfilment]
 			r := &node{next: h, hole: &hole, tid: tid}
+			s.inj.Pause(tid, "dualstack.reserve.pre-cas")
+			if s.inj.FailCAS(tid, "dualstack.reserve.cas") {
+				continue // forced retry
+			}
 			if !s.top.CompareAndSwap(h, r) {
 				continue
 			}
@@ -149,6 +170,10 @@ func (s *Stack) pop(tid history.ThreadID, attempts int) (int64, bool) {
 			// TryPop, so await with attempts < 0 always returns a value.
 		default:
 			// Data on top: ordinary pop.
+			s.inj.Pause(tid, "dualstack.pop.pre-cas")
+			if s.inj.FailCAS(tid, "dualstack.pop.cas") {
+				continue // forced retry
+			}
 			if s.popCAS(h, tid) {
 				return h.data, true
 			}

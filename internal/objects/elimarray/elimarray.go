@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/objects/exchanger"
 	"calgo/internal/recorder"
@@ -29,6 +30,7 @@ type ElimArray struct {
 	exs  []*exchanger.Exchanger
 	slot Slotter
 	rec  *recorder.Recorder
+	inj  *chaos.Injector
 }
 
 // Option configures an ElimArray.
@@ -38,6 +40,7 @@ type cfg struct {
 	slot Slotter
 	wait exchanger.WaitPolicy
 	rec  *recorder.Recorder
+	inj  *chaos.Injector
 }
 
 // WithSlotter overrides slot selection; tests use it to force schedules.
@@ -49,6 +52,10 @@ func WithWaitPolicy(w exchanger.WaitPolicy) Option { return func(c *cfg) { c.wai
 // WithRecorder instruments every underlying exchanger with the recorder.
 // Call RegisterViews to install F_AR.
 func WithRecorder(r *recorder.Recorder) Option { return func(c *cfg) { c.rec = r } }
+
+// WithChaos threads fault-injection hooks through slot selection and every
+// underlying exchanger.
+func WithChaos(in *chaos.Injector) Option { return func(c *cfg) { c.inj = in } }
 
 // New returns an elimination array with k slots, identified as object id.
 func New(id history.ObjectID, k int, opts ...Option) (*ElimArray, error) {
@@ -62,11 +69,14 @@ func New(id history.ObjectID, k int, opts ...Option) (*ElimArray, error) {
 	for _, o := range opts {
 		o(&c)
 	}
-	a := &ElimArray{id: id, slot: c.slot, rec: c.rec}
+	a := &ElimArray{id: id, slot: c.slot, rec: c.rec, inj: c.inj}
 	for i := 0; i < k; i++ {
 		exOpts := []exchanger.Option{exchanger.WithWaitPolicy(c.wait)}
 		if c.rec != nil {
 			exOpts = append(exOpts, exchanger.WithRecorder(c.rec))
+		}
+		if c.inj != nil {
+			exOpts = append(exOpts, exchanger.WithChaos(c.inj))
 		}
 		a.exs = append(a.exs, exchanger.New(SlotID(id, i), exOpts...))
 	}
@@ -87,6 +97,7 @@ func (a *ElimArray) Size() int { return len(a.exs) }
 // Exchange picks a slot and attempts a single exchange there on behalf of
 // thread tid (Figure 2, lines 3-6).
 func (a *ElimArray) Exchange(tid history.ThreadID, v int64) (bool, int64) {
+	a.inj.Pause(tid, "elimarray.slot.pre")
 	return a.exs[a.slot(len(a.exs))].Exchange(tid, v)
 }
 

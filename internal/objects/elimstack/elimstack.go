@@ -21,6 +21,7 @@ import (
 	"errors"
 	"math"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/objects/elimarray"
 	"calgo/internal/objects/exchanger"
@@ -40,9 +41,10 @@ var ErrSentinel = errors.New("elimstack: cannot push the pop sentinel value")
 
 // Stack is an elimination-backed lock-free stack of int64 values.
 type Stack struct {
-	id history.ObjectID
-	s  *treiber.Stack
-	ar *elimarray.ElimArray
+	id  history.ObjectID
+	s   *treiber.Stack
+	ar  *elimarray.ElimArray
+	inj *chaos.Injector
 }
 
 // Option configures a Stack.
@@ -53,6 +55,7 @@ type cfg struct {
 	wait  exchanger.WaitPolicy
 	slot  elimarray.Slotter
 	rec   *recorder.Recorder
+	inj   *chaos.Injector
 }
 
 // WithSlots sets the elimination array width K (default 4).
@@ -67,6 +70,11 @@ func WithSlotter(s elimarray.Slotter) Option { return func(c *cfg) { c.slot = s 
 // WithRecorder instruments the stack and its subobjects and registers the
 // view functions F_AR and F_ES with the recorder.
 func WithRecorder(r *recorder.Recorder) Option { return func(c *cfg) { c.rec = r } }
+
+// WithChaos threads fault-injection hooks through the stack's retry loop
+// and both subobjects (the central stack's CASes and the elimination
+// array's exchangers).
+func WithChaos(in *chaos.Injector) Option { return func(c *cfg) { c.inj = in } }
 
 // New returns an elimination stack identified as object id. Its subobjects
 // are identified as id+".S" and id+".AR".
@@ -84,12 +92,16 @@ func New(id history.ObjectID, opts ...Option) (*Stack, error) {
 		sOpts = append(sOpts, treiber.WithRecorder(c.rec))
 		arOpts = append(arOpts, elimarray.WithRecorder(c.rec))
 	}
+	if c.inj != nil {
+		sOpts = append(sOpts, treiber.WithChaos(c.inj))
+		arOpts = append(arOpts, elimarray.WithChaos(c.inj))
+	}
 	sub := treiber.New(id+".S", sOpts...)
 	ar, err := elimarray.New(id+".AR", c.slots, arOpts...)
 	if err != nil {
 		return nil, err
 	}
-	es := &Stack{id: id, s: sub, ar: ar}
+	es := &Stack{id: id, s: sub, ar: ar, inj: c.inj}
 	if c.rec != nil {
 		if err := es.registerViews(c.rec); err != nil {
 			return nil, err
@@ -118,10 +130,12 @@ func (es *Stack) Push(tid history.ThreadID, v int64) error {
 		if es.s.TryPush(tid, v) {
 			return nil
 		}
+		es.inj.Pause(tid, "elimstack.push.pre-eliminate")
 		if _, d := es.ar.Exchange(tid, v); d == PopSentinel {
 			return nil // eliminated by a popper
 		}
 		// Failed or same-operation exchange: retry.
+		es.inj.Pause(tid, "elimstack.push.retry")
 	}
 }
 
@@ -134,9 +148,11 @@ func (es *Stack) Pop(tid history.ThreadID) int64 {
 		if ok, v := es.s.TryPop(tid); ok {
 			return v
 		}
+		es.inj.Pause(tid, "elimstack.pop.pre-eliminate")
 		if _, v := es.ar.Exchange(tid, PopSentinel); v != PopSentinel {
 			return v // eliminated a pusher
 		}
+		es.inj.Pause(tid, "elimstack.pop.retry")
 	}
 }
 

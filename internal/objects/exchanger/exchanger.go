@@ -17,6 +17,7 @@ package exchanger
 import (
 	"sync/atomic"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/recorder"
 	"calgo/internal/spec"
@@ -40,6 +41,7 @@ type Exchanger struct {
 	fail *offer // sentinel marking a withdrawn offer
 	wait WaitPolicy
 	rec  *recorder.Recorder
+	inj  *chaos.Injector
 }
 
 // Option configures an Exchanger.
@@ -57,6 +59,15 @@ func WithWaitPolicy(w WaitPolicy) Option {
 // verification tests; nil disables instrumentation (the default).
 func WithRecorder(r *recorder.Recorder) Option {
 	return func(e *Exchanger) { e.rec = r }
+}
+
+// WithChaos threads fault-injection hooks through the offer/hole
+// protocol's synchronization points. Forced failures are installed only at
+// the INIT and XCHG CASes, whose failure paths assume nothing about other
+// threads; PASS is never forced (its failure path reads the hole filled by
+// the partner).
+func WithChaos(in *chaos.Injector) Option {
+	return func(e *Exchanger) { e.inj = in }
 }
 
 // New returns an exchanger identified as object id in histories and traces.
@@ -78,19 +89,26 @@ func (e *Exchanger) ID() history.ObjectID { return e.id }
 // concurrently.
 func (e *Exchanger) Exchange(tid history.ThreadID, v int64) (bool, int64) {
 	n := &offer{tid: tid, data: v}
-	if e.g.CompareAndSwap(nil, n) { // init: offer installed
+	e.inj.Pause(tid, "exchanger.init.pre-cas")
+	if !e.inj.FailCAS(tid, "exchanger.init.cas") && e.g.CompareAndSwap(nil, n) {
+		// init: offer installed
+		e.inj.Pause(tid, "exchanger.wait.pre")
 		e.wait.Wait()
+		e.inj.Pause(tid, "exchanger.pass.pre-cas")
 		if e.pass(n) { // withdraw the offer
 			return false, v
 		}
 		// A partner filled our hole; it logged the swap at its XCHG.
 		return true, n.hole.Load().data
 	}
+	e.inj.Pause(tid, "exchanger.slow.pre-read")
 	cur := e.g.Load()
 	if cur != nil {
-		s := e.xchg(cur, n, tid, v)
+		e.inj.Pause(tid, "exchanger.xchg.pre-cas")
+		s := !e.inj.FailCAS(tid, "exchanger.xchg.cas") && e.xchg(cur, n, tid, v)
 		// clean: unconditionally help remove the matched/withdrawn offer,
 		// preserving wait-freedom (nobody ever waits for the offerer).
+		e.inj.Pause(tid, "exchanger.clean.pre-cas")
 		e.g.CompareAndSwap(cur, nil)
 		if s {
 			return true, cur.data

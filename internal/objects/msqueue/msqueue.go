@@ -13,6 +13,7 @@ package msqueue
 import (
 	"sync/atomic"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/recorder"
 	"calgo/internal/spec"
@@ -30,6 +31,7 @@ type Queue struct {
 	head atomic.Pointer[node] // dummy-headed
 	tail atomic.Pointer[node]
 	rec  *recorder.Recorder
+	inj  *chaos.Injector
 }
 
 // Option configures a Queue.
@@ -38,6 +40,12 @@ type Option func(*Queue)
 // WithRecorder enables CA-trace instrumentation.
 func WithRecorder(r *recorder.Recorder) Option {
 	return func(q *Queue) { q.rec = r }
+}
+
+// WithChaos threads fault-injection hooks through the queue's retry loops;
+// forced CAS failures re-enter the loops like lost races.
+func WithChaos(in *chaos.Injector) Option {
+	return func(q *Queue) { q.inj = in }
 }
 
 // New returns an empty queue identified as object id.
@@ -59,6 +67,7 @@ func (q *Queue) ID() history.ObjectID { return q.id }
 func (q *Queue) Enq(tid history.ThreadID, v int64) {
 	n := &node{data: v}
 	for {
+		q.inj.Pause(tid, "msqueue.enq.pre-read")
 		tail := q.tail.Load()
 		next := tail.next.Load()
 		if tail != q.tail.Load() {
@@ -66,10 +75,16 @@ func (q *Queue) Enq(tid history.ThreadID, v int64) {
 		}
 		if next != nil {
 			// Tail lagging: help advance.
+			q.inj.Pause(tid, "msqueue.enq.pre-advance")
 			q.tail.CompareAndSwap(tail, next)
 			continue
 		}
+		q.inj.Pause(tid, "msqueue.enq.pre-cas")
+		if q.inj.FailCAS(tid, "msqueue.enq.cas") {
+			continue // forced retry
+		}
 		if q.enqCAS(tail, n, tid, v) {
+			q.inj.Pause(tid, "msqueue.enq.pre-swing")
 			q.tail.CompareAndSwap(tail, n)
 			return
 		}
@@ -80,6 +95,7 @@ func (q *Queue) Enq(tid history.ThreadID, v int64) {
 // observed empty.
 func (q *Queue) Deq(tid history.ThreadID) (bool, int64) {
 	for {
+		q.inj.Pause(tid, "msqueue.deq.pre-read")
 		head := q.head.Load()
 		tail := q.tail.Load()
 		next := head.next.Load()
@@ -98,6 +114,10 @@ func (q *Queue) Deq(tid history.ThreadID) (bool, int64) {
 		}
 		if next == nil {
 			continue // transient: retry
+		}
+		q.inj.Pause(tid, "msqueue.deq.pre-cas")
+		if q.inj.FailCAS(tid, "msqueue.deq.cas") {
+			continue // forced retry
 		}
 		if q.deqCAS(head, next, tid) {
 			return true, next.data

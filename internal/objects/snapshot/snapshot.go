@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/spec"
 	"calgo/internal/trace"
@@ -82,11 +83,22 @@ type Snapshot struct {
 	levels []atomic.Int64 // participant slot -> current level; n+1 = not started
 	values []atomic.Int64
 	tids   []atomic.Int64 // ThreadID of the participant using each slot
+	inj    *chaos.Injector
+}
+
+// Option configures a Snapshot.
+type Option func(*Snapshot)
+
+// WithChaos threads fault-injection pauses through the level-descent
+// algorithm (between the value write, each level store, and each scan).
+// The algorithm is CAS-free, so only timing faults apply.
+func WithChaos(in *chaos.Injector) Option {
+	return func(s *Snapshot) { s.inj = in }
 }
 
 // New returns an immediate snapshot object for n participants, identified
 // as object id.
-func New(id history.ObjectID, n int) (*Snapshot, error) {
+func New(id history.ObjectID, n int, opts ...Option) (*Snapshot, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("snapshot: need at least one participant, got %d", n)
 	}
@@ -99,6 +111,9 @@ func New(id history.ObjectID, n int) (*Snapshot, error) {
 	}
 	for i := range s.levels {
 		s.levels[i].Store(int64(n + 1))
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	return s, nil
 }
@@ -121,8 +136,11 @@ func (s *Snapshot) Update(slot int, tid history.ThreadID, v int64) (View, error)
 	}
 	s.values[slot].Store(v)
 	s.tids[slot].Store(int64(tid))
+	s.inj.Pause(tid, "snapshot.write.post")
 	for lev := int64(s.n); lev >= 1; lev-- {
+		s.inj.Pause(tid, "snapshot.descend.pre-store")
 		s.levels[slot].Store(lev)
+		s.inj.Pause(tid, "snapshot.scan.pre")
 		var members []int
 		for q := 0; q < s.n; q++ {
 			if s.levels[q].Load() <= lev {

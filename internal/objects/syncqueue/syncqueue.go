@@ -14,6 +14,7 @@ package syncqueue
 import (
 	"sync/atomic"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/objects/exchanger"
 	"calgo/internal/recorder"
@@ -42,6 +43,7 @@ type SyncQueue struct {
 	fail *node
 	wait exchanger.WaitPolicy
 	rec  *recorder.Recorder
+	inj  *chaos.Injector
 }
 
 // Option configures a SyncQueue.
@@ -55,6 +57,14 @@ func WithWaitPolicy(w exchanger.WaitPolicy) Option {
 // WithRecorder enables CA-trace instrumentation.
 func WithRecorder(r *recorder.Recorder) Option {
 	return func(q *SyncQueue) { q.rec = r }
+}
+
+// WithChaos threads fault-injection hooks through the offer/hole protocol.
+// Forced failures are installed at the install and match CASes only; the
+// pass CAS is never forced (its failure path reads the partner-filled
+// hole).
+func WithChaos(in *chaos.Injector) Option {
+	return func(q *SyncQueue) { q.inj = in }
 }
 
 // New returns a synchronous queue identified as object id.
@@ -107,8 +117,11 @@ func (q *SyncQueue) Take(tid history.ThreadID) int64 {
 // as a failure singleton (true for the Try variants).
 func (q *SyncQueue) attempt(tid history.ThreadID, k kind, v int64, logFail bool) (bool, int64) {
 	n := &node{kind: k, tid: tid, data: v}
-	if q.g.CompareAndSwap(nil, n) {
+	q.inj.Pause(tid, "syncqueue.install.pre-cas")
+	if !q.inj.FailCAS(tid, "syncqueue.install.cas") && q.g.CompareAndSwap(nil, n) {
+		q.inj.Pause(tid, "syncqueue.wait.pre")
 		q.wait.Wait()
+		q.inj.Pause(tid, "syncqueue.pass.pre-cas")
 		if q.pass(n, logFail) {
 			return false, 0
 		}
@@ -118,10 +131,13 @@ func (q *SyncQueue) attempt(tid history.ThreadID, k kind, v int64, logFail bool)
 		}
 		return true, m.data
 	}
+	q.inj.Pause(tid, "syncqueue.slow.pre-read")
 	cur := q.g.Load()
 	if cur != nil {
 		if cur.kind != k {
-			matched := q.match(cur, n)
+			q.inj.Pause(tid, "syncqueue.match.pre-cas")
+			matched := !q.inj.FailCAS(tid, "syncqueue.match.cas") && q.match(cur, n)
+			q.inj.Pause(tid, "syncqueue.clean.pre-cas")
 			q.g.CompareAndSwap(cur, nil)
 			if matched {
 				if k == kindPut {

@@ -13,6 +13,7 @@ package treiber
 import (
 	"sync/atomic"
 
+	"calgo/internal/chaos"
 	"calgo/internal/history"
 	"calgo/internal/recorder"
 	"calgo/internal/spec"
@@ -29,6 +30,7 @@ type Stack struct {
 	id  history.ObjectID
 	top atomic.Pointer[cell]
 	rec *recorder.Recorder
+	inj *chaos.Injector
 }
 
 // Option configures a Stack.
@@ -37,6 +39,13 @@ type Option func(*Stack)
 // WithRecorder enables CA-trace instrumentation at linearization points.
 func WithRecorder(r *recorder.Recorder) Option {
 	return func(s *Stack) { s.rec = r }
+}
+
+// WithChaos threads fault-injection hooks through the stack's
+// synchronization points; forced CAS failures take the ordinary
+// contention-failure paths.
+func WithChaos(in *chaos.Injector) Option {
+	return func(s *Stack) { s.inj = in }
 }
 
 // New returns an empty stack identified as object id.
@@ -54,8 +63,18 @@ func (s *Stack) ID() history.ObjectID { return s.id }
 // TryPush attempts one push of v (Figure 2, lines 10-14). It returns false
 // if the single CAS on top fails due to contention.
 func (s *Stack) TryPush(tid history.ThreadID, v int64) bool {
+	s.inj.Pause(tid, "treiber.trypush.pre-read")
 	h := s.top.Load()
 	n := &cell{data: v, next: h}
+	s.inj.Pause(tid, "treiber.trypush.pre-cas")
+	if s.inj.FailCAS(tid, "treiber.trypush.cas") {
+		// Forced contention failure: a no-op on the stack, logged exactly
+		// like a lost CAS race.
+		if s.rec != nil {
+			s.rec.Append(spec.PushElement(s.id, tid, v, false))
+		}
+		return false
+	}
 	if s.rec == nil {
 		return s.top.CompareAndSwap(h, n)
 	}
@@ -70,6 +89,14 @@ func (s *Stack) TryPush(tid history.ThreadID, v int64) bool {
 // TryPop attempts one pop (Figure 2, lines 15-24). It returns (false, 0)
 // when the stack is empty or the single CAS on top fails due to contention.
 func (s *Stack) TryPop(tid history.ThreadID) (bool, int64) {
+	s.inj.Pause(tid, "treiber.trypop.pre-read")
+	if s.inj.FailCAS(tid, "treiber.trypop.cas") {
+		if s.rec != nil {
+			s.rec.Append(spec.PopElement(s.id, tid, false, 0))
+		}
+		return false, 0
+	}
+	s.inj.Pause(tid, "treiber.trypop.pre-cas")
 	if s.rec == nil {
 		h := s.top.Load()
 		if h == nil {
@@ -101,8 +128,13 @@ func (s *Stack) TryPop(tid history.ThreadID) (bool, int64) {
 // only the final successful CAS is an operation at the interface.
 func (s *Stack) Push(tid history.ThreadID, v int64) {
 	for {
+		s.inj.Pause(tid, "treiber.push.pre-read")
 		h := s.top.Load()
 		n := &cell{data: v, next: h}
+		s.inj.Pause(tid, "treiber.push.pre-cas")
+		if s.inj.FailCAS(tid, "treiber.push.cas") {
+			continue // forced retry: internal, not an interface operation
+		}
 		if s.rec == nil {
 			if s.top.CompareAndSwap(h, n) {
 				return
@@ -126,6 +158,10 @@ func (s *Stack) Push(tid history.ThreadID, v int64) {
 // only when the stack is observed empty.
 func (s *Stack) Pop(tid history.ThreadID) (bool, int64) {
 	for {
+		s.inj.Pause(tid, "treiber.pop.pre-read")
+		if s.inj.FailCAS(tid, "treiber.pop.cas") {
+			continue // forced retry
+		}
 		if s.rec == nil {
 			h := s.top.Load()
 			if h == nil {

@@ -1,0 +1,128 @@
+package recorder
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+func pushEl(tid history.ThreadID, v int64) trace.Element {
+	return spec.PushElement("S", tid, v, true)
+}
+
+func TestBoundedRecorderOverflow(t *testing.T) {
+	r := NewBounded(3)
+	for i := int64(0); i < 5; i++ {
+		r.Append(pushEl(1, i))
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	err := r.Err()
+	var oe *OverflowError
+	if !errors.As(err, &oe) {
+		t.Fatalf("Err = %v, want *OverflowError", err)
+	}
+	if oe.Capacity != 3 || oe.Dropped != 2 {
+		t.Errorf("overflow = %+v, want capacity 3, dropped 2", oe)
+	}
+	// The retained prefix is intact and in order.
+	snap := r.Snapshot()
+	for i, el := range snap {
+		if el.Ops[0].Arg != history.Int(int64(i)) {
+			t.Errorf("element %d = %s, prefix must be preserved", i, el)
+		}
+	}
+}
+
+func TestBoundedRecorderNoOverflow(t *testing.T) {
+	r := NewBounded(4)
+	r.Append(pushEl(1, 1))
+	r.Do(func(log func(trace.Element)) { log(pushEl(2, 2)) })
+	if err := r.Err(); err != nil {
+		t.Errorf("Err = %v, want nil below capacity", err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestBoundedRecorderDoOverflow(t *testing.T) {
+	r := NewBounded(1)
+	r.Do(func(log func(trace.Element)) {
+		log(pushEl(1, 1))
+		log(pushEl(1, 2)) // dropped mid-Do
+	})
+	if err := r.Err(); err == nil {
+		t.Error("overflow inside Do must be detected")
+	}
+}
+
+func TestBoundedRecorderResetClearsOverflow(t *testing.T) {
+	r := NewBounded(1)
+	r.Append(pushEl(1, 1))
+	r.Append(pushEl(1, 2))
+	if r.Err() == nil {
+		t.Fatal("expected overflow")
+	}
+	r.Reset()
+	if err := r.Err(); err != nil {
+		t.Errorf("Reset must clear overflow state: %v", err)
+	}
+	// The bound survives the reset.
+	r.Append(pushEl(1, 3))
+	r.Append(pushEl(1, 4))
+	if r.Err() == nil {
+		t.Error("capacity must survive Reset")
+	}
+}
+
+func TestBoundedRecorderConcurrent(t *testing.T) {
+	const (
+		threads = 8
+		each    = 100
+		bound   = 50
+	)
+	r := NewBounded(bound)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(tid history.ThreadID) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				r.Append(pushEl(tid, int64(j)))
+			}
+		}(history.ThreadID(i))
+	}
+	wg.Wait()
+	if r.Len() != bound {
+		t.Errorf("Len = %d, want %d", r.Len(), bound)
+	}
+	var oe *OverflowError
+	if !errors.As(r.Err(), &oe) || oe.Dropped != threads*each-bound {
+		t.Errorf("Err = %v, want %d dropped", r.Err(), threads*each-bound)
+	}
+}
+
+func TestNewBoundedRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBounded(0) must panic")
+		}
+	}()
+	NewBounded(0)
+}
+
+func TestUnboundedRecorderNeverErrs(t *testing.T) {
+	r := New()
+	for i := int64(0); i < 1000; i++ {
+		r.Append(pushEl(1, i))
+	}
+	if err := r.Err(); err != nil {
+		t.Errorf("unbounded recorder Err = %v", err)
+	}
+}

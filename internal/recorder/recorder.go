@@ -33,19 +33,70 @@ type objectInfo struct {
 	fn       ViewFunc
 }
 
+// OverflowError reports that a bounded recorder ran out of capacity and
+// dropped elements. A trace with dropped elements is useless as evidence —
+// any verification over it must be abandoned, not trusted — so the error
+// carries enough to size the retry.
+type OverflowError struct {
+	// Capacity is the bound the recorder was created with.
+	Capacity int
+	// Dropped counts elements discarded after the trace filled up.
+	Dropped int
+}
+
+// Error implements error.
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("recorder: trace overflowed capacity %d (%d elements dropped)", e.Capacity, e.Dropped)
+}
+
 // Recorder is the global auxiliary trace 𝒯 plus the registry of object view
 // functions. All methods are safe for concurrent use.
 //
-// The zero Recorder is ready to use.
+// The zero Recorder is ready to use and unbounded.
 type Recorder struct {
-	mu      sync.Mutex
-	t       trace.Trace
-	objects map[history.ObjectID]*objectInfo
-	parent  map[history.ObjectID]history.ObjectID
+	mu       sync.Mutex
+	t        trace.Trace
+	capacity int // 0 = unbounded
+	dropped  int
+	objects  map[history.ObjectID]*objectInfo
+	parent   map[history.ObjectID]history.ObjectID
 }
 
-// New returns an empty Recorder.
+// New returns an empty, unbounded Recorder.
 func New() *Recorder { return &Recorder{} }
+
+// NewBounded returns a Recorder that holds at most capacity elements.
+// Further appends are dropped (never blocked — instrumented linearization
+// points must stay wait-free) and counted; Err reports the overflow.
+// capacity < 1 panics: a recorder that can hold nothing is a bug at the
+// call site, not a runtime condition.
+func NewBounded(capacity int) *Recorder {
+	if capacity < 1 {
+		panic(fmt.Sprintf("recorder: NewBounded capacity %d < 1", capacity))
+	}
+	return &Recorder{capacity: capacity}
+}
+
+// Err returns nil if the trace is intact, or an *OverflowError if a bounded
+// recorder dropped elements. Callers must check it before using Snapshot's
+// result as verification evidence: a truncated 𝒯 proves nothing.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dropped == 0 {
+		return nil
+	}
+	return &OverflowError{Capacity: r.capacity, Dropped: r.dropped}
+}
+
+// append adds el to 𝒯 or counts it as dropped; callers hold r.mu.
+func (r *Recorder) append(el trace.Element) {
+	if r.capacity > 0 && len(r.t) >= r.capacity {
+		r.dropped++
+		return
+	}
+	r.t = append(r.t, el)
+}
 
 // Register declares object o with its immediate subobjects and view
 // function F_o. Registration is bottom-up: children must be registered (or
@@ -86,7 +137,7 @@ func (r *Recorder) Register(o history.ObjectID, children []history.ObjectID, fn 
 func (r *Recorder) Append(el trace.Element) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.t = append(r.t, el)
+	r.append(el)
 }
 
 // Do runs fn while holding the trace lock; fn may append CA-elements
@@ -99,7 +150,7 @@ func (r *Recorder) Do(fn func(log func(trace.Element))) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fn(func(el trace.Element) {
-		r.t = append(r.t, el)
+		r.append(el)
 	})
 }
 
@@ -127,11 +178,13 @@ func (r *Recorder) Len() int {
 	return len(r.t)
 }
 
-// Reset clears the trace but keeps object registrations.
+// Reset clears the trace and any overflow state but keeps object
+// registrations and the capacity bound.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.t = nil
+	r.dropped = 0
 }
 
 // View returns T_o: the global trace rewritten by F̂_o — the recursive

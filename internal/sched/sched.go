@@ -12,6 +12,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -59,6 +60,10 @@ type Options struct {
 	// without successors. Bounded-retry models use it: a thread that
 	// exhausted its retry budget halts without completing its program.
 	AllowDeadlock bool
+	// Context, if set, cancels the exploration cooperatively: the search
+	// polls it periodically and returns ErrInterrupted (wrapping the
+	// context's error) with partial Stats. Nil means never cancelled.
+	Context context.Context
 }
 
 // Stats summarizes an exploration.
@@ -75,6 +80,11 @@ type Stats struct {
 
 // ErrMaxStates is returned when the exploration exceeds its state budget.
 var ErrMaxStates = errors.New("sched: state budget exceeded")
+
+// ErrInterrupted is returned when Options.Context is cancelled or its
+// deadline expires mid-exploration; errors.Is also matches the context's
+// own error (context.Canceled or context.DeadlineExceeded) via wrapping.
+var ErrInterrupted = errors.New("sched: exploration interrupted")
 
 // ViolationError describes a check failure together with the schedule that
 // reached it.
@@ -114,6 +124,24 @@ type explorer struct {
 	visited  map[string]bool
 	stats    Stats
 	schedule []string
+	work     int // transitions since the last context poll
+}
+
+// poll checks the cancellation context every 256 transitions; branching in
+// these models is narrow, so a few hundred transitions pass in microseconds
+// and cancellation latency stays far below any useful deadline.
+func (e *explorer) poll() error {
+	if e.opts.Context == nil {
+		return nil
+	}
+	e.work++
+	if e.work&255 != 0 {
+		return nil
+	}
+	if err := e.opts.Context.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInterrupted, err)
+	}
+	return nil
 }
 
 func (e *explorer) check(kind string, fn func(State) error, s State) error {
@@ -153,6 +181,9 @@ func (e *explorer) dfs(s State, depth int) error {
 		return e.check("terminal", e.opts.Terminal, s)
 	}
 	for _, succ := range succs {
+		if err := e.poll(); err != nil {
+			return err
+		}
 		e.schedule = append(e.schedule, fmt.Sprintf("t%d:%s", succ.Thread, succ.Label))
 		e.stats.Transitions++
 		if e.opts.Transition != nil {

@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 // counterState is a toy machine: n threads each increment a shared counter
@@ -180,5 +182,41 @@ func TestExploreRevisitsPruned(t *testing.T) {
 	}
 	if stats.States != 4 {
 		t.Errorf("States = %d, want 4 (diamond)", stats.States)
+	}
+}
+
+func TestExploreContextCancel(t *testing.T) {
+	// 6 threads x 6 increments is ~10^5 states — enough transitions that
+	// the 256-transition poll interval fires many times.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := Explore(counterState{remaining: []int{6, 6, 6, 6, 6, 6}}, Options{
+		Context:   ctx,
+		MaxStates: 10_000_000,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, should wrap context.Canceled", err)
+	}
+	if stats.States == 0 {
+		t.Error("partial stats should survive interruption")
+	}
+}
+
+func TestExploreContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Explore(counterState{remaining: []int{9, 9, 9, 9, 9, 9, 9, 9}}, Options{
+		Context:   ctx,
+		MaxStates: 1 << 30,
+	})
+	if !errors.Is(err, ErrInterrupted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrInterrupted wrapping DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("took %v to honour a 20ms deadline", elapsed)
 	}
 }

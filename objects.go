@@ -1,6 +1,7 @@
 package calgo
 
 import (
+	"calgo/internal/chaos"
 	"calgo/internal/objects/baseline"
 	"calgo/internal/objects/dualqueue"
 	"calgo/internal/objects/dualstack"
@@ -144,6 +145,52 @@ var (
 	// DeriveSnapshotTrace computes the CA-trace of a quiescent immediate
 	// snapshot run from its completed operations.
 	DeriveSnapshotTrace = snapshot.DeriveTrace
+)
+
+// Fault injection (chaos testing): seeded, policy-driven delays, stalls,
+// biased scheduling and forced CAS retries at the objects' labeled
+// synchronization points. See calgo/internal/chaos for the soundness
+// argument (chaos changes timing, never semantics).
+type (
+	// ChaosInjector delivers policy-driven faults; a nil injector injects
+	// nothing.
+	ChaosInjector = chaos.Injector
+	// ChaosPolicy decides what happens at each injection point.
+	ChaosPolicy = chaos.Policy
+	// ChaosSite labels an injection point ("treiber.push.pre-cas").
+	ChaosSite = chaos.Site
+	// ChaosStats counts the faults an injector has delivered.
+	ChaosStats = chaos.Stats
+)
+
+var (
+	// NewChaosInjector returns an injector driving a policy from a seed.
+	NewChaosInjector = chaos.NewInjector
+	// ChaosPolicies returns the standard policy suite keyed by name.
+	ChaosPolicies = chaos.Named
+	// ChaosPolicyNames lists the standard suite in deterministic order.
+	ChaosPolicyNames = chaos.PolicyNames
+
+	// ExchangerWithChaos threads fault injection through an exchanger.
+	ExchangerWithChaos = exchanger.WithChaos
+	// ElimArrayWithChaos threads fault injection through an array's slots.
+	ElimArrayWithChaos = elimarray.WithChaos
+	// TreiberWithChaos threads fault injection through the central stack.
+	TreiberWithChaos = treiber.WithChaos
+	// ElimStackWithChaos threads fault injection through the stack and its
+	// subobjects.
+	ElimStackWithChaos = elimstack.WithChaos
+	// SyncQueueWithChaos threads fault injection through the queue.
+	SyncQueueWithChaos = syncqueue.WithChaos
+	// MSQueueWithChaos threads fault injection through the queue.
+	MSQueueWithChaos = msqueue.WithChaos
+	// DualQueueWithChaos threads fault injection through the dual queue.
+	DualQueueWithChaos = dualqueue.WithChaos
+	// DualStackWithChaos threads fault injection through the dual stack.
+	DualStackWithChaos = dualstack.WithChaos
+	// SnapshotWithChaos threads timing faults through the snapshot's
+	// level descent.
+	SnapshotWithChaos = snapshot.WithChaos
 )
 
 // PopSentinel is the reserved value popping threads offer to the
