@@ -8,6 +8,7 @@ package calgo_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -207,6 +208,31 @@ func BenchmarkAgrees(b *testing.B) {
 	}
 }
 
+// BenchmarkCALHotPath measures checker node throughput (states/sec) on
+// the B3 swap-history generator: the series gating the bitset +
+// incremental-ready rewrite of the search core (before/after numbers in
+// EXPERIMENTS.md §B10).
+func BenchmarkCALHotPath(b *testing.B) {
+	for _, cfg := range []struct{ rounds, pairs int }{
+		{20, 1}, {40, 1}, {10, 2}, {20, 2}, {10, 3},
+	} {
+		h := swapHistory(cfg.rounds, cfg.pairs)
+		sp := calgo.NewExchangerSpec("E")
+		b.Run(fmt.Sprintf("ops=%d/width=%d", len(h)/2, 2*cfg.pairs), func(b *testing.B) {
+			b.ReportAllocs()
+			states := 0
+			for i := 0; i < b.N; i++ {
+				r, err := calgo.CAL(h, sp)
+				if err != nil || !r.OK {
+					b.Fatalf("CAL failed: %v %s", err, r.Reason)
+				}
+				states = r.States
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+		})
+	}
+}
+
 // ---- B4: model checker cost ----
 
 func BenchmarkExploreExchanger(b *testing.B) {
@@ -268,6 +294,50 @@ func BenchmarkExploreElimStack(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreParallel sweeps the work-stealing engine's worker count
+// over the F1 (exchanger, 12,223 states) and F2 (elimination stack,
+// 61,851 states) models; the EXPERIMENTS.md speedup table comes from this
+// series. State counts are identical at every worker count.
+func BenchmarkExploreParallel(b *testing.B) {
+	mkF1 := func() (sched.State, sched.Options) {
+		init := model.NewExchanger(model.ExchangerConfig{Programs: [][]int64{{3}, {4}, {7}}})
+		return init, sched.Options{Terminal: model.VerifyCAL(spec.NewExchanger("E"), nil, false)}
+	}
+	mkF2 := func() (sched.State, sched.Options) {
+		init := model.NewElimStack(model.ESConfig{
+			Slots:   1,
+			Retries: 2,
+			Programs: [][]model.StackOp{
+				{model.Push(1)}, {model.Push(2)}, {model.Pop()},
+			},
+		})
+		return init, sched.Options{
+			Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, false),
+			AllowDeadlock: true,
+		}
+	}
+	for _, m := range []struct {
+		name string
+		mk   func() (sched.State, sched.Options)
+	}{{"F1", mkF1}, {"F2", mkF2}} {
+		for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers=%d", m.name, workers), func(b *testing.B) {
+				var states int
+				for i := 0; i < b.N; i++ {
+					init, opts := m.mk()
+					opts.Parallelism = workers
+					stats, err := sched.Explore(init, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					states = stats.States
+				}
+				b.ReportMetric(float64(states), "states")
+			})
 		}
 	}
 }

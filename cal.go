@@ -176,6 +176,8 @@ var (
 	// CALContext is CAL with cooperative cancellation: deadlines and
 	// cancellation yield an Unknown verdict instead of hanging.
 	CALContext = check.CALContext
+	// CheckMany fans a batch of histories across a checker worker pool.
+	CheckMany = check.CheckMany
 	// Linearizable decides classical linearizability (singleton
 	// CA-elements).
 	Linearizable = check.Linearizable
@@ -193,6 +195,8 @@ var (
 	WithoutMemo = check.WithoutMemo
 	// WithCompleteOnly rejects histories with pending invocations.
 	WithCompleteOnly = check.WithCompleteOnly
+	// WithWorkers sizes the CheckMany worker pool (0 = GOMAXPROCS).
+	WithWorkers = check.WithWorkers
 )
 
 // Budget-exhaustion causes carried by Unknown verdicts.

@@ -26,4 +26,21 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
+# The parallel engine and the batch checker are the two packages whose
+# correctness depends on cross-goroutine coordination; run their full
+# (non-short) suites under the race detector.
+echo "== go test -race ./internal/sched/ ./internal/check/ =="
+go test -race ./internal/sched/ ./internal/check/
+
+# Smoke the CLI path of the work-stealing engine: the F1 exchanger
+# battery at full parallelism must verify cleanly (exit 0).
+echo "== calexplore -parallel smoke =="
+workers=$( (nproc || echo 4) 2>/dev/null )
+if go run ./cmd/calexplore -target exchanger -values 3,4,7 -parallel "$workers"; then
+    echo "calexplore -parallel $workers: OK"
+else
+    echo "calexplore -parallel $workers failed" >&2
+    exit 1
+fi
+
 echo "CI gate passed."

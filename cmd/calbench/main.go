@@ -7,16 +7,23 @@
 //
 // Usage:
 //
-//	calbench                        # all tables, default settings
-//	calbench -table stacks -dur 2s  # one table, longer runs
+//	calbench                             # all tables, default settings
+//	calbench -table stacks -dur 2s       # one table, longer runs
+//	calbench -json BENCH_2026-08-06.json # also write machine-readable tables
+//
+// With -json the sweep tables are additionally written to the given
+// path as a JSON document (see EXPERIMENTS.md for the schema), so the
+// perf trajectory accumulates as BENCH_<date>.json files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,7 +43,54 @@ var (
 	table    = flag.String("table", "all", "table to print: stacks, exchangers, syncqueue, queues, duals, elimk, all")
 	maxG     = flag.Int("max-goroutines", 2*runtime.GOMAXPROCS(0), "largest goroutine count in sweeps")
 	spin     = flag.Int("spin", 1, "exchanger partner-wait spin iterations (1 is best on few cores; raise on large machines)")
+	jsonPath = flag.String("json", "", "also write the sweep tables as JSON to this path (e.g. BENCH_<date>.json)")
 )
+
+// jsonReport mirrors the printed tables in machine-readable form; the
+// schema is documented in EXPERIMENTS.md.
+type jsonReport struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Window     string      `json:"window"`
+	Generated  string      `json:"generated"`
+	Tables     []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	ID          string    `json:"id"`
+	Title       string    `json:"title"`
+	ColumnLabel string    `json:"column_label"`
+	Columns     []int     `json:"columns"`
+	Rows        []jsonRow `json:"rows"`
+}
+
+type jsonRow struct {
+	Name      string    `json:"name"`
+	OpsPerSec []float64 `json:"ops_per_sec"`
+}
+
+var report jsonReport
+
+// recordTable appends one sweep table to the JSON report. The table ID
+// is the "B<n>" prefix of the printed title.
+func recordTable(title, colLabel string, cols []int, rows map[string][]float64, order []string) {
+	id, _, _ := strings.Cut(title, ":")
+	tbl := jsonTable{ID: id, Title: title, ColumnLabel: colLabel, Columns: cols}
+	for _, name := range order {
+		tbl.Rows = append(tbl.Rows, jsonRow{Name: name, OpsPerSec: rows[name]})
+	}
+	report.Tables = append(report.Tables, tbl)
+}
+
+func writeJSON(path string) error {
+	report.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	report.Window = duration.String()
+	report.Generated = time.Now().UTC().Format(time.RFC3339)
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 func run() error {
 	flag.Parse()
@@ -63,6 +117,12 @@ func run() error {
 		benchElimK()
 	default:
 		return fmt.Errorf("unknown table %q", *table)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonPath, err)
+		}
+		fmt.Printf("wrote %d tables to %s\n", len(report.Tables), *jsonPath)
 	}
 	return nil
 }
@@ -107,6 +167,7 @@ func gCounts() []int {
 }
 
 func printTable(title string, counts []int, rows map[string][]float64, order []string) {
+	recordTable(title, "goroutines", counts, rows, order)
 	fmt.Println(title)
 	fmt.Printf("%-22s", "goroutines")
 	for _, g := range counts {
@@ -300,8 +361,10 @@ func benchDuals() {
 func benchElimK() {
 	g := *maxG
 	ks := []int{1, 2, 4, 8, 16}
-	fmt.Printf("B6: elimination stack throughput vs array width K (goroutines=%d)\n", g)
+	title := fmt.Sprintf("B6: elimination stack throughput vs array width K (goroutines=%d)", g)
+	fmt.Println(title)
 	fmt.Printf("%-10s%14s\n", "K", "ops/sec")
+	rates := make([]float64, 0, len(ks))
 	for _, k := range ks {
 		es, err := calgo.NewElimStack("ES", calgo.ElimStackWithSlots(k), calgo.ElimStackWithWaitPolicy(calgo.SpinWait(*spin)))
 		if err != nil {
@@ -312,7 +375,9 @@ func benchElimK() {
 			es.Pop(tid)
 			return true
 		})
+		rates = append(rates, r[0])
 		fmt.Printf("%-10d%14.0f\n", k, r[0])
 	}
 	fmt.Println()
+	recordTable(title, "K", ks, map[string][]float64{"elimination stack": rates}, []string{"elimination stack"})
 }

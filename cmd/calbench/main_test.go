@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -53,6 +56,39 @@ func TestRunUnknownTable(t *testing.T) {
 	flag.CommandLine.Parse(nil)
 	if err := run(); err == nil {
 		t.Error("unknown table should error")
+	}
+}
+
+// TestJSONReport pins the -json schema: table IDs, column labels and one
+// rate per column, round-tripping through the encoder.
+func TestJSONReport(t *testing.T) {
+	oldReport := report
+	defer func() { report = oldReport }()
+	report = jsonReport{}
+	recordTable("B1: stack throughput", "goroutines", []int{1, 2},
+		map[string][]float64{"treiber (lock-free)": {100, 200}},
+		[]string{"treiber (lock-free)"})
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := writeJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got jsonReport
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("wrote invalid JSON: %v", err)
+	}
+	if len(got.Tables) != 1 || got.Tables[0].ID != "B1" || got.Tables[0].ColumnLabel != "goroutines" {
+		t.Errorf("tables = %+v", got.Tables)
+	}
+	if got.GOMAXPROCS < 1 || got.Generated == "" || got.Window == "" {
+		t.Errorf("metadata missing: %+v", got)
+	}
+	row := got.Tables[0].Rows[0]
+	if row.Name != "treiber (lock-free)" || len(row.OpsPerSec) != 2 || row.OpsPerSec[1] != 200 {
+		t.Errorf("row = %+v", row)
 	}
 }
 

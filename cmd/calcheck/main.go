@@ -1,11 +1,16 @@
 // Command calcheck decides concurrency-aware linearizability (or classical
-// linearizability) of a history read from a file or stdin, against a named
-// specification.
+// linearizability) of one or more histories read from files or stdin,
+// against a named specification.
 //
 // Usage:
 //
 //	calcheck -spec exchanger -object E -mode cal history.txt
 //	calcheck -spec stack -object S -mode lin < history.txt
+//	calcheck -spec exchanger -workers 4 run1.txt run2.txt run3.txt
+//
+// With several history files the checks fan out across a worker pool
+// (-workers, default GOMAXPROCS) and each file is reported on its own
+// line prefixed with its name.
 //
 // The history format is line-oriented:
 //
@@ -48,6 +53,7 @@ func run() int {
 		maxStats   = flag.Int("max-states", 4_000_000, "checker state budget")
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the check (0 = none), e.g. 100ms, 30s")
 		memoBudget = flag.Int("memo-budget", 0, "approximate memoization memory budget in bytes (0 = unlimited)")
+		workers    = flag.Int("workers", 0, "checker goroutines when given several history files (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -57,15 +63,19 @@ func run() int {
 		return 2
 	}
 
-	name, src, err := readInput(flag.Args())
+	inputs, err := readInputs(flag.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calcheck:", err)
 		return 2
 	}
-	h, err := calgo.ParseHistoryFile(name, src)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "calcheck:", err)
-		return 2
+	histories := make([]calgo.History, len(inputs))
+	for i, in := range inputs {
+		h, err := calgo.ParseHistoryFile(in.name, in.src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calcheck:", err)
+			return 2
+		}
+		histories[i] = h
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,40 +86,68 @@ func run() int {
 		defer cancel()
 	}
 
-	var r calgo.Result
-	opts := []calgo.CheckOption{calgo.WithMaxStates(*maxStats)}
+	opts := []calgo.CheckOption{calgo.WithMaxStates(*maxStats), calgo.WithWorkers(*workers)}
 	if *memoBudget > 0 {
 		opts = append(opts, calgo.WithMemoBudget(*memoBudget))
 	}
 	switch *mode {
-	case "cal":
-		r, err = calgo.CALContext(ctx, h, sp, opts...)
+	case "cal", "setlin":
 	case "lin":
-		r, err = calgo.LinearizableContext(ctx, h, sp, opts...)
-	case "setlin":
-		r, err = calgo.CALContext(ctx, h, sp, opts...)
+		opts = append(opts, calgo.WithElementCap(1))
 	default:
 		fmt.Fprintf(os.Stderr, "calcheck: unknown mode %q\n", *mode)
 		return 2
 	}
+	results, err := calgo.CheckMany(ctx, histories, sp, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "calcheck:", err)
 		return 2
 	}
 
+	exit := 0
+	for i, r := range results {
+		prefix := ""
+		if len(results) > 1 {
+			prefix = inputs[i].name + ": "
+		}
+		exit = worstExit(exit, report(prefix, r, sp.Name(), *mode, *verbose))
+	}
+	return exit
+}
+
+// worstExit combines per-history exit codes: violation (1) dominates
+// unknown (3), which dominates success (0).
+func worstExit(a, b int) int {
+	rank := func(c int) int {
+		switch c {
+		case 1:
+			return 2
+		case 3:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if rank(b) > rank(a) {
+		return b
+	}
+	return a
+}
+
+func report(prefix string, r calgo.Result, specName, mode string, verbose bool) int {
 	if r.Verdict == calgo.VerdictUnknown {
-		fmt.Printf("UNKNOWN: could not decide whether the history is %s w.r.t. %s\n",
-			propertyName(*mode), sp.Name())
+		fmt.Printf("%sUNKNOWN: could not decide whether the history is %s w.r.t. %s\n",
+			prefix, propertyName(mode), specName)
 		fmt.Printf("cause: %s\n", r.Unknown.Reason)
 		fmt.Printf("frontier: %s\n", r.Unknown.Frontier)
-		if *verbose && len(r.Unknown.PartialWitness) > 0 {
+		if verbose && len(r.Unknown.PartialWitness) > 0 {
 			fmt.Printf("partial witness: %s\n", r.Unknown.PartialWitness)
 		}
 		return 3
 	}
 	if r.OK {
-		fmt.Printf("OK: history is %s w.r.t. %s\n", propertyName(*mode), sp.Name())
-		if *verbose {
+		fmt.Printf("%sOK: history is %s w.r.t. %s\n", prefix, propertyName(mode), specName)
+		if verbose {
 			fmt.Printf("witness: %s\n", r.Witness)
 			if len(r.Dropped) > 0 {
 				fmt.Printf("dropped pending operations: %v\n", r.Dropped)
@@ -118,9 +156,9 @@ func run() int {
 		}
 		return 0
 	}
-	fmt.Printf("VIOLATION: history is not %s w.r.t. %s\n", propertyName(*mode), sp.Name())
+	fmt.Printf("%sVIOLATION: history is not %s w.r.t. %s\n", prefix, propertyName(mode), specName)
 	fmt.Println(r.Reason)
-	if *verbose {
+	if verbose {
 		fmt.Printf("states explored: %d (memo hits %d)\n", r.States, r.MemoHits)
 	}
 	return 1
@@ -162,18 +200,28 @@ func specByName(name string, o calgo.ObjectID, threads int) (calgo.Spec, error) 
 	}
 }
 
-// readInput returns the history source and a name for diagnostics.
-func readInput(args []string) (name, src string, err error) {
+type input struct {
+	name, src string
+}
+
+// readInputs returns one history source per file argument, or a single
+// stdin source when no files are given. Names are kept for diagnostics
+// and per-file verdict prefixes.
+func readInputs(args []string) ([]input, error) {
 	if len(args) == 0 {
 		b, err := io.ReadAll(os.Stdin)
 		if err != nil {
-			return "", "", fmt.Errorf("reading stdin: %w", err)
+			return nil, fmt.Errorf("reading stdin: %w", err)
 		}
-		return "<stdin>", string(b), nil
+		return []input{{"<stdin>", string(b)}}, nil
 	}
-	b, err := os.ReadFile(args[0])
-	if err != nil {
-		return "", "", err
+	inputs := make([]input, len(args))
+	for i, arg := range args {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = input{arg, string(b)}
 	}
-	return args[0], string(b), nil
+	return inputs, nil
 }

@@ -52,19 +52,30 @@ func TestPropertyName(t *testing.T) {
 	}
 }
 
-func TestReadInput(t *testing.T) {
+func TestReadInputs(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "h.txt")
 	const content = "inv t1 E.exchange 3\n"
 	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	name, got, err := readInput([]string{path})
-	if err != nil || got != content || name != path {
-		t.Errorf("readInput = %q, %q, %v", name, got, err)
+	got, err := readInputs([]string{path, path})
+	if err != nil || len(got) != 2 || got[0].src != content || got[0].name != path {
+		t.Errorf("readInputs = %v, %v", got, err)
 	}
-	if _, _, err := readInput([]string{filepath.Join(dir, "missing.txt")}); err == nil {
+	if _, err := readInputs([]string{path, filepath.Join(dir, "missing.txt")}); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+func TestWorstExit(t *testing.T) {
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 3, 3}, {3, 0, 3}, {0, 1, 1}, {3, 1, 1}, {1, 3, 1}, {1, 0, 1},
+	}
+	for _, tt := range tests {
+		if got := worstExit(tt.a, tt.b); got != tt.want {
+			t.Errorf("worstExit(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
 	}
 }
 
@@ -132,6 +143,8 @@ func TestRunEndToEnd(t *testing.T) {
 		{"bad spec", []string{"-spec", "frob", swap}, 2},
 		{"bad file", []string{"-spec", "exchanger", filepath.Join(dir, "nope.txt")}, 2},
 		{"garbage input", []string{"-spec", "exchanger", garbage}, 2},
+		{"batch all ok", []string{"-spec", "exchanger", "-workers", "2", swap, swap, swap}, 0},
+		{"batch violation dominates", []string{"-spec", "exchanger", "-workers", "2", swap, loneSuccess, swap}, 1},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

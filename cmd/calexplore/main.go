@@ -70,6 +70,7 @@ func run() error {
 		slots     = flag.Int("slots", 1, "elimstack: elimination array width K")
 		retries   = flag.Int("retries", 2, "elimstack: retry rounds before a thread halts")
 		maxStates = flag.Int("max-states", 4_000_000, "state budget")
+		parallel  = flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the exploration (0 = none)")
 	)
 	flag.Parse()
@@ -84,43 +85,43 @@ func run() error {
 
 	switch *target {
 	case "exchanger":
-		return exploreExchanger(ctx, *values, *maxStates)
+		return exploreExchanger(ctx, *values, *maxStates, *parallel)
 	case "stack":
 		progs, err := parsePrograms(*program)
 		if err != nil {
 			return err
 		}
-		return exploreStack(ctx, progs, *maxStates)
+		return exploreStack(ctx, progs, *maxStates, *parallel)
 	case "elimstack":
 		progs, err := parsePrograms(*program)
 		if err != nil {
 			return err
 		}
-		return exploreElimStack(ctx, progs, *slots, *retries, *maxStates)
+		return exploreElimStack(ctx, progs, *slots, *retries, *maxStates, *parallel)
 	case "syncqueue":
 		progs, err := parseSQPrograms(*sqProgram)
 		if err != nil {
 			return err
 		}
-		return exploreSyncQueue(ctx, progs, *maxStates)
+		return exploreSyncQueue(ctx, progs, *maxStates, *parallel)
 	case "dualstack":
 		progs, err := parsePrograms(*program)
 		if err != nil {
 			return err
 		}
-		return exploreDualStack(ctx, progs, *retries, *maxStates)
+		return exploreDualStack(ctx, progs, *retries, *maxStates, *parallel)
 	case "dualqueue":
 		progs, err := parseDQPrograms(*dqProgram)
 		if err != nil {
 			return err
 		}
-		return exploreDualQueue(ctx, progs, *retries, *maxStates)
+		return exploreDualQueue(ctx, progs, *retries, *maxStates, *parallel)
 	case "snapshot":
 		vals, err := parseValues(*values)
 		if err != nil {
 			return err
 		}
-		return exploreSnapshot(ctx, vals, *maxStates)
+		return exploreSnapshot(ctx, vals, *maxStates, *parallel)
 	default:
 		return fmt.Errorf("unknown target %q", *target)
 	}
@@ -138,7 +139,7 @@ func parseValues(values string) ([]int64, error) {
 	return out, nil
 }
 
-func exploreExchanger(ctx context.Context, values string, maxStates int) error {
+func exploreExchanger(ctx context.Context, values string, maxStates, parallel int) error {
 	vals, err := parseValues(values)
 	if err != nil {
 		return err
@@ -156,28 +157,30 @@ func exploreExchanger(ctx context.Context, values string, maxStates int) error {
 			}
 			return model.ProofOutline(st)
 		},
-		Transition: rg.Hook(true),
-		Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-		MaxStates:  maxStates,
-		Context:    ctx,
+		Transition:  rg.Hook(true),
+		Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+		MaxStates:   maxStates,
+		Parallelism: parallel,
+		Context:     ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreStack(ctx context.Context, programs [][]model.StackOp, maxStates int) error {
+func exploreStack(ctx context.Context, programs [][]model.StackOp, maxStates, parallel int) error {
 	init := model.NewStack(model.StackConfig{Programs: programs})
 	fmt.Printf("exploring central stack: %d threads, checking linearizability of every execution\n", len(programs))
 	stats, err := sched.Explore(init, sched.Options{
-		Terminal:  model.VerifyCAL(spec.NewCentralStack("S"), nil, true),
-		MaxStates: maxStates,
-		Context:   ctx,
+		Terminal:    model.VerifyCAL(spec.NewCentralStack("S"), nil, true),
+		MaxStates:   maxStates,
+		Parallelism: parallel,
+		Context:     ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreElimStack(ctx context.Context, programs [][]model.StackOp, slots, retries, maxStates int) error {
+func exploreElimStack(ctx context.Context, programs [][]model.StackOp, slots, retries, maxStates, parallel int) error {
 	init := model.NewElimStack(model.ESConfig{
 		Slots:    slots,
 		Retries:  retries,
@@ -189,6 +192,7 @@ func exploreElimStack(ctx context.Context, programs [][]model.StackOp, slots, re
 		Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, true),
 		AllowDeadlock: true,
 		MaxStates:     maxStates,
+		Parallelism:   parallel,
 		Context:       ctx,
 	})
 	report(stats, err)
@@ -203,13 +207,14 @@ func report(stats sched.Stats, err error) {
 	}
 }
 
-func exploreSyncQueue(ctx context.Context, programs [][]model.SQOp, maxStates int) error {
+func exploreSyncQueue(ctx context.Context, programs [][]model.SQOp, maxStates, parallel int) error {
 	init := model.NewSyncQueue(model.SQConfig{Programs: programs})
 	fmt.Printf("exploring synchronous queue: %d threads, checking CAL of every execution\n", len(programs))
 	stats, err := sched.Explore(init, sched.Options{
-		Terminal:  model.VerifyCAL(spec.NewSyncQueue("SQ"), nil, true),
-		MaxStates: maxStates,
-		Context:   ctx,
+		Terminal:    model.VerifyCAL(spec.NewSyncQueue("SQ"), nil, true),
+		MaxStates:   maxStates,
+		Parallelism: parallel,
+		Context:     ctx,
 	})
 	report(stats, err)
 	return err
@@ -267,39 +272,42 @@ func parsePrograms(src string) ([][]model.StackOp, error) {
 	return programs, nil
 }
 
-func exploreDualStack(ctx context.Context, programs [][]model.StackOp, retries, maxStates int) error {
+func exploreDualStack(ctx context.Context, programs [][]model.StackOp, retries, maxStates, parallel int) error {
 	init := model.NewDualStack(model.DSConfig{Retries: retries, Programs: programs})
 	fmt.Printf("exploring dual stack: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
 	stats, err := sched.Explore(init, sched.Options{
 		Terminal:      model.VerifyCAL(spec.NewDualStack("DS"), nil, true),
 		AllowDeadlock: true,
 		MaxStates:     maxStates,
+		Parallelism:   parallel,
 		Context:       ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreDualQueue(ctx context.Context, programs [][]model.QOp, retries, maxStates int) error {
+func exploreDualQueue(ctx context.Context, programs [][]model.QOp, retries, maxStates, parallel int) error {
 	init := model.NewDualQueue(model.DQConfig{Retries: retries, Programs: programs})
 	fmt.Printf("exploring dual queue: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
 	stats, err := sched.Explore(init, sched.Options{
 		Terminal:      model.VerifyCAL(spec.NewDualQueue("DQ"), nil, true),
 		AllowDeadlock: true,
 		MaxStates:     maxStates,
+		Parallelism:   parallel,
 		Context:       ctx,
 	})
 	report(stats, err)
 	return err
 }
 
-func exploreSnapshot(ctx context.Context, values []int64, maxStates int) error {
+func exploreSnapshot(ctx context.Context, values []int64, maxStates, parallel int) error {
 	init := model.NewSnapshot(model.ISConfig{Values: values})
 	fmt.Printf("exploring immediate snapshot: %d participants, register-accurate scans\n", len(values))
 	stats, err := sched.Explore(init, sched.Options{
-		Terminal:  model.VerifyCAL(spec.NewSnapshot("IS", len(values)), init.Project, true),
-		MaxStates: maxStates,
-		Context:   ctx,
+		Terminal:    model.VerifyCAL(spec.NewSnapshot("IS", len(values)), init.Project, true),
+		MaxStates:   maxStates,
+		Parallelism: parallel,
+		Context:     ctx,
 	})
 	report(stats, err)
 	return err

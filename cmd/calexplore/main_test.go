@@ -81,35 +81,35 @@ func TestParseValues(t *testing.T) {
 func TestExploreNewTargetsEndToEnd(t *testing.T) {
 	ctx := context.Background()
 	progs, _ := parsePrograms("push:1,pop")
-	if err := exploreDualStack(ctx, progs, 1, 1_000_000); err != nil {
+	if err := exploreDualStack(ctx, progs, 1, 1_000_000, 2); err != nil {
 		t.Errorf("dualstack: %v", err)
 	}
 	dq, _ := parseDQPrograms("enq:1,deq")
-	if err := exploreDualQueue(ctx, dq, 1, 1_000_000); err != nil {
+	if err := exploreDualQueue(ctx, dq, 1, 1_000_000, 2); err != nil {
 		t.Errorf("dualqueue: %v", err)
 	}
-	if err := exploreSnapshot(ctx, []int64{1, 2}, 1_000_000); err != nil {
+	if err := exploreSnapshot(ctx, []int64{1, 2}, 1_000_000, 2); err != nil {
 		t.Errorf("snapshot: %v", err)
 	}
 }
 
 func TestExploreTargetsEndToEnd(t *testing.T) {
 	ctx := context.Background()
-	if err := exploreExchanger(ctx, "1,2", 1_000_000); err != nil {
+	if err := exploreExchanger(ctx, "1,2", 1_000_000, 2); err != nil {
 		t.Errorf("exchanger: %v", err)
 	}
-	if err := exploreExchanger(ctx, "x", 10); err == nil {
+	if err := exploreExchanger(ctx, "x", 10, 1); err == nil {
 		t.Error("bad values should fail")
 	}
 	progs, _ := parsePrograms("push:1,pop")
-	if err := exploreStack(ctx, progs, 1_000_000); err != nil {
+	if err := exploreStack(ctx, progs, 1_000_000, 2); err != nil {
 		t.Errorf("stack: %v", err)
 	}
-	if err := exploreElimStack(ctx, progs, 1, 1, 1_000_000); err != nil {
+	if err := exploreElimStack(ctx, progs, 1, 1, 1_000_000, 2); err != nil {
 		t.Errorf("elimstack: %v", err)
 	}
 	sq, _ := parseSQPrograms("put:1,take")
-	if err := exploreSyncQueue(ctx, sq, 1_000_000); err != nil {
+	if err := exploreSyncQueue(ctx, sq, 1_000_000, 2); err != nil {
 		t.Errorf("syncqueue: %v", err)
 	}
 }
@@ -120,7 +120,7 @@ func TestExploreDeadlineMapsToUnknownExit(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
 	time.Sleep(time.Millisecond)
-	err := exploreExchanger(ctx, "1,2,3,4", 10_000_000)
+	err := exploreExchanger(ctx, "1,2,3,4", 10_000_000, 0)
 	if !errors.Is(err, sched.ErrInterrupted) {
 		t.Fatalf("err = %v, want ErrInterrupted", err)
 	}

@@ -7,14 +7,17 @@
 // Runs can additionally be subjected to fault injection (-chaos): seeded
 // policies that delay, stall, bias and force CAS retries at the objects'
 // labeled synchronization points; every verification must still pass,
-// since chaos perturbs timing, never semantics. -timeout bounds each CAL
-// check; a check that exhausts it counts as UNKNOWN (exit 3), not as a
-// violation.
+// since chaos perturbs timing, never semantics. The per-run structural
+// checks (spec admits the trace, history agrees with it) happen inline;
+// the CAL checks for a target's runs are batched and fanned across a
+// checker pool (-workers, default GOMAXPROCS). -timeout bounds each
+// batch of CAL checks; a batch that exhausts it counts as UNKNOWN
+// (exit 3), not as a violation.
 //
 // Usage:
 //
 //	calfuzz -iters 50 -seed 1 -object all
-//	calfuzz -iters 20 -object exchanger -chaos havoc
+//	calfuzz -iters 20 -object exchanger -chaos havoc -workers 4
 //
 // Exit status: 0 when all runs verified, 1 when a run failed
 // verification, 2 on usage errors, 3 when a CAL check was inconclusive
@@ -58,19 +61,16 @@ var (
 	errUsage   = errors.New("usage")
 )
 
-// checkTimeout bounds each CAL check; set from -timeout.
-var checkTimeout time.Duration
-
 func run() error {
 	var (
 		iters   = flag.Int("iters", 30, "iterations per object")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		object  = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, snapshot, all")
 		chaos   = flag.String("chaos", "none", "fault-injection policy: none, yield-storm, stall, cas-storm, bias, havoc, all")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-run CAL check deadline (0 = none)")
+		timeout = flag.Duration("timeout", 30*time.Second, "CAL check deadline per batch of runs (0 = none)")
+		workers = flag.Int("workers", 0, "checker goroutines for the batched CAL checks (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	checkTimeout = *timeout
 
 	policies := []string{*chaos}
 	if *chaos == "all" {
@@ -89,15 +89,22 @@ func run() error {
 			return fmt.Errorf("%w: unknown object %q", errUsage, target)
 		}
 		for _, policy := range policies {
+			runs := make([]pending, 0, *iters)
 			for i := 0; i < *iters; i++ {
 				// A fresh policy instance per run: stateful policies keep
 				// per-thread state valid only under one injector's lock.
 				inj := calgo.NewChaosInjector(calgo.ChaosPolicies()[policy], *seed+int64(i))
 				rng := rand.New(rand.NewSource(*seed + int64(i)))
-				if err := fuzz(rng, inj); err != nil {
+				run, err := fuzz(rng, inj)
+				if err != nil {
 					return fmt.Errorf("%s iteration %d (chaos %s, seed %d): %w",
 						target, i, policy, *seed+int64(i), err)
 				}
+				run.iter, run.seed = i, *seed+int64(i)
+				runs = append(runs, run)
+			}
+			if err := checkBatch(runs, target, policy, *timeout, *workers); err != nil {
+				return err
 			}
 			if policy == "none" {
 				fmt.Printf("✓ %-10s %d randomized runs verified\n", target, *iters)
@@ -109,7 +116,58 @@ func run() error {
 	return nil
 }
 
-var fuzzers = map[string]func(*rand.Rand, *calgo.ChaosInjector) error{
+// pending is one fuzz run whose structural checks passed and whose CAL
+// check is deferred to the target's batch.
+type pending struct {
+	h    calgo.History
+	sp   calgo.Spec
+	iter int
+	seed int64
+}
+
+// checkBatch fans the deferred CAL checks of one target/policy sweep
+// across a CheckMany worker pool, grouping runs by their (comparable)
+// spec value so each group shares one call.
+func checkBatch(runs []pending, target, policy string, timeout time.Duration, workers int) error {
+	groups := make(map[calgo.Spec][]int)
+	var order []calgo.Spec
+	for i, r := range runs {
+		if _, seen := groups[r.sp]; !seen {
+			order = append(order, r.sp)
+		}
+		groups[r.sp] = append(groups[r.sp], i)
+	}
+	for _, sp := range order {
+		idx := groups[sp]
+		histories := make([]calgo.History, len(idx))
+		for j, i := range idx {
+			histories[j] = runs[i].h
+		}
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		results, err := calgo.CheckMany(ctx, histories, sp, calgo.WithWorkers(workers))
+		if err != nil {
+			return err
+		}
+		for j, r := range results {
+			run := runs[idx[j]]
+			label := fmt.Sprintf("%s iteration %d (chaos %s, seed %d)", target, run.iter, policy, run.seed)
+			switch r.Verdict {
+			case calgo.VerdictUnknown:
+				return fmt.Errorf("%s: %w: %s (%s)", label, errUnknown, r.Unknown.Reason, r.Unknown.Frontier)
+			case calgo.VerdictUnsat:
+				return fmt.Errorf("%s: CAL checker rejected the history: %s", label, r.Reason)
+			}
+		}
+	}
+	return nil
+}
+
+var fuzzers = map[string]func(*rand.Rand, *calgo.ChaosInjector) (pending, error){
 	"exchanger": fuzzExchanger,
 	"elimstack": fuzzElimStack,
 	"syncqueue": fuzzSyncQueue,
@@ -119,7 +177,7 @@ var fuzzers = map[string]func(*rand.Rand, *calgo.ChaosInjector) error{
 	"snapshot":  fuzzSnapshot,
 }
 
-func fuzzExchanger(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+func fuzzExchanger(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
 	rec := calgo.NewBoundedRecorder(1 << 14)
 	ex := calgo.NewExchanger("E",
 		calgo.ExchangerWithRecorder(rec),
@@ -146,12 +204,12 @@ func fuzzExchanger(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	wg.Wait()
 	tr, err := checkedView(rec, "E")
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	return verify(cap.History(), tr, calgo.NewExchangerSpec("E"))
 }
 
-func fuzzElimStack(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+func fuzzElimStack(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
 	rec := calgo.NewBoundedRecorder(1 << 14)
 	es, err := calgo.NewElimStack("ES",
 		calgo.ElimStackWithRecorder(rec),
@@ -160,7 +218,7 @@ func fuzzElimStack(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 		calgo.ElimStackWithChaos(inj),
 	)
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	pairs := rng.Intn(3) + 1
 	per := rng.Intn(15) + 5
@@ -193,12 +251,12 @@ func fuzzElimStack(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	wg.Wait()
 	tr, err := checkedView(rec, "ES")
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	return verify(cap.History(), tr, calgo.NewStackSpec("ES"))
 }
 
-func fuzzSyncQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+func fuzzSyncQueue(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
 	rec := calgo.NewBoundedRecorder(1 << 14)
 	q := calgo.NewSyncQueue("SQ",
 		calgo.SyncQueueWithRecorder(rec),
@@ -234,35 +292,22 @@ func fuzzSyncQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	wg.Wait()
 	tr, err := checkedView(rec, "SQ")
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	return verify(cap.History(), tr, calgo.NewSyncQueueSpec("SQ"))
 }
 
-func verify(h calgo.History, tr calgo.Trace, sp calgo.Spec) error {
+// verify performs the per-run structural checks (spec admits the
+// recorded trace; history agrees with it, Definition 5) and defers the
+// CAL check (Definition 6) to the target's batch.
+func verify(h calgo.History, tr calgo.Trace, sp calgo.Spec) (pending, error) {
 	if _, err := calgo.SpecAccepts(sp, tr); err != nil {
-		return fmt.Errorf("recorded trace rejected by %s: %w", sp.Name(), err)
+		return pending{}, fmt.Errorf("recorded trace rejected by %s: %w", sp.Name(), err)
 	}
 	if err := calgo.Agrees(h, tr); err != nil {
-		return fmt.Errorf("history does not agree with recorded trace: %w", err)
+		return pending{}, fmt.Errorf("history does not agree with recorded trace: %w", err)
 	}
-	ctx := context.Background()
-	if checkTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, checkTimeout)
-		defer cancel()
-	}
-	r, err := calgo.CALContext(ctx, h, sp)
-	if err != nil {
-		return err
-	}
-	switch r.Verdict {
-	case calgo.VerdictUnknown:
-		return fmt.Errorf("%w: %s (%s)", errUnknown, r.Unknown.Reason, r.Unknown.Frontier)
-	case calgo.VerdictUnsat:
-		return fmt.Errorf("CAL checker rejected the history: %s", r.Reason)
-	}
-	return nil
+	return pending{h: h, sp: sp}, nil
 }
 
 // checkedView snapshots the recorder's view of o after verifying the trace
@@ -274,7 +319,7 @@ func checkedView(rec *calgo.Recorder, o calgo.ObjectID) (calgo.Trace, error) {
 	return rec.View(o), nil
 }
 
-func fuzzDualStack(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+func fuzzDualStack(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
 	rec := calgo.NewBoundedRecorder(1 << 14)
 	s := calgo.NewDualStack("DS",
 		calgo.DualStackWithRecorder(rec),
@@ -310,12 +355,12 @@ func fuzzDualStack(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	wg.Wait()
 	tr, err := checkedView(rec, "DS")
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	return verify(cap.History(), tr, calgo.NewDualStackSpec("DS"))
 }
 
-func fuzzMSQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+func fuzzMSQueue(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
 	rec := calgo.NewBoundedRecorder(1 << 14)
 	q := calgo.NewMSQueue("Q", calgo.MSQueueWithRecorder(rec), calgo.MSQueueWithChaos(inj))
 	workers := rng.Intn(4) + 2
@@ -344,16 +389,16 @@ func fuzzMSQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	wg.Wait()
 	tr, err := checkedView(rec, "Q")
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	return verify(cap.History(), tr, calgo.NewQueueSpec("Q"))
 }
 
-func fuzzSnapshot(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+func fuzzSnapshot(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
 	n := rng.Intn(4) + 2
 	s, err := calgo.NewImmediateSnapshot("IS", n, calgo.SnapshotWithChaos(inj))
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	var cap calgo.Capture
 	results := make([]calgo.SnapshotResult, n)
@@ -376,12 +421,12 @@ func fuzzSnapshot(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	wg.Wait()
 	tr, err := calgo.DeriveSnapshotTrace("IS", results)
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	return verify(cap.History(), tr, calgo.NewSnapshotSpec("IS", n))
 }
 
-func fuzzDualQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
+func fuzzDualQueue(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
 	rec := calgo.NewBoundedRecorder(1 << 14)
 	q := calgo.NewDualQueue("DQ",
 		calgo.DualQueueWithRecorder(rec),
@@ -417,7 +462,7 @@ func fuzzDualQueue(rng *rand.Rand, inj *calgo.ChaosInjector) error {
 	wg.Wait()
 	tr, err := checkedView(rec, "DQ")
 	if err != nil {
-		return err
+		return pending{}, err
 	}
 	return verify(cap.History(), tr, calgo.NewDualQueueSpec("DQ"))
 }

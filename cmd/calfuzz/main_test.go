@@ -4,15 +4,27 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"calgo"
 )
+
+// fuzzAndCheck runs one fuzzer iteration end to end: the inline
+// structural checks plus the (normally batched) CAL check.
+func fuzzAndCheck(t *testing.T, name string, fuzz func(*rand.Rand, *calgo.ChaosInjector) (pending, error), rng *rand.Rand, inj *calgo.ChaosInjector) error {
+	t.Helper()
+	run, err := fuzz(rng, inj)
+	if err != nil {
+		return err
+	}
+	return checkBatch([]pending{run}, name, "test", 30*time.Second, 1)
+}
 
 func TestAllFuzzersOnce(t *testing.T) {
 	for name, fuzz := range fuzzers {
 		t.Run(name, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
-				if err := fuzz(rand.New(rand.NewSource(seed)), nil); err != nil {
+				if err := fuzzAndCheck(t, name, fuzz, rand.New(rand.NewSource(seed)), nil); err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
 				}
 			}
@@ -30,7 +42,7 @@ func TestAllFuzzersUnderChaos(t *testing.T) {
 				t.Parallel()
 				seed := int64(7)
 				inj := calgo.NewChaosInjector(calgo.ChaosPolicies()[policy], seed)
-				if err := fuzz(rand.New(rand.NewSource(seed)), inj); err != nil {
+				if err := fuzzAndCheck(t, name, fuzz, rand.New(rand.NewSource(seed)), inj); err != nil {
 					t.Fatalf("policy %s seed %d: %v", policy, seed, err)
 				}
 				if st := inj.Stats(); st.Points == 0 && policy != "none" {
@@ -51,7 +63,7 @@ func TestVerifyRejectsBadTrace(t *testing.T) {
 		Thread: 1, Object: "E", Method: calgo.MethodExchange,
 		Arg: calgo.Int(3), Ret: calgo.Pair(true, 4),
 	})}
-	if err := verify(h, badTrace, calgo.NewExchangerSpec("E")); err == nil {
+	if _, err := verify(h, badTrace, calgo.NewExchangerSpec("E")); err == nil {
 		t.Error("spec-invalid trace must fail verification")
 	}
 	// Trace valid for the spec but disagreeing with the history.
@@ -59,7 +71,7 @@ func TestVerifyRejectsBadTrace(t *testing.T) {
 		Thread: 2, Object: "E", Method: calgo.MethodExchange,
 		Arg: calgo.Int(9), Ret: calgo.Pair(false, 9),
 	})}
-	if err := verify(h, otherTrace, calgo.NewExchangerSpec("E")); err == nil {
+	if _, err := verify(h, otherTrace, calgo.NewExchangerSpec("E")); err == nil {
 		t.Error("disagreeing trace must fail verification")
 	}
 	// Matching trace passes.
@@ -67,8 +79,12 @@ func TestVerifyRejectsBadTrace(t *testing.T) {
 		Thread: 1, Object: "E", Method: calgo.MethodExchange,
 		Arg: calgo.Int(3), Ret: calgo.Pair(false, 3),
 	})}
-	if err := verify(h, good, calgo.NewExchangerSpec("E")); err != nil {
+	run, err := verify(h, good, calgo.NewExchangerSpec("E"))
+	if err != nil {
 		t.Errorf("valid run failed verification: %v", err)
+	}
+	if err := checkBatch([]pending{run}, "exchanger", "none", time.Second, 1); err != nil {
+		t.Errorf("valid run failed the batched CAL check: %v", err)
 	}
 }
 

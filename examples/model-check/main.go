@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 
 	"calgo/internal/model"
 	"calgo/internal/rg"
@@ -43,8 +44,9 @@ func run() error {
 			}
 			return model.ProofOutline(st)
 		},
-		Transition: rg.Hook(true),
-		Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+		Transition:  rg.Hook(true),
+		Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+		Parallelism: runtime.GOMAXPROCS(0),
 	})
 	if err != nil {
 		return fmt.Errorf("exchanger verification FAILED: %w", err)
@@ -71,6 +73,7 @@ func run() error {
 		Terminal:      model.VerifyCAL(spec.NewStack("ES"), esInit.Project, true),
 		AllowDeadlock: true,
 		MaxStates:     4_000_000,
+		Parallelism:   runtime.GOMAXPROCS(0),
 	})
 	if err != nil {
 		return fmt.Errorf("elimination stack verification FAILED: %w", err)
@@ -94,8 +97,9 @@ func run() error {
 				}
 				return model.ProofOutline(st)
 			},
-			Transition: rg.Hook(false),
-			Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+			Transition:  rg.Hook(false),
+			Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
+			Parallelism: runtime.GOMAXPROCS(0),
 		})
 		if err == nil {
 			return fmt.Errorf("injected bug %q escaped verification", bug)

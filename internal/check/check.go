@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 
 	"calgo/internal/history"
@@ -69,6 +70,7 @@ type config struct {
 	memoBudget   int  // approximate memo-table key bytes; 0 = unlimited
 	memo         bool // memoize failed nodes
 	completeOnly bool // reject histories with pending invocations
+	workers      int  // CheckMany pool size; 0 = GOMAXPROCS
 }
 
 // Option configures a check.
@@ -170,6 +172,46 @@ type abortError struct{ cause error }
 func (a *abortError) Error() string { return a.cause.Error() }
 func (a *abortError) Unwrap() error { return a.cause }
 
+// bitset is a packed linearized-operation mask; one bit per operation.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitsetEqual(a, b bitset) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// memoEntry is one memoized failed node: the exact linearized mask and
+// spec-state key, stored under their combined hash. Exactness matters —
+// the hash only buckets; entries are compared in full, so collisions can
+// never flip a verdict.
+type memoEntry struct {
+	mask    bitset
+	specKey string
+}
+
+// memoHash mixes the linearized mask and the spec-state key (FNV-1a over
+// mask words, then key bytes) into the memo bucket hash.
+func memoHash(mask bitset, specKey string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range mask {
+		h ^= w
+		h *= 1099511628211
+	}
+	for i := 0; i < len(specKey); i++ {
+		h ^= uint64(specKey[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 type searcher struct {
 	ctx      context.Context
 	sp       spec.Spec
@@ -179,18 +221,40 @@ type searcher struct {
 	ops      []history.Op
 	rt       [][]bool
 
-	linearized []bool
-	memo       map[string]bool
-	memoBytes  int
-	states     int
-	memoHits   int
-	elements   int
-	work       int // ticks since the last context poll
-	witness    trace.Trace
+	// Linearization state, maintained incrementally by linearize and
+	// unlinearize rather than recomputed per node: the packed mask, the
+	// linearized counts, the per-operation count of unlinearized
+	// real-time predecessors, and the current ready set (operations with
+	// no unlinearized predecessors) with positional index for O(1)
+	// removal.
+	linearized bitset
+	nlin       int       // linearized operations
+	nlinDone   int       // linearized completed (non-pending) operations
+	totalDone  int       // completed operations in the history
+	succs      [][]int32 // real-time successors per operation
+	blockers   []int32   // unlinearized real-time predecessors per op
+	ready      []int32
+	readyPos   []int32 // position in ready, -1 if absent
+
+	memo      map[uint64][]memoEntry
+	memoBytes int
+	maskArena []uint64 // chunk allocator for memoized masks
+	states    int
+	memoHits  int
+	elements  int
+	work      int // ticks since the last context poll
+	witness   trace.Trace
+
+	// Scratch freelists: dfs needs a private ready snapshot and subset
+	// buffer per node, tryElement a trace.Operation buffer per attempt;
+	// recycled so the hot path stops allocating.
+	readyFree  [][]int32
+	subsetFree [][]int32
+	opsFree    [][]trace.Operation
 
 	// Failure diagnostics: the deepest linearization reached.
 	bestCount   int
-	bestMask    []bool
+	bestMask    bitset
 	bestWitness trace.Trace
 }
 
@@ -209,11 +273,59 @@ func (s *searcher) tick() error {
 }
 
 func (s *searcher) run() (Result, error) {
+	// Setup allocates a fixed handful of backing arrays regardless of n:
+	// both bitsets share one word slice, the three int32 vectors share
+	// another, and the successor adjacency is counted first so its flat
+	// edge array is sized exactly. CheckMany amortizes nothing across
+	// histories, so per-call setup cost is part of the hot path.
 	n := len(s.ops)
-	s.linearized = make([]bool, n)
-	s.bestMask = make([]bool, n)
-	s.memo = make(map[string]bool)
-	ok, err := s.dfs(s.sp.Init())
+	words := (n + 63) / 64
+	maskWords := make([]uint64, 2*words)
+	s.linearized = bitset(maskWords[:words:words])
+	s.bestMask = bitset(maskWords[words:])
+	ints := make([]int32, 3*n)
+	s.blockers = ints[:n:n]
+	s.readyPos = ints[n : 2*n : 2*n]
+	s.ready = ints[2*n : 2*n : 3*n]
+	edges := 0
+	for i := 0; i < n; i++ {
+		if !s.ops[i].Pending {
+			s.totalDone++
+		}
+		s.readyPos[i] = -1
+		for j := 0; j < n; j++ {
+			if s.rt[i][j] {
+				edges++
+				s.blockers[j]++
+			}
+		}
+	}
+	s.succs = make([][]int32, n)
+	flat := make([]int32, 0, edges)
+	for i := 0; i < n; i++ {
+		head := len(flat)
+		for j := 0; j < n; j++ {
+			if s.rt[i][j] {
+				flat = append(flat, int32(j))
+			}
+		}
+		s.succs[i] = flat[head:len(flat):len(flat)]
+	}
+	for i := 0; i < n; i++ {
+		if s.blockers[i] == 0 {
+			s.readyAdd(int32(i))
+		}
+	}
+	// Poll once before searching: a context cancelled before the call
+	// deterministically yields Unknown even when the search itself would
+	// finish within one poll interval.
+	var err error
+	var ok bool
+	if err = s.ctx.Err(); err != nil {
+		err = &abortError{cause: err}
+	} else {
+		ok, err = s.dfs(s.sp.Init())
+	}
 	res := Result{States: s.states, MemoHits: s.memoHits}
 	if err != nil {
 		var abort *abortError
@@ -238,7 +350,7 @@ func (s *searcher) run() (Result, error) {
 	res.OK = true
 	res.Witness = s.witness
 	for i, op := range s.ops {
-		if !s.linearized[i] {
+		if !s.linearized.get(i) {
 			res.Dropped = append(res.Dropped, op)
 		}
 	}
@@ -264,7 +376,7 @@ func (s *searcher) failureReason() string {
 	}
 	var stuck []string
 	for i, op := range s.ops {
-		if !s.bestMask[i] && !op.Pending {
+		if !s.bestMask.get(i) && !op.Pending {
 			stuck = append(stuck, op.String())
 			if len(stuck) == 4 {
 				stuck = append(stuck, "...")
@@ -279,77 +391,131 @@ func (s *searcher) failureReason() string {
 		reason, s.bestCount, len(s.ops), strings.Join(stuck, ", "))
 }
 
-// countLinearized returns the number of currently linearized operations.
-func (s *searcher) countLinearized() int {
-	n := 0
-	for _, l := range s.linearized {
-		if l {
-			n++
-		}
-	}
-	return n
+// readyAdd appends op i to the ready set.
+func (s *searcher) readyAdd(i int32) {
+	s.readyPos[i] = int32(len(s.ready))
+	s.ready = append(s.ready, i)
 }
 
-// done reports whether every completed operation has been linearized.
-func (s *searcher) done() bool {
-	for i, op := range s.ops {
-		if !op.Pending && !s.linearized[i] {
-			return false
-		}
-	}
-	return true
+// readyRemove deletes op i from the ready set by swap-removal.
+func (s *searcher) readyRemove(i int32) {
+	p := s.readyPos[i]
+	last := int32(len(s.ready) - 1)
+	moved := s.ready[last]
+	s.ready[p] = moved
+	s.readyPos[moved] = p
+	s.ready = s.ready[:last]
+	s.readyPos[i] = -1
 }
 
-// ready returns the indices of unlinearized operations all of whose
-// real-time predecessors are linearized.
-func (s *searcher) ready() []int {
-	var out []int
-	n := len(s.ops)
-	for i := 0; i < n; i++ {
-		if s.linearized[i] {
-			continue
-		}
-		ok := true
-		for j := 0; j < n; j++ {
-			if s.rt[j][i] && !s.linearized[j] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, i)
+// linearize marks op i linearized, updating the counts, its successors'
+// blocker counts and the ready set incrementally.
+func (s *searcher) linearize(i int) {
+	s.linearized.set(i)
+	s.nlin++
+	if !s.ops[i].Pending {
+		s.nlinDone++
+	}
+	s.readyRemove(int32(i))
+	for _, j := range s.succs[i] {
+		s.blockers[j]--
+		if s.blockers[j] == 0 {
+			s.readyAdd(j)
 		}
 	}
-	return out
 }
 
-func (s *searcher) stateKey(st spec.State) string {
-	buf := make([]byte, (len(s.linearized)+7)/8)
-	for i, a := range s.linearized {
-		if a {
-			buf[i/8] |= 1 << (i % 8)
+// unlinearize is the exact inverse of linearize. Calls must unwind in
+// reverse linearization order (LIFO), which the search's backtracking
+// guarantees.
+func (s *searcher) unlinearize(i int) {
+	for k := len(s.succs[i]) - 1; k >= 0; k-- {
+		j := s.succs[i][k]
+		if s.blockers[j] == 0 {
+			s.readyRemove(j)
 		}
+		s.blockers[j]++
 	}
-	return string(buf) + "\x00" + st.Key()
+	s.readyAdd(int32(i))
+	s.linearized.clear(i)
+	s.nlin--
+	if !s.ops[i].Pending {
+		s.nlinDone--
+	}
+}
+
+// getReadyBuf returns a recycled snapshot buffer for the ready set.
+func (s *searcher) getReadyBuf() []int32 {
+	if n := len(s.readyFree); n > 0 {
+		b := s.readyFree[n-1]
+		s.readyFree = s.readyFree[:n-1]
+		return b[:0]
+	}
+	return make([]int32, 0, len(s.ops))
+}
+
+func (s *searcher) putReadyBuf(b []int32) { s.readyFree = append(s.readyFree, b) }
+
+// getSubsetBuf returns a recycled candidate-subset buffer. Its capacity is
+// maxElem and enumerate never grows past it, so append never reallocates.
+func (s *searcher) getSubsetBuf() []int32 {
+	if n := len(s.subsetFree); n > 0 {
+		b := s.subsetFree[n-1]
+		s.subsetFree = s.subsetFree[:n-1]
+		return b[:0]
+	}
+	return make([]int32, 0, s.maxElem)
+}
+
+func (s *searcher) putSubsetBuf(b []int32) { s.subsetFree = append(s.subsetFree, b) }
+
+// getOpsBuf returns a recycled trace.Operation scratch buffer of length n.
+// Safe to recycle after trace.NewElement, which copies its input.
+func (s *searcher) getOpsBuf(n int) []trace.Operation {
+	if l := len(s.opsFree); l > 0 {
+		b := s.opsFree[l-1]
+		s.opsFree = s.opsFree[:l-1]
+		return b[:n]
+	}
+	return make([]trace.Operation, n, s.maxElem)
+}
+
+func (s *searcher) putOpsBuf(b []trace.Operation) { s.opsFree = append(s.opsFree, b[:0]) }
+
+// saveMask copies the current linearized mask into the mask arena,
+// amortizing one allocation over many memoized nodes.
+func (s *searcher) saveMask() bitset {
+	w := len(s.linearized)
+	if len(s.maskArena) < w {
+		s.maskArena = make([]uint64, 1024*w)
+	}
+	m := bitset(s.maskArena[:w:w])
+	s.maskArena = s.maskArena[w:]
+	copy(m, s.linearized)
+	return m
 }
 
 func (s *searcher) dfs(st spec.State) (bool, error) {
-	if s.done() {
+	if s.nlinDone == s.totalDone {
 		return true, nil
 	}
 	if err := s.tick(); err != nil {
 		return false, err
 	}
-	if n := s.countLinearized(); n > s.bestCount {
-		s.bestCount = n
-		s.bestMask = append(s.bestMask[:0], s.linearized...)
+	if s.nlin > s.bestCount {
+		s.bestCount = s.nlin
+		copy(s.bestMask, s.linearized)
 		s.bestWitness = append(s.bestWitness[:0], s.witness...)
 	}
-	key := s.stateKey(st)
+	specKey := st.Key()
+	var hash uint64
 	if s.cfg.memo {
-		if s.memo[key] {
-			s.memoHits++
-			return false, nil
+		hash = memoHash(s.linearized, specKey)
+		for _, m := range s.memo[hash] {
+			if m.specKey == specKey && bitsetEqual(m.mask, s.linearized) {
+				s.memoHits++
+				return false, nil
+			}
 		}
 	}
 	s.states++
@@ -357,52 +523,63 @@ func (s *searcher) dfs(st spec.State) (bool, error) {
 		return false, &abortError{cause: fmt.Errorf("%w (limit %d)", ErrBound, s.cfg.maxStates)}
 	}
 
-	ready := s.ready()
+	// Snapshot the ready set: the recursion below mutates it in place,
+	// and linearize/unlinearize restore it only as a set — ascending
+	// order keeps the enumeration deterministic.
+	ready := append(s.getReadyBuf(), s.ready...)
+	slices.Sort(ready)
+	subset := s.getSubsetBuf()
 	// Enumerate candidate subsets of ready operations sharing an object,
 	// pairwise concurrent, of size 1..maxElem.
-	subset := make([]int, 0, s.maxElem)
-	var enumerate func(start int) (bool, error)
-	enumerate = func(start int) (bool, error) {
-		if len(subset) > 0 {
-			ok, err := s.tryElement(st, subset)
-			if ok || err != nil {
-				return ok, err
-			}
-		}
-		if len(subset) == s.maxElem {
-			return false, nil
-		}
-		for k := start; k < len(ready); k++ {
-			i := ready[k]
-			if !s.compatible(subset, i) {
-				continue
-			}
-			subset = append(subset, i)
-			ok, err := enumerate(k + 1)
-			subset = subset[:len(subset)-1]
-			if ok || err != nil {
-				return ok, err
-			}
-		}
-		return false, nil
-	}
-	ok, err := enumerate(0)
+	ok, err := s.enumerate(st, ready, subset, 0)
+	s.putSubsetBuf(subset)
+	s.putReadyBuf(ready)
 	if err != nil {
 		return false, err
 	}
 	if !ok && s.cfg.memo {
-		s.memoBytes += len(key) + 1
+		s.memoBytes += 8*len(s.linearized) + len(specKey) + 48
 		if s.cfg.memoBudget > 0 && s.memoBytes > s.cfg.memoBudget {
 			return false, &abortError{cause: fmt.Errorf("%w (limit %d bytes)", ErrMemoBudget, s.cfg.memoBudget)}
 		}
-		s.memo[key] = true
+		if s.memo == nil { // created on first insert; lookups tolerate nil
+			s.memo = make(map[uint64][]memoEntry)
+		}
+		s.memo[hash] = append(s.memo[hash], memoEntry{mask: s.saveMask(), specKey: specKey})
 	}
 	return ok, nil
 }
 
+// enumerate extends subset with ready operations from position start on.
+// subset's backing array has capacity maxElem and is shared down the
+// recursion of one node; append therefore never reallocates, and each
+// frame's length restores itself on return.
+func (s *searcher) enumerate(st spec.State, ready, subset []int32, start int) (bool, error) {
+	if len(subset) > 0 {
+		ok, err := s.tryElement(st, subset)
+		if ok || err != nil {
+			return ok, err
+		}
+	}
+	if len(subset) == s.maxElem {
+		return false, nil
+	}
+	for k := start; k < len(ready); k++ {
+		i := ready[k]
+		if !s.compatible(subset, i) {
+			continue
+		}
+		ok, err := s.enumerate(st, ready, append(subset, i), k+1)
+		if ok || err != nil {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
 // compatible reports whether op i can join the candidate element subset:
 // same object as the existing members and concurrent with each of them.
-func (s *searcher) compatible(subset []int, i int) bool {
+func (s *searcher) compatible(subset []int32, i int32) bool {
 	for _, j := range subset {
 		if s.ops[j].Object != s.ops[i].Object {
 			return false
@@ -416,12 +593,13 @@ func (s *searcher) compatible(subset []int, i int) bool {
 
 // tryElement attempts to linearize the operations in subset as one
 // CA-element, resolving pending returns through the specification.
-func (s *searcher) tryElement(st spec.State, subset []int) (bool, error) {
+func (s *searcher) tryElement(st spec.State, subset []int32) (bool, error) {
 	s.elements++
 	if err := s.tick(); err != nil {
 		return false, err
 	}
-	ops := make([]trace.Operation, len(subset))
+	ops := s.getOpsBuf(len(subset))
+	defer s.putOpsBuf(ops)
 	var pendingIdx []int
 	for k, i := range subset {
 		op := s.ops[i]
@@ -459,7 +637,7 @@ func (s *searcher) tryElement(st spec.State, subset []int) (bool, error) {
 			continue // spec rejects this element
 		}
 		for _, i := range subset {
-			s.linearized[i] = true
+			s.linearize(int(i))
 		}
 		s.witness = append(s.witness, el)
 		ok, derr := s.dfs(next)
@@ -467,8 +645,8 @@ func (s *searcher) tryElement(st spec.State, subset []int) (bool, error) {
 			return true, nil
 		}
 		s.witness = s.witness[:len(s.witness)-1]
-		for _, i := range subset {
-			s.linearized[i] = false
+		for k := len(subset) - 1; k >= 0; k-- {
+			s.unlinearize(int(subset[k]))
 		}
 		if derr != nil {
 			return false, derr

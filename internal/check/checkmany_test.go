@@ -1,0 +1,112 @@
+package check
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// fig3H3 is the non-CA-linearizable variant: a lone exchange claiming
+// success with no overlapping partner.
+func fig3H3() history.History {
+	return history.History{
+		inv(1, objE, spec.MethodExchange, history.Int(3)),
+		res(1, objE, spec.MethodExchange, history.Pair(true, 4)),
+	}
+}
+
+// TestCheckManyMatchesIndividualChecks pins that CheckMany is a pure
+// fan-out: results[i] must carry the same verdict, reason class and
+// search statistics as a standalone CALContext on histories[i].
+func TestCheckManyMatchesIndividualChecks(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	histories := []history.History{fig3H1(), fig3H3(), fig3H2(), fig3H1(), fig3H3()}
+	for _, workers := range []int{0, 1, 3, 16} {
+		results, err := CheckMany(context.Background(), histories, e, WithWorkers(workers))
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if len(results) != len(histories) {
+			t.Fatalf("workers %d: %d results for %d histories", workers, len(results), len(histories))
+		}
+		for i, h := range histories {
+			want, err := CAL(h, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := results[i]
+			if got.OK != want.OK || got.Verdict != want.Verdict {
+				t.Errorf("workers %d history %d: verdict %v, want %v", workers, i, got.Verdict, want.Verdict)
+			}
+			if got.States != want.States || got.MemoHits != want.MemoHits {
+				t.Errorf("workers %d history %d: states/memo %d/%d, want %d/%d",
+					workers, i, got.States, got.MemoHits, want.States, want.MemoHits)
+			}
+		}
+	}
+}
+
+// TestCheckManyReportsInputErrorsByIndex checks that ill-formed inputs
+// fail individually — wrapped with their index — without poisoning the
+// valid histories in the same batch.
+func TestCheckManyReportsInputErrorsByIndex(t *testing.T) {
+	e := spec.NewExchanger(objE)
+	bad := history.History{ // response with no invocation: not well-formed
+		res(1, objE, spec.MethodExchange, history.Pair(false, 3)),
+	}
+	results, err := CheckMany(context.Background(), []history.History{fig3H1(), bad, fig3H2()}, e)
+	if err == nil {
+		t.Fatal("ill-formed history must surface an error")
+	}
+	if !strings.Contains(err.Error(), "history 1:") {
+		t.Errorf("error %q should name the failing index", err)
+	}
+	if !results[0].OK || !results[2].OK {
+		t.Error("valid histories in the batch must still be checked")
+	}
+	if results[1].OK || results[1].Verdict == Sat {
+		t.Errorf("failed input produced a non-zero result: %+v", results[1])
+	}
+}
+
+// TestCheckManyCancellation checks that cancellation is reported in-band
+// per history, matching the CALContext contract. The histories are wide
+// (all operations concurrent) so every search crosses the checker's
+// 1024-tick context-poll interval.
+func TestCheckManyCancellation(t *testing.T) {
+	wide := func(pairs int) history.History {
+		var h history.History
+		for p := 0; p < pairs; p++ {
+			h = append(h,
+				inv(history.ThreadID(2*p+1), objE, spec.MethodExchange, history.Int(int64(2*p+1))),
+				inv(history.ThreadID(2*p+2), objE, spec.MethodExchange, history.Int(int64(2*p+2))))
+		}
+		for p := 0; p < pairs; p++ {
+			h = append(h,
+				res(history.ThreadID(2*p+1), objE, spec.MethodExchange, history.Pair(true, int64(2*p+2))),
+				res(history.ThreadID(2*p+2), objE, spec.MethodExchange, history.Pair(true, int64(2*p+1))))
+		}
+		return h
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := CheckMany(ctx, []history.History{wide(7), wide(8)}, spec.NewExchanger(objE), WithWorkers(2))
+	if err != nil {
+		t.Fatalf("cancellation must be in-band, got error %v", err)
+	}
+	for i, r := range results {
+		if r.Verdict != Unknown {
+			t.Errorf("history %d: verdict %v under cancelled context, want Unknown", i, r.Verdict)
+		}
+	}
+}
+
+func TestCheckManyEmptyBatch(t *testing.T) {
+	results, err := CheckMany(context.Background(), nil, spec.NewExchanger(objE))
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty batch = %v, %v", results, err)
+	}
+}

@@ -6,20 +6,37 @@
 // running a terminal-state check (CAL verification of the produced history
 // against the recorded auxiliary trace) on every maximal execution.
 //
-// The search is a depth-first traversal with a visited set keyed on
+// The search is a frontier exploration over a visited set keyed on
 // canonical state encodings, so confluent interleavings and retry cycles
-// are each explored once.
+// are each explored once. It runs on a pool of work-stealing workers
+// (Options.Parallelism, default GOMAXPROCS): each worker owns a LIFO deque
+// — giving depth-first locality — and steals the oldest (shallowest)
+// frontier nodes from its peers when its own deque drains. The visited set
+// is sharded by key hash so workers do not serialize on one lock, and
+// counterexample schedules are reconstructed lazily from parent pointers,
+// so no per-transition bookkeeping is materialized on the happy path.
+//
+// Every state is expanded exactly once regardless of worker count, so
+// Stats.States, Stats.Transitions and Stats.Terminals are identical for
+// every Parallelism value on a given model. Traversal order is not fixed
+// above one worker: MaxDepth (the depth at which states happen to be
+// claimed first) and, when several violations exist, which one is reported
+// may vary from run to run.
 package sched
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // State is a node of the transition system. Implementations must be
-// immutable: Successors returns fresh states.
+// immutable: Successors returns fresh states. Immutability is also what
+// makes states safe to hand across exploration workers.
 type State interface {
 	// Key is a canonical encoding of the state; two states are identified
 	// iff their keys are equal.
@@ -44,9 +61,12 @@ type Succ struct {
 	Next State
 }
 
-// Options configures an exploration.
+// Options configures an exploration. The Invariant, Transition and
+// Terminal hooks run concurrently on the worker pool and must be safe for
+// concurrent use; hooks that only read the (immutable) states they are
+// given are safe by construction.
 type Options struct {
-	// Invariant, if set, is checked on every reached state.
+	// Invariant, if set, is checked once on every reached state.
 	Invariant func(State) error
 	// Transition, if set, is checked on every explored transition; use it
 	// for rely/guarantee action justification.
@@ -64,6 +84,10 @@ type Options struct {
 	// polls it periodically and returns ErrInterrupted (wrapping the
 	// context's error) with partial Stats. Nil means never cancelled.
 	Context context.Context
+	// Parallelism is the number of exploration workers; 0 (the default)
+	// means GOMAXPROCS. States, Transitions and Terminals do not depend
+	// on it.
+	Parallelism int
 }
 
 // Stats summarizes an exploration.
@@ -74,7 +98,8 @@ type Stats struct {
 	Transitions int
 	// Terminals is the number of terminal (Done or halted) states reached.
 	Terminals int
-	// MaxDepth is the deepest schedule explored.
+	// MaxDepth is the deepest schedule explored. Unlike the counts above
+	// it depends on traversal order and may vary across worker counts.
 	MaxDepth int
 }
 
@@ -106,36 +131,251 @@ func (v *ViolationError) Error() string {
 // Unwrap exposes the underlying failure.
 func (v *ViolationError) Unwrap() error { return v.Err }
 
+// node is one claimed state of the frontier. The parent chain records how
+// the state was first reached; a schedule is only materialized from it
+// when a violation needs reporting, so the exploration hot path performs
+// no string formatting. Drained subtrees become unreachable and are
+// reclaimed by the garbage collector.
+type node struct {
+	state  State
+	parent *node
+	thread int
+	label  string
+	depth  int
+}
+
+// schedule walks the parent chain and renders the "t0:LABEL" step list
+// from the initial state to this node.
+func (n *node) schedule() []string {
+	depth := 0
+	for m := n; m.parent != nil; m = m.parent {
+		depth++
+	}
+	out := make([]string, depth)
+	for m := n; m.parent != nil; m = m.parent {
+		depth--
+		out[depth] = fmt.Sprintf("t%d:%s", m.thread, m.label)
+	}
+	return out
+}
+
+// visitedShards is the shard count of the visited set; a power of two so
+// shard selection is a mask. 64 shards keep contention negligible for any
+// plausible worker count.
+const visitedShards = 64
+
+// fnv64 is FNV-1a over the key string; allocation-free.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// visitedSet is a sharded string set. Claim is the only operation:
+// insert-if-absent, reporting whether the caller won the insertion.
+type visitedSet struct {
+	shards [visitedShards]struct {
+		mu sync.Mutex
+		m  map[string]struct{}
+		_  [40]byte // pad to a cache line; shards are hammered by all workers
+	}
+}
+
+func (v *visitedSet) init() {
+	for i := range v.shards {
+		v.shards[i].m = make(map[string]struct{})
+	}
+}
+
+// claim records key as visited and reports whether it was new.
+func (v *visitedSet) claim(key string) bool {
+	sh := &v.shards[fnv64(key)&(visitedShards-1)]
+	sh.mu.Lock()
+	_, seen := sh.m[key]
+	if !seen {
+		sh.m[key] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !seen
+}
+
+// deque is a worker's work queue: the owner pushes and pops at the tail
+// (depth-first), thieves take from the head (the shallowest, and therefore
+// largest, pending subtrees).
+type deque struct {
+	mu   sync.Mutex
+	buf  []*node
+	head int
+}
+
+func (d *deque) push(n *node) {
+	d.mu.Lock()
+	d.buf = append(d.buf, n)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() *node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		d.buf, d.head = d.buf[:0], 0
+		return nil
+	}
+	n := d.buf[len(d.buf)-1]
+	d.buf[len(d.buf)-1] = nil
+	d.buf = d.buf[:len(d.buf)-1]
+	return n
+}
+
+func (d *deque) steal() *node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		return nil
+	}
+	n := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head++
+	return n
+}
+
+// worker is the per-worker state: its deque, privately accumulated Stats
+// (merged once at the end), scratch space, and the context poll counter.
+type worker struct {
+	deque deque
+	stats Stats
+	kids  []*node
+	work  int
+	_     [64]byte // keep workers off each other's cache lines
+}
+
+type engine struct {
+	opts    Options
+	visited visitedSet
+	workers []worker
+	pending atomic.Int64 // claimed nodes not yet fully expanded
+	states  atomic.Int64 // global claim count, for the MaxStates budget
+	stop    atomic.Bool
+	errMu   sync.Mutex
+	err     error
+}
+
+// fail records the first failure and stops the exploration. Above one
+// worker "first" is the first to be recorded, not a fixed traversal order.
+func (e *engine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.stop.Store(true)
+}
+
+func (e *engine) firstErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
 // Explore exhaustively explores the transition system rooted at init.
 func Explore(init State, opts Options) (Stats, error) {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 1_000_000
 	}
-	e := &explorer{opts: opts, visited: make(map[string]bool)}
-	if err := e.check("invariant", opts.Invariant, init); err != nil {
-		return e.stats, err
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	err := e.dfs(init, 0)
-	return e.stats, err
+	e := &engine{opts: opts, workers: make([]worker, par)}
+	e.visited.init()
+
+	// The initial state is checked inline (empty schedule) before the
+	// pool starts; workers check the invariant once on every state they
+	// claim after that.
+	if opts.Invariant != nil {
+		if err := opts.Invariant(init); err != nil {
+			return Stats{}, &ViolationError{Kind: "invariant", Err: err}
+		}
+	}
+	e.visited.claim(init.Key())
+	w0 := &e.workers[0]
+	w0.stats.States = 1
+	e.states.Store(1)
+	if opts.MaxStates < 1 {
+		return w0.stats, fmt.Errorf("%w (limit %d)", ErrMaxStates, opts.MaxStates)
+	}
+	w0.deque.push(&node{state: init})
+	e.pending.Store(1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e.run(id)
+		}(i)
+	}
+	wg.Wait()
+
+	var stats Stats
+	for i := range e.workers {
+		ws := &e.workers[i].stats
+		stats.States += ws.States
+		stats.Transitions += ws.Transitions
+		stats.Terminals += ws.Terminals
+		if ws.MaxDepth > stats.MaxDepth {
+			stats.MaxDepth = ws.MaxDepth
+		}
+	}
+	return stats, e.firstErr()
 }
 
-type explorer struct {
-	opts     Options
-	visited  map[string]bool
-	stats    Stats
-	schedule []string
-	work     int // transitions since the last context poll
+// run is a worker's main loop: drain the own deque depth-first, steal when
+// empty, exit when the exploration stopped or no work remains anywhere.
+func (e *engine) run(id int) {
+	w := &e.workers[id]
+	for {
+		if e.stop.Load() {
+			return
+		}
+		n := w.deque.pop()
+		if n == nil {
+			n = e.steal(id)
+		}
+		if n == nil {
+			if e.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		e.process(w, n)
+		e.pending.Add(-1)
+	}
+}
+
+// steal scans the other workers round-robin for a shallow frontier node.
+func (e *engine) steal(id int) *node {
+	for i := 1; i < len(e.workers); i++ {
+		if n := e.workers[(id+i)%len(e.workers)].deque.steal(); n != nil {
+			return n
+		}
+	}
+	return nil
 }
 
 // poll checks the cancellation context every 256 transitions; branching in
 // these models is narrow, so a few hundred transitions pass in microseconds
 // and cancellation latency stays far below any useful deadline.
-func (e *explorer) poll() error {
+func (e *engine) poll(w *worker) error {
 	if e.opts.Context == nil {
 		return nil
 	}
-	e.work++
-	if e.work&255 != 0 {
+	w.work++
+	if w.work&255 != 0 {
 		return nil
 	}
 	if err := e.opts.Context.Err(); err != nil {
@@ -144,64 +384,75 @@ func (e *explorer) poll() error {
 	return nil
 }
 
-func (e *explorer) check(kind string, fn func(State) error, s State) error {
-	if fn == nil {
-		return nil
+// process expands one claimed state: invariant, terminal/deadlock checks,
+// then every outgoing transition. Newly claimed successors are pushed in
+// reverse so the owner pops them in successor order — with one worker this
+// reproduces the sequential depth-first traversal.
+func (e *engine) process(w *worker, n *node) {
+	if n.parent != nil && e.opts.Invariant != nil {
+		if err := e.opts.Invariant(n.state); err != nil {
+			e.fail(&ViolationError{Kind: "invariant", Err: err, Schedule: n.schedule()})
+			return
+		}
 	}
-	if err := fn(s); err != nil {
-		return &ViolationError{Kind: kind, Err: err, Schedule: append([]string(nil), e.schedule...)}
+	if n.depth > w.stats.MaxDepth {
+		w.stats.MaxDepth = n.depth
 	}
-	return nil
-}
-
-func (e *explorer) dfs(s State, depth int) error {
-	key := s.Key()
-	if e.visited[key] {
-		return nil
-	}
-	e.visited[key] = true
-	e.stats.States++
-	if e.stats.States > e.opts.MaxStates {
-		return fmt.Errorf("%w (limit %d)", ErrMaxStates, e.opts.MaxStates)
-	}
-	if depth > e.stats.MaxDepth {
-		e.stats.MaxDepth = depth
-	}
-
-	succs := s.Successors()
+	succs := n.state.Successors()
 	if len(succs) == 0 {
-		e.stats.Terminals++
-		if !s.Done() && !e.opts.AllowDeadlock {
-			return &ViolationError{
+		w.stats.Terminals++
+		if !n.state.Done() && !e.opts.AllowDeadlock {
+			e.fail(&ViolationError{
 				Kind:     "deadlock",
 				Err:      errors.New("state has no successors but threads are unfinished"),
-				Schedule: append([]string(nil), e.schedule...),
+				Schedule: n.schedule(),
+			})
+			return
+		}
+		if e.opts.Terminal != nil {
+			if err := e.opts.Terminal(n.state); err != nil {
+				e.fail(&ViolationError{Kind: "terminal", Err: err, Schedule: n.schedule()})
 			}
 		}
-		return e.check("terminal", e.opts.Terminal, s)
+		return
 	}
+
+	kids := w.kids[:0]
 	for _, succ := range succs {
-		if err := e.poll(); err != nil {
-			return err
+		if err := e.poll(w); err != nil {
+			e.fail(err)
+			return
 		}
-		e.schedule = append(e.schedule, fmt.Sprintf("t%d:%s", succ.Thread, succ.Label))
-		e.stats.Transitions++
+		w.stats.Transitions++
 		if e.opts.Transition != nil {
-			if err := e.opts.Transition(s, succ); err != nil {
-				verr := &ViolationError{Kind: "transition", Err: err, Schedule: append([]string(nil), e.schedule...)}
-				e.schedule = e.schedule[:len(e.schedule)-1]
-				return verr
+			if err := e.opts.Transition(n.state, succ); err != nil {
+				e.fail(&ViolationError{
+					Kind:     "transition",
+					Err:      err,
+					Schedule: append(n.schedule(), fmt.Sprintf("t%d:%s", succ.Thread, succ.Label)),
+				})
+				return
 			}
 		}
-		if err := e.check("invariant", e.opts.Invariant, succ.Next); err != nil {
-			e.schedule = e.schedule[:len(e.schedule)-1]
-			return err
+		if !e.visited.claim(succ.Next.Key()) {
+			continue
 		}
-		err := e.dfs(succ.Next, depth+1)
-		e.schedule = e.schedule[:len(e.schedule)-1]
-		if err != nil {
-			return err
+		w.stats.States++
+		if total := e.states.Add(1); total > int64(e.opts.MaxStates) {
+			e.fail(fmt.Errorf("%w (limit %d)", ErrMaxStates, e.opts.MaxStates))
+			return
 		}
+		kids = append(kids, &node{
+			state:  succ.Next,
+			parent: n,
+			thread: succ.Thread,
+			label:  succ.Label,
+			depth:  n.depth + 1,
+		})
 	}
-	return nil
+	e.pending.Add(int64(len(kids)))
+	for i := len(kids) - 1; i >= 0; i-- {
+		w.deque.push(kids[i])
+	}
+	w.kids = kids[:0]
 }

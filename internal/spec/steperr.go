@@ -1,0 +1,18 @@
+package spec
+
+import "calgo/internal/trace"
+
+// rejection is a Step error that renders the offending CA-element lazily.
+// The checker's subset enumeration probes Step with speculative elements
+// and discards almost every rejection unread, so eagerly formatting the
+// element (fmt.Errorf with %s) would dominate the search's allocation
+// profile for nothing.
+type rejection struct {
+	msg string
+	el  trace.Element
+}
+
+func (r *rejection) Error() string { return r.msg + ": " + r.el.String() }
+
+// reject builds a lazily-formatted Step rejection for el.
+func reject(msg string, el trace.Element) error { return &rejection{msg: msg, el: el} }

@@ -61,7 +61,7 @@ func (q SyncQueue) Step(s State, el trace.Element) (State, error) {
 				return nil, fmt.Errorf("put must be int ▷ bool, got %s ▷ %s", op.Arg, op.Ret)
 			}
 			if op.Ret.B {
-				return nil, fmt.Errorf("a successful put cannot stand alone: %s", el)
+				return nil, reject("a successful put cannot stand alone", el)
 			}
 			return s, nil
 		case MethodTake:
@@ -69,7 +69,7 @@ func (q SyncQueue) Step(s State, el trace.Element) (State, error) {
 				return nil, fmt.Errorf("take must be () ▷ (bool,int), got %s ▷ %s", op.Arg, op.Ret)
 			}
 			if op.Ret.B {
-				return nil, fmt.Errorf("a successful take cannot stand alone: %s", el)
+				return nil, reject("a successful take cannot stand alone", el)
 			}
 			if op.Ret.N != 0 {
 				return nil, fmt.Errorf("failed take must return (false,0): %s", el)

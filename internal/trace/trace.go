@@ -7,7 +7,6 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"calgo/internal/history"
@@ -83,9 +82,15 @@ func NewElement(ops ...Operation) (Element, error) {
 		return Element{}, fmt.Errorf("trace: empty CA-element")
 	}
 	sorted := append([]Operation(nil), ops...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].less(sorted[j]) })
+	// Elements are tiny (bounded by the spec's MaxElementSize), so an
+	// insertion sort avoids sort.Slice's reflection machinery on what is
+	// the checker's innermost loop.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].less(sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
 	o := sorted[0].Object
-	threads := make(map[history.ThreadID]bool, len(sorted))
 	for i, op := range sorted {
 		if op.Object != o {
 			return Element{}, fmt.Errorf("trace: CA-element mixes objects %s and %s", o, op.Object)
@@ -93,10 +98,10 @@ func NewElement(ops ...Operation) (Element, error) {
 		if i > 0 && sorted[i-1] == op {
 			return Element{}, fmt.Errorf("trace: duplicate operation %v in CA-element", op)
 		}
-		if threads[op.Thread] {
+		// Sorting is thread-major, so same-thread operations are adjacent.
+		if i > 0 && sorted[i-1].Thread == op.Thread {
 			return Element{}, fmt.Errorf("trace: two operations of thread %s in one CA-element", op.Thread)
 		}
-		threads[op.Thread] = true
 	}
 	return Element{Object: o, Ops: sorted}, nil
 }
