@@ -6,6 +6,7 @@
 package calgo_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -128,7 +129,7 @@ func BenchmarkCheckerCAL(b *testing.B) {
 		b.Run(fmt.Sprintf("ops=%d/width=%d", len(h)/2, 2*cfg.pairs), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := calgo.CAL(h, sp)
+				r, err := calgo.CAL(context.Background(), h, sp)
 				if err != nil || !r.OK {
 					b.Fatalf("CAL failed: %v %s", err, r.Reason)
 				}
@@ -144,14 +145,14 @@ func BenchmarkCheckerMemoAblation(b *testing.B) {
 	sp := calgo.NewExchangerSpec("E")
 	b.Run("memo=on", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if r, err := calgo.CAL(h, sp); err != nil || !r.OK {
+			if r, err := calgo.CAL(context.Background(), h, sp); err != nil || !r.OK {
 				b.Fatal(err, r.Reason)
 			}
 		}
 	})
 	b.Run("memo=off", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if r, err := calgo.CAL(h, sp, calgo.WithoutMemo()); err != nil || !r.OK {
+			if r, err := calgo.CAL(context.Background(), h, sp, calgo.WithoutMemo()); err != nil || !r.OK {
 				b.Fatal(err, r.Reason)
 			}
 		}
@@ -173,14 +174,14 @@ func BenchmarkCheckerLinVsCAL(b *testing.B) {
 	sp := calgo.NewExchangerSpec("E")
 	b.Run("lin", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if r, err := calgo.Linearizable(h, sp); err != nil || !r.OK {
+			if r, err := calgo.Linearizable(context.Background(), h, sp); err != nil || !r.OK {
 				b.Fatal(err, r.Reason)
 			}
 		}
 	})
 	b.Run("cal", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if r, err := calgo.CAL(h, sp); err != nil || !r.OK {
+			if r, err := calgo.CAL(context.Background(), h, sp); err != nil || !r.OK {
 				b.Fatal(err, r.Reason)
 			}
 		}
@@ -217,12 +218,17 @@ func BenchmarkCALHotPath(b *testing.B) {
 		{20, 1}, {40, 1}, {10, 2}, {20, 2}, {10, 3},
 	} {
 		h := swapHistory(cfg.rounds, cfg.pairs)
-		sp := calgo.NewExchangerSpec("E")
+		// The checker is built once outside the loop: batch callers reuse
+		// one Checker, so the hot path under measurement is Check alone.
+		c, err := calgo.NewChecker(calgo.NewExchangerSpec("E"))
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.Run(fmt.Sprintf("ops=%d/width=%d", len(h)/2, 2*cfg.pairs), func(b *testing.B) {
 			b.ReportAllocs()
 			states := 0
 			for i := 0; i < b.N; i++ {
-				r, err := calgo.CAL(h, sp)
+				r, err := c.Check(context.Background(), h)
 				if err != nil || !r.OK {
 					b.Fatalf("CAL failed: %v %s", err, r.Reason)
 				}
@@ -245,9 +251,9 @@ func BenchmarkExploreExchanger(b *testing.B) {
 			var states int
 			for i := 0; i < b.N; i++ {
 				init := model.NewExchanger(model.ExchangerConfig{Programs: programs})
-				stats, err := sched.Explore(init, sched.Options{
-					Terminal: model.VerifyCAL(spec.NewExchanger("E"), nil, false),
-				})
+				stats, err := sched.Explore(context.Background(),
+					init,
+					sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, false)))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -264,15 +270,15 @@ func BenchmarkExploreExchangerFullBattery(b *testing.B) {
 	programs := [][]int64{{1}, {2}, {3}}
 	for i := 0; i < b.N; i++ {
 		init := model.NewExchanger(model.ExchangerConfig{Programs: programs})
-		_, err := sched.Explore(init, sched.Options{
-			Invariant: func(st sched.State) error {
+		_, err := sched.Explore(context.Background(),
+			init,
+			sched.WithInvariant(func(st sched.State) error {
 				if err := model.InvariantJ(st); err != nil {
 					return err
 				}
 				return model.ProofOutline(st)
-			},
-			Terminal: model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-		})
+			}),
+			sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,10 +294,10 @@ func BenchmarkExploreElimStack(b *testing.B) {
 				{model.Push(1)}, {model.Pop()},
 			},
 		})
-		_, err := sched.Explore(init, sched.Options{
-			Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, false),
-			AllowDeadlock: true,
-		})
+		_, err := sched.Explore(context.Background(),
+			init,
+			sched.WithTerminal(model.VerifyCAL(spec.NewStack("ES"), init.Project, false)),
+			sched.WithDeadlockAllowed())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -303,11 +309,11 @@ func BenchmarkExploreElimStack(b *testing.B) {
 // 61,851 states) models; the EXPERIMENTS.md speedup table comes from this
 // series. State counts are identical at every worker count.
 func BenchmarkExploreParallel(b *testing.B) {
-	mkF1 := func() (sched.State, sched.Options) {
+	mkF1 := func() (sched.State, []sched.Option) {
 		init := model.NewExchanger(model.ExchangerConfig{Programs: [][]int64{{3}, {4}, {7}}})
-		return init, sched.Options{Terminal: model.VerifyCAL(spec.NewExchanger("E"), nil, false)}
+		return init, []sched.Option{sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, false))}
 	}
-	mkF2 := func() (sched.State, sched.Options) {
+	mkF2 := func() (sched.State, []sched.Option) {
 		init := model.NewElimStack(model.ESConfig{
 			Slots:   1,
 			Retries: 2,
@@ -315,22 +321,22 @@ func BenchmarkExploreParallel(b *testing.B) {
 				{model.Push(1)}, {model.Push(2)}, {model.Pop()},
 			},
 		})
-		return init, sched.Options{
-			Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, false),
-			AllowDeadlock: true,
+		return init, []sched.Option{
+			sched.WithTerminal(model.VerifyCAL(spec.NewStack("ES"), init.Project, false)),
+			sched.WithDeadlockAllowed(),
 		}
 	}
 	for _, m := range []struct {
 		name string
-		mk   func() (sched.State, sched.Options)
+		mk   func() (sched.State, []sched.Option)
 	}{{"F1", mkF1}, {"F2", mkF2}} {
 		for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
 			b.Run(fmt.Sprintf("%s/workers=%d", m.name, workers), func(b *testing.B) {
 				var states int
 				for i := 0; i < b.N; i++ {
 					init, opts := m.mk()
-					opts.Parallelism = workers
-					stats, err := sched.Explore(init, opts)
+					opts = append(opts, sched.WithParallelism(workers))
+					stats, err := sched.Explore(context.Background(), init, opts...)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -438,7 +444,7 @@ func BenchmarkCheckerSnapshotBlocks(b *testing.B) {
 		sp := calgo.NewSnapshotSpec("IS", n)
 		b.Run(fmt.Sprintf("block=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := calgo.CAL(h, sp)
+				r, err := calgo.CAL(context.Background(), h, sp)
 				if err != nil || !r.OK {
 					b.Fatalf("CAL failed: %v %s", err, r.Reason)
 				}

@@ -32,6 +32,8 @@
 package calgo
 
 import (
+	"context"
+
 	"calgo/internal/check"
 	"calgo/internal/history"
 	"calgo/internal/recorder"
@@ -149,7 +151,14 @@ var (
 type (
 	// Result reports a checker verdict with witness or reason.
 	Result = check.Result
-	// CheckOption configures the checkers.
+	// Checker is a reusable, configured decision procedure: build it once
+	// with NewChecker, then call Check or CheckMany against any number of
+	// histories. Safe for concurrent use.
+	Checker = check.Checker
+	// CheckOption is the engine-level checker option type.
+	//
+	// Deprecated: facade callers use Option, which the facade's
+	// constructors (WithElementCap, WithMaxStates, ...) return.
 	CheckOption = check.Option
 	// Verdict is the three-valued checking outcome: Sat, Unsat or Unknown.
 	Verdict = check.Verdict
@@ -170,34 +179,74 @@ const (
 	VerdictUnknown = check.Unknown
 )
 
-var (
-	// CAL decides concurrency-aware linearizability of a history.
-	CAL = check.CAL
-	// CALContext is CAL with cooperative cancellation: deadlines and
-	// cancellation yield an Unknown verdict instead of hanging.
-	CALContext = check.CALContext
-	// CheckMany fans a batch of histories across a checker worker pool.
-	CheckMany = check.CheckMany
-	// Linearizable decides classical linearizability (singleton
-	// CA-elements).
-	Linearizable = check.Linearizable
-	// LinearizableContext is Linearizable with cancellation.
-	LinearizableContext = check.LinearizableContext
-	// SetLinearizable decides set-linearizability (Neiger 1994).
-	SetLinearizable = check.SetLinearizable
-	// WithElementCap caps CA-element sizes.
-	WithElementCap = check.WithElementCap
-	// WithMaxStates bounds the checker's search.
-	WithMaxStates = check.WithMaxStates
-	// WithMemoBudget bounds the memoization table's memory footprint.
-	WithMemoBudget = check.WithMemoBudget
-	// WithoutMemo disables search memoization (for ablation).
-	WithoutMemo = check.WithoutMemo
-	// WithCompleteOnly rejects histories with pending invocations.
-	WithCompleteOnly = check.WithCompleteOnly
-	// WithWorkers sizes the CheckMany worker pool (0 = GOMAXPROCS).
-	WithWorkers = check.WithWorkers
-)
+// CAL decides whether h is concurrency-aware linearizable with respect
+// to sp. The context cancels the search cooperatively: cancellation and
+// deadline expiry yield VerdictUnknown instead of hanging, as does
+// exhausting a state or memory budget. The returned error is non-nil
+// only for input errors: an ill-formed history, invalid options, or an
+// option that does not apply to checkers.
+//
+// Checking many histories against one specification? Build a Checker
+// once with NewChecker instead of re-resolving options per call.
+func CAL(ctx context.Context, h History, sp Spec, opts ...Option) (Result, error) {
+	co, err := checkOptions(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return check.CAL(ctx, h, sp, co...)
+}
+
+// Linearizable decides classical linearizability (Herlihy & Wing): CAL
+// restricted to singleton CA-elements.
+func Linearizable(ctx context.Context, h History, sp Spec, opts ...Option) (Result, error) {
+	return CAL(ctx, h, sp, append(opts, WithElementCap(1))...)
+}
+
+// SetLinearizable decides set-linearizability (Neiger 1994).
+func SetLinearizable(ctx context.Context, h History, sp Spec, opts ...Option) (Result, error) {
+	co, err := checkOptions(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return check.SetLinearizable(ctx, h, sp, co...)
+}
+
+// NewChecker validates opts against sp once and returns a reusable
+// Checker: Check decides one history, CheckMany fans a batch across a
+// worker pool (WithParallelism). CheckMany, calfuzz and the chaos soak
+// all go through this one construction path.
+func NewChecker(sp Spec, opts ...Option) (*Checker, error) {
+	co, err := checkOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return check.NewChecker(sp, co...)
+}
+
+// CheckMany decides a batch of histories against one specification,
+// fanning the per-history checks across a worker pool. Shorthand for
+// NewChecker followed by Checker.CheckMany.
+func CheckMany(ctx context.Context, histories []History, sp Spec, opts ...Option) ([]Result, error) {
+	c, err := NewChecker(sp, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return c.CheckMany(ctx, histories)
+}
+
+// CALContext is the former context-taking name of CAL.
+//
+// Deprecated: use CAL, which is context-first.
+func CALContext(ctx context.Context, h History, sp Spec, opts ...Option) (Result, error) {
+	return CAL(ctx, h, sp, opts...)
+}
+
+// LinearizableContext is the former context-taking name of Linearizable.
+//
+// Deprecated: use Linearizable, which is context-first.
+func LinearizableContext(ctx context.Context, h History, sp Spec, opts ...Option) (Result, error) {
+	return Linearizable(ctx, h, sp, opts...)
+}
 
 // Budget-exhaustion causes carried by Unknown verdicts.
 var (

@@ -1,6 +1,7 @@
 package calgo_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestPublicAPIExchangerRoundTrip(t *testing.T) {
 	if err := calgo.Agrees(h, tr); err != nil {
 		t.Fatalf("agreement: %v", err)
 	}
-	r, err := calgo.CAL(h, calgo.NewExchangerSpec("E"))
+	r, err := calgo.CAL(context.Background(), h, calgo.NewExchangerSpec("E"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,14 +63,14 @@ res t2 E.exchange (true,3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := calgo.CAL(h, calgo.NewExchangerSpec("E"))
+	r, err := calgo.CAL(context.Background(), h, calgo.NewExchangerSpec("E"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !r.OK {
 		t.Fatalf("paper swap history rejected: %s", r.Reason)
 	}
-	lin, err := calgo.Linearizable(h, calgo.NewExchangerSpec("E"))
+	lin, err := calgo.Linearizable(context.Background(), h, calgo.NewExchangerSpec("E"))
 	if err != nil {
 		t.Fatal(err)
 	}

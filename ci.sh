@@ -33,7 +33,8 @@ echo "== go test -race ./internal/sched/ ./internal/check/ =="
 go test -race ./internal/sched/ ./internal/check/
 
 # Smoke the CLI path of the work-stealing engine: the F1 exchanger
-# battery at full parallelism must verify cleanly (exit 0).
+# battery at full parallelism must verify cleanly (exit 0). -parallel is
+# the deprecated alias of -workers and must keep working.
 echo "== calexplore -parallel smoke =="
 workers=$( (nproc || echo 4) 2>/dev/null )
 if go run ./cmd/calexplore -target exchanger -values 3,4,7 -parallel "$workers"; then
@@ -42,5 +43,34 @@ else
     echo "calexplore -parallel $workers failed" >&2
     exit 1
 fi
+
+# Smoke the observability path: calcheck -metrics-json must emit a valid
+# calgo.metrics/v1 document with the core search counters, and -trace
+# must dump a non-empty flight-recorder ring on a VIOLATION.
+echo "== calcheck -metrics-json smoke =="
+metrics_out=$(go run ./cmd/calcheck -metrics-json - -spec exchanger -mode cal examples/histories/fig3-h1.txt | sed '1d')
+echo "$metrics_out" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["tool"] == "calcheck", doc
+assert doc["elapsed_ns"] > 0, doc
+m = doc["metrics"]
+assert m["schema"] == "calgo.metrics/v1", m
+for key in ("check.checks", "check.states", "check.memo_hits"):
+    assert key in m["counters"], (key, m)
+print("calcheck -metrics-json: valid %s document" % m["schema"])
+'
+
+echo "== calcheck -trace flight-recorder smoke =="
+flight=$(go run ./cmd/calcheck -trace /dev/null -spec stack -object S -mode lin \
+    examples/histories/stack-violation.txt 2>&1 >/dev/null || true)
+case "$flight" in
+*"flight recorder"*) echo "calcheck -trace: flight ring dumped on VIOLATION" ;;
+*)
+    echo "calcheck -trace did not dump a flight ring:" >&2
+    echo "$flight" >&2
+    exit 1
+    ;;
+esac
 
 echo "CI gate passed."

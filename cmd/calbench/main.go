@@ -14,6 +14,15 @@
 // With -json the sweep tables are additionally written to the given
 // path as a JSON document (see EXPERIMENTS.md for the schema), so the
 // perf trajectory accumulates as BENCH_<date>.json files.
+//
+// The shared observability flags apply to the benchmark process itself:
+// -timeout hard-caps the whole run (an expired run prints UNKNOWN and
+// exits 3 with whatever tables completed), -metrics-json writes a
+// summary of the sweeps (tables, cells, peak rates, memstats) and -pprof
+// serves net/http/pprof for profiling the contended structures. -workers,
+// -trace and -progress have no effect here: the sweeps size themselves
+// from -max-goroutines and run no checker search. Run with -h for the
+// exit-code legend.
 package main
 
 import (
@@ -28,14 +37,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"calgo/internal/cliflags"
+
 	"calgo"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "calbench:", err)
-		os.Exit(1)
-	}
+	os.Exit(run())
 }
 
 var (
@@ -68,7 +76,12 @@ type jsonRow struct {
 	OpsPerSec []float64 `json:"ops_per_sec"`
 }
 
-var report jsonReport
+var (
+	report jsonReport
+	// reportMu orders recordTable in the sweep goroutine against the
+	// -timeout path reading partial tables from main.
+	reportMu sync.Mutex
+)
 
 // recordTable appends one sweep table to the JSON report. The table ID
 // is the "B<n>" prefix of the printed title.
@@ -78,22 +91,85 @@ func recordTable(title, colLabel string, cols []int, rows map[string][]float64, 
 	for _, name := range order {
 		tbl.Rows = append(tbl.Rows, jsonRow{Name: name, OpsPerSec: rows[name]})
 	}
+	reportMu.Lock()
 	report.Tables = append(report.Tables, tbl)
+	reportMu.Unlock()
+}
+
+// snapshotTables copies the tables recorded so far.
+func snapshotTables() []jsonTable {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	return append([]jsonTable(nil), report.Tables...)
 }
 
 func writeJSON(path string) error {
+	reportMu.Lock()
 	report.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	report.Window = duration.String()
 	report.Generated = time.Now().UTC().Format(time.RFC3339)
 	b, err := json.MarshalIndent(report, "", "  ")
+	reportMu.Unlock()
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
-func run() error {
+func run() int {
+	shared := cliflags.Register("calbench")
 	flag.Parse()
+
+	if err := shared.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "calbench:", err)
+		return 2
+	}
+	defer shared.Close()
+
+	exit := 0
+	done := make(chan error, 1)
+	go func() { done <- runTables() }()
+	var expired <-chan time.Time
+	if shared.Timeout() > 0 {
+		t := time.NewTimer(shared.Timeout())
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calbench:", err)
+			return 2
+		}
+	case <-expired:
+		// The sweep goroutines keep spinning until the process exits; the
+		// tables printed so far are the partial answer.
+		fmt.Printf("UNKNOWN: -timeout %v expired after %d of the requested tables\n",
+			shared.Timeout(), len(snapshotTables()))
+		exit = 3
+	}
+
+	if m := shared.Metrics(); m != nil {
+		tables := snapshotTables()
+		m.Counter("bench.tables").Add(int64(len(tables)))
+		for _, tbl := range tables {
+			for _, row := range tbl.Rows {
+				m.Counter("bench.cells").Add(int64(len(row.OpsPerSec)))
+				g := m.Gauge("bench.peak_ops_per_sec." + tbl.ID)
+				for _, v := range row.OpsPerSec {
+					g.SetMax(int64(v))
+				}
+			}
+		}
+	}
+	if err := shared.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "calbench:", err)
+		return 2
+	}
+	return exit
+}
+
+func runTables() error {
 	fmt.Printf("GOMAXPROCS=%d, window=%v\n\n", runtime.GOMAXPROCS(0), *duration)
 	switch *table {
 	case "stacks":

@@ -2,7 +2,6 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"os"
 	"path/filepath"
 	"testing"
@@ -51,10 +50,7 @@ func TestRunUnknownTable(t *testing.T) {
 	oldTable := *table
 	defer func() { *table = oldTable }()
 	*table = "bogus"
-	// run() calls flag.Parse on the default set; neutralize os.Args side
-	// effects by parsing an empty set.
-	flag.CommandLine.Parse(nil)
-	if err := run(); err == nil {
+	if err := runTables(); err == nil {
 		t.Error("unknown table should error")
 	}
 }

@@ -22,9 +22,10 @@
 // to interrupts (SIGINT/SIGTERM) by reporting how far the search got
 // instead of dying mid-answer.
 //
-// Exit status: 0 when the history satisfies the property, 1 when it does
-// not, 2 on usage or input errors, 3 when the check was cancelled or ran
-// out of budget before reaching a verdict (UNKNOWN).
+// Observability: -metrics-json writes the search counters as JSON when
+// done, -trace streams sampled search events and dumps a flight-recorder
+// ring on VIOLATION/UNKNOWN, -progress prints live status lines, and
+// -pprof serves net/http/pprof. Run with -h for the exit-code legend.
 package main
 
 import (
@@ -37,6 +38,7 @@ import (
 	"syscall"
 
 	"calgo"
+	"calgo/internal/cliflags"
 )
 
 func main() {
@@ -51,10 +53,9 @@ func run() int {
 		mode       = flag.String("mode", "cal", "property: cal (concurrency-aware), lin (classical), setlin")
 		verbose    = flag.Bool("v", false, "print the witness trace and search statistics")
 		maxStats   = flag.Int("max-states", 4_000_000, "checker state budget")
-		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the check (0 = none), e.g. 100ms, 30s")
 		memoBudget = flag.Int("memo-budget", 0, "approximate memoization memory budget in bytes (0 = unlimited)")
-		workers    = flag.Int("workers", 0, "checker goroutines when given several history files (0 = GOMAXPROCS)")
 	)
+	shared := cliflags.Register("calcheck")
 	flag.Parse()
 
 	sp, err := specByName(*specName, calgo.ObjectID(*object), *threads)
@@ -78,15 +79,18 @@ func run() int {
 		histories[i] = h
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := shared.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		return 2
 	}
+	defer shared.Close()
 
-	opts := []calgo.CheckOption{calgo.WithMaxStates(*maxStats), calgo.WithWorkers(*workers)}
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := shared.WithTimeout(sigCtx)
+	defer cancel()
+
+	opts := append(shared.Options(), calgo.WithMaxStates(*maxStats))
 	if *memoBudget > 0 {
 		opts = append(opts, calgo.WithMemoBudget(*memoBudget))
 	}
@@ -111,6 +115,13 @@ func run() int {
 			prefix = inputs[i].name + ": "
 		}
 		exit = worstExit(exit, report(prefix, r, sp.Name(), *mode, *verbose))
+	}
+	if exit != 0 {
+		shared.DumpFlight()
+	}
+	if err := shared.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		return 2
 	}
 	return exit
 }

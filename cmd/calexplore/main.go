@@ -18,6 +18,11 @@
 // stop the exploration cooperatively. A bounded or interrupted run reports
 // UNKNOWN with partial statistics and exits 3; a genuine violation exits 1;
 // usage errors exit 2.
+//
+// Observability: -metrics-json writes the exploration counters as JSON
+// when done, -trace streams sampled events and dumps a flight-recorder
+// ring on VIOLATION/UNKNOWN, -progress prints live status lines, and
+// -pprof serves net/http/pprof. Run with -h for the exit-code legend.
 package main
 
 import (
@@ -31,14 +36,15 @@ import (
 	"strings"
 	"syscall"
 
+	"calgo"
+	"calgo/internal/cliflags"
 	"calgo/internal/model"
 	"calgo/internal/rg"
-	"calgo/internal/sched"
 	"calgo/internal/spec"
 )
 
 func main() {
-	os.Exit(mainExit(run()))
+	os.Exit(run())
 }
 
 // mainExit maps exploration outcomes to the exit-code convention: 0
@@ -47,12 +53,12 @@ func mainExit(err error) int {
 	switch {
 	case err == nil:
 		return 0
-	case errors.Is(err, sched.ErrInterrupted) || errors.Is(err, sched.ErrMaxStates):
+	case errors.Is(err, calgo.ErrExploreInterrupted) || errors.Is(err, calgo.ErrExploreMaxStates):
 		fmt.Printf("UNKNOWN: exploration stopped before covering every interleaving: %v\n", err)
 		return 3
 	default:
 		fmt.Fprintln(os.Stderr, "calexplore:", err)
-		var verr *sched.ViolationError
+		var verr *calgo.ExploreViolation
 		if errors.As(err, &verr) {
 			return 1
 		}
@@ -60,7 +66,7 @@ func mainExit(err error) int {
 	}
 }
 
-func run() error {
+func run() int {
 	var (
 		target    = flag.String("target", "exchanger", "model: exchanger, stack, elimstack, syncqueue, dualstack, dualqueue, snapshot")
 		values    = flag.String("values", "3,4,7", "exchanger: one exchange value per thread")
@@ -70,60 +76,90 @@ func run() error {
 		slots     = flag.Int("slots", 1, "elimstack: elimination array width K")
 		retries   = flag.Int("retries", 2, "elimstack: retry rounds before a thread halts")
 		maxStates = flag.Int("max-states", 4_000_000, "state budget")
-		parallel  = flag.Int("parallel", 0, "exploration worker count (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 0, "wall-clock deadline for the exploration (0 = none)")
 	)
+	shared := cliflags.Register("calexplore")
+	shared.AliasWorkers("parallel")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := shared.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "calexplore:", err)
+		return 2
 	}
+	defer shared.Close()
 
-	switch *target {
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := shared.WithTimeout(sigCtx)
+	defer cancel()
+
+	base := append(shared.Options(), calgo.WithMaxStates(*maxStates))
+
+	exit := mainExit(explore(ctx, *target, flags{
+		values:    *values,
+		program:   *program,
+		sqProgram: *sqProgram,
+		dqProgram: *dqProgram,
+		slots:     *slots,
+		retries:   *retries,
+	}, base))
+	if exit == 1 || exit == 3 {
+		shared.DumpFlight()
+	}
+	if err := shared.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "calexplore:", err)
+		return 2
+	}
+	return exit
+}
+
+// flags carries the target-specific knobs into the per-target explorers.
+type flags struct {
+	values, program, sqProgram, dqProgram string
+	slots, retries                        int
+}
+
+func explore(ctx context.Context, target string, f flags, base []calgo.Option) error {
+	switch target {
 	case "exchanger":
-		return exploreExchanger(ctx, *values, *maxStates, *parallel)
+		return exploreExchanger(ctx, f.values, base)
 	case "stack":
-		progs, err := parsePrograms(*program)
+		progs, err := parsePrograms(f.program)
 		if err != nil {
 			return err
 		}
-		return exploreStack(ctx, progs, *maxStates, *parallel)
+		return exploreStack(ctx, progs, base)
 	case "elimstack":
-		progs, err := parsePrograms(*program)
+		progs, err := parsePrograms(f.program)
 		if err != nil {
 			return err
 		}
-		return exploreElimStack(ctx, progs, *slots, *retries, *maxStates, *parallel)
+		return exploreElimStack(ctx, progs, f.slots, f.retries, base)
 	case "syncqueue":
-		progs, err := parseSQPrograms(*sqProgram)
+		progs, err := parseSQPrograms(f.sqProgram)
 		if err != nil {
 			return err
 		}
-		return exploreSyncQueue(ctx, progs, *maxStates, *parallel)
+		return exploreSyncQueue(ctx, progs, base)
 	case "dualstack":
-		progs, err := parsePrograms(*program)
+		progs, err := parsePrograms(f.program)
 		if err != nil {
 			return err
 		}
-		return exploreDualStack(ctx, progs, *retries, *maxStates, *parallel)
+		return exploreDualStack(ctx, progs, f.retries, base)
 	case "dualqueue":
-		progs, err := parseDQPrograms(*dqProgram)
+		progs, err := parseDQPrograms(f.dqProgram)
 		if err != nil {
 			return err
 		}
-		return exploreDualQueue(ctx, progs, *retries, *maxStates, *parallel)
+		return exploreDualQueue(ctx, progs, f.retries, base)
 	case "snapshot":
-		vals, err := parseValues(*values)
+		vals, err := parseValues(f.values)
 		if err != nil {
 			return err
 		}
-		return exploreSnapshot(ctx, vals, *maxStates, *parallel)
+		return exploreSnapshot(ctx, vals, base)
 	default:
-		return fmt.Errorf("unknown target %q", *target)
+		return fmt.Errorf("unknown target %q", target)
 	}
 }
 
@@ -139,7 +175,7 @@ func parseValues(values string) ([]int64, error) {
 	return out, nil
 }
 
-func exploreExchanger(ctx context.Context, values string, maxStates, parallel int) error {
+func exploreExchanger(ctx context.Context, values string, base []calgo.Option) error {
 	vals, err := parseValues(values)
 	if err != nil {
 		return err
@@ -150,37 +186,29 @@ func exploreExchanger(ctx context.Context, values string, maxStates, parallel in
 	}
 	init := model.NewExchanger(model.ExchangerConfig{Programs: programs})
 	fmt.Printf("exploring exchanger: %d threads, checking proof outline + J + rely/guarantee + CAL\n", len(programs))
-	stats, err := sched.Explore(init, sched.Options{
-		Invariant: func(st sched.State) error {
+	stats, err := calgo.Explore(ctx, init, append(base,
+		calgo.WithInvariant(func(st calgo.ModelState) error {
 			if err := model.InvariantJ(st); err != nil {
 				return err
 			}
 			return model.ProofOutline(st)
-		},
-		Transition:  rg.Hook(true),
-		Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-		MaxStates:   maxStates,
-		Parallelism: parallel,
-		Context:     ctx,
-	})
+		}),
+		calgo.WithTransition(rg.Hook(true)),
+		calgo.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)))...)
 	report(stats, err)
 	return err
 }
 
-func exploreStack(ctx context.Context, programs [][]model.StackOp, maxStates, parallel int) error {
+func exploreStack(ctx context.Context, programs [][]model.StackOp, base []calgo.Option) error {
 	init := model.NewStack(model.StackConfig{Programs: programs})
 	fmt.Printf("exploring central stack: %d threads, checking linearizability of every execution\n", len(programs))
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:    model.VerifyCAL(spec.NewCentralStack("S"), nil, true),
-		MaxStates:   maxStates,
-		Parallelism: parallel,
-		Context:     ctx,
-	})
+	stats, err := calgo.Explore(ctx, init, append(base,
+		calgo.WithTerminal(model.VerifyCAL(spec.NewCentralStack("S"), nil, true)))...)
 	report(stats, err)
 	return err
 }
 
-func exploreElimStack(ctx context.Context, programs [][]model.StackOp, slots, retries, maxStates, parallel int) error {
+func exploreElimStack(ctx context.Context, programs [][]model.StackOp, slots, retries int, base []calgo.Option) error {
 	init := model.NewElimStack(model.ESConfig{
 		Slots:    slots,
 		Retries:  retries,
@@ -188,34 +216,26 @@ func exploreElimStack(ctx context.Context, programs [][]model.StackOp, slots, re
 	})
 	fmt.Printf("exploring elimination stack: %d threads, K=%d, R=%d, checking linearizability via F_ES ∘ F̂_AR\n",
 		len(programs), slots, retries)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, true),
-		AllowDeadlock: true,
-		MaxStates:     maxStates,
-		Parallelism:   parallel,
-		Context:       ctx,
-	})
+	stats, err := calgo.Explore(ctx, init, append(base,
+		calgo.WithTerminal(model.VerifyCAL(spec.NewStack("ES"), init.Project, true)),
+		calgo.WithDeadlockAllowed())...)
 	report(stats, err)
 	return err
 }
 
-func report(stats sched.Stats, err error) {
-	fmt.Printf("states=%d transitions=%d terminals=%d max-depth=%d\n",
-		stats.States, stats.Transitions, stats.Terminals, stats.MaxDepth)
+func report(stats calgo.ExploreStats, err error) {
+	fmt.Printf("states=%d transitions=%d terminals=%d max-depth=%d steals=%d\n",
+		stats.States, stats.Transitions, stats.Terminals, stats.MaxDepth, stats.Steals)
 	if err == nil {
 		fmt.Println("VERIFIED: all obligations hold on every interleaving")
 	}
 }
 
-func exploreSyncQueue(ctx context.Context, programs [][]model.SQOp, maxStates, parallel int) error {
+func exploreSyncQueue(ctx context.Context, programs [][]model.SQOp, base []calgo.Option) error {
 	init := model.NewSyncQueue(model.SQConfig{Programs: programs})
 	fmt.Printf("exploring synchronous queue: %d threads, checking CAL of every execution\n", len(programs))
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:    model.VerifyCAL(spec.NewSyncQueue("SQ"), nil, true),
-		MaxStates:   maxStates,
-		Parallelism: parallel,
-		Context:     ctx,
-	})
+	stats, err := calgo.Explore(ctx, init, append(base,
+		calgo.WithTerminal(model.VerifyCAL(spec.NewSyncQueue("SQ"), nil, true)))...)
 	report(stats, err)
 	return err
 }
@@ -272,43 +292,31 @@ func parsePrograms(src string) ([][]model.StackOp, error) {
 	return programs, nil
 }
 
-func exploreDualStack(ctx context.Context, programs [][]model.StackOp, retries, maxStates, parallel int) error {
+func exploreDualStack(ctx context.Context, programs [][]model.StackOp, retries int, base []calgo.Option) error {
 	init := model.NewDualStack(model.DSConfig{Retries: retries, Programs: programs})
 	fmt.Printf("exploring dual stack: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewDualStack("DS"), nil, true),
-		AllowDeadlock: true,
-		MaxStates:     maxStates,
-		Parallelism:   parallel,
-		Context:       ctx,
-	})
+	stats, err := calgo.Explore(ctx, init, append(base,
+		calgo.WithTerminal(model.VerifyCAL(spec.NewDualStack("DS"), nil, true)),
+		calgo.WithDeadlockAllowed())...)
 	report(stats, err)
 	return err
 }
 
-func exploreDualQueue(ctx context.Context, programs [][]model.QOp, retries, maxStates, parallel int) error {
+func exploreDualQueue(ctx context.Context, programs [][]model.QOp, retries int, base []calgo.Option) error {
 	init := model.NewDualQueue(model.DQConfig{Retries: retries, Programs: programs})
 	fmt.Printf("exploring dual queue: %d threads, R=%d, checking CAL of every execution\n", len(programs), retries)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewDualQueue("DQ"), nil, true),
-		AllowDeadlock: true,
-		MaxStates:     maxStates,
-		Parallelism:   parallel,
-		Context:       ctx,
-	})
+	stats, err := calgo.Explore(ctx, init, append(base,
+		calgo.WithTerminal(model.VerifyCAL(spec.NewDualQueue("DQ"), nil, true)),
+		calgo.WithDeadlockAllowed())...)
 	report(stats, err)
 	return err
 }
 
-func exploreSnapshot(ctx context.Context, values []int64, maxStates, parallel int) error {
+func exploreSnapshot(ctx context.Context, values []int64, base []calgo.Option) error {
 	init := model.NewSnapshot(model.ISConfig{Values: values})
 	fmt.Printf("exploring immediate snapshot: %d participants, register-accurate scans\n", len(values))
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:    model.VerifyCAL(spec.NewSnapshot("IS", len(values)), init.Project, true),
-		MaxStates:   maxStates,
-		Parallelism: parallel,
-		Context:     ctx,
-	})
+	stats, err := calgo.Explore(ctx, init, append(base,
+		calgo.WithTerminal(model.VerifyCAL(spec.NewSnapshot("IS", len(values)), init.Project, true)))...)
 	report(stats, err)
 	return err
 }

@@ -7,9 +7,14 @@ import (
 	"testing"
 	"time"
 
+	"calgo"
 	"calgo/internal/model"
-	"calgo/internal/sched"
 )
+
+// testOpts is the base option set the explore* helpers expect from run().
+func testOpts(maxStates, parallel int) []calgo.Option {
+	return []calgo.Option{calgo.WithMaxStates(maxStates), calgo.WithParallelism(parallel)}
+}
 
 func TestParsePrograms(t *testing.T) {
 	got, err := parsePrograms("push:1 pop,push:2")
@@ -81,35 +86,35 @@ func TestParseValues(t *testing.T) {
 func TestExploreNewTargetsEndToEnd(t *testing.T) {
 	ctx := context.Background()
 	progs, _ := parsePrograms("push:1,pop")
-	if err := exploreDualStack(ctx, progs, 1, 1_000_000, 2); err != nil {
+	if err := exploreDualStack(ctx, progs, 1, testOpts(1_000_000, 2)); err != nil {
 		t.Errorf("dualstack: %v", err)
 	}
 	dq, _ := parseDQPrograms("enq:1,deq")
-	if err := exploreDualQueue(ctx, dq, 1, 1_000_000, 2); err != nil {
+	if err := exploreDualQueue(ctx, dq, 1, testOpts(1_000_000, 2)); err != nil {
 		t.Errorf("dualqueue: %v", err)
 	}
-	if err := exploreSnapshot(ctx, []int64{1, 2}, 1_000_000, 2); err != nil {
+	if err := exploreSnapshot(ctx, []int64{1, 2}, testOpts(1_000_000, 2)); err != nil {
 		t.Errorf("snapshot: %v", err)
 	}
 }
 
 func TestExploreTargetsEndToEnd(t *testing.T) {
 	ctx := context.Background()
-	if err := exploreExchanger(ctx, "1,2", 1_000_000, 2); err != nil {
+	if err := exploreExchanger(ctx, "1,2", testOpts(1_000_000, 2)); err != nil {
 		t.Errorf("exchanger: %v", err)
 	}
-	if err := exploreExchanger(ctx, "x", 10, 1); err == nil {
+	if err := exploreExchanger(ctx, "x", testOpts(10, 1)); err == nil {
 		t.Error("bad values should fail")
 	}
 	progs, _ := parsePrograms("push:1,pop")
-	if err := exploreStack(ctx, progs, 1_000_000, 2); err != nil {
+	if err := exploreStack(ctx, progs, testOpts(1_000_000, 2)); err != nil {
 		t.Errorf("stack: %v", err)
 	}
-	if err := exploreElimStack(ctx, progs, 1, 1, 1_000_000, 2); err != nil {
+	if err := exploreElimStack(ctx, progs, 1, 1, testOpts(1_000_000, 2)); err != nil {
 		t.Errorf("elimstack: %v", err)
 	}
 	sq, _ := parseSQPrograms("put:1,take")
-	if err := exploreSyncQueue(ctx, sq, 1_000_000, 2); err != nil {
+	if err := exploreSyncQueue(ctx, sq, testOpts(1_000_000, 2)); err != nil {
 		t.Errorf("syncqueue: %v", err)
 	}
 }
@@ -120,9 +125,9 @@ func TestExploreDeadlineMapsToUnknownExit(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
 	time.Sleep(time.Millisecond)
-	err := exploreExchanger(ctx, "1,2,3,4", 10_000_000, 0)
-	if !errors.Is(err, sched.ErrInterrupted) {
-		t.Fatalf("err = %v, want ErrInterrupted", err)
+	err := exploreExchanger(ctx, "1,2,3,4", testOpts(10_000_000, 0))
+	if !errors.Is(err, calgo.ErrExploreInterrupted) {
+		t.Fatalf("err = %v, want ErrExploreInterrupted", err)
 	}
 	if got := mainExit(err); got != 3 {
 		t.Errorf("mainExit = %d, want 3", got)
@@ -133,10 +138,10 @@ func TestMainExitCodes(t *testing.T) {
 	if got := mainExit(nil); got != 0 {
 		t.Errorf("mainExit(nil) = %d, want 0", got)
 	}
-	if got := mainExit(sched.ErrMaxStates); got != 3 {
+	if got := mainExit(calgo.ErrExploreMaxStates); got != 3 {
 		t.Errorf("mainExit(ErrMaxStates) = %d, want 3", got)
 	}
-	verr := &sched.ViolationError{Kind: "terminal", Err: errors.New("boom")}
+	verr := &calgo.ExploreViolation{Kind: "terminal", Err: errors.New("boom")}
 	if got := mainExit(verr); got != 1 {
 		t.Errorf("mainExit(violation) = %d, want 1", got)
 	}

@@ -19,9 +19,11 @@
 //	calfuzz -iters 50 -seed 1 -object all
 //	calfuzz -iters 20 -object exchanger -chaos havoc -workers 4
 //
-// Exit status: 0 when all runs verified, 1 when a run failed
-// verification, 2 on usage errors, 3 when a CAL check was inconclusive
-// within its budget.
+// Observability: -metrics-json aggregates the CAL checkers' counters
+// across every batch into one JSON document, -trace streams sampled
+// search events and dumps a flight-recorder ring when a run fails or is
+// inconclusive, and -pprof serves net/http/pprof. Run with -h for the
+// exit-code legend.
 package main
 
 import (
@@ -32,26 +34,13 @@ import (
 	"math/rand"
 	"os"
 	"sync"
-	"time"
 
 	"calgo"
+	"calgo/internal/cliflags"
 )
 
 func main() {
-	err := run()
-	switch {
-	case err == nil:
-		os.Exit(0)
-	case errors.Is(err, errUnknown):
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
-		os.Exit(3)
-	case errors.Is(err, errUsage):
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
-		os.Exit(2)
-	default:
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
-		os.Exit(1)
-	}
+	os.Exit(run())
 }
 
 // errUnknown marks an inconclusive (budget-bound) verification; errUsage
@@ -61,27 +50,62 @@ var (
 	errUsage   = errors.New("usage")
 )
 
-func run() error {
+// fuzzExit maps a sweep outcome to the exit-code convention: 0 verified,
+// 1 failed verification, 2 usage error, 3 inconclusive within budget.
+func fuzzExit(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errUnknown):
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		return 3
+	case errors.Is(err, errUsage):
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		return 2
+	default:
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		return 1
+	}
+}
+
+func run() int {
 	var (
-		iters   = flag.Int("iters", 30, "iterations per object")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		object  = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, snapshot, all")
-		chaos   = flag.String("chaos", "none", "fault-injection policy: none, yield-storm, stall, cas-storm, bias, havoc, all")
-		timeout = flag.Duration("timeout", 30*time.Second, "CAL check deadline per batch of runs (0 = none)")
-		workers = flag.Int("workers", 0, "checker goroutines for the batched CAL checks (0 = GOMAXPROCS)")
+		iters  = flag.Int("iters", 30, "iterations per object")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		object = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, snapshot, all")
+		chaos  = flag.String("chaos", "none", "fault-injection policy: none, yield-storm, stall, cas-storm, bias, havoc, all")
 	)
+	shared := cliflags.Register("calfuzz")
 	flag.Parse()
 
-	policies := []string{*chaos}
-	if *chaos == "all" {
+	if err := shared.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		return 2
+	}
+	defer shared.Close()
+
+	exit := fuzzExit(sweep(*iters, *seed, *object, *chaos, shared))
+	if exit == 1 || exit == 3 {
+		shared.DumpFlight()
+	}
+	if err := shared.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		return 2
+	}
+	return exit
+}
+
+func sweep(iters int, seed int64, object, chaos string, shared *cliflags.Set) error {
+	policies := []string{chaos}
+	if chaos == "all" {
 		policies = calgo.ChaosPolicyNames()
-	} else if _, ok := calgo.ChaosPolicies()[*chaos]; !ok {
-		return fmt.Errorf("%w: unknown chaos policy %q", errUsage, *chaos)
+	} else if _, ok := calgo.ChaosPolicies()[chaos]; !ok {
+		return fmt.Errorf("%w: unknown chaos policy %q", errUsage, chaos)
 	}
 
 	targets := []string{"exchanger", "elimstack", "syncqueue", "dualstack", "dualqueue", "msqueue", "snapshot"}
-	if *object != "all" {
-		targets = []string{*object}
+	if object != "all" {
+		targets = []string{object}
 	}
 	for _, target := range targets {
 		fuzz, ok := fuzzers[target]
@@ -89,27 +113,27 @@ func run() error {
 			return fmt.Errorf("%w: unknown object %q", errUsage, target)
 		}
 		for _, policy := range policies {
-			runs := make([]pending, 0, *iters)
-			for i := 0; i < *iters; i++ {
+			runs := make([]pending, 0, iters)
+			for i := 0; i < iters; i++ {
 				// A fresh policy instance per run: stateful policies keep
 				// per-thread state valid only under one injector's lock.
-				inj := calgo.NewChaosInjector(calgo.ChaosPolicies()[policy], *seed+int64(i))
-				rng := rand.New(rand.NewSource(*seed + int64(i)))
+				inj := calgo.NewChaosInjector(calgo.ChaosPolicies()[policy], seed+int64(i))
+				rng := rand.New(rand.NewSource(seed + int64(i)))
 				run, err := fuzz(rng, inj)
 				if err != nil {
 					return fmt.Errorf("%s iteration %d (chaos %s, seed %d): %w",
-						target, i, policy, *seed+int64(i), err)
+						target, i, policy, seed+int64(i), err)
 				}
-				run.iter, run.seed = i, *seed+int64(i)
+				run.iter, run.seed = i, seed+int64(i)
 				runs = append(runs, run)
 			}
-			if err := checkBatch(runs, target, policy, *timeout, *workers); err != nil {
+			if err := checkBatch(runs, target, policy, shared); err != nil {
 				return err
 			}
 			if policy == "none" {
-				fmt.Printf("✓ %-10s %d randomized runs verified\n", target, *iters)
+				fmt.Printf("✓ %-10s %d randomized runs verified\n", target, iters)
 			} else {
-				fmt.Printf("✓ %-10s %d randomized runs verified under chaos policy %s\n", target, *iters, policy)
+				fmt.Printf("✓ %-10s %d randomized runs verified under chaos policy %s\n", target, iters, policy)
 			}
 		}
 	}
@@ -126,9 +150,11 @@ type pending struct {
 }
 
 // checkBatch fans the deferred CAL checks of one target/policy sweep
-// across a CheckMany worker pool, grouping runs by their (comparable)
-// spec value so each group shares one call.
-func checkBatch(runs []pending, target, policy string, timeout time.Duration, workers int) error {
+// across a checker pool, grouping runs by their (comparable) spec value
+// so each group shares one reusable Checker — the same construction path
+// (NewChecker + CheckMany) the library's batch entry point and the chaos
+// soak use. -timeout bounds each group's batch of checks.
+func checkBatch(runs []pending, target, policy string, shared *cliflags.Set) error {
 	groups := make(map[calgo.Spec][]int)
 	var order []calgo.Spec
 	for i, r := range runs {
@@ -143,13 +169,13 @@ func checkBatch(runs []pending, target, policy string, timeout time.Duration, wo
 		for j, i := range idx {
 			histories[j] = runs[i].h
 		}
-		ctx := context.Background()
-		if timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, timeout)
-			defer cancel()
+		ctx, cancel := shared.WithTimeout(context.Background())
+		defer cancel()
+		c, err := calgo.NewChecker(sp, shared.Options()...)
+		if err != nil {
+			return err
 		}
-		results, err := calgo.CheckMany(ctx, histories, sp, calgo.WithWorkers(workers))
+		results, err := c.CheckMany(ctx, histories)
 		if err != nil {
 			return err
 		}

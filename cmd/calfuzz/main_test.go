@@ -4,10 +4,15 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
-	"time"
 
 	"calgo"
+	"calgo/internal/cliflags"
 )
+
+// testShared registers the shared flag set once for the test binary; its
+// unparsed defaults (-timeout 0, -workers 0, observability off) match
+// what the old direct checkBatch parameters exercised.
+var testShared = cliflags.Register("calfuzz")
 
 // fuzzAndCheck runs one fuzzer iteration end to end: the inline
 // structural checks plus the (normally batched) CAL check.
@@ -17,7 +22,7 @@ func fuzzAndCheck(t *testing.T, name string, fuzz func(*rand.Rand, *calgo.ChaosI
 	if err != nil {
 		return err
 	}
-	return checkBatch([]pending{run}, name, "test", 30*time.Second, 1)
+	return checkBatch([]pending{run}, name, "test", testShared)
 }
 
 func TestAllFuzzersOnce(t *testing.T) {
@@ -83,7 +88,7 @@ func TestVerifyRejectsBadTrace(t *testing.T) {
 	if err != nil {
 		t.Errorf("valid run failed verification: %v", err)
 	}
-	if err := checkBatch([]pending{run}, "exchanger", "none", time.Second, 1); err != nil {
+	if err := checkBatch([]pending{run}, "exchanger", "none", testShared); err != nil {
 		t.Errorf("valid run failed the batched CAL check: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package calgo_test
 
 import (
+	"context"
 	"fmt"
 
 	"calgo"
@@ -19,8 +20,8 @@ res t2 E.exchange (true,3)
 res t3 E.exchange (false,7)
 `)
 	spec := calgo.NewExchangerSpec("E")
-	cal, _ := calgo.CAL(h, spec)
-	lin, _ := calgo.Linearizable(h, spec)
+	cal, _ := calgo.CAL(context.Background(), h, spec)
+	lin, _ := calgo.Linearizable(context.Background(), h, spec)
 	fmt.Println("CA-linearizable:", cal.OK)
 	fmt.Println("linearizable:   ", lin.OK)
 	fmt.Println("witness:", cal.Witness)

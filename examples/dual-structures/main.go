@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -88,7 +89,7 @@ func dualStack() error {
 	if err := calgo.Agrees(h, tr); err != nil {
 		return err
 	}
-	r, err := calgo.CAL(h, sp)
+	r, err := calgo.CAL(context.Background(), h, sp)
 	if err != nil {
 		return err
 	}
@@ -142,7 +143,7 @@ func immediateSnapshot() error {
 	if err := calgo.Agrees(cap.History(), tr); err != nil {
 		return err
 	}
-	r, err := calgo.CAL(cap.History(), sp)
+	r, err := calgo.CAL(context.Background(), cap.History(), sp)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -95,7 +96,7 @@ func run() error {
 	fmt.Println("✓ observed history agrees with the derived trace (Definition 5)")
 
 	// (iii) Independent confirmation by the checker.
-	r, err := calgo.Linearizable(h, calgo.NewStackSpec("ES"))
+	r, err := calgo.Linearizable(context.Background(), h, calgo.NewStackSpec("ES"))
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -80,11 +81,11 @@ res t1 E.exchange (true,4)
 	fmt.Println("history                       CAL    linearizable")
 	fmt.Println("--------------------------------------------------")
 	for _, row := range rows {
-		cal, err := calgo.CAL(row.h, e)
+		cal, err := calgo.CAL(context.Background(), row.h, e)
 		if err != nil {
 			return err
 		}
-		lin, err := calgo.Linearizable(row.h, e)
+		lin, err := calgo.Linearizable(context.Background(), row.h, e)
 		if err != nil {
 			return err
 		}

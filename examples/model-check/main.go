@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -37,17 +38,17 @@ func run() error {
 	init := model.NewExchanger(model.ExchangerConfig{
 		Programs: [][]int64{{3}, {4}, {7}}, // the paper's program P
 	})
-	stats, err := sched.Explore(init, sched.Options{
-		Invariant: func(st sched.State) error {
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithInvariant(func(st sched.State) error {
 			if err := model.InvariantJ(st); err != nil {
 				return err
 			}
 			return model.ProofOutline(st)
-		},
-		Transition:  rg.Hook(true),
-		Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-		Parallelism: runtime.GOMAXPROCS(0),
-	})
+		}),
+		sched.WithTransition(rg.Hook(true)),
+		sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)),
+		sched.WithParallelism(runtime.GOMAXPROCS(0)))
 	if err != nil {
 		return fmt.Errorf("exchanger verification FAILED: %w", err)
 	}
@@ -69,12 +70,12 @@ func run() error {
 			{model.Pop()},
 		},
 	})
-	esStats, err := sched.Explore(esInit, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewStack("ES"), esInit.Project, true),
-		AllowDeadlock: true,
-		MaxStates:     4_000_000,
-		Parallelism:   runtime.GOMAXPROCS(0),
-	})
+	esStats, err := sched.Explore(context.Background(),
+		esInit,
+		sched.WithTerminal(model.VerifyCAL(spec.NewStack("ES"), esInit.Project, true)),
+		sched.WithDeadlockAllowed(),
+		sched.WithMaxStates(4_000_000),
+		sched.WithParallelism(runtime.GOMAXPROCS(0)))
 	if err != nil {
 		return fmt.Errorf("elimination stack verification FAILED: %w", err)
 	}
@@ -90,17 +91,17 @@ func run() error {
 			Programs: [][]int64{{3}, {4}},
 			Bug:      bug,
 		})
-		_, err := sched.Explore(buggy, sched.Options{
-			Invariant: func(st sched.State) error {
+		_, err := sched.Explore(context.Background(),
+			buggy,
+			sched.WithInvariant(func(st sched.State) error {
 				if err := model.InvariantJ(st); err != nil {
 					return err
 				}
 				return model.ProofOutline(st)
-			},
-			Transition:  rg.Hook(false),
-			Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-			Parallelism: runtime.GOMAXPROCS(0),
-		})
+			}),
+			sched.WithTransition(rg.Hook(false)),
+			sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)),
+			sched.WithParallelism(runtime.GOMAXPROCS(0)))
 		if err == nil {
 			return fmt.Errorf("injected bug %q escaped verification", bug)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -64,7 +65,7 @@ func run() error {
 
 	// 3c. The CAL decision procedure finds a witness independently
 	// (Def. 6), without being shown the recorded trace.
-	r, err := calgo.CAL(h, calgo.NewExchangerSpec("E"))
+	r, err := calgo.CAL(context.Background(), h, calgo.NewExchangerSpec("E"))
 	if err != nil {
 		return err
 	}
@@ -76,7 +77,7 @@ func run() error {
 	// 4. And the punchline of the paper: the same history is NOT
 	// explainable under classical linearizability as soon as any swap
 	// succeeded — sequential specifications cannot describe exchangers.
-	lin, err := calgo.Linearizable(h, calgo.NewExchangerSpec("E"))
+	lin, err := calgo.Linearizable(context.Background(), h, calgo.NewExchangerSpec("E"))
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -79,7 +80,7 @@ func run() error {
 	}
 	fmt.Println("✓ observed history agrees with the recorded trace")
 
-	r, err := calgo.CAL(h, calgo.NewSyncQueueSpec("SQ"))
+	r, err := calgo.CAL(context.Background(), h, calgo.NewSyncQueueSpec("SQ"))
 	if err != nil {
 		return err
 	}
@@ -88,7 +89,7 @@ func run() error {
 	}
 	fmt.Printf("✓ CAL checker accepts the history (%d states)\n", r.States)
 
-	lin, err := calgo.Linearizable(h, calgo.NewSyncQueueSpec("SQ"))
+	lin, err := calgo.Linearizable(context.Background(), h, calgo.NewSyncQueueSpec("SQ"))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,46 @@
+package calgo
+
+import (
+	"context"
+
+	"calgo/internal/sched"
+)
+
+// Model checking (§5): the exhaustive interleaving explorer, re-exported
+// so explorer callers share the facade's option vocabulary with the
+// checkers (WithParallelism, WithMaxStates, WithTracer, WithMetrics,
+// WithProgress).
+type (
+	// ModelState is a node of a model's transition system.
+	ModelState = sched.State
+	// ModelSucc is one outgoing transition of a model state.
+	ModelSucc = sched.Succ
+	// ExploreStats summarizes an exploration.
+	ExploreStats = sched.Stats
+	// ExploreViolation describes a model-check failure together with the
+	// schedule that reached it.
+	ExploreViolation = sched.ViolationError
+)
+
+// Exploration abort causes.
+var (
+	// ErrExploreMaxStates is returned when the exploration exceeds its
+	// state budget (WithMaxStates).
+	ErrExploreMaxStates = sched.ErrMaxStates
+	// ErrExploreInterrupted is returned when the exploration's context is
+	// cancelled; errors.Is also matches the context's own error.
+	ErrExploreInterrupted = sched.ErrInterrupted
+)
+
+// Explore exhaustively explores the transition system rooted at init,
+// checking the configured invariant on every state, the transition hook
+// on every step and the terminal hook on every maximal execution. The
+// context cancels the exploration cooperatively; explorer-applicable
+// facade options configure it.
+func Explore(ctx context.Context, init ModelState, opts ...Option) (ExploreStats, error) {
+	so, err := schedOptions(opts)
+	if err != nil {
+		return ExploreStats{}, err
+	}
+	return sched.Explore(ctx, init, so...)
+}

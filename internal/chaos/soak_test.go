@@ -51,7 +51,7 @@ func verify(t *testing.T, h history.History, tr trace.Trace, sp spec.Spec) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	r, err := check.CALContext(ctx, h, sp)
+	r, err := check.CAL(ctx, h, sp)
 	if err != nil {
 		t.Fatalf("CAL: %v", err)
 	}
@@ -318,7 +318,7 @@ func soakElimStack(t *testing.T, inj *chaos.Injector) {
 	if err := trace.Agrees(h, tr); err != nil {
 		t.Fatalf("history does not agree with derived trace: %v", err)
 	}
-	r, err := check.Linearizable(h, spec.NewStack(obj))
+	r, err := check.Linearizable(context.Background(), h, spec.NewStack(obj))
 	if err != nil {
 		t.Fatalf("Linearizable: %v", err)
 	}

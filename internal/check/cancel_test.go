@@ -102,7 +102,7 @@ func TestCALMemoBudget(t *testing.T) {
 		inv(1, objE, spec.MethodExchange, history.Int(3)),
 		res(1, objE, spec.MethodExchange, history.Pair(true, 4)),
 	}
-	r, err := CAL(h, spec.NewExchanger(objE), WithMemoBudget(1))
+	r, err := CAL(context.Background(), h, spec.NewExchanger(objE), WithMemoBudget(1))
 	if err != nil {
 		t.Fatalf("memo budget exhaustion must not be an error: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestCALMemoBudget(t *testing.T) {
 		t.Errorf("verdict = %v, Unknown = %+v; want Unknown/ErrMemoBudget", r.Verdict, r.Unknown)
 	}
 	// The same history with an ample budget is a clean Unsat.
-	r2, err := CAL(h, spec.NewExchanger(objE), WithMemoBudget(1<<20))
+	r2, err := CAL(context.Background(), h, spec.NewExchanger(objE), WithMemoBudget(1<<20))
 	if err != nil || r2.Verdict != Unsat {
 		t.Errorf("ample budget: verdict = %v, err = %v; want Unsat", r2.Verdict, err)
 	}

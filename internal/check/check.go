@@ -27,8 +27,11 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"calgo/internal/history"
+	"calgo/internal/obs"
 	"calgo/internal/spec"
 	"calgo/internal/trace"
 )
@@ -71,6 +74,13 @@ type config struct {
 	memo         bool // memoize failed nodes
 	completeOnly bool // reject histories with pending invocations
 	workers      int  // CheckMany pool size; 0 = GOMAXPROCS
+
+	// Observability sinks; all nil/zero (disabled) by default, and every
+	// hook site nil-checks so the disabled hot path costs one branch.
+	tracer        obs.Tracer
+	metrics       *obs.Metrics
+	progressEvery time.Duration
+	progressFn    func(obs.Progress)
 }
 
 // Option configures a check.
@@ -98,71 +108,72 @@ func WithoutMemo() Option { return func(c *config) { c.memo = false } }
 // of exploring their completions.
 func WithCompleteOnly() Option { return func(c *config) { c.completeOnly = true } }
 
-// CAL decides whether h is concurrency-aware linearizable with respect to
-// sp, without cancellation. See CALContext.
-func CAL(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
-	return CALContext(context.Background(), h, sp, opts...)
+// WithTracer attaches span-style search hooks (obs.Tracer): SearchStart,
+// NodeExpand, MemoHit, ElementAdmit, Backtrack, SearchEnd. A nil tracer
+// (the default) costs one branch per hook site and zero allocations.
+func WithTracer(t obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithMetrics accumulates search statistics into the registry: the
+// check.* counters/gauges and the check.element_size histogram (see
+// EXPERIMENTS.md, "Metrics schema"). Counter totals are merged once per
+// check, off the hot path; the registry may be shared across checkers
+// and with the explorer.
+func WithMetrics(m *obs.Metrics) Option { return func(c *config) { c.metrics = m } }
+
+// WithProgress reports search progress (states expanded, states/sec, ETA
+// against the state budget) to fn every interval, from a dedicated
+// goroutine. On CheckMany the batch shares one reporter and the states
+// of all workers are aggregated.
+func WithProgress(every time.Duration, fn func(obs.Progress)) Option {
+	return func(c *config) { c.progressEvery, c.progressFn = every, fn }
 }
 
-// CALContext decides whether h is concurrency-aware linearizable with
-// respect to sp. The history must be well-formed; pending invocations are
-// handled per Definition 2 (dropped, or completed with responses proposed
-// by the specification when it implements spec.PendingResolver).
+// CAL decides whether h is concurrency-aware linearizable with respect
+// to sp. The history must be well-formed; pending invocations are
+// handled per Definition 2 (dropped, or completed with responses
+// proposed by the specification when it implements spec.PendingResolver).
 //
-// The returned error is non-nil only for input errors (ill-formed history,
-// invalid options). Cancellation, deadline expiry and budget exhaustion
-// are reported in-band as Verdict == Unknown with Result.Unknown set.
-func CALContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// The context cancels the search cooperatively: cancellation and
+// deadline expiry yield an Unknown verdict instead of hanging. The
+// returned error is non-nil only for input errors (ill-formed history,
+// invalid options); budget exhaustion is likewise reported in-band as
+// Verdict == Unknown with Result.Unknown set.
+//
+// Checking many histories against one specification? Build a Checker
+// once and call Check per history instead of re-resolving options here.
+func CAL(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	c, err := NewChecker(sp, opts...)
+	if err != nil {
+		return Result{}, err
 	}
-	cfg := config{maxStates: 4_000_000, memo: true}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if !h.IsWellFormed() {
-		return Result{}, errors.New("check: history is not well-formed")
-	}
-	if cfg.completeOnly && !h.IsComplete() {
-		return Result{}, fmt.Errorf("check: history has pending invocations %v", h.PendingThreads())
-	}
-	if cfg.elementCap < 0 {
-		return Result{}, fmt.Errorf("check: element size cap %d < 1", cfg.elementCap)
-	}
-	maxElem := sp.MaxElementSize()
-	if cfg.elementCap > 0 && cfg.elementCap < maxElem {
-		maxElem = cfg.elementCap
-	}
-	if maxElem < 1 {
-		return Result{}, fmt.Errorf("check: element size cap %d < 1", maxElem)
-	}
-	s := &searcher{
-		ctx:     ctx,
-		sp:      sp,
-		cfg:     cfg,
-		maxElem: maxElem,
-		ops:     h.Operations(),
-	}
-	s.rt = history.RTOrder(s.ops)
-	s.resolver, _ = sp.(spec.PendingResolver)
-	return s.run()
+	return c.Check(ctx, h)
 }
 
 // Linearizable decides classical linearizability: CAL restricted to
 // singleton CA-elements, i.e. sequential specifications (Herlihy & Wing).
-func Linearizable(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
-	return CAL(h, sp, append(opts, WithElementCap(1))...)
-}
-
-// LinearizableContext is Linearizable with cancellation.
-func LinearizableContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
-	return CALContext(ctx, h, sp, append(opts, WithElementCap(1))...)
+func Linearizable(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return CAL(ctx, h, sp, append(opts, WithElementCap(1))...)
 }
 
 // SetLinearizable decides set-linearizability (Neiger 1994): identical to
 // CAL under this package's trace model, provided as a named entry point.
-func SetLinearizable(h history.History, sp spec.Spec, opts ...Option) (Result, error) {
-	return CAL(h, sp, opts...)
+func SetLinearizable(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return CAL(ctx, h, sp, opts...)
+}
+
+// CALContext is the former context-taking name of CAL, kept so existing
+// callers compile; it delegates unchanged.
+//
+// Deprecated: use CAL, which is context-first.
+func CALContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return CAL(ctx, h, sp, opts...)
+}
+
+// LinearizableContext is the former context-taking name of Linearizable.
+//
+// Deprecated: use Linearizable, which is context-first.
+func LinearizableContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
+	return Linearizable(ctx, h, sp, opts...)
 }
 
 // abortError interrupts the depth-first search; cause is one of ErrBound,
@@ -245,6 +256,17 @@ type searcher struct {
 	work      int // ticks since the last context poll
 	witness   trace.Trace
 
+	// Observability. tr is nil when tracing is off — every hook site
+	// nil-checks, so the disabled fast path adds one branch and no
+	// allocations. live, when non-nil, receives the state count at every
+	// context-poll interval so a progress reporter (possibly shared by a
+	// CheckMany batch) can read it concurrently. hElemSize is the cached
+	// element-size histogram when metrics are attached.
+	tr        obs.Tracer
+	live      *atomic.Int64
+	livePub   int // states already published to live
+	hElemSize *obs.Histogram
+
 	// Scratch freelists: dfs needs a private ready snapshot and subset
 	// buffer per node, tryElement a trace.Operation buffer per attempt;
 	// recycled so the hot path stops allocating.
@@ -265,6 +287,10 @@ func (s *searcher) tick() error {
 	s.work++
 	if s.work&1023 != 0 {
 		return nil
+	}
+	if s.live != nil {
+		s.live.Add(int64(s.states - s.livePub))
+		s.livePub = s.states
 	}
 	if err := s.ctx.Err(); err != nil {
 		return &abortError{cause: err}
@@ -316,6 +342,9 @@ func (s *searcher) run() (Result, error) {
 			s.readyAdd(int32(i))
 		}
 	}
+	if s.tr != nil {
+		s.tr.SearchStart(n)
+	}
 	// Poll once before searching: a context cancelled before the call
 	// deterministically yields Unknown even when the search itself would
 	// finish within one poll interval.
@@ -337,14 +366,15 @@ func (s *searcher) run() (Result, error) {
 				Frontier:       s.frontier(),
 				PartialWitness: append(trace.Trace(nil), s.bestWitness...),
 			}
-			return res, nil
+			return s.finish(res), nil
 		}
+		s.finish(res)
 		return res, err
 	}
 	if !ok {
 		res.Verdict = Unsat
 		res.Reason = s.failureReason()
-		return res, nil
+		return s.finish(res), nil
 	}
 	res.Verdict = Sat
 	res.OK = true
@@ -354,7 +384,32 @@ func (s *searcher) run() (Result, error) {
 			res.Dropped = append(res.Dropped, op)
 		}
 	}
-	return res, nil
+	return s.finish(res), nil
+}
+
+// finish runs the cold end-of-search observability work: the closing
+// tracer span, the final live-state flush for progress reporters, and
+// the one-shot merge of this search's totals into the metrics registry.
+func (s *searcher) finish(res Result) Result {
+	if s.tr != nil {
+		s.tr.SearchEnd(res.Verdict.String(), int64(s.states))
+	}
+	if s.live != nil {
+		s.live.Add(int64(s.states - s.livePub))
+		s.livePub = s.states
+	}
+	if m := s.cfg.metrics; m != nil {
+		m.Counter("check.checks").Inc()
+		m.Counter("check.states").Add(int64(s.states))
+		m.Counter("check.memo_hits").Add(int64(s.memoHits))
+		// Every expanded node missed the memo table first.
+		m.Counter("check.memo_misses").Add(int64(s.states))
+		m.Counter("check.elements").Add(int64(s.elements))
+		m.Counter("check.verdict." + strings.ToLower(res.Verdict.String())).Inc()
+		m.Gauge("check.frontier_depth").SetMax(int64(s.bestCount))
+		m.Gauge("check.memo_bytes").SetMax(int64(s.memoBytes))
+	}
+	return res
 }
 
 func (s *searcher) frontier() Frontier {
@@ -514,11 +569,17 @@ func (s *searcher) dfs(st spec.State) (bool, error) {
 		for _, m := range s.memo[hash] {
 			if m.specKey == specKey && bitsetEqual(m.mask, s.linearized) {
 				s.memoHits++
+				if s.tr != nil {
+					s.tr.MemoHit(s.nlin)
+				}
 				return false, nil
 			}
 		}
 	}
 	s.states++
+	if s.tr != nil {
+		s.tr.NodeExpand(s.nlin, int64(s.states))
+	}
 	if s.states > s.cfg.maxStates {
 		return false, &abortError{cause: fmt.Errorf("%w (limit %d)", ErrBound, s.cfg.maxStates)}
 	}
@@ -636,8 +697,15 @@ func (s *searcher) tryElement(st spec.State, subset []int32) (bool, error) {
 		if err != nil {
 			continue // spec rejects this element
 		}
+		depth := s.nlin
 		for _, i := range subset {
 			s.linearize(int(i))
+		}
+		if s.tr != nil {
+			s.tr.ElementAdmit(depth, len(subset))
+		}
+		if s.hElemSize != nil {
+			s.hElemSize.Observe(int64(len(subset)))
 		}
 		s.witness = append(s.witness, el)
 		ok, derr := s.dfs(next)
@@ -647,6 +715,9 @@ func (s *searcher) tryElement(st spec.State, subset []int32) (bool, error) {
 		s.witness = s.witness[:len(s.witness)-1]
 		for k := len(subset) - 1; k >= 0; k-- {
 			s.unlinearize(int(subset[k]))
+		}
+		if s.tr != nil {
+			s.tr.Backtrack(depth, len(subset))
 		}
 		if derr != nil {
 			return false, derr

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -47,7 +48,7 @@ func fig3H2() history.History {
 
 func mustCAL(t *testing.T, h history.History, sp spec.Spec, opts ...Option) Result {
 	t.Helper()
-	r, err := CAL(h, sp, opts...)
+	r, err := CAL(context.Background(), h, sp, opts...)
 	if err != nil {
 		t.Fatalf("CAL: %v", err)
 	}
@@ -128,7 +129,7 @@ func TestCALRejectsBadExchanges(t *testing.T) {
 func TestSequentialSpecCannotExplainSwaps(t *testing.T) {
 	e := spec.NewExchanger(objE)
 	for name, h := range map[string]history.History{"H1": fig3H1(), "H2": fig3H2()} {
-		r, err := Linearizable(h, e)
+		r, err := Linearizable(context.Background(), h, e)
 		if err != nil {
 			t.Fatalf("Linearizable(%s): %v", name, err)
 		}
@@ -143,7 +144,7 @@ func TestSequentialSpecCannotExplainSwaps(t *testing.T) {
 		res(1, objE, spec.MethodExchange, history.Pair(false, 3)),
 		res(2, objE, spec.MethodExchange, history.Pair(false, 4)),
 	}
-	r, err := Linearizable(allFail, e)
+	r, err := Linearizable(context.Background(), allFail, e)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestSequentialSpecCannotExplainSwaps(t *testing.T) {
 func TestCALEqualsSetLinearizable(t *testing.T) {
 	h := fig3H1()
 	a := mustCAL(t, h, spec.NewExchanger(objE))
-	b, err := SetLinearizable(h, spec.NewExchanger(objE))
+	b, err := SetLinearizable(context.Background(), h, spec.NewExchanger(objE))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestCALPendingMustBeLinearized(t *testing.T) {
 
 func TestCALCompleteOnly(t *testing.T) {
 	h := history.History{inv(1, objE, spec.MethodExchange, history.Int(3))}
-	_, err := CAL(h, spec.NewExchanger(objE), WithCompleteOnly())
+	_, err := CAL(context.Background(), h, spec.NewExchanger(objE), WithCompleteOnly())
 	if err == nil || !strings.Contains(err.Error(), "pending") {
 		t.Errorf("WithCompleteOnly should reject pending histories: %v", err)
 	}
@@ -274,14 +275,14 @@ func TestCALCompleteOnly(t *testing.T) {
 
 func TestCALIllFormed(t *testing.T) {
 	h := history.History{res(1, objE, spec.MethodExchange, history.Int(3))}
-	if _, err := CAL(h, spec.NewExchanger(objE)); err == nil {
+	if _, err := CAL(context.Background(), h, spec.NewExchanger(objE)); err == nil {
 		t.Error("ill-formed history must be an input error")
 	}
 }
 
 func TestCALStateBound(t *testing.T) {
 	h := fig3H1()
-	r, err := CAL(h, spec.NewExchanger(objE), WithMaxStates(1))
+	r, err := CAL(context.Background(), h, spec.NewExchanger(objE), WithMaxStates(1))
 	if err != nil {
 		t.Fatalf("budget exhaustion must not be an error: %v", err)
 	}
@@ -297,7 +298,7 @@ func TestCALStateBound(t *testing.T) {
 }
 
 func TestCALBadElementCap(t *testing.T) {
-	if _, err := CAL(history.History{}, spec.NewExchanger(objE), WithElementCap(-1)); err == nil {
+	if _, err := CAL(context.Background(), history.History{}, spec.NewExchanger(objE), WithElementCap(-1)); err == nil {
 		t.Error("negative element cap must be rejected")
 	}
 }

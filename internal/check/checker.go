@@ -1,0 +1,159 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/obs"
+	"calgo/internal/spec"
+)
+
+// Checker is a reusable, configured decision procedure: options are
+// resolved and validated once by NewChecker, then Check runs against any
+// number of histories. A Checker is immutable after construction and safe
+// for concurrent use by multiple goroutines — each Check builds a private
+// searcher; shared observability sinks (obs.Tracer implementations in this
+// module, *obs.Metrics) are themselves concurrency-safe.
+//
+// CheckMany, the calfuzz batch path and the chaos soak all construct one
+// Checker and fan histories across it, so "configure once, check many"
+// is the single construction path for every batch consumer.
+type Checker struct {
+	sp        spec.Spec
+	cfg       config
+	maxElem   int
+	resolver  spec.PendingResolver
+	hElemSize *obs.Histogram // cached when metrics are attached
+}
+
+// NewChecker validates opts against sp and returns a reusable Checker.
+// It fails on invalid configuration (e.g. a non-positive element cap);
+// per-history problems are reported by Check.
+func NewChecker(sp spec.Spec, opts ...Option) (*Checker, error) {
+	cfg := config{maxStates: 4_000_000, memo: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.elementCap < 0 {
+		return nil, fmt.Errorf("check: element size cap %d < 1", cfg.elementCap)
+	}
+	maxElem := sp.MaxElementSize()
+	if cfg.elementCap > 0 && cfg.elementCap < maxElem {
+		maxElem = cfg.elementCap
+	}
+	if maxElem < 1 {
+		return nil, fmt.Errorf("check: element size cap %d < 1", maxElem)
+	}
+	c := &Checker{sp: sp, cfg: cfg, maxElem: maxElem}
+	c.resolver, _ = sp.(spec.PendingResolver)
+	if cfg.metrics != nil {
+		c.hElemSize = cfg.metrics.Histogram("check.element_size")
+	}
+	return c, nil
+}
+
+// Spec returns the specification this Checker decides against.
+func (c *Checker) Spec() spec.Spec { return c.sp }
+
+// Check decides whether h is concurrency-aware linearizable with respect
+// to the Checker's specification. See CAL for the verdict contract.
+func (c *Checker) Check(ctx context.Context, h history.History) (Result, error) {
+	var live *atomic.Int64
+	if c.cfg.progressEvery > 0 && c.cfg.progressFn != nil {
+		live = new(atomic.Int64)
+		stop := obs.StartProgress(c.cfg.progressEvery, int64(c.cfg.maxStates), live.Load, c.cfg.progressFn)
+		defer stop()
+	}
+	return c.check(ctx, h, live)
+}
+
+// CheckMany decides concurrency-aware linearizability for a batch of
+// histories, fanning the per-history checks across a worker pool
+// (WithParallelism, default GOMAXPROCS). Each history is checked
+// independently with its own searcher, so results[i] corresponds to
+// histories[i] exactly as if Check had been called on it alone.
+//
+// The returned error joins the per-history input errors (each wrapped
+// with its index); results[i] is the zero Result for failed inputs.
+// Cancellation is reported in-band per history as Verdict == Unknown,
+// matching Check. When progress reporting is configured the whole batch
+// shares one reporter whose state count aggregates all workers, with the
+// budget scaled to maxStates × len(histories).
+func (c *Checker) CheckMany(ctx context.Context, histories []history.History) ([]Result, error) {
+	results := make([]Result, len(histories))
+	if len(histories) == 0 {
+		return results, nil
+	}
+	workers := c.cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(histories) {
+		workers = len(histories)
+	}
+
+	var live *atomic.Int64
+	if c.cfg.progressEvery > 0 && c.cfg.progressFn != nil {
+		live = new(atomic.Int64)
+		budget := int64(c.cfg.maxStates) * int64(len(histories))
+		stop := obs.StartProgress(c.cfg.progressEvery, budget, live.Load, c.cfg.progressFn)
+		defer stop()
+	}
+
+	errs := make([]error, len(histories))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(histories) {
+					return
+				}
+				res, err := c.check(ctx, histories[i], live)
+				if err != nil {
+					errs[i] = fmt.Errorf("history %d: %w", i, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// check validates h, builds a private searcher wired to the Checker's
+// observability sinks and the (possibly shared) live state counter, and
+// runs the search.
+func (c *Checker) check(ctx context.Context, h history.History, live *atomic.Int64) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !h.IsWellFormed() {
+		return Result{}, errors.New("check: history is not well-formed")
+	}
+	if c.cfg.completeOnly && !h.IsComplete() {
+		return Result{}, fmt.Errorf("check: history has pending invocations %v", h.PendingThreads())
+	}
+	s := &searcher{
+		ctx:       ctx,
+		sp:        c.sp,
+		resolver:  c.resolver,
+		cfg:       c.cfg,
+		maxElem:   c.maxElem,
+		ops:       h.Operations(),
+		tr:        c.cfg.tracer,
+		live:      live,
+		hElemSize: c.hElemSize,
+	}
+	s.rt = history.RTOrder(s.ops)
+	return s.run()
+}

@@ -2,73 +2,30 @@ package check
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"calgo/internal/history"
 	"calgo/internal/spec"
 )
 
-// WithWorkers sets the number of concurrent checker goroutines used by
-// CheckMany. 0 (the default) means GOMAXPROCS. It has no effect on
+// WithParallelism sets the number of concurrent checker goroutines used
+// by CheckMany. 0 (the default) means GOMAXPROCS. It has no effect on
 // single-history entry points.
-func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+func WithParallelism(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithWorkers is the former name of WithParallelism.
+//
+// Deprecated: use WithParallelism, which matches the sched package's
+// option of the same name.
+func WithWorkers(n int) Option { return WithParallelism(n) }
 
 // CheckMany decides concurrency-aware linearizability for a batch of
-// recorded histories against the same specification, fanning the
-// per-history checks across a worker pool (WithWorkers, default
-// GOMAXPROCS). Each history is checked independently with its own
-// searcher, so results[i] corresponds to histories[i] exactly as if
-// CALContext had been called on it alone.
-//
-// The returned error joins the per-history input errors (each wrapped
-// with its index); results[i] is the zero Result for failed inputs.
-// Cancellation is reported in-band per history as Verdict == Unknown,
-// matching CALContext.
+// recorded histories against the same specification. It is shorthand for
+// NewChecker followed by Checker.CheckMany; batch callers that check
+// repeatedly should build the Checker once instead.
 func CheckMany(ctx context.Context, histories []history.History, sp spec.Spec, opts ...Option) ([]Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	c, err := NewChecker(sp, opts...)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]Result, len(histories))
-	if len(histories) == 0 {
-		return results, nil
-	}
-	cfg := config{}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	workers := cfg.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(histories) {
-		workers = len(histories)
-	}
-
-	errs := make([]error, len(histories))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(histories) {
-					return
-				}
-				res, err := CALContext(ctx, histories[i], sp, opts...)
-				if err != nil {
-					errs[i] = fmt.Errorf("history %d: %w", i, err)
-					continue
-				}
-				results[i] = res
-			}
-		}()
-	}
-	wg.Wait()
-	return results, errors.Join(errs...)
+	return c.CheckMany(ctx, histories)
 }

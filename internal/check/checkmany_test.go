@@ -33,7 +33,7 @@ func TestCheckManyMatchesIndividualChecks(t *testing.T) {
 			t.Fatalf("workers %d: %d results for %d histories", workers, len(results), len(histories))
 		}
 		for i, h := range histories {
-			want, err := CAL(h, e)
+			want, err := CAL(context.Background(), h, e)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,252 @@
+package check
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"calgo/internal/history"
+	"calgo/internal/obs"
+	"calgo/internal/spec"
+)
+
+// unsatExchange is a complete history no exchanger trace admits: a lone
+// operation claiming a successful exchange with a partner that does not
+// exist.
+func unsatExchange() history.History {
+	return history.History{
+		inv(1, objE, spec.MethodExchange, history.Int(3)),
+		res(1, objE, spec.MethodExchange, history.Pair(true, 9)),
+	}
+}
+
+func kinds(events []obs.Event) map[obs.EventKind]int {
+	m := make(map[obs.EventKind]int)
+	for _, e := range events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// TestTracerHookOrdering pins the span contract of the tracer hooks:
+// SearchStart is the first event and precedes every NodeExpand, SearchEnd
+// is the last, and on an exhaustive (Unsat) search every ElementAdmit is
+// balanced by a Backtrack at the same depth.
+func TestTracerHookOrdering(t *testing.T) {
+	f := obs.NewFlightRecorder(1 << 16)
+	r, err := CAL(context.Background(), unsatExchange(), spec.NewExchanger(objE), WithTracer(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Unsat {
+		t.Fatalf("verdict = %v, want Unsat", r.Verdict)
+	}
+	events := f.Events()
+	if len(events) < 3 {
+		t.Fatalf("only %d events recorded", len(events))
+	}
+	if events[0].Kind != obs.EvSearchStart {
+		t.Fatalf("first event = %s, want SearchStart", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != obs.EvSearchEnd || last.Verdict != "Unsat" {
+		t.Fatalf("last event = %+v, want SearchEnd/Unsat", last)
+	}
+	for _, e := range events[1 : len(events)-1] {
+		if e.Kind == obs.EvSearchStart || e.Kind == obs.EvSearchEnd {
+			t.Fatalf("interior %s event: %+v", e.Kind, e)
+		}
+	}
+	k := kinds(events)
+	if k[obs.EvNodeExpand] == 0 {
+		t.Fatal("no NodeExpand events")
+	}
+	if k[obs.EvElementAdmit] != k[obs.EvBacktrack] {
+		t.Fatalf("admits %d != backtracks %d on an exhaustive search",
+			k[obs.EvElementAdmit], k[obs.EvBacktrack])
+	}
+	// NodeExpand carries the running state count; it must be monotonic.
+	var prev int64
+	for _, e := range events {
+		if e.Kind != obs.EvNodeExpand {
+			continue
+		}
+		if e.Arg <= prev {
+			t.Fatalf("NodeExpand states not monotonic: %d after %d", e.Arg, prev)
+		}
+		prev = e.Arg
+	}
+}
+
+// TestTracerSatLeavesOpenSpans: on Sat the search returns from inside the
+// admitted elements, so admits exceed backtracks by exactly the witness
+// length.
+func TestTracerSatLeavesOpenSpans(t *testing.T) {
+	f := obs.NewFlightRecorder(1 << 16)
+	r, err := CAL(context.Background(), fig3H1(), spec.NewExchanger(objE), WithTracer(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("fig3H1 must be Sat: %+v", r)
+	}
+	k := kinds(f.Events())
+	if open := k[obs.EvElementAdmit] - k[obs.EvBacktrack]; open != len(r.Witness) {
+		t.Fatalf("open spans = %d, want witness length %d", open, len(r.Witness))
+	}
+}
+
+// TestTracerDoesNotChangeVerdict: attaching observability must be
+// behaviour-preserving.
+func TestTracerDoesNotChangeVerdict(t *testing.T) {
+	for name, h := range map[string]history.History{"sat": fig3H1(), "unsat": unsatExchange()} {
+		plain := mustCAL(t, h, spec.NewExchanger(objE))
+		traced := mustCAL(t, h, spec.NewExchanger(objE),
+			WithTracer(obs.NewFlightRecorder(8)), WithMetrics(obs.NewMetrics()))
+		if plain.Verdict != traced.Verdict || plain.States != traced.States || plain.MemoHits != traced.MemoHits {
+			t.Errorf("%s: traced run diverged: %+v vs %+v", name, plain, traced)
+		}
+	}
+}
+
+// TestMetricsTotalsMatchResult: the registry totals merged at the end of
+// a check agree with the Result the caller gets.
+func TestMetricsTotalsMatchResult(t *testing.T) {
+	m := obs.NewMetrics()
+	r, err := CAL(context.Background(), fig3H1(), spec.NewExchanger(objE), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("check.states").Value(); got != int64(r.States) {
+		t.Errorf("check.states = %d, want %d", got, r.States)
+	}
+	if got := m.Counter("check.memo_hits").Value(); got != int64(r.MemoHits) {
+		t.Errorf("check.memo_hits = %d, want %d", got, r.MemoHits)
+	}
+	if got := m.Counter("check.checks").Value(); got != 1 {
+		t.Errorf("check.checks = %d, want 1", got)
+	}
+	if got := m.Counter("check.verdict.sat").Value(); got != 1 {
+		t.Errorf("check.verdict.sat = %d, want 1", got)
+	}
+	if got := m.Histogram("check.element_size").Count(); got != int64(len(r.Witness)) {
+		// fig3H1's witness admits exactly its elements once each: the
+		// exchanger spec rejects every other candidate before admission.
+		t.Errorf("element_size count = %d, want %d", got, len(r.Witness))
+	}
+	if m.Counter("check.elements").Value() == 0 {
+		t.Error("check.elements not counted")
+	}
+}
+
+// TestCheckerReuse: one Checker, many checks, shared registry.
+func TestCheckerReuse(t *testing.T) {
+	m := obs.NewMetrics()
+	c, err := NewChecker(spec.NewExchanger(objE), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		r, err := c.Check(context.Background(), fig3H1())
+		if err != nil || !r.OK {
+			t.Fatalf("check %d: %v %+v", i, err, r)
+		}
+	}
+	if got := m.Counter("check.checks").Value(); got != 3 {
+		t.Errorf("check.checks = %d, want 3", got)
+	}
+	if got := m.Counter("check.verdict.sat").Value(); got != 3 {
+		t.Errorf("check.verdict.sat = %d, want 3", got)
+	}
+}
+
+// TestProgressFinalReport: a progress-configured check always delivers a
+// final report whose state count matches the search total, even when the
+// search finishes well inside one interval.
+func TestProgressFinalReport(t *testing.T) {
+	var finals atomic.Int64
+	var lastStates atomic.Int64
+	r, err := CAL(context.Background(), fig3H1(), spec.NewExchanger(objE),
+		WithProgress(time.Hour, func(p obs.Progress) {
+			if p.Final {
+				finals.Add(1)
+				lastStates.Store(p.States)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finals.Load() != 1 {
+		t.Fatalf("final reports = %d, want 1", finals.Load())
+	}
+	if got := lastStates.Load(); got != int64(r.States) {
+		t.Errorf("final states = %d, want %d", got, r.States)
+	}
+}
+
+// TestCheckManySharedProgress: the batch shares one reporter aggregating
+// every worker's states.
+func TestCheckManySharedProgress(t *testing.T) {
+	hs := []history.History{fig3H1(), fig3H2(), fig3H1()}
+	var finals atomic.Int64
+	var total atomic.Int64
+	results, err := CheckMany(context.Background(), hs, spec.NewExchanger(objE),
+		WithParallelism(2),
+		WithProgress(time.Hour, func(p obs.Progress) {
+			if p.Final {
+				finals.Add(1)
+				total.Store(p.States)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, r := range results {
+		want += int64(r.States)
+	}
+	if finals.Load() != 1 {
+		t.Fatalf("final reports = %d, want 1 shared reporter", finals.Load())
+	}
+	if total.Load() != want {
+		t.Errorf("aggregated states = %d, want %d", total.Load(), want)
+	}
+}
+
+// TestNilObsAllocGuard pins the allocation count of a check with
+// observability disabled. The nil-tracer/nil-metrics fast path must cost
+// one branch per hook site and nothing else; if this ceiling is exceeded,
+// an obs hook started allocating on the hot path.
+func TestNilObsAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement")
+	}
+	c, err := NewChecker(spec.NewExchanger(objE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fig3H1()
+	ctx := context.Background()
+	base := testing.AllocsPerRun(200, func() {
+		if _, err := c.Check(ctx, h); err != nil {
+			t.Fatal(err)
+		}
+	})
+	traced := testing.AllocsPerRun(200, func() {
+		r, err := CAL(ctx, h, spec.NewExchanger(objE),
+			WithTracer(obs.NewFlightRecorder(64)), WithMetrics(obs.NewMetrics()))
+		if err != nil || !r.OK {
+			t.Fatal(err)
+		}
+	})
+	// The disabled path's absolute ceiling: the searcher's fixed setup
+	// allocations for a 6-op history. Raise only with a hot-path audit.
+	const ceiling = 40
+	if base > ceiling {
+		t.Errorf("nil-obs check allocates %.0f objects/run, ceiling %d", base, ceiling)
+	}
+	if base >= traced {
+		t.Logf("note: traced run (%.0f allocs) not above nil-obs run (%.0f)", traced, base)
+	}
+}

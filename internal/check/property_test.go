@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -73,7 +74,7 @@ func TestCALAcceptsSimulatedStackExecutions(t *testing.T) {
 	for seed := int64(0); seed < 60; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		h := genStackHistory(rng, 1+rng.Intn(4), 6+rng.Intn(14))
-		r, err := CAL(h, st)
+		r, err := CAL(context.Background(), h, st)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -102,7 +103,7 @@ func TestCALRejectsCorruptedStackExecutions(t *testing.T) {
 		if !corrupted {
 			continue
 		}
-		r, err := CAL(h, st)
+		r, err := CAL(context.Background(), h, st)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -154,7 +155,7 @@ func TestCALAcceptsSimulatedExchangerExecutions(t *testing.T) {
 	for seed := int64(0); seed < 60; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		h := genExchangerHistory(rng, 2+rng.Intn(10))
-		r, err := CAL(h, e)
+		r, err := CAL(context.Background(), h, e)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -181,8 +182,8 @@ func TestLinearizableEqualsElementCapOne_Quick(t *testing.T) {
 		if !h.IsWellFormed() {
 			return true
 		}
-		a, errA := Linearizable(h, e)
-		b, errB := CAL(h, e, WithElementCap(1))
+		a, errA := Linearizable(context.Background(), h, e)
+		b, errB := CAL(context.Background(), h, e, WithElementCap(1))
 		if (errA == nil) != (errB == nil) {
 			return false
 		}
@@ -200,11 +201,11 @@ func TestCALImpliesWeakerThanLin_Quick(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		h := genStackHistory(rng, 1+rng.Intn(3), 4+rng.Intn(8))
-		lin, err := Linearizable(h, st)
+		lin, err := Linearizable(context.Background(), h, st)
 		if err != nil {
 			return false
 		}
-		cal, err := CAL(h, st)
+		cal, err := CAL(context.Background(), h, st)
 		if err != nil {
 			return false
 		}
@@ -221,8 +222,8 @@ func TestCALMemoAblationAgrees_Quick(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		h := genExchangerHistory(rng, 1+rng.Intn(5))
-		a, errA := CAL(h, e)
-		b, errB := CAL(h, e, WithoutMemo())
+		a, errA := CAL(context.Background(), h, e)
+		b, errB := CAL(context.Background(), h, e, WithoutMemo())
 		if errA != nil || errB != nil {
 			return errA != nil && errB != nil
 		}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestWitnessSoundness(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		if seed%2 == 0 {
 			h := genExchangerHistory(rng, 1+rng.Intn(8))
-			r, err := CAL(h, e)
+			r, err := CAL(context.Background(), h, e)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -34,7 +35,7 @@ func TestWitnessSoundness(t *testing.T) {
 			}
 		} else {
 			h := genStackHistory(rng, 1+rng.Intn(3), 4+rng.Intn(10))
-			r, err := CAL(h, st)
+			r, err := CAL(context.Background(), h, st)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +66,7 @@ func TestVerdictInvariantUnderSameKindSwaps(t *testing.T) {
 				h[i].Ret = history.Pair(rng.Intn(2) == 0, int64(rng.Intn(5)))
 			}
 		}
-		base, err := CAL(h, e)
+		base, err := CAL(context.Background(), h, e)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func TestVerdictInvariantUnderSameKindSwaps(t *testing.T) {
 				mut[i], mut[i+1] = b, a
 			}
 		}
-		got, err := CAL(mut, e)
+		got, err := CAL(context.Background(), mut, e)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,11 +96,11 @@ func TestDegenerateWidthOne(t *testing.T) {
 	h := genExchangerHistory(rand.New(rand.NewSource(3)), 5)
 	// Filter to thread 1's ops only — all-fail singletons.
 	single := h.ByThread(h.Threads()[0])
-	r, err := CAL(single, e)
+	r, err := CAL(context.Background(), single, e)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lin, err := Linearizable(single, e)
+	lin, err := Linearizable(context.Background(), single, e)
 	if err != nil {
 		t.Fatal(err)
 	}

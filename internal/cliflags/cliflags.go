@@ -1,0 +1,243 @@
+// Package cliflags defines the flags, observability wiring and exit-code
+// conventions shared by the calgo CLIs (calcheck, calexplore, calfuzz,
+// calbench), so the tools stay uniform: the same flag names mean the
+// same thing everywhere, every tool documents the exit-code legend in
+// its -h output, and -metrics-json/-trace/-progress/-pprof behave
+// identically.
+//
+// Usage, in a tool's main:
+//
+//	s := cliflags.Register("calcheck")
+//	flag.Parse()
+//	if err := s.Start(); err != nil { ... exit 2 ... }
+//	defer s.Close()
+//	ctx, cancel := s.WithTimeout(ctx)
+//	defer cancel()
+//	results, err := calgo.CheckMany(ctx, hs, sp, s.Options()...)
+//	...
+//	s.DumpFlight()            // on VIOLATION or UNKNOWN
+//	if err := s.Finish(); err != nil { ... exit 2 ... }
+package cliflags
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux
+	"os"
+	"time"
+
+	"calgo"
+)
+
+// ExitLegend is the exit-code convention shared by every calgo CLI; it
+// is appended to each tool's -h output.
+const ExitLegend = `
+Exit status:
+  0  OK: the property was verified / all runs passed
+  1  VIOLATION: a history or execution failed its check
+  2  usage or input error
+  3  UNKNOWN: interrupted, cancelled, or out of budget before a verdict
+     (a resource-bounded "don't know", not a failure)
+`
+
+// TraceSample is the 1-in-N sampling rate of -trace's JSON-lines output
+// for high-frequency events (NodeExpand, MemoHit, ElementAdmit,
+// Backtrack); SearchStart and SearchEnd are always written.
+const TraceSample = 64
+
+// FlightEvents is the ring capacity of the flight recorder attached by
+// -trace; the last FlightEvents events are dumped on VIOLATION/UNKNOWN.
+const FlightEvents = 4096
+
+// Set is the shared flag set of one tool, created by Register. After
+// flag.Parse and Start, it hands out the facade options implementing
+// the observability flags.
+type Set struct {
+	tool string
+
+	workers     *int
+	timeout     *time.Duration
+	metricsJSON *string
+	tracePath   *string
+	progress    *bool
+	pprofAddr   *string
+
+	start     time.Time
+	metrics   *calgo.Metrics
+	flight    *calgo.FlightRecorder
+	logTracer *calgo.LogTracer
+	traceFile *os.File // nil when tracing to stderr or disabled
+}
+
+// Register defines the shared flags on the default flag set and wraps
+// flag.Usage to append the exit-code legend. Call before flag.Parse.
+func Register(tool string) *Set {
+	s := &Set{
+		tool:        tool,
+		workers:     flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)"),
+		timeout:     flag.Duration("timeout", 0, "wall-clock deadline for the run (0 = none), e.g. 100ms, 30s; exceeding it exits 3 (UNKNOWN)"),
+		metricsJSON: flag.String("metrics-json", "", "write the metrics registry as JSON to this path when done (\"-\" = stdout)"),
+		tracePath:   flag.String("trace", "", "write sampled search-trace JSON lines to this path (\"-\" = stderr) and dump a flight-recorder ring on VIOLATION/UNKNOWN"),
+		progress:    flag.Bool("progress", false, "report live progress (states, states/sec, budget ETA) to stderr every second"),
+		pprofAddr:   flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration"),
+	}
+	prev := flag.Usage
+	flag.Usage = func() {
+		if prev != nil {
+			prev()
+		}
+		fmt.Fprint(flag.CommandLine.Output(), ExitLegend)
+	}
+	return s
+}
+
+// AliasWorkers registers name as a deprecated alias of -workers sharing
+// its value; when both are given the last one on the command line wins.
+func (s *Set) AliasWorkers(name string) {
+	flag.IntVar(s.workers, name, 0, "deprecated alias for -workers")
+}
+
+// Workers returns the -workers value (0 = GOMAXPROCS).
+func (s *Set) Workers() int { return *s.workers }
+
+// Timeout returns the -timeout value (0 = none).
+func (s *Set) Timeout() time.Duration { return *s.timeout }
+
+// WithTimeout derives the run's context from parent, applying -timeout
+// when set. The CancelFunc must be called to release the timer.
+func (s *Set) WithTimeout(parent context.Context) (context.Context, context.CancelFunc) {
+	if *s.timeout <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, *s.timeout)
+}
+
+// Start materializes the observability flags: opens the trace sink,
+// creates the metrics registry, starts the pprof server. Errors are
+// usage/environment errors (exit 2). Call after flag.Parse and pair
+// with Close.
+func (s *Set) Start() error {
+	s.start = time.Now()
+	if *s.metricsJSON != "" {
+		s.metrics = calgo.NewMetrics()
+	}
+	if *s.tracePath != "" {
+		w := os.Stderr
+		if *s.tracePath != "-" {
+			f, err := os.Create(*s.tracePath)
+			if err != nil {
+				return fmt.Errorf("opening trace sink: %w", err)
+			}
+			s.traceFile, w = f, f
+		}
+		s.logTracer = calgo.NewLogTracer(w, TraceSample)
+		s.flight = calgo.NewFlightRecorder(FlightEvents)
+	}
+	if *s.pprofAddr != "" {
+		if s.metrics == nil {
+			// The debug server's /debug/vars page is the natural place to
+			// watch the run's counters live, so -pprof implies a registry
+			// even without -metrics-json.
+			s.metrics = calgo.NewMetrics()
+		}
+		if err := s.metrics.PublishExpvar("calgo"); err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *s.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("starting pprof server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: pprof serving on http://%s/debug/pprof/ (metrics on /debug/vars)\n", s.tool, ln.Addr())
+		go func() {
+			_ = http.Serve(ln, nil) // default mux; net/http/pprof registered
+		}()
+	}
+	return nil
+}
+
+// Options returns the facade options implementing the observability and
+// pool flags: WithParallelism from -workers, WithTracer from -trace,
+// WithMetrics from -metrics-json, WithProgress from -progress. The
+// slice is append-compatible with tool-specific options.
+func (s *Set) Options() []calgo.Option {
+	opts := []calgo.Option{calgo.WithParallelism(*s.workers)}
+	if s.logTracer != nil {
+		opts = append(opts, calgo.WithTracer(calgo.MultiTracer(s.logTracer, s.flight)))
+	}
+	if s.metrics != nil {
+		opts = append(opts, calgo.WithMetrics(s.metrics))
+	}
+	if *s.progress {
+		opts = append(opts, calgo.WithProgress(time.Second, calgo.ProgressPrinter(os.Stderr, s.tool)))
+	}
+	return opts
+}
+
+// Metrics returns the registry backing -metrics-json, or nil when the
+// flag is off; tools may record their own gauges into it.
+func (s *Set) Metrics() *calgo.Metrics { return s.metrics }
+
+// DumpFlight writes the flight recorder's retained events to stderr.
+// Call it when the run ends in VIOLATION or UNKNOWN; it is a no-op when
+// -trace is off or nothing was recorded.
+func (s *Set) DumpFlight() {
+	if s.flight == nil || s.flight.Total() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: flight recorder (-trace) ring:\n", s.tool)
+	_ = s.flight.Dump(os.Stderr)
+}
+
+// Report is the -metrics-json document: the tool name, wall-clock
+// elapsed time, and the metrics registry snapshot (schema
+// calgo.MetricsSchemaVersion).
+type Report struct {
+	Tool      string                `json:"tool"`
+	ElapsedNS int64                 `json:"elapsed_ns"`
+	Metrics   calgo.MetricsSnapshot `json:"metrics"`
+}
+
+// Finish flushes the end-of-run outputs: snapshots runtime memory
+// gauges and writes the -metrics-json document, and surfaces any -trace
+// write error. Errors are environment errors (exit 2).
+func (s *Set) Finish() error {
+	if s.logTracer != nil {
+		if err := s.logTracer.Err(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if s.metrics == nil || *s.metricsJSON == "" {
+		return nil
+	}
+	s.metrics.SnapshotMemStats()
+	doc := Report{
+		Tool:      s.tool,
+		ElapsedNS: time.Since(s.start).Nanoseconds(),
+		Metrics:   s.metrics.Snapshot(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *s.metricsJSON == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(*s.metricsJSON, b, 0o644); err != nil {
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return nil
+}
+
+// Close releases the trace sink. Safe to call once, after Finish.
+func (s *Set) Close() {
+	if s.traceFile != nil {
+		_ = s.traceFile.Close()
+		s.traceFile = nil
+	}
+}

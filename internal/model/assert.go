@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"calgo/internal/check"
@@ -238,7 +239,7 @@ func VerifyCAL(sp spec.Spec, project func(trace.Trace) trace.Trace, runChecker b
 			return fmt.Errorf("history/trace agreement: %w", err)
 		}
 		if runChecker {
-			r, err := check.CAL(h, sp)
+			r, err := check.CAL(context.Background(), h, sp)
 			if err != nil {
 				return fmt.Errorf("CAL checker: %w", err)
 			}

@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -13,11 +14,11 @@ import (
 func exploreDQ(t *testing.T, cfg model.DQConfig, maxStates int) sched.Stats {
 	t.Helper()
 	init := model.NewDualQueue(cfg)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewDualQueue(init.Object()), nil, true),
-		AllowDeadlock: true,
-		MaxStates:     maxStates,
-	})
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewDualQueue(init.Object()), nil, true)),
+		sched.WithDeadlockAllowed(),
+		sched.WithMaxStates(maxStates))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -92,11 +93,11 @@ func TestDualQueueHeadKindBugCaught(t *testing.T) {
 			{model.Deq()},
 		},
 	})
-	_, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewDualQueue("DQ"), nil, true),
-		AllowDeadlock: true,
-		MaxStates:     8_000_000,
-	})
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewDualQueue("DQ"), nil, true)),
+		sched.WithDeadlockAllowed(),
+		sched.WithMaxStates(8_000_000))
 	var verr *sched.ViolationError
 	if !errors.As(err, &verr) {
 		t.Fatalf("head-kind bug escaped exploration (err = %v)", err)

@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"testing"
 
 	"calgo/internal/model"
@@ -12,11 +13,11 @@ import (
 func exploreDS(t *testing.T, cfg model.DSConfig, maxStates int) sched.Stats {
 	t.Helper()
 	init := model.NewDualStack(cfg)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewDualStack(init.Object()), nil, true),
-		AllowDeadlock: true,
-		MaxStates:     maxStates,
-	})
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewDualStack(init.Object()), nil, true)),
+		sched.WithDeadlockAllowed(),
+		sched.WithMaxStates(maxStates))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -68,9 +69,10 @@ func TestDualStackModelOutcomeCoverage(t *testing.T) {
 		{model.Pop()},
 	}})
 	fulfilments, cancels, ordinary := 0, 0, 0
-	_, err := sched.Explore(init, sched.Options{
-		AllowDeadlock: true,
-		Terminal: func(st sched.State) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithDeadlockAllowed(),
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.DSState)
 			for _, el := range s.Trace {
 				switch {
@@ -83,8 +85,7 @@ func TestDualStackModelOutcomeCoverage(t *testing.T) {
 				}
 			}
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,17 +118,17 @@ func TestExchangerModelFourThreads(t *testing.T) {
 		t.Skip("2.5M-state exploration skipped in -short mode")
 	}
 	init := model.NewExchanger(model.ExchangerConfig{Programs: [][]int64{{1}, {2}, {3}, {4}}})
-	stats, err := sched.Explore(init, sched.Options{
-		Invariant: func(st sched.State) error {
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithInvariant(func(st sched.State) error {
 			if err := model.InvariantJ(st); err != nil {
 				return err
 			}
 			return model.ProofOutline(st)
-		},
-		Transition: rg.Hook(true),
-		Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-		MaxStates:  3_000_000,
-	})
+		}),
+		sched.WithTransition(rg.Hook(true)),
+		sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)),
+		sched.WithMaxStates(3_000_000))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}

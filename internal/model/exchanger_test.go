@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -19,16 +20,16 @@ import (
 func explore(t *testing.T, cfg model.ExchangerConfig) sched.Stats {
 	t.Helper()
 	init := model.NewExchanger(cfg)
-	stats, err := sched.Explore(init, sched.Options{
-		Invariant: func(st sched.State) error {
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithInvariant(func(st sched.State) error {
 			if err := model.InvariantJ(st); err != nil {
 				return err
 			}
 			return model.ProofOutline(st)
-		},
-		Transition: rg.Hook(true),
-		Terminal:   model.VerifyCAL(spec.NewExchanger(init.Object()), nil, true),
-	})
+		}),
+		sched.WithTransition(rg.Hook(true)),
+		sched.WithTerminal(model.VerifyCAL(spec.NewExchanger(init.Object()), nil, true)))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -60,10 +61,11 @@ func TestExploreRepeatedOps(t *testing.T) {
 func TestExploreSingleThread(t *testing.T) {
 	// A lone thread must always fail its exchanges.
 	init := model.NewExchanger(model.ExchangerConfig{Programs: [][]int64{{5, 6}}})
-	stats, err := sched.Explore(init, sched.Options{
-		Invariant:  model.ProofOutline,
-		Transition: rg.Hook(true),
-		Terminal: func(st sched.State) error {
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithInvariant(model.ProofOutline),
+		sched.WithTransition(rg.Hook(true)),
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.ExchangerState)
 			for _, el := range s.Trace {
 				if el.Size() != 1 {
@@ -71,8 +73,7 @@ func TestExploreSingleThread(t *testing.T) {
 				}
 			}
 			return model.VerifyCAL(spec.NewExchanger("E"), nil, true)(st)
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -87,8 +88,9 @@ func TestExploreSingleThread(t *testing.T) {
 func TestExploreFindsCanonicalOutcomes(t *testing.T) {
 	init := model.NewExchanger(model.ExchangerConfig{Programs: [][]int64{{3}, {4}, {7}}})
 	swaps, allFail := 0, 0
-	_, err := sched.Explore(init, sched.Options{
-		Terminal: func(st sched.State) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.ExchangerState)
 			hasSwap := false
 			for _, el := range s.Trace {
@@ -102,8 +104,7 @@ func TestExploreFindsCanonicalOutcomes(t *testing.T) {
 				allFail++
 			}
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,16 +138,16 @@ func TestBugsAreCaught(t *testing.T) {
 				Programs: [][]int64{{3}, {4}},
 				Bug:      tt.bug,
 			})
-			_, err := sched.Explore(init, sched.Options{
-				Invariant: func(st sched.State) error {
+			_, err := sched.Explore(context.Background(),
+				init,
+				sched.WithInvariant(func(st sched.State) error {
 					if err := model.InvariantJ(st); err != nil {
 						return err
 					}
 					return model.ProofOutline(st)
-				},
-				Transition: rg.Hook(false),
-				Terminal:   model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-			})
+				}),
+				sched.WithTransition(rg.Hook(false)),
+				sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)))
 			var verr *sched.ViolationError
 			if !errors.As(err, &verr) {
 				t.Fatalf("bug %q escaped verification (err = %v)", tt.bug, err)

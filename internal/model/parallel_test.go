@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"testing"
@@ -16,17 +17,17 @@ import (
 func exploreF1(t *testing.T, parallelism int) sched.Stats {
 	t.Helper()
 	init := model.NewExchanger(model.ExchangerConfig{Programs: [][]int64{{3}, {4}, {7}}})
-	stats, err := sched.Explore(init, sched.Options{
-		Invariant: func(st sched.State) error {
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithInvariant(func(st sched.State) error {
 			if err := model.InvariantJ(st); err != nil {
 				return err
 			}
 			return model.ProofOutline(st)
-		},
-		Transition:  rg.Hook(true),
-		Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-		Parallelism: parallelism,
-	})
+		}),
+		sched.WithTransition(rg.Hook(true)),
+		sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)),
+		sched.WithParallelism(parallelism))
 	if err != nil {
 		t.Fatalf("parallelism %d: %v", parallelism, err)
 	}
@@ -46,11 +47,11 @@ func exploreF2(t *testing.T, parallelism int) sched.Stats {
 			{model.Pop()},
 		},
 	})
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewStack("ES"), init.Project, true),
-		AllowDeadlock: true,
-		Parallelism:   parallelism,
-	})
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewStack("ES"), init.Project, true)),
+		sched.WithDeadlockAllowed(),
+		sched.WithParallelism(parallelism))
 	if err != nil {
 		t.Fatalf("parallelism %d: %v", parallelism, err)
 	}
@@ -105,17 +106,17 @@ func TestParallelCatchesInjectedDefects(t *testing.T) {
 				Programs: [][]int64{{3}, {4}},
 				Bug:      bug,
 			})
-			_, err := sched.Explore(init, sched.Options{
-				Invariant: func(st sched.State) error {
+			_, err := sched.Explore(context.Background(),
+				init,
+				sched.WithInvariant(func(st sched.State) error {
 					if err := model.InvariantJ(st); err != nil {
 						return err
 					}
 					return model.ProofOutline(st)
-				},
-				Transition:  rg.Hook(false),
-				Terminal:    model.VerifyCAL(spec.NewExchanger("E"), nil, true),
-				Parallelism: 4,
-			})
+				}),
+				sched.WithTransition(rg.Hook(false)),
+				sched.WithTerminal(model.VerifyCAL(spec.NewExchanger("E"), nil, true)),
+				sched.WithParallelism(4))
 			var verr *sched.ViolationError
 			if !errors.As(err, &verr) {
 				t.Fatalf("bug %q escaped the parallel exploration (err = %v)", bug, err)

@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"testing"
 
 	"calgo/internal/model"
@@ -11,9 +12,9 @@ import (
 func exploreIS(t *testing.T, values []int64, maxStates int) sched.Stats {
 	t.Helper()
 	init := model.NewSnapshot(model.ISConfig{Values: values})
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal: model.VerifyCAL(spec.NewSnapshot(init.Object(), len(values)), init.Project, true),
-	})
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewSnapshot(init.Object(), len(values)), init.Project, true)))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -40,8 +41,9 @@ func TestSnapshotModelThreeParticipants(t *testing.T) {
 func TestSnapshotModelBlockSizes(t *testing.T) {
 	init := model.NewSnapshot(model.ISConfig{Values: []int64{1, 2, 3}})
 	shapes := map[string]int{}
-	_, err := sched.Explore(init, sched.Options{
-		Terminal: func(st sched.State) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.ISState)
 			blocks := s.Project(s.AuxTrace())
 			key := ""
@@ -50,8 +52,7 @@ func TestSnapshotModelBlockSizes(t *testing.T) {
 			}
 			shapes[key]++
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -14,9 +15,9 @@ import (
 func exploreStack(t *testing.T, cfg model.StackConfig) sched.Stats {
 	t.Helper()
 	init := model.NewStack(cfg)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal: model.VerifyCAL(spec.NewCentralStack(init.Object()), nil, true),
-	})
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewCentralStack(init.Object()), nil, true)))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -60,8 +61,9 @@ func TestStackModelContentionObserved(t *testing.T) {
 		{model.Push(2)},
 	}})
 	misses := 0
-	_, err := sched.Explore(init, sched.Options{
-		Terminal: func(st sched.State) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.StackState)
 			for _, el := range s.Trace {
 				op := el.Ops[0]
@@ -70,8 +72,7 @@ func TestStackModelContentionObserved(t *testing.T) {
 				}
 			}
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestStackModelContentionObserved(t *testing.T) {
 func exploreES(t *testing.T, cfg model.ESConfig, maxStates int) sched.Stats {
 	t.Helper()
 	init := model.NewElimStack(cfg)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal:      model.VerifyCAL(spec.NewStack(init.Object()), init.Project, true),
-		AllowDeadlock: true,
-		MaxStates:     maxStates,
-	})
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewStack(init.Object()), init.Project, true)),
+		sched.WithDeadlockAllowed(),
+		sched.WithMaxStates(maxStates))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -153,9 +154,10 @@ func TestElimStackEliminationObserved(t *testing.T) {
 		},
 	})
 	eliminations := 0
-	_, err := sched.Explore(init, sched.Options{
-		AllowDeadlock: true,
-		Terminal: func(st sched.State) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithDeadlockAllowed(),
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.ESState)
 			for _, el := range s.Trace {
 				if el.Size() == 2 {
@@ -167,8 +169,7 @@ func TestElimStackEliminationObserved(t *testing.T) {
 				}
 			}
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,16 +191,16 @@ func TestElimStackBoundedRetryHalts(t *testing.T) {
 		},
 	})
 	halted := 0
-	stats, err := sched.Explore(init, sched.Options{
-		AllowDeadlock: true,
-		Terminal: func(st sched.State) error {
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithDeadlockAllowed(),
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.ESState)
 			if !s.Done() {
 				halted++
 			}
 			return model.VerifyCAL(spec.NewStack(s.Object()), s.Project, true)(st)
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,10 @@ func TestExploreMaxStates(t *testing.T) {
 			{model.Push(1)}, {model.Pop()}, {model.Push(2)},
 		},
 	})
-	_, err := sched.Explore(init, sched.Options{MaxStates: 100, AllowDeadlock: true})
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithMaxStates(100),
+		sched.WithDeadlockAllowed())
 	if !errors.Is(err, sched.ErrMaxStates) {
 		t.Errorf("err = %v, want ErrMaxStates", err)
 	}

@@ -1,6 +1,7 @@
 package model_test
 
 import (
+	"context"
 	"testing"
 
 	"calgo/internal/model"
@@ -11,9 +12,9 @@ import (
 func exploreSQ(t *testing.T, cfg model.SQConfig) sched.Stats {
 	t.Helper()
 	init := model.NewSyncQueue(cfg)
-	stats, err := sched.Explore(init, sched.Options{
-		Terminal: model.VerifyCAL(spec.NewSyncQueue(init.Object()), nil, true),
-	})
+	stats, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(model.VerifyCAL(spec.NewSyncQueue(init.Object()), nil, true)))
 	if err != nil {
 		t.Fatalf("exploration failed: %v", err)
 	}
@@ -56,8 +57,9 @@ func TestSyncQueueModelOutcomes(t *testing.T) {
 		{model.Take()},
 	}})
 	handOffs, allFail := 0, 0
-	_, err := sched.Explore(init, sched.Options{
-		Terminal: func(st sched.State) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.SQState)
 			saw := false
 			for _, el := range s.Trace {
@@ -71,8 +73,7 @@ func TestSyncQueueModelOutcomes(t *testing.T) {
 				allFail++
 			}
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +93,9 @@ func TestSyncQueueModelSameKindNeverPair(t *testing.T) {
 		{model.Put(1)},
 		{model.Put(2)},
 	}})
-	_, err := sched.Explore(init, sched.Options{
-		Terminal: func(st sched.State) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTerminal(func(st sched.State) error {
 			s := st.(*model.SQState)
 			for _, el := range s.Trace {
 				if el.Size() == 2 {
@@ -101,8 +103,7 @@ func TestSyncQueueModelSameKindNeverPair(t *testing.T) {
 				}
 			}
 			return model.VerifyCAL(spec.NewSyncQueue("SQ"), nil, true)(st)
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dualstack
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -164,7 +165,7 @@ func TestRuntimeVerificationDualStack(t *testing.T) {
 	if err := trace.Agrees(h, tr); err != nil {
 		t.Fatalf("history does not agree with recorded trace: %v", err)
 	}
-	r, err := check.CAL(h, sp)
+	r, err := check.CAL(context.Background(), h, sp)
 	if err != nil {
 		t.Fatalf("CAL: %v", err)
 	}

@@ -1,6 +1,7 @@
 package elimstack
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -312,7 +313,7 @@ func TestRuntimeVerificationElimStack(t *testing.T) {
 	}
 	// (iii) Independent check: the history is linearizable (Def. 6 with
 	// singleton elements, since the stack spec is sequential).
-	r, err := check.Linearizable(h, spec.NewStack(objES))
+	r, err := check.Linearizable(context.Background(), h, spec.NewStack(objES))
 	if err != nil {
 		t.Fatalf("Linearizable: %v", err)
 	}

@@ -1,6 +1,7 @@
 package exchanger
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -226,7 +227,7 @@ func TestRuntimeVerificationCAL(t *testing.T) {
 	if err := trace.Agrees(h, tr); err != nil {
 		t.Fatalf("history does not agree with recorded trace: %v", err)
 	}
-	r, err := check.CAL(h, spec.NewExchanger(objE))
+	r, err := check.CAL(context.Background(), h, spec.NewExchanger(objE))
 	if err != nil {
 		t.Fatalf("CAL: %v", err)
 	}

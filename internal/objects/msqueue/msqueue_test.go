@@ -1,6 +1,7 @@
 package msqueue
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -121,14 +122,14 @@ func TestRuntimeVerificationLinearizable(t *testing.T) {
 	if err := trace.Agrees(h, tr); err != nil {
 		t.Fatalf("history does not agree with recorded trace: %v", err)
 	}
-	lin, err := check.Linearizable(h, spec.NewQueue(objQ))
+	lin, err := check.Linearizable(context.Background(), h, spec.NewQueue(objQ))
 	if err != nil {
 		t.Fatalf("Linearizable: %v", err)
 	}
 	if !lin.OK {
 		t.Fatalf("MS queue history not linearizable: %s", lin.Reason)
 	}
-	cal, err := check.CAL(h, spec.NewQueue(objQ))
+	cal, err := check.CAL(context.Background(), h, spec.NewQueue(objQ))
 	if err != nil {
 		t.Fatalf("CAL: %v", err)
 	}

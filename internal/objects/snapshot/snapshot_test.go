@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -149,7 +150,7 @@ func TestRuntimeVerificationSnapshot(t *testing.T) {
 		if err := trace.Agrees(h, tr); err != nil {
 			t.Fatalf("round %d: history disagrees with derived trace: %v", round, err)
 		}
-		r, err := check.CAL(h, sp)
+		r, err := check.CAL(context.Background(), h, sp)
 		if err != nil {
 			t.Fatalf("round %d: CAL: %v", round, err)
 		}
@@ -194,7 +195,7 @@ func TestSequentialRunIsAlsoLinearizable(t *testing.T) {
 	if len(tr) != 3 {
 		t.Fatalf("sequential run should yield 3 singleton blocks, got %s", tr)
 	}
-	r, err := check.Linearizable(cap.History(), spec.NewSnapshot(objIS, 3))
+	r, err := check.Linearizable(context.Background(), cap.History(), spec.NewSnapshot(objIS, 3))
 	if err != nil {
 		t.Fatal(err)
 	}

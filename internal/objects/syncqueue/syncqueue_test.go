@@ -1,6 +1,7 @@
 package syncqueue
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -175,7 +176,7 @@ func TestRuntimeVerificationSyncQueue(t *testing.T) {
 	if err := trace.Agrees(h, tr); err != nil {
 		t.Fatalf("history does not agree with trace: %v", err)
 	}
-	r, err := check.CAL(h, spec.NewSyncQueue(objQ))
+	r, err := check.CAL(context.Background(), h, spec.NewSyncQueue(objQ))
 	if err != nil {
 		t.Fatalf("CAL: %v", err)
 	}
@@ -184,7 +185,7 @@ func TestRuntimeVerificationSyncQueue(t *testing.T) {
 	}
 	// Under a sequential reading the same history must be rejected as soon
 	// as any hand-off succeeded (successful puts cannot stand alone).
-	lin, err := check.Linearizable(h, spec.NewSyncQueue(objQ))
+	lin, err := check.Linearizable(context.Background(), h, spec.NewSyncQueue(objQ))
 	if err != nil {
 		t.Fatalf("Linearizable: %v", err)
 	}

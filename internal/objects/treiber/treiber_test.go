@@ -1,6 +1,7 @@
 package treiber
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -140,7 +141,7 @@ func TestRuntimeVerificationLinearizable(t *testing.T) {
 	if err := trace.Agrees(h, tr); err != nil {
 		t.Fatalf("history does not agree with recorded trace: %v", err)
 	}
-	r, err := check.Linearizable(h, spec.NewCentralStack(objS))
+	r, err := check.Linearizable(context.Background(), h, spec.NewCentralStack(objS))
 	if err != nil {
 		t.Fatalf("Linearizable: %v", err)
 	}

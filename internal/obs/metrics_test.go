@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("x.count") != c {
+		t.Fatal("Counter should return the same instrument for the same name")
+	}
+	g := m.Gauge("x.gauge")
+	g.Set(7)
+	g.SetMax(3) // lower: no effect
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(11)
+	if got := g.Value(); got != 11 {
+		t.Fatalf("gauge = %d, want 11", got)
+	}
+	g.Add(-1)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d, want 10", got)
+	}
+}
+
+func TestNilMetricsIsDisabledSink(t *testing.T) {
+	var m *Metrics
+	if m.Counter("a") != nil || m.Gauge("b") != nil || m.Histogram("c") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	m.SnapshotMemStats() // must not panic
+	s := m.Snapshot()
+	if s.Schema != SchemaVersion || len(s.Counters) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if m.Names() != nil {
+		t.Fatal("nil registry has no names")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("x.hist")
+	for _, v := range []int64{0, 1, 1, 2, 3, 7, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 1014 { // -5 clamps to 0
+		t.Fatalf("sum = %d, want 1014", h.Sum())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d, want 1000", h.Max())
+	}
+	snap := h.snapshot()
+	// Buckets: le=0 {0, -5}, le=1 {1,1}, le=3 {2,3}, le=7 {7}, le=1023 {1000}.
+	want := []BucketCount{{0, 2}, {1, 2}, {3, 2}, {7, 1}, {1023, 1}}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", snap.Buckets, want)
+	}
+	for i, b := range want {
+		if snap.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, snap.Buckets[i], b)
+		}
+	}
+}
+
+// TestSnapshotJSONGolden pins the metrics JSON schema: the exact
+// document shape consumers of -metrics-json parse. Changing this golden
+// requires bumping SchemaVersion and the EXPERIMENTS.md schema note.
+func TestSnapshotJSONGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("check.states").Add(42)
+	m.Counter("check.memo_hits").Add(7)
+	m.Gauge("check.frontier_depth").Set(5)
+	h := m.Histogram("check.element_size")
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(2)
+
+	got, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"schema":"calgo.metrics/v1",` +
+		`"counters":{"check.memo_hits":7,"check.states":42},` +
+		`"gauges":{"check.frontier_depth":5},` +
+		`"histograms":{"check.element_size":{"count":3,"sum":5,"max":2,` +
+		`"buckets":[{"le":1,"count":1},{"le":3,"count":2}]}}}`
+	if string(got) != golden {
+		t.Errorf("metrics JSON schema drifted:\n got: %s\nwant: %s", got, golden)
+	}
+
+	// The document must round-trip through the exported Snapshot type.
+	var s Snapshot
+	if err := json.Unmarshal(got, &s); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if s.Counters["check.states"] != 42 || s.Histograms["check.element_size"].Count != 3 {
+		t.Fatalf("round-tripped snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Counter("c").Inc()
+				m.Gauge("g").SetMax(int64(j))
+				m.Histogram("h").Observe(int64(j))
+				_ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := m.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("b")
+	m.Gauge("a")
+	m.Histogram("c")
+	got := m.Names()
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotMemStats(t *testing.T) {
+	m := NewMetrics()
+	m.SnapshotMemStats()
+	if m.Gauge("go.heap_alloc_bytes").Value() <= 0 {
+		t.Fatal("heap_alloc_bytes should be positive")
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x").Add(3)
+	if err := m.PublishExpvar("calgo.test.metrics"); err != nil {
+		t.Fatal(err)
+	}
+	v := expvar.Get("calgo.test.metrics")
+	if v == nil {
+		t.Fatal("metrics not published")
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar value is not the snapshot document: %v", err)
+	}
+	if s.Counters["x"] != 3 {
+		t.Fatalf("expvar snapshot = %+v", s)
+	}
+	if err := m.PublishExpvar("calgo.test.metrics"); err == nil {
+		t.Fatal("double publish must fail, not panic")
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is one periodic snapshot of a running search, built by the
+// reporter from a live state counter.
+type Progress struct {
+	// States is the number of search states expanded so far.
+	States int64
+	// Budget is the search's state budget (0 = unbounded).
+	Budget int64
+	// Elapsed is the time since the reporter started.
+	Elapsed time.Duration
+	// Rate is the average expansion rate in states/sec over Elapsed.
+	Rate float64
+	// ETA projects how much longer the search can run before exhausting
+	// Budget at the current Rate; zero when Budget is 0 or Rate is 0.
+	ETA time.Duration
+	// Final marks the closing report emitted when the search ends.
+	Final bool
+}
+
+// String renders the snapshot as one status line.
+func (p Progress) String() string {
+	s := fmt.Sprintf("%d states in %v (%.0f states/s", p.States, p.Elapsed.Round(time.Millisecond), p.Rate)
+	if p.Budget > 0 {
+		s += fmt.Sprintf(", budget %d", p.Budget)
+		if p.ETA > 0 && !p.Final {
+			s += fmt.Sprintf(", budget ETA %v", p.ETA.Round(time.Second))
+		}
+	}
+	s += ")"
+	if p.Final {
+		s += " done"
+	}
+	return s
+}
+
+// StartProgress launches a goroutine that calls fn with a Progress
+// snapshot every interval, reading the live state count from states
+// (which must be safe to call concurrently). The returned stop function
+// halts the reporter, emits one final snapshot (Final = true), and does
+// not return until the goroutine has exited — after stop returns, fn is
+// never called again. stop is idempotent.
+func StartProgress(interval time.Duration, budget int64, states func() int64, fn func(Progress)) (stop func()) {
+	if interval <= 0 || fn == nil || states == nil {
+		return func() {}
+	}
+	start := time.Now()
+	snap := func(final bool) Progress {
+		p := Progress{
+			States:  states(),
+			Budget:  budget,
+			Elapsed: time.Since(start),
+			Final:   final,
+		}
+		if secs := p.Elapsed.Seconds(); secs > 0 {
+			p.Rate = float64(p.States) / secs
+		}
+		if budget > 0 && p.Rate > 0 && p.States < budget {
+			p.ETA = time.Duration(float64(budget-p.States) / p.Rate * float64(time.Second))
+		}
+		return p
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fn(snap(false))
+			case <-done:
+				fn(snap(true))
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
+}
+
+// ProgressPrinter returns a Progress callback that writes "label:
+// <snapshot>" lines to w — the CLIs' -progress implementation.
+func ProgressPrinter(w io.Writer, label string) func(Progress) {
+	return func(p Progress) {
+		fmt.Fprintf(w, "%s: %s\n", label, p)
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStartProgressReportsAndStops(t *testing.T) {
+	var states atomic.Int64
+	var mu sync.Mutex
+	var got []Progress
+	stop := StartProgress(5*time.Millisecond, 1000, states.Load, func(p Progress) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	states.Store(100)
+	time.Sleep(30 * time.Millisecond)
+	states.Store(200)
+	stop()
+	stop() // idempotent
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 2 {
+		t.Fatalf("got %d reports, want at least a tick and the final", len(got))
+	}
+	last := got[len(got)-1]
+	if !last.Final {
+		t.Fatal("last report must be Final")
+	}
+	if last.States != 200 {
+		t.Fatalf("final states = %d, want 200", last.States)
+	}
+	if last.Budget != 1000 {
+		t.Fatalf("budget = %d, want 1000", last.Budget)
+	}
+	if last.Rate <= 0 {
+		t.Fatalf("rate = %v, want > 0", last.Rate)
+	}
+	for _, p := range got[:len(got)-1] {
+		if p.Final {
+			t.Fatal("only the last report may be Final")
+		}
+	}
+}
+
+func TestStartProgressETA(t *testing.T) {
+	// A mid-flight snapshot with a budget projects a positive ETA.
+	var calls int
+	var sawETA bool
+	var mu sync.Mutex
+	stop := StartProgress(2*time.Millisecond, 1_000_000_000, func() int64 { return 10 }, func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if !p.Final && p.ETA > 0 {
+			sawETA = true
+		}
+	})
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Fatal("no reports")
+	}
+	if !sawETA {
+		t.Fatal("expected a positive ETA against the budget")
+	}
+}
+
+func TestStartProgressDisabled(t *testing.T) {
+	stop := StartProgress(0, 0, func() int64 { return 0 }, func(Progress) { t.Fatal("must not fire") })
+	stop()
+	stop = StartProgress(time.Millisecond, 0, nil, nil)
+	stop()
+}
+
+func TestProgressPrinter(t *testing.T) {
+	var buf bytes.Buffer
+	fn := ProgressPrinter(&buf, "calcheck")
+	fn(Progress{States: 500, Budget: 1000, Elapsed: 2 * time.Second, Rate: 250})
+	out := buf.String()
+	if !strings.HasPrefix(out, "calcheck: ") {
+		t.Errorf("missing label: %q", out)
+	}
+	for _, want := range []string{"500 states", "250 states/s", "budget 1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q: %q", want, out)
+		}
+	}
+	buf.Reset()
+	fn(Progress{States: 1000, Elapsed: time.Second, Rate: 1000, Final: true})
+	if !strings.Contains(buf.String(), "done") {
+		t.Errorf("final report should say done: %q", buf.String())
+	}
+}

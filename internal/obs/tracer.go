@@ -1,0 +1,349 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind names one search occurrence.
+type EventKind uint8
+
+const (
+	// EvSearchStart opens a search; Arg is the problem size (operations
+	// for the checker, client threads for the explorer).
+	EvSearchStart EventKind = iota + 1
+	// EvNodeExpand records one search node expanded; Depth is the
+	// linearization depth (checker) or schedule depth (explorer), Arg the
+	// running state count.
+	EvNodeExpand
+	// EvMemoHit records a node pruned by memoization; Depth as above.
+	EvMemoHit
+	// EvElementAdmit records a CA-element accepted by the specification;
+	// Depth is the linearization depth before the element, Arg its size.
+	EvElementAdmit
+	// EvBacktrack records an admitted element being undone after its
+	// subtree failed; Depth and Arg mirror the matching EvElementAdmit.
+	EvBacktrack
+	// EvSearchEnd closes a search; Arg is the total state count and Verdict
+	// the outcome ("Sat", "Unsat", "Unknown" — or "ok"/"violation" for the
+	// explorer).
+	EvSearchEnd
+)
+
+// String renders the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSearchStart:
+		return "SearchStart"
+	case EvNodeExpand:
+		return "NodeExpand"
+	case EvMemoHit:
+		return "MemoHit"
+	case EvElementAdmit:
+		return "ElementAdmit"
+	case EvBacktrack:
+		return "Backtrack"
+	case EvSearchEnd:
+		return "SearchEnd"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one traced search occurrence. Events are small values passed
+// by value: emitting one allocates nothing.
+type Event struct {
+	// Seq is the 1-based sequence number assigned by the receiving
+	// tracer, totally ordering the events it retained.
+	Seq uint64 `json:"seq"`
+	// Kind is the occurrence type.
+	Kind EventKind `json:"-"`
+	// Depth is the search depth the event occurred at (see EventKind).
+	Depth int `json:"depth"`
+	// Arg is the kind-specific payload (see EventKind).
+	Arg int64 `json:"arg"`
+	// Verdict is set on EvSearchEnd only.
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// MarshalJSON renders the event with the kind spelled out.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type alias Event // avoid recursing into this method
+	return json.Marshal(struct {
+		Kind string `json:"ev"`
+		alias
+	}{Kind: e.Kind.String(), alias: alias(e)})
+}
+
+// String renders the event as one human-readable line.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvSearchEnd:
+		return fmt.Sprintf("#%d %s depth=%d states=%d verdict=%s", e.Seq, e.Kind, e.Depth, e.Arg, e.Verdict)
+	case EvElementAdmit, EvBacktrack:
+		return fmt.Sprintf("#%d %s depth=%d size=%d", e.Seq, e.Kind, e.Depth, e.Arg)
+	default:
+		return fmt.Sprintf("#%d %s depth=%d arg=%d", e.Seq, e.Kind, e.Depth, e.Arg)
+	}
+}
+
+// Tracer receives span-style hooks from a search. A search brackets its
+// run in SearchStart/SearchEnd and reports node expansions, memoization
+// hits, admitted CA-elements and backtracks in between; ElementAdmit and
+// Backtrack calls are balanced for every element that does not end up on
+// the accepting path. Implementations must be safe for concurrent use:
+// the parallel explorer emits from every worker.
+//
+// Hot paths guard every hook site with a nil-interface check, so a nil
+// Tracer (the default) costs one predictable branch and zero
+// allocations.
+type Tracer interface {
+	SearchStart(size int)
+	NodeExpand(depth int, states int64)
+	MemoHit(depth int)
+	ElementAdmit(depth, size int)
+	Backtrack(depth, size int)
+	SearchEnd(verdict string, states int64)
+}
+
+// FlightRecorder is a fixed-capacity ring buffer of the most recent
+// search events — a post-mortem instrument: run the search with it
+// attached, and when the verdict is surprising (Unsat, Unknown) dump the
+// tail of the search that led there. Retaining only the last N events
+// keeps memory constant no matter how large the search was.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []Event
+	seq  uint64 // events ever emitted; ring holds the trailing len(ring)
+}
+
+// DefaultFlightEvents is the ring capacity used by the CLIs' -trace flag.
+const DefaultFlightEvents = 256
+
+// NewFlightRecorder returns a recorder retaining the last n events
+// (n < 1 panics: a recorder that can hold nothing is a call-site bug).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		panic(fmt.Sprintf("obs: NewFlightRecorder capacity %d < 1", n))
+	}
+	return &FlightRecorder{ring: make([]Event, 0, n)}
+}
+
+func (f *FlightRecorder) record(e Event) {
+	f.mu.Lock()
+	f.seq++
+	e.Seq = f.seq
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[(f.seq-1)%uint64(cap(f.ring))] = e
+	}
+	f.mu.Unlock()
+}
+
+// SearchStart implements Tracer.
+func (f *FlightRecorder) SearchStart(size int) {
+	f.record(Event{Kind: EvSearchStart, Arg: int64(size)})
+}
+
+// NodeExpand implements Tracer.
+func (f *FlightRecorder) NodeExpand(depth int, states int64) {
+	f.record(Event{Kind: EvNodeExpand, Depth: depth, Arg: states})
+}
+
+// MemoHit implements Tracer.
+func (f *FlightRecorder) MemoHit(depth int) {
+	f.record(Event{Kind: EvMemoHit, Depth: depth})
+}
+
+// ElementAdmit implements Tracer.
+func (f *FlightRecorder) ElementAdmit(depth, size int) {
+	f.record(Event{Kind: EvElementAdmit, Depth: depth, Arg: int64(size)})
+}
+
+// Backtrack implements Tracer.
+func (f *FlightRecorder) Backtrack(depth, size int) {
+	f.record(Event{Kind: EvBacktrack, Depth: depth, Arg: int64(size)})
+}
+
+// SearchEnd implements Tracer.
+func (f *FlightRecorder) SearchEnd(verdict string, states int64) {
+	f.record(Event{Kind: EvSearchEnd, Arg: states, Verdict: verdict})
+}
+
+// Total returns the number of events ever emitted into the recorder
+// (>= len(Events()) once the ring has wrapped).
+func (f *FlightRecorder) Total() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, 0, len(f.ring))
+	if len(f.ring) < cap(f.ring) || f.seq == 0 {
+		return append(out, f.ring...)
+	}
+	// The ring wrapped: the oldest retained event sits right after the
+	// newest slot.
+	start := int(f.seq % uint64(cap(f.ring)))
+	out = append(out, f.ring[start:]...)
+	return append(out, f.ring[:start]...)
+}
+
+// Dump writes the retained events to w, oldest first, one line each,
+// preceded by a header stating how many events were dropped.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	events := f.Events()
+	total := f.Total()
+	if _, err := fmt.Fprintf(w, "flight recorder: last %d of %d events\n", len(events), total); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "  %s\n", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LogTracer writes sampled events to an io.Writer as JSON lines. Every
+// SearchStart and SearchEnd is logged; of the high-frequency events
+// (NodeExpand, MemoHit, ElementAdmit, Backtrack) only every sample-th is,
+// so tracing a million-state search produces kilobytes, not gigabytes.
+type LogTracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	sample uint64
+	seq    uint64
+	err    error // first write error; subsequent events are dropped
+}
+
+// NewLogTracer returns a tracer logging to w, keeping one in sample
+// high-frequency events (sample <= 1 logs everything).
+func NewLogTracer(w io.Writer, sample int) *LogTracer {
+	if sample < 1 {
+		sample = 1
+	}
+	return &LogTracer{w: w, sample: uint64(sample)}
+}
+
+// Err returns the first write error, if any; the tracer drops events
+// after a failed write rather than failing the search.
+func (l *LogTracer) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+func (l *LogTracer) log(e Event, always bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if !always && l.seq%l.sample != 0 {
+		return
+	}
+	if l.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		l.err = err
+		return
+	}
+	if _, err := l.w.Write(append(b, '\n')); err != nil {
+		l.err = err
+	}
+}
+
+// SearchStart implements Tracer.
+func (l *LogTracer) SearchStart(size int) {
+	l.log(Event{Kind: EvSearchStart, Arg: int64(size)}, true)
+}
+
+// NodeExpand implements Tracer.
+func (l *LogTracer) NodeExpand(depth int, states int64) {
+	l.log(Event{Kind: EvNodeExpand, Depth: depth, Arg: states}, false)
+}
+
+// MemoHit implements Tracer.
+func (l *LogTracer) MemoHit(depth int) {
+	l.log(Event{Kind: EvMemoHit, Depth: depth}, false)
+}
+
+// ElementAdmit implements Tracer.
+func (l *LogTracer) ElementAdmit(depth, size int) {
+	l.log(Event{Kind: EvElementAdmit, Depth: depth, Arg: int64(size)}, false)
+}
+
+// Backtrack implements Tracer.
+func (l *LogTracer) Backtrack(depth, size int) {
+	l.log(Event{Kind: EvBacktrack, Depth: depth, Arg: int64(size)}, false)
+}
+
+// SearchEnd implements Tracer.
+func (l *LogTracer) SearchEnd(verdict string, states int64) {
+	l.log(Event{Kind: EvSearchEnd, Arg: states, Verdict: verdict}, true)
+}
+
+// MultiTracer fans every hook out to each of ts, in order. Nil entries
+// are skipped; a single non-nil entry is returned unwrapped.
+func MultiTracer(ts ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) SearchStart(size int) {
+	for _, t := range m {
+		t.SearchStart(size)
+	}
+}
+
+func (m multiTracer) NodeExpand(depth int, states int64) {
+	for _, t := range m {
+		t.NodeExpand(depth, states)
+	}
+}
+
+func (m multiTracer) MemoHit(depth int) {
+	for _, t := range m {
+		t.MemoHit(depth)
+	}
+}
+
+func (m multiTracer) ElementAdmit(depth, size int) {
+	for _, t := range m {
+		t.ElementAdmit(depth, size)
+	}
+}
+
+func (m multiTracer) Backtrack(depth, size int) {
+	for _, t := range m {
+		t.Backtrack(depth, size)
+	}
+}
+
+func (m multiTracer) SearchEnd(verdict string, states int64) {
+	for _, t := range m {
+		t.SearchEnd(verdict, states)
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// emit drives a tracer through a small, balanced search shape.
+func emit(tr Tracer) {
+	tr.SearchStart(4)
+	tr.NodeExpand(0, 1)
+	tr.ElementAdmit(0, 2)
+	tr.NodeExpand(2, 2)
+	tr.MemoHit(2)
+	tr.Backtrack(0, 2)
+	tr.SearchEnd("Unsat", 2)
+}
+
+func TestFlightRecorderRetainsAll(t *testing.T) {
+	f := NewFlightRecorder(16)
+	emit(f)
+	events := f.Events()
+	if len(events) != 7 {
+		t.Fatalf("got %d events, want 7", len(events))
+	}
+	if f.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", f.Total())
+	}
+	wantKinds := []EventKind{EvSearchStart, EvNodeExpand, EvElementAdmit, EvNodeExpand, EvMemoHit, EvBacktrack, EvSearchEnd}
+	for i, e := range events {
+		if e.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %s, want %s", i, e.Kind, wantKinds[i])
+		}
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if events[6].Verdict != "Unsat" || events[6].Arg != 2 {
+		t.Errorf("SearchEnd = %+v", events[6])
+	}
+}
+
+func TestFlightRecorderWraps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.NodeExpand(i, int64(i))
+	}
+	events := f.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want capacity 4", len(events))
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", f.Total())
+	}
+	// The last 4 of 10 events, oldest first, with monotonic seq.
+	for i, e := range events {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+		if want := 6 + i; e.Depth != want {
+			t.Errorf("event %d depth = %d, want %d", i, e.Depth, want)
+		}
+	}
+}
+
+func TestFlightRecorderDump(t *testing.T) {
+	f := NewFlightRecorder(8)
+	emit(f)
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "last 7 of 7 events") {
+		t.Errorf("missing header: %q", out)
+	}
+	for _, want := range []string{"SearchStart", "ElementAdmit", "Backtrack", "verdict=Unsat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				f.NodeExpand(j, int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Total() != 4000 {
+		t.Fatalf("Total = %d, want 4000", f.Total())
+	}
+	events := f.Events()
+	if len(events) != 32 {
+		t.Fatalf("retained %d, want 32", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d after %d", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+}
+
+func TestLogTracerSamples(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogTracer(&buf, 3)
+	l.SearchStart(2) // always logged
+	for i := 0; i < 9; i++ {
+		l.NodeExpand(i, int64(i)) // every 3rd of these seqs logged
+	}
+	l.SearchEnd("Sat", 9) // always logged
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Seqs 1..11; sampled NodeExpands are seqs 3, 6, 9 → 3 lines, plus
+	// SearchStart and SearchEnd.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	var first struct {
+		Ev  string `json:"ev"`
+		Seq uint64 `json:"seq"`
+		Arg int64  `json:"arg"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if first.Ev != "SearchStart" || first.Seq != 1 || first.Arg != 2 {
+		t.Errorf("first line = %+v", first)
+	}
+	var last struct {
+		Ev      string `json:"ev"`
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Ev != "SearchEnd" || last.Verdict != "Sat" {
+		t.Errorf("last line = %+v", last)
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errWrite
+}
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "write failed" }
+
+func TestLogTracerWriteErrorStops(t *testing.T) {
+	w := &failingWriter{}
+	l := NewLogTracer(w, 1)
+	l.SearchStart(1)
+	l.SearchEnd("Sat", 1)
+	if l.Err() == nil {
+		t.Fatal("expected write error")
+	}
+	if w.n != 1 {
+		t.Fatalf("writer called %d times, want 1 (drop after first failure)", w.n)
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	a := NewFlightRecorder(8)
+	b := NewFlightRecorder(8)
+	m := MultiTracer(nil, a, nil, b)
+	emit(m)
+	if a.Total() != 7 || b.Total() != 7 {
+		t.Fatalf("totals = %d, %d; want 7, 7", a.Total(), b.Total())
+	}
+	if got := MultiTracer(); got != nil {
+		t.Fatal("empty MultiTracer should be nil")
+	}
+	if got := MultiTracer(nil, a); got != Tracer(a) {
+		t.Fatal("single-entry MultiTracer should unwrap")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"calgo/internal/history"
+	"calgo/internal/obs"
 	"calgo/internal/spec"
 	"calgo/internal/trace"
 )
@@ -124,5 +125,30 @@ func TestUnboundedRecorderNeverErrs(t *testing.T) {
 	}
 	if err := r.Err(); err != nil {
 		t.Errorf("unbounded recorder Err = %v", err)
+	}
+}
+
+func TestInstrumentCountsElementsAndDrops(t *testing.T) {
+	m := obs.NewMetrics()
+	r := NewBounded(2)
+	r.Instrument(m)
+	for i := int64(0); i < 5; i++ {
+		r.Append(pushEl(1, i))
+	}
+	if got := m.Counter("recorder.elements").Value(); got != 2 {
+		t.Errorf("recorder.elements = %d, want 2", got)
+	}
+	if got := m.Counter("recorder.dropped").Value(); got != 3 {
+		t.Errorf("recorder.dropped = %d, want 3", got)
+	}
+	// Detaching stops the counting but not the recording.
+	r.Instrument(nil)
+	r.Reset()
+	r.Append(pushEl(1, 9))
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after detach, want 1", r.Len())
+	}
+	if got := m.Counter("recorder.elements").Value(); got != 2 {
+		t.Errorf("recorder.elements = %d after detach, want 2", got)
 	}
 }

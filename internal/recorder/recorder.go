@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"calgo/internal/history"
+	"calgo/internal/obs"
 	"calgo/internal/trace"
 )
 
@@ -60,6 +61,11 @@ type Recorder struct {
 	dropped  int
 	objects  map[history.ObjectID]*objectInfo
 	parent   map[history.ObjectID]history.ObjectID
+
+	// Cached instruments from Instrument; nil when uninstrumented, so the
+	// append path pays only a nil check.
+	cElements *obs.Counter
+	cDropped  *obs.Counter
 }
 
 // New returns an empty, unbounded Recorder.
@@ -89,13 +95,30 @@ func (r *Recorder) Err() error {
 	return &OverflowError{Capacity: r.capacity, Dropped: r.dropped}
 }
 
+// Instrument publishes the recorder's activity into m: the
+// "recorder.elements" counter counts appended CA-elements and
+// "recorder.dropped" counts elements discarded by a full bounded
+// recorder. A nil m detaches the instruments.
+func (r *Recorder) Instrument(m *obs.Metrics) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cElements = m.Counter("recorder.elements")
+	r.cDropped = m.Counter("recorder.dropped")
+}
+
 // append adds el to 𝒯 or counts it as dropped; callers hold r.mu.
 func (r *Recorder) append(el trace.Element) {
 	if r.capacity > 0 && len(r.t) >= r.capacity {
 		r.dropped++
+		if r.cDropped != nil {
+			r.cDropped.Inc()
+		}
 		return
 	}
 	r.t = append(r.t, el)
+	if r.cElements != nil {
+		r.cElements.Inc()
+	}
 }
 
 // Register declares object o with its immediate subobjects and view

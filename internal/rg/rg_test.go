@@ -1,6 +1,7 @@
 package rg_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,12 +15,12 @@ import (
 func walk(t *testing.T, cfg model.ExchangerConfig, visit func(pre, post *model.ExchangerState, s sched.Succ)) {
 	t.Helper()
 	init := model.NewExchanger(cfg)
-	_, err := sched.Explore(init, sched.Options{
-		Transition: func(from sched.State, s sched.Succ) error {
+	_, err := sched.Explore(context.Background(),
+		init,
+		sched.WithTransition(func(from sched.State, s sched.Succ) error {
 			visit(from.(*model.ExchangerState), s.Next.(*model.ExchangerState), s)
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestLateLogBreaksJustification(t *testing.T) {
 		Programs: [][]int64{{3}, {4}},
 		Bug:      "late-swap-log",
 	})
-	_, err := sched.Explore(init, sched.Options{Transition: rg.Hook(false)})
+	_, err := sched.Explore(context.Background(), init, sched.WithTransition(rg.Hook(false)))
 	if err == nil {
 		t.Fatal("late swap logging must break rely/guarantee justification")
 	}

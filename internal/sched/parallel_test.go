@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -15,12 +16,12 @@ import (
 // report the same numbers.
 func TestExploreParallelMatchesSequential(t *testing.T) {
 	init := counterState{remaining: []int{4, 4, 4}}
-	want, err := Explore(init, Options{Parallelism: 1})
+	want, err := Explore(context.Background(), init, WithParallelism(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, par := range []int{2, 4, runtime.GOMAXPROCS(0)} {
-		got, err := Explore(init, Options{Parallelism: par})
+		got, err := Explore(context.Background(), init, WithParallelism(par))
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -37,13 +38,13 @@ func TestExploreParallelMatchesSequential(t *testing.T) {
 func TestInvariantRunsOncePerState(t *testing.T) {
 	for _, par := range []int{1, 4} {
 		var calls atomic.Int64
-		stats, err := Explore(counterState{remaining: []int{2, 2}}, Options{
-			Parallelism: par,
-			Invariant: func(State) error {
+		stats, err := Explore(context.Background(),
+			counterState{remaining: []int{2, 2}},
+			WithParallelism(par),
+			WithInvariant(func(State) error {
 				calls.Add(1)
 				return nil
-			},
-		})
+			}))
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -56,15 +57,15 @@ func TestInvariantRunsOncePerState(t *testing.T) {
 // TestExploreParallelFirstViolationSchedule checks that a violation found
 // by any worker carries a schedule that replays to the violating state.
 func TestExploreParallelFirstViolationSchedule(t *testing.T) {
-	_, err := Explore(counterState{remaining: []int{3, 3}}, Options{
-		Parallelism: 4,
-		Invariant: func(s State) error {
+	_, err := Explore(context.Background(),
+		counterState{remaining: []int{3, 3}},
+		WithParallelism(4),
+		WithInvariant(func(s State) error {
 			if s.(counterState).total >= 4 {
 				return errors.New("counter reached 4")
 			}
 			return nil
-		},
-	})
+		}))
 	var verr *ViolationError
 	if !errors.As(err, &verr) || verr.Kind != "invariant" {
 		t.Fatalf("err = %v, want invariant violation", err)

@@ -32,6 +32,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"calgo/internal/obs"
 )
 
 // State is a node of the transition system. Implementations must be
@@ -88,6 +91,67 @@ type Options struct {
 	// means GOMAXPROCS. States, Transitions and Terminals do not depend
 	// on it.
 	Parallelism int
+
+	// Observability sinks, set through WithTracer, WithMetrics and
+	// WithProgress; all disabled (nil/zero) by default. Every hook site
+	// nil-checks, so the disabled hot path costs one branch.
+	tracer        obs.Tracer
+	metrics       *obs.Metrics
+	progressEvery time.Duration
+	progressFn    func(obs.Progress)
+}
+
+// Option configures an exploration; see Explore.
+type Option func(*Options)
+
+// WithInvariant checks fn once on every reached state.
+func WithInvariant(fn func(State) error) Option { return func(o *Options) { o.Invariant = fn } }
+
+// WithTransition checks fn on every explored transition; use it for
+// rely/guarantee action justification.
+func WithTransition(fn func(from State, s Succ) error) Option {
+	return func(o *Options) { o.Transition = fn }
+}
+
+// WithTerminal checks fn on every Done state.
+func WithTerminal(fn func(State) error) Option { return func(o *Options) { o.Terminal = fn } }
+
+// WithMaxStates bounds the number of distinct states visited before the
+// exploration gives up with ErrMaxStates (default 1_000_000).
+func WithMaxStates(n int) Option { return func(o *Options) { o.MaxStates = n } }
+
+// WithDeadlockAllowed suppresses the deadlock error for non-Done states
+// without successors; bounded-retry models halt threads that exhausted
+// their budget.
+func WithDeadlockAllowed() Option { return func(o *Options) { o.AllowDeadlock = true } }
+
+// WithParallelism sets the number of exploration workers; 0 (the
+// default) means GOMAXPROCS. It is the same option name the check
+// package uses for its batch pool, so the facade can re-export one
+// spelling for both.
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithTracer attaches search hooks to the exploration: SearchStart
+// (argument: worker count), NodeExpand on every expanded state, MemoHit
+// on every visited-set suppression, SearchEnd. ElementAdmit/Backtrack
+// never fire — the frontier exploration does not backtrack. The tracer
+// is shared by all workers and must be safe for concurrent use (the obs
+// implementations are).
+func WithTracer(t obs.Tracer) Option { return func(o *Options) { o.tracer = t } }
+
+// WithMetrics accumulates exploration totals into the registry: the
+// sched.* counters and max-depth gauge (see EXPERIMENTS.md, "Metrics
+// schema"). Workers keep private counters; totals are merged into the
+// registry once, after the pool drains.
+func WithMetrics(m *obs.Metrics) Option { return func(o *Options) { o.metrics = m } }
+
+// WithProgress reports exploration progress (states claimed, states/sec,
+// ETA against the state budget) to fn every interval, from a dedicated
+// goroutine. The live count is read from the budget counter the
+// exploration already maintains, so enabling progress adds no hot-path
+// work.
+func WithProgress(every time.Duration, fn func(obs.Progress)) Option {
+	return func(o *Options) { o.progressEvery, o.progressFn = every, fn }
 }
 
 // Stats summarizes an exploration.
@@ -101,6 +165,10 @@ type Stats struct {
 	// MaxDepth is the deepest schedule explored. Unlike the counts above
 	// it depends on traversal order and may vary across worker counts.
 	MaxDepth int
+	// Steals is the number of frontier nodes taken from another worker's
+	// deque. Like MaxDepth it is schedule-dependent: zero with one worker,
+	// and run-to-run variable above that.
+	Steals int
 }
 
 // ErrMaxStates is returned when the exploration exceeds its state budget.
@@ -281,7 +349,27 @@ func (e *engine) firstErr() error {
 }
 
 // Explore exhaustively explores the transition system rooted at init.
-func Explore(init State, opts Options) (Stats, error) {
+// The context cancels the exploration cooperatively: cancellation and
+// deadline expiry return ErrInterrupted (wrapping the context's error)
+// with partial Stats. Nil means never cancelled.
+func Explore(ctx context.Context, init State, opts ...Option) (Stats, error) {
+	o := Options{Context: ctx}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return explore(init, o)
+}
+
+// ExploreOptions is the former struct-options entry point, kept so
+// existing callers compile; it delegates unchanged.
+//
+// Deprecated: use Explore with functional options; the Context field
+// becomes Explore's first argument.
+func ExploreOptions(init State, opts Options) (Stats, error) {
+	return explore(init, opts)
+}
+
+func explore(init State, opts Options) (Stats, error) {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 1_000_000
 	}
@@ -310,6 +398,16 @@ func Explore(init State, opts Options) (Stats, error) {
 	w0.deque.push(&node{state: init})
 	e.pending.Store(1)
 
+	if opts.tracer != nil {
+		opts.tracer.SearchStart(par)
+	}
+	if opts.progressEvery > 0 && opts.progressFn != nil {
+		// The budget counter the exploration already maintains doubles as
+		// the live progress count; no extra hot-path work.
+		stop := obs.StartProgress(opts.progressEvery, int64(opts.MaxStates), e.states.Load, opts.progressFn)
+		defer stop()
+	}
+
 	var wg sync.WaitGroup
 	for i := 0; i < par; i++ {
 		wg.Add(1)
@@ -326,11 +424,37 @@ func Explore(init State, opts Options) (Stats, error) {
 		stats.States += ws.States
 		stats.Transitions += ws.Transitions
 		stats.Terminals += ws.Terminals
+		stats.Steals += ws.Steals
 		if ws.MaxDepth > stats.MaxDepth {
 			stats.MaxDepth = ws.MaxDepth
 		}
 	}
-	return stats, e.firstErr()
+	err := e.firstErr()
+	if m := opts.metrics; m != nil {
+		m.Counter("sched.explorations").Inc()
+		m.Counter("sched.states").Add(int64(stats.States))
+		m.Counter("sched.transitions").Add(int64(stats.Transitions))
+		m.Counter("sched.terminals").Add(int64(stats.Terminals))
+		m.Counter("sched.steals").Add(int64(stats.Steals))
+		m.Gauge("sched.max_depth").SetMax(int64(stats.MaxDepth))
+	}
+	if opts.tracer != nil {
+		opts.tracer.SearchEnd(exploreVerdict(err), int64(stats.States))
+	}
+	return stats, err
+}
+
+// exploreVerdict maps an exploration outcome onto the tracer's verdict
+// vocabulary: OK, Violation, or Unknown for budget/cancellation aborts.
+func exploreVerdict(err error) string {
+	switch {
+	case err == nil:
+		return "OK"
+	case errors.As(err, new(*ViolationError)):
+		return "Violation"
+	default:
+		return "Unknown"
+	}
 }
 
 // run is a worker's main loop: drain the own deque depth-first, steal when
@@ -343,7 +467,9 @@ func (e *engine) run(id int) {
 		}
 		n := w.deque.pop()
 		if n == nil {
-			n = e.steal(id)
+			if n = e.steal(id); n != nil {
+				w.stats.Steals++
+			}
 		}
 		if n == nil {
 			if e.pending.Load() == 0 {
@@ -398,6 +524,9 @@ func (e *engine) process(w *worker, n *node) {
 	if n.depth > w.stats.MaxDepth {
 		w.stats.MaxDepth = n.depth
 	}
+	if e.opts.tracer != nil {
+		e.opts.tracer.NodeExpand(n.depth, e.states.Load())
+	}
 	succs := n.state.Successors()
 	if len(succs) == 0 {
 		w.stats.Terminals++
@@ -435,6 +564,9 @@ func (e *engine) process(w *worker, n *node) {
 			}
 		}
 		if !e.visited.claim(succ.Next.Key()) {
+			if e.opts.tracer != nil {
+				e.opts.tracer.MemoHit(n.depth + 1)
+			}
 			continue
 		}
 		w.stats.States++

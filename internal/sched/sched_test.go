@@ -49,7 +49,7 @@ func (s counterState) Successors() []Succ {
 func TestExploreCountsStates(t *testing.T) {
 	// 2 threads x 2 increments: states form the grid (2-r1, 2-r2) and the
 	// total is determined by position, so states = 3*3 = 9.
-	stats, err := Explore(counterState{remaining: []int{2, 2}}, Options{})
+	stats, err := Explore(context.Background(), counterState{remaining: []int{2, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +65,14 @@ func TestExploreCountsStates(t *testing.T) {
 }
 
 func TestExploreInvariantViolation(t *testing.T) {
-	_, err := Explore(counterState{remaining: []int{1, 1}}, Options{
-		Invariant: func(s State) error {
+	_, err := Explore(context.Background(),
+		counterState{remaining: []int{1, 1}},
+		WithInvariant(func(s State) error {
 			if s.(counterState).total >= 2 {
 				return errors.New("counter reached 2")
 			}
 			return nil
-		},
-	})
+		}))
 	var verr *ViolationError
 	if !errors.As(err, &verr) || verr.Kind != "invariant" {
 		t.Fatalf("err = %v, want invariant violation", err)
@@ -90,12 +90,12 @@ func TestExploreInvariantViolation(t *testing.T) {
 
 func TestExploreTransitionHook(t *testing.T) {
 	var labels []string
-	_, err := Explore(counterState{remaining: []int{1}}, Options{
-		Transition: func(from State, s Succ) error {
+	_, err := Explore(context.Background(),
+		counterState{remaining: []int{1}},
+		WithTransition(func(from State, s Succ) error {
 			labels = append(labels, fmt.Sprintf("t%d:%s", s.Thread, s.Label))
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,9 +103,9 @@ func TestExploreTransitionHook(t *testing.T) {
 		t.Errorf("labels = %v", labels)
 	}
 	// A failing transition hook aborts with the schedule.
-	_, err = Explore(counterState{remaining: []int{1}}, Options{
-		Transition: func(State, Succ) error { return errors.New("nope") },
-	})
+	_, err = Explore(context.Background(),
+		counterState{remaining: []int{1}},
+		WithTransition(func(State, Succ) error { return errors.New("nope") }))
 	var verr *ViolationError
 	if !errors.As(err, &verr) || verr.Kind != "transition" {
 		t.Fatalf("err = %v, want transition violation", err)
@@ -114,15 +114,15 @@ func TestExploreTransitionHook(t *testing.T) {
 
 func TestExploreTerminalHook(t *testing.T) {
 	calls := 0
-	_, err := Explore(counterState{remaining: []int{1, 1}}, Options{
-		Terminal: func(s State) error {
+	_, err := Explore(context.Background(),
+		counterState{remaining: []int{1, 1}},
+		WithTerminal(func(s State) error {
 			calls++
 			if got := s.(counterState).total; got != 2 {
 				return fmt.Errorf("terminal total = %d", got)
 			}
 			return nil
-		},
-	})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +133,13 @@ func TestExploreTerminalHook(t *testing.T) {
 
 func TestExploreDeadlock(t *testing.T) {
 	init := counterState{remaining: []int{1}, stuck: true}
-	_, err := Explore(init, Options{})
+	_, err := Explore(context.Background(), init)
 	var verr *ViolationError
 	if !errors.As(err, &verr) || verr.Kind != "deadlock" {
 		t.Fatalf("err = %v, want deadlock violation", err)
 	}
 	// AllowDeadlock turns it into a terminal.
-	stats, err := Explore(init, Options{AllowDeadlock: true})
+	stats, err := Explore(context.Background(), init, WithDeadlockAllowed())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,21 +149,21 @@ func TestExploreDeadlock(t *testing.T) {
 }
 
 func TestExploreMaxStatesBound(t *testing.T) {
-	_, err := Explore(counterState{remaining: []int{5, 5}}, Options{MaxStates: 3})
+	_, err := Explore(context.Background(), counterState{remaining: []int{5, 5}}, WithMaxStates(3))
 	if !errors.Is(err, ErrMaxStates) {
 		t.Fatalf("err = %v, want ErrMaxStates", err)
 	}
 }
 
 func TestExploreInitialInvariant(t *testing.T) {
-	_, err := Explore(counterState{remaining: []int{1}}, Options{
-		Invariant: func(s State) error {
+	_, err := Explore(context.Background(),
+		counterState{remaining: []int{1}},
+		WithInvariant(func(s State) error {
 			if s.(counterState).total == 0 {
 				return errors.New("bad initial state")
 			}
 			return nil
-		},
-	})
+		}))
 	var verr *ViolationError
 	if !errors.As(err, &verr) || len(verr.Schedule) != 0 {
 		t.Fatalf("initial-state violation should carry an empty schedule: %v", err)
@@ -173,7 +173,7 @@ func TestExploreInitialInvariant(t *testing.T) {
 func TestExploreRevisitsPruned(t *testing.T) {
 	// Transitions into an already-visited state are counted but not
 	// re-expanded: with 2x1 increments there are 4 transitions, 5 states.
-	stats, err := Explore(counterState{remaining: []int{1, 1}}, Options{})
+	stats, err := Explore(context.Background(), counterState{remaining: []int{1, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,10 +190,9 @@ func TestExploreContextCancel(t *testing.T) {
 	// the 256-transition poll interval fires many times.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	stats, err := Explore(counterState{remaining: []int{6, 6, 6, 6, 6, 6}}, Options{
-		Context:   ctx,
-		MaxStates: 10_000_000,
-	})
+	stats, err := Explore(ctx,
+		counterState{remaining: []int{6, 6, 6, 6, 6, 6}},
+		WithMaxStates(10_000_000))
 	if !errors.Is(err, ErrInterrupted) {
 		t.Fatalf("err = %v, want ErrInterrupted", err)
 	}
@@ -209,10 +208,9 @@ func TestExploreContextDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := Explore(counterState{remaining: []int{9, 9, 9, 9, 9, 9, 9, 9}}, Options{
-		Context:   ctx,
-		MaxStates: 1 << 30,
-	})
+	_, err := Explore(ctx,
+		counterState{remaining: []int{9, 9, 9, 9, 9, 9, 9, 9}},
+		WithMaxStates(1<<30))
 	if !errors.Is(err, ErrInterrupted) || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want ErrInterrupted wrapping DeadlineExceeded", err)
 	}

@@ -1,0 +1,52 @@
+package calgo
+
+import (
+	"calgo/internal/obs"
+)
+
+// Observability: metrics, tracing and progress for the checkers and the
+// explorer. The obs layer is dependency-free and always compiled in;
+// disabled (nil) sinks cost one branch per hook site and no allocations.
+type (
+	// Metrics is a registry of named atomic counters, gauges and
+	// histograms. Share one registry across checkers and explorations,
+	// then export it as JSON (MarshalJSON, schema MetricsSchemaVersion)
+	// or over HTTP via PublishExpvar.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is the JSON document a Metrics registry marshals
+	// to; it round-trips, so consumers can parse -metrics-json output
+	// back into it.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer receives span-style search hooks: SearchStart, NodeExpand,
+	// MemoHit, ElementAdmit, Backtrack, SearchEnd.
+	Tracer = obs.Tracer
+	// TraceEvent is one recorded tracer hook invocation.
+	TraceEvent = obs.Event
+	// FlightRecorder is a Tracer retaining the last N events in a ring:
+	// negligible steady-state cost, dumped post-mortem on interesting
+	// verdicts.
+	FlightRecorder = obs.FlightRecorder
+	// LogTracer is a Tracer writing sampled JSON lines to an io.Writer.
+	LogTracer = obs.LogTracer
+	// Progress is one periodic snapshot of a running search: states,
+	// rate, ETA against the state budget.
+	Progress = obs.Progress
+)
+
+// MetricsSchemaVersion identifies the metrics JSON document shape.
+const MetricsSchemaVersion = obs.SchemaVersion
+
+var (
+	// NewMetrics returns an empty metrics registry.
+	NewMetrics = obs.NewMetrics
+	// NewFlightRecorder returns a flight recorder retaining n events.
+	NewFlightRecorder = obs.NewFlightRecorder
+	// NewLogTracer returns a tracer writing one JSON line per sampled
+	// event to w; high-frequency hooks are sampled 1-in-sample.
+	NewLogTracer = obs.NewLogTracer
+	// MultiTracer fans hooks out to several tracers.
+	MultiTracer = obs.MultiTracer
+	// ProgressPrinter returns a WithProgress callback printing "label:
+	// <snapshot>" status lines to w.
+	ProgressPrinter = obs.ProgressPrinter
+)
