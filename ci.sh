@@ -73,4 +73,67 @@ case "$flight" in
     ;;
 esac
 
+# Smoke the explainability path: on a known VIOLATION, -explain must
+# render a timeline naming the first blocked operation, -dot must write
+# a syntactically plausible DOT document, and -report must write a
+# well-formed calgo.report/v1 JSON stamped with exit 1 — and the process
+# must still exit 1.
+echo "== calcheck -explain/-dot/-report smoke =="
+explain_dir=$(mktemp -d)
+trap 'rm -rf "$explain_dir"' EXIT
+if go run ./cmd/calcheck -spec stack -object S -explain \
+    -dot "$explain_dir/v.dot" -report "$explain_dir/v.json" \
+    examples/histories/stack-violation.txt >"$explain_dir/v.out" 2>&1; then
+    echo "calcheck on stack-violation.txt should exit 1" >&2
+    exit 1
+fi
+grep -q "BLOCKED (first)" "$explain_dir/v.out" || {
+    echo "-explain did not mark the first blocked operation:" >&2
+    cat "$explain_dir/v.out" >&2
+    exit 1
+}
+head -1 "$explain_dir/v.dot" | grep -q "^digraph" || {
+    echo "-dot did not write a digraph:" >&2
+    head -3 "$explain_dir/v.dot" >&2
+    exit 1
+}
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "calgo.report/v1", doc
+assert doc["exit"] == 1, doc
+runs = doc["runs"]
+assert len(runs) == 1 and runs[0]["verdict"] == "VIOLATION", runs
+assert "BLOCKED" in runs[0]["timeline"], runs
+assert runs[0]["dot"].startswith("digraph"), runs
+assert doc["metrics"]["schema"] == "calgo.metrics/v1", doc
+assert doc["flight_total"] > 0 and len(doc["flight"]) > 0, doc
+print("calcheck -explain/-dot/-report: VIOLATION evidence rendered, valid %s" % doc["schema"])
+' "$explain_dir/v.json"
+
+# Round-trip the report through cmd/calreport: the saved JSON must render
+# as Markdown carrying the verdict and the timeline.
+echo "== calreport round-trip smoke =="
+go run ./cmd/calreport -o "$explain_dir/v.md" "$explain_dir/v.json"
+grep -q "VIOLATION" "$explain_dir/v.md" && grep -q "BLOCKED" "$explain_dir/v.md" || {
+    echo "calreport Markdown lost the violation evidence:" >&2
+    head -20 "$explain_dir/v.md" >&2
+    exit 1
+}
+echo "calreport: report JSON -> Markdown round-trip OK"
+
+# Smoke the perf-trajectory path warn-only: -compare against the
+# committed baseline must parse it and print a delta summary. No -gate
+# here — CI machines are too noisy to fail the build on throughput.
+echo "== calbench -compare smoke (warn-only) =="
+compare_out=$(go run ./cmd/calbench -dur 5ms -table exchangers -compare BENCH_2026-08-06.json)
+case "$compare_out" in
+*"delta vs baseline"*) echo "calbench -compare: delta summary printed" ;;
+*)
+    echo "calbench -compare did not print a delta summary:" >&2
+    echo "$compare_out" >&2
+    exit 1
+    ;;
+esac
+
 echo "CI gate passed."

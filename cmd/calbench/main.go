@@ -15,6 +15,12 @@
 // path as a JSON document (see EXPERIMENTS.md for the schema), so the
 // perf trajectory accumulates as BENCH_<date>.json files.
 //
+// With -compare the run's rates are diffed cell-by-cell against a
+// committed baseline document; -gate N turns a worse-than-N% regression
+// in any comparable cell into exit 1, and -repeat M measures each table
+// M times keeping each cell's best rate, so one noisy scheduler stall
+// cannot fail the gate (min-of-N noise floor; see EXPERIMENTS.md).
+//
 // The shared observability flags apply to the benchmark process itself:
 // -timeout hard-caps the whole run (an expired run prints UNKNOWN and
 // exits 3 with whatever tables completed), -metrics-json writes a
@@ -52,6 +58,9 @@ var (
 	maxG     = flag.Int("max-goroutines", 2*runtime.GOMAXPROCS(0), "largest goroutine count in sweeps")
 	spin     = flag.Int("spin", 1, "exchanger partner-wait spin iterations (1 is best on few cores; raise on large machines)")
 	jsonPath = flag.String("json", "", "also write the sweep tables as JSON to this path (e.g. BENCH_<date>.json)")
+	compare  = flag.String("compare", "", "compare this run's rates against a baseline BENCH_*.json and print per-cell deltas")
+	gate     = flag.Float64("gate", 0, "with -compare: exit 1 when any cell regresses by more than this percentage (0 = warn only)")
+	repeat   = flag.Int("repeat", 1, "measure every table this many times and keep each cell's best rate — the min-of-N noise floor that keeps -compare from flagging scheduler noise as regression")
 )
 
 // jsonReport mirrors the printed tables in machine-readable form; the
@@ -84,7 +93,10 @@ var (
 )
 
 // recordTable appends one sweep table to the JSON report. The table ID
-// is the "B<n>" prefix of the printed title.
+// is the "B<n>" prefix of the printed title. Under -repeat a table is
+// recorded once per round; later rounds merge cell-wise, keeping each
+// cell's best rate (max ops/sec = the least-interfered measurement, so
+// N repeats form a noise floor under which -compare deltas are taken).
 func recordTable(title, colLabel string, cols []int, rows map[string][]float64, order []string) {
 	id, _, _ := strings.Cut(title, ":")
 	tbl := jsonTable{ID: id, Title: title, ColumnLabel: colLabel, Columns: cols}
@@ -92,8 +104,30 @@ func recordTable(title, colLabel string, cols []int, rows map[string][]float64, 
 		tbl.Rows = append(tbl.Rows, jsonRow{Name: name, OpsPerSec: rows[name]})
 	}
 	reportMu.Lock()
+	defer reportMu.Unlock()
+	for i := range report.Tables {
+		if report.Tables[i].ID == tbl.ID {
+			mergeMax(&report.Tables[i], tbl)
+			return
+		}
+	}
 	report.Tables = append(report.Tables, tbl)
-	reportMu.Unlock()
+}
+
+// mergeMax folds src into dst cell-wise, keeping the larger rate.
+func mergeMax(dst *jsonTable, src jsonTable) {
+	for _, srow := range src.Rows {
+		for j := range dst.Rows {
+			if dst.Rows[j].Name != srow.Name {
+				continue
+			}
+			for k := range dst.Rows[j].OpsPerSec {
+				if k < len(srow.OpsPerSec) && srow.OpsPerSec[k] > dst.Rows[j].OpsPerSec[k] {
+					dst.Rows[j].OpsPerSec[k] = srow.OpsPerSec[k]
+				}
+			}
+		}
+	}
 }
 
 // snapshotTables copies the tables recorded so far.
@@ -149,6 +183,18 @@ func run() int {
 		exit = 3
 	}
 
+	if *compare != "" && exit == 0 {
+		worst, err := compareBaseline(*compare, snapshotTables())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calbench:", err)
+			return 2
+		}
+		if *gate > 0 && worst.pct > *gate {
+			fmt.Printf("REGRESSION: %s is %.1f%% below baseline, gate is %.0f%%\n", worst.cell, worst.pct, *gate)
+			exit = 1
+		}
+	}
+
 	if m := shared.Metrics(); m != nil {
 		tables := snapshotTables()
 		m.Counter("bench.tables").Add(int64(len(tables)))
@@ -162,7 +208,7 @@ func run() int {
 			}
 		}
 	}
-	if err := shared.Finish(); err != nil {
+	if err := shared.Finish(exit); err != nil {
 		fmt.Fprintln(os.Stderr, "calbench:", err)
 		return 2
 	}
@@ -171,6 +217,27 @@ func run() int {
 
 func runTables() error {
 	fmt.Printf("GOMAXPROCS=%d, window=%v\n\n", runtime.GOMAXPROCS(0), *duration)
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	for round := 0; round < *repeat; round++ {
+		if *repeat > 1 {
+			fmt.Printf("-- measurement round %d/%d --\n\n", round+1, *repeat)
+		}
+		if err := runOnce(); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath); err != nil {
+			return fmt.Errorf("writing %s: %w", *jsonPath, err)
+		}
+		fmt.Printf("wrote %d tables to %s\n", len(report.Tables), *jsonPath)
+	}
+	return nil
+}
+
+func runOnce() error {
 	switch *table {
 	case "stacks":
 		benchStacks()
@@ -194,13 +261,100 @@ func runTables() error {
 	default:
 		return fmt.Errorf("unknown table %q", *table)
 	}
-	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath); err != nil {
-			return fmt.Errorf("writing %s: %w", *jsonPath, err)
-		}
-		fmt.Printf("wrote %d tables to %s\n", len(report.Tables), *jsonPath)
-	}
 	return nil
+}
+
+// regression identifies the worst cell of a -compare run: how far below
+// baseline it fell (percent) and which cell it was.
+type regression struct {
+	pct  float64
+	cell string
+}
+
+// compareBaseline loads a BENCH_*.json baseline and prints, per table,
+// the percent delta of every cell present in both the baseline and this
+// run (positive = faster than baseline). Cells only one side has are
+// counted and noted, never compared. Returns the worst regression.
+func compareBaseline(path string, tables []jsonTable) (regression, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return regression{}, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base jsonReport
+	if err := json.Unmarshal(b, &base); err != nil {
+		return regression{}, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	fmt.Printf("compare vs %s (baseline: gomaxprocs=%d, window=%s, generated %s)\n",
+		path, base.GOMAXPROCS, base.Window, base.Generated)
+	if base.GOMAXPROCS != runtime.GOMAXPROCS(0) || base.Window != duration.String() {
+		fmt.Printf("note: baseline settings differ from this run (gomaxprocs=%d, window=%v); deltas are indicative only\n",
+			runtime.GOMAXPROCS(0), *duration)
+	}
+
+	baseTables := make(map[string]jsonTable, len(base.Tables))
+	for _, t := range base.Tables {
+		baseTables[t.ID] = t
+	}
+	worst := regression{pct: -1}
+	skipped := 0
+	for _, cur := range tables {
+		bt, ok := baseTables[cur.ID]
+		if !ok {
+			fmt.Printf("\n%s: not in baseline, skipped\n", cur.ID)
+			skipped++
+			continue
+		}
+		baseCols := make(map[int]int, len(bt.Columns)) // column value -> index
+		for i, c := range bt.Columns {
+			baseCols[c] = i
+		}
+		baseRows := make(map[string][]float64, len(bt.Rows))
+		for _, r := range bt.Rows {
+			baseRows[r.Name] = r.OpsPerSec
+		}
+		fmt.Printf("\n%s — delta vs baseline (%%)\n", cur.Title)
+		fmt.Printf("%-22s", cur.ColumnLabel)
+		for _, c := range cur.Columns {
+			fmt.Printf("%12d", c)
+		}
+		fmt.Println()
+		for _, row := range cur.Rows {
+			bvals, ok := baseRows[row.Name]
+			if !ok {
+				fmt.Printf("%-22s%12s\n", row.Name, "(new row)")
+				skipped++
+				continue
+			}
+			fmt.Printf("%-22s", row.Name)
+			for i, c := range cur.Columns {
+				j, ok := baseCols[c]
+				if !ok || j >= len(bvals) || i >= len(row.OpsPerSec) || bvals[j] <= 0 {
+					fmt.Printf("%12s", "-")
+					skipped++
+					continue
+				}
+				delta := (row.OpsPerSec[i] - bvals[j]) / bvals[j] * 100
+				fmt.Printf("%+11.1f%%", delta)
+				if -delta > worst.pct {
+					worst = regression{
+						pct:  -delta,
+						cell: fmt.Sprintf("%s %q %s=%d", cur.ID, row.Name, cur.ColumnLabel, c),
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	if skipped > 0 {
+		fmt.Printf("%d cell(s)/table(s) present on only one side were not compared\n", skipped)
+	}
+	if worst.pct > 0 {
+		fmt.Printf("worst regression: %.1f%% (%s)\n", worst.pct, worst.cell)
+	} else {
+		fmt.Println("no cell regressed below its baseline")
+	}
+	return worst, nil
 }
 
 // sweep runs work on each goroutine count for the window and returns

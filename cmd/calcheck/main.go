@@ -26,6 +26,13 @@
 // done, -trace streams sampled search events and dumps a flight-recorder
 // ring on VIOLATION/UNKNOWN, -progress prints live status lines, and
 // -pprof serves net/http/pprof. Run with -h for the exit-code legend.
+//
+// Explainability: -explain renders a per-thread timeline of every
+// verdict's evidence (concurrency windows, the matched CA-elements, the
+// first blocked operation on VIOLATION); -dot writes a Graphviz view of
+// the worst verdict's real-time order and CA-element partition; -report
+// writes a self-contained calgo.report/v1 run report (JSON, or Markdown
+// for a .md path).
 package main
 
 import (
@@ -108,41 +115,79 @@ func run() int {
 		return 2
 	}
 
-	exit := 0
+	exit, worstIdx := 0, -1
 	for i, r := range results {
 		prefix := ""
 		if len(results) > 1 {
 			prefix = inputs[i].name + ": "
 		}
-		exit = worstExit(exit, report(prefix, r, sp.Name(), *mode, *verbose))
+		code := report(prefix, r, sp.Name(), *mode, *verbose)
+		if worstIdx < 0 || rankExit(code) > rankExit(exit) {
+			worstIdx = i
+		}
+		exit = worstExit(exit, code)
+		if shared.Explain() && r.Explanation != nil {
+			fmt.Print(calgo.RenderTimeline(r.Explanation, calgo.TimelineOptions{}))
+		}
+		if shared.ReportPath() != "" && r.Explanation != nil {
+			shared.AddRun(calgo.RunReport{
+				Name:     inputs[i].name,
+				Verdict:  calgo.VerdictWord(r.Verdict),
+				Detail:   runDetail(r),
+				Timeline: calgo.RenderTimeline(r.Explanation, calgo.TimelineOptions{ASCII: true}),
+				DOT:      calgo.RenderDOT(r.Explanation),
+			})
+		}
+	}
+	// -dot renders the evidence of the run's worst verdict: the matched
+	// CA-element partition on OK, the blocked operation on VIOLATION.
+	if worstIdx >= 0 && results[worstIdx].Explanation != nil {
+		if err := shared.WriteDOT(calgo.RenderDOT(results[worstIdx].Explanation)); err != nil {
+			fmt.Fprintln(os.Stderr, "calcheck:", err)
+			return 2
+		}
 	}
 	if exit != 0 {
 		shared.DumpFlight()
 	}
-	if err := shared.Finish(); err != nil {
+	if err := shared.Finish(exit); err != nil {
 		fmt.Fprintln(os.Stderr, "calcheck:", err)
 		return 2
 	}
 	return exit
 }
 
-// worstExit combines per-history exit codes: violation (1) dominates
+// rankExit orders exit codes by severity: violation (1) dominates
 // unknown (3), which dominates success (0).
-func worstExit(a, b int) int {
-	rank := func(c int) int {
-		switch c {
-		case 1:
-			return 2
-		case 3:
-			return 1
-		default:
-			return 0
-		}
+func rankExit(c int) int {
+	switch c {
+	case 1:
+		return 2
+	case 3:
+		return 1
+	default:
+		return 0
 	}
-	if rank(b) > rank(a) {
+}
+
+// worstExit combines per-history exit codes under rankExit.
+func worstExit(a, b int) int {
+	if rankExit(b) > rankExit(a) {
 		return b
 	}
 	return a
+}
+
+// runDetail summarizes one result for the -report document.
+func runDetail(r calgo.Result) string {
+	switch r.Verdict {
+	case calgo.VerdictUnsat:
+		return r.Reason
+	case calgo.VerdictUnknown:
+		return fmt.Sprintf("cause: %s; frontier: %s", r.Unknown.Reason, r.Unknown.Frontier)
+	default:
+		return fmt.Sprintf("states explored: %d (memo hits %d)", r.States, r.MemoHits)
+	}
 }
 
 func report(prefix string, r calgo.Result, specName, mode string, verbose bool) int {

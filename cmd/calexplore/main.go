@@ -94,22 +94,64 @@ func run() int {
 
 	base := append(shared.Options(), calgo.WithMaxStates(*maxStates))
 
-	exit := mainExit(explore(ctx, *target, flags{
+	exploreErr := explore(ctx, *target, flags{
 		values:    *values,
 		program:   *program,
 		sqProgram: *sqProgram,
 		dqProgram: *dqProgram,
 		slots:     *slots,
 		retries:   *retries,
-	}, base))
-	if exit == 1 || exit == 3 {
-		shared.DumpFlight()
+	}, base)
+	exit := mainExit(exploreErr)
+
+	// A violation carries the typed schedule that reached it; render it
+	// everywhere evidence goes: the flight dump, -explain, -dot, -report.
+	var schedule []calgo.ExploreStep
+	var verr *calgo.ExploreViolation
+	if errors.As(exploreErr, &verr) {
+		schedule = verr.Schedule
 	}
-	if err := shared.Finish(); err != nil {
+	if exit == 1 || exit == 3 {
+		shared.DumpFlight(schedule...)
+	}
+	if len(schedule) > 0 {
+		if shared.Explain() {
+			fmt.Print(calgo.RenderScheduleTimeline(schedule))
+		}
+		if err := shared.WriteDOT(calgo.RenderScheduleDOT(schedule)); err != nil {
+			fmt.Fprintln(os.Stderr, "calexplore:", err)
+			return 2
+		}
+	}
+	if shared.ReportPath() != "" {
+		run := calgo.RunReport{Name: *target, Verdict: exitVerdict(exit), Schedule: schedule}
+		if exploreErr != nil {
+			run.Detail = exploreErr.Error()
+		}
+		if len(schedule) > 0 {
+			run.Timeline = calgo.RenderScheduleTimeline(schedule)
+			run.DOT = calgo.RenderScheduleDOT(schedule)
+		}
+		shared.AddRun(run)
+	}
+	if err := shared.Finish(exit); err != nil {
 		fmt.Fprintln(os.Stderr, "calexplore:", err)
 		return 2
 	}
 	return exit
+}
+
+// exitVerdict maps an exit code to the report verdict vocabulary.
+func exitVerdict(exit int) string {
+	switch exit {
+	case 0:
+		return "OK"
+	case 1:
+		return "VIOLATION"
+	case 3:
+		return "UNKNOWN"
+	}
+	return "ERROR"
 }
 
 // flags carries the target-specific knobs into the per-target explorers.

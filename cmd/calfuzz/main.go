@@ -88,7 +88,7 @@ func run() int {
 	if exit == 1 || exit == 3 {
 		shared.DumpFlight()
 	}
-	if err := shared.Finish(); err != nil {
+	if err := shared.Finish(exit); err != nil {
 		fmt.Fprintln(os.Stderr, "calfuzz:", err)
 		return 2
 	}
@@ -129,6 +129,13 @@ func sweep(iters int, seed int64, object, chaos string, shared *cliflags.Set) er
 			}
 			if err := checkBatch(runs, target, policy, shared); err != nil {
 				return err
+			}
+			if shared.ReportPath() != "" {
+				shared.AddRun(calgo.RunReport{
+					Name:    target + "/" + policy,
+					Verdict: "OK",
+					Detail:  fmt.Sprintf("%d randomized runs verified", iters),
+				})
 			}
 			if policy == "none" {
 				fmt.Printf("✓ %-10s %d randomized runs verified\n", target, iters)
@@ -184,13 +191,44 @@ func checkBatch(runs []pending, target, policy string, shared *cliflags.Set) err
 			label := fmt.Sprintf("%s iteration %d (chaos %s, seed %d)", target, run.iter, policy, run.seed)
 			switch r.Verdict {
 			case calgo.VerdictUnknown:
+				explainFailure(shared, label, r)
 				return fmt.Errorf("%s: %w: %s (%s)", label, errUnknown, r.Unknown.Reason, r.Unknown.Frontier)
 			case calgo.VerdictUnsat:
+				explainFailure(shared, label, r)
 				return fmt.Errorf("%s: CAL checker rejected the history: %s", label, r.Reason)
 			}
 		}
 	}
 	return nil
+}
+
+// explainFailure routes a failed or inconclusive run's evidence through
+// the shared explainability sinks (-explain, -dot, -report). A fuzz
+// failure is exactly when the reproduction evidence matters, so all three
+// fire on the first bad result.
+func explainFailure(shared *cliflags.Set, label string, r calgo.Result) {
+	if r.Explanation == nil {
+		return
+	}
+	if shared.Explain() {
+		fmt.Print(calgo.RenderTimeline(r.Explanation, calgo.TimelineOptions{}))
+	}
+	if err := shared.WriteDOT(calgo.RenderDOT(r.Explanation)); err != nil {
+		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+	}
+	if shared.ReportPath() != "" {
+		detail := r.Reason
+		if r.Verdict == calgo.VerdictUnknown {
+			detail = fmt.Sprintf("%s (%s)", r.Unknown.Reason, r.Unknown.Frontier)
+		}
+		shared.AddRun(calgo.RunReport{
+			Name:     label,
+			Verdict:  calgo.VerdictWord(r.Verdict),
+			Detail:   detail,
+			Timeline: calgo.RenderTimeline(r.Explanation, calgo.TimelineOptions{ASCII: true}),
+			DOT:      calgo.RenderDOT(r.Explanation),
+		})
+	}
 }
 
 var fuzzers = map[string]func(*rand.Rand, *calgo.ChaosInjector) (pending, error){

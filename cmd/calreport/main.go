@@ -1,0 +1,198 @@
+// Command calreport renders calgo.report/v1 run reports offline: it
+// turns a saved report JSON — or a saved -metrics-json / -trace pair —
+// into a self-contained Markdown document, without re-running any check.
+//
+// Usage:
+//
+//	calreport report.json                    # Markdown on stdout
+//	calreport -o report.md report.json       # Markdown to a file
+//	calreport -o report.json ...             # re-emit calgo.report/v1 JSON
+//	calreport -metrics m.json -trace t.jsonl # assemble a report from a
+//	                                         # saved metrics/flight pair
+//
+// The positional argument must be a calgo.report/v1 document as written
+// by any calgo CLI's -report flag. Alternatively -metrics takes a
+// -metrics-json document and -trace a -trace JSON-lines file; calreport
+// stitches the two into a fresh report (the metrics snapshot becomes the
+// report's metrics section, the trace events its flight-recorder tail).
+//
+// Exit status: 0 on success, 2 on usage or input errors (including a
+// schema mismatch).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"calgo"
+	"calgo/internal/cliflags"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		metricsPath = flag.String("metrics", "", "assemble from this saved -metrics-json document")
+		tracePath   = flag.String("trace", "", "assemble from this saved -trace JSON-lines file (the events become the flight-recorder tail)")
+		tool        = flag.String("tool", "", "tool name to stamp on an assembled report (default: the metrics document's tool)")
+		out         = flag.String("o", "-", "output path; \"-\" = stdout, a .json path re-emits calgo.report/v1 JSON, anything else renders Markdown")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: calreport [flags] [report.json]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	doc, err := load(flag.Args(), *metricsPath, *tracePath, *tool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calreport:", err)
+		return 2
+	}
+	if err := emit(doc, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "calreport:", err)
+		return 2
+	}
+	return 0
+}
+
+// load produces the report to render: either a saved calgo.report/v1
+// document (one positional argument) or one assembled from a saved
+// metrics/flight pair (-metrics / -trace).
+func load(args []string, metricsPath, tracePath, tool string) (*calgo.Report, error) {
+	switch {
+	case len(args) > 1:
+		return nil, fmt.Errorf("at most one report file, got %d", len(args))
+	case len(args) == 1 && (metricsPath != "" || tracePath != ""):
+		return nil, fmt.Errorf("give either a report file or -metrics/-trace, not both")
+	case len(args) == 1:
+		return loadReport(args[0])
+	case metricsPath == "" && tracePath == "":
+		return nil, fmt.Errorf("nothing to render: give a report file or -metrics/-trace (see -h)")
+	}
+	return assemble(metricsPath, tracePath, tool)
+}
+
+// loadReport reads and validates a saved calgo.report/v1 document.
+func loadReport(path string) (*calgo.Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc calgo.Report
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != calgo.ReportSchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, calgo.ReportSchemaVersion)
+	}
+	return &doc, nil
+}
+
+// assemble builds a fresh report from a saved -metrics-json document
+// and/or a -trace JSON-lines file.
+func assemble(metricsPath, tracePath, tool string) (*calgo.Report, error) {
+	if tool == "" {
+		tool = "calreport"
+	}
+	var sources []string
+	var doc *calgo.Report
+
+	if metricsPath != "" {
+		b, err := os.ReadFile(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		var m cliflags.Report
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("%s: %w", metricsPath, err)
+		}
+		if m.Tool != "" && tool == "calreport" {
+			tool = m.Tool
+		}
+		doc = calgo.NewReport(tool, time.Now())
+		doc.ElapsedNS = m.ElapsedNS
+		snap := m.Metrics
+		doc.Metrics = &snap
+		sources = append(sources, fmt.Sprintf("metrics from %s", metricsPath))
+	} else {
+		doc = calgo.NewReport(tool, time.Now())
+	}
+
+	if tracePath != "" {
+		events, total, err := loadTrace(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		doc.Flight = events
+		doc.FlightTotal = total
+		sources = append(sources, fmt.Sprintf("%d trace events from %s", total, tracePath))
+	}
+
+	doc.Notes = append(doc.Notes, "assembled offline by calreport: "+strings.Join(sources, ", "))
+	return doc, nil
+}
+
+// loadTrace parses a -trace JSON-lines file, keeping the last
+// cliflags.FlightEvents events — the same tail a live flight recorder
+// would retain.
+func loadTrace(path string) ([]calgo.TraceEvent, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	var events []calgo.TraceEvent
+	var total uint64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev calgo.TraceEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, 0, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		total++
+		events = append(events, ev)
+		if len(events) > cliflags.FlightEvents {
+			events = events[1:]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, total, nil
+}
+
+// emit writes the report to out: "-" renders Markdown on stdout, a
+// .json path re-emits the JSON document, anything else gets Markdown.
+func emit(doc *calgo.Report, out string) error {
+	if out == "-" {
+		_, err := os.Stdout.WriteString(doc.Markdown())
+		return err
+	}
+	if strings.HasSuffix(out, ".json") {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := doc.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return os.WriteFile(out, []byte(doc.Markdown()), 0o644)
+}

@@ -20,6 +20,8 @@ type (
 	// ExploreViolation describes a model-check failure together with the
 	// schedule that reached it.
 	ExploreViolation = sched.ViolationError
+	// ExploreStep is one typed step of a counterexample schedule.
+	ExploreStep = sched.Step
 )
 
 // Exploration abort causes.

@@ -65,6 +65,11 @@ type Result struct {
 	// Unknown carries the abort cause, frontier statistics and partial
 	// witness; set only when Verdict == Unknown.
 	Unknown *UnknownInfo
+	// Explanation is the structured evidence behind the verdict: the
+	// history's operations, the (full or deepest-partial) witness trace,
+	// and on-demand views of the matched surjection and the blocked
+	// operations. Always set on a nil-error Result.
+	Explanation *Explanation
 }
 
 type config struct {
@@ -366,6 +371,7 @@ func (s *searcher) run() (Result, error) {
 				Frontier:       s.frontier(),
 				PartialWitness: append(trace.Trace(nil), s.bestWitness...),
 			}
+			res.Explanation = &Explanation{Verdict: Unknown, Ops: s.ops, Witness: res.Unknown.PartialWitness}
 			return s.finish(res), nil
 		}
 		s.finish(res)
@@ -374,6 +380,9 @@ func (s *searcher) run() (Result, error) {
 	if !ok {
 		res.Verdict = Unsat
 		res.Reason = s.failureReason()
+		// The searcher is single-use, so its deepest-partial buffer can be
+		// handed out without copying.
+		res.Explanation = &Explanation{Verdict: Unsat, Ops: s.ops, Witness: s.bestWitness}
 		return s.finish(res), nil
 	}
 	res.Verdict = Sat
@@ -384,6 +393,7 @@ func (s *searcher) run() (Result, error) {
 			res.Dropped = append(res.Dropped, op)
 		}
 	}
+	res.Explanation = &Explanation{Verdict: Sat, Ops: s.ops, Witness: s.witness}
 	return s.finish(res), nil
 }
 

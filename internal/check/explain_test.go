@@ -1,0 +1,150 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// TestExplanationSatSurjection pins the matched surjection on fig3 H1:
+// every operation maps to exactly one witness element, the swap pair
+// shares an element, and the failed exchange sits alone.
+func TestExplanationSatSurjection(t *testing.T) {
+	r := mustCAL(t, fig3H1(), spec.NewExchanger(objE))
+	ex := r.Explanation
+	if ex == nil || ex.Verdict != Sat {
+		t.Fatalf("explanation = %+v, want Sat", ex)
+	}
+	if len(ex.Ops) != 3 {
+		t.Fatalf("ops = %d, want 3", len(ex.Ops))
+	}
+	if ex.NumEvents() != 6 {
+		t.Errorf("NumEvents = %d, want 6", ex.NumEvents())
+	}
+	elems := ex.ElementOps()
+	if len(elems) != len(r.Witness) {
+		t.Fatalf("ElementOps has %d entries, want %d", len(elems), len(r.Witness))
+	}
+	covered := 0
+	for k, idx := range elems {
+		if len(idx) != r.Witness[k].Size() {
+			t.Errorf("element %d absorbed %d ops, element has %d", k, len(idx), r.Witness[k].Size())
+		}
+		covered += len(idx)
+		// Each absorbed op must actually match the element's operations.
+		for j, i := range idx {
+			top := r.Witness[k].Ops[j]
+			op := ex.Ops[i]
+			if op.Thread != top.Thread || op.Object != top.Object || op.Method != top.Method || op.Arg != top.Arg {
+				t.Errorf("element %d op %d: surjection mapped %v to %v", k, j, top, op)
+			}
+		}
+	}
+	if covered != 3 {
+		t.Errorf("surjection covers %d ops, want all 3", covered)
+	}
+	if got := ex.Stuck(); len(got) != 0 {
+		t.Errorf("Stuck() = %v on Sat, want empty", got)
+	}
+	if got := ex.FirstBlocked(); got != -1 {
+		t.Errorf("FirstBlocked() = %d on Sat, want -1", got)
+	}
+	byOp := ex.ElementOf()
+	for i, el := range byOp {
+		if el < 0 {
+			t.Errorf("op %d unmapped on Sat", i)
+		}
+	}
+}
+
+// TestExplanationUnsatFirstBlocked: a lone "successful" exchange can never
+// linearize, so it is the first (and only) blocked operation.
+func TestExplanationUnsatFirstBlocked(t *testing.T) {
+	r := mustCAL(t, unsatExchange(), spec.NewExchanger(objE))
+	if r.Verdict != Unsat {
+		t.Fatalf("verdict = %v, want Unsat", r.Verdict)
+	}
+	ex := r.Explanation
+	if ex == nil || ex.Verdict != Unsat {
+		t.Fatalf("explanation = %+v, want Unsat", ex)
+	}
+	if got := ex.Stuck(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Stuck() = %v, want [0]", got)
+	}
+	if got := ex.FirstBlocked(); got != 0 {
+		t.Errorf("FirstBlocked() = %d, want 0", got)
+	}
+}
+
+// TestExplanationUnsatPartialWitness: on a history where the search
+// linearizes a prefix before getting stuck, the explanation's witness
+// covers exactly the linearized ops and Stuck lists the rest.
+func TestExplanationUnsatPartialWitness(t *testing.T) {
+	// A clean swap followed by a lone success: the swap linearizes, the
+	// tail can't.
+	h := history.History{
+		inv(1, objE, spec.MethodExchange, history.Int(3)),
+		inv(2, objE, spec.MethodExchange, history.Int(4)),
+		res(1, objE, spec.MethodExchange, history.Pair(true, 4)),
+		res(2, objE, spec.MethodExchange, history.Pair(true, 3)),
+		inv(3, objE, spec.MethodExchange, history.Int(7)),
+		res(3, objE, spec.MethodExchange, history.Pair(true, 9)),
+	}
+	r := mustCAL(t, h, spec.NewExchanger(objE))
+	if r.Verdict != Unsat {
+		t.Fatalf("verdict = %v, want Unsat", r.Verdict)
+	}
+	ex := r.Explanation
+	if len(ex.Witness) == 0 {
+		t.Fatal("no partial witness retained")
+	}
+	stuck := ex.Stuck()
+	if len(stuck) != 1 || stuck[0] != 2 {
+		t.Errorf("Stuck() = %v, want [2] (the impossible exchange)", stuck)
+	}
+	if got := ex.FirstBlocked(); got != 2 {
+		t.Errorf("FirstBlocked() = %d, want 2", got)
+	}
+}
+
+// TestExplanationDropped: a pending invocation the completion removes is
+// reported by index.
+func TestExplanationDropped(t *testing.T) {
+	h := history.History{
+		inv(1, objE, spec.MethodExchange, history.Int(3)),
+		inv(2, objE, spec.MethodExchange, history.Int(4)),
+		res(1, objE, spec.MethodExchange, history.Pair(true, 4)),
+		res(2, objE, spec.MethodExchange, history.Pair(true, 3)),
+		inv(3, objE, spec.MethodExchange, history.Int(7)),
+	}
+	r := mustCAL(t, h, spec.NewExchanger(objE))
+	if !r.OK {
+		t.Fatalf("want Sat, got %+v", r)
+	}
+	ex := r.Explanation
+	if got := ex.DroppedIdx(); len(got) != 1 || got[0] != 2 {
+		// Depending on the resolver the pending op may instead be completed
+		// into the witness; either way no completed op may be unexplained.
+		if len(r.Dropped) != len(got) {
+			t.Errorf("DroppedIdx() = %v, Result.Dropped = %v", got, r.Dropped)
+		}
+	}
+	if got := ex.Stuck(); len(got) != 0 {
+		t.Errorf("Stuck() = %v on Sat, want empty", got)
+	}
+}
+
+// TestExplanationAlwaysPresent: every nil-error verdict carries one.
+func TestExplanationAlwaysPresent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := CAL(ctx, fig3H1(), spec.NewExchanger(objE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != Unknown || r.Explanation == nil || r.Explanation.Verdict != Unknown {
+		t.Fatalf("cancelled check: verdict %v explanation %+v", r.Verdict, r.Explanation)
+	}
+}

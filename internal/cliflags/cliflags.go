@@ -16,7 +16,7 @@
 //	results, err := calgo.CheckMany(ctx, hs, sp, s.Options()...)
 //	...
 //	s.DumpFlight()            // on VIOLATION or UNKNOWN
-//	if err := s.Finish(); err != nil { ... exit 2 ... }
+//	if err := s.Finish(exit); err != nil { ... exit 2 ... }
 package cliflags
 
 import (
@@ -28,6 +28,8 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"calgo"
@@ -65,12 +67,19 @@ type Set struct {
 	tracePath   *string
 	progress    *bool
 	pprofAddr   *string
+	explain     *bool
+	dotPath     *string
+	reportPath  *string
 
-	start     time.Time
-	metrics   *calgo.Metrics
-	flight    *calgo.FlightRecorder
-	logTracer *calgo.LogTracer
-	traceFile *os.File // nil when tracing to stderr or disabled
+	start       time.Time
+	metrics     *calgo.Metrics
+	flight      *calgo.FlightRecorder
+	logTracer   *calgo.LogTracer
+	traceFile   *os.File // nil when tracing to stderr or disabled
+	aliasWarned bool     // the deprecated-alias notice fired already
+
+	runs  []calgo.RunReport // accumulated for -report
+	notes []string
 }
 
 // Register defines the shared flags on the default flag set and wraps
@@ -84,6 +93,9 @@ func Register(tool string) *Set {
 		tracePath:   flag.String("trace", "", "write sampled search-trace JSON lines to this path (\"-\" = stderr) and dump a flight-recorder ring on VIOLATION/UNKNOWN"),
 		progress:    flag.Bool("progress", false, "report live progress (states, states/sec, budget ETA) to stderr every second"),
 		pprofAddr:   flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration"),
+		explain:     flag.Bool("explain", false, "render the evidence behind each verdict: a per-thread timeline with concurrency windows and, on VIOLATION, the first blocked operation"),
+		dotPath:     flag.String("dot", "", "write a Graphviz DOT rendering of the worst verdict's evidence to this path (\"-\" = stdout)"),
+		reportPath:  flag.String("report", "", "write a self-contained calgo.report/v1 run report to this path (\"-\" = stdout as JSON; a .md path renders Markdown)"),
 	}
 	prev := flag.Usage
 	flag.Usage = func() {
@@ -97,12 +109,50 @@ func Register(tool string) *Set {
 
 // AliasWorkers registers name as a deprecated alias of -workers sharing
 // its value; when both are given the last one on the command line wins.
+// The first use of the alias prints a one-time deprecation notice to
+// stderr pointing at -workers.
 func (s *Set) AliasWorkers(name string) {
-	flag.IntVar(s.workers, name, 0, "deprecated alias for -workers")
+	flag.Var(&workersAlias{set: s, name: name}, name, "deprecated alias for -workers")
+}
+
+// workersAlias is the flag.Value behind AliasWorkers: it forwards to the
+// shared -workers target and emits the deprecation notice on first use.
+type workersAlias struct {
+	set  *Set
+	name string
+}
+
+func (a *workersAlias) String() string {
+	if a.set == nil {
+		return ""
+	}
+	return strconv.Itoa(*a.set.workers)
+}
+
+func (a *workersAlias) Set(v string) error {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return err
+	}
+	if !a.set.aliasWarned {
+		a.set.aliasWarned = true
+		fmt.Fprintf(os.Stderr, "%s: flag -%s is deprecated, use -workers\n", a.set.tool, a.name)
+	}
+	*a.set.workers = n
+	return nil
 }
 
 // Workers returns the -workers value (0 = GOMAXPROCS).
 func (s *Set) Workers() int { return *s.workers }
+
+// Explain returns whether -explain was given.
+func (s *Set) Explain() bool { return *s.explain }
+
+// DOTPath returns the -dot destination ("" = off, "-" = stdout).
+func (s *Set) DOTPath() string { return *s.dotPath }
+
+// ReportPath returns the -report destination ("" = off, "-" = stdout).
+func (s *Set) ReportPath() string { return *s.reportPath }
 
 // Timeout returns the -timeout value (0 = none).
 func (s *Set) Timeout() time.Duration { return *s.timeout }
@@ -122,7 +172,9 @@ func (s *Set) WithTimeout(parent context.Context) (context.Context, context.Canc
 // with Close.
 func (s *Set) Start() error {
 	s.start = time.Now()
-	if *s.metricsJSON != "" {
+	if *s.metricsJSON != "" || *s.reportPath != "" {
+		// A report always embeds a metrics snapshot, so -report implies a
+		// registry even without -metrics-json.
 		s.metrics = calgo.NewMetrics()
 	}
 	if *s.tracePath != "" {
@@ -135,6 +187,10 @@ func (s *Set) Start() error {
 			s.traceFile, w = f, f
 		}
 		s.logTracer = calgo.NewLogTracer(w, TraceSample)
+	}
+	if *s.tracePath != "" || *s.reportPath != "" {
+		// The report's flight-recorder tail needs a ring even when no
+		// trace sink was requested.
 		s.flight = calgo.NewFlightRecorder(FlightEvents)
 	}
 	if *s.pprofAddr != "" {
@@ -165,8 +221,16 @@ func (s *Set) Start() error {
 // slice is append-compatible with tool-specific options.
 func (s *Set) Options() []calgo.Option {
 	opts := []calgo.Option{calgo.WithParallelism(*s.workers)}
+	var tracers []calgo.Tracer
 	if s.logTracer != nil {
-		opts = append(opts, calgo.WithTracer(calgo.MultiTracer(s.logTracer, s.flight)))
+		tracers = append(tracers, s.logTracer)
+	}
+	if s.flight != nil {
+		tracers = append(tracers, s.flight)
+	}
+	if len(tracers) > 0 {
+		// MultiTracer unwraps a single live tracer.
+		opts = append(opts, calgo.WithTracer(calgo.MultiTracer(tracers...)))
 	}
 	if s.metrics != nil {
 		opts = append(opts, calgo.WithMetrics(s.metrics))
@@ -181,15 +245,51 @@ func (s *Set) Options() []calgo.Option {
 // flag is off; tools may record their own gauges into it.
 func (s *Set) Metrics() *calgo.Metrics { return s.metrics }
 
-// DumpFlight writes the flight recorder's retained events to stderr.
-// Call it when the run ends in VIOLATION or UNKNOWN; it is a no-op when
-// -trace is off or nothing was recorded.
-func (s *Set) DumpFlight() {
+// DumpFlight writes the flight recorder's retained events to stderr,
+// followed by the counterexample schedule when the caller has one. Call
+// it when the run ends in VIOLATION or UNKNOWN; it is a no-op when
+// neither -trace nor -report is on or nothing was recorded.
+func (s *Set) DumpFlight(schedule ...calgo.ExploreStep) {
 	if s.flight == nil || s.flight.Total() == 0 {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "%s: flight recorder (-trace) ring:\n", s.tool)
 	_ = s.flight.Dump(os.Stderr)
+	if len(schedule) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: schedule to the violating state:\n", s.tool)
+		for i, step := range schedule {
+			fmt.Fprintf(os.Stderr, "  %3d  %s\n", i, step)
+		}
+	}
+}
+
+// AddRun records one checked input's outcome for the -report document.
+// Tools should gate the expensive fields (Timeline, DOT) on ReportPath()
+// being set; the record itself is cheap.
+func (s *Set) AddRun(r calgo.RunReport) {
+	s.runs = append(s.runs, r)
+}
+
+// AddNote appends a free-form line to the -report document's notes.
+func (s *Set) AddNote(format string, args ...any) {
+	s.notes = append(s.notes, fmt.Sprintf(format, args...))
+}
+
+// WriteDOT writes a DOT document to the -dot destination; a no-op when
+// the flag is off. Call at most once per process, with the rendering of
+// the run's worst verdict.
+func (s *Set) WriteDOT(dot string) error {
+	if *s.dotPath == "" {
+		return nil
+	}
+	if *s.dotPath == "-" {
+		_, err := os.Stdout.WriteString(dot)
+		return err
+	}
+	if err := os.WriteFile(*s.dotPath, []byte(dot), 0o644); err != nil {
+		return fmt.Errorf("writing DOT: %w", err)
+	}
+	return nil
 }
 
 // Report is the -metrics-json document: the tool name, wall-clock
@@ -202,36 +302,77 @@ type Report struct {
 }
 
 // Finish flushes the end-of-run outputs: snapshots runtime memory
-// gauges and writes the -metrics-json document, and surfaces any -trace
-// write error. Errors are environment errors (exit 2).
-func (s *Set) Finish() error {
+// gauges, writes the -metrics-json document and the -report document
+// (stamped with the process exit code the caller is about to use), and
+// surfaces any -trace write error. Errors are environment errors
+// (exit 2).
+func (s *Set) Finish(exit int) error {
 	if s.logTracer != nil {
 		if err := s.logTracer.Err(); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
 		}
 	}
-	if s.metrics == nil || *s.metricsJSON == "" {
+	if s.metrics != nil {
+		s.metrics.SnapshotMemStats()
+	}
+	if s.metrics != nil && *s.metricsJSON != "" {
+		doc := Report{
+			Tool:      s.tool,
+			ElapsedNS: time.Since(s.start).Nanoseconds(),
+			Metrics:   s.metrics.Snapshot(),
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if *s.metricsJSON == "-" {
+			if _, err := os.Stdout.Write(b); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*s.metricsJSON, b, 0o644); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return s.writeReport(exit)
+}
+
+// writeReport assembles and writes the calgo.report/v1 document.
+func (s *Set) writeReport(exit int) error {
+	if *s.reportPath == "" {
 		return nil
 	}
-	s.metrics.SnapshotMemStats()
-	doc := Report{
-		Tool:      s.tool,
-		ElapsedNS: time.Since(s.start).Nanoseconds(),
-		Metrics:   s.metrics.Snapshot(),
+	doc := calgo.NewReport(s.tool, time.Now())
+	doc.ElapsedNS = time.Since(s.start).Nanoseconds()
+	doc.Exit = exit
+	doc.Runs = s.runs
+	doc.Notes = s.notes
+	if s.metrics != nil {
+		snap := s.metrics.Snapshot()
+		doc.Metrics = &snap
 	}
-	b, err := json.MarshalIndent(doc, "", "  ")
+	if s.flight != nil && s.flight.Total() > 0 {
+		doc.Flight = s.flight.Events()
+		doc.FlightTotal = s.flight.Total()
+	}
+	if *s.reportPath == "-" {
+		return doc.WriteJSON(os.Stdout)
+	}
+	if strings.HasSuffix(*s.reportPath, ".md") {
+		if err := os.WriteFile(*s.reportPath, []byte(doc.Markdown()), 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+		return nil
+	}
+	f, err := os.Create(*s.reportPath)
 	if err != nil {
-		return err
+		return fmt.Errorf("writing report: %w", err)
 	}
-	b = append(b, '\n')
-	if *s.metricsJSON == "-" {
-		_, err = os.Stdout.Write(b)
-		return err
+	if err := doc.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing report: %w", err)
 	}
-	if err := os.WriteFile(*s.metricsJSON, b, 0o644); err != nil {
-		return fmt.Errorf("writing metrics: %w", err)
-	}
-	return nil
+	return f.Close()
 }
 
 // Close releases the trace sink. Safe to call once, after Finish.

@@ -1,0 +1,259 @@
+package cliflags
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calgo"
+)
+
+// resetFlags gives each test a fresh default flag set and restores the
+// real one (and flag.Usage) afterwards, since Register mutates both.
+func resetFlags(t *testing.T) {
+	t.Helper()
+	oldCmd, oldUsage := flag.CommandLine, flag.Usage
+	t.Cleanup(func() { flag.CommandLine, flag.Usage = oldCmd, oldUsage })
+	flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+	flag.Usage = nil
+}
+
+// capture redirects the given file (os.Stdout or os.Stderr) for the
+// duration of fn and returns what was written.
+func capture(t *testing.T, f **os.File, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := *f
+	*f = w
+	done := make(chan string)
+	go func() {
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(r)
+		done <- b.String()
+	}()
+	fn()
+	w.Close()
+	*f = old
+	return <-done
+}
+
+// TestRegisterDefinesSharedFlags pins the shared vocabulary: every tool
+// built on cliflags must expose exactly these names.
+func TestRegisterDefinesSharedFlags(t *testing.T) {
+	resetFlags(t)
+	Register("testtool")
+	for _, name := range []string{
+		"workers", "timeout", "metrics-json", "trace", "progress", "pprof",
+		"explain", "dot", "report",
+	} {
+		if flag.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+// TestUsageIncludesExitLegend pins the -h contract: the exit-code legend
+// is appended to every tool's usage output.
+func TestUsageIncludesExitLegend(t *testing.T) {
+	resetFlags(t)
+	Register("testtool")
+	var buf bytes.Buffer
+	flag.CommandLine.SetOutput(&buf)
+	flag.Usage()
+	out := buf.String()
+	for _, want := range []string{"Exit status:", "0  OK", "1  VIOLATION", "3  UNKNOWN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("usage output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAliasWorkersDeprecationNotice: the alias forwards to -workers and
+// warns exactly once on stderr.
+func TestAliasWorkersDeprecationNotice(t *testing.T) {
+	resetFlags(t)
+	s := Register("testtool")
+	s.AliasWorkers("parallel")
+	var errOut string
+	errOut = capture(t, &os.Stderr, func() {
+		if err := flag.CommandLine.Parse([]string{"-parallel", "4", "-parallel", "6"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.Workers() != 6 {
+		t.Errorf("Workers() = %d, want 6 (last alias use wins)", s.Workers())
+	}
+	if n := strings.Count(errOut, "deprecated"); n != 1 {
+		t.Errorf("deprecation notice printed %d times, want once:\n%s", n, errOut)
+	}
+	if !strings.Contains(errOut, "use -workers") {
+		t.Errorf("notice does not point at -workers: %q", errOut)
+	}
+}
+
+// TestAliasWorkersSilentWhenUnused: registering the alias alone must not
+// warn, and -workers itself never does.
+func TestAliasWorkersSilentWhenUnused(t *testing.T) {
+	resetFlags(t)
+	s := Register("testtool")
+	s.AliasWorkers("parallel")
+	errOut := capture(t, &os.Stderr, func() {
+		if err := flag.CommandLine.Parse([]string{"-workers", "3"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if s.Workers() != 3 {
+		t.Errorf("Workers() = %d, want 3", s.Workers())
+	}
+	if errOut != "" {
+		t.Errorf("unexpected stderr: %q", errOut)
+	}
+}
+
+// TestMetricsJSONStdout pins "-metrics-json -": counters recorded into
+// the shared registry are aggregated into one document on stdout.
+func TestMetricsJSONStdout(t *testing.T) {
+	resetFlags(t)
+	s := Register("testtool")
+	if err := flag.CommandLine.Parse([]string{"-metrics-json", "-"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Two recordings into the same counter must aggregate, as the fuzz
+	// batches do.
+	s.Metrics().Counter("test.checks").Add(2)
+	s.Metrics().Counter("test.checks").Add(3)
+	out := capture(t, &os.Stdout, func() {
+		if err := s.Finish(0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var doc Report
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n%s", err, out)
+	}
+	if doc.Tool != "testtool" {
+		t.Errorf("tool = %q", doc.Tool)
+	}
+	if got := doc.Metrics.Counters["test.checks"]; got != 5 {
+		t.Errorf("test.checks = %d, want 5 (aggregated)", got)
+	}
+	if doc.Metrics.Schema != calgo.MetricsSchemaVersion {
+		t.Errorf("schema = %q", doc.Metrics.Schema)
+	}
+}
+
+// TestReportJSONAndMarkdown: -report writes a calgo.report/v1 document
+// with the accumulated runs and the caller's exit code; a .md path
+// renders Markdown instead.
+func TestReportJSONAndMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "run.json")
+	mdPath := filepath.Join(dir, "run.md")
+
+	for _, path := range []string{jsonPath, mdPath} {
+		resetFlags(t)
+		s := Register("testtool")
+		if err := flag.CommandLine.Parse([]string{"-report", path}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Metrics() == nil {
+			t.Fatal("-report did not imply a metrics registry")
+		}
+		s.AddRun(calgo.RunReport{Name: "case-1", Verdict: "VIOLATION", Detail: "it broke"})
+		s.AddNote("note %d", 7)
+		if err := s.Finish(1); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+	}
+
+	var doc calgo.Report
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != calgo.ReportSchemaVersion || doc.Exit != 1 || doc.Tool != "testtool" {
+		t.Errorf("report header = %+v", doc)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Verdict != "VIOLATION" {
+		t.Errorf("runs = %+v", doc.Runs)
+	}
+	if len(doc.Notes) != 1 || doc.Notes[0] != "note 7" {
+		t.Errorf("notes = %+v", doc.Notes)
+	}
+	if doc.Metrics == nil {
+		t.Error("report missing metrics snapshot")
+	}
+
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# testtool run report", "VIOLATION", "it broke", "note 7"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("markdown report missing %q", want)
+		}
+	}
+}
+
+// TestDumpFlightIncludesSchedule: a violation schedule passed to
+// DumpFlight is appended to the stderr dump.
+func TestDumpFlightIncludesSchedule(t *testing.T) {
+	resetFlags(t)
+	s := Register("testtool")
+	if err := flag.CommandLine.Parse([]string{"-report", filepath.Join(t.TempDir(), "r.json")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.flight.SearchStart(1)
+	errOut := capture(t, &os.Stderr, func() {
+		s.DumpFlight(calgo.ExploreStep{Thread: 2, Label: "XCHG"})
+	})
+	if !strings.Contains(errOut, "schedule to the violating state") || !strings.Contains(errOut, "t2:XCHG") {
+		t.Errorf("flight dump missing schedule:\n%s", errOut)
+	}
+}
+
+// TestWriteDOTOffIsNoop: without -dot, WriteDOT must do nothing.
+func TestWriteDOTOffIsNoop(t *testing.T) {
+	resetFlags(t)
+	s := Register("testtool")
+	if err := flag.CommandLine.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteDOT("digraph g {}"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.dot")
+	resetFlags(t)
+	s = Register("testtool")
+	if err := flag.CommandLine.Parse([]string{"-dot", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteDOT("digraph g {}"); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := os.ReadFile(path); err != nil || string(b) != "digraph g {}" {
+		t.Errorf("WriteDOT wrote %q, %v", b, err)
+	}
+}

@@ -77,6 +77,32 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	}{Kind: e.Kind.String(), alias: alias(e)})
 }
 
+// UnmarshalJSON parses the wire form MarshalJSON produces, mapping the
+// "ev" kind name back onto the EventKind. Unrecognized kind names decode
+// to the zero kind rather than failing, so newer producers stay readable.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	type alias Event
+	var aux struct {
+		Kind string `json:"ev"`
+		alias
+	}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	*e = Event(aux.alias)
+	e.Kind = kindFromString(aux.Kind)
+	return nil
+}
+
+func kindFromString(s string) EventKind {
+	for k := EvSearchStart; k <= EvSearchEnd; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
 // String renders the event as one human-readable line.
 func (e Event) String() string {
 	switch e.Kind {

@@ -1,0 +1,207 @@
+package render_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/obs"
+	"calgo/internal/render"
+	"calgo/internal/sched"
+	"calgo/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+const objE history.ObjectID = "E"
+
+// golden compares got against testdata/name, rewriting it under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test ./internal/render -update`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func inv(t history.ThreadID, arg int64) history.Event {
+	return history.Inv(t, objE, spec.MethodExchange, history.Int(arg))
+}
+
+func res(t history.ThreadID, ok bool, ret int64) history.Event {
+	return history.Res(t, objE, spec.MethodExchange, history.Pair(ok, ret))
+}
+
+// satHistory: a clean swap plus a pending invocation the completion
+// drops — exercises element grouping, concurrency marking and the
+// dropped-op rendering in one fixture.
+func satHistory() history.History {
+	return history.History{
+		inv(1, 3), inv(2, 4), res(1, true, 4), res(2, true, 3), inv(3, 7),
+	}
+}
+
+// unsatHistory: a swap the search linearizes followed by a lone
+// "successful" exchange that can never be matched.
+func unsatHistory() history.History {
+	return history.History{
+		inv(1, 3), inv(2, 4), res(1, true, 4), res(2, true, 3), inv(3, 7), res(3, true, 9),
+	}
+}
+
+func explain(t *testing.T, h history.History, wantVerdict check.Verdict) *check.Explanation {
+	t.Helper()
+	r, err := check.CAL(context.Background(), h, spec.NewExchanger(objE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Verdict != wantVerdict {
+		t.Fatalf("verdict = %v, want %v", r.Verdict, wantVerdict)
+	}
+	if r.Explanation == nil {
+		t.Fatal("no explanation on result")
+	}
+	return r.Explanation
+}
+
+func TestTimelineGolden(t *testing.T) {
+	sat := explain(t, satHistory(), check.Sat)
+	unsat := explain(t, unsatHistory(), check.Unsat)
+	golden(t, "timeline_sat.txt", render.Timeline(sat, render.TimelineOptions{}))
+	golden(t, "timeline_sat_ascii.txt", render.Timeline(sat, render.TimelineOptions{ASCII: true}))
+	golden(t, "timeline_unsat.txt", render.Timeline(unsat, render.TimelineOptions{}))
+}
+
+func TestDOTGolden(t *testing.T) {
+	sat := explain(t, satHistory(), check.Sat)
+	unsat := explain(t, unsatHistory(), check.Unsat)
+	for name, dot := range map[string]string{
+		"dot_sat.dot":   render.DOT(sat),
+		"dot_unsat.dot": render.DOT(unsat),
+	} {
+		if err := render.ValidateDOT(dot); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		golden(t, name, dot)
+	}
+	// The failing run must visibly flag the first blocked operation.
+	if dot := render.DOT(unsat); !strings.Contains(dot, "color=red") {
+		t.Error("unsat DOT does not highlight the blocked operation")
+	}
+}
+
+func TestScheduleGolden(t *testing.T) {
+	steps := []sched.Step{
+		{Thread: 0, Label: "INIT"},
+		{Thread: 1, Label: "XCHG"},
+		{Thread: 0, Label: "DONE"},
+	}
+	golden(t, "schedule_timeline.txt", render.ScheduleTimeline(steps))
+	dot := render.ScheduleDOT(steps)
+	if err := render.ValidateDOT(dot); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "schedule.dot", dot)
+}
+
+func TestValidateDOTRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"empty":            "",
+		"not a graph":      "strict nonsense",
+		"unclosed brace":   "digraph g { a -> b;",
+		"stray closer":     "digraph g { } }",
+		"unclosed quote":   "digraph g { a [label=\"oops]; }",
+		"unclosed bracket": "digraph g { a [shape=box; }",
+		"no body":          "digraph g",
+	} {
+		if err := render.ValidateDOT(doc); err == nil {
+			t.Errorf("%s: accepted %q", name, doc)
+		}
+	}
+	if err := render.ValidateDOT(`digraph g { a [label="esc \" quote"]; a -> b; }`); err != nil {
+		t.Errorf("rejected valid document: %v", err)
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	unsat := explain(t, unsatHistory(), check.Unsat)
+	m := obs.NewMetrics()
+	m.Counter("check.states").Add(17)
+	m.Gauge("check.depth.max").Set(2)
+	fr := obs.NewFlightRecorder(4)
+	fr.SearchStart(3)
+	fr.ElementAdmit(0, 2)
+	fr.SearchEnd("Unsat", 17)
+	snap := m.Snapshot()
+	r := &render.Report{
+		Schema:    render.ReportSchema,
+		Tool:      "calcheck",
+		ElapsedNS: 1500000,
+		Exit:      1,
+		Runs: []render.Run{{
+			Name:     "unsat.txt",
+			Verdict:  render.VerdictWord(check.Unsat),
+			Detail:   "no CA-trace matches",
+			Timeline: render.Timeline(unsat, render.TimelineOptions{ASCII: true}),
+			DOT:      render.DOT(unsat),
+			Schedule: []sched.Step{{Thread: 0, Label: "INIT"}},
+		}},
+		Metrics:     &snap,
+		Flight:      fr.Events(),
+		FlightTotal: fr.Total(),
+		Notes:       []string{"fixture report"},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "report.json", buf.String())
+	golden(t, "report.md", r.Markdown())
+
+	// The JSON document must round-trip, including the flight events'
+	// custom kind encoding.
+	var back render.Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != render.ReportSchema || back.Tool != "calcheck" || back.Exit != 1 {
+		t.Errorf("round-trip header = %+v", back)
+	}
+	if len(back.Flight) != 3 || back.Flight[0].Kind != obs.EvSearchStart || back.Flight[2].Kind != obs.EvSearchEnd {
+		t.Errorf("round-trip flight = %+v", back.Flight)
+	}
+	if back.Flight[2].Verdict != "Unsat" {
+		t.Errorf("round-trip verdict = %q", back.Flight[2].Verdict)
+	}
+	if len(back.Runs) != 1 || len(back.Runs[0].Schedule) != 1 || back.Runs[0].Schedule[0].Label != "INIT" {
+		t.Errorf("round-trip runs = %+v", back.Runs)
+	}
+}
+
+func TestVerdictWord(t *testing.T) {
+	if got := render.VerdictWord(check.Sat); got != "OK" {
+		t.Errorf("Sat = %q", got)
+	}
+	if got := render.VerdictWord(check.Unsat); got != "VIOLATION" {
+		t.Errorf("Unsat = %q", got)
+	}
+	if got := render.VerdictWord(check.Unknown); got != "UNKNOWN" {
+		t.Errorf("Unknown = %q", got)
+	}
+}

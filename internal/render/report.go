@@ -1,0 +1,193 @@
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"calgo/internal/check"
+	"calgo/internal/obs"
+	"calgo/internal/sched"
+)
+
+// ReportSchema versions the run-report document. Consumers must check it:
+// fields may be added within v1, but existing fields keep their meaning.
+const ReportSchema = "calgo.report/v1"
+
+// Report is a self-contained record of one CLI run: what was checked,
+// what the verdicts were and the evidence behind them, plus the metrics
+// snapshot and the flight-recorder tail of the search that produced them.
+// It marshals as the calgo.report/v1 JSON document and renders as a
+// standalone Markdown page.
+type Report struct {
+	Schema    string `json:"schema"`
+	Tool      string `json:"tool"`
+	Generated string `json:"generated,omitempty"` // RFC 3339
+	ElapsedNS int64  `json:"elapsed_ns"`
+	// Exit is the process exit code under the shared legend:
+	// 0 OK, 1 VIOLATION, 2 usage error, 3 UNKNOWN.
+	Exit int   `json:"exit"`
+	Runs []Run `json:"runs,omitempty"`
+	// Metrics is the final snapshot of the run's metrics registry.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Flight is the flight-recorder tail (oldest first) and FlightTotal
+	// the number of events ever recorded (>= len(Flight) once wrapped).
+	Flight      []obs.Event `json:"flight,omitempty"`
+	FlightTotal uint64      `json:"flight_total,omitempty"`
+	Notes       []string    `json:"notes,omitempty"`
+}
+
+// Run is one checked input within a report: a history checked for CAL, an
+// explored model, or one fuzz batch.
+type Run struct {
+	Name string `json:"name"`
+	// Verdict uses the CLI vocabulary: OK, VIOLATION or UNKNOWN.
+	Verdict string `json:"verdict"`
+	Detail  string `json:"detail,omitempty"`
+	// Timeline is the rendered per-thread timeline (Timeline or
+	// ScheduleTimeline output).
+	Timeline string `json:"timeline,omitempty"`
+	// DOT is the Graphviz rendering of the run's evidence.
+	DOT string `json:"dot,omitempty"`
+	// Schedule is the explorer counterexample, when the run has one.
+	Schedule []sched.Step `json:"schedule,omitempty"`
+}
+
+// VerdictWord maps a checker verdict to the report (and exit-legend)
+// vocabulary: Sat→OK, Unsat→VIOLATION, Unknown→UNKNOWN.
+func VerdictWord(v check.Verdict) string {
+	switch v {
+	case check.Sat:
+		return "OK"
+	case check.Unsat:
+		return "VIOLATION"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// NewReport returns a report skeleton for the named tool with the schema
+// and generation time stamped.
+func NewReport(tool string, now time.Time) *Report {
+	return &Report{Schema: ReportSchema, Tool: tool, Generated: now.UTC().Format(time.RFC3339)}
+}
+
+// WriteJSON writes the report as indented calgo.report/v1 JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Markdown renders the report as a self-contained Markdown document:
+// verdict summary, per-run evidence (timeline, DOT, schedule), the
+// metrics snapshot and the flight-recorder tail.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s run report\n\n", r.Tool)
+	fmt.Fprintf(&b, "- schema: `%s`\n", r.Schema)
+	if r.Generated != "" {
+		fmt.Fprintf(&b, "- generated: %s\n", r.Generated)
+	}
+	if r.ElapsedNS > 0 {
+		fmt.Fprintf(&b, "- elapsed: %s\n", time.Duration(r.ElapsedNS))
+	}
+	fmt.Fprintf(&b, "- exit: %d (%s)\n", r.Exit, exitWord(r.Exit))
+
+	if len(r.Runs) > 0 {
+		b.WriteString("\n## Runs\n")
+		for _, run := range r.Runs {
+			fmt.Fprintf(&b, "\n### %s — %s\n", run.Name, run.Verdict)
+			if run.Detail != "" {
+				fmt.Fprintf(&b, "\n%s\n", run.Detail)
+			}
+			if run.Timeline != "" {
+				fmt.Fprintf(&b, "\n```text\n%s```\n", ensureNL(run.Timeline))
+			}
+			if len(run.Schedule) > 0 {
+				steps := make([]string, len(run.Schedule))
+				for i, s := range run.Schedule {
+					steps[i] = s.String()
+				}
+				fmt.Fprintf(&b, "\nschedule: `%s`\n", strings.Join(steps, " · "))
+			}
+			if run.DOT != "" {
+				fmt.Fprintf(&b, "\n```dot\n%s```\n", ensureNL(run.DOT))
+			}
+		}
+	}
+
+	if r.Metrics != nil {
+		b.WriteString("\n## Metrics\n\n")
+		fmt.Fprintf(&b, "schema `%s`\n", r.Metrics.Schema)
+		writeKV(&b, "counter", r.Metrics.Counters)
+		writeKV(&b, "gauge", r.Metrics.Gauges)
+		if len(r.Metrics.Histograms) > 0 {
+			names := make([]string, 0, len(r.Metrics.Histograms))
+			for n := range r.Metrics.Histograms {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			b.WriteString("\n| histogram | count | sum | max |\n|---|---:|---:|---:|\n")
+			for _, n := range names {
+				h := r.Metrics.Histograms[n]
+				fmt.Fprintf(&b, "| `%s` | %d | %d | %d |\n", n, h.Count, h.Sum, h.Max)
+			}
+		}
+	}
+
+	if len(r.Flight) > 0 {
+		fmt.Fprintf(&b, "\n## Flight recorder\n\nlast %d of %d events:\n\n```text\n", len(r.Flight), r.FlightTotal)
+		for _, e := range r.Flight {
+			fmt.Fprintf(&b, "%s\n", e)
+		}
+		b.WriteString("```\n")
+	}
+
+	if len(r.Notes) > 0 {
+		b.WriteString("\n## Notes\n\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+func exitWord(code int) string {
+	switch code {
+	case 0:
+		return "OK"
+	case 1:
+		return "VIOLATION"
+	case 2:
+		return "usage error"
+	case 3:
+		return "UNKNOWN"
+	}
+	return "?"
+}
+
+func writeKV(b *strings.Builder, kind string, m map[string]int64) {
+	if len(m) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "\n| %s | value |\n|---|---:|\n", kind)
+	for _, n := range names {
+		fmt.Fprintf(b, "| `%s` | %d |\n", n, m[n])
+	}
+}
+
+func ensureNL(s string) string {
+	if strings.HasSuffix(s, "\n") {
+		return s
+	}
+	return s + "\n"
+}

@@ -1,0 +1,268 @@
+// Package render turns the checker's structured artifacts — histories,
+// explanations, schedules, metrics — into human- and tool-facing views:
+// per-thread timelines (ASCII or Unicode), Graphviz DOT of the real-time
+// order and the matched CA-element partition, and self-contained run
+// reports (calgo.report/v1 JSON and Markdown). It is a pure formatting
+// layer: it never runs a search and never mutates its inputs.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/sched"
+)
+
+// glyphs is one drawing charset for timelines.
+type glyphs struct {
+	open  byte // invocation edge
+	close byte // response edge
+	span  byte // in-flight interior
+	pend  byte // pending tail (no response)
+	conc  byte // concurrency marker
+}
+
+var (
+	asciiGlyphs   = glyphs{open: '[', close: ']', span: '-', pend: '.', conc: '#'}
+	unicodeGlyphs = glyphs{} // sentinel: multi-byte runes, handled in cell()
+)
+
+// TimelineOptions configures Timeline.
+type TimelineOptions struct {
+	// ASCII selects the pure-ASCII charset ([--] and #) instead of the
+	// default Unicode box drawing (├──┤ and ▒).
+	ASCII bool
+}
+
+func (o TimelineOptions) cell(g byte) string {
+	if o.ASCII {
+		switch g {
+		case asciiGlyphs.open, asciiGlyphs.close, asciiGlyphs.span, asciiGlyphs.pend, asciiGlyphs.conc:
+			return string(g)
+		}
+		return " "
+	}
+	switch g {
+	case asciiGlyphs.open:
+		return "├"
+	case asciiGlyphs.close:
+		return "┤"
+	case asciiGlyphs.span:
+		return "─"
+	case asciiGlyphs.pend:
+		return "┄"
+	case asciiGlyphs.conc:
+		return "▒"
+	}
+	return " "
+}
+
+// colWidth is the number of timeline cells per history event: one for the
+// mark, one of breathing room so adjacent operations stay distinguishable.
+const colWidth = 2
+
+// Timeline renders the explanation as per-thread lanes over the history's
+// event axis. Each operation is drawn as an interval from its invocation
+// to its response (pending operations trail off), one lane per thread; a
+// final lane marks the events during which two or more operations were
+// in flight — exactly the concurrency windows the CA-elements may absorb.
+// An operation legend follows, mapping each operation to the witness
+// element that absorbed it, or flagging it as blocked or dropped.
+func Timeline(ex *check.Explanation, opt TimelineOptions) string {
+	var b strings.Builder
+	threads := threadsOf(ex.Ops)
+	n := ex.NumEvents()
+	fmt.Fprintf(&b, "timeline: %d events, %d operations, %d threads — verdict %s\n",
+		n, len(ex.Ops), len(threads), ex.Verdict)
+	if n == 0 {
+		b.WriteString("  (empty history)\n")
+		return b.String()
+	}
+
+	gutter := 0
+	for _, t := range threads {
+		if w := len(t.String()); w > gutter {
+			gutter = w
+		}
+	}
+	if gutter < len("concurrent") {
+		gutter = len("concurrent")
+	}
+
+	// Ruler: the last digit of each event index at its column.
+	var ruler strings.Builder
+	fmt.Fprintf(&ruler, "  %-*s ", gutter, "event")
+	for e := 0; e < n; e++ {
+		fmt.Fprintf(&ruler, "%-*d", colWidth, e%10)
+	}
+	b.WriteString(strings.TrimRight(ruler.String(), " "))
+	b.WriteByte('\n')
+
+	// One lane per thread. A thread's operations are sequential, so its
+	// intervals never overlap within the lane.
+	for _, t := range threads {
+		row := make([]byte, n*colWidth)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, op := range ex.Ops {
+			if op.Thread != t {
+				continue
+			}
+			a := op.InvIndex * colWidth
+			if op.Pending {
+				row[a] = asciiGlyphs.open
+				for p := a + 1; p < len(row); p++ {
+					row[p] = asciiGlyphs.pend
+				}
+				continue
+			}
+			z := op.ResIndex * colWidth
+			row[a] = asciiGlyphs.open
+			row[z] = asciiGlyphs.close
+			for p := a + 1; p < z; p++ {
+				row[p] = asciiGlyphs.span
+			}
+		}
+		fmt.Fprintf(&b, "  %-*s %s\n", gutter, t, opt.render(row))
+	}
+
+	// Concurrency lane: events with >= 2 operations in flight.
+	inFlight := make([]int, n)
+	for _, op := range ex.Ops {
+		last := n - 1
+		if !op.Pending {
+			last = op.ResIndex
+		}
+		for e := op.InvIndex; e <= last; e++ {
+			inFlight[e]++
+		}
+	}
+	conc := make([]byte, n*colWidth)
+	any := false
+	for i := range conc {
+		conc[i] = ' '
+	}
+	for e := 0; e < n; e++ {
+		if inFlight[e] >= 2 {
+			any = true
+			for p := e * colWidth; p < (e+1)*colWidth && p < len(conc); p++ {
+				conc[p] = asciiGlyphs.conc
+			}
+		}
+	}
+	if any {
+		fmt.Fprintf(&b, "  %-*s %s\n", gutter, "concurrent", opt.render(conc))
+	}
+
+	// Operation legend: span and fate of every operation.
+	b.WriteString("operations:\n")
+	elemOf := ex.ElementOf()
+	first := ex.FirstBlocked()
+	for i, op := range ex.Ops {
+		span := fmt.Sprintf("[%d,%d]", op.InvIndex, op.ResIndex)
+		if op.Pending {
+			span = fmt.Sprintf("[%d,?]", op.InvIndex)
+		}
+		fate := ""
+		switch {
+		case elemOf[i] >= 0:
+			fate = fmt.Sprintf("→ element #%d", elemOf[i])
+		case i == first:
+			fate = "✗ BLOCKED (first)"
+		case op.Pending:
+			fate = "dropped (pending)"
+		default:
+			fate = "✗ blocked"
+		}
+		if opt.ASCII {
+			fate = strings.ReplaceAll(fate, "✗", "x")
+			fate = strings.ReplaceAll(fate, "→", "->")
+		}
+		fmt.Fprintf(&b, "  op%-2d %-8s %s  %s\n", i, span, op, fate)
+	}
+	return b.String()
+}
+
+// render maps a byte-glyph row to the configured charset.
+func (o TimelineOptions) render(row []byte) string {
+	row = trimRight(row)
+	var b strings.Builder
+	for _, g := range row {
+		b.WriteString(o.cell(g))
+	}
+	return b.String()
+}
+
+func trimRight(row []byte) []byte {
+	end := len(row)
+	for end > 0 && row[end-1] == ' ' {
+		end--
+	}
+	return row[:end]
+}
+
+func threadsOf(ops []history.Op) []history.ThreadID {
+	seen := make(map[history.ThreadID]bool)
+	var out []history.ThreadID
+	for _, op := range ops {
+		if !seen[op.Thread] {
+			seen[op.Thread] = true
+			out = append(out, op.Thread)
+		}
+	}
+	return out
+}
+
+// ScheduleTimeline renders an explorer counterexample schedule as
+// per-thread lanes over the step axis: step k of the schedule appears in
+// the lane of the thread that took it, labelled with its transition.
+func ScheduleTimeline(steps []sched.Step) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule: %d steps\n", len(steps))
+	if len(steps) == 0 {
+		return b.String()
+	}
+	threads := make(map[int]bool)
+	var order []int
+	width := 0
+	for _, s := range steps {
+		if !threads[s.Thread] {
+			threads[s.Thread] = true
+			order = append(order, s.Thread)
+		}
+		if len(s.Label) > width {
+			width = len(s.Label)
+		}
+	}
+	width++ // one space between columns
+	gutter := len("step")
+	for _, t := range order {
+		if w := len(fmt.Sprintf("t%d", t)); w > gutter {
+			gutter = w
+		}
+	}
+	var ruler strings.Builder
+	fmt.Fprintf(&ruler, "  %-*s ", gutter, "step")
+	for k := range steps {
+		fmt.Fprintf(&ruler, "%-*d", width, k)
+	}
+	b.WriteString(strings.TrimRight(ruler.String(), " "))
+	b.WriteByte('\n')
+	for _, t := range order {
+		var lane strings.Builder
+		fmt.Fprintf(&lane, "  %-*s ", gutter, fmt.Sprintf("t%d", t))
+		for _, s := range steps {
+			if s.Thread == t {
+				fmt.Fprintf(&lane, "%-*s", width, s.Label)
+			} else {
+				fmt.Fprintf(&lane, "%-*s", width, "")
+			}
+		}
+		b.WriteString(strings.TrimRight(lane.String(), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

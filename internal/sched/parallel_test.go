@@ -78,7 +78,7 @@ func TestExploreParallelFirstViolationSchedule(t *testing.T) {
 	for i, step := range verr.Schedule {
 		found := false
 		for _, succ := range st.Successors() {
-			if fmt.Sprintf("t%d:%s", succ.Thread, succ.Label) == step {
+			if succ.Thread == step.Thread && succ.Label == step.Label {
 				st, found = succ.Next, true
 				break
 			}

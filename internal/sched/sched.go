@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -179,6 +180,18 @@ var ErrMaxStates = errors.New("sched: state budget exceeded")
 // own error (context.Canceled or context.DeadlineExceeded) via wrapping.
 var ErrInterrupted = errors.New("sched: exploration interrupted")
 
+// Step is one step of a counterexample schedule: thread Thread took the
+// transition labeled Label.
+type Step struct {
+	// Thread is the index of the stepping thread.
+	Thread int `json:"thread"`
+	// Label names the action taken, e.g. "INIT", "XCHG", "tau".
+	Label string `json:"label"`
+}
+
+// String renders the step in the traditional "t0:LABEL" form.
+func (s Step) String() string { return "t" + strconv.Itoa(s.Thread) + ":" + s.Label }
+
 // ViolationError describes a check failure together with the schedule that
 // reached it.
 type ViolationError struct {
@@ -186,14 +199,25 @@ type ViolationError struct {
 	Kind string
 	// Err is the underlying check failure.
 	Err error
-	// Schedule is the sequence of "t0:LABEL" steps from the initial state.
-	Schedule []string
+	// Schedule is the sequence of steps from the initial state to the
+	// violating one.
+	Schedule []Step
+}
+
+// ScheduleStrings renders the schedule in the former "t0:LABEL" string
+// form, kept for callers that log or diff schedules textually.
+func (v *ViolationError) ScheduleStrings() []string {
+	out := make([]string, len(v.Schedule))
+	for i, s := range v.Schedule {
+		out[i] = s.String()
+	}
+	return out
 }
 
 // Error implements error.
 func (v *ViolationError) Error() string {
 	return fmt.Sprintf("sched: %s violation: %v\nschedule: %s",
-		v.Kind, v.Err, strings.Join(v.Schedule, " "))
+		v.Kind, v.Err, strings.Join(v.ScheduleStrings(), " "))
 }
 
 // Unwrap exposes the underlying failure.
@@ -212,17 +236,17 @@ type node struct {
 	depth  int
 }
 
-// schedule walks the parent chain and renders the "t0:LABEL" step list
-// from the initial state to this node.
-func (n *node) schedule() []string {
+// schedule walks the parent chain and materializes the step list from
+// the initial state to this node.
+func (n *node) schedule() []Step {
 	depth := 0
 	for m := n; m.parent != nil; m = m.parent {
 		depth++
 	}
-	out := make([]string, depth)
+	out := make([]Step, depth)
 	for m := n; m.parent != nil; m = m.parent {
 		depth--
-		out[depth] = fmt.Sprintf("t%d:%s", m.thread, m.label)
+		out[depth] = Step{Thread: m.thread, Label: m.label}
 	}
 	return out
 }
@@ -558,7 +582,7 @@ func (e *engine) process(w *worker, n *node) {
 				e.fail(&ViolationError{
 					Kind:     "transition",
 					Err:      err,
-					Schedule: append(n.schedule(), fmt.Sprintf("t%d:%s", succ.Thread, succ.Label)),
+					Schedule: append(n.schedule(), Step{Thread: succ.Thread, Label: succ.Label}),
 				})
 				return
 			}

@@ -1,0 +1,49 @@
+package calgo
+
+import (
+	"calgo/internal/check"
+	"calgo/internal/render"
+)
+
+// Rendering (verdict explainability): the structured evidence behind a
+// verdict and the formatters that turn it into per-thread timelines,
+// Graphviz DOT and self-contained run reports.
+type (
+	// Explanation is the structured evidence attached to every Result:
+	// the history's operations, the (full or deepest-partial) witness
+	// CA-trace, and derived views of the matched surjection and of the
+	// operations the search could not linearize.
+	Explanation = check.Explanation
+	// TimelineOptions configures RenderTimeline.
+	TimelineOptions = render.TimelineOptions
+	// Report is the calgo.report/v1 run-report document.
+	Report = render.Report
+	// RunReport is one checked input within a Report.
+	RunReport = render.Run
+)
+
+// ReportSchemaVersion is the schema identifier of the Report document.
+const ReportSchemaVersion = render.ReportSchema
+
+// Rendering entry points, re-exported from internal/render.
+var (
+	// RenderTimeline renders an explanation as per-thread lanes with the
+	// concurrency windows marked and each operation's fate annotated.
+	RenderTimeline = render.Timeline
+	// RenderDOT renders an explanation as a Graphviz digraph of the
+	// real-time order with the CA-element partition as clusters.
+	RenderDOT = render.DOT
+	// RenderScheduleTimeline renders an explorer counterexample schedule
+	// as per-thread lanes over the step axis.
+	RenderScheduleTimeline = render.ScheduleTimeline
+	// RenderScheduleDOT renders an explorer counterexample schedule as a
+	// linear Graphviz chain ending at the violating state.
+	RenderScheduleDOT = render.ScheduleDOT
+	// ValidateDOT syntactically checks a DOT document without graphviz.
+	ValidateDOT = render.ValidateDOT
+	// VerdictWord maps a Verdict to the CLI vocabulary (OK, VIOLATION,
+	// UNKNOWN) used by reports and the exit-code legend.
+	VerdictWord = render.VerdictWord
+	// NewReport returns a Report skeleton with schema and time stamped.
+	NewReport = render.NewReport
+)
