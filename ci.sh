@@ -122,6 +122,66 @@ grep -q "VIOLATION" "$explain_dir/v.md" && grep -q "BLOCKED" "$explain_dir/v.md"
 }
 echo "calreport: report JSON -> Markdown round-trip OK"
 
+# Smoke the ops endpoint: calexplore under -serve must announce its
+# address on stderr, serve parseable Prometheus exposition on /metrics
+# (with the exploration's own counters) and a calgo.statusz/v1 document
+# on /statusz. -serve-linger keeps the server up after the (fast)
+# exploration finishes so the assertions race nothing.
+echo "== calexplore -serve ops endpoint smoke =="
+serve_log="$explain_dir/serve.log"
+go run ./cmd/calexplore -target exchanger -values 3,4 -serve 127.0.0.1:0 -serve-linger 30s \
+    >"$explain_dir/serve.out" 2>"$serve_log" &
+serve_pid=$!
+url=""
+i=0
+while [ $i -lt 150 ]; do
+    url=$(sed -n 's/.*msg="ops server listening".*url=\(http:[^ ]*\).*/\1/p' "$serve_log" | head -1)
+    [ -n "$url" ] && break
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$url" ]; then
+    echo "calexplore -serve never announced its address:" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+python3 -c '
+import json, sys, urllib.request
+base = sys.argv[1].rstrip("/")
+text = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+assert "# TYPE calgo_sched_states_total counter" in text, text[:400]
+assert "calgo_go_goroutines" in text, text[:400]
+st = json.load(urllib.request.urlopen(base + "/statusz", timeout=10))
+assert st["schema"] == "calgo.statusz/v1", st
+assert st["tool"] == "calexplore", st
+assert st["run"]["states"] > 0, st
+print("ops endpoint: /metrics + /statusz OK (%d states explored)" % st["run"]["states"])
+' "$url"
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+
+# Smoke the perf-trajectory bookkeeping: the first -auto run seeds
+# BENCH_<date>.json in the directory, the second auto-compares against
+# it and prints the delta summary.
+echo "== calbench -auto smoke =="
+auto_dir="$explain_dir/bench"
+go run ./cmd/calbench -dur 5ms -table queues -auto "$auto_dir" >"$explain_dir/auto1.out" 2>&1
+bench_file="$auto_dir/BENCH_$(date -u +%Y-%m-%d).json"
+if [ ! -f "$bench_file" ]; then
+    echo "calbench -auto did not write $bench_file:" >&2
+    ls "$auto_dir" >&2 || true
+    exit 1
+fi
+auto2_out=$(go run ./cmd/calbench -dur 5ms -table queues -auto "$auto_dir" 2>&1)
+case "$auto2_out" in
+*"delta vs baseline"*) echo "calbench -auto: seeded trajectory, then auto-compared" ;;
+*)
+    echo "calbench -auto second run did not compare against the seeded baseline:" >&2
+    echo "$auto2_out" >&2
+    exit 1
+    ;;
+esac
+
 # Smoke the perf-trajectory path warn-only: -compare against the
 # committed baseline must parse it and print a delta summary. No -gate
 # here — CI machines are too noisy to fail the build on throughput.

@@ -20,6 +20,10 @@
 // in any comparable cell into exit 1, and -repeat M measures each table
 // M times keeping each cell's best rate, so one noisy scheduler stall
 // cannot fail the gate (min-of-N noise floor; see EXPERIMENTS.md).
+// -auto DIR does both bookkeeping steps at once: it compares against the
+// newest BENCH_*.json in DIR and writes this run's tables as
+// DIR/BENCH_<date>.json, so the trajectory accumulates with no manual
+// path juggling.
 //
 // The shared observability flags apply to the benchmark process itself:
 // -timeout hard-caps the whole run (an expired run prints UNKNOWN and
@@ -37,6 +41,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -59,6 +64,7 @@ var (
 	spin     = flag.Int("spin", 1, "exchanger partner-wait spin iterations (1 is best on few cores; raise on large machines)")
 	jsonPath = flag.String("json", "", "also write the sweep tables as JSON to this path (e.g. BENCH_<date>.json)")
 	compare  = flag.String("compare", "", "compare this run's rates against a baseline BENCH_*.json and print per-cell deltas")
+	auto     = flag.String("auto", "", "accumulate the perf trajectory in this directory: compare against the newest BENCH_*.json there (unless -compare is set) and write this run's tables as BENCH_<date>.json (unless -json is set)")
 	gate     = flag.Float64("gate", 0, "with -compare: exit 1 when any cell regresses by more than this percentage (0 = warn only)")
 	repeat   = flag.Int("repeat", 1, "measure every table this many times and keep each cell's best rate — the min-of-N noise floor that keeps -compare from flagging scheduler noise as regression")
 )
@@ -155,10 +161,27 @@ func run() int {
 	flag.Parse()
 
 	if err := shared.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "calbench:", err)
+		shared.Logger().Error("startup failed", "err", err)
 		return 2
 	}
 	defer shared.Close()
+
+	// fail is the post-Start usage/environment exit: it still flushes
+	// -metrics-json and -report, so every exit path after Start produces
+	// the requested artifacts.
+	fail := func(msg string, err error) int {
+		shared.Logger().Error(msg, "err", err)
+		if ferr := shared.Finish(2); ferr != nil {
+			shared.Logger().Error("flushing outputs", "err", ferr)
+		}
+		return 2
+	}
+
+	if *auto != "" {
+		if err := resolveAuto(shared); err != nil {
+			return fail("resolving -auto", err)
+		}
+	}
 
 	exit := 0
 	done := make(chan error, 1)
@@ -172,8 +195,7 @@ func run() int {
 	select {
 	case err := <-done:
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "calbench:", err)
-			return 2
+			return fail("benchmark failed", err)
 		}
 	case <-expired:
 		// The sweep goroutines keep spinning until the process exits; the
@@ -186,8 +208,7 @@ func run() int {
 	if *compare != "" && exit == 0 {
 		worst, err := compareBaseline(*compare, snapshotTables())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "calbench:", err)
-			return 2
+			return fail("comparing baseline", err)
 		}
 		if *gate > 0 && worst.pct > *gate {
 			fmt.Printf("REGRESSION: %s is %.1f%% below baseline, gate is %.0f%%\n", worst.cell, worst.pct, *gate)
@@ -209,10 +230,44 @@ func run() int {
 		}
 	}
 	if err := shared.Finish(exit); err != nil {
-		fmt.Fprintln(os.Stderr, "calbench:", err)
+		shared.Logger().Error("flushing outputs", "err", err)
 		return 2
 	}
 	return exit
+}
+
+// resolveAuto fills in -compare and -json from the -auto directory: the
+// lexically newest BENCH_*.json there is the comparison baseline (the
+// names embed ISO dates, so lexical order is date order) and this run's
+// tables land in BENCH_<today>.json. Explicit -compare/-json win.
+func resolveAuto(shared *cliflags.Set) error {
+	if err := os.MkdirAll(*auto, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(*auto)
+	if err != nil {
+		return err
+	}
+	newest := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasPrefix(name, "BENCH_") && strings.HasSuffix(name, ".json") && name > newest {
+			newest = name
+		}
+	}
+	if *jsonPath == "" {
+		*jsonPath = filepath.Join(*auto, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
+	}
+	if *compare == "" && newest != "" {
+		*compare = filepath.Join(*auto, newest)
+		if *compare == *jsonPath {
+			shared.Logger().Info("baseline is today's file; this run will overwrite it after comparing", "path", *compare)
+		}
+		shared.Logger().Info("auto-comparing against newest baseline", "baseline", *compare)
+	} else if *compare == "" {
+		shared.Logger().Info("no BENCH_*.json baseline yet; this run seeds the trajectory", "dir", *auto)
+	}
+	return nil
 }
 
 func runTables() error {

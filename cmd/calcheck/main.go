@@ -24,8 +24,11 @@
 //
 // Observability: -metrics-json writes the search counters as JSON when
 // done, -trace streams sampled search events and dumps a flight-recorder
-// ring on VIOLATION/UNKNOWN, -progress prints live status lines, and
-// -pprof serves net/http/pprof. Run with -h for the exit-code legend.
+// ring on VIOLATION/UNKNOWN, -progress prints live status lines, -pprof
+// serves net/http/pprof, and -serve exposes the live ops endpoint
+// (/metrics Prometheus exposition, /statusz live run status, /flightz,
+// /runsz). Diagnostics are structured log lines shaped by -log-level and
+// -log-format. Run with -h for the exit-code legend.
 //
 // Explainability: -explain renders a per-thread timeline of every
 // verdict's evidence (concurrency windows, the matched CA-elements, the
@@ -67,30 +70,41 @@ func run() int {
 
 	sp, err := specByName(*specName, calgo.ObjectID(*object), *threads)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		shared.Logger().Error("bad specification", "err", err)
 		return 2
 	}
 
 	inputs, err := readInputs(flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		shared.Logger().Error("reading inputs", "err", err)
 		return 2
 	}
 	histories := make([]calgo.History, len(inputs))
 	for i, in := range inputs {
 		h, err := calgo.ParseHistoryFile(in.name, in.src)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "calcheck:", err)
+			shared.Logger().Error("parsing history", "err", err)
 			return 2
 		}
 		histories[i] = h
 	}
 
 	if err := shared.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		shared.Logger().Error("startup failed", "err", err)
 		return 2
 	}
 	defer shared.Close()
+
+	// fail is the post-Start usage/environment exit: it still flushes
+	// -metrics-json and -report, so every exit path after Start produces
+	// the requested artifacts.
+	fail := func(msg string, err error) int {
+		shared.Logger().Error(msg, "err", err)
+		if ferr := shared.Finish(2); ferr != nil {
+			shared.Logger().Error("flushing outputs", "err", ferr)
+		}
+		return 2
+	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -106,13 +120,11 @@ func run() int {
 	case "lin":
 		opts = append(opts, calgo.WithElementCap(1))
 	default:
-		fmt.Fprintf(os.Stderr, "calcheck: unknown mode %q\n", *mode)
-		return 2
+		return fail("bad flags", fmt.Errorf("unknown mode %q", *mode))
 	}
 	results, err := calgo.CheckMany(ctx, histories, sp, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calcheck:", err)
-		return 2
+		return fail("check failed", err)
 	}
 
 	exit, worstIdx := 0, -1
@@ -129,7 +141,7 @@ func run() int {
 		if shared.Explain() && r.Explanation != nil {
 			fmt.Print(calgo.RenderTimeline(r.Explanation, calgo.TimelineOptions{}))
 		}
-		if shared.ReportPath() != "" && r.Explanation != nil {
+		if shared.WantsRuns() && r.Explanation != nil {
 			shared.AddRun(calgo.RunReport{
 				Name:     inputs[i].name,
 				Verdict:  calgo.VerdictWord(r.Verdict),
@@ -143,15 +155,14 @@ func run() int {
 	// CA-element partition on OK, the blocked operation on VIOLATION.
 	if worstIdx >= 0 && results[worstIdx].Explanation != nil {
 		if err := shared.WriteDOT(calgo.RenderDOT(results[worstIdx].Explanation)); err != nil {
-			fmt.Fprintln(os.Stderr, "calcheck:", err)
-			return 2
+			return fail("writing DOT", err)
 		}
 	}
 	if exit != 0 {
 		shared.DumpFlight()
 	}
 	if err := shared.Finish(exit); err != nil {
-		fmt.Fprintln(os.Stderr, "calcheck:", err)
+		shared.Logger().Error("flushing outputs", "err", err)
 		return 2
 	}
 	return exit

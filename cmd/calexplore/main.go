@@ -21,8 +21,12 @@
 //
 // Observability: -metrics-json writes the exploration counters as JSON
 // when done, -trace streams sampled events and dumps a flight-recorder
-// ring on VIOLATION/UNKNOWN, -progress prints live status lines, and
-// -pprof serves net/http/pprof. Run with -h for the exit-code legend.
+// ring on VIOLATION/UNKNOWN, -progress prints live status lines, -pprof
+// serves net/http/pprof, and -serve exposes the live ops endpoint
+// (/metrics Prometheus exposition, /statusz live run status with
+// ?watch=1 streaming, /flightz, /runsz). Diagnostics are structured log
+// lines shaped by -log-level and -log-format. Run with -h for the
+// exit-code legend.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -49,7 +54,7 @@ func main() {
 
 // mainExit maps exploration outcomes to the exit-code convention: 0
 // verified, 1 violation, 2 usage error, 3 undecided (budget or deadline).
-func mainExit(err error) int {
+func mainExit(err error, logger *slog.Logger) int {
 	switch {
 	case err == nil:
 		return 0
@@ -57,11 +62,12 @@ func mainExit(err error) int {
 		fmt.Printf("UNKNOWN: exploration stopped before covering every interleaving: %v\n", err)
 		return 3
 	default:
-		fmt.Fprintln(os.Stderr, "calexplore:", err)
 		var verr *calgo.ExploreViolation
 		if errors.As(err, &verr) {
+			logger.Error("violation found", "err", err)
 			return 1
 		}
+		logger.Error("exploration failed", "err", err)
 		return 2
 	}
 }
@@ -82,7 +88,7 @@ func run() int {
 	flag.Parse()
 
 	if err := shared.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "calexplore:", err)
+		shared.Logger().Error("startup failed", "err", err)
 		return 2
 	}
 	defer shared.Close()
@@ -102,7 +108,7 @@ func run() int {
 		slots:     *slots,
 		retries:   *retries,
 	}, base)
-	exit := mainExit(exploreErr)
+	exit := mainExit(exploreErr, shared.Logger())
 
 	// A violation carries the typed schedule that reached it; render it
 	// everywhere evidence goes: the flight dump, -explain, -dot, -report.
@@ -119,11 +125,16 @@ func run() int {
 			fmt.Print(calgo.RenderScheduleTimeline(schedule))
 		}
 		if err := shared.WriteDOT(calgo.RenderScheduleDOT(schedule)); err != nil {
-			fmt.Fprintln(os.Stderr, "calexplore:", err)
+			// Still flush -metrics-json/-report: every exit path after Start
+			// produces the requested artifacts.
+			shared.Logger().Error("writing DOT", "err", err)
+			if ferr := shared.Finish(2); ferr != nil {
+				shared.Logger().Error("flushing outputs", "err", ferr)
+			}
 			return 2
 		}
 	}
-	if shared.ReportPath() != "" {
+	if shared.WantsRuns() {
 		run := calgo.RunReport{Name: *target, Verdict: exitVerdict(exit), Schedule: schedule}
 		if exploreErr != nil {
 			run.Detail = exploreErr.Error()
@@ -135,7 +146,7 @@ func run() int {
 		shared.AddRun(run)
 	}
 	if err := shared.Finish(exit); err != nil {
-		fmt.Fprintln(os.Stderr, "calexplore:", err)
+		shared.Logger().Error("flushing outputs", "err", err)
 		return 2
 	}
 	return exit

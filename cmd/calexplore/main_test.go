@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"errors"
+	"io"
+	"log/slog"
 	"reflect"
 	"testing"
 	"time"
@@ -14,6 +16,11 @@ import (
 // testOpts is the base option set the explore* helpers expect from run().
 func testOpts(maxStates, parallel int) []calgo.Option {
 	return []calgo.Option{calgo.WithMaxStates(maxStates), calgo.WithParallelism(parallel)}
+}
+
+// testLogger discards the diagnostics mainExit logs.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 func TestParsePrograms(t *testing.T) {
@@ -129,23 +136,23 @@ func TestExploreDeadlineMapsToUnknownExit(t *testing.T) {
 	if !errors.Is(err, calgo.ErrExploreInterrupted) {
 		t.Fatalf("err = %v, want ErrExploreInterrupted", err)
 	}
-	if got := mainExit(err); got != 3 {
+	if got := mainExit(err, testLogger()); got != 3 {
 		t.Errorf("mainExit = %d, want 3", got)
 	}
 }
 
 func TestMainExitCodes(t *testing.T) {
-	if got := mainExit(nil); got != 0 {
-		t.Errorf("mainExit(nil) = %d, want 0", got)
+	if got := mainExit(nil, testLogger()); got != 0 {
+		t.Errorf("mainExit(nil, testLogger()) = %d, want 0", got)
 	}
-	if got := mainExit(calgo.ErrExploreMaxStates); got != 3 {
+	if got := mainExit(calgo.ErrExploreMaxStates, testLogger()); got != 3 {
 		t.Errorf("mainExit(ErrMaxStates) = %d, want 3", got)
 	}
 	verr := &calgo.ExploreViolation{Kind: "terminal", Err: errors.New("boom")}
-	if got := mainExit(verr); got != 1 {
+	if got := mainExit(verr, testLogger()); got != 1 {
 		t.Errorf("mainExit(violation) = %d, want 1", got)
 	}
-	if got := mainExit(errors.New("bad flag")); got != 2 {
+	if got := mainExit(errors.New("bad flag"), testLogger()); got != 2 {
 		t.Errorf("mainExit(usage) = %d, want 2", got)
 	}
 }

@@ -22,8 +22,10 @@
 // Observability: -metrics-json aggregates the CAL checkers' counters
 // across every batch into one JSON document, -trace streams sampled
 // search events and dumps a flight-recorder ring when a run fails or is
-// inconclusive, and -pprof serves net/http/pprof. Run with -h for the
-// exit-code legend.
+// inconclusive, -pprof serves net/http/pprof, and -serve exposes the
+// live ops endpoint (/metrics Prometheus exposition, /statusz live run
+// status, /flightz, /runsz). Diagnostics are structured log lines shaped
+// by -log-level and -log-format. Run with -h for the exit-code legend.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"sync"
@@ -52,18 +55,18 @@ var (
 
 // fuzzExit maps a sweep outcome to the exit-code convention: 0 verified,
 // 1 failed verification, 2 usage error, 3 inconclusive within budget.
-func fuzzExit(err error) int {
+func fuzzExit(err error, logger *slog.Logger) int {
 	switch {
 	case err == nil:
 		return 0
 	case errors.Is(err, errUnknown):
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		logger.Warn("sweep inconclusive", "err", err)
 		return 3
 	case errors.Is(err, errUsage):
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		logger.Error("bad flags", "err", err)
 		return 2
 	default:
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		logger.Error("verification failed", "err", err)
 		return 1
 	}
 }
@@ -79,17 +82,17 @@ func run() int {
 	flag.Parse()
 
 	if err := shared.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		shared.Logger().Error("startup failed", "err", err)
 		return 2
 	}
 	defer shared.Close()
 
-	exit := fuzzExit(sweep(*iters, *seed, *object, *chaos, shared))
+	exit := fuzzExit(sweep(*iters, *seed, *object, *chaos, shared), shared.Logger())
 	if exit == 1 || exit == 3 {
 		shared.DumpFlight()
 	}
 	if err := shared.Finish(exit); err != nil {
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		shared.Logger().Error("flushing outputs", "err", err)
 		return 2
 	}
 	return exit
@@ -130,7 +133,7 @@ func sweep(iters int, seed int64, object, chaos string, shared *cliflags.Set) er
 			if err := checkBatch(runs, target, policy, shared); err != nil {
 				return err
 			}
-			if shared.ReportPath() != "" {
+			if shared.WantsRuns() {
 				shared.AddRun(calgo.RunReport{
 					Name:    target + "/" + policy,
 					Verdict: "OK",
@@ -214,9 +217,9 @@ func explainFailure(shared *cliflags.Set, label string, r calgo.Result) {
 		fmt.Print(calgo.RenderTimeline(r.Explanation, calgo.TimelineOptions{}))
 	}
 	if err := shared.WriteDOT(calgo.RenderDOT(r.Explanation)); err != nil {
-		fmt.Fprintln(os.Stderr, "calfuzz:", err)
+		shared.Logger().Error("writing DOT", "err", err)
 	}
-	if shared.ReportPath() != "" {
+	if shared.WantsRuns() {
 		detail := r.Reason
 		if r.Verdict == calgo.VerdictUnknown {
 			detail = fmt.Sprintf("%s (%s)", r.Unknown.Reason, r.Unknown.Frontier)

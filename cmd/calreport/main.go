@@ -16,6 +16,13 @@
 // stitches the two into a fresh report (the metrics snapshot becomes the
 // report's metrics section, the trace events its flight-recorder tail).
 //
+// With -serve the loaded report is additionally published on the shared
+// ops endpoint (/runsz, with its metrics snapshot on /metrics), kept up
+// for -serve-linger — a quick way to point a browser or a Prometheus
+// scrape at a saved run:
+//
+//	calreport -serve :8080 -serve-linger 10m report.json
+//
 // Exit status: 0 on success, 2 on usage or input errors (including a
 // schema mismatch).
 package main
@@ -48,18 +55,63 @@ func run() int {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: calreport [flags] [report.json]\n")
 		flag.PrintDefaults()
 	}
+	shared := cliflags.RegisterOps("calreport")
 	flag.Parse()
 
 	doc, err := load(flag.Args(), *metricsPath, *tracePath, *tool)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "calreport:", err)
+		shared.Logger().Error("loading report", "err", err)
 		return 2
 	}
-	if err := emit(doc, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "calreport:", err)
+	if err := shared.Start(); err != nil {
+		shared.Logger().Error("startup failed", "err", err)
 		return 2
+	}
+	defer shared.Close()
+	if err := emit(doc, *out); err != nil {
+		shared.Logger().Error("writing output", "err", err)
+		return 2
+	}
+	if ops := shared.Ops(); ops != nil {
+		// Replay the saved run on the live endpoint: the document on
+		// /runsz, its metrics snapshot already backing /metrics would need
+		// a live registry — instead surface the headline facts as notes.
+		ops.AddReport(doc)
+		if m := shared.Metrics(); m != nil && doc.Metrics != nil {
+			importSnapshot(m, doc.Metrics)
+		}
+		shared.Live().SetPhase("done")
+		if shared.LingerDuration() <= 0 {
+			shared.Logger().Warn("ops server exits with the process; set -serve-linger to keep it up")
+		}
 	}
 	return 0
+}
+
+// importSnapshot replays a saved metrics snapshot into a live registry,
+// so /metrics serves the saved run's counters and gauges. Histograms
+// are replayed as count observations preserving the exact sum (the
+// registry re-buckets, so bucket shapes are approximate) — but only up
+// to a bound, since a saved run may hold millions of observations.
+func importSnapshot(m *calgo.Metrics, s *calgo.MetricsSnapshot) {
+	const maxReplay = 1 << 16
+	for name, v := range s.Counters {
+		m.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		m.Gauge(name).Set(v)
+	}
+	for name, h := range s.Histograms {
+		if h.Count <= 0 || h.Count > maxReplay {
+			continue
+		}
+		hist := m.Histogram(name)
+		avg := h.Sum / h.Count
+		for i := int64(0); i < h.Count-1; i++ {
+			hist.Observe(avg)
+		}
+		hist.Observe(h.Sum - avg*(h.Count-1))
+	}
 }
 
 // load produces the report to render: either a saved calgo.report/v1

@@ -2,6 +2,8 @@ package chaos_test
 
 import (
 	"context"
+	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -17,10 +19,42 @@ import (
 	"calgo/internal/objects/snapshot"
 	"calgo/internal/objects/syncqueue"
 	"calgo/internal/objects/treiber"
+	"calgo/internal/obs"
+	"calgo/internal/obs/serve"
 	"calgo/internal/recorder"
 	"calgo/internal/spec"
 	"calgo/internal/trace"
 )
+
+// soakOpts carries the CALGO_SOAK_SERVE observability into every CAL
+// check the soak runs; empty when the env var is unset.
+var soakOpts []check.Option
+
+// TestMain starts the embedded ops endpoint when CALGO_SOAK_SERVE names
+// a listen address (e.g. CALGO_SOAK_SERVE=127.0.0.1:9090 make chaos),
+// so a long soak can be watched live on /statusz and scraped on
+// /metrics for its whole duration.
+func TestMain(m *testing.M) {
+	code := func() int {
+		if addr := os.Getenv("CALGO_SOAK_SERVE"); addr != "" {
+			metrics := obs.NewMetrics()
+			live := obs.NewLiveRun("chaos-soak")
+			srv := serve.New(serve.Config{Tool: "chaos-soak", Metrics: metrics, Live: live})
+			a, err := srv.Start(addr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaos soak: ops server:", err)
+				return 1
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "chaos soak: ops server on http://%s/\n", a)
+			stop := obs.StartRuntimeSampler(metrics, 5*time.Second)
+			defer stop()
+			soakOpts = []check.Option{check.WithMetrics(metrics), check.WithLive(live)}
+		}
+		return m.Run()
+	}()
+	os.Exit(code)
+}
 
 // The soak battery re-runs each object's runtime verification — recorded
 // trace admitted by the spec, history agrees with the trace (Definition 5),
@@ -51,7 +85,7 @@ func verify(t *testing.T, h history.History, tr trace.Trace, sp spec.Spec) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	r, err := check.CAL(ctx, h, sp)
+	r, err := check.CAL(ctx, h, sp, soakOpts...)
 	if err != nil {
 		t.Fatalf("CAL: %v", err)
 	}
@@ -318,7 +352,7 @@ func soakElimStack(t *testing.T, inj *chaos.Injector) {
 	if err := trace.Agrees(h, tr); err != nil {
 		t.Fatalf("history does not agree with derived trace: %v", err)
 	}
-	r, err := check.Linearizable(context.Background(), h, spec.NewStack(obj))
+	r, err := check.Linearizable(context.Background(), h, spec.NewStack(obj), soakOpts...)
 	if err != nil {
 		t.Fatalf("Linearizable: %v", err)
 	}

@@ -86,6 +86,7 @@ type config struct {
 	metrics       *obs.Metrics
 	progressEvery time.Duration
 	progressFn    func(obs.Progress)
+	live          *obs.LiveRun
 }
 
 // Option configures a check.
@@ -132,6 +133,12 @@ func WithMetrics(m *obs.Metrics) Option { return func(c *config) { c.metrics = m
 func WithProgress(every time.Duration, fn func(obs.Progress)) Option {
 	return func(c *config) { c.progressEvery, c.progressFn = every, fn }
 }
+
+// WithLive attaches checks to a LiveRun view: the aggregate state count
+// and (on CheckMany) per-worker completion counters become pollable by
+// the ops server's /statusz. Pull-based: the searcher's existing
+// periodic live-count flush feeds it, so the hot path gains no work.
+func WithLive(l *obs.LiveRun) Option { return func(c *config) { c.live = l } }
 
 // CAL decides whether h is concurrency-aware linearizable with respect
 // to sp. The history must be well-formed; pending invocations are

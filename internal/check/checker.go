@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -64,10 +66,16 @@ func (c *Checker) Spec() spec.Spec { return c.sp }
 // to the Checker's specification. See CAL for the verdict contract.
 func (c *Checker) Check(ctx context.Context, h history.History) (Result, error) {
 	var live *atomic.Int64
-	if c.cfg.progressEvery > 0 && c.cfg.progressFn != nil {
+	if (c.cfg.progressEvery > 0 && c.cfg.progressFn != nil) || c.cfg.live != nil {
 		live = new(atomic.Int64)
+	}
+	if c.cfg.progressEvery > 0 && c.cfg.progressFn != nil {
 		stop := obs.StartProgress(c.cfg.progressEvery, int64(c.cfg.maxStates), live.Load, c.cfg.progressFn)
 		defer stop()
+	}
+	if c.cfg.live != nil {
+		c.cfg.live.StartSearch("check", int64(c.cfg.maxStates), live.Load, 1)
+		defer c.cfg.live.EndSearch()
 	}
 	return c.check(ctx, h, live)
 }
@@ -98,33 +106,54 @@ func (c *Checker) CheckMany(ctx context.Context, histories []history.History) ([
 	}
 
 	var live *atomic.Int64
-	if c.cfg.progressEvery > 0 && c.cfg.progressFn != nil {
+	if (c.cfg.progressEvery > 0 && c.cfg.progressFn != nil) || c.cfg.live != nil {
 		live = new(atomic.Int64)
-		budget := int64(c.cfg.maxStates) * int64(len(histories))
+	}
+	budget := int64(c.cfg.maxStates) * int64(len(histories))
+	if c.cfg.progressEvery > 0 && c.cfg.progressFn != nil {
 		stop := obs.StartProgress(c.cfg.progressEvery, budget, live.Load, c.cfg.progressFn)
 		defer stop()
 	}
+	if c.cfg.live != nil {
+		c.cfg.live.StartSearch("check", budget, live.Load, workers)
+		defer c.cfg.live.EndSearch()
+	}
 
+	labelCtx := ctx
+	if labelCtx == nil {
+		labelCtx = context.Background()
+	}
 	errs := make([]error, len(histories))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(id int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(histories) {
-					return
+			// The label makes CPU profiles attributable per pool worker;
+			// the live counter counts completed histories, not states.
+			pprof.Do(labelCtx, pprof.Labels(
+				"calgo_worker", strconv.Itoa(id),
+				"calgo_phase", "check",
+			), func(context.Context) {
+				wl := c.cfg.live.Worker(id)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(histories) {
+						return
+					}
+					res, err := c.check(ctx, histories[i], live)
+					if wl != nil {
+						wl.Claimed.Add(1)
+					}
+					if err != nil {
+						errs[i] = fmt.Errorf("history %d: %w", i, err)
+						continue
+					}
+					results[i] = res
 				}
-				res, err := c.check(ctx, histories[i], live)
-				if err != nil {
-					errs[i] = fmt.Errorf("history %d: %w", i, err)
-					continue
-				}
-				results[i] = res
-			}
-		}()
+			})
+		}(w)
 	}
 	wg.Wait()
 	return results, errors.Join(errs...)

@@ -1,9 +1,9 @@
 // Package cliflags defines the flags, observability wiring and exit-code
 // conventions shared by the calgo CLIs (calcheck, calexplore, calfuzz,
-// calbench), so the tools stay uniform: the same flag names mean the
-// same thing everywhere, every tool documents the exit-code legend in
-// its -h output, and -metrics-json/-trace/-progress/-pprof behave
-// identically.
+// calbench, calreport), so the tools stay uniform: the same flag names
+// mean the same thing everywhere, every tool documents the exit-code
+// legend in its -h output, and -metrics-json/-trace/-progress/-pprof/
+// -serve/-log-level/-log-format behave identically.
 //
 // Usage, in a tool's main:
 //
@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the default mux
@@ -55,6 +56,10 @@ const TraceSample = 64
 // -trace; the last FlightEvents events are dumped on VIOLATION/UNKNOWN.
 const FlightEvents = 4096
 
+// RuntimeSampleInterval is how often the -serve runtime sampler records
+// goroutine count, heap gauges and GC pauses into the registry.
+const RuntimeSampleInterval = 5 * time.Second
+
 // Set is the shared flag set of one tool, created by Register. After
 // flag.Parse and Start, it hands out the facade options implementing
 // the observability flags.
@@ -70,6 +75,10 @@ type Set struct {
 	explain     *bool
 	dotPath     *string
 	reportPath  *string
+	serveAddr   *string
+	serveLinger *time.Duration
+	logLevel    *string
+	logFormat   *string
 
 	start       time.Time
 	metrics     *calgo.Metrics
@@ -77,6 +86,11 @@ type Set struct {
 	logTracer   *calgo.LogTracer
 	traceFile   *os.File // nil when tracing to stderr or disabled
 	aliasWarned bool     // the deprecated-alias notice fired already
+
+	live        *calgo.LiveRun
+	ops         *calgo.OpsServer
+	samplerStop func() // runtime sampler shutdown; nil when not running
+	logger      *slog.Logger
 
 	runs  []calgo.RunReport // accumulated for -report
 	notes []string
@@ -97,6 +111,45 @@ func Register(tool string) *Set {
 		dotPath:     flag.String("dot", "", "write a Graphviz DOT rendering of the worst verdict's evidence to this path (\"-\" = stdout)"),
 		reportPath:  flag.String("report", "", "write a self-contained calgo.report/v1 run report to this path (\"-\" = stdout as JSON; a .md path renders Markdown)"),
 	}
+	s.registerOps()
+	wrapUsage()
+	return s
+}
+
+// RegisterOps defines only the ops-endpoint and logging flags (-serve,
+// -serve-linger, -log-level, -log-format) — for tools like calreport
+// that have their own flag vocabulary but still want the shared ops
+// surface. The other accessors behave as if their flags were left at
+// their defaults.
+func RegisterOps(tool string) *Set {
+	s := &Set{
+		tool:        tool,
+		workers:     new(int),
+		timeout:     new(time.Duration),
+		metricsJSON: new(string),
+		tracePath:   new(string),
+		progress:    new(bool),
+		pprofAddr:   new(string),
+		explain:     new(bool),
+		dotPath:     new(string),
+		reportPath:  new(string),
+	}
+	s.registerOps()
+	wrapUsage()
+	return s
+}
+
+// registerOps defines the ops-endpoint and logging flags shared by
+// Register and RegisterOps.
+func (s *Set) registerOps() {
+	s.serveAddr = flag.String("serve", "", "serve the embedded ops endpoint on this address (e.g. localhost:8080; \":0\" picks a port): /metrics (Prometheus), /statusz (live status; ?watch=1 streams), /flightz, /runsz, /debug/pprof/")
+	s.serveLinger = flag.Duration("serve-linger", 0, "keep the -serve ops server up this long after the run finishes, so late scrapes and watchers see the final state")
+	s.logLevel = flag.String("log-level", "info", "diagnostic log level: debug, info, warn or error")
+	s.logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+}
+
+// wrapUsage appends the exit-code legend to the tool's -h output.
+func wrapUsage() {
 	prev := flag.Usage
 	flag.Usage = func() {
 		if prev != nil {
@@ -104,7 +157,6 @@ func Register(tool string) *Set {
 		}
 		fmt.Fprint(flag.CommandLine.Output(), ExitLegend)
 	}
-	return s
 }
 
 // AliasWorkers registers name as a deprecated alias of -workers sharing
@@ -154,8 +206,16 @@ func (s *Set) DOTPath() string { return *s.dotPath }
 // ReportPath returns the -report destination ("" = off, "-" = stdout).
 func (s *Set) ReportPath() string { return *s.reportPath }
 
+// WantsRuns reports whether per-run summaries have a consumer — a
+// -report document under construction or a live -serve endpoint — so
+// CLIs can skip assembling them otherwise. Valid after Start.
+func (s *Set) WantsRuns() bool { return *s.reportPath != "" || s.ops != nil }
+
 // Timeout returns the -timeout value (0 = none).
 func (s *Set) Timeout() time.Duration { return *s.timeout }
+
+// LingerDuration returns the -serve-linger value (0 = none).
+func (s *Set) LingerDuration() time.Duration { return *s.serveLinger }
 
 // WithTimeout derives the run's context from parent, applying -timeout
 // when set. The CancelFunc must be called to release the timer.
@@ -166,12 +226,58 @@ func (s *Set) WithTimeout(parent context.Context) (context.Context, context.Canc
 	return context.WithTimeout(parent, *s.timeout)
 }
 
-// Start materializes the observability flags: opens the trace sink,
-// creates the metrics registry, starts the pprof server. Errors are
-// usage/environment errors (exit 2). Call after flag.Parse and pair
-// with Close.
+// Logger returns the tool's diagnostic logger, configured by
+// -log-level and -log-format. It works before Start too (for
+// usage-error diagnostics), falling back to a text handler at the
+// default level when the flag values are invalid, so call sites never
+// need a nil check.
+func (s *Set) Logger() *slog.Logger {
+	if s.logger == nil {
+		if err := s.buildLogger(); err != nil {
+			s.logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("tool", s.tool)
+		}
+	}
+	return s.logger
+}
+
+// buildLogger materializes -log-level/-log-format into s.logger.
+func (s *Set) buildLogger() error {
+	var lvl slog.Level
+	switch *s.logLevel {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", *s.logLevel)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch *s.logFormat {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, hopts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, hopts)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *s.logFormat)
+	}
+	s.logger = slog.New(h).With("tool", s.tool)
+	return nil
+}
+
+// Start materializes the observability flags: builds the logger, opens
+// the trace sink, creates the metrics registry, starts the pprof and
+// ops servers. Errors are usage/environment errors (exit 2). Call
+// after flag.Parse and pair with Close.
 func (s *Set) Start() error {
 	s.start = time.Now()
+	if err := s.buildLogger(); err != nil {
+		return err
+	}
 	if *s.metricsJSON != "" || *s.reportPath != "" {
 		// A report always embeds a metrics snapshot, so -report implies a
 		// registry even without -metrics-json.
@@ -207,10 +313,43 @@ func (s *Set) Start() error {
 		if err != nil {
 			return fmt.Errorf("starting pprof server: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "%s: pprof serving on http://%s/debug/pprof/ (metrics on /debug/vars)\n", s.tool, ln.Addr())
+		s.Logger().Info("pprof serving",
+			"url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()),
+			"vars", fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
 		go func() {
 			_ = http.Serve(ln, nil) // default mux; net/http/pprof registered
 		}()
+	}
+	if *s.serveAddr != "" {
+		if s.metrics == nil {
+			// /metrics and /statusz read the registry, so -serve implies one
+			// even without -metrics-json.
+			s.metrics = calgo.NewMetrics()
+		}
+		if s.flight == nil {
+			// /flightz serves the ring, so -serve implies one too.
+			s.flight = calgo.NewFlightRecorder(FlightEvents)
+		}
+		if err := s.metrics.PublishExpvar("calgo"); err != nil {
+			// Another registry from this process already owns the expvar
+			// (re-Register in tests); the ops endpoints don't depend on it.
+			s.Logger().Debug("expvar publication skipped", "err", err)
+		}
+		s.live = calgo.NewLiveRun(s.tool)
+		s.ops = calgo.NewOpsServer(calgo.OpsConfig{
+			Tool:    s.tool,
+			Metrics: s.metrics,
+			Flight:  s.flight,
+			Live:    s.live,
+		})
+		addr, err := s.ops.Start(*s.serveAddr)
+		if err != nil {
+			return fmt.Errorf("starting ops server: %w", err)
+		}
+		s.samplerStop = calgo.StartRuntimeSampler(s.metrics, RuntimeSampleInterval)
+		s.Logger().Info("ops server listening",
+			"url", fmt.Sprintf("http://%s/", addr),
+			"endpoints", "/metrics /statusz /flightz /runsz /debug/pprof/")
 	}
 	return nil
 }
@@ -238,8 +377,19 @@ func (s *Set) Options() []calgo.Option {
 	if *s.progress {
 		opts = append(opts, calgo.WithProgress(time.Second, calgo.ProgressPrinter(os.Stderr, s.tool)))
 	}
+	if s.live != nil {
+		opts = append(opts, calgo.WithLive(s.live))
+	}
 	return opts
 }
+
+// Live returns the live run view backing -serve's /statusz, or nil when
+// the flag is off; tools may set custom phases on it between searches.
+func (s *Set) Live() *calgo.LiveRun { return s.live }
+
+// Ops returns the running -serve ops server, or nil when the flag is
+// off; tools may push extra notes or reports into it.
+func (s *Set) Ops() *calgo.OpsServer { return s.ops }
 
 // Metrics returns the registry backing -metrics-json, or nil when the
 // flag is off; tools may record their own gauges into it.
@@ -247,8 +397,8 @@ func (s *Set) Metrics() *calgo.Metrics { return s.metrics }
 
 // DumpFlight writes the flight recorder's retained events to stderr,
 // followed by the counterexample schedule when the caller has one. Call
-// it when the run ends in VIOLATION or UNKNOWN; it is a no-op when
-// neither -trace nor -report is on or nothing was recorded.
+// it when the run ends in VIOLATION or UNKNOWN; it is a no-op when none
+// of -trace, -report or -serve is on or nothing was recorded.
 func (s *Set) DumpFlight(schedule ...calgo.ExploreStep) {
 	if s.flight == nil || s.flight.Total() == 0 {
 		return
@@ -263,16 +413,21 @@ func (s *Set) DumpFlight(schedule ...calgo.ExploreStep) {
 	}
 }
 
-// AddRun records one checked input's outcome for the -report document.
-// Tools should gate the expensive fields (Timeline, DOT) on ReportPath()
-// being set; the record itself is cheap.
+// AddRun records one checked input's outcome for the -report document
+// and the -serve /statusz run list. Tools should gate the expensive
+// fields (Timeline, DOT) on ReportPath() being set; the record itself
+// is cheap.
 func (s *Set) AddRun(r calgo.RunReport) {
 	s.runs = append(s.runs, r)
+	s.ops.AddRun(r)
 }
 
-// AddNote appends a free-form line to the -report document's notes.
+// AddNote appends a free-form line to the -report document's notes and
+// the -serve /statusz note list.
 func (s *Set) AddNote(format string, args ...any) {
-	s.notes = append(s.notes, fmt.Sprintf(format, args...))
+	note := fmt.Sprintf(format, args...)
+	s.notes = append(s.notes, note)
+	s.ops.AddNote(note)
 }
 
 // WriteDOT writes a DOT document to the -dot destination; a no-op when
@@ -334,14 +489,18 @@ func (s *Set) Finish(exit int) error {
 			return fmt.Errorf("writing metrics: %w", err)
 		}
 	}
+	if s.ops != nil {
+		// Freeze the live view and publish the finished run on /runsz so a
+		// lingering server (or one kept up by a still-running process)
+		// serves the final state.
+		s.live.SetPhase("done")
+		s.ops.AddReport(s.buildReport(exit))
+	}
 	return s.writeReport(exit)
 }
 
-// writeReport assembles and writes the calgo.report/v1 document.
-func (s *Set) writeReport(exit int) error {
-	if *s.reportPath == "" {
-		return nil
-	}
+// buildReport assembles the calgo.report/v1 document for this run.
+func (s *Set) buildReport(exit int) *calgo.Report {
 	doc := calgo.NewReport(s.tool, time.Now())
 	doc.ElapsedNS = time.Since(s.start).Nanoseconds()
 	doc.Exit = exit
@@ -355,6 +514,15 @@ func (s *Set) writeReport(exit int) error {
 		doc.Flight = s.flight.Events()
 		doc.FlightTotal = s.flight.Total()
 	}
+	return doc
+}
+
+// writeReport writes the calgo.report/v1 document to -report's path.
+func (s *Set) writeReport(exit int) error {
+	if *s.reportPath == "" {
+		return nil
+	}
+	doc := s.buildReport(exit)
 	if *s.reportPath == "-" {
 		return doc.WriteJSON(os.Stdout)
 	}
@@ -375,8 +543,22 @@ func (s *Set) writeReport(exit int) error {
 	return f.Close()
 }
 
-// Close releases the trace sink. Safe to call once, after Finish.
+// Close honours -serve-linger, shuts down the ops server and runtime
+// sampler, and releases the trace sink. Safe to call once, after
+// Finish.
 func (s *Set) Close() {
+	if s.ops != nil && *s.serveLinger > 0 {
+		s.Logger().Info("ops server lingering", "addr", s.ops.Addr().String(), "for", *s.serveLinger)
+		time.Sleep(*s.serveLinger)
+	}
+	if s.samplerStop != nil {
+		s.samplerStop()
+		s.samplerStop = nil
+	}
+	if s.ops != nil {
+		_ = s.ops.Close()
+		s.ops = nil
+	}
 	if s.traceFile != nil {
 		_ = s.traceFile.Close()
 		s.traceFile = nil

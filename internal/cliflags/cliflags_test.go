@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -210,6 +212,168 @@ func TestReportJSONAndMarkdown(t *testing.T) {
 		if !strings.Contains(string(md), want) {
 			t.Errorf("markdown report missing %q", want)
 		}
+	}
+}
+
+// TestRegisterDefinesOpsFlags: Register and RegisterOps both expose the
+// ops-endpoint and logging vocabulary.
+func TestRegisterDefinesOpsFlags(t *testing.T) {
+	for _, reg := range []struct {
+		name string
+		fn   func(string) *Set
+	}{{"Register", Register}, {"RegisterOps", RegisterOps}} {
+		resetFlags(t)
+		reg.fn("testtool")
+		for _, name := range []string{"serve", "serve-linger", "log-level", "log-format"} {
+			if flag.Lookup(name) == nil {
+				t.Errorf("%s: flag -%s not registered", reg.name, name)
+			}
+		}
+	}
+	// RegisterOps leaves the run flags out but its accessors still answer
+	// with defaults.
+	resetFlags(t)
+	s := RegisterOps("testtool")
+	if flag.Lookup("workers") != nil {
+		t.Error("RegisterOps registered -workers")
+	}
+	if s.Workers() != 0 || s.Timeout() != 0 || s.ReportPath() != "" || s.Explain() {
+		t.Error("RegisterOps accessors are not at their defaults")
+	}
+}
+
+// TestLoggerFlagValidation: bad -log-level/-log-format are usage errors
+// from Start, and the chosen format shapes the output.
+func TestLoggerFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-log-level", "loud"},
+		{"-log-format", "xml"},
+	} {
+		resetFlags(t)
+		s := Register("testtool")
+		if err := flag.CommandLine.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start(); err == nil {
+			t.Errorf("Start accepted %v", args)
+		}
+	}
+
+	resetFlags(t)
+	s := Register("testtool")
+	if err := flag.CommandLine.Parse([]string{"-log-format", "json", "-log-level", "warn"}); err != nil {
+		t.Fatal(err)
+	}
+	errOut := capture(t, &os.Stderr, func() {
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.Logger().Info("too quiet")
+		s.Logger().Warn("hear me", "k", 1)
+	})
+	if strings.Contains(errOut, "too quiet") {
+		t.Errorf("-log-level warn let an info line through:\n%s", errOut)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(errOut)), &line); err != nil {
+		t.Fatalf("-log-format json produced non-JSON %q: %v", errOut, err)
+	}
+	if line["msg"] != "hear me" || line["tool"] != "testtool" {
+		t.Errorf("log line = %v", line)
+	}
+}
+
+// TestServeEndToEnd: -serve brings up the ops endpoint with metrics,
+// live status, flight ring and, after Finish, the completed report on
+// /runsz.
+func TestServeEndToEnd(t *testing.T) {
+	resetFlags(t)
+	s := Register("testtool")
+	if err := flag.CommandLine.Parse([]string{"-serve", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	errOut := capture(t, &os.Stderr, func() {
+		if err := s.Start(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	defer s.Close()
+	if !strings.Contains(errOut, "ops server listening") {
+		t.Errorf("Start did not announce the ops server:\n%s", errOut)
+	}
+	if s.Metrics() == nil || s.Live() == nil || s.Ops() == nil {
+		t.Fatal("-serve did not imply metrics + live + ops server")
+	}
+	if !s.WantsRuns() {
+		t.Error("WantsRuns() = false with a live -serve endpoint")
+	}
+
+	s.Metrics().Counter("test.hits").Add(9)
+	s.AddRun(calgo.RunReport{Name: "case-1", Verdict: "OK"})
+	s.AddNote("served %s", "note")
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Ops().Addr().String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "calgo_test_hits_total 9") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var st calgo.Statusz
+	if err := json.Unmarshal([]byte(get("/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tool != "testtool" || len(st.Runs) != 1 || st.Runs[0].Name != "case-1" {
+		t.Errorf("statusz = %+v", st)
+	}
+	if len(st.Notes) != 1 || st.Notes[0] != "served note" {
+		t.Errorf("statusz notes = %v", st.Notes)
+	}
+
+	// Options must carry the live view into the engines.
+	var hasLive bool
+	for _, o := range s.Options() {
+		if strings.Contains(o.String(), "WithLive") {
+			hasLive = true
+		}
+	}
+	if !hasLive {
+		t.Error("Options() does not include WithLive under -serve")
+	}
+
+	if err := s.Finish(0); err != nil {
+		t.Fatal(err)
+	}
+	var reports []calgo.Report
+	if err := json.Unmarshal([]byte(get("/runsz")), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].Exit != 0 || len(reports[0].Runs) != 1 {
+		t.Errorf("/runsz = %+v", reports)
+	}
+	if err := json.Unmarshal([]byte(get("/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Run.Phase != "done" {
+		t.Errorf("post-Finish phase = %q, want done", st.Run.Phase)
+	}
+	s.Close()
+	if s.Ops() != nil {
+		t.Error("Close did not clear the ops server")
 	}
 }
 

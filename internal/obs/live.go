@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerLive is one worker's live activity counters, updated lock-free
+// from the worker goroutine and read by LiveRun.Status. The trailing pad
+// keeps adjacent workers on separate cache lines so per-claim updates
+// don't false-share.
+type WorkerLive struct {
+	// Claimed counts work items this worker has processed (states for
+	// the explorer, histories for CheckMany).
+	Claimed atomic.Int64
+	// Steals counts work items taken from another worker's deque.
+	Steals atomic.Int64
+	_      [6]int64
+}
+
+// LiveRun is the pull-based live view of a running check or exploration:
+// the search engine registers its state counter and per-worker counters
+// here, and the ops server's /statusz handler asks for a Status snapshot
+// whenever a client polls. A nil *LiveRun is a valid "detached" sink —
+// every method is a no-op — so engines thread it unconditionally without
+// branching beyond the usual nil guard.
+type LiveRun struct {
+	mu          sync.Mutex
+	tool        string
+	phase       string
+	started     time.Time
+	searchStart time.Time
+	searchEnd   time.Time
+	searching   bool
+	budget      int64
+	states      func() int64
+	final       int64
+	workers     []WorkerLive
+}
+
+// NewLiveRun returns a live view stamped with the owning tool's name.
+func NewLiveRun(tool string) *LiveRun {
+	return &LiveRun{tool: tool, started: time.Now(), phase: "idle"}
+}
+
+// SetPhase records a coarse lifecycle phase ("parse", "check", "render",
+// ...) shown on /statusz between searches.
+func (l *LiveRun) SetPhase(phase string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.phase = phase
+	l.mu.Unlock()
+}
+
+// StartSearch attaches a running search: states must return the live
+// count of expanded states (safe to call concurrently), budget is the
+// state budget (0 = unbounded), and workers sizes the per-worker counter
+// table. A second StartSearch replaces the first — engines run one
+// search at a time.
+func (l *LiveRun) StartSearch(phase string, budget int64, states func() int64, workers int) {
+	if l == nil {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	l.mu.Lock()
+	l.phase = phase
+	l.searchStart = time.Now()
+	l.searchEnd = time.Time{}
+	l.searching = true
+	l.budget = budget
+	l.states = states
+	l.final = 0
+	l.workers = make([]WorkerLive, workers)
+	l.mu.Unlock()
+}
+
+// EndSearch freezes the search view: the final state count is captured
+// so Status keeps reporting it after the engine's counter goes away.
+func (l *LiveRun) EndSearch() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.searching {
+		if l.states != nil {
+			l.final = l.states()
+		}
+		l.states = nil
+		l.searching = false
+		l.searchEnd = time.Now()
+	}
+	l.mu.Unlock()
+}
+
+// Worker returns worker i's live counters, or nil when detached or out
+// of range; callers cache the pointer once per worker loop.
+func (l *LiveRun) Worker(i int) *WorkerLive {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if i < 0 || i >= len(l.workers) {
+		return nil
+	}
+	return &l.workers[i]
+}
+
+// WorkerStatus is one worker's share of the run in a Status snapshot.
+type WorkerStatus struct {
+	ID      int   `json:"id"`
+	Claimed int64 `json:"claimed"`
+	Steals  int64 `json:"steals"`
+	// Share is this worker's fraction of all claimed work, 0..1.
+	Share float64 `json:"share"`
+}
+
+// LiveStatus is a point-in-time view of the run, shaped for the
+// /statusz JSON document.
+type LiveStatus struct {
+	Tool         string         `json:"tool"`
+	Phase        string         `json:"phase"`
+	UptimeNS     int64          `json:"uptime_ns"`
+	Searching    bool           `json:"searching"`
+	SearchNS     int64          `json:"search_ns,omitempty"`
+	States       int64          `json:"states"`
+	Budget       int64          `json:"budget,omitempty"`
+	StatesPerSec float64        `json:"states_per_sec,omitempty"`
+	EtaNS        int64          `json:"eta_ns,omitempty"`
+	Workers      []WorkerStatus `json:"workers,omitempty"`
+}
+
+// Status computes the current snapshot: states and per-worker counters
+// are read live, rate and ETA are derived from the search clock. Safe to
+// call concurrently with the engine; on a nil receiver it returns a zero
+// snapshot with phase "detached".
+func (l *LiveRun) Status() LiveStatus {
+	if l == nil {
+		return LiveStatus{Phase: "detached"}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := LiveStatus{
+		Tool:      l.tool,
+		Phase:     l.phase,
+		UptimeNS:  int64(time.Since(l.started)),
+		Searching: l.searching,
+		Budget:    l.budget,
+		States:    l.final,
+	}
+	switch {
+	case l.searching:
+		if l.states != nil {
+			s.States = l.states()
+		}
+		s.SearchNS = int64(time.Since(l.searchStart))
+	case !l.searchEnd.IsZero():
+		s.SearchNS = int64(l.searchEnd.Sub(l.searchStart))
+	}
+	if secs := time.Duration(s.SearchNS).Seconds(); secs > 0 {
+		s.StatesPerSec = float64(s.States) / secs
+	}
+	if l.searching && s.Budget > 0 && s.StatesPerSec > 0 && s.States < s.Budget {
+		s.EtaNS = int64(float64(s.Budget-s.States) / s.StatesPerSec * float64(time.Second))
+	}
+	if n := len(l.workers); n > 0 {
+		s.Workers = make([]WorkerStatus, n)
+		var total int64
+		for i := range l.workers {
+			c := l.workers[i].Claimed.Load()
+			s.Workers[i] = WorkerStatus{ID: i, Claimed: c, Steals: l.workers[i].Steals.Load()}
+			total += c
+		}
+		if total > 0 {
+			for i := range s.Workers {
+				s.Workers[i].Share = float64(s.Workers[i].Claimed) / float64(total)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLiveRunNilDetached(t *testing.T) {
+	var l *LiveRun
+	l.SetPhase("x") // must not panic
+	l.StartSearch("y", 10, func() int64 { return 1 }, 4)
+	l.EndSearch()
+	if l.Worker(0) != nil {
+		t.Fatal("nil LiveRun must hand out nil workers")
+	}
+	s := l.Status()
+	if s.Phase != "detached" || s.States != 0 {
+		t.Fatalf("nil status = %+v", s)
+	}
+}
+
+func TestLiveRunLifecycle(t *testing.T) {
+	l := NewLiveRun("caltest")
+	if s := l.Status(); s.Tool != "caltest" || s.Phase != "idle" || s.Searching {
+		t.Fatalf("initial status = %+v", s)
+	}
+
+	l.SetPhase("parse")
+	if s := l.Status(); s.Phase != "parse" {
+		t.Fatalf("phase = %q, want parse", s.Phase)
+	}
+
+	var n atomic.Int64
+	l.StartSearch("explore", 1000, n.Load, 2)
+	n.Store(250)
+	l.Worker(0).Claimed.Add(200)
+	l.Worker(0).Steals.Add(3)
+	l.Worker(1).Claimed.Add(50)
+	time.Sleep(2 * time.Millisecond) // let the search clock advance
+
+	s := l.Status()
+	if !s.Searching || s.Phase != "explore" {
+		t.Fatalf("mid-search status = %+v", s)
+	}
+	if s.States != 250 || s.Budget != 1000 {
+		t.Fatalf("states/budget = %d/%d, want 250/1000", s.States, s.Budget)
+	}
+	if s.StatesPerSec <= 0 || s.EtaNS <= 0 {
+		t.Fatalf("rate/eta = %v/%v, want positive", s.StatesPerSec, s.EtaNS)
+	}
+	if len(s.Workers) != 2 {
+		t.Fatalf("workers = %+v, want 2 entries", s.Workers)
+	}
+	if s.Workers[0].Claimed != 200 || s.Workers[0].Steals != 3 || s.Workers[1].Claimed != 50 {
+		t.Fatalf("worker counters = %+v", s.Workers)
+	}
+	if s.Workers[0].Share != 0.8 || s.Workers[1].Share != 0.2 {
+		t.Fatalf("worker shares = %v/%v, want 0.8/0.2", s.Workers[0].Share, s.Workers[1].Share)
+	}
+
+	// Out-of-range workers are nil, not a panic.
+	if l.Worker(-1) != nil || l.Worker(2) != nil {
+		t.Fatal("out-of-range Worker must be nil")
+	}
+
+	n.Store(600)
+	l.EndSearch()
+	s = l.Status()
+	if s.Searching {
+		t.Fatal("ended search still reports searching")
+	}
+	if s.States != 600 {
+		t.Fatalf("final states = %d, want the frozen 600", s.States)
+	}
+	if s.SearchNS <= 0 {
+		t.Fatalf("search_ns = %d, want frozen positive duration", s.SearchNS)
+	}
+	if s.EtaNS != 0 {
+		t.Fatalf("eta after end = %d, want 0", s.EtaNS)
+	}
+	frozen := s.SearchNS
+	time.Sleep(2 * time.Millisecond)
+	if again := l.Status().SearchNS; again != frozen {
+		t.Fatalf("search_ns drifted after EndSearch: %d -> %d", frozen, again)
+	}
+	l.EndSearch() // idempotent
+}
+
+func TestLiveRunStatusJSONShape(t *testing.T) {
+	l := NewLiveRun("caltest")
+	l.StartSearch("check", 0, func() int64 { return 7 }, 1)
+	b, err := json.Marshal(l.Status())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tool", "phase", "uptime_ns", "searching", "states"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("status JSON missing %q: %s", key, b)
+		}
+	}
+	if _, ok := m["budget"]; ok {
+		t.Errorf("unbounded run must omit budget: %s", b)
+	}
+}
+
+func TestLiveRunConcurrent(t *testing.T) {
+	l := NewLiveRun("caltest")
+	var n atomic.Int64
+	l.StartSearch("explore", 0, n.Load, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wl := l.Worker(id)
+			for i := 0; i < 1000; i++ {
+				n.Add(1)
+				wl.Claimed.Add(1)
+				if i%7 == 0 {
+					wl.Steals.Add(1)
+				}
+			}
+		}(w)
+	}
+	donePolling := make(chan struct{})
+	go func() {
+		defer close(donePolling)
+		for i := 0; i < 200; i++ {
+			_ = l.Status()
+		}
+	}()
+	wg.Wait()
+	<-donePolling
+	l.EndSearch()
+	s := l.Status()
+	if s.States != 4000 {
+		t.Fatalf("states = %d, want 4000", s.States)
+	}
+	var claimed int64
+	for _, w := range s.Workers {
+		claimed += w.Claimed
+	}
+	if claimed != 4000 {
+		t.Fatalf("claimed sum = %d, want 4000", claimed)
+	}
+}
+
+func TestStartRuntimeSampler(t *testing.T) {
+	if stop := StartRuntimeSampler(nil, time.Millisecond); stop == nil {
+		t.Fatal("nil registry must still return a stop func")
+	} else {
+		stop()
+	}
+	m := NewMetrics()
+	stop := StartRuntimeSampler(m, time.Millisecond)
+	// Force GC cycles so the pause histogram has observations.
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	s := m.Snapshot()
+	if s.Gauges["go.goroutines"] <= 0 {
+		t.Fatalf("go.goroutines = %d, want positive", s.Gauges["go.goroutines"])
+	}
+	if s.Gauges["go.heap_alloc_bytes"] <= 0 {
+		t.Fatal("heap gauge not sampled")
+	}
+	h := s.Histograms["go.gc_pause_ns"]
+	if h.Count < 3 {
+		t.Fatalf("gc pause observations = %d, want >= 3 forced GCs", h.Count)
+	}
+	if s.Gauges["go.num_gc"] < 3 {
+		t.Fatalf("go.num_gc = %d, want >= 3", s.Gauges["go.num_gc"])
+	}
+}
+
+func TestRuntimeSamplerNoDoubleCountGC(t *testing.T) {
+	m := NewMetrics()
+	stop := StartRuntimeSampler(m, time.Millisecond)
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond) // several samples, one GC
+	stop()
+	snap := m.Snapshot()
+	h := snap.Histograms["go.gc_pause_ns"]
+	if h.Count > snap.Gauges["go.num_gc"] {
+		t.Fatalf("pause observations %d exceed completed GCs %d: pauses double-counted",
+			h.Count, snap.Gauges["go.num_gc"])
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -103,12 +104,48 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 func (h *Histogram) Max() int64 { return h.max.Value() }
 
 // HistogramSnapshot is the exported form of a Histogram: count, sum,
-// max, and the non-empty power-of-two buckets in ascending order.
+// max, p50/p90/p99 estimates, and the non-empty power-of-two buckets in
+// ascending order. The quantiles are linear interpolations within the
+// power-of-two bucket containing the rank, so their error is bounded by
+// the bucket width; the top bucket is clamped to Max.
 type HistogramSnapshot struct {
 	Count   int64         `json:"count"`
 	Sum     int64         `json:"sum"`
 	Max     int64         `json:"max"`
+	P50     float64       `json:"p50,omitempty"`
+	P90     float64       `json:"p90,omitempty"`
+	P99     float64       `json:"p99,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// observations by linear interpolation within the power-of-two bucket
+// containing rank q·Count. Returns 0 on an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	lo := int64(0) // exclusive lower bound of the current bucket
+	for _, b := range s.Buckets {
+		if float64(cum+b.Count) >= rank {
+			hi := b.Le
+			if hi > s.Max {
+				hi = s.Max // the top bucket extends only to the largest observation
+			}
+			if b.Le == 0 || hi <= lo {
+				return float64(hi)
+			}
+			pos := (rank - float64(cum)) / float64(b.Count)
+			// Round away float noise: the bucket interpolation error
+			// dwarfs anything past the sixth decimal place.
+			return math.Round((float64(lo)+pos*float64(hi-lo))*1e6) / 1e6
+		}
+		cum += b.Count
+		lo = b.Le
+	}
+	return float64(s.Max)
 }
 
 // BucketCount is one non-empty histogram bucket: Count observations v
@@ -129,6 +166,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, BucketCount{Le: le, Count: n})
 		}
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -285,14 +325,34 @@ func (m *Metrics) SnapshotMemStats() {
 	m.Gauge("go.num_gc").Set(int64(ms.NumGC))
 }
 
+// published tracks which registry owns each expvar name this package has
+// published, making PublishExpvar idempotent per registry: expvar's own
+// registry is global and write-once, but re-publishing the *same* name
+// for the *same* registry (e.g. a CLI entry point invoked repeatedly in
+// one process) is harmless and must not error.
+var (
+	publishMu sync.Mutex
+	published = map[string]*Metrics{}
+)
+
 // PublishExpvar exposes the registry on the process-wide expvar page
-// (and therefore on any -pprof debug server's /debug/vars) under the
-// given name. Publishing the same name twice is an error — expvar's
-// registry is global and write-once.
+// (and therefore on any -pprof or -serve debug server's /debug/vars)
+// under the given name. Publishing the same name again for the same
+// registry is a no-op; publishing it for a different registry — or a
+// name some other package already took — is an error.
 func (m *Metrics) PublishExpvar(name string) error {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if prev, ok := published[name]; ok {
+		if prev == m {
+			return nil
+		}
+		return fmt.Errorf("obs: expvar %q already published for a different registry", name)
+	}
 	if expvar.Get(name) != nil {
 		return fmt.Errorf("obs: expvar %q already published", name)
 	}
 	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	published[name] = m
 	return nil
 }

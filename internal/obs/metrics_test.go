@@ -98,6 +98,7 @@ func TestSnapshotJSONGolden(t *testing.T) {
 		`"counters":{"check.memo_hits":7,"check.states":42},` +
 		`"gauges":{"check.frontier_depth":5},` +
 		`"histograms":{"check.element_size":{"count":3,"sum":5,"max":2,` +
+		`"p50":1.25,"p90":1.85,"p99":1.985,` +
 		`"buckets":[{"le":1,"count":1},{"le":3,"count":2}]}}}`
 	if string(got) != golden {
 		t.Errorf("metrics JSON schema drifted:\n got: %s\nwant: %s", got, golden)
@@ -174,7 +175,71 @@ func TestPublishExpvar(t *testing.T) {
 	if s.Counters["x"] != 3 {
 		t.Fatalf("expvar snapshot = %+v", s)
 	}
-	if err := m.PublishExpvar("calgo.test.metrics"); err == nil {
-		t.Fatal("double publish must fail, not panic")
+	// Re-publishing the same registry under the same name is a no-op:
+	// CLI entry points invoked repeatedly in one process must not error.
+	if err := m.PublishExpvar("calgo.test.metrics"); err != nil {
+		t.Fatalf("same-registry republish must be idempotent, got %v", err)
+	}
+	// A *different* registry claiming the name is still an error.
+	if err := NewMetrics().PublishExpvar("calgo.test.metrics"); err == nil {
+		t.Fatal("publishing a different registry under a taken name must fail")
+	}
+	// A name some other package claimed directly via expvar is an error.
+	expvar.NewInt("calgo.test.metrics.foreign")
+	if err := m.PublishExpvar("calgo.test.metrics.foreign"); err == nil {
+		t.Fatal("publishing over a foreign expvar must fail")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+
+	m := NewMetrics()
+	h := m.Histogram("q")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	snap := h.snapshot()
+	// Power-of-two buckets bound the error: each estimate must land in
+	// the bucket holding the true quantile, and be ordered.
+	checks := []struct {
+		name   string
+		got    float64
+		lo, hi float64
+	}{
+		{"p50", snap.P50, 32, 64},  // true p50 = 50, bucket (31,63]
+		{"p90", snap.P90, 64, 100}, // true p90 = 90, bucket (63,100]
+		{"p99", snap.P99, 64, 100}, // true p99 = 99, same top bucket
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s = %v, want within [%v,%v]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+	if !(snap.P50 <= snap.P90 && snap.P90 <= snap.P99) {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", snap.P50, snap.P90, snap.P99)
+	}
+	if snap.P99 > float64(snap.Max) {
+		t.Errorf("p99 %v exceeds max %d", snap.P99, snap.Max)
+	}
+
+	// All-zero observations: every quantile is exactly 0.
+	hz := m.Histogram("zeros")
+	hz.Observe(0)
+	hz.Observe(0)
+	zs := hz.snapshot()
+	if zs.P50 != 0 || zs.P99 != 0 {
+		t.Errorf("zero histogram quantiles = %v/%v, want 0", zs.P50, zs.P99)
+	}
+
+	// Single observation: quantiles collapse to (at most) that value.
+	h1 := m.Histogram("one")
+	h1.Observe(5)
+	s1 := h1.snapshot()
+	if s1.P99 > 5 || s1.P50 <= 0 {
+		t.Errorf("single-obs quantiles = p50=%v p99=%v, want in (0,5]", s1.P50, s1.P99)
 	}
 }

@@ -81,6 +81,99 @@ func TestStartProgressDisabled(t *testing.T) {
 	stop()
 }
 
+// TestStartProgressNoETAWithoutBudget pins the zero/negative budget
+// contract: an unbounded search never projects an ETA, and a negative
+// budget is treated as unbounded rather than producing a negative one.
+func TestStartProgressNoETAWithoutBudget(t *testing.T) {
+	for _, budget := range []int64{0, -5} {
+		var mu sync.Mutex
+		var got []Progress
+		stop := StartProgress(time.Millisecond, budget, func() int64 { return 42 }, func(p Progress) {
+			mu.Lock()
+			got = append(got, p)
+			mu.Unlock()
+		})
+		time.Sleep(10 * time.Millisecond)
+		stop()
+		mu.Lock()
+		if len(got) == 0 {
+			t.Fatalf("budget %d: no reports", budget)
+		}
+		for _, p := range got {
+			if p.ETA != 0 {
+				t.Fatalf("budget %d: ETA = %v, want 0", budget, p.ETA)
+			}
+		}
+		mu.Unlock()
+	}
+}
+
+// TestStartProgressCounterRegression simulates a parallel merge where the
+// observed counter briefly moves backwards (workers flush per-worker
+// deltas out of order). The reporter must keep running and never emit a
+// negative rate or ETA.
+func TestStartProgressCounterRegression(t *testing.T) {
+	var n atomic.Int64
+	n.Store(1000)
+	var mu sync.Mutex
+	var got []Progress
+	stop := StartProgress(time.Millisecond, 2000, n.Load, func(p Progress) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	time.Sleep(5 * time.Millisecond)
+	n.Store(400) // regression: a merge rewound the visible count
+	time.Sleep(5 * time.Millisecond)
+	n.Store(1500)
+	stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 2 {
+		t.Fatalf("got %d reports, want several across the regression", len(got))
+	}
+	for _, p := range got {
+		if p.Rate < 0 {
+			t.Fatalf("negative rate %v after counter regression", p.Rate)
+		}
+		if p.ETA < 0 {
+			t.Fatalf("negative ETA %v after counter regression", p.ETA)
+		}
+	}
+	if final := got[len(got)-1]; !final.Final || final.States != 1500 {
+		t.Fatalf("final report = %+v, want Final with the recovered count", final)
+	}
+}
+
+// TestStartProgressShutdownRace hammers start/stop with a callback that
+// touches shared state: under -race this pins that fn is never invoked
+// concurrently with (or after) stop returning.
+func TestStartProgressShutdownRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		var n atomic.Int64
+		shared := 0 // intentionally unsynchronized: the reporter must serialize with stop
+		stop := StartProgress(time.Microsecond, 100, n.Load, func(p Progress) {
+			shared++
+		})
+		n.Add(10)
+		time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+		var wg sync.WaitGroup
+		for j := 0; j < 3; j++ { // concurrent stops: idempotency under contention
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				stop()
+			}()
+		}
+		wg.Wait()
+		if shared == 0 {
+			t.Fatal("final report must have fired before stop returned")
+		}
+		shared++ // safe only if fn can no longer run
+	}
+}
+
 func TestProgressPrinter(t *testing.T) {
 	var buf bytes.Buffer
 	fn := ProgressPrinter(&buf, "calcheck")

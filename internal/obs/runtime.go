@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeSampler launches a goroutine that samples runtime health
+// into the registry every interval: a go.goroutines gauge, the
+// SnapshotMemStats allocation gauges, and a go.gc_pause_ns histogram fed
+// with every GC pause completed since the previous sample (MemStats
+// keeps the last 256 pauses, so pauses are only lost if more than 256
+// GCs complete between samples). The returned stop function takes one
+// last sample, halts the goroutine, and is idempotent; it does not
+// return until the goroutine has exited. A nil registry or non-positive
+// interval disables the sampler.
+func StartRuntimeSampler(m *Metrics, interval time.Duration) (stop func()) {
+	if m == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var lastGC uint32
+		sample := func() {
+			m.Gauge("go.goroutines").Set(int64(runtime.NumGoroutine()))
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			m.Gauge("go.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+			m.Gauge("go.total_alloc_bytes").Set(int64(ms.TotalAlloc))
+			m.Gauge("go.heap_objects").Set(int64(ms.HeapObjects))
+			m.Gauge("go.num_gc").Set(int64(ms.NumGC))
+			h := m.Histogram("go.gc_pause_ns")
+			ring := uint32(len(ms.PauseNs)) // 256: the runtime's pause ring
+			n := ms.NumGC - lastGC
+			if n > ring {
+				n = ring
+			}
+			for i := uint32(0); i < n; i++ {
+				// PauseNs[(NumGC+255)%256] holds the most recent pause.
+				h.Observe(int64(ms.PauseNs[(ms.NumGC+ring-1-i)%ring]))
+			}
+			lastGC = ms.NumGC
+		}
+		sample()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-done:
+				sample()
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-exited
+		})
+	}
+}

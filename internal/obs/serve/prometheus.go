@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"calgo/internal/obs"
+)
+
+// promNamePrefix namespaces every exported metric; the registry's dotted
+// names ("check.memo_hits") become Prometheus names
+// ("calgo_check_memo_hits") under it.
+const promNamePrefix = "calgo_"
+
+// promName mangles a registry metric name into a legal Prometheus metric
+// name: the calgo_ prefix plus the original name with every character
+// outside [a-zA-Z0-9_:] replaced by '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamePrefix) + len(name))
+	b.WriteString(promNamePrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as <name>_total, gauges as-is, and
+// the power-of-two histograms as cumulative le-bucketed native
+// Prometheus histograms. Families are emitted in sorted name order so
+// two snapshots of the same state render identically.
+func WritePrometheus(w io.Writer, s obs.Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n) + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s calgo counter %q\n# TYPE %s counter\n%s %d\n",
+			p, n, p, p, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s calgo gauge %q\n# TYPE %s gauge\n%s %d\n",
+			p, n, p, p, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		p := promName(n)
+		if _, err := fmt.Fprintf(w, "# HELP %s calgo histogram %q (power-of-two buckets)\n# TYPE %s histogram\n",
+			p, n, p); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+				p, strconv.FormatInt(b.Le, 10), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			p, h.Count, p, h.Sum, p, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"calgo/internal/obs"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"check.memo_hits":    "calgo_check_memo_hits",
+		"sched.states":       "calgo_sched_states",
+		"go.heap-alloc":      "calgo_go_heap_alloc",
+		"weird name/§":       "calgo_weird_name__",
+		"a:b":                "calgo_a:b",
+		"check.element_size": "calgo_check_element_size",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// metricNameRe is the Prometheus metric-name grammar.
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// sampleRe matches one exposition sample line: name, optional single
+// le label, value.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?[0-9.e+]+|\+Inf)$`)
+
+// parseExposition is a strict text-exposition v0.0.4 parser for the
+// subset WritePrometheus emits. It fails the test on malformed lines,
+// samples without a preceding TYPE, or non-cumulative histograms, and
+// returns the parsed samples keyed by "name{le}".
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	types := map[string]string{} // family -> counter|gauge|histogram
+	samples := map[string]float64{}
+	lastBucket := map[string]float64{} // family -> last cumulative value
+
+	family := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f, ok := strings.CutSuffix(name, suf); ok && types[f] == "histogram" {
+				return f
+			}
+		}
+		return name
+	}
+
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		lineno := i + 1
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || !metricNameRe.MatchString(parts[2]) {
+				t.Fatalf("line %d: malformed HELP: %q", lineno, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 || !metricNameRe.MatchString(parts[2]) {
+				t.Fatalf("line %d: malformed TYPE: %q", lineno, line)
+			}
+			typ := parts[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", lineno, typ)
+			}
+			if _, dup := types[parts[2]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", lineno, parts[2])
+			}
+			types[parts[2]] = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment form: %q", lineno, line)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", lineno, line)
+			}
+			name, le := m[1], m[3]
+			fam := family(name)
+			typ, ok := types[fam]
+			if !ok {
+				t.Fatalf("line %d: sample %q has no TYPE", lineno, name)
+			}
+			if typ == "counter" && !strings.HasSuffix(name, "_total") {
+				t.Fatalf("line %d: counter %q without _total suffix", lineno, name)
+			}
+			var v float64
+			if m[4] == "+Inf" {
+				t.Fatalf("line %d: +Inf is a label value, not a sample value: %q", lineno, line)
+			}
+			v, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", lineno, m[4], err)
+			}
+			if strings.HasSuffix(name, "_bucket") && typ == "histogram" {
+				if v < lastBucket[fam] {
+					t.Fatalf("line %d: histogram %q buckets not cumulative: %v < %v",
+						lineno, fam, v, lastBucket[fam])
+				}
+				lastBucket[fam] = v
+			}
+			key := name
+			if le != "" {
+				key = name + "{le=" + le + "}"
+			}
+			if _, dup := samples[key]; dup {
+				t.Fatalf("line %d: duplicate sample %q", lineno, key)
+			}
+			samples[key] = v
+		}
+	}
+	return samples
+}
+
+// TestWritePrometheusValid pins the acceptance criterion: the /metrics
+// payload is valid Prometheus text exposition, parsed by this test's
+// strict reader.
+func TestWritePrometheusValid(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Counter("check.states").Add(42)
+	m.Counter("check.memo_hits").Add(7)
+	m.Gauge("check.frontier_depth").Set(5)
+	m.Gauge("go.heap_alloc_bytes").Set(123456)
+	h := m.Histogram("check.element_size")
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(2)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := parseExposition(t, text)
+
+	if got := samples["calgo_check_states_total"]; got != 42 {
+		t.Errorf("states counter = %v, want 42", got)
+	}
+	if got := samples["calgo_check_frontier_depth"]; got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+	// Histogram: buckets cumulative, +Inf == count, sum exact.
+	if got := samples[`calgo_check_element_size_bucket{le=1}`]; got != 1 {
+		t.Errorf("le=1 bucket = %v, want 1", got)
+	}
+	if got := samples[`calgo_check_element_size_bucket{le=3}`]; got != 3 {
+		t.Errorf("le=3 bucket = %v, want cumulative 3", got)
+	}
+	if got := samples[`calgo_check_element_size_bucket{le=+Inf}`]; got != 4 {
+		t.Errorf("+Inf bucket = %v, want 4", got)
+	}
+	if samples["calgo_check_element_size_sum"] != 105 || samples["calgo_check_element_size_count"] != 4 {
+		t.Errorf("sum/count = %v/%v, want 105/4",
+			samples["calgo_check_element_size_sum"], samples["calgo_check_element_size_count"])
+	}
+
+	// Deterministic: a second render of the same snapshot is identical.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != text {
+		t.Error("exposition not deterministic across renders")
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, obs.NewMetrics().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("empty registry rendered %q", b.String())
+	}
+	// A nil registry's snapshot renders the same way.
+	var nilReg *obs.Metrics
+	if err := WritePrometheus(&b, nilReg.Snapshot()); err != nil || b.String() != "" {
+		t.Fatalf("nil registry rendered %q (err %v)", b.String(), err)
+	}
+}
+
+func ExampleWritePrometheus() {
+	m := obs.NewMetrics()
+	m.Counter("check.states").Add(3)
+	var b strings.Builder
+	WritePrometheus(&b, m.Snapshot())
+	fmt.Print(b.String())
+	// Output:
+	// # HELP calgo_check_states_total calgo counter "check.states"
+	// # TYPE calgo_check_states_total counter
+	// calgo_check_states_total 3
+}

@@ -1,0 +1,356 @@
+// Package serve is the library's embedded HTTP ops server: a
+// zero-dependency live window into a running check or exploration. Any
+// CLI or library caller attaches it to the process's obs instruments and
+// gets
+//
+//	/metrics   Prometheus text exposition of the obs.Metrics registry
+//	/statusz   live run status (JSON, HTML, or SSE with ?watch=1)
+//	/flightz   the flight-recorder ring as JSON lines
+//	/runsz     completed calgo.report/v1 documents from this process
+//	/debug/    the standard pprof and expvar handlers
+//
+// The server only reads the instruments it is given — the search hot
+// paths stay untouched, so a detached server costs nothing and an
+// attached one costs exactly what the instruments already cost.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // mount /debug/pprof on http.DefaultServeMux
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"calgo/internal/obs"
+	"calgo/internal/render"
+)
+
+// StatuszSchema versions the /statusz JSON document; the shape is
+// specified in EXPERIMENTS.md ("Live ops endpoints").
+const StatuszSchema = "calgo.statusz/v1"
+
+// Config wires a Server to the process's observability instruments. Any
+// field may be nil/empty: the corresponding endpoint degrades gracefully
+// (empty metrics page, detached status, 404 flight recorder).
+type Config struct {
+	// Tool is the owning CLI's name, stamped on /statusz.
+	Tool string
+	// Metrics backs /metrics and the memo/runtime sections of /statusz.
+	Metrics *obs.Metrics
+	// Flight backs /flightz.
+	Flight *obs.FlightRecorder
+	// Live backs the run section of /statusz.
+	Live *obs.LiveRun
+}
+
+// Server is the ops endpoint. Construct with New, mount Handler on any
+// mux or call Start to listen; Close shuts a started listener down.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	runs    []render.Run
+	notes   []string
+	reports []*render.Report
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New returns an unstarted server over the given instruments.
+func New(cfg Config) *Server { return &Server{cfg: cfg} }
+
+// AddRun records a completed run summary, shown on /statusz.
+func (s *Server) AddRun(r render.Run) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.runs = append(s.runs, r)
+	s.mu.Unlock()
+}
+
+// AddNote records a free-form note, shown on /statusz.
+func (s *Server) AddNote(note string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.notes = append(s.notes, note)
+	s.mu.Unlock()
+}
+
+// AddReport publishes a completed calgo.report/v1 document on /runsz.
+func (s *Server) AddReport(r *render.Report) {
+	if s == nil || r == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reports = append(s.reports, r)
+	s.mu.Unlock()
+}
+
+// Handler returns the ops mux, mountable on any http server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/flightz", s.handleFlightz)
+	mux.HandleFunc("/runsz", s.handleRunsz)
+	// Delegate /debug/ to the process-wide mux: net/http/pprof and
+	// expvar register there on import.
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return mux
+}
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// the ops mux until Close. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := s.srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns non-nil on Close
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address, or nil before Start.
+func (s *Server) Addr() net.Addr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops a started server, severing open watch streams. Safe to
+// call on an unstarted or nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html><title>calgo ops: %[1]s</title>
+<h1>calgo ops — %[1]s</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
+<li><a href="/statusz">/statusz</a> — live run status (JSON; <a href="/statusz?format=html">HTML</a>, <a href="/statusz?watch=1">SSE</a>)</li>
+<li><a href="/flightz">/flightz</a> — flight-recorder ring (JSON lines)</li>
+<li><a href="/runsz">/runsz</a> — completed run reports</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — profiles</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar</li>
+</ul>
+`, html.EscapeString(s.cfg.Tool))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheus(w, s.cfg.Metrics.Snapshot()) //nolint:errcheck // client gone
+}
+
+// MemoStatus summarizes memoization effectiveness for /statusz.
+type MemoStatus struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// RuntimeStatus is the point-in-time runtime health section of /statusz.
+type RuntimeStatus struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+// RunSummary is one completed run on /statusz (name + verdict only; the
+// full evidence lives in the /runsz report).
+type RunSummary struct {
+	Name    string `json:"name"`
+	Verdict string `json:"verdict"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Statusz is the /statusz JSON document.
+type Statusz struct {
+	Schema  string         `json:"schema"`
+	Tool    string         `json:"tool"`
+	Run     obs.LiveStatus `json:"run"`
+	Memo    *MemoStatus    `json:"memo,omitempty"`
+	Runtime RuntimeStatus  `json:"runtime"`
+	Runs    []RunSummary   `json:"runs,omitempty"`
+	Notes   []string       `json:"notes,omitempty"`
+}
+
+// statusz assembles the current document.
+func (s *Server) statusz() Statusz {
+	doc := Statusz{Schema: StatuszSchema, Tool: s.cfg.Tool, Run: s.cfg.Live.Status()}
+	if doc.Run.Tool == "" {
+		doc.Run.Tool = s.cfg.Tool
+	}
+	snap := s.cfg.Metrics.Snapshot()
+	hits, misses := snap.Counters["check.memo_hits"], snap.Counters["check.memo_misses"]
+	if hits+misses > 0 {
+		doc.Memo = &MemoStatus{Hits: hits, Misses: misses,
+			HitRate: float64(hits) / float64(hits+misses)}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	doc.Runtime = RuntimeStatus{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		NumGC:          ms.NumGC,
+	}
+	s.mu.Lock()
+	for _, r := range s.runs {
+		doc.Runs = append(doc.Runs, RunSummary{Name: r.Name, Verdict: r.Verdict, Detail: r.Detail})
+	}
+	doc.Notes = append(doc.Notes, s.notes...)
+	s.mu.Unlock()
+	return doc
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Query().Get("watch") != "":
+		s.watchStatusz(w, r)
+	case r.URL.Query().Get("format") == "html" ||
+		(r.URL.Query().Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/html")):
+		s.htmlStatusz(w)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.statusz()) //nolint:errcheck // client gone
+	}
+}
+
+// watchInterval bounds the SSE frame rate: default 1s, floor 50ms so a
+// hostile ?interval can't melt the process.
+const (
+	defaultWatchInterval = time.Second
+	minWatchInterval     = 50 * time.Millisecond
+)
+
+// watchStatusz streams the statusz document over Server-Sent Events: an
+// immediate frame, then one per interval until the client goes away or
+// the server closes.
+func (s *Server) watchStatusz(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	interval := defaultWatchInterval
+	if iv := r.URL.Query().Get("interval"); iv != "" {
+		d, err := time.ParseDuration(iv)
+		if err != nil {
+			http.Error(w, "bad interval: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		interval = d
+	}
+	if interval < minWatchInterval {
+		interval = minWatchInterval
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+
+	emit := func() bool {
+		b, err := json.Marshal(s.statusz())
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !emit() {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+			if !emit() {
+				return
+			}
+		}
+	}
+}
+
+// htmlStatusz serves a self-contained page that renders the watch
+// stream: a live-updating view with zero external assets.
+func (s *Server) htmlStatusz(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html><title>statusz: %[1]s</title>
+<style>body{font-family:monospace;margin:2em}#s{white-space:pre}</style>
+<h1>statusz — %[1]s</h1><div id="s">connecting…</div>
+<script>
+new EventSource("/statusz?watch=1&interval=1s").onmessage = function (e) {
+  document.getElementById("s").textContent =
+    JSON.stringify(JSON.parse(e.data), null, 2);
+};
+</script>
+`, html.EscapeString(s.cfg.Tool))
+}
+
+func (s *Server) handleFlightz(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Flight == nil {
+		http.Error(w, "no flight recorder attached (run with -trace or -report)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Calgo-Flight-Total", fmt.Sprint(s.cfg.Flight.Total()))
+	enc := json.NewEncoder(w)
+	for _, e := range s.cfg.Flight.Events() {
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleRunsz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	reports := make([]*render.Report, len(s.reports))
+	copy(reports, s.reports)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(reports) //nolint:errcheck // client gone
+}

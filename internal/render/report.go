@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -131,10 +132,11 @@ func (r *Report) Markdown() string {
 				names = append(names, n)
 			}
 			sort.Strings(names)
-			b.WriteString("\n| histogram | count | sum | max |\n|---|---:|---:|---:|\n")
+			b.WriteString("\n| histogram | count | sum | max | p50 | p90 | p99 |\n|---|---:|---:|---:|---:|---:|---:|\n")
 			for _, n := range names {
 				h := r.Metrics.Histograms[n]
-				fmt.Fprintf(&b, "| `%s` | %d | %d | %d |\n", n, h.Count, h.Sum, h.Max)
+				fmt.Fprintf(&b, "| `%s` | %d | %d | %d | %s | %s | %s |\n",
+					n, h.Count, h.Sum, h.Max, quantileCell(h.P50), quantileCell(h.P90), quantileCell(h.P99))
 			}
 		}
 	}
@@ -154,6 +156,12 @@ func (r *Report) Markdown() string {
 		}
 	}
 	return b.String()
+}
+
+// quantileCell renders one histogram quantile estimate for the Markdown
+// table, trimming the trailing zeros %f would leave.
+func quantileCell(q float64) string {
+	return strconv.FormatFloat(q, 'g', 6, 64)
 }
 
 func exitWord(code int) string {

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -93,13 +94,15 @@ type Options struct {
 	// on it.
 	Parallelism int
 
-	// Observability sinks, set through WithTracer, WithMetrics and
-	// WithProgress; all disabled (nil/zero) by default. Every hook site
-	// nil-checks, so the disabled hot path costs one branch.
+	// Observability sinks, set through WithTracer, WithMetrics,
+	// WithProgress and WithLive; all disabled (nil/zero) by default.
+	// Every hook site nil-checks, so the disabled hot path costs one
+	// branch.
 	tracer        obs.Tracer
 	metrics       *obs.Metrics
 	progressEvery time.Duration
 	progressFn    func(obs.Progress)
+	live          *obs.LiveRun
 }
 
 // Option configures an exploration; see Explore.
@@ -154,6 +157,12 @@ func WithMetrics(m *obs.Metrics) Option { return func(o *Options) { o.metrics = 
 func WithProgress(every time.Duration, fn func(obs.Progress)) Option {
 	return func(o *Options) { o.progressEvery, o.progressFn = every, fn }
 }
+
+// WithLive attaches the exploration to a LiveRun view: the state counter
+// and per-worker claim/steal counters become pollable (the ops server's
+// /statusz reads them). Pull-based — nothing is pushed, so enabling it
+// adds two atomic increments per expanded state and nothing else.
+func WithLive(l *obs.LiveRun) Option { return func(o *Options) { o.live = l } }
 
 // Stats summarizes an exploration.
 type Stats struct {
@@ -431,13 +440,25 @@ func explore(init State, opts Options) (Stats, error) {
 		stop := obs.StartProgress(opts.progressEvery, int64(opts.MaxStates), e.states.Load, opts.progressFn)
 		defer stop()
 	}
+	// The same counter backs the live /statusz view when one is attached.
+	opts.live.StartSearch("explore", int64(opts.MaxStates), e.states.Load, par)
+	defer opts.live.EndSearch()
 
+	// Workers run under pprof labels so CPU profiles attribute time per
+	// worker and phase.
+	labelCtx := opts.Context
+	if labelCtx == nil {
+		labelCtx = context.Background()
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < par; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			e.run(id)
+			pprof.Do(labelCtx, pprof.Labels(
+				"calgo_worker", strconv.Itoa(id),
+				"calgo_phase", "explore",
+			), func(context.Context) { e.run(id) })
 		}(i)
 	}
 	wg.Wait()
@@ -485,6 +506,7 @@ func exploreVerdict(err error) string {
 // empty, exit when the exploration stopped or no work remains anywhere.
 func (e *engine) run(id int) {
 	w := &e.workers[id]
+	wl := e.opts.live.Worker(id) // nil when no LiveRun is attached
 	for {
 		if e.stop.Load() {
 			return
@@ -493,6 +515,9 @@ func (e *engine) run(id int) {
 		if n == nil {
 			if n = e.steal(id); n != nil {
 				w.stats.Steals++
+				if wl != nil {
+					wl.Steals.Add(1)
+				}
 			}
 		}
 		if n == nil {
@@ -501,6 +526,9 @@ func (e *engine) run(id int) {
 			}
 			runtime.Gosched()
 			continue
+		}
+		if wl != nil {
+			wl.Claimed.Add(1)
 		}
 		e.process(w, n)
 		e.pending.Add(-1)

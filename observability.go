@@ -31,6 +31,15 @@ type (
 	// Progress is one periodic snapshot of a running search: states,
 	// rate, ETA against the state budget.
 	Progress = obs.Progress
+	// LiveRun is the pull-based live view of a running check or
+	// exploration: attach one with WithLive and poll Status — the ops
+	// server's /statusz endpoint does exactly that.
+	LiveRun = obs.LiveRun
+	// LiveStatus is the snapshot LiveRun.Status returns: phase, states,
+	// rate, ETA and per-worker utilization.
+	LiveStatus = obs.LiveStatus
+	// WorkerStatus is one worker's share of a LiveStatus snapshot.
+	WorkerStatus = obs.WorkerStatus
 )
 
 // MetricsSchemaVersion identifies the metrics JSON document shape.
@@ -49,4 +58,10 @@ var (
 	// ProgressPrinter returns a WithProgress callback printing "label:
 	// <snapshot>" status lines to w.
 	ProgressPrinter = obs.ProgressPrinter
+	// NewLiveRun returns a live run view stamped with the owning tool's
+	// name, ready for WithLive and the ops server.
+	NewLiveRun = obs.NewLiveRun
+	// StartRuntimeSampler periodically samples runtime health (goroutine
+	// count, heap gauges, GC pause histogram) into a metrics registry.
+	StartRuntimeSampler = obs.StartRuntimeSampler
 )

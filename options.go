@@ -21,6 +21,9 @@ type Option struct {
 	sched sched.Option
 }
 
+// String returns the option's constructor name, for diagnostics.
+func (o Option) String() string { return o.name }
+
 // checkOptions projects opts onto the checker engine, rejecting options
 // that do not apply to it.
 func checkOptions(opts []Option) ([]check.Option, error) {
@@ -85,6 +88,13 @@ func WithMetrics(m *Metrics) Option {
 // ready-made fn for status lines on a terminal.
 func WithProgress(every time.Duration, fn func(Progress)) Option {
 	return Option{name: "WithProgress", check: check.WithProgress(every, fn), sched: sched.WithProgress(every, fn)}
+}
+
+// WithLive attaches the run to a LiveRun view: the live state count and
+// per-worker utilization become pollable, which is how the embedded ops
+// server's /statusz endpoint watches a running check or exploration.
+func WithLive(l *LiveRun) Option {
+	return Option{name: "WithLive", check: check.WithLive(l), sched: sched.WithLive(l)}
 }
 
 // Checker-only options.

@@ -1,0 +1,33 @@
+package calgo
+
+import (
+	"calgo/internal/obs/serve"
+)
+
+// Embedded HTTP ops server: a live window into a running check or
+// exploration. Construct with NewOpsServer over the process's Metrics /
+// FlightRecorder / LiveRun, then Start (or mount Handler); the server
+// answers /metrics (Prometheus text exposition), /statusz (live run
+// status as JSON, HTML or an SSE stream), /flightz (flight-recorder
+// ring) and /runsz (completed run reports), with /debug/ delegating to
+// the process-wide pprof/expvar mux. The CLIs expose it via -serve.
+type (
+	// OpsServer is the embedded ops endpoint.
+	OpsServer = serve.Server
+	// OpsConfig wires an OpsServer to the observability instruments; any
+	// field may be nil and the endpoints degrade gracefully.
+	OpsConfig = serve.Config
+	// Statusz is the /statusz JSON document (schema StatuszSchemaVersion).
+	Statusz = serve.Statusz
+)
+
+// StatuszSchemaVersion identifies the /statusz JSON document shape.
+const StatuszSchemaVersion = serve.StatuszSchema
+
+var (
+	// NewOpsServer returns an unstarted ops server over the instruments.
+	NewOpsServer = serve.New
+	// WritePrometheus renders a metrics snapshot in the Prometheus text
+	// exposition format (version 0.0.4), exactly as /metrics serves it.
+	WritePrometheus = serve.WritePrometheus
+)
