@@ -26,11 +26,12 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
-# The parallel engine and the batch checker are the two packages whose
-# correctness depends on cross-goroutine coordination; run their full
-# (non-short) suites under the race detector.
-echo "== go test -race ./internal/sched/ ./internal/check/ =="
-go test -race ./internal/sched/ ./internal/check/
+# The parallel engine, the batch checker and the daemon's job queue are
+# the packages whose correctness depends on cross-goroutine
+# coordination; run their full (non-short) suites under the race
+# detector.
+echo "== go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ =="
+go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/
 
 # Smoke the CLI path of the work-stealing engine: the F1 exchanger
 # battery at full parallelism must verify cleanly (exit 0). -parallel is
@@ -195,5 +196,166 @@ case "$compare_out" in
     exit 1
     ;;
 esac
+
+
+# Smoke the checking daemon end to end: build cald under the race
+# detector, round-trip a history through calcheck -remote, prove the
+# verdict cache short-circuits a resubmission (hit counter up on
+# /metrics, no second search on /runsz), exercise 429 shedding + client
+# backoff, then SIGTERM the daemon mid-search and assert the journal
+# resumes the still-pending job in a fresh instance.
+echo "== cald daemon smoke =="
+go build -race -o "$explain_dir/cald" ./cmd/cald
+go build -o "$explain_dir/calcheck" ./cmd/calcheck
+
+start_cald() {
+    # $1: log file; remaining args: extra cald flags.
+    # Sets cald_pid and cald_url.
+    cald_log="$1"
+    shift
+    "$explain_dir/cald" -addr 127.0.0.1:0 "$@" >"$cald_log" 2>&1 &
+    cald_pid=$!
+    cald_url=""
+    i=0
+    while [ $i -lt 150 ]; do
+        cald_url=$(sed -n 's/.*msg="cald serving".*url=\(http:[^ ]*\).*/\1/p' "$cald_log" | head -1)
+        [ -n "$cald_url" ] && break
+        sleep 0.2
+        i=$((i + 1))
+    done
+    if [ -z "$cald_url" ]; then
+        echo "cald never announced its address:" >&2
+        cat "$cald_log" >&2
+        exit 1
+    fi
+}
+
+# Instance 1: single worker with a journal; -drain 1s keeps the
+# SIGTERM step below fast.
+start_cald "$explain_dir/cald1.log" -journal "$explain_dir/cald.journal" \
+    -workers 1 -queue-depth 8 -drain 1s
+url1="$cald_url"
+pid1="$cald_pid"
+
+# 1. Round trip: the remote verdict must match the local one (exit 0).
+"$explain_dir/calcheck" -remote "$url1" -spec exchanger examples/histories/fig3-h1.txt
+
+# 2. Resubmit the same history: the verdict must come from the cache
+#    (thread renaming aside, the canonicalized fingerprint matches) and
+#    the daemon must not run a second search.
+second=$("$explain_dir/calcheck" -remote "$url1" -spec exchanger examples/histories/fig3-h1.txt)
+case "$second" in
+*cached*) : ;;
+*)
+    echo "resubmission was not served from the verdict cache:" >&2
+    echo "$second" >&2
+    exit 1
+    ;;
+esac
+python3 -c '
+import json, sys, urllib.request
+base = sys.argv[1].rstrip("/")
+text = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+for line in text.splitlines():
+    if line.startswith("calgo_jobs_cache_hits_total "):
+        assert float(line.split()[1]) >= 1, line
+        break
+else:
+    raise AssertionError("calgo_jobs_cache_hits_total missing from /metrics")
+runs = json.load(urllib.request.urlopen(base + "/runsz", timeout=10))
+assert len(runs) == 1, "want exactly 1 executed search on /runsz, got %d" % len(runs)
+print("verdict cache: hit counted, no second search (1 report on /runsz)")
+' "$url1"
+
+# 3. Admission control: a burst-1 instance sheds the second submission
+#    with 429 + Retry-After; the client backs off, retries and
+#    succeeds (exit 0 for both histories).
+start_cald "$explain_dir/cald2.log" -rate 1 -burst 1
+url2="$cald_url"
+pid2="$cald_pid"
+retry_log="$explain_dir/remote-retry.log"
+"$explain_dir/calcheck" -remote "$url2" -spec exchanger \
+    examples/histories/fig3-h1.txt examples/histories/fig3-h1.txt 2>"$retry_log"
+if ! grep -q "backing off" "$retry_log"; then
+    echo "throttled submission never hit the 429 backoff path:" >&2
+    cat "$retry_log" >&2
+    exit 1
+fi
+echo "rate limit: 429 absorbed with backoff, retry succeeded"
+kill -TERM "$pid2"
+wait "$pid2"
+
+# 4. Crash-safe drain: occupy the single worker with an adversarial
+#    search (last exchange response is wrong, so the checker must
+#    exhaust the space), queue a fast job behind it, SIGTERM. The
+#    daemon cancels the running search at the -drain deadline, journals
+#    the pending job and exits 0; a fresh instance on the same journal
+#    resumes and finishes it.
+pending_id=$(python3 -c '
+import json, sys, time, urllib.request
+base = sys.argv[1].rstrip("/")
+
+def post(req):
+    r = urllib.request.Request(base + "/jobs", data=json.dumps(req).encode(),
+                               headers={"Content-Type": "application/json"})
+    return json.load(urllib.request.urlopen(r, timeout=10))
+
+def get(id):
+    return json.load(urllib.request.urlopen(base + "/jobs/" + id, timeout=10))
+
+n = 18
+lines = []
+for i in range(n):
+    lines += ["inv t%d E.exchange %d" % (2*i+1, 10*i+1),
+              "inv t%d E.exchange %d" % (2*i+2, 10*i+2)]
+for i in range(n):
+    a, b = 10*i+2, 10*i+1
+    if i == n - 1:
+        b = 99999
+    lines += ["res t%d E.exchange (true,%d)" % (2*i+1, a),
+              "res t%d E.exchange (true,%d)" % (2*i+2, b)]
+slow = post({"spec": "exchanger", "history": "\n".join(lines) + "\n"})
+deadline = time.time() + 60
+while get(slow["id"])["state"] != "running":
+    assert time.time() < deadline, "slow job never started"
+    time.sleep(0.1)
+fast = post({"spec": "exchanger", "history":
+             "inv t1 E.exchange 3\ninv t2 E.exchange 4\n"
+             "res t1 E.exchange (true,4)\nres t2 E.exchange (true,3)\n"})
+assert get(fast["id"])["state"] == "pending", get(fast["id"])
+print(fast["id"])
+' "$url1")
+kill -TERM "$pid1"
+if ! wait "$pid1"; then
+    echo "cald did not exit 0 after SIGTERM:" >&2
+    tail -20 "$explain_dir/cald1.log" >&2
+    exit 1
+fi
+if ! grep -q "drained with pending jobs journaled" "$explain_dir/cald1.log"; then
+    echo "cald drain did not journal the pending job:" >&2
+    tail -20 "$explain_dir/cald1.log" >&2
+    exit 1
+fi
+
+start_cald "$explain_dir/cald3.log" -journal "$explain_dir/cald.journal" -workers 1
+url3="$cald_url"
+pid3="$cald_pid"
+python3 -c '
+import json, sys, time, urllib.request
+base, id = sys.argv[1].rstrip("/"), sys.argv[2]
+deadline = time.time() + 60
+while True:
+    j = json.load(urllib.request.urlopen(base + "/jobs/" + id, timeout=10))
+    if j["state"] in ("done", "canceled"):
+        break
+    assert time.time() < deadline, j
+    time.sleep(0.1)
+assert j.get("resumed"), "job was not marked resumed: %r" % j
+assert j["verdict"] == "OK", j
+print("journal resume: %s finished %s after restart" % (id, j["verdict"]))
+' "$url3" "$pending_id"
+kill -TERM "$pid3"
+wait "$pid3"
+echo "cald smoke: round trip, cache hit, 429 backoff, drain + journal resume"
 
 echo "CI gate passed."

@@ -183,6 +183,9 @@ func run() int {
 		}
 	}
 
+	sigCtx, stop := cliflags.SignalContext()
+	defer stop()
+
 	exit := 0
 	done := make(chan error, 1)
 	go func() { done <- runTables() }()
@@ -203,6 +206,18 @@ func run() int {
 		fmt.Printf("UNKNOWN: -timeout %v expired after %d of the requested tables\n",
 			shared.Timeout(), len(snapshotTables()))
 		exit = 3
+	case <-sigCtx.Done():
+		fmt.Printf("UNKNOWN: interrupted after %d of the requested tables\n", len(snapshotTables()))
+		exit = 3
+	}
+	if exit == 3 && *jsonPath != "" {
+		// A cut-short run still flushes its partial tables so the -json/-auto
+		// perf trajectory accumulates whatever evidence the run produced.
+		if err := writeJSON(*jsonPath); err != nil {
+			shared.Logger().Error("writing partial tables", "path", *jsonPath, "err", err)
+		} else {
+			fmt.Printf("wrote %d partial tables to %s\n", len(snapshotTables()), *jsonPath)
+		}
 	}
 
 	if *compare != "" && exit == 0 {

@@ -40,15 +40,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
+	"time"
 
 	"calgo"
 	"calgo/internal/cliflags"
+	"calgo/internal/jobs"
 )
 
 func main() {
@@ -64,19 +65,24 @@ func run() int {
 		verbose    = flag.Bool("v", false, "print the witness trace and search statistics")
 		maxStats   = flag.Int("max-states", 4_000_000, "checker state budget")
 		memoBudget = flag.Int("memo-budget", 0, "approximate memoization memory budget in bytes (0 = unlimited)")
+		remote     = flag.String("remote", "", "check against a running cald at this base URL (e.g. http://127.0.0.1:8419) instead of locally; 429/5xx responses are retried with jittered exponential backoff")
 	)
 	shared := cliflags.Register("calcheck")
 	flag.Parse()
 
-	sp, err := specByName(*specName, calgo.ObjectID(*object), *threads)
-	if err != nil {
-		shared.Logger().Error("bad specification", "err", err)
-		return 2
-	}
-
 	inputs, err := readInputs(flag.Args())
 	if err != nil {
 		shared.Logger().Error("reading inputs", "err", err)
+		return 2
+	}
+
+	if *remote != "" {
+		return runRemote(shared, *remote, inputs, *specName, *object, *threads, *mode, *verbose)
+	}
+
+	sp, err := specByName(*specName, calgo.ObjectID(*object), *threads)
+	if err != nil {
+		shared.Logger().Error("bad specification", "err", err)
 		return 2
 	}
 	histories := make([]calgo.History, len(inputs))
@@ -106,7 +112,7 @@ func run() int {
 		return 2
 	}
 
-	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := cliflags.SignalContext()
 	defer stop()
 	ctx, cancel := shared.WithTimeout(sigCtx)
 	defer cancel()
@@ -166,6 +172,93 @@ func run() int {
 		return 2
 	}
 	return exit
+}
+
+// runRemote is -remote: each input is submitted to the cald daemon as a
+// calgo.job/v1 document and polled to a verdict. The client absorbs the
+// daemon's admission control — 429/503/5xx answers are retried with
+// jittered exponential backoff honouring Retry-After — so a throttled
+// run degrades to slower, not to failed. -timeout travels with the job
+// as its server-side (clamped) deadline.
+func runRemote(shared *cliflags.Set, base string, inputs []input, specName, object string, threads int, mode string, verbose bool) int {
+	if err := shared.Start(); err != nil {
+		shared.Logger().Error("startup failed", "err", err)
+		return 2
+	}
+	defer shared.Close()
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
+
+	client := jobs.NewClient(base)
+	client.OnRetry = func(attempt int, wait time.Duration, cause string) {
+		shared.Logger().Warn("daemon busy; backing off", "attempt", attempt, "wait", wait, "cause", cause)
+	}
+
+	exit := 0
+	for _, in := range inputs {
+		prefix := ""
+		if len(inputs) > 1 {
+			prefix = in.name + ": "
+		}
+		job, err := client.Check(ctx, jobs.Request{
+			Spec: specName, Object: object, Threads: threads, Mode: mode,
+			History:   in.src,
+			TimeoutMS: shared.Timeout().Milliseconds(),
+		})
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("%sUNKNOWN: interrupted while waiting on the daemon\n", prefix)
+				exit = worstExit(exit, 3)
+				break
+			}
+			shared.Logger().Error("remote check failed", "input", in.name, "err", err)
+			if ferr := shared.Finish(2); ferr != nil {
+				shared.Logger().Error("flushing outputs", "err", ferr)
+			}
+			return 2
+		}
+		exit = worstExit(exit, reportRemote(prefix, job, mode, verbose))
+		if shared.WantsRuns() {
+			shared.AddRun(calgo.RunReport{Name: in.name, Verdict: job.Verdict, Detail: job.Detail})
+		}
+	}
+	if err := shared.Finish(exit); err != nil {
+		shared.Logger().Error("flushing outputs", "err", err)
+		return 2
+	}
+	return exit
+}
+
+// reportRemote renders a finished remote job in the local verdict
+// vocabulary, marking cache answers so operators can see replay traffic
+// being absorbed.
+func reportRemote(prefix string, j jobs.Job, mode string, verbose bool) int {
+	from := fmt.Sprintf(" [job %s", j.ID)
+	if j.Cached {
+		from += ", cached"
+	}
+	from += "]"
+	if j.State == jobs.StateCanceled {
+		fmt.Printf("%sUNKNOWN: job was canceled on the daemon%s\n", prefix, from)
+		return 3
+	}
+	switch j.Verdict {
+	case "OK":
+		fmt.Printf("%sOK: history is %s w.r.t. %s%s\n", prefix, propertyName(mode), j.Request.Spec, from)
+		if verbose {
+			fmt.Println(j.Detail)
+		}
+		return 0
+	case "VIOLATION":
+		fmt.Printf("%sVIOLATION: history is not %s w.r.t. %s%s\n", prefix, propertyName(mode), j.Request.Spec, from)
+		fmt.Println(j.Detail)
+		return 1
+	default:
+		fmt.Printf("%sUNKNOWN: could not decide whether the history is %s w.r.t. %s%s\n",
+			prefix, propertyName(mode), j.Request.Spec, from)
+		fmt.Println(j.Detail)
+		return 3
+	}
 }
 
 // rankExit orders exit codes by severity: violation (1) dominates

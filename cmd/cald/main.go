@@ -1,0 +1,152 @@
+// Command cald is the calgo checking-as-a-service daemon: a
+// long-running process that accepts histories over HTTP and serves
+// three-valued CAL/linearizability verdicts, hardened for production
+// traffic.
+//
+// Usage:
+//
+//	cald -addr 127.0.0.1:8419 -journal cald.journal
+//	calcheck -remote http://127.0.0.1:8419 -spec exchanger history.txt
+//
+// The job API rides on the same ops mux every calgo CLI serves:
+//
+//	POST /jobs             submit a history + spec selection -> job id
+//	GET  /jobs/{id}        poll a verdict (?watch=1 streams via SSE)
+//	GET  /jobs             list jobs
+//	POST /jobs/{id}/cancel cancel a pending or running job
+//	/metrics /statusz /flightz /runsz /debug/pprof/   the ops surface
+//
+// Robustness properties (see EXPERIMENTS.md "Checking as a service"):
+// bounded queue with 429 + Retry-After load shedding; per-client
+// token-bucket rate limiting; a verdict cache keyed by the
+// canonicalized-history fingerprint so replayed traffic never re-pays
+// the search; per-job deadlines and budgets clamped by the -max-*
+// server limits (exhaustion surfaces as UNKNOWN, never a hung request);
+// and a crash-safe append-only journal — SIGTERM drains running jobs,
+// pending ones persist, and a restarted daemon resumes them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"calgo/internal/cliflags"
+	"calgo/internal/jobs"
+	"calgo/internal/obs"
+	"calgo/internal/obs/serve"
+	"calgo/internal/render"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8419", "listen address for the job API + ops endpoint (\":0\" picks a port)")
+		workers      = flag.Int("workers", 0, "checker worker goroutines (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 64, "pending-job queue bound; a full queue sheds submissions with 429 + Retry-After")
+		rate         = flag.Float64("rate", 0, "per-client sustained admission rate in jobs/second (0 = unlimited)")
+		burst        = flag.Int("burst", 8, "per-client token-bucket burst")
+		cacheEntries = flag.Int("cache-entries", 1024, "verdict-cache capacity (identical histories answered without re-searching; negative disables)")
+		journalPath  = flag.String("journal", "", "crash-safe job journal path; pending jobs are resumed on restart (\"\" = volatile)")
+		maxBytes     = flag.Int("max-history-bytes", 1<<20, "reject history uploads larger than this before parsing")
+		maxEvents    = flag.Int("max-history-events", 1<<16, "reject histories with more events than this")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp (and default) for per-job wall-clock deadlines")
+		maxStates    = flag.Int("max-states", 4_000_000, "clamp (and default) for per-job state budgets")
+		memoBudget   = flag.Int("memo-budget", 0, "clamp for per-job memoization budgets in bytes (0 = unlimited)")
+		drainWait    = flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for running jobs before interrupting them")
+		logLevel     = flag.String("log-level", "info", "diagnostic log level: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "text", "diagnostic log format: text or json")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: cald [flags]\n")
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), cliflags.ExitLegend)
+	}
+	flag.Parse()
+
+	logger, err := cliflags.NewLogger("cald", *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cald: %v\n", err)
+		return 2
+	}
+
+	metrics := obs.NewMetrics()
+	if err := metrics.PublishExpvar("calgo"); err != nil {
+		logger.Debug("expvar publication skipped", "err", err)
+	}
+	live := obs.NewLiveRun("cald")
+	flight := obs.NewFlightRecorder(cliflags.FlightEvents)
+	ops := serve.New(serve.Config{Tool: "cald", Metrics: metrics, Flight: flight, Live: live})
+
+	mgr, err := jobs.New(jobs.Config{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		Rate:             *rate,
+		Burst:            *burst,
+		CacheEntries:     *cacheEntries,
+		JournalPath:      *journalPath,
+		MaxHistoryBytes:  *maxBytes,
+		MaxHistoryEvents: *maxEvents,
+		MaxTimeout:       *maxTimeout,
+		MaxStates:        *maxStates,
+		MemoBudget:       *memoBudget,
+		Metrics:          metrics,
+		Logger:           logger,
+		OnDone: func(j jobs.Job) {
+			// Every *executed* search lands on /runsz and /statusz —
+			// cache hits deliberately do not, which is how the CI smoke
+			// proves a replayed submission re-paid nothing.
+			ops.AddRun(render.Run{Name: j.ID + " " + j.Request.Spec + "/" + j.Request.Mode,
+				Verdict: j.Verdict, Detail: j.Detail})
+			doc := render.NewReport("cald", time.Now())
+			doc.Runs = []render.Run{{Name: j.ID, Verdict: j.Verdict, Detail: j.Detail}}
+			ops.AddReport(doc)
+		},
+	})
+	if err != nil {
+		logger.Error("starting job manager", "err", err)
+		return 2
+	}
+
+	ops.Mount("/jobs", mgr.Handler())
+	ops.Mount("/jobs/", mgr.Handler())
+	bound, err := ops.Start(*addr)
+	if err != nil {
+		logger.Error("starting server", "err", err)
+		return 2
+	}
+	samplerStop := obs.StartRuntimeSampler(metrics, cliflags.RuntimeSampleInterval)
+	defer samplerStop()
+	live.SetPhase("serving")
+	logger.Info("cald serving",
+		"url", fmt.Sprintf("http://%s/", bound),
+		"endpoints", "/jobs /metrics /statusz /flightz /runsz /debug/pprof/")
+
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
+	<-ctx.Done()
+	stop() // a second signal now kills the process with default disposition
+
+	// Graceful shutdown: refuse new work, let running jobs finish (up to
+	// -drain), keep pending ones journaled for the next instance, then
+	// drain the HTTP side (SSE watchers get their final frame).
+	live.SetPhase("draining")
+	logger.Info("signal received; draining", "wait", *drainWait)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	left := mgr.Drain(drainCtx)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), cliflags.OpsShutdownTimeout)
+	defer cancelHTTP()
+	_ = ops.Shutdown(httpCtx)
+	if left > 0 {
+		logger.Info("drained with pending jobs journaled", "pending", left, "journal", *journalPath)
+	} else {
+		logger.Info("drained clean")
+	}
+	return 0
+}

@@ -36,10 +36,8 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"calgo"
 	"calgo/internal/cliflags"
@@ -93,7 +91,7 @@ func run() int {
 	}
 	defer shared.Close()
 
-	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	sigCtx, stop := cliflags.SignalContext()
 	defer stop()
 	ctx, cancel := shared.WithTimeout(sigCtx)
 	defer cancel()

@@ -87,7 +87,12 @@ func run() int {
 	}
 	defer shared.Close()
 
-	exit := fuzzExit(sweep(*iters, *seed, *object, *chaos, shared), shared.Logger())
+	// An interrupt (^C, SIGTERM) cancels the sweep between batches; the
+	// partial -metrics-json/-report outputs still flush through Finish.
+	ctx, stop := cliflags.SignalContext()
+	defer stop()
+
+	exit := fuzzExit(sweep(ctx, *iters, *seed, *object, *chaos, shared), shared.Logger())
 	if exit == 1 || exit == 3 {
 		shared.DumpFlight()
 	}
@@ -98,7 +103,7 @@ func run() int {
 	return exit
 }
 
-func sweep(iters int, seed int64, object, chaos string, shared *cliflags.Set) error {
+func sweep(ctx context.Context, iters int, seed int64, object, chaos string, shared *cliflags.Set) error {
 	policies := []string{chaos}
 	if chaos == "all" {
 		policies = calgo.ChaosPolicyNames()
@@ -130,7 +135,7 @@ func sweep(iters int, seed int64, object, chaos string, shared *cliflags.Set) er
 				run.iter, run.seed = i, seed+int64(i)
 				runs = append(runs, run)
 			}
-			if err := checkBatch(runs, target, policy, shared); err != nil {
+			if err := checkBatch(ctx, runs, target, policy, shared); err != nil {
 				return err
 			}
 			if shared.WantsRuns() {
@@ -164,7 +169,7 @@ type pending struct {
 // so each group shares one reusable Checker — the same construction path
 // (NewChecker + CheckMany) the library's batch entry point and the chaos
 // soak use. -timeout bounds each group's batch of checks.
-func checkBatch(runs []pending, target, policy string, shared *cliflags.Set) error {
+func checkBatch(parent context.Context, runs []pending, target, policy string, shared *cliflags.Set) error {
 	groups := make(map[calgo.Spec][]int)
 	var order []calgo.Spec
 	for i, r := range runs {
@@ -179,7 +184,7 @@ func checkBatch(runs []pending, target, policy string, shared *cliflags.Set) err
 		for j, i := range idx {
 			histories[j] = runs[i].h
 		}
-		ctx, cancel := shared.WithTimeout(context.Background())
+		ctx, cancel := shared.WithTimeout(parent)
 		defer cancel()
 		c, err := calgo.NewChecker(sp, shared.Options()...)
 		if err != nil {
@@ -187,6 +192,9 @@ func checkBatch(runs []pending, target, policy string, shared *cliflags.Set) err
 		}
 		results, err := c.CheckMany(ctx, histories)
 		if err != nil {
+			if errors.Is(parent.Err(), context.Canceled) {
+				return fmt.Errorf("%w: %s/%s interrupted by signal", errUnknown, target, policy)
+			}
 			return err
 		}
 		for j, r := range results {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -22,7 +23,7 @@ func fuzzAndCheck(t *testing.T, name string, fuzz func(*rand.Rand, *calgo.ChaosI
 	if err != nil {
 		return err
 	}
-	return checkBatch([]pending{run}, name, "test", testShared)
+	return checkBatch(context.Background(), []pending{run}, name, "test", testShared)
 }
 
 func TestAllFuzzersOnce(t *testing.T) {
@@ -88,7 +89,7 @@ func TestVerifyRejectsBadTrace(t *testing.T) {
 	if err != nil {
 		t.Errorf("valid run failed verification: %v", err)
 	}
-	if err := checkBatch([]pending{run}, "exchanger", "none", testShared); err != nil {
+	if err := checkBatch(context.Background(), []pending{run}, "exchanger", "none", testShared); err != nil {
 		t.Errorf("valid run failed the batched CAL check: %v", err)
 	}
 }

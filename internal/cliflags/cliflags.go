@@ -29,12 +29,24 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"calgo"
 )
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM — the
+// shared interrupt wiring of every calgo CLI, so a Ctrl-C or an
+// orchestrator's TERM turns into cooperative cancellation (and a flushed
+// -metrics-json/-report) instead of lost output. The returned stop
+// function releases the signal registration; a second signal after
+// cancellation kills the process with the default disposition.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
 
 // ExitLegend is the exit-code convention shared by every calgo CLI; it
 // is appended to each tool's -h output.
@@ -242,8 +254,20 @@ func (s *Set) Logger() *slog.Logger {
 
 // buildLogger materializes -log-level/-log-format into s.logger.
 func (s *Set) buildLogger() error {
+	logger, err := NewLogger(s.tool, *s.logLevel, *s.logFormat)
+	if err != nil {
+		return err
+	}
+	s.logger = logger
+	return nil
+}
+
+// NewLogger builds the shared structured diagnostic logger from the
+// -log-level/-log-format vocabulary — for daemons like cald that manage
+// their own flag set but must log exactly like the other tools.
+func NewLogger(tool, level, format string) (*slog.Logger, error) {
 	var lvl slog.Level
-	switch *s.logLevel {
+	switch level {
 	case "debug":
 		lvl = slog.LevelDebug
 	case "info":
@@ -253,20 +277,19 @@ func (s *Set) buildLogger() error {
 	case "error":
 		lvl = slog.LevelError
 	default:
-		return fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", *s.logLevel)
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
 	}
 	hopts := &slog.HandlerOptions{Level: lvl}
 	var h slog.Handler
-	switch *s.logFormat {
+	switch format {
 	case "text":
 		h = slog.NewTextHandler(os.Stderr, hopts)
 	case "json":
 		h = slog.NewJSONHandler(os.Stderr, hopts)
 	default:
-		return fmt.Errorf("unknown -log-format %q (want text or json)", *s.logFormat)
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
-	s.logger = slog.New(h).With("tool", s.tool)
-	return nil
+	return slog.New(h).With("tool", tool), nil
 }
 
 // Start materializes the observability flags: builds the logger, opens
@@ -543,20 +566,34 @@ func (s *Set) writeReport(exit int) error {
 	return f.Close()
 }
 
-// Close honours -serve-linger, shuts down the ops server and runtime
+// OpsShutdownTimeout bounds how long Close waits for the ops server's
+// graceful stop: in-flight scrapes finish and SSE watchers get their
+// final frame, but a stuck client can't wedge process exit.
+const OpsShutdownTimeout = 2 * time.Second
+
+// Close honours -serve-linger (interruptibly: SIGINT/SIGTERM cuts the
+// linger short), gracefully shuts down the ops server and runtime
 // sampler, and releases the trace sink. Safe to call once, after
 // Finish.
 func (s *Set) Close() {
 	if s.ops != nil && *s.serveLinger > 0 {
 		s.Logger().Info("ops server lingering", "addr", s.ops.Addr().String(), "for", *s.serveLinger)
-		time.Sleep(*s.serveLinger)
+		lingerCtx, stop := SignalContext()
+		select {
+		case <-time.After(*s.serveLinger):
+		case <-lingerCtx.Done():
+			s.Logger().Info("linger interrupted")
+		}
+		stop()
 	}
 	if s.samplerStop != nil {
 		s.samplerStop()
 		s.samplerStop = nil
 	}
 	if s.ops != nil {
-		_ = s.ops.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), OpsShutdownTimeout)
+		_ = s.ops.Shutdown(ctx)
+		cancel()
 		s.ops = nil
 	}
 	if s.traceFile != nil {

@@ -1,0 +1,38 @@
+package history
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Canonical returns h with thread identifiers renumbered by order of
+// first appearance (t0, t1, ...). CAL, linearizability and
+// set-linearizability are all invariant under renaming threads — a
+// thread id only ties an invocation to its response — so two histories
+// with the same Canonical form have the same verdict against any
+// specification. Object ids, methods and values are preserved: those
+// the specifications do observe.
+func Canonical(h History) History {
+	rename := make(map[ThreadID]ThreadID, 8)
+	out := make(History, len(h))
+	for i, e := range h {
+		t, ok := rename[e.Thread]
+		if !ok {
+			t = ThreadID(len(rename))
+			rename[e.Thread] = t
+		}
+		e.Thread = t
+		out[i] = e
+	}
+	return out
+}
+
+// Fingerprint returns a collision-resistant hex digest of h's canonical
+// rendering: equal fingerprints mean the histories are identical up to
+// thread renaming, so a verdict computed for one is valid for the other.
+// This is the key of the cald verdict cache — replayed production
+// traffic hashes to the same fingerprint and never re-pays the search.
+func Fingerprint(h History) string {
+	sum := sha256.Sum256([]byte(Format(Canonical(h))))
+	return hex.EncodeToString(sum[:])
+}

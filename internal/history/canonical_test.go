@@ -1,0 +1,62 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalRenumbersByFirstAppearance(t *testing.T) {
+	h, err := Parse("inv t7 E.exchange 3\ninv t2 E.exchange 4\nres t7 E.exchange (true,4)\nres t2 E.exchange (true,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Canonical(h)
+	want := "inv t0 E.exchange 3\ninv t1 E.exchange 4\nres t0 E.exchange (true,4)\nres t1 E.exchange (true,3)\n"
+	if Format(c) != want {
+		t.Errorf("Canonical =\n%s\nwant\n%s", Format(c), want)
+	}
+	// Canonical must not mutate its input.
+	if h[0].Thread != ThreadID(7) {
+		t.Errorf("Canonical mutated its input: thread = %v", h[0].Thread)
+	}
+}
+
+func TestFingerprintInvariantUnderThreadRenaming(t *testing.T) {
+	a, err := Parse("inv t1 E.exchange 3\ninv t2 E.exchange 4\nres t1 E.exchange (true,4)\nres t2 E.exchange (true,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("inv t40 E.exchange 3\ninv t9 E.exchange 4\nres t40 E.exchange (true,4)\nres t9 E.exchange (true,3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprints should agree up to thread renaming")
+	}
+	// Changing a value must change the fingerprint.
+	c, err := Parse("inv t1 E.exchange 5\ninv t2 E.exchange 4\nres t1 E.exchange (true,4)\nres t2 E.exchange (true,5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Error("different histories should not collide")
+	}
+}
+
+func TestParseFileLimitedBounds(t *testing.T) {
+	src := "# header\ninv t1 E.exchange 3\nres t1 E.exchange (true,4)\ninv t2 E.exchange 4\n"
+	if _, err := ParseFileLimited("h.txt", src, Limits{MaxEvents: 2}); err == nil {
+		t.Fatal("event limit should reject the third event")
+	} else if !strings.HasPrefix(err.Error(), "h.txt:4: ") {
+		t.Errorf("event-limit error should cite the offending line, got %q", err)
+	}
+	if _, err := ParseFileLimited("h.txt", src, Limits{MaxBytes: 10}); err == nil {
+		t.Fatal("byte limit should reject the input")
+	} else if !strings.Contains(err.Error(), "limit is 10") {
+		t.Errorf("byte-limit error should name the limit, got %q", err)
+	}
+	h, err := ParseFileLimited("h.txt", src, Limits{MaxBytes: len(src), MaxEvents: 3})
+	if err != nil || len(h) != 3 {
+		t.Fatalf("limits at the boundary should accept: %v (len %d)", err, len(h))
+	}
+}

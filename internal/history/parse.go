@@ -51,11 +51,39 @@ func Parse(src string) (History, error) {
 // ParseFile is Parse with a source name for diagnostics: errors render as
 // name:line: message, the convention editors and CI log scrapers follow.
 func ParseFile(name, src string) (History, error) {
+	return ParseFileLimited(name, src, Limits{})
+}
+
+// Limits bounds what ParseFileLimited accepts, so a service can reject
+// hostile or oversized uploads with a precise diagnostic instead of
+// parsing (and allocating for) them. A zero field means unlimited.
+type Limits struct {
+	// MaxBytes rejects the input before parsing when the source exceeds
+	// this many bytes.
+	MaxBytes int
+	// MaxEvents rejects the input at the first event line past this
+	// count (each inv/res line is one event).
+	MaxEvents int
+}
+
+// ParseFileLimited is ParseFile under input limits. Violations are
+// *SyntaxError values like any other parse failure: an oversized source
+// is reported at line 1, an event-count overflow at the offending line,
+// both naming the limit so the submitter knows what to shrink.
+func ParseFileLimited(name, src string, lim Limits) (History, error) {
+	if lim.MaxBytes > 0 && len(src) > lim.MaxBytes {
+		return nil, &SyntaxError{File: name, Line: 1,
+			Msg: fmt.Sprintf("input is %d bytes, limit is %d", len(src), lim.MaxBytes)}
+	}
 	var h History
 	for ln, line := range strings.Split(src, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if lim.MaxEvents > 0 && len(h) >= lim.MaxEvents {
+			return nil, &SyntaxError{File: name, Line: ln + 1,
+				Msg: fmt.Sprintf("history exceeds %d events", lim.MaxEvents)}
 		}
 		e, err := parseLine(line)
 		if err != nil {

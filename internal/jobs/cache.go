@@ -1,0 +1,103 @@
+package jobs
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"calgo/internal/history"
+)
+
+// verdict is what the cache stores: the definitive outcome of one
+// (canonical history, spec, mode) key. Only Sat/Unsat land here —
+// Unknown depends on the budgets of the run that produced it, so a
+// cached Unknown could mask a decidable answer.
+type verdict struct {
+	Verdict  string
+	Detail   string
+	States   int
+	MemoHits int
+}
+
+// cache is a fixed-capacity LRU verdict cache. The key is the
+// canonicalized-history fingerprint joined with the spec selection, so
+// replayed traffic — identical histories resubmitted by log replay or
+// retry storms — is answered in O(1) instead of re-paying the DFS.
+type cache struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	v   verdict
+}
+
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		return nil // disabled
+	}
+	return &cache{cap: capacity, entries: make(map[string]*list.Element), order: list.New()}
+}
+
+// cacheKey derives the verdict-cache key for a parsed history and its
+// effective spec selection. Budgets are deliberately excluded: Sat and
+// Unsat are budget-independent (a witness is a witness; an exhausted
+// search space stays exhausted).
+func cacheKey(h history.History, req Request) string {
+	threads := req.Threads
+	if req.Spec != "snapshot" {
+		threads = 0 // only snapshot observes the participant bound
+	}
+	return fmt.Sprintf("%s|%s|%d|%s|%s", req.Spec, req.Object, threads, req.Mode, history.Fingerprint(h))
+}
+
+// get returns the cached verdict for key, if any, marking it recently
+// used.
+func (c *cache) get(key string) (verdict, bool) {
+	if c == nil {
+		return verdict{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return verdict{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+// put stores a definitive verdict, evicting the least recently used
+// entry past capacity.
+func (c *cache) put(key string, v verdict) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, v: v})
+	for len(c.entries) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached verdicts.
+func (c *cache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,95 @@
+package jobs
+
+import (
+	"testing"
+
+	"calgo/internal/history"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	c.put("a", verdict{Verdict: "OK"})
+	c.put("b", verdict{Verdict: "OK"})
+	if _, ok := c.get("a"); !ok { // refresh a: b is now least recent
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", verdict{Verdict: "OK"})
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently-used a was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("fresh c missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Overwriting updates in place, no growth.
+	c.put("c", verdict{Verdict: "VIOLATION", Detail: "new"})
+	if v, _ := c.get("c"); v.Verdict != "VIOLATION" {
+		t.Errorf("overwrite lost: %+v", v)
+	}
+	if c.len() != 2 {
+		t.Errorf("len after overwrite = %d, want 2", c.len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newCache(0)
+	c.put("a", verdict{Verdict: "OK"}) // must not panic
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache has nonzero len")
+	}
+}
+
+// TestCacheKeySelectivity pins what the key must and must not
+// distinguish: spec, object, mode and (for snapshot) threads matter;
+// budgets and thread naming do not.
+func TestCacheKeySelectivity(t *testing.T) {
+	h1, err := history.Parse(satHistory(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := "inv t9 E.exchange 3\ninv t4 E.exchange 4\nres t9 E.exchange (true,4)\nres t4 E.exchange (true,3)\n"
+	h2, err := history.Parse(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Request{Spec: "exchanger", Object: "E", Mode: "cal"}
+
+	if cacheKey(h1, base) != cacheKey(h2, base) {
+		t.Error("thread renaming changed the key")
+	}
+	budgeted := base
+	budgeted.MaxStates, budgeted.TimeoutMS = 17, 99
+	if cacheKey(h1, base) != cacheKey(h1, budgeted) {
+		t.Error("budgets leaked into the key")
+	}
+	lin := base
+	lin.Mode = "lin"
+	if cacheKey(h1, base) == cacheKey(h1, lin) {
+		t.Error("mode must distinguish keys")
+	}
+	otherSpec := base
+	otherSpec.Spec = "stack"
+	if cacheKey(h1, base) == cacheKey(h1, otherSpec) {
+		t.Error("spec must distinguish keys")
+	}
+	// Threads only matters for snapshot.
+	threaded := base
+	threaded.Threads = 8
+	if cacheKey(h1, base) != cacheKey(h1, threaded) {
+		t.Error("threads leaked into a non-snapshot key")
+	}
+	snapA := Request{Spec: "snapshot", Object: "S", Mode: "cal", Threads: 2}
+	snapB := snapA
+	snapB.Threads = 3
+	if cacheKey(h1, snapA) == cacheKey(h1, snapB) {
+		t.Error("snapshot participant bound must distinguish keys")
+	}
+}

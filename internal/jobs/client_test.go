@@ -1,0 +1,148 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClientBackoffBounds(t *testing.T) {
+	c := &Client{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		d := c.backoff(attempt, 0)
+		// Full jitter on the halved window: [base<<n / 2, base<<n], capped.
+		win := 100 * time.Millisecond << uint(attempt)
+		if win > time.Second || win <= 0 {
+			win = time.Second
+		}
+		if d < win/2 || d > win {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, win/2, win)
+		}
+	}
+	// The server's Retry-After hint wins when it is longer.
+	if d := c.backoff(0, 3*time.Second); d != 3*time.Second {
+		t.Errorf("backoff with Retry-After 3s = %v", d)
+	}
+}
+
+// TestClientRetriesThrottledSubmission pins the 429 contract end to end:
+// a rate-limited submission is retried with backoff until admitted.
+func TestClientRetriesThrottledSubmission(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1, Rate: 20, Burst: 1, CacheEntries: -1})
+
+	c := NewClient(srv.URL)
+	c.ClientID = "retrier"
+	c.BaseDelay = 20 * time.Millisecond
+	var retries atomic.Int64
+	c.OnRetry = func(attempt int, wait time.Duration, cause string) { retries.Add(1) }
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Burst 1: the first submission drains the bucket, the second must
+	// absorb at least one 429 before the 20/s refill admits it.
+	if _, err := c.Submit(ctx, Request{Spec: "exchanger", History: satHistory(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Check(ctx, Request{Spec: "exchanger", History: satHistory(3, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Verdict != "OK" {
+		t.Errorf("verdict = %q, want OK", job.Verdict)
+	}
+	if retries.Load() == 0 {
+		t.Error("expected at least one observed 429 retry")
+	}
+}
+
+// TestClientPermanentErrorsDontRetry pins that 4xx request errors fail
+// fast: a bad history does not get better with retries.
+func TestClientPermanentErrorsDontRetry(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+
+	c := NewClient(srv.URL)
+	var retries atomic.Int64
+	c.OnRetry = func(int, time.Duration, string) { retries.Add(1) }
+
+	_, err := c.Submit(context.Background(), Request{Spec: "no-such-spec", History: satHistory(1, 2)})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 StatusError", err)
+	}
+	if retries.Load() != 0 {
+		t.Errorf("permanent 400 was retried %d times", retries.Load())
+	}
+}
+
+// TestClientRetriesTransportAndServerErrors pins transient handling: wire
+// errors and 5xx are retried up to the budget, then surfaced.
+func TestClientRetriesTransportAndServerErrors(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retries = 3
+	c.BaseDelay = time.Millisecond
+	c.MaxDelay = 2 * time.Millisecond
+	_, err := c.Submit(context.Background(), Request{Spec: "exchanger", History: satHistory(1, 2)})
+	if err == nil {
+		t.Fatal("exhausted retries must surface an error")
+	}
+	if hits.Load() != 3 {
+		t.Errorf("server saw %d attempts, want 3", hits.Load())
+	}
+}
+
+func TestClientWaitAndGet(t *testing.T) {
+	_, srv := newTestServer(t, Config{Workers: 1})
+	c := NewClient(srv.URL)
+
+	job, err := c.Submit(context.Background(), Request{Spec: "exchanger", History: unsatHistory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Verdict != "VIOLATION" {
+		t.Errorf("verdict = %q, want VIOLATION", final.Verdict)
+	}
+	got, err := c.Get(context.Background(), job.ID)
+	if err != nil || got.ID != job.ID {
+		t.Errorf("Get = %+v, %v", got, err)
+	}
+	if _, err := c.Get(context.Background(), "j-404404"); err == nil {
+		t.Error("Get of unknown id must fail")
+	}
+}
+
+func TestClientHonorsContextCancellation(t *testing.T) {
+	// A server that always sheds: the client would retry forever without
+	// the context.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, Request{Spec: "exchanger", History: satHistory(1, 2)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation took far longer than the context allowed")
+	}
+}

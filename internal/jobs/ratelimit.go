@@ -1,0 +1,93 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the limiter's memory against client-id churn (a
+// hostile submitter minting a fresh id per request): past the bound,
+// idle full buckets are pruned, and if every bucket is active the
+// newest stranger is simply charged against a fresh bucket that
+// replaces the oldest-idle one.
+const maxBuckets = 4096
+
+// limiter is a per-client token-bucket rate limiter: each client id
+// accrues rate tokens/second up to burst, and one admission costs one
+// token. It deliberately avoids background goroutines — refill happens
+// lazily on each probe — so an idle limiter costs nothing.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter returns a limiter admitting rate requests/second with the
+// given burst per client; rate <= 0 means unlimited (allow always).
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow reports whether the client may submit now; on refusal it
+// returns how long until one token will have accrued — the Retry-After
+// hint.
+func (l *limiter) allow(client string, now time.Time) (bool, time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.prune(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// prune drops buckets that have been idle long enough to refill
+// completely — forgetting them loses no information, since a fresh
+// bucket starts full. Called with l.mu held.
+func (l *limiter) prune(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	var oldest string
+	var oldestAt time.Time
+	for id, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, id)
+		} else if oldest == "" || b.last.Before(oldestAt) {
+			oldest, oldestAt = id, b.last
+		}
+	}
+	if len(l.buckets) >= maxBuckets && oldest != "" {
+		delete(l.buckets, oldest)
+	}
+}

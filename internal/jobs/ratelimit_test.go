@@ -1,0 +1,84 @@
+package jobs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l := newLimiter(2, 3) // 2 tokens/sec, burst 3
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("c", now); !ok {
+			t.Fatalf("probe %d within burst refused", i)
+		}
+	}
+	ok, wait := l.allow("c", now)
+	if ok {
+		t.Fatal("fourth probe at the same instant must be refused")
+	}
+	// One token accrues in 1/rate = 500ms.
+	if wait < 400*time.Millisecond || wait > 600*time.Millisecond {
+		t.Errorf("Retry-After hint = %v, want ~500ms", wait)
+	}
+
+	// After the hinted wait, exactly one more probe passes.
+	now = now.Add(wait)
+	if ok, _ := l.allow("c", now); !ok {
+		t.Error("probe after the hinted wait refused")
+	}
+	if ok, _ := l.allow("c", now); ok {
+		t.Error("second probe after a single-token refill admitted")
+	}
+
+	// Tokens cap at burst regardless of idle time.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("c", now); !ok {
+			t.Fatalf("probe %d after long idle refused", i)
+		}
+	}
+	if ok, _ := l.allow("c", now); ok {
+		t.Error("burst must not exceed its cap after idling")
+	}
+}
+
+func TestLimiterPerClientIsolation(t *testing.T) {
+	l := newLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := l.allow("a", now); !ok {
+		t.Fatal("first client refused")
+	}
+	if ok, _ := l.allow("a", now); ok {
+		t.Fatal("first client's second probe admitted")
+	}
+	if ok, _ := l.allow("b", now); !ok {
+		t.Error("second client must have its own bucket")
+	}
+}
+
+func TestLimiterUnlimited(t *testing.T) {
+	l := newLimiter(0, 1)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("c", now); !ok {
+			t.Fatal("rate 0 means unlimited")
+		}
+	}
+}
+
+// TestLimiterBoundsMemory pins that client-id churn cannot grow the
+// bucket table without bound: idle-refilled buckets are pruned.
+func TestLimiterBoundsMemory(t *testing.T) {
+	l := newLimiter(1000, 1) // refills in 1ms: every bucket is prunable fast
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3*maxBuckets; i++ {
+		l.allow(fmt.Sprintf("hostile-%d", i), now)
+		now = now.Add(time.Millisecond)
+	}
+	if n := len(l.buckets); n > maxBuckets {
+		t.Errorf("bucket table grew to %d, bound is %d", n, maxBuckets)
+	}
+}

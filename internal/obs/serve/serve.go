@@ -15,6 +15,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"html"
@@ -49,7 +50,9 @@ type Config struct {
 }
 
 // Server is the ops endpoint. Construct with New, mount Handler on any
-// mux or call Start to listen; Close shuts a started listener down.
+// mux or call Start to listen. Shutdown stops a started listener
+// gracefully — in-flight requests finish and SSE watchers are drained
+// with a final frame — while Close severs everything at once.
 type Server struct {
 	cfg Config
 
@@ -57,13 +60,36 @@ type Server struct {
 	runs    []render.Run
 	notes   []string
 	reports []*render.Report
+	mounts  map[string]http.Handler
 
 	srv *http.Server
 	ln  net.Listener
+
+	// closing is closed by Shutdown/Close; long-lived handlers (the
+	// /statusz SSE watchers) select on it so a graceful stop is not held
+	// hostage by connected clients.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // New returns an unstarted server over the given instruments.
-func New(cfg Config) *Server { return &Server{cfg: cfg} }
+func New(cfg Config) *Server { return &Server{cfg: cfg, closing: make(chan struct{})} }
+
+// Mount registers an additional handler on the ops mux under the given
+// pattern (http.ServeMux syntax), so subsystems like the cald job API
+// share the ops surface (and its lifecycle) instead of running a second
+// server. Call before Handler or Start.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	if s == nil || h == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.mounts == nil {
+		s.mounts = make(map[string]http.Handler)
+	}
+	s.mounts[pattern] = h
+	s.mu.Unlock()
+}
 
 // AddRun records a completed run summary, shown on /statusz.
 func (s *Server) AddRun(r render.Run) {
@@ -106,6 +132,11 @@ func (s *Server) Handler() http.Handler {
 	// Delegate /debug/ to the process-wide mux: net/http/pprof and
 	// expvar register there on import.
 	mux.Handle("/debug/", http.DefaultServeMux)
+	s.mu.Lock()
+	for pattern, h := range s.mounts {
+		mux.Handle(pattern, h)
+	}
+	s.mu.Unlock()
 	return mux
 }
 
@@ -116,9 +147,10 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	h := s.Handler() // before the lock: Handler snapshots mounts under s.mu
 	s.mu.Lock()
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s.srv = &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	srv := s.srv
 	s.mu.Unlock()
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns non-nil on Close
@@ -138,12 +170,36 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
+// Shutdown stops a started server gracefully: new connections are
+// refused, watch streams are drained with a final frame and a bye
+// event, and in-flight requests get until ctx's deadline to complete
+// before being severed. Safe to call on an unstarted or nil server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { close(s.closing) })
+	s.mu.Lock()
+	srv := s.srv
+	s.srv = nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		// The deadline expired with handlers still running; sever them.
+		return srv.Close()
+	}
+	return nil
+}
+
 // Close stops a started server, severing open watch streams. Safe to
 // call on an unstarted or nil server.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
+	s.closeOnce.Do(func() { close(s.closing) })
 	s.mu.Lock()
 	srv := s.srv
 	s.srv = nil
@@ -304,6 +360,14 @@ func (s *Server) watchStatusz(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			// Graceful stop: hand the watcher one last frame and an
+			// explicit bye event, then end the stream so Shutdown's drain
+			// completes instead of waiting on connected clients.
+			emit()
+			fmt.Fprint(w, "event: bye\ndata: {}\n\n")
+			fl.Flush()
 			return
 		case <-t.C:
 			if !emit() {

@@ -327,3 +327,91 @@ func TestStartClose(t *testing.T) {
 		t.Fatal("nil Close must be a no-op")
 	}
 }
+
+// TestMount pins that mounted handlers are served alongside the builtin
+// routes — the hook cmd/cald uses to put the job API on the ops mux.
+func TestMount(t *testing.T) {
+	srv := New(Config{Tool: "caltest"})
+	srv.Mount("/jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "mounted")
+	}))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body, _ := get(t, ts.URL+"/jobs")
+	if code != http.StatusOK || !strings.Contains(body, "mounted") {
+		t.Fatalf("mounted route = %d %q", code, body)
+	}
+	if code, _, _ := get(t, ts.URL+"/metrics"); code != http.StatusOK {
+		t.Fatalf("builtin route lost after Mount: %d", code)
+	}
+}
+
+// TestShutdownDrainsSSE pins graceful stop: an open /statusz?watch=1
+// stream receives a final frame plus a bye event and ends, and Shutdown
+// returns instead of hanging on the streaming connection.
+func TestShutdownDrainsSSE(t *testing.T) {
+	srv := New(Config{Tool: "caltest", Live: obs.NewLiveRun("caltest")})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/statusz?watch=1&interval=10s", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	// Wait for the immediate first frame so the stream is established.
+	deadline := time.After(10 * time.Second)
+	for established := false; !established; {
+		select {
+		case <-deadline:
+			t.Fatal("no first SSE frame")
+		case line := <-lines:
+			established = strings.HasPrefix(line, "data: ")
+		}
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	sawBye := false
+	for line := range lines {
+		if line == "event: bye" {
+			sawBye = true
+		}
+	}
+	if !sawBye {
+		t.Error("watch stream ended without the bye event")
+	}
+	select {
+	case err := <-shutdownDone:
+		if err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown hung on the streaming connection")
+	}
+
+	// Idempotent, and nil-safe.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(context.Background()); err != nil {
+		t.Fatal("nil Shutdown must be a no-op")
+	}
+}
