@@ -126,6 +126,11 @@ var (
 	NewCentralStackSpec = spec.NewCentralStack
 	// NewQueueSpec returns the sequential FIFO queue specification.
 	NewQueueSpec = spec.NewQueue
+	// NewSetSpec returns the sequential integer-set specification.
+	NewSetSpec = spec.NewSet
+	// NewPQueueSpec returns the sequential min-priority-queue
+	// specification.
+	NewPQueueSpec = spec.NewPQueue
 	// NewSyncQueueSpec returns the synchronous queue CA-specification.
 	NewSyncQueueSpec = spec.NewSyncQueue
 	// NewRegisterSpec returns the atomic register specification.
@@ -167,7 +172,24 @@ type (
 	UnknownInfo = check.UnknownInfo
 	// Frontier summarizes how far an interrupted search got.
 	Frontier = check.Frontier
+	// Engine selects the checker's decision procedure; see WithEngine.
+	Engine = check.Engine
 )
+
+// Engine values for WithEngine.
+const (
+	// EngineDFS always runs the memoized parallel search (the default).
+	EngineDFS = check.EngineDFS
+	// EngineAuto dispatches unambiguous collection histories to the
+	// log-linear specialized monitors, falling back to the DFS.
+	EngineAuto = check.EngineAuto
+	// EngineMonitor forces the specialized monitor; undecidable histories
+	// yield VerdictUnknown with cause ErrMonitorIneligible.
+	EngineMonitor = check.EngineMonitor
+)
+
+// ParseEngine parses an -engine flag value ("dfs", "auto" or "monitor").
+var ParseEngine = check.ParseEngine
 
 // Verdict values.
 const (
@@ -254,6 +276,9 @@ var (
 	ErrCheckBound = check.ErrBound
 	// ErrCheckMemoBudget is the Unknown cause for an exceeded memo budget.
 	ErrCheckMemoBudget = check.ErrMemoBudget
+	// ErrMonitorIneligible is the Unknown cause when EngineMonitor is
+	// forced on a history the specialized monitors cannot decide.
+	ErrMonitorIneligible = check.ErrMonitorIneligible
 )
 
 // Recording (§4): the auxiliary trace 𝒯 and object views F_o.

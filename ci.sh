@@ -26,12 +26,13 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
-# The parallel engine, the batch checker and the daemon's job queue are
-# the packages whose correctness depends on cross-goroutine
-# coordination; run their full (non-short) suites under the race
-# detector.
-echo "== go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ =="
-go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/
+# The parallel engine, the batch checker, the daemon's job queue and the
+# specialized monitors are the packages whose correctness depends on
+# cross-goroutine coordination (the monitors via the checker's engine
+# dispatch and the cross-validation harness); run their full (non-short)
+# suites under the race detector.
+echo "== go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/ =="
+go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/
 
 # Smoke the CLI path of the work-stealing engine: the F1 exchanger
 # battery at full parallelism must verify cleanly (exit 0). -parallel is
@@ -122,6 +123,74 @@ grep -q "VIOLATION" "$explain_dir/v.md" && grep -q "BLOCKED" "$explain_dir/v.md"
     exit 1
 }
 echo "calreport: report JSON -> Markdown round-trip OK"
+
+# Smoke the specialized-monitor fast path: under -engine auto the
+# unambiguous queue/stack examples must be decided by the O(n log n)
+# monitor (the dispatch counter moves) with unchanged verdicts — the
+# known-Sat histories exit 0, the known violations exit 1 with a
+# monitor-attributed reason. The Sat queue run also serves /metrics to
+# pin the Prometheus spelling, calgo_monitor_dispatch_total.
+echo "== calcheck -engine auto monitor smoke =="
+mon_log="$explain_dir/mon-serve.log"
+go run ./cmd/calcheck -spec queue -object Q -engine auto \
+    -serve 127.0.0.1:0 -serve-linger 30s \
+    examples/histories/queue-fifo.txt >"$explain_dir/mon-sat.out" 2>"$mon_log" &
+mon_pid=$!
+url=""
+i=0
+while [ $i -lt 150 ]; do
+    url=$(sed -n 's/.*msg="ops server listening".*url=\(http:[^ ]*\).*/\1/p' "$mon_log" | head -1)
+    [ -n "$url" ] && break
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$url" ]; then
+    echo "calcheck -serve never announced its address:" >&2
+    cat "$mon_log" >&2
+    exit 1
+fi
+python3 -c '
+import sys, urllib.request
+text = urllib.request.urlopen(sys.argv[1].rstrip("/") + "/metrics", timeout=10).read().decode()
+for line in text.splitlines():
+    if line.startswith("calgo_monitor_dispatch_total "):
+        assert float(line.split()[1]) >= 1, line
+        break
+else:
+    raise AssertionError("calgo_monitor_dispatch_total missing from /metrics")
+print("monitor fast path: calgo_monitor_dispatch_total >= 1 on the Sat queue history")
+' "$url"
+kill "$mon_pid" 2>/dev/null || true
+wait "$mon_pid" 2>/dev/null || true
+grep -q "^OK" "$explain_dir/mon-sat.out" || {
+    echo "queue-fifo.txt under -engine auto did not report OK:" >&2
+    cat "$explain_dir/mon-sat.out" >&2
+    exit 1
+}
+go run ./cmd/calcheck -spec stack -object S -engine auto \
+    -metrics-json "$explain_dir/mon-stack-sat.json" examples/histories/stack-lifo.txt >/dev/null
+for mon_case in "queue Q queue-violation" "stack S stack-violation"; do
+    set -- $mon_case
+    mon_json="$explain_dir/mon-$1-vio.json"
+    if go run ./cmd/calcheck -spec "$1" -object "$2" -engine auto \
+        -metrics-json "$mon_json" "examples/histories/$3.txt" >"$explain_dir/mon-vio.out" 2>&1; then
+        echo "$3.txt under -engine auto should exit 1" >&2
+        exit 1
+    fi
+    grep -q "monitor:" "$explain_dir/mon-vio.out" || {
+        echo "$3.txt violation was not attributed to the monitor:" >&2
+        cat "$explain_dir/mon-vio.out" >&2
+        exit 1
+    }
+done
+python3 -c '
+import json, sys
+for path in sys.argv[1:]:
+    c = json.load(open(path))["metrics"]["counters"]
+    assert c.get("monitor.dispatch", 0) >= 1, (path, c)
+    assert c.get("monitor.fallback", 0) == 0, (path, c)
+print("monitor fast path: %d runs all dispatched, zero DFS fallbacks" % len(sys.argv[1:]))
+' "$explain_dir/mon-stack-sat.json" "$explain_dir/mon-queue-vio.json" "$explain_dir/mon-stack-vio.json"
 
 # Smoke the ops endpoint: calexplore under -serve must announce its
 # address on stderr, serve parseable Prometheus exposition on /metrics

@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,6 +50,7 @@ import (
 	"time"
 
 	"calgo/internal/cliflags"
+	"calgo/internal/monitor"
 
 	"calgo"
 )
@@ -59,7 +61,7 @@ func main() {
 
 var (
 	duration = flag.Duration("dur", 500*time.Millisecond, "measurement window per cell")
-	table    = flag.String("table", "all", "table to print: stacks, exchangers, syncqueue, queues, duals, elimk, all")
+	table    = flag.String("table", "all", "table to print: stacks, exchangers, syncqueue, queues, duals, elimk, monitor, all")
 	maxG     = flag.Int("max-goroutines", 2*runtime.GOMAXPROCS(0), "largest goroutine count in sweeps")
 	spin     = flag.Int("spin", 1, "exchanger partner-wait spin iterations (1 is best on few cores; raise on large machines)")
 	jsonPath = flag.String("json", "", "also write the sweep tables as JSON to this path (e.g. BENCH_<date>.json)")
@@ -321,6 +323,8 @@ func runOnce() error {
 		benchDuals()
 	case "elimk":
 		benchElimK()
+	case "monitor":
+		benchMonitor()
 	case "all":
 		benchStacks()
 		benchExchangers()
@@ -328,6 +332,7 @@ func runOnce() error {
 		benchQueues()
 		benchDuals()
 		benchElimK()
+		benchMonitor()
 	default:
 		return fmt.Errorf("unknown table %q", *table)
 	}
@@ -680,4 +685,88 @@ func benchElimK() {
 	}
 	fmt.Println()
 	recordTable(title, "K", ks, map[string][]float64{"elimination stack": rates}, []string{"elimination stack"})
+}
+
+// benchMonitor is experiment B12: checker throughput (history events/sec)
+// of the O(n log n) specialized monitors against the memoized parallel
+// DFS, on unambiguous linearizable histories of growing size. DFS cells
+// are bounded: a run that exhausts the default state budget or the cell
+// deadline records 0 (printed as a zero, skipped by -compare), and the
+// 100k-event DFS cell is not attempted at all — the checker's real-time
+// order alone is an O(n²) matrix there (~40 GB of pairs at 200k events),
+// which is precisely the gap the monitors close.
+func benchMonitor() {
+	sizes := []int{1_000, 10_000, 100_000} // history events; ops = events/2
+	const dfsMaxEvents = 10_000
+	kinds := []struct {
+		name string
+		sp   calgo.Spec
+		gen  func(n, threads int, seed int64, obj calgo.ObjectID) calgo.History
+	}{
+		{"queue", calgo.NewQueueSpec("B"), monitor.GenQueue},
+		{"stack", calgo.NewStackSpec("B"), monitor.GenStack},
+		{"set", calgo.NewSetSpec("B"), monitor.GenSet},
+		{"pqueue", calgo.NewPQueueSpec("B"), monitor.GenPQueue},
+	}
+	rows := make(map[string][]float64, 2*len(kinds))
+	var order []string
+	for _, k := range kinds {
+		monRates := make([]float64, len(sizes))
+		dfsRates := make([]float64, len(sizes))
+		for i, events := range sizes {
+			h := k.gen(events/2, 4, 42, "B")
+			monRates[i] = checkerRate(h, k.sp, events, calgo.EngineMonitor)
+			if events <= dfsMaxEvents {
+				dfsRates[i] = checkerRate(h, k.sp, events, calgo.EngineDFS)
+			}
+		}
+		rows[k.name+" monitor"] = monRates
+		rows[k.name+" dfs"] = dfsRates
+		order = append(order, k.name+" monitor", k.name+" dfs")
+	}
+	title := "B12: checker throughput on unambiguous histories, specialized monitor vs DFS (events/sec; 0 = over budget or not attempted)"
+	recordTable(title, "events", sizes, rows, order)
+	fmt.Println(title)
+	fmt.Printf("%-22s", "events")
+	for _, n := range sizes {
+		fmt.Printf("%12d", n)
+	}
+	fmt.Println()
+	for _, name := range order {
+		fmt.Printf("%-22s", name)
+		for _, v := range rows[name] {
+			fmt.Printf("%12.0f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// checkerRate measures one B12 cell: repeated full checks of h within the
+// measurement window (always at least one), returning events/sec. A cell
+// whose single check cannot finish inside 10 windows (min 5s) or exhausts
+// the state budget scores 0.
+func checkerRate(h calgo.History, sp calgo.Spec, events int, eng calgo.Engine) float64 {
+	c, err := calgo.NewChecker(sp, calgo.WithEngine(eng))
+	if err != nil {
+		panic(err)
+	}
+	cellCap := 10 * *duration
+	if cellCap < 5*time.Second {
+		cellCap = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cellCap)
+	defer cancel()
+	start := time.Now()
+	runs := 0
+	for {
+		res, err := c.Check(ctx, h)
+		if err != nil || res.Verdict != calgo.VerdictSat {
+			return 0 // deadline, budget, or (unexpected) rejection
+		}
+		runs++
+		if elapsed := time.Since(start); elapsed >= *duration || ctx.Err() != nil {
+			return float64(runs*events) / elapsed.Seconds()
+		}
+	}
 }

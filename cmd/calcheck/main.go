@@ -58,7 +58,7 @@ func main() {
 
 func run() int {
 	var (
-		specName   = flag.String("spec", "exchanger", "specification: exchanger, elimarray, stack, central-stack, dual-stack, queue, syncqueue, register, snapshot")
+		specName   = flag.String("spec", "exchanger", "specification: exchanger, elimarray, stack, central-stack, dual-stack, queue, set, pqueue, syncqueue, register, snapshot")
 		object     = flag.String("object", "E", "object identifier the spec constrains")
 		threads    = flag.Int("threads", 4, "participant bound for -spec snapshot")
 		mode       = flag.String("mode", "cal", "property: cal (concurrency-aware), lin (classical), setlin")
@@ -117,7 +117,7 @@ func run() int {
 	ctx, cancel := shared.WithTimeout(sigCtx)
 	defer cancel()
 
-	opts := append(shared.Options(), calgo.WithMaxStates(*maxStats))
+	opts := append(shared.Options(), calgo.WithMaxStates(*maxStats), calgo.WithEngine(shared.Engine()))
 	if *memoBudget > 0 {
 		opts = append(opts, calgo.WithMemoBudget(*memoBudget))
 	}
@@ -202,6 +202,7 @@ func runRemote(shared *cliflags.Set, base string, inputs []input, specName, obje
 		}
 		job, err := client.Check(ctx, jobs.Request{
 			Spec: specName, Object: object, Threads: threads, Mode: mode,
+			Engine:    shared.Engine().String(),
 			History:   in.src,
 			TimeoutMS: shared.Timeout().Milliseconds(),
 		})
@@ -351,6 +352,10 @@ func specByName(name string, o calgo.ObjectID, threads int) (calgo.Spec, error) 
 		return calgo.NewSnapshotSpec(o, threads), nil
 	case "queue":
 		return calgo.NewQueueSpec(o), nil
+	case "set":
+		return calgo.NewSetSpec(o), nil
+	case "pqueue":
+		return calgo.NewPQueueSpec(o), nil
 	case "syncqueue":
 		return calgo.NewSyncQueueSpec(o), nil
 	case "register":

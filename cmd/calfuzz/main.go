@@ -18,6 +18,14 @@
 //
 //	calfuzz -iters 50 -seed 1 -object all
 //	calfuzz -iters 20 -object exchanger -chaos havoc -workers 4
+//	calfuzz -iters 10 -object pqueue -emit /tmp/histories
+//
+// -emit dumps every generated history to a directory in the interchange
+// format, one file per run, so a sweep doubles as a corpus generator:
+// the files replay with calcheck (any -engine) and feed the monitor/DFS
+// cross-validation loop. -engine selects the checker engine for the
+// batched CAL checks; the default auto routes unambiguous collection
+// histories to the O(n log n) specialized monitors.
 //
 // Observability: -metrics-json aggregates the CAL checkers' counters
 // across every batch into one JSON document, -trace streams sampled
@@ -37,6 +45,8 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+
+	"path/filepath"
 
 	"calgo"
 	"calgo/internal/cliflags"
@@ -75,8 +85,9 @@ func run() int {
 	var (
 		iters  = flag.Int("iters", 30, "iterations per object")
 		seed   = flag.Int64("seed", 1, "base random seed")
-		object = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, snapshot, all")
+		object = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, pqueue, snapshot, all")
 		chaos  = flag.String("chaos", "none", "fault-injection policy: none, yield-storm, stall, cas-storm, bias, havoc, all")
+		emit   = flag.String("emit", "", "dump every generated history to this directory in the interchange format (one file per run), for replay with calcheck")
 	)
 	shared := cliflags.Register("calfuzz")
 	flag.Parse()
@@ -92,7 +103,7 @@ func run() int {
 	ctx, stop := cliflags.SignalContext()
 	defer stop()
 
-	exit := fuzzExit(sweep(ctx, *iters, *seed, *object, *chaos, shared), shared.Logger())
+	exit := fuzzExit(sweep(ctx, *iters, *seed, *object, *chaos, *emit, shared), shared.Logger())
 	if exit == 1 || exit == 3 {
 		shared.DumpFlight()
 	}
@@ -103,15 +114,20 @@ func run() int {
 	return exit
 }
 
-func sweep(ctx context.Context, iters int, seed int64, object, chaos string, shared *cliflags.Set) error {
+func sweep(ctx context.Context, iters int, seed int64, object, chaos, emit string, shared *cliflags.Set) error {
 	policies := []string{chaos}
 	if chaos == "all" {
 		policies = calgo.ChaosPolicyNames()
 	} else if _, ok := calgo.ChaosPolicies()[chaos]; !ok {
 		return fmt.Errorf("%w: unknown chaos policy %q", errUsage, chaos)
 	}
+	if emit != "" {
+		if err := os.MkdirAll(emit, 0o755); err != nil {
+			return fmt.Errorf("%w: creating -emit directory: %v", errUsage, err)
+		}
+	}
 
-	targets := []string{"exchanger", "elimstack", "syncqueue", "dualstack", "dualqueue", "msqueue", "snapshot"}
+	targets := []string{"exchanger", "elimstack", "syncqueue", "dualstack", "dualqueue", "msqueue", "pqueue", "snapshot"}
 	if object != "all" {
 		targets = []string{object}
 	}
@@ -133,6 +149,12 @@ func sweep(ctx context.Context, iters int, seed int64, object, chaos string, sha
 						target, i, policy, seed+int64(i), err)
 				}
 				run.iter, run.seed = i, seed+int64(i)
+				if emit != "" {
+					name := filepath.Join(emit, fmt.Sprintf("%s-%s-%d.txt", target, policy, run.seed))
+					if werr := os.WriteFile(name, []byte(calgo.FormatHistory(run.h)), 0o644); werr != nil {
+						return fmt.Errorf("writing -emit history: %w", werr)
+					}
+				}
 				runs = append(runs, run)
 			}
 			if err := checkBatch(ctx, runs, target, policy, shared); err != nil {
@@ -186,7 +208,7 @@ func checkBatch(parent context.Context, runs []pending, target, policy string, s
 		}
 		ctx, cancel := shared.WithTimeout(parent)
 		defer cancel()
-		c, err := calgo.NewChecker(sp, shared.Options()...)
+		c, err := calgo.NewChecker(sp, append(shared.Options(), calgo.WithEngine(shared.Engine()))...)
 		if err != nil {
 			return err
 		}
@@ -249,7 +271,45 @@ var fuzzers = map[string]func(*rand.Rand, *calgo.ChaosInjector) (pending, error)
 	"dualstack": fuzzDualStack,
 	"dualqueue": fuzzDualQueue,
 	"msqueue":   fuzzMSQueue,
+	"pqueue":    fuzzPQueue,
 	"snapshot":  fuzzSnapshot,
+}
+
+// fuzzPQueue drives the mutex-guarded min-heap with distinct priorities,
+// so the captured histories are unambiguous and (under -engine auto)
+// exercise the specialized pqueue monitor against a live object.
+func fuzzPQueue(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {
+	rec := calgo.NewBoundedRecorder(1 << 14)
+	pq := calgo.NewPQueueHeap("P", calgo.PQueueHeapWithRecorder(rec), calgo.PQueueHeapWithChaos(inj))
+	workers := rng.Intn(4) + 2
+	per := rng.Intn(16) + 4
+	var cap calgo.Capture
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := calgo.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				v := int64(w*10_000 + i)
+				if i%2 == 0 {
+					cap.Inv(tid, "P", calgo.MethodInsert, calgo.Int(v))
+					pq.Insert(tid, v)
+					cap.Res(tid, "P", calgo.MethodInsert, calgo.Bool(true))
+				} else {
+					cap.Inv(tid, "P", calgo.MethodExtractMin, calgo.Unit())
+					ok, got := pq.ExtractMin(tid)
+					cap.Res(tid, "P", calgo.MethodExtractMin, calgo.Pair(ok, got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr, err := checkedView(rec, "P")
+	if err != nil {
+		return pending{}, err
+	}
+	return verify(cap.History(), tr, calgo.NewPQueueSpec("P"))
 }
 
 func fuzzExchanger(rng *rand.Rand, inj *calgo.ChaosInjector) (pending, error) {

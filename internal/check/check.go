@@ -70,6 +70,11 @@ type Result struct {
 	// and on-demand views of the matched surjection and the blocked
 	// operations. Always set on a nil-error Result.
 	Explanation *Explanation
+	// Engine records which decision procedure produced the verdict:
+	// EngineDFS for the search (Witness/States/MemoHits are meaningful),
+	// EngineMonitor for the specialized log-linear monitor (Sat carries
+	// no witness trace and States is 0).
+	Engine Engine
 }
 
 type config struct {
@@ -79,6 +84,7 @@ type config struct {
 	memo         bool // memoize failed nodes
 	completeOnly bool // reject histories with pending invocations
 	workers      int  // CheckMany pool size; 0 = GOMAXPROCS
+	engine       Engine
 
 	// Observability sinks; all nil/zero (disabled) by default, and every
 	// hook site nil-checks so the disabled hot path costs one branch.

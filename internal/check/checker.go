@@ -51,6 +51,9 @@ func NewChecker(sp spec.Spec, opts ...Option) (*Checker, error) {
 	if maxElem < 1 {
 		return nil, fmt.Errorf("check: element size cap %d < 1", maxElem)
 	}
+	if cfg.engine == EngineMonitor && maxElem > 1 {
+		return nil, fmt.Errorf("check: engine monitor decides classical linearizability only; spec %s admits elements of size %d (cap with WithElementCap(1) or use engine auto)", sp.Name(), maxElem)
+	}
 	c := &Checker{sp: sp, cfg: cfg, maxElem: maxElem}
 	c.resolver, _ = sp.(spec.PendingResolver)
 	if cfg.metrics != nil {
@@ -171,6 +174,15 @@ func (c *Checker) check(ctx context.Context, h history.History, live *atomic.Int
 	}
 	if c.cfg.completeOnly && !h.IsComplete() {
 		return Result{}, fmt.Errorf("check: history has pending invocations %v", h.PendingThreads())
+	}
+	// Engine dispatch: with CA-elements capped at 1 the specification is
+	// classical linearizability, which the specialized monitors decide in
+	// O(n log n) for the unambiguous fragment. Under EngineAuto a punt
+	// falls through to the DFS below; under EngineMonitor it is final.
+	if c.cfg.engine != EngineDFS && c.maxElem == 1 {
+		if res, decided := c.tryMonitor(h, live); decided {
+			return res, nil
+		}
 	}
 	s := &searcher{
 		ctx:       ctx,

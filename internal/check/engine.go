@@ -1,0 +1,137 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"calgo/internal/history"
+	"calgo/internal/monitor"
+)
+
+// Engine selects the decision procedure a Checker runs.
+type Engine uint8
+
+const (
+	// EngineDFS always runs the memoized parallel DFS search. It is the
+	// zero value and the library default: every verdict comes with a
+	// witness trace and full explanation, exactly as before engines
+	// existed.
+	EngineDFS Engine = iota
+	// EngineAuto routes each history through the classifier in
+	// calgo/internal/monitor: histories in the unambiguous fragment of a
+	// supported collection spec are decided by the O(n log n) specialized
+	// monitor, everything else falls back to the DFS. Verdicts always
+	// agree with EngineDFS; a monitor-decided Sat carries no witness
+	// trace (Result.Witness is nil, Result.Engine == EngineMonitor).
+	EngineAuto
+	// EngineMonitor runs only the specialized monitor. Histories the
+	// monitor cannot decide yield Unknown with cause
+	// ErrMonitorIneligible instead of falling back. Exists for
+	// benchmarking and for pinning the monitor path in tests.
+	EngineMonitor
+)
+
+// ErrMonitorIneligible is the Unknown cause when EngineMonitor is forced
+// on a history outside the specialized monitors' unambiguous fragment
+// (or one the stack monitor cannot decide).
+var ErrMonitorIneligible = errors.New("check: history not decidable by the specialized monitor")
+
+// String returns the engine's flag spelling.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineMonitor:
+		return "monitor"
+	default:
+		return "dfs"
+	}
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "dfs":
+		return EngineDFS, nil
+	case "auto":
+		return EngineAuto, nil
+	case "monitor":
+		return EngineMonitor, nil
+	default:
+		return EngineDFS, fmt.Errorf("check: unknown engine %q (want dfs, auto or monitor)", s)
+	}
+}
+
+// WithEngine selects the decision procedure (default EngineDFS). See the
+// Engine constants for the contract of each.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// tryMonitor attempts the specialized-monitor fast path for h. The
+// second return is true iff the monitor decided (or, under
+// EngineMonitor, definitively punted): a false return means the caller
+// must run the DFS.
+func (c *Checker) tryMonitor(h history.History, live *atomic.Int64) (Result, bool) {
+	mres := monitor.Check(h, c.sp)
+	m := c.cfg.metrics
+	// A monitor decision is a degenerate "search": bracket it with
+	// SearchStart/SearchEnd so tracers (and the -trace flight ring,
+	// which dumps on VIOLATION/UNKNOWN) still witness the run.
+	trace := func(verdict Verdict) {
+		if t := c.cfg.tracer; t != nil {
+			t.SearchStart(len(mres.Ops))
+			t.SearchEnd(verdict.String(), 1)
+		}
+	}
+	switch mres.Outcome {
+	case monitor.OK, monitor.Violation:
+		res := Result{Engine: EngineMonitor}
+		if mres.Outcome == monitor.OK {
+			res.Verdict = Sat
+			res.OK = true
+			// Monitors prove Sat without materializing a witness trace;
+			// Result.Witness stays nil. Ask EngineDFS for the trace.
+			res.Explanation = &Explanation{Verdict: Sat, Ops: mres.Ops}
+		} else {
+			res.Verdict = Unsat
+			res.Reason = "monitor: " + mres.Reason
+			res.Explanation = &Explanation{Verdict: Unsat, Ops: mres.Ops}
+		}
+		if m != nil {
+			m.Counter("monitor.dispatch").Inc()
+			m.Counter("check.checks").Inc()
+			m.Counter("check.verdict." + strings.ToLower(res.Verdict.String())).Inc()
+		}
+		if live != nil {
+			// One "state" per monitor decision keeps progress reporters
+			// and live views moving on batches.
+			live.Add(1)
+		}
+		trace(res.Verdict)
+		return res, true
+	default: // Ineligible or Inconclusive
+		if c.cfg.engine == EngineAuto {
+			if m != nil {
+				m.Counter("monitor.fallback").Inc()
+			}
+			return Result{}, false
+		}
+		res := Result{
+			Verdict: Unknown,
+			Engine:  EngineMonitor,
+			Unknown: &UnknownInfo{
+				Cause:  ErrMonitorIneligible,
+				Reason: mres.Reason,
+			},
+			Explanation: &Explanation{Verdict: Unknown, Ops: mres.Ops},
+		}
+		if m != nil {
+			m.Counter("monitor.fallback").Inc()
+			m.Counter("check.checks").Inc()
+			m.Counter("check.verdict." + strings.ToLower(res.Verdict.String())).Inc()
+		}
+		trace(res.Verdict)
+		return res, true
+	}
+}

@@ -1,0 +1,220 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/obs"
+	"calgo/internal/spec"
+)
+
+const engObj = history.ObjectID("q")
+
+func engineHistory(t *testing.T, ops []history.Op) history.History {
+	t.Helper()
+	h, err := history.FromOps(ops)
+	if err != nil {
+		t.Fatalf("FromOps: %v", err)
+	}
+	return h
+}
+
+func engOp(th int, m history.Method, arg, ret history.Value, inv, res int) history.Op {
+	return history.Op{Thread: history.ThreadID(th), Object: engObj, Method: m, Arg: arg, Ret: ret, InvIndex: inv, ResIndex: res}
+}
+
+func satQueueHistory(t *testing.T) history.History {
+	return engineHistory(t, []history.Op{
+		engOp(1, spec.MethodEnq, history.Int(1), history.Bool(true), 0, 1),
+		engOp(1, spec.MethodEnq, history.Int(2), history.Bool(true), 2, 3),
+		engOp(1, spec.MethodDeq, history.Unit(), history.Pair(true, 1), 4, 5),
+		engOp(1, spec.MethodDeq, history.Unit(), history.Pair(true, 2), 6, 7),
+	})
+}
+
+func unsatQueueHistory(t *testing.T) history.History {
+	return engineHistory(t, []history.Op{
+		engOp(1, spec.MethodEnq, history.Int(1), history.Bool(true), 0, 1),
+		engOp(1, spec.MethodEnq, history.Int(2), history.Bool(true), 2, 3),
+		engOp(1, spec.MethodDeq, history.Unit(), history.Pair(true, 2), 4, 5),
+		engOp(1, spec.MethodDeq, history.Unit(), history.Pair(true, 1), 6, 7),
+	})
+}
+
+// TestEngineAutoDispatchesMonitor pins the fast path: eligible histories
+// are decided by the monitor (Engine records it, the dispatch counter
+// moves, no states are searched), with verdicts matching the DFS.
+func TestEngineAutoDispatchesMonitor(t *testing.T) {
+	sp := spec.NewQueue(engObj)
+	m := obs.NewMetrics()
+	c, err := NewChecker(sp, WithEngine(EngineAuto), WithMetrics(m))
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	res, err := c.Check(context.Background(), satQueueHistory(t))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Sat || res.Engine != EngineMonitor || res.States != 0 {
+		t.Fatalf("got verdict=%s engine=%s states=%d, want Sat/monitor/0", res.Verdict, res.Engine, res.States)
+	}
+	if res.Explanation == nil {
+		t.Fatal("monitor-decided Result must still carry an Explanation")
+	}
+	res, err = c.Check(context.Background(), unsatQueueHistory(t))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Unsat || res.Engine != EngineMonitor {
+		t.Fatalf("got verdict=%s engine=%s, want Unsat/monitor", res.Verdict, res.Engine)
+	}
+	if res.Reason == "" {
+		t.Fatal("monitor Unsat must carry a Reason")
+	}
+	if got := m.Counter("monitor.dispatch").Value(); got != 2 {
+		t.Fatalf("monitor.dispatch = %d, want 2", got)
+	}
+	if got := m.Counter("check.checks").Value(); got != 2 {
+		t.Fatalf("check.checks = %d, want 2", got)
+	}
+}
+
+// TestEngineAutoFallsBackToDFS pins the punt path: a spec with no
+// monitor is decided by the DFS with a witness, and the fallback counter
+// moves.
+func TestEngineAutoFallsBackToDFS(t *testing.T) {
+	sp := spec.NewRegister(engObj)
+	h := engineHistory(t, []history.Op{
+		engOp(1, "write", history.Int(7), history.Unit(), 0, 1),
+		engOp(1, "read", history.Unit(), history.Int(7), 2, 3),
+	})
+	m := obs.NewMetrics()
+	c, err := NewChecker(sp, WithEngine(EngineAuto), WithMetrics(m))
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	res, err := c.Check(context.Background(), h)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Sat || res.Engine != EngineDFS {
+		t.Fatalf("got verdict=%s engine=%s, want Sat/dfs", res.Verdict, res.Engine)
+	}
+	if res.Witness == nil {
+		t.Fatal("DFS fallback must still produce a witness")
+	}
+	if got := m.Counter("monitor.fallback").Value(); got != 1 {
+		t.Fatalf("monitor.fallback = %d, want 1", got)
+	}
+}
+
+// TestEngineMonitorForcedIneligible pins the forced-monitor contract:
+// no fallback, Unknown with ErrMonitorIneligible.
+func TestEngineMonitorForcedIneligible(t *testing.T) {
+	sp := spec.NewRegister(engObj)
+	h := engineHistory(t, []history.Op{
+		engOp(1, "write", history.Int(7), history.Unit(), 0, 1),
+	})
+	c, err := NewChecker(sp, WithEngine(EngineMonitor))
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	res, err := c.Check(context.Background(), h)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Unknown || res.Unknown == nil || !errors.Is(res.Unknown.Cause, ErrMonitorIneligible) {
+		t.Fatalf("got verdict=%s unknown=%+v, want Unknown/ErrMonitorIneligible", res.Verdict, res.Unknown)
+	}
+}
+
+// TestEngineMonitorRejectsCAElements: the monitors decide classical
+// linearizability only, so forcing them on a CA spec is a construction
+// error unless elements are capped at 1.
+func TestEngineMonitorRejectsCAElements(t *testing.T) {
+	sp := spec.NewExchanger(engObj)
+	if _, err := NewChecker(sp, WithEngine(EngineMonitor)); err == nil {
+		t.Fatal("NewChecker(exchanger, EngineMonitor) should fail: elements exceed size 1")
+	}
+	if _, err := NewChecker(sp, WithEngine(EngineMonitor), WithElementCap(1)); err != nil {
+		t.Fatalf("capped construction should succeed, got %v", err)
+	}
+	// EngineAuto on a CA spec never dispatches, it silently searches.
+	m := obs.NewMetrics()
+	c, err := NewChecker(sp, WithEngine(EngineAuto), WithMetrics(m))
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	h := engineHistory(t, []history.Op{
+		engOp(1, "exchange", history.Int(1), history.Pair(true, 2), 0, 2),
+		engOp(2, "exchange", history.Int(2), history.Pair(true, 1), 1, 3),
+	})
+	res, err := c.Check(context.Background(), h)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Engine != EngineDFS {
+		t.Fatalf("engine = %s, want dfs (CA specs never dispatch)", res.Engine)
+	}
+	if got := m.Counter("monitor.dispatch").Value(); got != 0 {
+		t.Fatalf("monitor.dispatch = %d, want 0", got)
+	}
+}
+
+// TestEngineDefaultIsDFS: the zero-value engine must preserve the
+// pre-engine behavior bit for bit.
+func TestEngineDefaultIsDFS(t *testing.T) {
+	sp := spec.NewQueue(engObj)
+	c, err := NewChecker(sp)
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	res, err := c.Check(context.Background(), satQueueHistory(t))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Engine != EngineDFS || res.Witness == nil || res.States == 0 {
+		t.Fatalf("default engine: engine=%s witness=%v states=%d, want dfs search", res.Engine, res.Witness, res.States)
+	}
+}
+
+// TestParseEngine round-trips the flag spellings.
+func TestParseEngine(t *testing.T) {
+	for _, e := range []Engine{EngineDFS, EngineAuto, EngineMonitor} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Fatalf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Fatal("ParseEngine should reject unknown engines")
+	}
+}
+
+// TestEngineStackInconclusiveFallsBack uses a contended-stack-shaped
+// history on the plain stack spec to reach the monitor's Inconclusive /
+// Ineligible paths and pins that auto still returns the DFS verdict.
+func TestEngineStackInconclusiveFallsBack(t *testing.T) {
+	sp := spec.Stack{Obj: engObj}
+	// Same value pushed twice: ambiguous, so the monitor is ineligible
+	// and the DFS must decide.
+	h := engineHistory(t, []history.Op{
+		engOp(1, spec.MethodPush, history.Int(1), history.Bool(true), 0, 1),
+		engOp(1, spec.MethodPop, history.Unit(), history.Pair(true, 1), 2, 3),
+		engOp(1, spec.MethodPush, history.Int(1), history.Bool(true), 4, 5),
+		engOp(1, spec.MethodPop, history.Unit(), history.Pair(true, 1), 6, 7),
+	})
+	c, err := NewChecker(sp, WithEngine(EngineAuto))
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	res, err := c.Check(context.Background(), h)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != Sat || res.Engine != EngineDFS {
+		t.Fatalf("got verdict=%s engine=%s, want Sat decided by dfs fallback", res.Verdict, res.Engine)
+	}
+}

@@ -87,6 +87,7 @@ type Set struct {
 	explain     *bool
 	dotPath     *string
 	reportPath  *string
+	engineName  *string
 	serveAddr   *string
 	serveLinger *time.Duration
 	logLevel    *string
@@ -98,6 +99,8 @@ type Set struct {
 	logTracer   *calgo.LogTracer
 	traceFile   *os.File // nil when tracing to stderr or disabled
 	aliasWarned bool     // the deprecated-alias notice fired already
+
+	engine calgo.Engine // parsed -engine, valid after Start
 
 	live        *calgo.LiveRun
 	ops         *calgo.OpsServer
@@ -122,6 +125,7 @@ func Register(tool string) *Set {
 		explain:     flag.Bool("explain", false, "render the evidence behind each verdict: a per-thread timeline with concurrency windows and, on VIOLATION, the first blocked operation"),
 		dotPath:     flag.String("dot", "", "write a Graphviz DOT rendering of the worst verdict's evidence to this path (\"-\" = stdout)"),
 		reportPath:  flag.String("report", "", "write a self-contained calgo.report/v1 run report to this path (\"-\" = stdout as JSON; a .md path renders Markdown)"),
+		engineName:  flag.String("engine", "auto", "checker engine: auto (route unambiguous collection histories to the O(n log n) specialized monitors, DFS otherwise), dfs (always run the memoized search), monitor (force the fast path; histories it cannot decide exit 3 UNKNOWN)"),
 	}
 	s.registerOps()
 	wrapUsage()
@@ -145,7 +149,9 @@ func RegisterOps(tool string) *Set {
 		explain:     new(bool),
 		dotPath:     new(string),
 		reportPath:  new(string),
+		engineName:  new(string),
 	}
+	*s.engineName = "auto"
 	s.registerOps()
 	wrapUsage()
 	return s
@@ -208,6 +214,11 @@ func (a *workersAlias) Set(v string) error {
 
 // Workers returns the -workers value (0 = GOMAXPROCS).
 func (s *Set) Workers() int { return *s.workers }
+
+// Engine returns the parsed -engine selection. Valid after Start. It is
+// not folded into Options() because the explorer has no engine notion;
+// checker CLIs append calgo.WithEngine(s.Engine()) themselves.
+func (s *Set) Engine() calgo.Engine { return s.engine }
 
 // Explain returns whether -explain was given.
 func (s *Set) Explain() bool { return *s.explain }
@@ -301,6 +312,11 @@ func (s *Set) Start() error {
 	if err := s.buildLogger(); err != nil {
 		return err
 	}
+	eng, err := calgo.ParseEngine(*s.engineName)
+	if err != nil {
+		return fmt.Errorf("bad -engine: %w", err)
+	}
+	s.engine = eng
 	if *s.metricsJSON != "" || *s.reportPath != "" {
 		// A report always embeds a metrics snapshot, so -report implies a
 		// registry even without -metrics-json.

@@ -46,13 +46,16 @@ func newCache(capacity int) *cache {
 // cacheKey derives the verdict-cache key for a parsed history and its
 // effective spec selection. Budgets are deliberately excluded: Sat and
 // Unsat are budget-independent (a witness is a witness; an exhausted
-// search space stays exhausted).
+// search space stays exhausted). The engine is included: verdicts agree
+// across engines, but the detail and counters do not (a monitor answer
+// has no search statistics), and a forced-monitor job may answer UNKNOWN
+// where the DFS decides — so answers must not leak across engines.
 func cacheKey(h history.History, req Request) string {
 	threads := req.Threads
 	if req.Spec != "snapshot" {
 		threads = 0 // only snapshot observes the participant bound
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|%s", req.Spec, req.Object, threads, req.Mode, history.Fingerprint(h))
+	return fmt.Sprintf("%s|%s|%d|%s|%s|%s", req.Spec, req.Object, threads, req.Mode, req.Engine, history.Fingerprint(h))
 }
 
 // get returns the cached verdict for key, if any, marking it recently

@@ -92,4 +92,17 @@ func TestCacheKeySelectivity(t *testing.T) {
 	if cacheKey(h1, snapA) == cacheKey(h1, snapB) {
 		t.Error("snapshot participant bound must distinguish keys")
 	}
+	// The engine must distinguish keys: a forced-monitor job can answer
+	// UNKNOWN where the DFS decides, and the detail/counters differ even
+	// when the verdicts agree.
+	monitored := base
+	monitored.Engine = "monitor"
+	if cacheKey(h1, base) == cacheKey(h1, monitored) {
+		t.Error("engine must distinguish keys")
+	}
+	auto := base
+	auto.Engine = "auto"
+	if cacheKey(h1, monitored) == cacheKey(h1, auto) {
+		t.Error("distinct engines must yield distinct keys")
+	}
 }

@@ -56,7 +56,8 @@ func (s State) Terminal() bool { return s == StateDone || s == StateCanceled }
 // non-zero ones are clamped to the server's maxima, never raised.
 type Request struct {
 	// Spec names the specification: exchanger, elimarray, stack,
-	// central-stack, dual-stack, queue, syncqueue, register, snapshot.
+	// central-stack, dual-stack, queue, set, pqueue, syncqueue, register,
+	// snapshot.
 	Spec string `json:"spec"`
 	// Object is the object identifier the spec constrains (default "E").
 	Object string `json:"object,omitempty"`
@@ -64,6 +65,10 @@ type Request struct {
 	Threads int `json:"threads,omitempty"`
 	// Mode selects the property: cal (default), lin, setlin.
 	Mode string `json:"mode,omitempty"`
+	// Engine selects the checker's decision procedure: dfs (default),
+	// auto, monitor. Submit normalizes the empty string to "dfs", so the
+	// job document always records the effective engine.
+	Engine string `json:"engine,omitempty"`
 	// History is the line-oriented interchange format accepted by
 	// calcheck (inv/res lines).
 	History string `json:"history"`
@@ -162,6 +167,10 @@ func SpecByName(name, object string, threads int) (spec.Spec, error) {
 		return spec.NewDualStack(o), nil
 	case "queue":
 		return spec.NewQueue(o), nil
+	case "set":
+		return spec.NewSet(o), nil
+	case "pqueue":
+		return spec.NewPQueue(o), nil
 	case "syncqueue":
 		return spec.NewSyncQueue(o), nil
 	case "register":

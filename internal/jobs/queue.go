@@ -217,6 +217,13 @@ func (m *Manager) Submit(client string, req Request) (Job, error) {
 	if req.Object == "" {
 		req.Object = "E"
 	}
+	if req.Engine == "" {
+		req.Engine = check.EngineDFS.String()
+	}
+	if _, err := check.ParseEngine(req.Engine); err != nil {
+		m.cRejected.Inc()
+		return Job{}, &RequestError{err}
+	}
 	if _, err := SpecByName(req.Spec, req.Object, req.Threads); err != nil {
 		m.cRejected.Inc()
 		return Job{}, &RequestError{err}
@@ -557,6 +564,13 @@ func (m *Manager) decide(ctx context.Context, h history.History, req Request) (w
 	}
 	if req.Mode == "lin" {
 		opts = append(opts, check.WithElementCap(1))
+	}
+	if req.Engine != "" {
+		eng, perr := check.ParseEngine(req.Engine)
+		if perr != nil {
+			return "ERROR", perr.Error(), 0, 0, perr
+		}
+		opts = append(opts, check.WithEngine(eng))
 	}
 	c, err := check.NewChecker(sp, opts...)
 	if err != nil {

@@ -1,0 +1,140 @@
+package monitor_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/monitor"
+	"calgo/internal/spec"
+)
+
+// Cross-validation property test (the ISSUE's agreement pin): for every
+// object kind with a specialized monitor and thousands of generated
+// small histories — linearizable by construction, plus return-value
+// mutants that are usually not — the monitor and the DFS must agree:
+//
+//   - a definite monitor outcome (OK / Violation) must equal the DFS
+//     verdict (Sat / Unsat);
+//   - an auto-engine checker must return exactly the DFS verdict.
+//
+// On disagreement the history is printed in the interchange format so it
+// can be replayed with `calcheck -spec <kind> -engine dfs <file>`.
+
+const xobj = history.ObjectID("o")
+
+type crossKind struct {
+	name string
+	sp   spec.Spec
+	gen  func(n, threads int, seed int64, obj history.ObjectID) history.History
+}
+
+func crossKinds() []crossKind {
+	return []crossKind{
+		{"queue", spec.NewQueue(xobj), monitor.GenQueue},
+		{"stack", spec.Stack{Obj: xobj}, monitor.GenStack},
+		{"set", spec.NewSet(xobj), monitor.GenSet},
+		{"pqueue", spec.NewPQueue(xobj), monitor.GenPQueue},
+	}
+}
+
+// mutate returns a copy of h with one response value perturbed — the
+// cheapest way to manufacture histories that are ill-formed for the
+// object's semantics while staying well-formed as histories.
+func mutate(h history.History, rng *rand.Rand) history.History {
+	out := append(history.History(nil), h...)
+	// Collect response positions.
+	var resIdx []int
+	for i, e := range out {
+		if !e.IsInv() {
+			resIdx = append(resIdx, i)
+		}
+	}
+	if len(resIdx) == 0 {
+		return out
+	}
+	i := resIdx[rng.Intn(len(resIdx))]
+	e := out[i]
+	switch e.Ret.Kind {
+	case history.KindBool:
+		e.Ret = history.Bool(!e.Ret.B)
+	case history.KindPair:
+		switch rng.Intn(3) {
+		case 0:
+			e.Ret = history.Pair(!e.Ret.B, 0)
+		case 1:
+			e.Ret = history.Pair(true, e.Ret.N+1)
+		default:
+			e.Ret = history.Pair(e.Ret.B, rng.Int63n(8))
+		}
+	default:
+		return out
+	}
+	out[i] = e
+	return out
+}
+
+func TestMonitorDFSCrossValidation(t *testing.T) {
+	baseSeeds := 250
+	if testing.Short() {
+		baseSeeds = 40
+	}
+	ctx := context.Background()
+	for _, k := range crossKinds() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			dfs, err := check.NewChecker(k.sp)
+			if err != nil {
+				t.Fatalf("NewChecker(dfs): %v", err)
+			}
+			auto, err := check.NewChecker(k.sp, check.WithEngine(check.EngineAuto))
+			if err != nil {
+				t.Fatalf("NewChecker(auto): %v", err)
+			}
+			checked, monitorDecided := 0, 0
+			for seed := int64(0); seed < int64(baseSeeds); seed++ {
+				rng := rand.New(rand.NewSource(seed * 7919))
+				base := k.gen(3+int(seed)%10, 1+int(seed)%3, seed, xobj)
+				histories := []history.History{base, mutate(base, rng), mutate(base, rng)}
+				for _, h := range histories {
+					dres, err := dfs.Check(ctx, h)
+					if err != nil {
+						t.Fatalf("seed %d: dfs check: %v", seed, err)
+					}
+					if dres.Verdict == check.Unknown {
+						continue // out of budget; nothing to compare against
+					}
+					checked++
+					ares, err := auto.Check(ctx, h)
+					if err != nil {
+						t.Fatalf("seed %d: auto check: %v", seed, err)
+					}
+					if ares.Verdict != dres.Verdict {
+						t.Fatalf("seed %d: engine disagreement: auto=%s (engine %s) dfs=%s\nreplay with calcheck -engine dfs on:\n%s",
+							seed, ares.Verdict, ares.Engine, dres.Verdict, history.Format(h))
+					}
+					mres := monitor.Check(h, k.sp)
+					switch mres.Outcome {
+					case monitor.OK, monitor.Violation:
+						monitorDecided++
+						want := mres.Outcome == monitor.OK
+						if want != (dres.Verdict == check.Sat) {
+							t.Fatalf("seed %d: monitor disagreement: monitor=%s (%s) dfs=%s\nreplay with calcheck -engine dfs on:\n%s",
+								seed, mres.Outcome, mres.Reason, dres.Verdict, history.Format(h))
+						}
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatal("cross-validation compared zero histories")
+			}
+			if monitorDecided == 0 {
+				t.Fatal("monitor decided zero histories; the fast path is not being exercised")
+			}
+			t.Logf("%s: %d histories compared, %d decided by the monitor", k.name, checked, monitorDecided)
+		})
+	}
+}

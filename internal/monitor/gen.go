@@ -1,0 +1,194 @@
+package monitor
+
+import (
+	"math/rand"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// The generators below produce arbitrarily large histories that are
+// unambiguous (fresh values from a counter, so every value is inserted
+// at most once) and linearizable by construction: each operation is
+// applied to the sequential state at its invocation, i.e. it linearizes
+// immediately after its invocation event, while responses are delayed at
+// random across other threads' events to create genuine overlap. They
+// exist so monitor benchmarks and regression seeds don't depend on
+// having live concurrent objects to record.
+
+// generate interleaves nOps operations over the given number of threads.
+// next draws the following operation against the sequential state,
+// linearized at its invocation.
+func generate(nOps, threads int, seed int64, obj history.ObjectID,
+	next func(r *rand.Rand) (history.Method, history.Value, history.Value)) history.History {
+	if threads < 1 {
+		threads = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pend struct {
+		t history.ThreadID
+		e history.Event
+	}
+	free := make([]history.ThreadID, threads)
+	for i := range free {
+		free[i] = history.ThreadID(i + 1)
+	}
+	var busy []pend
+	h := make(history.History, 0, 2*nOps)
+	started := 0
+	for started < nOps || len(busy) > 0 {
+		startable := started < nOps && len(free) > 0
+		if startable && (len(busy) == 0 || rng.Float64() < 0.6) {
+			i := rng.Intn(len(free))
+			t := free[i]
+			free[i] = free[len(free)-1]
+			free = free[:len(free)-1]
+			m, arg, ret := next(rng)
+			h = append(h, history.Inv(t, obj, m, arg))
+			busy = append(busy, pend{t: t, e: history.Res(t, obj, m, ret)})
+			started++
+		} else {
+			i := rng.Intn(len(busy))
+			p := busy[i]
+			busy[i] = busy[len(busy)-1]
+			busy = busy[:len(busy)-1]
+			h = append(h, p.e)
+			free = append(free, p.t)
+		}
+	}
+	return h
+}
+
+// GenQueue generates a linearizable unambiguous FIFO-queue history with
+// nOps operations interleaved over the given number of threads.
+func GenQueue(nOps, threads int, seed int64, obj history.ObjectID) history.History {
+	var q []int64
+	var ctr int64
+	return generate(nOps, threads, seed, obj, func(r *rand.Rand) (history.Method, history.Value, history.Value) {
+		if len(q) == 0 {
+			if r.Float64() < 0.15 {
+				return spec.MethodDeq, history.Unit(), history.Pair(false, 0)
+			}
+		}
+		if len(q) == 0 || r.Float64() < 0.55 {
+			v := ctr
+			ctr++
+			q = append(q, v)
+			return spec.MethodEnq, history.Int(v), history.Bool(true)
+		}
+		v := q[0]
+		q = q[1:]
+		return spec.MethodDeq, history.Unit(), history.Pair(true, v)
+	})
+}
+
+// GenStack generates a linearizable unambiguous LIFO-stack history.
+func GenStack(nOps, threads int, seed int64, obj history.ObjectID) history.History {
+	var st []int64
+	var ctr int64
+	return generate(nOps, threads, seed, obj, func(r *rand.Rand) (history.Method, history.Value, history.Value) {
+		if len(st) == 0 {
+			if r.Float64() < 0.15 {
+				return spec.MethodPop, history.Unit(), history.Pair(false, 0)
+			}
+		}
+		if len(st) == 0 || r.Float64() < 0.55 {
+			v := ctr
+			ctr++
+			st = append(st, v)
+			return spec.MethodPush, history.Int(v), history.Bool(true)
+		}
+		v := st[len(st)-1]
+		st = st[:len(st)-1]
+		return spec.MethodPop, history.Unit(), history.Pair(true, v)
+	})
+}
+
+// GenSet generates a linearizable unambiguous set history: fresh values
+// are added (at most once each), removed at most once, and probed with
+// contains in both polarities.
+func GenSet(nOps, threads int, seed int64, obj history.ObjectID) history.History {
+	var present []int64
+	var ctr, never int64
+	return generate(nOps, threads, seed, obj, func(r *rand.Rand) (history.Method, history.Value, history.Value) {
+		p := r.Float64()
+		switch {
+		case p < 0.40 || len(present) == 0:
+			v := ctr
+			ctr++
+			present = append(present, v)
+			return spec.MethodAdd, history.Int(v), history.Bool(true)
+		case p < 0.60:
+			i := r.Intn(len(present))
+			v := present[i]
+			present[i] = present[len(present)-1]
+			present = present[:len(present)-1]
+			return spec.MethodRemove, history.Int(v), history.Bool(true)
+		case p < 0.70:
+			never++
+			return spec.MethodRemove, history.Int(-never), history.Bool(false)
+		case p < 0.85:
+			v := present[r.Intn(len(present))]
+			return spec.MethodContains, history.Int(v), history.Bool(true)
+		default:
+			never++
+			return spec.MethodContains, history.Int(-never), history.Bool(false)
+		}
+	})
+}
+
+// GenPQueue generates a linearizable unambiguous min-priority-queue
+// history with distinct random priorities.
+func GenPQueue(nOps, threads int, seed int64, obj history.ObjectID) history.History {
+	var heap []int64
+	var ctr int64
+	push := func(v int64) {
+		heap = append(heap, v)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() int64 {
+		v := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && heap[l] < heap[small] {
+				small = l
+			}
+			if r < len(heap) && heap[r] < heap[small] {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return v
+	}
+	return generate(nOps, threads, seed, obj, func(r *rand.Rand) (history.Method, history.Value, history.Value) {
+		if len(heap) == 0 {
+			if r.Float64() < 0.15 {
+				return spec.MethodExtractMin, history.Unit(), history.Pair(false, 0)
+			}
+		}
+		if len(heap) == 0 || r.Float64() < 0.55 {
+			// Random high bits keep extraction order scrambled; the low
+			// bits carry the counter so priorities stay distinct.
+			v := r.Int63n(1<<30)<<21 | ctr
+			ctr++
+			push(v)
+			return spec.MethodInsert, history.Int(v), history.Bool(true)
+		}
+		return spec.MethodExtractMin, history.Unit(), history.Pair(true, pop())
+	})
+}

@@ -1,0 +1,223 @@
+package monitor
+
+import (
+	"sort"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// queueVal collects the matched enqueue/dequeue pair (or lone enqueue) of
+// one value. Index fields are event indices in the history; an op with
+// invocation index a and response index b linearizes at some real point in
+// the open interval (a, b).
+type queueVal struct {
+	v          int64
+	eInv, eRes int // enqueue window
+	dInv, dRes int // dequeue window (valid iff dequeued)
+	dequeued   bool
+}
+
+// checkQueue decides linearizability of a complete unambiguous FIFO-queue
+// history in O(n log n) by checking the bad patterns Q0–Q4:
+//
+//	Q0  a value is dequeued but never enqueued;
+//	Q1  a value is dequeued entirely before its enqueue (eInv > dRes);
+//	Q2  FIFO inversion: u is enqueued strictly before v (eRes_u ≤ eInv_v)
+//	    yet v is dequeued strictly before u's dequeue completes
+//	    (dRes_v ≤ dInv_u) — no linearization can order both pairs;
+//	Q3  a dequeued value is enqueued strictly after some never-dequeued
+//	    value's enqueue completes — FIFO forces the unmatched value out
+//	    first, but it is never dequeued;
+//	Q4  an empty-dequeue window is covered by the merged closed cores
+//	    [eRes, dInv] of values surely present throughout it.
+//
+// A history with none of these patterns is linearizable (completeness of
+// the pattern set for unambiguous queue histories; cf. Bouajjani–Emmi–
+// Enea–Hamza and Lee–Mathur).
+func checkQueue(ops []history.Op) Result {
+	vals := make(map[int64]*queueVal, len(ops)/2)
+	var empties []history.Op // deq ▷ (false,0)
+	for i := range ops {
+		op := &ops[i]
+		switch op.Method {
+		case spec.MethodEnq:
+			if op.Arg.Kind != history.KindInt || op.Ret.Kind != history.KindBool || !op.Ret.B {
+				return ineligible(KindQueue, ops, "enq at inv=%d is not int ▷ true", op.InvIndex)
+			}
+			v := op.Arg.N
+			if _, dup := vals[v]; dup {
+				return ineligible(KindQueue, ops, "value %d enqueued more than once (ambiguous history)", v)
+			}
+			vals[v] = &queueVal{v: v, eInv: op.InvIndex, eRes: op.ResIndex, dInv: -1, dRes: -1}
+		case spec.MethodDeq:
+			if op.Arg.Kind != history.KindUnit || op.Ret.Kind != history.KindPair {
+				return ineligible(KindQueue, ops, "deq at inv=%d is not () ▷ (bool,int)", op.InvIndex)
+			}
+			if !op.Ret.B {
+				if op.Ret.N != 0 {
+					return violation(KindQueue, ops, "failed deq at inv=%d returns (false,%d); the spec admits only (false,0)", op.InvIndex, op.Ret.N)
+				}
+				empties = append(empties, *op)
+				continue
+			}
+			// Dequeues of v may precede v's enqueue in invocation order,
+			// so record them in a second pass below.
+		default:
+			return ineligible(KindQueue, ops, "unknown queue method %s", op.Method)
+		}
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Method != spec.MethodDeq || !op.Ret.B {
+			continue
+		}
+		v := op.Ret.N
+		qv, enqueued := vals[v]
+		if !enqueued {
+			return violation(KindQueue, ops, "Q0: deq ▷ %d at inv=%d but %d is never enqueued", v, op.InvIndex, v)
+		}
+		if qv.dequeued {
+			return ineligible(KindQueue, ops, "value %d dequeued more than once (ambiguous history)", v)
+		}
+		qv.dequeued = true
+		qv.dInv, qv.dRes = op.InvIndex, op.ResIndex
+		if qv.eInv > op.ResIndex {
+			return violation(KindQueue, ops,
+				"Q1: deq ▷ %d completes at %d before enq(%d) is invoked at %d", v, op.ResIndex, v, qv.eInv)
+		}
+	}
+
+	matched := make([]*queueVal, 0, len(vals))
+	minUnmatchedERes := -1
+	for _, qv := range vals {
+		if qv.dequeued {
+			matched = append(matched, qv)
+		} else if minUnmatchedERes < 0 || qv.eRes < minUnmatchedERes {
+			minUnmatchedERes = qv.eRes
+		}
+	}
+
+	// Q3: an unmatched value whose enqueue completes at B must be dequeued
+	// before any value enqueued strictly after B — but it never is.
+	if minUnmatchedERes >= 0 {
+		for _, qv := range matched {
+			if qv.eInv > minUnmatchedERes {
+				return violation(KindQueue, ops,
+					"Q3: value %d enqueued after an unmatched value's enqueue completed at %d, yet %d is dequeued",
+					qv.v, minUnmatchedERes, qv.v)
+			}
+		}
+	}
+
+	// Q2 sweep: sort candidates u by eRes; walk v in eInv order keeping the
+	// running max of dInv over every u with eRes_u ≤ eInv_v. A FIFO
+	// inversion exists iff that max reaches dRes_v for some v.
+	if len(matched) > 1 {
+		byERes := make([]*queueVal, len(matched))
+		copy(byERes, matched)
+		sort.Slice(byERes, func(i, j int) bool { return byERes[i].eRes < byERes[j].eRes })
+		byEInv := make([]*queueVal, len(matched))
+		copy(byEInv, matched)
+		sort.Slice(byEInv, func(i, j int) bool { return byEInv[i].eInv < byEInv[j].eInv })
+		i, maxDInv := 0, -1
+		var maxU *queueVal
+		for _, v := range byEInv {
+			for i < len(byERes) && byERes[i].eRes <= v.eInv {
+				if byERes[i].dInv > maxDInv {
+					maxDInv, maxU = byERes[i].dInv, byERes[i]
+				}
+				i++
+			}
+			if maxU != nil && maxU != v && v.dRes <= maxDInv {
+				return violation(KindQueue, ops,
+					"Q2: FIFO inversion — enq(%d) completes at %d before enq(%d) starts at %d, but deq ▷ %d completes at %d before deq ▷ %d starts at %d",
+					maxU.v, maxU.eRes, v.v, v.eInv, v.v, v.dRes, maxU.v, maxU.dInv)
+			}
+		}
+	}
+
+	// Q4: empty-dequeue coverage. Value v is surely present throughout the
+	// CLOSED interval [eRes_v, dInv_v] (its real insertion point precedes
+	// eRes and its real removal point follows dInv); unmatched values are
+	// present on [eRes_v, ∞). Merge the closed cores (touching cores chain:
+	// next.s ≤ cur.e) and reject an empty deq with window (x, y) iff one
+	// merged core [s, e] has s ≤ x and y ≤ e — then every real point in
+	// (x, y) sees a nonempty queue.
+	if len(empties) > 0 {
+		if r, bad := coveredEmpty(empties, coreIntervals(vals)); bad {
+			return r.into(KindQueue, ops, "deq")
+		}
+	}
+
+	return Result{Kind: KindQueue, Outcome: OK, Ops: ops}
+}
+
+// core is a closed interval [s, e] during which a value is surely present.
+type core struct {
+	s, e int
+	v    int64
+}
+
+// coreIntervals builds the closed sure-presence cores of a queue history:
+// [eRes, dInv] for matched values (nonempty iff eRes < dInv, since the
+// window endpoints themselves are excluded from real presence only
+// strictly), [eRes, maxInt] for unmatched values.
+func coreIntervals(vals map[int64]*queueVal) []core {
+	const inf = int(^uint(0) >> 1)
+	cores := make([]core, 0, len(vals))
+	for _, qv := range vals {
+		if !qv.dequeued {
+			cores = append(cores, core{s: qv.eRes, e: inf, v: qv.v})
+			continue
+		}
+		if qv.eRes < qv.dInv {
+			cores = append(cores, core{s: qv.eRes, e: qv.dInv, v: qv.v})
+		}
+	}
+	return cores
+}
+
+type emptyViolation struct {
+	inv, res int
+	s, e     int
+}
+
+func (ev emptyViolation) into(k Kind, ops []history.Op, method string) Result {
+	return violation(k, ops,
+		"Q4: empty %s with window (%d, %d) is covered by sure-presence core [%d, %d] — the object is never empty there",
+		method, ev.inv, ev.res, ev.s, ev.e)
+}
+
+// coveredEmpty merges the closed cores and reports the first empty-result
+// operation whose open window (InvIndex, ResIndex) is fully covered by a
+// single merged core.
+func coveredEmpty(empties []history.Op, cores []core) (emptyViolation, bool) {
+	if len(cores) == 0 {
+		return emptyViolation{}, false
+	}
+	sort.Slice(cores, func(i, j int) bool { return cores[i].s < cores[j].s })
+	merged := cores[:1]
+	for _, c := range cores[1:] {
+		last := &merged[len(merged)-1]
+		if c.s <= last.e {
+			if c.e > last.e {
+				last.e = c.e
+			}
+			continue
+		}
+		merged = append(merged, c)
+	}
+	starts := make([]int, len(merged))
+	for i, c := range merged {
+		starts[i] = c.s
+	}
+	for _, op := range empties {
+		// Find the last merged core starting at or before the window start.
+		idx := sort.SearchInts(starts, op.InvIndex+1) - 1
+		if idx >= 0 && op.ResIndex <= merged[idx].e {
+			return emptyViolation{inv: op.InvIndex, res: op.ResIndex, s: merged[idx].s, e: merged[idx].e}, true
+		}
+	}
+	return emptyViolation{}, false
+}

@@ -1,0 +1,171 @@
+package monitor
+
+// maxSeg is a fixed-size segment tree over integer positions holding one
+// value per position (-1 = absent), supporting point assignment and
+// "find any position in [0, hi] / [lo, n) whose value is ≥ threshold".
+// Used by the stack monitor's forced-below repairs and the S3 sweep.
+type maxSeg struct {
+	n    int
+	tree []int
+}
+
+func newMaxSeg(n int) *maxSeg {
+	if n < 1 {
+		n = 1
+	}
+	sz := 1
+	for sz < n {
+		sz <<= 1
+	}
+	t := &maxSeg{n: sz, tree: make([]int, 2*sz)}
+	for i := range t.tree {
+		t.tree[i] = -1
+	}
+	return t
+}
+
+func (t *maxSeg) update(pos, val int) {
+	i := pos + t.n
+	t.tree[i] = val
+	for i >>= 1; i >= 1; i >>= 1 {
+		l, r := t.tree[2*i], t.tree[2*i+1]
+		if l > r {
+			t.tree[i] = l
+		} else {
+			t.tree[i] = r
+		}
+	}
+}
+
+// findPrefixGE returns any position ≤ hi with value ≥ threshold, or -1.
+func (t *maxSeg) findPrefixGE(hi, threshold int) int {
+	if hi >= t.n {
+		hi = t.n - 1
+	}
+	if hi < 0 {
+		return -1
+	}
+	return t.find(1, 0, t.n-1, 0, hi, threshold)
+}
+
+// findSuffixGE returns any position ≥ lo with value ≥ threshold, or -1.
+func (t *maxSeg) findSuffixGE(lo, threshold int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= t.n {
+		return -1
+	}
+	return t.find(1, 0, t.n-1, lo, t.n-1, threshold)
+}
+
+func (t *maxSeg) find(node, nodeLo, nodeHi, lo, hi, threshold int) int {
+	if hi < nodeLo || nodeHi < lo || t.tree[node] < threshold {
+		return -1
+	}
+	if nodeLo == nodeHi {
+		return nodeLo
+	}
+	mid := (nodeLo + nodeHi) / 2
+	if p := t.find(2*node, nodeLo, mid, lo, hi, threshold); p >= 0 {
+		return p
+	}
+	return t.find(2*node+1, mid+1, nodeHi, lo, hi, threshold)
+}
+
+// coverSeg is a fixed-size segment tree with lazy range-add and range-min
+// over counts, used by the priority-queue monitor to ask whether an open
+// window is fully covered (min count ≥ 1) by a union of closed cores.
+// Positions use doubled coordinates: position 2i is the integer event
+// index i, position 2i+1 the open real gap (i, i+1).
+type coverSeg struct {
+	n         int
+	min, lazy []int
+}
+
+func newCoverSeg(n int) *coverSeg {
+	if n < 1 {
+		n = 1
+	}
+	sz := 1
+	for sz < n {
+		sz <<= 1
+	}
+	return &coverSeg{n: sz, min: make([]int, 2*sz), lazy: make([]int, 2*sz)}
+}
+
+func (t *coverSeg) push(node int) {
+	if l := t.lazy[node]; l != 0 {
+		for _, ch := range [2]int{2 * node, 2*node + 1} {
+			t.min[ch] += l
+			t.lazy[ch] += l
+		}
+		t.lazy[node] = 0
+	}
+}
+
+// add increments every position in [lo, hi] by delta.
+func (t *coverSeg) add(lo, hi, delta int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= t.n {
+		hi = t.n - 1
+	}
+	if lo > hi {
+		return
+	}
+	t.rangeAdd(1, 0, t.n-1, lo, hi, delta)
+}
+
+func (t *coverSeg) rangeAdd(node, nodeLo, nodeHi, lo, hi, delta int) {
+	if hi < nodeLo || nodeHi < lo {
+		return
+	}
+	if lo <= nodeLo && nodeHi <= hi {
+		t.min[node] += delta
+		t.lazy[node] += delta
+		return
+	}
+	t.push(node)
+	mid := (nodeLo + nodeHi) / 2
+	t.rangeAdd(2*node, nodeLo, mid, lo, hi, delta)
+	t.rangeAdd(2*node+1, mid+1, nodeHi, lo, hi, delta)
+	if t.min[2*node] < t.min[2*node+1] {
+		t.min[node] = t.min[2*node]
+	} else {
+		t.min[node] = t.min[2*node+1]
+	}
+}
+
+// rangeMin returns the minimum count over [lo, hi].
+func (t *coverSeg) rangeMin(lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= t.n {
+		hi = t.n - 1
+	}
+	if lo > hi {
+		return int(^uint(0) >> 1)
+	}
+	return t.queryMin(1, 0, t.n-1, lo, hi)
+}
+
+func (t *coverSeg) queryMin(node, nodeLo, nodeHi, lo, hi int) int {
+	if lo <= nodeLo && nodeHi <= hi {
+		return t.min[node]
+	}
+	t.push(node)
+	mid := (nodeLo + nodeHi) / 2
+	res := int(^uint(0) >> 1)
+	if lo <= mid {
+		res = t.queryMin(2*node, nodeLo, mid, lo, hi)
+	}
+	if hi > mid {
+		if r := t.queryMin(2*node+1, mid+1, nodeHi, lo, hi); r < res {
+			res = r
+		}
+	}
+	return res
+}

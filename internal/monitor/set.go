@@ -1,0 +1,210 @@
+package monitor
+
+import (
+	"sort"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// setVal collects one value's operations. In the unambiguous fragment a
+// value has at most one add and at most one remove (any number of
+// contains), so its presence is a single real interval (α, ρ) and each
+// value can be decided independently of all others.
+type setVal struct {
+	v            int64
+	add, remove  *history.Op
+	containsTrue []history.Op
+	containsF    []history.Op
+}
+
+// checkSet decides linearizability of a complete unambiguous set history
+// in O(n log n). Values are independent: contains(v)/remove(v) observe
+// only v, and real-time constraints are fully captured by the operations'
+// windows, so the history is linearizable iff every value's constraint
+// system over its add point α and remove point ρ is feasible:
+//
+//   - no add: every true observation of v (contains ▷ true, remove ▷
+//     true) and add ▷ false is a violation;
+//   - add ▷ false with a single add is a violation (v is never present
+//     before its only add);
+//   - add ▷ true, no successful remove: presence is (α, ∞); feasible iff
+//     some α in the add window lies after every false observer's
+//     invocation and before every true observer's response;
+//   - add ▷ true and remove ▷ true: presence is (α, ρ); true observers
+//     bound α < minTrueRes and ρ > maxTrueInv, each false observer needs
+//     a point before α or after ρ — a disjunction solved exactly by
+//     sweeping candidate α breakpoints against the suffix-minimum of
+//     false observers' response indices.
+func checkSet(ops []history.Op) Result {
+	vals := make(map[int64]*setVal, len(ops)/2)
+	get := func(v int64) *setVal {
+		sv := vals[v]
+		if sv == nil {
+			sv = &setVal{v: v}
+			vals[v] = sv
+		}
+		return sv
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Arg.Kind != history.KindInt || op.Ret.Kind != history.KindBool {
+			return ineligible(KindSet, ops, "%s at inv=%d is not int ▷ bool", op.Method, op.InvIndex)
+		}
+		v := op.Arg.N
+		switch op.Method {
+		case spec.MethodAdd:
+			sv := get(v)
+			if sv.add != nil {
+				return ineligible(KindSet, ops, "value %d added more than once (ambiguous history)", v)
+			}
+			sv.add = op
+		case spec.MethodRemove:
+			sv := get(v)
+			if sv.remove != nil {
+				return ineligible(KindSet, ops, "value %d removed more than once (ambiguous history)", v)
+			}
+			sv.remove = op
+		case spec.MethodContains:
+			sv := get(v)
+			if op.Ret.B {
+				sv.containsTrue = append(sv.containsTrue, *op)
+			} else {
+				sv.containsF = append(sv.containsF, *op)
+			}
+		default:
+			return ineligible(KindSet, ops, "unknown set method %s", op.Method)
+		}
+	}
+
+	for _, sv := range vals {
+		if r, bad := checkSetValue(ops, sv); bad {
+			return r
+		}
+	}
+	return Result{Kind: KindSet, Outcome: OK, Ops: ops}
+}
+
+func checkSetValue(ops []history.Op, sv *setVal) (Result, bool) {
+	v := sv.v
+	if sv.add == nil {
+		if len(sv.containsTrue) > 0 {
+			return violation(KindSet, ops, "contains(%d) ▷ true at inv=%d but %d is never added",
+				v, sv.containsTrue[0].InvIndex, v), true
+		}
+		if sv.remove != nil && sv.remove.Ret.B {
+			return violation(KindSet, ops, "remove(%d) ▷ true at inv=%d but %d is never added",
+				v, sv.remove.InvIndex, v), true
+		}
+		return Result{}, false
+	}
+	if !sv.add.Ret.B {
+		return violation(KindSet, ops, "add(%d) ▷ false at inv=%d but %d has no other add",
+			v, sv.add.InvIndex, v), true
+	}
+
+	aInv, aRes := sv.add.InvIndex, sv.add.ResIndex
+	minTrueRes, maxTrueInv := infIdx, -1
+	for i := range sv.containsTrue {
+		if sv.containsTrue[i].ResIndex < minTrueRes {
+			minTrueRes = sv.containsTrue[i].ResIndex
+		}
+		if sv.containsTrue[i].InvIndex > maxTrueInv {
+			maxTrueInv = sv.containsTrue[i].InvIndex
+		}
+	}
+
+	if sv.remove == nil || !sv.remove.Ret.B {
+		// Presence (α, ∞): false observers (contains ▷ false, and a
+		// failed remove) need points before α, true observers after.
+		maxFalseInv := -1
+		for i := range sv.containsF {
+			if sv.containsF[i].InvIndex > maxFalseInv {
+				maxFalseInv = sv.containsF[i].InvIndex
+			}
+		}
+		if sv.remove != nil && sv.remove.InvIndex > maxFalseInv {
+			maxFalseInv = sv.remove.InvIndex
+		}
+		lo, hi := aInv, aRes
+		if maxFalseInv > lo {
+			lo = maxFalseInv
+		}
+		if minTrueRes < hi {
+			hi = minTrueRes
+		}
+		if lo >= hi {
+			return violation(KindSet, ops,
+				"no feasible add point for %d: every α in (%d, %d) sits before a false observer's invocation or after a true observer's response",
+				v, aInv, aRes), true
+		}
+		return Result{}, false
+	}
+
+	// add ▷ true and remove ▷ true: presence (α, ρ).
+	rInv, rRes := sv.remove.InvIndex, sv.remove.ResIndex
+	lAlpha, uAlpha := aInv, aRes
+	if minTrueRes < uAlpha {
+		uAlpha = minTrueRes
+	}
+	lRho, uRho := rInv, rRes
+	if maxTrueInv > lRho {
+		lRho = maxTrueInv
+	}
+	if setFeasibleRemoved(lAlpha, uAlpha, lRho, uRho, sv.containsF) {
+		return Result{}, false
+	}
+	return violation(KindSet, ops,
+		"no feasible add/remove points for %d: add window (%d, %d), remove window (%d, %d) and its observers admit no presence interval",
+		v, aInv, aRes, rInv, rRes), true
+}
+
+// setFeasibleRemoved decides ∃ α ∈ (lAlpha, uAlpha), ρ ∈ (lRho, uRho)
+// with α < ρ such that every false observer has a point before α or
+// after ρ. Raising α past a false observer's invocation satisfies it on
+// the left but never loosens the others, so only breakpoint candidates
+// for α matter: just above lAlpha and just above each false invocation
+// inside the α range. For a candidate just above t, the observers left
+// unsatisfied are those invoked after t, and they force ρ below the
+// suffix-minimum of their responses.
+func setFeasibleRemoved(lAlpha, uAlpha, lRho, uRho int, falseObs []history.Op) bool {
+	if lAlpha >= uAlpha || lRho >= uRho {
+		return false
+	}
+	xs := make([]int, len(falseObs))
+	for i := range falseObs {
+		xs[i] = i
+	}
+	sort.Slice(xs, func(i, j int) bool { return falseObs[xs[i]].InvIndex < falseObs[xs[j]].InvIndex })
+	// suffMinY[i] = min response over sorted false observers i..end.
+	suffMinY := make([]int, len(xs)+1)
+	suffMinY[len(xs)] = infIdx
+	for i := len(xs) - 1; i >= 0; i-- {
+		suffMinY[i] = falseObs[xs[i]].ResIndex
+		if suffMinY[i+1] < suffMinY[i] {
+			suffMinY[i] = suffMinY[i+1]
+		}
+	}
+	try := func(t int) bool {
+		// α = t + ε. Unsatisfied false observers: invocation > t.
+		i := sort.Search(len(xs), func(k int) bool { return falseObs[xs[k]].InvIndex > t })
+		rhoLo, rhoHi := lRho, uRho
+		if t > rhoLo {
+			rhoLo = t
+		}
+		if suffMinY[i] < rhoHi {
+			rhoHi = suffMinY[i]
+		}
+		return rhoLo < rhoHi
+	}
+	if try(lAlpha) {
+		return true
+	}
+	for _, k := range xs {
+		x := falseObs[k].InvIndex
+		if x > lAlpha && x < uAlpha && try(x) {
+			return true
+		}
+	}
+	return false
+}

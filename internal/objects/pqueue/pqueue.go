@@ -1,0 +1,150 @@
+// Package pqueue implements a mutex-guarded binary min-heap. It is the
+// priority-queue counterpart of the msqueue/treiber substrates: a
+// classically linearizable object whose concurrent histories exercise the
+// pqueue spec and the log-linear specialized monitor
+// (calgo/internal/monitor) end to end.
+//
+// When instrumented, the heap logs singleton CA-elements at its
+// linearization points, which are simply the heap mutations under the
+// lock: the sift-up completing an insert, the root removal completing an
+// extract-min, and the emptiness observation for a failed extract-min.
+package pqueue
+
+import (
+	"sync"
+
+	"calgo/internal/chaos"
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+// Heap is a mutex-guarded binary min-heap of int64 values.
+type Heap struct {
+	id  history.ObjectID
+	mu  sync.Mutex
+	a   []int64
+	rec *recorder.Recorder
+	inj *chaos.Injector
+}
+
+// Option configures a Heap.
+type Option func(*Heap)
+
+// WithRecorder enables CA-trace instrumentation.
+func WithRecorder(r *recorder.Recorder) Option {
+	return func(h *Heap) { h.rec = r }
+}
+
+// WithChaos threads fault-injection pause points around the critical
+// section; a coarse-grained lock has no retry loops to perturb, so chaos
+// here only stretches operation windows.
+func WithChaos(in *chaos.Injector) Option {
+	return func(h *Heap) { h.inj = in }
+}
+
+// New returns an empty heap identified as object id.
+func New(id history.ObjectID, opts ...Option) *Heap {
+	h := &Heap{id: id}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// ID returns the heap's object identifier.
+func (h *Heap) ID() history.ObjectID { return h.id }
+
+// Insert adds v on behalf of thread tid.
+func (h *Heap) Insert(tid history.ThreadID, v int64) {
+	h.inj.Pause(tid, "pqueue.insert.pre-lock")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.logged(func() {
+		h.a = append(h.a, v)
+		h.siftUp(len(h.a) - 1)
+	}, trace.Singleton(trace.Operation{
+		Thread: tid, Object: h.id, Method: spec.MethodInsert,
+		Arg: history.Int(v), Ret: history.Bool(true),
+	}))
+}
+
+// ExtractMin removes and returns the minimum, or (false, 0) when the heap
+// is empty.
+func (h *Heap) ExtractMin(tid history.ThreadID) (bool, int64) {
+	h.inj.Pause(tid, "pqueue.extractmin.pre-lock")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.a) == 0 {
+		h.logged(func() {}, trace.Singleton(trace.Operation{
+			Thread: tid, Object: h.id, Method: spec.MethodExtractMin,
+			Arg: history.Unit(), Ret: history.Pair(false, 0),
+		}))
+		return false, 0
+	}
+	min := h.a[0]
+	h.logged(func() {
+		last := len(h.a) - 1
+		h.a[0] = h.a[last]
+		h.a = h.a[:last]
+		if last > 0 {
+			h.siftDown(0)
+		}
+	}, trace.Singleton(trace.Operation{
+		Thread: tid, Object: h.id, Method: spec.MethodExtractMin,
+		Arg: history.Unit(), Ret: history.Pair(true, min),
+	}))
+	return true, min
+}
+
+// Len reports the number of stored values; a test helper, not
+// linearizable under concurrent mutation.
+func (h *Heap) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.a)
+}
+
+// logged runs the heap mutation, logging el at the linearization point
+// when a recorder is attached. The heap lock is already held, so the
+// recorder's atomic step and the mutation coincide.
+func (h *Heap) logged(mutate func(), el trace.Element) {
+	if h.rec == nil {
+		mutate()
+		return
+	}
+	h.rec.Do(func(log func(trace.Element)) {
+		mutate()
+		log(el)
+	})
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			return
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && h.a[l] < h.a[m] {
+			m = l
+		}
+		if r < n && h.a[r] < h.a[m] {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+}

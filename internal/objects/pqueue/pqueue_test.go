@@ -1,0 +1,145 @@
+package pqueue
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"calgo/internal/check"
+	"calgo/internal/history"
+	"calgo/internal/recorder"
+	"calgo/internal/spec"
+	"calgo/internal/trace"
+)
+
+const objP history.ObjectID = "P"
+
+func TestSequentialMinHeap(t *testing.T) {
+	h := New(objP)
+	if ok, _ := h.ExtractMin(1); ok {
+		t.Error("extractmin on empty must fail")
+	}
+	for _, v := range []int64{5, 1, 4, 2, 3} {
+		h.Insert(1, v)
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for _, want := range []int64{1, 2, 3, 4, 5} {
+		ok, v := h.ExtractMin(1)
+		if !ok || v != want {
+			t.Fatalf("ExtractMin = (%v,%d), want (true,%d)", ok, v, want)
+		}
+	}
+	if ok, _ := h.ExtractMin(1); ok {
+		t.Error("drained heap must be empty")
+	}
+}
+
+func TestInstrumentedTraceMatchesPQueueSpec(t *testing.T) {
+	rec := recorder.New()
+	h := New(objP, WithRecorder(rec))
+	h.Insert(1, 9)
+	h.Insert(1, 3)
+	h.ExtractMin(2)
+	h.ExtractMin(2)
+	h.ExtractMin(2) // empty
+	tr := rec.View(objP)
+	if len(tr) != 5 {
+		t.Fatalf("trace = %s", tr)
+	}
+	if _, err := spec.Accepts(spec.NewPQueue(objP), tr); err != nil {
+		t.Fatalf("trace not admitted: %v", err)
+	}
+}
+
+func TestConcurrentStressNoLossNoDup(t *testing.T) {
+	h := New(objP)
+	const workers = 8
+	const per = 400
+	var wg sync.WaitGroup
+	var extracted sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				h.Insert(tid, int64(w*100_000+i))
+				if ok, v := h.ExtractMin(tid); ok {
+					if _, dup := extracted.LoadOrStore(v, true); dup {
+						t.Errorf("value %d extracted twice", v)
+					}
+				} else {
+					t.Error("extractmin failed with a value pending per worker")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() != 0 {
+		t.Errorf("heap should be empty, has %d", h.Len())
+	}
+}
+
+// TestRuntimeVerificationLinearizable cross-validates the checker on the
+// heap's concurrent histories — with the auto engine, so eligible runs
+// exercise the specialized pqueue monitor against a real object.
+func TestRuntimeVerificationLinearizable(t *testing.T) {
+	rec := recorder.New()
+	h := New(objP, WithRecorder(rec))
+	var cap history.Capture
+	rng := rand.New(rand.NewSource(1))
+	vals := rng.Perm(100)
+
+	const workers = 4
+	const per = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tid := history.ThreadID(w + 1)
+			for i := 0; i < per; i++ {
+				if i%2 == 0 {
+					v := int64(vals[w*per+i] + 1)
+					cap.Inv(tid, objP, spec.MethodInsert, history.Int(v))
+					h.Insert(tid, v)
+					cap.Res(tid, objP, spec.MethodInsert, history.Bool(true))
+				} else {
+					cap.Inv(tid, objP, spec.MethodExtractMin, history.Unit())
+					ok, got := h.ExtractMin(tid)
+					cap.Res(tid, objP, spec.MethodExtractMin, history.Pair(ok, got))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hist := cap.History()
+	tr := rec.View(objP)
+	if _, err := spec.Accepts(spec.NewPQueue(objP), tr); err != nil {
+		t.Fatalf("recorded trace violates pqueue spec: %v", err)
+	}
+	if err := trace.Agrees(hist, tr); err != nil {
+		t.Fatalf("history does not agree with recorded trace: %v", err)
+	}
+	c, err := check.NewChecker(spec.NewPQueue(objP), check.WithEngine(check.EngineAuto))
+	if err != nil {
+		t.Fatalf("NewChecker: %v", err)
+	}
+	res, err := c.Check(context.Background(), hist)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Verdict != check.Sat {
+		t.Fatalf("heap history not linearizable (engine %s): %s", res.Engine, res.Reason)
+	}
+}
+
+func TestID(t *testing.T) {
+	if New("X").ID() != "X" {
+		t.Error("ID mismatch")
+	}
+}

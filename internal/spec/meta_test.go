@@ -32,6 +32,10 @@ func TestSpecMetaContract(t *testing.T) {
 		{NewRegister("R"), "R", "register", 1, trace.Singleton(trace.Operation{
 			Thread: 1, Object: "R", Method: MethodWrite, Arg: history.Int(1), Ret: history.Unit()})},
 		{NewSnapshot("IS", 3), "IS", "snapshot", 3, BlockElement("IS", 0, [2]int64{1, 5})},
+		{NewSet("ST"), "ST", "set", 1, trace.Singleton(trace.Operation{
+			Thread: 1, Object: "ST", Method: MethodAdd, Arg: history.Int(1), Ret: history.Bool(true)})},
+		{NewPQueue("PQ"), "PQ", "pqueue", 1, trace.Singleton(trace.Operation{
+			Thread: 1, Object: "PQ", Method: MethodInsert, Arg: history.Int(1), Ret: history.Bool(true)})},
 	}
 	for _, tt := range specs {
 		t.Run(tt.sp.Name(), func(t *testing.T) {
@@ -83,6 +87,10 @@ func TestStatefulSpecsRejectForeignStates(t *testing.T) {
 			Thread: 1, Object: "R", Method: MethodRead, Arg: history.Unit(), Ret: history.Int(0)})},
 		{"snapshot", NewSnapshot("IS", 2), BlockElement("IS", 0, [2]int64{1, 1})},
 		{"product", MustProduct(NewStack("S")), PushElement("S", 1, 1, true)},
+		{"set", NewSet("ST"), trace.Singleton(trace.Operation{
+			Thread: 1, Object: "ST", Method: MethodContains, Arg: history.Int(1), Ret: history.Bool(false)})},
+		{"pqueue", NewPQueue("PQ"), trace.Singleton(trace.Operation{
+			Thread: 1, Object: "PQ", Method: MethodInsert, Arg: history.Int(1), Ret: history.Bool(true)})},
 	}
 	for _, tt := range cases {
 		t.Run(tt.name, func(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"calgo/internal/objects/elimstack"
 	"calgo/internal/objects/exchanger"
 	"calgo/internal/objects/msqueue"
+	"calgo/internal/objects/pqueue"
 	"calgo/internal/objects/snapshot"
 	"calgo/internal/objects/syncqueue"
 	"calgo/internal/objects/treiber"
@@ -49,6 +50,9 @@ type (
 	// MSQueue is the Michael-Scott lock-free FIFO queue, a classically
 	// linearizable substrate.
 	MSQueue = msqueue.Queue
+	// PQueueHeap is the mutex-guarded binary min-heap, the priority-queue
+	// substrate behind the specialized-monitor benchmarks.
+	PQueueHeap = pqueue.Heap
 	// ImmediateSnapshot is the one-shot immediate atomic snapshot object
 	// of Borowsky and Gafni (Neiger's set-linearizability example, §6).
 	ImmediateSnapshot = snapshot.Snapshot
@@ -139,6 +143,11 @@ var (
 	// MSQueueWithRecorder instruments the queue.
 	MSQueueWithRecorder = msqueue.WithRecorder
 
+	// NewPQueueHeap returns a mutex-guarded binary min-heap.
+	NewPQueueHeap = pqueue.New
+	// PQueueHeapWithRecorder instruments the heap.
+	PQueueHeapWithRecorder = pqueue.WithRecorder
+
 	// NewImmediateSnapshot returns a one-shot immediate snapshot object
 	// for n participants.
 	NewImmediateSnapshot = snapshot.New
@@ -184,6 +193,8 @@ var (
 	SyncQueueWithChaos = syncqueue.WithChaos
 	// MSQueueWithChaos threads fault injection through the queue.
 	MSQueueWithChaos = msqueue.WithChaos
+	// PQueueHeapWithChaos stretches the heap's operation windows.
+	PQueueHeapWithChaos = pqueue.WithChaos
 	// DualQueueWithChaos threads fault injection through the dual queue.
 	DualQueueWithChaos = dualqueue.WithChaos
 	// DualStackWithChaos threads fault injection through the dual stack.
@@ -209,4 +220,7 @@ const (
 	MethodRead     = "read"
 	MethodWrite    = "write"
 	MethodUpdate   = "update"
+
+	MethodInsert     = "insert"
+	MethodExtractMin = "extractmin"
 )

@@ -123,6 +123,17 @@ func WithCompleteOnly() Option {
 	return Option{name: "WithCompleteOnly", check: check.WithCompleteOnly()}
 }
 
+// WithEngine selects the checker's decision procedure: EngineDFS (the
+// default) always runs the memoized search, EngineAuto routes eligible
+// unambiguous collection histories to the O(n log n) specialized
+// monitors with DFS fallback, EngineMonitor forces the monitor and
+// yields VerdictUnknown (cause ErrMonitorIneligible) when it cannot
+// decide. Verdicts never depend on the engine; only cost and the
+// presence of a witness trace do.
+func WithEngine(e Engine) Option {
+	return Option{name: "WithEngine", check: check.WithEngine(e)}
+}
+
 // WithWorkers is the former name of WithParallelism.
 //
 // Deprecated: use WithParallelism, which also applies to the explorer.
