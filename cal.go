@@ -51,6 +51,8 @@ type (
 	Method = history.Method
 	// Value is an argument or return value.
 	Value = history.Value
+	// ValueKind discriminates a Value's payload.
+	ValueKind = history.ValueKind
 	// Event is an invocation or response action.
 	Event = history.Event
 	// History is a finite sequence of actions.
@@ -59,6 +61,14 @@ type (
 	Op = history.Op
 	// Capture records the observable history of a concurrent run.
 	Capture = history.Capture
+)
+
+// ValueKind values, for callers inspecting Value.Kind.
+const (
+	KindUnit = history.KindUnit
+	KindBool = history.KindBool
+	KindInt  = history.KindInt
+	KindPair = history.KindPair
 )
 
 // Value constructors.
@@ -254,20 +264,6 @@ func CheckMany(ctx context.Context, histories []History, sp Spec, opts ...Option
 		return nil, err
 	}
 	return c.CheckMany(ctx, histories)
-}
-
-// CALContext is the former context-taking name of CAL.
-//
-// Deprecated: use CAL, which is context-first.
-func CALContext(ctx context.Context, h History, sp Spec, opts ...Option) (Result, error) {
-	return CAL(ctx, h, sp, opts...)
-}
-
-// LinearizableContext is the former context-taking name of Linearizable.
-//
-// Deprecated: use Linearizable, which is context-first.
-func LinearizableContext(ctx context.Context, h History, sp Spec, opts ...Option) (Result, error) {
-	return Linearizable(ctx, h, sp, opts...)
 }
 
 // Budget-exhaustion causes carried by Unknown verdicts.

@@ -34,15 +34,24 @@ go test -race -short ./...
 echo "== go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/ =="
 go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/
 
+# Guard the deprecation sweep: the context-first API is the only one,
+# and none of the deleted legacy symbols may reappear in Go sources.
+echo "== deprecated-symbol guard =="
+if grep -rn "CALContext\|LinearizableContext\|WithWorkers\|ExploreOptions\|AliasWorkers" \
+    --include="*.go" .; then
+    echo "deleted deprecated symbols reappeared (see matches above)" >&2
+    exit 1
+fi
+echo "deprecated symbols absent from Go sources"
+
 # Smoke the CLI path of the work-stealing engine: the F1 exchanger
-# battery at full parallelism must verify cleanly (exit 0). -parallel is
-# the deprecated alias of -workers and must keep working.
-echo "== calexplore -parallel smoke =="
+# battery at full parallelism must verify cleanly (exit 0).
+echo "== calexplore -workers smoke =="
 workers=$( (nproc || echo 4) 2>/dev/null )
-if go run ./cmd/calexplore -target exchanger -values 3,4,7 -parallel "$workers"; then
-    echo "calexplore -parallel $workers: OK"
+if go run ./cmd/calexplore -target exchanger -values 3,4,7 -workers "$workers"; then
+    echo "calexplore -workers $workers: OK"
 else
-    echo "calexplore -parallel $workers failed" >&2
+    echo "calexplore -workers $workers failed" >&2
     exit 1
 fi
 
@@ -426,5 +435,76 @@ print("journal resume: %s finished %s after restart" % (id, j["verdict"]))
 kill -TERM "$pid3"
 wait "$pid3"
 echo "cald smoke: round trip, cache hit, 429 backoff, drain + journal resume"
+
+# Smoke the streaming API end to end under the race detector: open a
+# stream against cald with a tiny fallback window, watch it over SSE
+# while feeding a long pristine prefix (forcing the decided prefix to be
+# shed) and then a known queue defect. The SSE watcher must deliver
+# VIOLATION-at-event-k at the exact defect index, and /metrics must
+# expose the shedding as calgo_stream_shed_total > 0.
+echo "== cald /streams SSE smoke =="
+start_cald "$explain_dir/cald4.log" -stream-window 32 -stream-check-every 8
+url4="$cald_url"
+pid4="$cald_pid"
+python3 -c '
+import json, sys, threading, urllib.request
+base = sys.argv[1].rstrip("/")
+
+req = urllib.request.Request(base + "/streams",
+                             data=json.dumps({"spec": "queue"}).encode(),
+                             headers={"Content-Type": "application/json"})
+doc = json.load(urllib.request.urlopen(req, timeout=10))
+sid = doc["id"]
+assert doc["schema"] == "calgo.stream/v1" and doc["state"] == "open", doc
+
+hit, done = {}, threading.Event()
+def watch():
+    resp = urllib.request.urlopen(base + "/streams/" + sid + "?watch=1", timeout=60)
+    assert resp.headers.get("Content-Type") == "text/event-stream", resp.headers
+    for raw in resp:
+        line = raw.decode().strip()
+        if not line.startswith("data: "):
+            continue
+        fr = json.loads(line[6:])
+        if fr["verdict"]["status"] == "violation":
+            hit.update(fr["verdict"])
+            done.set()
+            return
+t = threading.Thread(target=watch, daemon=True)
+t.start()
+
+def feed(lines):
+    req = urllib.request.Request(base + "/streams/" + sid + "/events",
+                                 data=("\n".join(lines) + "\n").encode())
+    return json.load(urllib.request.urlopen(req, timeout=30))
+
+# 40 balanced enq/deq cycles: 160 pristine events, far past the 32-event
+# window, so the decided prefix must be shed. Then one bad dequeue.
+pristine = []
+for i in range(40):
+    pristine += ["inv t1 E.enq %d" % i, "res t1 E.enq true",
+                 "inv t1 E.deq ()", "res t1 E.deq (true,%d)" % i]
+mid = feed(pristine)
+assert mid["verdict"]["status"] == "sat-so-far", mid["verdict"]
+assert mid["verdict"]["shed"] > 0, "no shedding despite window 32: %r" % mid["verdict"]
+feed(["inv t1 E.enq 40", "res t1 E.enq true",
+      "inv t1 E.deq ()", "res t1 E.deq (true,99999)"])
+
+assert done.wait(30), "violation frame never arrived over SSE"
+assert hit["at_event"] == 163, "at_event = %r, want the exact defect index 163" % hit
+assert hit["display"].startswith("VIOLATION-at-event-163"), hit
+assert hit["engine"] == "monitor:queue", hit
+
+text = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+for line in text.splitlines():
+    if line.startswith("calgo_stream_shed_total "):
+        assert float(line.split()[1]) > 0, line
+        break
+else:
+    raise AssertionError("calgo_stream_shed_total missing from /metrics")
+print("streaming smoke: VIOLATION-at-event-163 over SSE, shed prefix counted on /metrics")
+' "$url4"
+kill -TERM "$pid4"
+wait "$pid4"
 
 echo "CI gate passed."

@@ -8,12 +8,17 @@
 //	cald -addr 127.0.0.1:8419 -journal cald.journal
 //	calcheck -remote http://127.0.0.1:8419 -spec exchanger history.txt
 //
-// The job API rides on the same ops mux every calgo CLI serves:
+// The job and stream APIs ride on the same ops mux every calgo CLI
+// serves:
 //
-//	POST /jobs             submit a history + spec selection -> job id
-//	GET  /jobs/{id}        poll a verdict (?watch=1 streams via SSE)
-//	GET  /jobs             list jobs
-//	POST /jobs/{id}/cancel cancel a pending or running job
+//	POST /jobs                submit a history + spec selection -> job id
+//	GET  /jobs/{id}           poll a verdict (?watch=1 streams via SSE)
+//	GET  /jobs                list jobs
+//	POST /jobs/{id}/cancel    cancel a pending or running job
+//	POST /streams             open an online checking stream
+//	POST /streams/{id}/events feed a batch; response = verdict frame
+//	GET  /streams/{id}        poll the frame (?watch=1 streams via SSE)
+//	POST /streams/{id}/close  run end-of-stream checks; final frame
 //	/metrics /statusz /flightz /runsz /debug/pprof/   the ops surface
 //
 // Robustness properties (see EXPERIMENTS.md "Checking as a service"):
@@ -33,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"calgo"
 	"calgo/internal/cliflags"
 	"calgo/internal/jobs"
 	"calgo/internal/obs"
@@ -58,6 +64,10 @@ func run() int {
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp (and default) for per-job wall-clock deadlines")
 		maxStates    = flag.Int("max-states", 4_000_000, "clamp (and default) for per-job state budgets")
 		memoBudget   = flag.Int("memo-budget", 0, "clamp for per-job memoization budgets in bytes (0 = unlimited)")
+		maxStreams   = flag.Int("max-streams", 16, "bound on concurrently open checking streams; at the bound opens are shed with 429 + Retry-After")
+		streamWindow = flag.Int("stream-window", calgo.DefaultStreamWindow, "per-stream fallback re-check window (and server-wide clamp) in events")
+		streamCheck  = flag.Int("stream-check-every", calgo.DefaultStreamCheckEvery, "per-stream fallback re-check cadence (and server-wide clamp) in events")
+		streamIdle   = flag.Duration("stream-idle", 5*time.Minute, "close streams with no events for this long (negative disables)")
 		drainWait    = flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for running jobs before interrupting them")
 		logLevel     = flag.String("log-level", "info", "diagnostic log level: debug, info, warn or error")
 		logFormat    = flag.String("log-format", "text", "diagnostic log format: text or json")
@@ -113,8 +123,27 @@ func run() int {
 		return 2
 	}
 
+	sm := jobs.NewStreamManager(jobs.StreamConfig{
+		MaxStreams:     *maxStreams,
+		Rate:           *rate,
+		Burst:          *burst,
+		MaxBatchBytes:  *maxBytes,
+		MaxBatchEvents: *maxEvents,
+		Window:         *streamWindow,
+		CheckEvery:     *streamCheck,
+		IdleTimeout:    *streamIdle,
+		Metrics:        metrics,
+		Logger:         logger,
+		OnClose: func(d jobs.StreamDoc) {
+			ops.AddRun(render.Run{Name: d.ID + " " + d.Request.Spec + "/stream",
+				Verdict: d.Verdict.Status.String(), Detail: d.Verdict.String()})
+		},
+	})
+
 	ops.Mount("/jobs", mgr.Handler())
 	ops.Mount("/jobs/", mgr.Handler())
+	ops.Mount("/streams", sm.Handler())
+	ops.Mount("/streams/", sm.Handler())
 	bound, err := ops.Start(*addr)
 	if err != nil {
 		logger.Error("starting server", "err", err)
@@ -125,7 +154,7 @@ func run() int {
 	live.SetPhase("serving")
 	logger.Info("cald serving",
 		"url", fmt.Sprintf("http://%s/", bound),
-		"endpoints", "/jobs /metrics /statusz /flightz /runsz /debug/pprof/")
+		"endpoints", "/jobs /streams /metrics /statusz /flightz /runsz /debug/pprof/")
 
 	ctx, stop := cliflags.SignalContext()
 	defer stop()
@@ -137,6 +166,7 @@ func run() int {
 	// drain the HTTP side (SSE watchers get their final frame).
 	live.SetPhase("draining")
 	logger.Info("signal received; draining", "wait", *drainWait)
+	sm.Drain() // streams finalize immediately: verdicts are incremental
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	left := mgr.Drain(drainCtx)

@@ -82,7 +82,6 @@ func run() int {
 		maxStates = flag.Int("max-states", 4_000_000, "state budget")
 	)
 	shared := cliflags.Register("calexplore")
-	shared.AliasWorkers("parallel")
 	flag.Parse()
 
 	if err := shared.Start(); err != nil {

@@ -27,6 +27,14 @@
 // batched CAL checks; the default auto routes unambiguous collection
 // histories to the O(n log n) specialized monitors.
 //
+// -soak-stream N switches to the streaming soak: instead of batched
+// checks, each fuzzed history is fed event-by-event through an online
+// checker (calgo.NewStream, tuned by -stream-engine, -stream-window and
+// -stream-check-every), every other run gets one response corrupted,
+// and every streaming verdict is cross-validated against the batch CAL
+// verdict of the same history — Violation exactly where the batch says
+// UNSAT, never on a history the batch accepts.
+//
 // Observability: -metrics-json aggregates the CAL checkers' counters
 // across every batch into one JSON document, -trace streams sampled
 // search events and dumps a flight-recorder ring when a run fails or is
@@ -88,8 +96,10 @@ func run() int {
 		object = flag.String("object", "all", "object to fuzz: exchanger, elimstack, syncqueue, dualstack, dualqueue, msqueue, pqueue, snapshot, all")
 		chaos  = flag.String("chaos", "none", "fault-injection policy: none, yield-storm, stall, cas-storm, bias, havoc, all")
 		emit   = flag.String("emit", "", "dump every generated history to this directory in the interchange format (one file per run), for replay with calcheck")
+		soak   = flag.Int("soak-stream", 0, "streaming soak: feed this many fuzzed histories per object through an online checker and cross-validate every verdict against the batch CAL check (0 = off)")
 	)
 	shared := cliflags.Register("calfuzz")
+	shared.RegisterStream()
 	flag.Parse()
 
 	if err := shared.Start(); err != nil {
@@ -103,7 +113,13 @@ func run() int {
 	ctx, stop := cliflags.SignalContext()
 	defer stop()
 
-	exit := fuzzExit(sweep(ctx, *iters, *seed, *object, *chaos, *emit, shared), shared.Logger())
+	var err error
+	if *soak > 0 {
+		err = soakStream(ctx, *soak, *seed, *object, shared)
+	} else {
+		err = sweep(ctx, *iters, *seed, *object, *chaos, *emit, shared)
+	}
+	exit := fuzzExit(err, shared.Logger())
 	if exit == 1 || exit == 3 {
 		shared.DumpFlight()
 	}
@@ -173,6 +189,108 @@ func sweep(ctx context.Context, iters int, seed int64, object, chaos, emit strin
 				fmt.Printf("✓ %-10s %d randomized runs verified under chaos policy %s\n", target, iters, policy)
 			}
 		}
+	}
+	return nil
+}
+
+// soakStream is the -soak-stream mode: each fuzzed history is replayed
+// through calgo.NewStream one event at a time and the streaming verdict
+// is cross-validated against the batch CAL verdict of the identical
+// history. Every other run has one removal response corrupted so the
+// soak exercises both directions of the agreement contract.
+func soakStream(ctx context.Context, iters int, seed int64, object string, shared *cliflags.Set) error {
+	targets := []string{"exchanger", "elimstack", "syncqueue", "dualstack", "dualqueue", "msqueue", "pqueue", "snapshot"}
+	if object != "all" {
+		targets = []string{object}
+	}
+	none := calgo.ChaosPolicies()["none"]
+	for _, target := range targets {
+		fuzz, ok := fuzzers[target]
+		if !ok {
+			return fmt.Errorf("%w: unknown object %q", errUsage, target)
+		}
+		corrupted := 0
+		for i := 0; i < iters; i++ {
+			if ctx.Err() != nil {
+				return fmt.Errorf("%w: streaming soak interrupted by signal", errUnknown)
+			}
+			inj := calgo.NewChaosInjector(none, seed+int64(i))
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			run, err := fuzz(rng, inj)
+			if err != nil {
+				return fmt.Errorf("%s soak iteration %d (seed %d): %w", target, i, seed+int64(i), err)
+			}
+			h := run.h
+			if i%2 == 1 {
+				if bad, ok := corruptRemoval(h); ok {
+					h = bad
+					corrupted++
+				}
+			}
+			label := fmt.Sprintf("%s soak iteration %d (seed %d)", target, i, seed+int64(i))
+			if err := crossValidateStream(ctx, label, run.sp, h, shared); err != nil {
+				return err
+			}
+		}
+		if shared.WantsRuns() {
+			shared.AddRun(calgo.RunReport{
+				Name:    target + "/soak-stream",
+				Verdict: "OK",
+				Detail:  fmt.Sprintf("%d streamed runs cross-validated (%d with injected defects)", iters, corrupted),
+			})
+		}
+		fmt.Printf("✓ %-10s %d streamed runs cross-validated against batch CAL (%d with injected defects)\n",
+			target, iters, corrupted)
+	}
+	return nil
+}
+
+// corruptRemoval flips the last pair-returning response to a value no
+// invocation ever supplied, yielding a history the batch checker is
+// expected to reject. Histories without such a response (possible for
+// tiny runs) are streamed pristine.
+func corruptRemoval(h calgo.History) (calgo.History, bool) {
+	for i := len(h) - 1; i >= 0; i-- {
+		ev := h[i]
+		if !ev.IsRes() || ev.Ret.Kind != calgo.KindPair {
+			continue
+		}
+		out := append(calgo.History(nil), h...)
+		out[i].Ret = calgo.Pair(true, 987_654_321)
+		return out, true
+	}
+	return h, false
+}
+
+// crossValidateStream pins the streaming/batch agreement contract on one
+// history: VIOLATION-at-event-k exactly where the batch verdict is
+// UNSAT, Sat-so-far only where it is SAT; a Degraded stream or an
+// UNKNOWN batch check waives the comparison as inconclusive.
+func crossValidateStream(ctx context.Context, label string, sp calgo.Spec, h calgo.History, shared *cliflags.Set) error {
+	st, err := calgo.NewStream(sp, append(shared.StreamOptions(), shared.Options()...)...)
+	if err != nil {
+		return fmt.Errorf("%s: opening stream: %w", label, err)
+	}
+	if err := st.FeedAll(h); err != nil {
+		st.Close()
+		return fmt.Errorf("%s: feeding stream: %w", label, err)
+	}
+	sv := st.Close()
+
+	cctx, cancel := shared.WithTimeout(ctx)
+	defer cancel()
+	br, err := calgo.CAL(cctx, h, sp, append(shared.Options(), calgo.WithEngine(shared.Engine()))...)
+	if err != nil {
+		return fmt.Errorf("%s: batch cross-check: %w", label, err)
+	}
+	switch {
+	case sv.Status == calgo.StreamDegraded:
+		return fmt.Errorf("%s: %w: stream degraded: %s", label, errUnknown, sv.Reason)
+	case br.Verdict == calgo.VerdictUnknown:
+		return fmt.Errorf("%s: %w: batch cross-check inconclusive: %s", label, errUnknown, br.Unknown.Reason)
+	case (sv.Status == calgo.StreamViolation) != (br.Verdict == calgo.VerdictUnsat):
+		return fmt.Errorf("%s: streaming/batch disagreement: stream says %s, batch says %s",
+			label, sv, calgo.VerdictWord(br.Verdict))
 	}
 	return nil
 }

@@ -29,7 +29,7 @@ func adversarialSnapshotHistory(m, target int) history.History {
 	return h
 }
 
-func TestCALContextDeadline(t *testing.T) {
+func TestCALDeadline(t *testing.T) {
 	const m = 22
 	h := adversarialSnapshotHistory(m, m+1)
 	sp := spec.NewSnapshot(objIS, m+1)
@@ -37,7 +37,7 @@ func TestCALContextDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	r, err := CALContext(ctx, h, sp)
+	r, err := CAL(ctx, h, sp)
 	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatalf("deadline expiry must not be an error: %v", err)
@@ -62,7 +62,7 @@ func TestCALContextDeadline(t *testing.T) {
 	}
 }
 
-func TestCALContextCancelMidSearch(t *testing.T) {
+func TestCALCancelMidSearch(t *testing.T) {
 	const m = 24
 	h := adversarialSnapshotHistory(m, m+1)
 	sp := spec.NewSnapshot(objIS, m+1)
@@ -70,7 +70,7 @@ func TestCALContextCancelMidSearch(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan Result, 1)
 	go func() {
-		r, err := CALContext(ctx, h, sp)
+		r, err := CAL(ctx, h, sp)
 		if err != nil {
 			t.Errorf("cancellation must not be an error: %v", err)
 		}
@@ -88,8 +88,8 @@ func TestCALContextCancelMidSearch(t *testing.T) {
 	}
 }
 
-func TestCALContextNil(t *testing.T) {
-	r, err := CALContext(nil, fig3H1(), spec.NewExchanger(objE)) //nolint:staticcheck // nil ctx is explicitly supported
+func TestCALNilContext(t *testing.T) {
+	r, err := CAL(nil, fig3H1(), spec.NewExchanger(objE)) //nolint:staticcheck // nil ctx is explicitly supported
 	if err != nil || !r.OK || r.Verdict != Sat {
 		t.Errorf("nil context must behave like Background: r=%+v err=%v", r, err)
 	}
@@ -135,7 +135,7 @@ func TestCALPartialWitness(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
-	r, cerr := CALContext(ctx, h, sp)
+	r, cerr := CAL(ctx, h, sp)
 	if cerr != nil {
 		t.Fatal(cerr)
 	}

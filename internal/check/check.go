@@ -179,21 +179,6 @@ func SetLinearizable(ctx context.Context, h history.History, sp spec.Spec, opts 
 	return CAL(ctx, h, sp, opts...)
 }
 
-// CALContext is the former context-taking name of CAL, kept so existing
-// callers compile; it delegates unchanged.
-//
-// Deprecated: use CAL, which is context-first.
-func CALContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
-	return CAL(ctx, h, sp, opts...)
-}
-
-// LinearizableContext is the former context-taking name of Linearizable.
-//
-// Deprecated: use Linearizable, which is context-first.
-func LinearizableContext(ctx context.Context, h history.History, sp spec.Spec, opts ...Option) (Result, error) {
-	return Linearizable(ctx, h, sp, opts...)
-}
-
 // abortError interrupts the depth-first search; cause is one of ErrBound,
 // ErrMemoBudget, context.Canceled or context.DeadlineExceeded.
 type abortError struct{ cause error }

@@ -65,6 +65,12 @@ func NewChecker(sp spec.Spec, opts ...Option) (*Checker, error) {
 // Spec returns the specification this Checker decides against.
 func (c *Checker) Spec() spec.Spec { return c.sp }
 
+// MaxElementSize returns the effective element-size bound the Checker
+// decides under: the spec's MaxElementSize clipped by WithElementCap.
+// A bound of 1 means classical linearizability — the fragment the
+// specialized monitors (and their streaming steppers) decide.
+func (c *Checker) MaxElementSize() int { return c.maxElem }
+
 // Check decides whether h is concurrency-aware linearizable with respect
 // to the Checker's specification. See CAL for the verdict contract.
 func (c *Checker) Check(ctx context.Context, h history.History) (Result, error) {

@@ -12,12 +12,6 @@ import (
 // single-history entry points.
 func WithParallelism(n int) Option { return func(c *config) { c.workers = n } }
 
-// WithWorkers is the former name of WithParallelism.
-//
-// Deprecated: use WithParallelism, which matches the sched package's
-// option of the same name.
-func WithWorkers(n int) Option { return WithParallelism(n) }
-
 // CheckMany decides concurrency-aware linearizability for a batch of
 // recorded histories against the same specification. It is shorthand for
 // NewChecker followed by Checker.CheckMany; batch callers that check

@@ -20,12 +20,12 @@ func fig3H3() history.History {
 
 // TestCheckManyMatchesIndividualChecks pins that CheckMany is a pure
 // fan-out: results[i] must carry the same verdict, reason class and
-// search statistics as a standalone CALContext on histories[i].
+// search statistics as a standalone CAL on histories[i].
 func TestCheckManyMatchesIndividualChecks(t *testing.T) {
 	e := spec.NewExchanger(objE)
 	histories := []history.History{fig3H1(), fig3H3(), fig3H2(), fig3H1(), fig3H3()}
 	for _, workers := range []int{0, 1, 3, 16} {
-		results, err := CheckMany(context.Background(), histories, e, WithWorkers(workers))
+		results, err := CheckMany(context.Background(), histories, e, WithParallelism(workers))
 		if err != nil {
 			t.Fatalf("workers %d: %v", workers, err)
 		}
@@ -73,7 +73,7 @@ func TestCheckManyReportsInputErrorsByIndex(t *testing.T) {
 }
 
 // TestCheckManyCancellation checks that cancellation is reported in-band
-// per history, matching the CALContext contract. The histories are wide
+// per history, matching the CAL contract. The histories are wide
 // (all operations concurrent) so every search crosses the checker's
 // 1024-tick context-poll interval.
 func TestCheckManyCancellation(t *testing.T) {
@@ -93,7 +93,7 @@ func TestCheckManyCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	results, err := CheckMany(ctx, []history.History{wide(7), wide(8)}, spec.NewExchanger(objE), WithWorkers(2))
+	results, err := CheckMany(ctx, []history.History{wide(7), wide(8)}, spec.NewExchanger(objE), WithParallelism(2))
 	if err != nil {
 		t.Fatalf("cancellation must be in-band, got error %v", err)
 	}

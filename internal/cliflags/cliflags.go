@@ -30,7 +30,6 @@ import (
 	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -93,14 +92,18 @@ type Set struct {
 	logLevel    *string
 	logFormat   *string
 
-	start       time.Time
-	metrics     *calgo.Metrics
-	flight      *calgo.FlightRecorder
-	logTracer   *calgo.LogTracer
-	traceFile   *os.File // nil when tracing to stderr or disabled
-	aliasWarned bool     // the deprecated-alias notice fired already
+	streamEngineName *string // nil unless RegisterStream was called
+	streamWindow     *int
+	streamCheckEvery *int
 
-	engine calgo.Engine // parsed -engine, valid after Start
+	start     time.Time
+	metrics   *calgo.Metrics
+	flight    *calgo.FlightRecorder
+	logTracer *calgo.LogTracer
+	traceFile *os.File // nil when tracing to stderr or disabled
+
+	engine       calgo.Engine       // parsed -engine, valid after Start
+	streamEngine calgo.StreamEngine // parsed -stream-engine, valid after Start
 
 	live        *calgo.LiveRun
 	ops         *calgo.OpsServer
@@ -177,40 +180,31 @@ func wrapUsage() {
 	}
 }
 
-// AliasWorkers registers name as a deprecated alias of -workers sharing
-// its value; when both are given the last one on the command line wins.
-// The first use of the alias prints a one-time deprecation notice to
-// stderr pointing at -workers.
-func (s *Set) AliasWorkers(name string) {
-	flag.Var(&workersAlias{set: s, name: name}, name, "deprecated alias for -workers")
+// RegisterStream defines the streaming-checker flags — -stream-engine,
+// -stream-window and -stream-check-every — for tools with an online
+// checking mode (calfuzz -soak-stream). Call between Register and
+// flag.Parse; Start validates -stream-engine. StreamOptions hands out
+// the matching facade options.
+func (s *Set) RegisterStream() {
+	s.streamEngineName = flag.String("stream-engine", "auto", "streaming engine: auto (incremental monitors with windowed-DFS fallback), dfs (always re-check the window), monitor (never fall back; undecidable streams degrade to UNKNOWN)")
+	s.streamWindow = flag.Int("stream-window", calgo.DefaultStreamWindow, "events buffered per object for fallback re-checking; streams that outgrow the window degrade honestly instead of weakening verdicts")
+	s.streamCheckEvery = flag.Int("stream-check-every", calgo.DefaultStreamCheckEvery, "fallback re-check cadence in buffered events (and replay-stepper operations)")
 }
 
-// workersAlias is the flag.Value behind AliasWorkers: it forwards to the
-// shared -workers target and emits the deprecation notice on first use.
-type workersAlias struct {
-	set  *Set
-	name string
+// StreamOptions returns the facade options implementing the
+// RegisterStream flags, append-compatible with Options(). It panics if
+// RegisterStream was not called.
+func (s *Set) StreamOptions() []calgo.Option {
+	return []calgo.Option{
+		calgo.WithStreamEngine(s.streamEngine),
+		calgo.WithStreamWindow(*s.streamWindow),
+		calgo.WithStreamCheckEvery(*s.streamCheckEvery),
+	}
 }
 
-func (a *workersAlias) String() string {
-	if a.set == nil {
-		return ""
-	}
-	return strconv.Itoa(*a.set.workers)
-}
-
-func (a *workersAlias) Set(v string) error {
-	n, err := strconv.Atoi(v)
-	if err != nil {
-		return err
-	}
-	if !a.set.aliasWarned {
-		a.set.aliasWarned = true
-		fmt.Fprintf(os.Stderr, "%s: flag -%s is deprecated, use -workers\n", a.set.tool, a.name)
-	}
-	*a.set.workers = n
-	return nil
-}
+// StreamEngine returns the parsed -stream-engine selection. Valid after
+// Start, for tools that report the effective engine.
+func (s *Set) StreamEngine() calgo.StreamEngine { return s.streamEngine }
 
 // Workers returns the -workers value (0 = GOMAXPROCS).
 func (s *Set) Workers() int { return *s.workers }
@@ -317,6 +311,13 @@ func (s *Set) Start() error {
 		return fmt.Errorf("bad -engine: %w", err)
 	}
 	s.engine = eng
+	if s.streamEngineName != nil {
+		seng, err := calgo.ParseStreamEngine(*s.streamEngineName)
+		if err != nil {
+			return fmt.Errorf("bad -stream-engine: %w", err)
+		}
+		s.streamEngine = seng
+	}
 	if *s.metricsJSON != "" || *s.reportPath != "" {
 		// A report always embeds a metrics snapshot, so -report implies a
 		// registry even without -metrics-json.

@@ -77,45 +77,47 @@ func TestUsageIncludesExitLegend(t *testing.T) {
 	}
 }
 
-// TestAliasWorkersDeprecationNotice: the alias forwards to -workers and
-// warns exactly once on stderr.
-func TestAliasWorkersDeprecationNotice(t *testing.T) {
+// TestRegisterStreamFlags pins the streaming flag surface: the three
+// -stream-* flags register with documented defaults, Start validates
+// -stream-engine, and StreamOptions projects onto facade options that
+// NewStream accepts.
+func TestRegisterStreamFlags(t *testing.T) {
 	resetFlags(t)
 	s := Register("testtool")
-	s.AliasWorkers("parallel")
-	var errOut string
-	errOut = capture(t, &os.Stderr, func() {
-		if err := flag.CommandLine.Parse([]string{"-parallel", "4", "-parallel", "6"}); err != nil {
-			t.Fatal(err)
+	s.RegisterStream()
+	for _, name := range []string{"stream-engine", "stream-window", "stream-check-every"} {
+		if flag.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
 		}
-	})
-	if s.Workers() != 6 {
-		t.Errorf("Workers() = %d, want 6 (last alias use wins)", s.Workers())
 	}
-	if n := strings.Count(errOut, "deprecated"); n != 1 {
-		t.Errorf("deprecation notice printed %d times, want once:\n%s", n, errOut)
+	if err := flag.CommandLine.Parse([]string{"-stream-engine", "dfs", "-stream-window", "512"}); err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(errOut, "use -workers") {
-		t.Errorf("notice does not point at -workers: %q", errOut)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
 	}
+	defer s.Close()
+	if s.StreamEngine() != calgo.StreamEngineDFS {
+		t.Errorf("StreamEngine() = %v, want dfs", s.StreamEngine())
+	}
+	st, err := calgo.NewStream(calgo.NewQueueSpec("q"), s.StreamOptions()...)
+	if err != nil {
+		t.Fatalf("NewStream rejected StreamOptions(): %v", err)
+	}
+	st.Close()
 }
 
-// TestAliasWorkersSilentWhenUnused: registering the alias alone must not
-// warn, and -workers itself never does.
-func TestAliasWorkersSilentWhenUnused(t *testing.T) {
+// TestStartRejectsBadStreamEngine: an unknown -stream-engine spelling is
+// a startup error, not a silent fallback.
+func TestStartRejectsBadStreamEngine(t *testing.T) {
 	resetFlags(t)
 	s := Register("testtool")
-	s.AliasWorkers("parallel")
-	errOut := capture(t, &os.Stderr, func() {
-		if err := flag.CommandLine.Parse([]string{"-workers", "3"}); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if s.Workers() != 3 {
-		t.Errorf("Workers() = %d, want 3", s.Workers())
+	s.RegisterStream()
+	if err := flag.CommandLine.Parse([]string{"-stream-engine", "warp"}); err != nil {
+		t.Fatal(err)
 	}
-	if errOut != "" {
-		t.Errorf("unexpected stderr: %q", errOut)
+	if err := s.Start(); err == nil || !strings.Contains(err.Error(), "stream-engine") {
+		t.Fatalf("Start() = %v, want bad -stream-engine error", err)
 	}
 }
 

@@ -1,0 +1,505 @@
+package monitor
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// queueStepper is the fully incremental queue monitor: the bad patterns
+// Q0–Q4 of checkQueue, re-derived as prefix properties so each can be
+// evaluated the moment its last constituent event arrives, with decided
+// state shed as the stream advances.
+//
+// Per pattern (event indices are stream positions; an op with invocation
+// index a and response index b linearizes in the open interval (a, b)):
+//
+//	Q0/Q1 at deq ▷ v response: if enq(v) has not been *invoked* yet, the
+//	prefix is bad — any future enq(v) starts after this response (Q1),
+//	and no enq at all is Q0. If enq(v) is invoked but unresponded the
+//	match is legal (the enqueue linearizes early); its response fills in
+//	eRes later.
+//
+//	Q2 (FIFO inversion: eRes_u ≤ eInv_w ∧ dRes_w ≤ dInv_u) at dRes_u:
+//	both dequeues have completed by dRes_u (dRes_w ≤ dInv_u < dRes_u),
+//	so an append-only log of completed dequeues (dRes, eInv) with a
+//	running prefix-max of eInv answers "max eInv over dRes ≤ dInv_u" by
+//	binary search. If enq(u) is still pending, eRes_u exceeds every
+//	logged eInv and no instance exists yet — and none ever will, since
+//	later dequeues respond after dInv_u.
+//
+//	Q3 (a dequeued value enqueued after an unmatched value's enqueue
+//	completed) is not prefix-stable — an unmatched value may be dequeued
+//	later — so it is evaluated only at Finish on a complete stream, from
+//	the running max of matched eInv and the min eRes over values
+//	unmatched at the end.
+//
+//	Q4 (empty deq with window (x, y) covered by merged sure-presence
+//	cores): deferred until every dequeue invoked before y has responded;
+//	dequeues invoked after y remove values at dInv ≥ y and cannot shrink
+//	coverage below y, so the evaluation is then final and equal to the
+//	batch verdict. Matched cores [eRes, dInv] live in a merged disjoint
+//	interval set; values unmatched at evaluation time contribute
+//	[eRes, ∞), collapsed into the single minimum unmatched eRes.
+//
+// Shedding: a value record is dropped as soon as both its operations
+// completed and its contributions are folded into the Q2 log, the core
+// set and the Q3 scalar; Q2 log entries and cores wholly before the
+// oldest pending invocation (and oldest deferred empty window) can never
+// be queried again and are dropped too, folding dropped eInv into a
+// scalar base. Resident state therefore tracks the live window, not the
+// stream length. The waived check: a value recurring after its record
+// was shed is treated as fresh, not ambiguous (see Stepper).
+type queueStepper struct {
+	pend map[history.ThreadID]stepPending
+	vals map[int64]*qsVal
+
+	// Q2: completed value-dequeues in dRes order. deqBase folds the max
+	// eInv of shed front entries (-1 when none).
+	deqLog  []qDeqEntry
+	deqBase int
+
+	// Q3: running max eInv over matched values (-1 when none).
+	maxMatchedEInv int
+
+	// Q4.
+	cores         coreSet
+	unmatched     eResHeap // min-heap over unmatched completed enqueues, lazy deletion
+	liveUnmatched int
+	deferred      []qEmpty // empty-deq windows awaiting older dequeues; y increasing
+	deferredHead  int
+
+	pendingInv pendMinTracker // invocation indices of all pending ops (shed floor)
+	pendingDeq pendMinTracker // invocation indices of pending dequeues (Q4 deferral)
+
+	events, opsDone, lastIdx int
+	lastShedPass             int
+	shed                     int64
+	done                     *StepResult
+}
+
+// qsVal is the live record of one value.
+type qsVal struct {
+	v          int64
+	eInv, eRes int // eRes == -1 while the enqueue is unresponded
+	dInv, dRes int
+	matched    bool
+}
+
+type qDeqEntry struct {
+	dRes, eInv, prefixMax int
+}
+
+type qEmpty struct {
+	x, y int // open window (dInv, dRes) of an empty dequeue
+}
+
+func newQueueStepper() *queueStepper {
+	return &queueStepper{
+		pend:           make(map[history.ThreadID]stepPending),
+		vals:           make(map[int64]*qsVal),
+		deqBase:        -1,
+		maxMatchedEInv: -1,
+	}
+}
+
+func (s *queueStepper) Kind() Kind { return KindQueue }
+
+func (s *queueStepper) fail(o StepOutcome, at int, format string, args ...any) StepResult {
+	res := StepResult{Outcome: o, Reason: fmt.Sprintf(format, args...), AtEvent: at}
+	s.done = &res
+	return res
+}
+
+func (s *queueStepper) Advance(ev history.Event, idx int) StepResult {
+	if s.done != nil {
+		return *s.done
+	}
+	s.events++
+	s.lastIdx = idx
+	switch ev.Kind {
+	case history.Invoke:
+		if _, dup := s.pend[ev.Thread]; dup {
+			return s.fail(StepIneligible, idx, "thread %s invokes %s while an operation is pending", ev.Thread, ev.Method)
+		}
+		switch ev.Method {
+		case spec.MethodEnq:
+			if ev.Arg.Kind != history.KindInt {
+				return s.fail(StepIneligible, idx, "enq at inv=%d is not int ▷ true", idx)
+			}
+			v := ev.Arg.N
+			if _, dup := s.vals[v]; dup {
+				return s.fail(StepIneligible, idx, "value %d enqueued more than once (ambiguous history)", v)
+			}
+			s.vals[v] = &qsVal{v: v, eInv: idx, eRes: -1, dInv: -1, dRes: -1}
+		case spec.MethodDeq:
+			if ev.Arg.Kind != history.KindUnit {
+				return s.fail(StepIneligible, idx, "deq at inv=%d is not () ▷ (bool,int)", idx)
+			}
+			s.pendingDeq.push(idx)
+		default:
+			return s.fail(StepIneligible, idx, "unknown queue method %s", ev.Method)
+		}
+		s.pend[ev.Thread] = stepPending{method: ev.Method, arg: ev.Arg, inv: idx}
+		s.pendingInv.push(idx)
+	case history.Respond:
+		p, ok := s.pend[ev.Thread]
+		if !ok || p.method != ev.Method {
+			return s.fail(StepIneligible, idx, "response %s on thread %s does not match a pending invocation", ev.Method, ev.Thread)
+		}
+		delete(s.pend, ev.Thread)
+		s.pendingInv.resolve(p.inv)
+		s.opsDone++
+		var res StepResult
+		switch ev.Method {
+		case spec.MethodEnq:
+			res = s.enqDone(p, ev, idx)
+		case spec.MethodDeq:
+			s.pendingDeq.resolve(p.inv)
+			res = s.deqDone(p, ev, idx)
+		default:
+			res = s.fail(StepIneligible, idx, "unknown queue method %s", ev.Method)
+		}
+		if res.Outcome != StepOK {
+			return res
+		}
+		if res = s.drainDeferred(); res.Outcome != StepOK {
+			return res
+		}
+		s.maybeShed()
+	default:
+		return s.fail(StepIneligible, idx, "unknown event kind %d", ev.Kind)
+	}
+	return stepOK
+}
+
+func (s *queueStepper) enqDone(p stepPending, ev history.Event, idx int) StepResult {
+	if ev.Ret.Kind != history.KindBool || !ev.Ret.B {
+		return s.fail(StepIneligible, idx, "enq at inv=%d is not int ▷ true", p.inv)
+	}
+	qv := s.vals[p.arg.N] // present: created at the invocation
+	qv.eRes = idx
+	if qv.matched {
+		// The dequeue completed while this enqueue was unresponded: the
+		// value linearizes early. No Q2 instance can name it as u (every
+		// logged eInv precedes eRes_u = now), so fold the core and shed.
+		if qv.eRes < qv.dInv {
+			s.cores.insert(qv.eRes, qv.dInv)
+		}
+		delete(s.vals, qv.v)
+		s.shed++
+		return stepOK
+	}
+	heap.Push(&s.unmatched, eResItem{eRes: idx, v: qv.v})
+	s.liveUnmatched++
+	return stepOK
+}
+
+func (s *queueStepper) deqDone(p stepPending, ev history.Event, idx int) StepResult {
+	if ev.Ret.Kind != history.KindPair {
+		return s.fail(StepIneligible, idx, "deq at inv=%d is not () ▷ (bool,int)", p.inv)
+	}
+	x, y := p.inv, idx
+	if !ev.Ret.B {
+		if ev.Ret.N != 0 {
+			return s.fail(StepViolation, idx,
+				"failed deq at inv=%d returns (false,%d); the spec admits only (false,0)", p.inv, ev.Ret.N)
+		}
+		s.deferred = append(s.deferred, qEmpty{x: x, y: y})
+		return stepOK
+	}
+	v := ev.Ret.N
+	qv, ok := s.vals[v]
+	if !ok {
+		return s.fail(StepViolation, idx,
+			"Q0: deq ▷ %d completes at %d but enq(%d) has not been invoked", v, idx, v)
+	}
+	if qv.matched {
+		return s.fail(StepIneligible, idx, "value %d dequeued more than once (ambiguous history)", v)
+	}
+	qv.matched, qv.dInv, qv.dRes = true, x, y
+	if qv.eInv > s.maxMatchedEInv {
+		s.maxMatchedEInv = qv.eInv
+	}
+	if qv.eRes >= 0 {
+		s.liveUnmatched--
+		// Q2 with this value as u: any FIFO-inverted w has already
+		// completed its dequeue (dRes_w ≤ dInv_u = x < now).
+		if m := s.deqMaxEInvUpTo(x); m >= qv.eRes {
+			return s.fail(StepViolation, idx,
+				"Q2: FIFO inversion — a value enqueued at or after enq(%d) completed at %d is dequeued before deq ▷ %d starts at %d", v, qv.eRes, v, x)
+		}
+		if qv.eRes < x {
+			s.cores.insert(qv.eRes, x)
+		}
+	}
+	// Log the completed dequeue for future Q2 queries (eInv is known even
+	// when the enqueue is still unresponded).
+	pm := qv.eInv
+	if n := len(s.deqLog); n > 0 && s.deqLog[n-1].prefixMax > pm {
+		pm = s.deqLog[n-1].prefixMax
+	}
+	if s.deqBase > pm {
+		pm = s.deqBase
+	}
+	s.deqLog = append(s.deqLog, qDeqEntry{dRes: y, eInv: qv.eInv, prefixMax: pm})
+	if qv.eRes >= 0 {
+		delete(s.vals, v)
+		s.shed++
+	}
+	return stepOK
+}
+
+// deqMaxEInvUpTo returns the max eInv over completed dequeues with
+// dRes ≤ x, including the folded base of shed entries (every shed entry
+// has dRes below any reachable query threshold).
+func (s *queueStepper) deqMaxEInvUpTo(x int) int {
+	i := sort.Search(len(s.deqLog), func(i int) bool { return s.deqLog[i].dRes > x }) - 1
+	if i < 0 {
+		return s.deqBase
+	}
+	return s.deqLog[i].prefixMax
+}
+
+// minUnmatchedERes pops stale heap tops (matched or shed values) and
+// returns the min eRes over currently unmatched completed enqueues,
+// infIdx when none.
+func (s *queueStepper) minUnmatchedERes() int {
+	for len(s.unmatched) > 0 {
+		top := s.unmatched[0]
+		if qv, ok := s.vals[top.v]; ok && !qv.matched {
+			return top.eRes
+		}
+		heap.Pop(&s.unmatched)
+	}
+	return infIdx
+}
+
+// drainDeferred evaluates deferred empty-dequeue windows whose result is
+// final: once no dequeue invoked before y is pending, later dequeues can
+// only remove values at dInv ≥ y, so coverage of (x, y) cannot shrink.
+func (s *queueStepper) drainDeferred() StepResult {
+	m := s.pendingDeq.min()
+	for s.deferredHead < len(s.deferred) && s.deferred[s.deferredHead].y <= m {
+		em := s.deferred[s.deferredHead]
+		s.deferredHead++
+		u := s.minUnmatchedERes()
+		// Covered iff a merged core (matched cores plus [u, ∞) for the
+		// minimum unmatched eRes) spans [s, e] with s ≤ x and y ≤ e.
+		if u <= em.x {
+			return s.fail(StepViolation, em.y,
+				"Q4: empty deq with window (%d, %d) is covered by sure-presence core [%d, ∞) — the queue is never empty there", em.x, em.y, u)
+		}
+		if comp, ok := s.cores.lastStartingAtOrBefore(em.x); ok && (comp.e >= em.y || u <= comp.e) {
+			return s.fail(StepViolation, em.y,
+				"Q4: empty deq with window (%d, %d) is covered by sure-presence core [%d, %d] — the queue is never empty there", em.x, em.y, comp.s, comp.e)
+		}
+	}
+	if s.deferredHead > 64 && s.deferredHead*2 > len(s.deferred) {
+		s.deferred = append(s.deferred[:0:0], s.deferred[s.deferredHead:]...)
+		s.deferredHead = 0
+	}
+	return stepOK
+}
+
+// maybeShed drops state that no future query can reach: Q2 log entries
+// and cores wholly before the oldest pending invocation and oldest
+// deferred empty window, and stale heap entries. Runs every 1024 events.
+func (s *queueStepper) maybeShed() {
+	if s.events-s.lastShedPass < 1024 {
+		return
+	}
+	s.lastShedPass = s.events
+
+	floor := s.pendingInv.min()
+	// Q2 queries use x = dInv of a dequeue pending at shed time (≥ floor)
+	// or invoked later (> now): drop entries with dRes < floor.
+	cut := 0
+	for cut < len(s.deqLog) && s.deqLog[cut].dRes < floor {
+		if s.deqLog[cut].eInv > s.deqBase {
+			s.deqBase = s.deqLog[cut].eInv
+		}
+		cut++
+	}
+	if cut > 0 {
+		s.shed += int64(cut)
+		s.deqLog = append(s.deqLog[:0:0], s.deqLog[cut:]...)
+	}
+
+	// Core queries come from deferred empty windows (known x) or future
+	// ones (x ≥ floor): drop components ending before both.
+	coreFloor := floor
+	for i := s.deferredHead; i < len(s.deferred); i++ {
+		if s.deferred[i].x < coreFloor {
+			coreFloor = s.deferred[i].x
+		}
+	}
+	s.shed += int64(s.cores.dropBefore(coreFloor))
+
+	// Rebuild the unmatched heap when stale entries dominate.
+	if len(s.unmatched) > 2*s.liveUnmatched+64 {
+		live := s.unmatched[:0]
+		for _, it := range s.unmatched {
+			if qv, ok := s.vals[it.v]; ok && !qv.matched {
+				live = append(live, it)
+			}
+		}
+		s.unmatched = live
+		heap.Init(&s.unmatched)
+	}
+}
+
+func (s *queueStepper) Finish() StepResult {
+	if s.done != nil {
+		return *s.done
+	}
+	if len(s.pend) > 0 {
+		res := StepResult{
+			Outcome: StepOK,
+			Reason:  fmt.Sprintf("%d invocations pending at end of stream; final Q3/Q4 checks skipped", len(s.pend)),
+			AtEvent: -1,
+		}
+		s.done = &res
+		return res
+	}
+	// No dequeues pending: every deferred empty window is final.
+	if res := s.drainDeferred(); res.Outcome != StepOK {
+		return res
+	}
+	// Q3: a matched value enqueued strictly after some unmatched value's
+	// enqueue completed — FIFO forces the unmatched value out first.
+	if u := s.minUnmatchedERes(); u < infIdx && s.maxMatchedEInv > u {
+		return s.fail(StepViolation, s.lastIdx,
+			"Q3: a value enqueued after an unmatched value's enqueue completed at %d is dequeued, yet the unmatched value never is", u)
+	}
+	res := stepOK
+	s.done = &res
+	return res
+}
+
+func (s *queueStepper) Stats() StepStats {
+	return StepStats{
+		Events:  s.events,
+		Ops:     s.opsDone,
+		Pending: len(s.pend),
+		Resident: len(s.vals) + len(s.pend) + len(s.deqLog) + s.cores.len() +
+			len(s.unmatched) + (len(s.deferred) - s.deferredHead) +
+			s.pendingInv.resident() + s.pendingDeq.resident(),
+		Shed:        s.shed,
+		Incremental: true,
+	}
+}
+
+// pendMinTracker tracks the minimum of a set of indices pushed in
+// increasing order and resolved in arbitrary order, with compaction so
+// resident memory tracks the live set.
+type pendMinTracker struct {
+	q        []int
+	head     int
+	resolved map[int]struct{}
+}
+
+func (t *pendMinTracker) push(i int) { t.q = append(t.q, i) }
+
+func (t *pendMinTracker) resolve(i int) {
+	if t.head < len(t.q) && t.q[t.head] == i {
+		t.head++
+	} else {
+		if t.resolved == nil {
+			t.resolved = make(map[int]struct{})
+		}
+		t.resolved[i] = struct{}{}
+	}
+	for t.head < len(t.q) {
+		if _, ok := t.resolved[t.q[t.head]]; !ok {
+			break
+		}
+		delete(t.resolved, t.q[t.head])
+		t.head++
+	}
+	if t.head > 4096 && t.head*2 > len(t.q) {
+		t.q = append(t.q[:0:0], t.q[t.head:]...)
+		t.head = 0
+	}
+}
+
+// min returns the smallest live index, infIdx when none.
+func (t *pendMinTracker) min() int {
+	if t.head >= len(t.q) {
+		return infIdx
+	}
+	return t.q[t.head]
+}
+
+func (t *pendMinTracker) resident() int { return len(t.q) - t.head + len(t.resolved) }
+
+// eResHeap is a min-heap of unmatched completed enqueues keyed by eRes.
+type eResItem struct {
+	eRes int
+	v    int64
+}
+
+type eResHeap []eResItem
+
+func (h eResHeap) Len() int           { return len(h) }
+func (h eResHeap) Less(i, j int) bool { return h[i].eRes < h[j].eRes }
+func (h eResHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eResHeap) Push(x any)        { *h = append(*h, x.(eResItem)) }
+func (h *eResHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// coreSet maintains the merged sure-presence cores as disjoint,
+// non-touching components sorted by start (closed intervals; touching
+// endpoints merge, matching coveredEmpty's batch merge).
+type coreSet struct {
+	comp []coreComp
+}
+
+type coreComp struct{ s, e int }
+
+func (c *coreSet) len() int { return len(c.comp) }
+
+func (c *coreSet) insert(s, e int) {
+	lo := sort.Search(len(c.comp), func(i int) bool { return c.comp[i].e >= s })
+	hi := sort.Search(len(c.comp), func(i int) bool { return c.comp[i].s > e })
+	if lo >= hi {
+		c.comp = append(c.comp, coreComp{})
+		copy(c.comp[lo+1:], c.comp[lo:])
+		c.comp[lo] = coreComp{s: s, e: e}
+		return
+	}
+	ns, ne := c.comp[lo].s, c.comp[hi-1].e
+	if s < ns {
+		ns = s
+	}
+	if e > ne {
+		ne = e
+	}
+	c.comp[lo] = coreComp{s: ns, e: ne}
+	c.comp = append(c.comp[:lo+1], c.comp[hi:]...)
+}
+
+// lastStartingAtOrBefore returns the component with the largest start
+// ≤ x (components are disjoint and sorted, so it also has the largest
+// end among them).
+func (c *coreSet) lastStartingAtOrBefore(x int) (coreComp, bool) {
+	i := sort.Search(len(c.comp), func(i int) bool { return c.comp[i].s > x }) - 1
+	if i < 0 {
+		return coreComp{}, false
+	}
+	return c.comp[i], true
+}
+
+// dropBefore removes components ending before floor, returning the count.
+func (c *coreSet) dropBefore(floor int) int {
+	cut := 0
+	for cut < len(c.comp) && c.comp[cut].e < floor {
+		cut++
+	}
+	if cut > 0 {
+		c.comp = append(c.comp[:0:0], c.comp[cut:]...)
+	}
+	return cut
+}

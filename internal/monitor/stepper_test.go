@@ -1,0 +1,330 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"calgo/internal/history"
+	"calgo/internal/spec"
+)
+
+// runStepper feeds h event-by-event and returns the first sticky non-OK
+// result, or the Finish result.
+func runStepper(t *testing.T, sp spec.Spec, h history.History) StepResult {
+	t.Helper()
+	st, err := NewStepper(sp, 64)
+	if err != nil {
+		t.Fatalf("NewStepper: %v", err)
+	}
+	for i, ev := range h {
+		if r := st.Advance(ev, i); r.Outcome != StepOK {
+			return r
+		}
+	}
+	return st.Finish()
+}
+
+// agreeWithBatch cross-validates the stepper's final outcome on a
+// complete history against the batch monitor. StepInconclusive means the
+// stepper punted to the general checker, so any batch outcome is
+// acceptable there; every other outcome must match exactly.
+func agreeWithBatch(t *testing.T, sp spec.Spec, h history.History, label string) {
+	t.Helper()
+	sr := runStepper(t, sp, h)
+	br := Check(h, sp)
+	if sr.Outcome == StepInconclusive {
+		return
+	}
+	want := map[Outcome]StepOutcome{
+		OK: StepOK, Violation: StepViolation, Ineligible: StepIneligible, Inconclusive: StepInconclusive,
+	}[br.Outcome]
+	if sr.Outcome != want {
+		t.Fatalf("%s: stepper %s (%s at %d) but batch %s (%s)",
+			label, sr.Outcome, sr.Reason, sr.AtEvent, br.Outcome, br.Reason)
+	}
+}
+
+// mutateDeqFresh rewrites one successful removal-style response to return
+// a value never inserted (a Q0-style defect for every collection kind).
+func mutateDeqFresh(h history.History, seed int64) (history.History, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	var idxs []int
+	for i, ev := range h {
+		if ev.Kind == history.Respond && ev.Ret.Kind == history.KindPair && ev.Ret.B {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return h, false
+	}
+	m := append(history.History(nil), h...)
+	i := idxs[rng.Intn(len(idxs))]
+	m[i].Ret = history.Pair(true, 1<<40+rng.Int63n(1<<20))
+	return m, true
+}
+
+// mutateDeqEmpty rewrites one successful removal-style response to claim
+// the object was empty.
+func mutateDeqEmpty(h history.History, seed int64) (history.History, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	var idxs []int
+	for i, ev := range h {
+		if ev.Kind == history.Respond && ev.Ret.Kind == history.KindPair && ev.Ret.B {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return h, false
+	}
+	m := append(history.History(nil), h...)
+	i := idxs[rng.Intn(len(idxs))]
+	m[i].Ret = history.Pair(false, 0)
+	return m, true
+}
+
+// TestStepperMatchesBatch cross-validates every stepper kind against the
+// batch monitor on generated histories, pristine and with injected
+// defects.
+func TestStepperMatchesBatch(t *testing.T) {
+	kinds := []struct {
+		name string
+		sp   spec.Spec
+		gen  func(nOps, threads int, seed int64, obj history.ObjectID) history.History
+	}{
+		{"queue", spec.NewQueue("q"), GenQueue},
+		{"stack", spec.NewStack("s"), GenStack},
+		{"set", spec.NewSet("st"), GenSet},
+		{"pqueue", spec.NewPQueue("pq"), GenPQueue},
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			obj := k.sp.Object()
+			for seed := int64(0); seed < 25; seed++ {
+				for _, threads := range []int{1, 3, 7} {
+					h := k.gen(120, threads, seed, obj)
+					label := fmt.Sprintf("%s seed=%d threads=%d", k.name, seed, threads)
+					agreeWithBatch(t, k.sp, h, label)
+					if m, ok := mutateDeqFresh(h, seed); ok {
+						agreeWithBatch(t, k.sp, m, label+" fresh-value defect")
+					}
+					if m, ok := mutateDeqEmpty(h, seed); ok {
+						agreeWithBatch(t, k.sp, m, label+" spurious-empty defect")
+					}
+				}
+			}
+		})
+	}
+}
+
+// mkEvents assembles a history from (kind, thread, method, value) rows;
+// negative v means unit arg / (false,0) ret, and for responses of
+// insert-style methods the ret is true.
+type evRow struct {
+	inv    bool
+	thread history.ThreadID
+	method history.Method
+	arg    history.Value
+	ret    history.Value
+}
+
+func buildH(rows []evRow) history.History {
+	h := make(history.History, 0, len(rows))
+	for _, r := range rows {
+		if r.inv {
+			h = append(h, history.Inv(r.thread, "q", r.method, r.arg))
+		} else {
+			h = append(h, history.Res(r.thread, "q", r.method, r.ret))
+		}
+	}
+	return h
+}
+
+func TestQueueStepperQ0AtExactEvent(t *testing.T) {
+	// deq ▷ 5 completes before enq(5) is invoked: the violation is known
+	// at the dequeue's response, event 1.
+	h := buildH([]evRow{
+		{inv: true, thread: 1, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 1, method: spec.MethodDeq, ret: history.Pair(true, 5)},
+		{inv: true, thread: 2, method: spec.MethodEnq, arg: history.Int(5)},
+		{thread: 2, method: spec.MethodEnq, ret: history.Bool(true)},
+	})
+	st, _ := NewStepper(spec.NewQueue("q"), 0)
+	r := st.Advance(h[0], 0)
+	if r.Outcome != StepOK {
+		t.Fatalf("event 0: %v", r)
+	}
+	r = st.Advance(h[1], 1)
+	if r.Outcome != StepViolation || r.AtEvent != 1 {
+		t.Fatalf("want violation at event 1, got %s at %d (%s)", r.Outcome, r.AtEvent, r.Reason)
+	}
+	// Sticky afterwards.
+	if r2 := st.Advance(h[2], 2); r2 != r {
+		t.Fatalf("sticky violation lost: %v", r2)
+	}
+	// Batch agrees on the whole history.
+	if br := Check(h, spec.NewQueue("q")); br.Outcome != Violation {
+		t.Fatalf("batch: %s (%s)", br.Outcome, br.Reason)
+	}
+}
+
+func TestQueueStepperPendingEnqMatch(t *testing.T) {
+	// deq ▷ 5 completes while enq(5) is still pending: legal (the enqueue
+	// linearizes early).
+	h := buildH([]evRow{
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(5)},
+		{inv: true, thread: 2, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 2, method: spec.MethodDeq, ret: history.Pair(true, 5)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+	})
+	if r := runStepper(t, spec.NewQueue("q"), h); r.Outcome != StepOK {
+		t.Fatalf("want ok, got %s (%s)", r.Outcome, r.Reason)
+	}
+}
+
+func TestQueueStepperQ2AtExactEvent(t *testing.T) {
+	// enq(1) before enq(2), but 2 dequeued entirely before 1's dequeue
+	// starts: FIFO inversion, known at the second dequeue's response.
+	h := buildH([]evRow{
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(1)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 2, method: spec.MethodEnq, arg: history.Int(2)},
+		{thread: 2, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 1, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 1, method: spec.MethodDeq, ret: history.Pair(true, 2)},
+		{inv: true, thread: 2, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 2, method: spec.MethodDeq, ret: history.Pair(true, 1)},
+	})
+	st, _ := NewStepper(spec.NewQueue("q"), 0)
+	var r StepResult
+	for i, ev := range h {
+		r = st.Advance(ev, i)
+		if r.Outcome != StepOK && i < 7 {
+			t.Fatalf("premature non-OK at %d: %v", i, r)
+		}
+	}
+	if r.Outcome != StepViolation || r.AtEvent != 7 {
+		t.Fatalf("want Q2 violation at event 7, got %s at %d (%s)", r.Outcome, r.AtEvent, r.Reason)
+	}
+}
+
+func TestQueueStepperQ3AtFinish(t *testing.T) {
+	// Value 1's enqueue completes, then value 2 is enqueued and dequeued
+	// while 1 never is: FIFO forces 1 out first. Only decidable at the
+	// end of the stream.
+	h := buildH([]evRow{
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(1)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(2)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 1, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 1, method: spec.MethodDeq, ret: history.Pair(true, 2)},
+	})
+	st, _ := NewStepper(spec.NewQueue("q"), 0)
+	for i, ev := range h {
+		if r := st.Advance(ev, i); r.Outcome != StepOK {
+			t.Fatalf("event %d: %v", i, r)
+		}
+	}
+	if r := st.Finish(); r.Outcome != StepViolation {
+		t.Fatalf("want Q3 at finish, got %s (%s)", r.Outcome, r.Reason)
+	}
+}
+
+func TestQueueStepperQ4Deferred(t *testing.T) {
+	// An empty dequeue overlapping a pending dequeue must not be judged
+	// early: the pending dequeue later removes value 1 with dInv before
+	// the empty window, so the queue really could be empty there.
+	ok := buildH([]evRow{
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(1)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 2, method: spec.MethodDeq, arg: history.Unit()},
+		{inv: true, thread: 3, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 3, method: spec.MethodDeq, ret: history.Pair(false, 0)},
+		{thread: 2, method: spec.MethodDeq, ret: history.Pair(true, 1)},
+	})
+	if r := runStepper(t, spec.NewQueue("q"), ok); r.Outcome != StepOK {
+		t.Fatalf("deferred empty wrongly judged: %s (%s)", r.Outcome, r.Reason)
+	}
+	if br := Check(ok, spec.NewQueue("q")); br.Outcome != OK {
+		t.Fatalf("batch disagrees: %s (%s)", br.Outcome, br.Reason)
+	}
+
+	// Covered variant: value 2's enqueue completes before the empty
+	// window opens and 2 is never dequeued, so the queue is provably
+	// nonempty throughout the window.
+	bad := buildH([]evRow{
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(1)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 4, method: spec.MethodEnq, arg: history.Int(2)},
+		{thread: 4, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 2, method: spec.MethodDeq, arg: history.Unit()},
+		{inv: true, thread: 3, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 3, method: spec.MethodDeq, ret: history.Pair(false, 0)},
+		{thread: 2, method: spec.MethodDeq, ret: history.Pair(true, 1)},
+	})
+	r := runStepper(t, spec.NewQueue("q"), bad)
+	if r.Outcome != StepViolation || r.AtEvent != 6 {
+		t.Fatalf("want Q4 violation at event 6, got %s at %d (%s)", r.Outcome, r.AtEvent, r.Reason)
+	}
+	if br := Check(bad, spec.NewQueue("q")); br.Outcome != Violation {
+		t.Fatalf("batch disagrees: %s (%s)", br.Outcome, br.Reason)
+	}
+}
+
+func TestQueueStepperShedsDecidedState(t *testing.T) {
+	// A balanced long stream must shed decided values: resident state
+	// tracks the live window, not the stream length.
+	st, _ := NewStepper(spec.NewQueue("q"), 0)
+	idx := 0
+	feed := func(ev history.Event) {
+		t.Helper()
+		if r := st.Advance(ev, idx); r.Outcome != StepOK {
+			t.Fatalf("event %d: %s (%s)", idx, r.Outcome, r.Reason)
+		}
+		idx++
+	}
+	const n = 100_000
+	for v := int64(0); v < n; v++ {
+		feed(history.Inv(1, "q", spec.MethodEnq, history.Int(v)))
+		feed(history.Res(1, "q", spec.MethodEnq, history.Bool(true)))
+		feed(history.Inv(2, "q", spec.MethodDeq, history.Unit()))
+		feed(history.Res(2, "q", spec.MethodDeq, history.Pair(true, v)))
+	}
+	stats := st.Stats()
+	if stats.Shed == 0 {
+		t.Fatal("no state shed on a fully decided stream")
+	}
+	if stats.Resident > 4096 {
+		t.Fatalf("resident state %d not bounded (events=%d, shed=%d)", stats.Resident, stats.Events, stats.Shed)
+	}
+	if r := st.Finish(); r.Outcome != StepOK {
+		t.Fatalf("finish: %s (%s)", r.Outcome, r.Reason)
+	}
+}
+
+func TestStepperIncompleteFinishSkipsFinalChecks(t *testing.T) {
+	// An unmatched value plus a *pending* dequeue: Q3 cannot be judged —
+	// the pending dequeue may yet remove the unmatched value.
+	h := buildH([]evRow{
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(1)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 1, method: spec.MethodEnq, arg: history.Int(2)},
+		{thread: 1, method: spec.MethodEnq, ret: history.Bool(true)},
+		{inv: true, thread: 1, method: spec.MethodDeq, arg: history.Unit()},
+		{thread: 1, method: spec.MethodDeq, ret: history.Pair(true, 2)},
+		{inv: true, thread: 2, method: spec.MethodDeq, arg: history.Unit()},
+	})
+	st, _ := NewStepper(spec.NewQueue("q"), 0)
+	for i, ev := range h {
+		if r := st.Advance(ev, i); r.Outcome != StepOK {
+			t.Fatalf("event %d: %v", i, r)
+		}
+	}
+	r := st.Finish()
+	if r.Outcome != StepOK || r.Reason == "" {
+		t.Fatalf("want annotated OK on incomplete finish, got %s (%q)", r.Outcome, r.Reason)
+	}
+}

@@ -85,10 +85,6 @@ type Options struct {
 	// without successors. Bounded-retry models use it: a thread that
 	// exhausted its retry budget halts without completing its program.
 	AllowDeadlock bool
-	// Context, if set, cancels the exploration cooperatively: the search
-	// polls it periodically and returns ErrInterrupted (wrapping the
-	// context's error) with partial Stats. Nil means never cancelled.
-	Context context.Context
 	// Parallelism is the number of exploration workers; 0 (the default)
 	// means GOMAXPROCS. States, Transitions and Terminals do not depend
 	// on it.
@@ -354,6 +350,7 @@ type worker struct {
 }
 
 type engine struct {
+	ctx     context.Context // cancels the exploration; nil means never
 	opts    Options
 	visited visitedSet
 	workers []worker
@@ -386,23 +383,14 @@ func (e *engine) firstErr() error {
 // deadline expiry return ErrInterrupted (wrapping the context's error)
 // with partial Stats. Nil means never cancelled.
 func Explore(ctx context.Context, init State, opts ...Option) (Stats, error) {
-	o := Options{Context: ctx}
+	var o Options
 	for _, opt := range opts {
 		opt(&o)
 	}
-	return explore(init, o)
+	return explore(ctx, init, o)
 }
 
-// ExploreOptions is the former struct-options entry point, kept so
-// existing callers compile; it delegates unchanged.
-//
-// Deprecated: use Explore with functional options; the Context field
-// becomes Explore's first argument.
-func ExploreOptions(init State, opts Options) (Stats, error) {
-	return explore(init, opts)
-}
-
-func explore(init State, opts Options) (Stats, error) {
+func explore(ctx context.Context, init State, opts Options) (Stats, error) {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 1_000_000
 	}
@@ -410,7 +398,7 @@ func explore(init State, opts Options) (Stats, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	e := &engine{opts: opts, workers: make([]worker, par)}
+	e := &engine{ctx: ctx, opts: opts, workers: make([]worker, par)}
 	e.visited.init()
 
 	// The initial state is checked inline (empty schedule) before the
@@ -446,7 +434,7 @@ func explore(init State, opts Options) (Stats, error) {
 
 	// Workers run under pprof labels so CPU profiles attribute time per
 	// worker and phase.
-	labelCtx := opts.Context
+	labelCtx := ctx
 	if labelCtx == nil {
 		labelCtx = context.Background()
 	}
@@ -549,14 +537,14 @@ func (e *engine) steal(id int) *node {
 // these models is narrow, so a few hundred transitions pass in microseconds
 // and cancellation latency stays far below any useful deadline.
 func (e *engine) poll(w *worker) error {
-	if e.opts.Context == nil {
+	if e.ctx == nil {
 		return nil
 	}
 	w.work++
 	if w.work&255 != 0 {
 		return nil
 	}
-	if err := e.opts.Context.Err(); err != nil {
+	if err := e.ctx.Err(); err != nil {
 		return fmt.Errorf("%w: %w", ErrInterrupted, err)
 	}
 	return nil

@@ -41,6 +41,17 @@ func NewProduct(specs ...Spec) (*Product, error) {
 	return p, nil
 }
 
+// Components returns the component specifications in composition order.
+// Streaming checkers use it to demultiplex a multi-object event stream
+// into one incremental engine per component object.
+func (p *Product) Components() []Spec {
+	out := make([]Spec, len(p.order))
+	for i, o := range p.order {
+		out[i] = p.specs[o]
+	}
+	return out
+}
+
 // MustProduct is NewProduct that panics on error; for tests and literals.
 func MustProduct(specs ...Spec) *Product {
 	p, err := NewProduct(specs...)

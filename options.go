@@ -1,24 +1,27 @@
 package calgo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"calgo/internal/check"
 	"calgo/internal/sched"
+	"calgo/internal/stream"
 )
 
 // Option configures the facade's entry points. One option vocabulary
-// serves both engines: shared options (WithParallelism, WithMaxStates,
+// serves the engines: shared options (WithParallelism, WithMaxStates,
 // WithTracer, WithMetrics, WithProgress) apply to the checkers and to
 // the explorer alike, while engine-specific options (say WithElementCap,
-// or WithInvariant) apply to one of them. Passing an option to an entry
-// point it does not apply to is an error, reported by that entry point —
-// never silently ignored.
+// WithInvariant, or WithStreamWindow) apply to one of them. Passing an
+// option to an entry point it does not apply to is an error, reported by
+// that entry point — never silently ignored.
 type Option struct {
-	name  string
-	check check.Option
-	sched sched.Option
+	name   string
+	check  check.Option
+	sched  sched.Option
+	stream func(*stream.Config)
 }
 
 // String returns the option's constructor name, for diagnostics.
@@ -35,6 +38,27 @@ func checkOptions(opts []Option) ([]check.Option, error) {
 		out = append(out, o.check)
 	}
 	return out, nil
+}
+
+// streamOptions projects opts onto a stream configuration. Stream-native
+// options edit the Config directly; checker options configure the
+// embedded fallback Checker (WithEngine excepted — a stream's engine is
+// chosen with WithStreamEngine); anything else is rejected.
+func streamOptions(opts []Option) (stream.Config, error) {
+	var cfg stream.Config
+	for _, o := range opts {
+		switch {
+		case o.stream != nil:
+			o.stream(&cfg)
+		case o.name == "WithEngine":
+			return cfg, fmt.Errorf("calgo: option WithEngine does not apply to streams; use WithStreamEngine")
+		case o.check != nil:
+			cfg.CheckOptions = append(cfg.CheckOptions, o.check)
+		default:
+			return cfg, fmt.Errorf("calgo: option %s does not apply to streams", o.name)
+		}
+	}
+	return cfg, nil
 }
 
 // schedOptions projects opts onto the explorer engine, rejecting options
@@ -75,11 +99,20 @@ func WithTracer(t Tracer) Option {
 }
 
 // WithMetrics accumulates engine totals into the registry: check.* from
-// the checkers, sched.* from the explorer (see EXPERIMENTS.md, "Metrics
-// schema"). One registry may be shared by both engines and exported with
+// the checkers, sched.* from the explorer, stream.* (plus the embedded
+// fallback checker's check.*) from streams (see EXPERIMENTS.md, "Metrics
+// schema"). One registry may be shared by all engines and exported with
 // Metrics.MarshalJSON or Metrics.PublishExpvar.
 func WithMetrics(m *Metrics) Option {
-	return Option{name: "WithMetrics", check: check.WithMetrics(m), sched: sched.WithMetrics(m)}
+	return Option{
+		name:  "WithMetrics",
+		check: check.WithMetrics(m),
+		sched: sched.WithMetrics(m),
+		stream: func(c *stream.Config) {
+			c.Metrics = m
+			c.CheckOptions = append(c.CheckOptions, check.WithMetrics(m))
+		},
+	}
 }
 
 // WithProgress reports live progress (states, states/sec, ETA against
@@ -134,11 +167,38 @@ func WithEngine(e Engine) Option {
 	return Option{name: "WithEngine", check: check.WithEngine(e)}
 }
 
-// WithWorkers is the former name of WithParallelism.
-//
-// Deprecated: use WithParallelism, which also applies to the explorer.
-func WithWorkers(n int) Option {
-	return Option{name: "WithWorkers", check: check.WithParallelism(n), sched: sched.WithParallelism(n)}
+// Stream-only options (NewStream).
+
+// WithStreamWindow bounds the events buffered per object for windowed
+// DFS (re-)checking and for falling back from a monitor that leaves its
+// unambiguous fragment mid-stream. A stream that outgrows the window
+// sheds the buffer and degrades honestly rather than weakening later
+// verdicts. Default 65536.
+func WithStreamWindow(n int) Option {
+	return Option{name: "WithStreamWindow", stream: func(c *stream.Config) { c.Window = n }}
+}
+
+// WithStreamCheckEvery sets the fallback re-check cadence: buffered
+// events between DFS re-checks, and completed operations between the
+// replay steppers' batch re-checks. Default 4096.
+func WithStreamCheckEvery(n int) Option {
+	return Option{name: "WithStreamCheckEvery", stream: func(c *stream.Config) { c.CheckEvery = n }}
+}
+
+// WithStreamEngine selects the per-object streaming decision path:
+// StreamEngineAuto (the default) runs incremental monitors with DFS
+// fallback, StreamEngineDFS forces windowed re-checking, and
+// StreamEngineMonitor forces monitors and degrades instead of falling
+// back.
+func WithStreamEngine(e StreamEngine) Option {
+	return Option{name: "WithStreamEngine", stream: func(c *stream.Config) { c.Engine = e }}
+}
+
+// WithStreamContext parents the stream's internal context: cancelling
+// ctx degrades in-flight and future fallback re-checks instead of
+// blocking Close.
+func WithStreamContext(ctx context.Context) Option {
+	return Option{name: "WithStreamContext", stream: func(c *stream.Config) { c.Context = ctx }}
 }
 
 // Explorer-only options.
