@@ -26,13 +26,14 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
-# The parallel engine, the batch checker, the daemon's job queue and the
-# specialized monitors are the packages whose correctness depends on
-# cross-goroutine coordination (the monitors via the checker's engine
-# dispatch and the cross-validation harness); run their full (non-short)
-# suites under the race detector.
-echo "== go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/ =="
-go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/
+# The parallel engine, the batch checker, the daemon's job queue, the
+# specialized monitors and the run-history store are the packages whose
+# correctness depends on cross-goroutine coordination (the monitors via
+# the checker's engine dispatch and the cross-validation harness, the
+# store via concurrent Put/List and crash-replay); run their full
+# (non-short) suites under the race detector.
+echo "== go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/ ./internal/runstore/ =="
+go test -race ./internal/sched/ ./internal/check/ ./internal/jobs/ ./internal/monitor/ ./internal/runstore/
 
 # Guard the deprecation sweep: the context-first API is the only one,
 # and none of the deleted legacy symbols may reappear in Go sources.
@@ -261,6 +262,28 @@ case "$auto2_out" in
     ;;
 esac
 
+# Both -auto runs also recorded trajectory points in the run-history
+# store living in the -auto directory; a regression query over it must
+# name two distinct records and reproduce every per-cell delta from the
+# stored rates.
+go run ./cmd/calreport -store "$auto_dir" -query "regressions" \
+    -o "$explain_dir/auto-query.json"
+python3 -c '
+import json, sys
+res = json.load(open(sys.argv[1]))
+assert res["schema"] == "calgo.query/v1", res
+assert res["mode"] == "regressions", res
+assert res["current_id"] != res["baseline_id"], res
+deltas = res.get("deltas") or []
+assert deltas, "regression query over two -auto runs returned no cells"
+for d in deltas:
+    want = (d["cur_ops_per_sec"] - d["base_ops_per_sec"]) / d["base_ops_per_sec"] * 100
+    assert abs(d["delta_pct"] - want) < 1e-9, d
+assert all(d["table"] == "B7" for d in deltas), deltas
+print("run store: %s vs %s, %d B7 cell deltas consistent"
+      % (res["current_id"], res["baseline_id"], len(deltas)))
+' "$explain_dir/auto-query.json"
+
 # Smoke the perf-trajectory path warn-only: -compare against the
 # committed baseline must parse it and print a delta summary. No -gate
 # here — CI machines are too noisy to fail the build on throughput.
@@ -275,6 +298,51 @@ case "$compare_out" in
     ;;
 esac
 
+# The committed trajectory files are the ground truth for the query
+# layer: ingest both into a fresh store (calreport does this on open)
+# and assert the regression query reproduces every per-cell delta an
+# independent recomputation of the two JSON documents yields.
+echo "== run-history store query smoke (committed trajectories) =="
+store_dir="$explain_dir/runstore"
+mkdir -p "$store_dir"
+cp BENCH_2026-08-06.json BENCH_2026-08-08.json "$store_dir/"
+go run ./cmd/calreport -store "$store_dir" -query "regressions" \
+    -o "$explain_dir/committed-query.json"
+check_committed_deltas() {
+    # $1: calgo.query/v1 JSON path; $2: label for the success line.
+    python3 -c '
+import json, sys
+
+def cells(path):
+    doc = json.load(open(path))
+    out = {}
+    for t in doc["tables"]:
+        for r in t["rows"]:
+            for i, c in enumerate(t["columns"]):
+                if i < len(r["ops_per_sec"]):
+                    out[(t["id"], r["name"], c)] = r["ops_per_sec"][i]
+    return out
+
+base, cur = cells("BENCH_2026-08-06.json"), cells("BENCH_2026-08-08.json")
+want = {k: (cur[k] - base[k]) / base[k] * 100
+        for k in base if k in cur and base[k] > 0}
+
+res = json.load(open(sys.argv[1]))
+assert res["schema"] == "calgo.query/v1", res
+assert res["baseline_id"] == "bench-BENCH_2026-08-06", res
+assert res["current_id"] == "bench-BENCH_2026-08-08", res
+got = {(d["table"], d["row"], d["column"]): d["delta_pct"]
+       for d in res.get("deltas") or []}
+assert set(got) == set(want), (set(got) ^ set(want))
+for k, pct in want.items():
+    assert abs(got[k] - pct) < 1e-9, (k, got[k], pct)
+pcts = [d["delta_pct"] for d in res["deltas"]]
+assert pcts == sorted(pcts), "deltas not worst-first"
+print("%s: %d per-cell deltas match the committed trajectories exactly"
+      % (sys.argv[2], len(want)))
+' "$1" "$2"
+}
+check_committed_deltas "$explain_dir/committed-query.json" "calreport -query"
 
 # Smoke the checking daemon end to end: build cald under the race
 # detector, round-trip a history through calcheck -remote, prove the
@@ -308,9 +376,11 @@ start_cald() {
     fi
 }
 
-# Instance 1: single worker with a journal; -drain 1s keeps the
-# SIGTERM step below fast.
+# Instance 1: single worker with a journal and a durable run-history
+# store (instance 3 reopens both); -drain 1s keeps the SIGTERM step
+# below fast.
 start_cald "$explain_dir/cald1.log" -journal "$explain_dir/cald.journal" \
+    -store "$explain_dir/caldstore" \
     -workers 1 -queue-depth 8 -drain 1s
 url1="$cald_url"
 pid1="$cald_pid"
@@ -342,7 +412,11 @@ else:
     raise AssertionError("calgo_jobs_cache_hits_total missing from /metrics")
 runs = json.load(urllib.request.urlopen(base + "/runsz", timeout=10))
 assert len(runs) == 1, "want exactly 1 executed search on /runsz, got %d" % len(runs)
-print("verdict cache: hit counted, no second search (1 report on /runsz)")
+rec = runs[0]
+assert rec["schema"] == "calgo.run/v1", rec
+assert rec["tool"] == "cald" and rec["verdict"] == "OK", rec
+assert rec["labels"]["spec"] == "exchanger", rec
+print("verdict cache: hit counted, no second search (1 record on /runsz)")
 ' "$url1"
 
 # 3. Admission control: a burst-1 instance sheds the second submission
@@ -415,7 +489,8 @@ if ! grep -q "drained with pending jobs journaled" "$explain_dir/cald1.log"; the
     exit 1
 fi
 
-start_cald "$explain_dir/cald3.log" -journal "$explain_dir/cald.journal" -workers 1
+start_cald "$explain_dir/cald3.log" -journal "$explain_dir/cald.journal" \
+    -store "$explain_dir/caldstore" -workers 1
 url3="$cald_url"
 pid3="$cald_pid"
 python3 -c '
@@ -432,9 +507,26 @@ assert j.get("resumed"), "job was not marked resumed: %r" % j
 assert j["verdict"] == "OK", j
 print("journal resume: %s finished %s after restart" % (id, j["verdict"]))
 ' "$url3" "$pending_id"
+
+# The restarted instance must also serve the verdict instance 1
+# recorded: the pre-restart record (r-1, spec=exchanger) is answerable
+# on /runsz and /queryz from the reopened store, no journal involved.
+python3 -c '
+import json, sys, urllib.request
+base = sys.argv[1].rstrip("/")
+runs = json.load(urllib.request.urlopen(
+    base + "/runsz?tool=cald&label=spec:exchanger", timeout=10))
+pre = [r for r in runs if r["id"] == "r-1"]
+assert pre, "pre-restart record r-1 missing from /runsz: %r" % [r["id"] for r in runs]
+assert pre[0]["verdict"] == "OK" and pre[0]["labels"]["mode"] == "cal", pre[0]
+res = json.load(urllib.request.urlopen(base + "/queryz?tool=cald", timeout=10))
+assert res["schema"] == "calgo.query/v1" and res["total"] >= 1, res
+assert any(r["id"] == "r-1" for r in res["runs"]), res
+print("run store: pre-restart verdict r-1 served after restart (%d records)" % len(runs))
+' "$url3"
 kill -TERM "$pid3"
 wait "$pid3"
-echo "cald smoke: round trip, cache hit, 429 backoff, drain + journal resume"
+echo "cald smoke: round trip, cache hit, 429 backoff, drain + journal resume + durable run history"
 
 # Smoke the streaming API end to end under the race detector: open a
 # stream against cald with a tiny fallback window, watch it over SSE
@@ -506,5 +598,26 @@ print("streaming smoke: VIOLATION-at-event-163 over SSE, shed prefix counted on 
 ' "$url4"
 kill -TERM "$pid4"
 wait "$pid4"
+
+# The same committed-trajectory regression must be answerable over HTTP:
+# point a cald at the store the calreport smoke ingested and ask /queryz
+# for the identical calgo.query/v1 document (plus an HTML rendering for
+# browsers).
+echo "== cald /queryz smoke (committed trajectories) =="
+start_cald "$explain_dir/cald5.log" -store "$store_dir"
+url5="$cald_url"
+pid5="$cald_pid"
+python3 -c '
+import sys, urllib.request
+base = sys.argv[1].rstrip("/")
+open(sys.argv[2], "wb").write(
+    urllib.request.urlopen(base + "/queryz?mode=regressions", timeout=10).read())
+html = urllib.request.urlopen(base + "/queryz?mode=regressions&format=html",
+                              timeout=10).read().decode()
+assert "<table>" in html and "bench-BENCH_2026-08-06" in html, html[:400]
+' "$url5" "$explain_dir/queryz.json"
+check_committed_deltas "$explain_dir/queryz.json" "/queryz"
+kill -TERM "$pid5"
+wait "$pid5"
 
 echo "CI gate passed."

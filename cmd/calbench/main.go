@@ -16,14 +16,19 @@
 // perf trajectory accumulates as BENCH_<date>.json files.
 //
 // With -compare the run's rates are diffed cell-by-cell against a
-// committed baseline document; -gate N turns a worse-than-N% regression
-// in any comparable cell into exit 1, and -repeat M measures each table
-// M times keeping each cell's best rate, so one noisy scheduler stall
-// cannot fail the gate (min-of-N noise floor; see EXPERIMENTS.md).
-// -auto DIR does both bookkeeping steps at once: it compares against the
-// newest BENCH_*.json in DIR and writes this run's tables as
-// DIR/BENCH_<date>.json, so the trajectory accumulates with no manual
-// path juggling.
+// committed baseline — a BENCH_*.json document, or a run-store
+// directory whose newest bench record (by generation time) is used;
+// -gate N turns a worse-than-N% regression in any comparable cell into
+// exit 1, and -repeat M measures each table M times keeping each
+// cell's best rate, so one noisy scheduler stall cannot fail the gate
+// (min-of-N noise floor; see EXPERIMENTS.md).
+// -auto DIR does the whole bookkeeping at once: it maintains a
+// run-history store in DIR (ingesting committed BENCH_*.json files on
+// first open), compares against the newest trajectory point by
+// generation timestamp, writes this run's tables as
+// DIR/BENCH_<date>.json and records them as a new store record —
+// queryable later via `calreport -store DIR -query regressions` or a
+// serving daemon's /queryz.
 //
 // The shared observability flags apply to the benchmark process itself:
 // -timeout hard-caps the whole run (an expired run prints UNKNOWN and
@@ -51,6 +56,7 @@ import (
 
 	"calgo/internal/cliflags"
 	"calgo/internal/monitor"
+	"calgo/internal/runstore"
 
 	"calgo"
 )
@@ -71,27 +77,14 @@ var (
 	repeat   = flag.Int("repeat", 1, "measure every table this many times and keep each cell's best rate — the min-of-N noise floor that keeps -compare from flagging scheduler noise as regression")
 )
 
-// jsonReport mirrors the printed tables in machine-readable form; the
-// schema is documented in EXPERIMENTS.md.
-type jsonReport struct {
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Window     string      `json:"window"`
-	Generated  string      `json:"generated"`
-	Tables     []jsonTable `json:"tables"`
-}
-
-type jsonTable struct {
-	ID          string    `json:"id"`
-	Title       string    `json:"title"`
-	ColumnLabel string    `json:"column_label"`
-	Columns     []int     `json:"columns"`
-	Rows        []jsonRow `json:"rows"`
-}
-
-type jsonRow struct {
-	Name      string    `json:"name"`
-	OpsPerSec []float64 `json:"ops_per_sec"`
-}
+// The printed tables in machine-readable form are the runstore bench
+// document (schema documented in EXPERIMENTS.md), so a run can land in
+// the run-history store and be queried back without translation.
+type (
+	jsonReport = runstore.Bench
+	jsonTable  = runstore.BenchTable
+	jsonRow    = runstore.BenchRow
+)
 
 var (
 	report jsonReport
@@ -143,6 +136,15 @@ func snapshotTables() []jsonTable {
 	reportMu.Lock()
 	defer reportMu.Unlock()
 	return append([]jsonTable(nil), report.Tables...)
+}
+
+// snapshotReport copies the whole document (as stamped by writeJSON).
+func snapshotReport() jsonReport {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	doc := report
+	doc.Tables = append([]jsonTable(nil), report.Tables...)
+	return doc
 }
 
 func writeJSON(path string) error {
@@ -222,14 +224,38 @@ func run() int {
 		}
 	}
 
-	if *compare != "" && exit == 0 {
-		worst, err := compareBaseline(*compare, snapshotTables())
+	if exit == 0 && (*compare != "" || autoBase != nil) {
+		label, base := autoBaseLabel, autoBase
+		if *compare != "" {
+			var err error
+			if label, base, err = loadBaseline(*compare); err != nil {
+				return fail("loading baseline", err)
+			}
+		}
+		worst, err := compareBaseline(label, base, snapshotTables())
 		if err != nil {
 			return fail("comparing baseline", err)
 		}
 		if *gate > 0 && worst.pct > *gate {
 			fmt.Printf("REGRESSION: %s is %.1f%% below baseline, gate is %.0f%%\n", worst.cell, worst.pct, *gate)
 			exit = 1
+		}
+	}
+
+	// -auto: record this run's tables as a new trajectory point (a
+	// store-assigned ID, so several same-day runs stay distinct even
+	// though they share BENCH_<date>.json).
+	if autoStore != nil {
+		if doc := snapshotReport(); len(doc.Tables) > 0 && doc.Generated != "" {
+			rec := runstore.BenchRecord("", &doc)
+			if err := autoStore.Put(rec); err != nil {
+				shared.Logger().Error("recording trajectory point", "err", err)
+			} else {
+				fmt.Printf("recorded trajectory point %s in run store %s\n", rec.ID, *auto)
+			}
+		}
+		if err := autoStore.Close(); err != nil {
+			shared.Logger().Error("closing run store", "err", err)
 		}
 	}
 
@@ -253,38 +279,88 @@ func run() int {
 	return exit
 }
 
-// resolveAuto fills in -compare and -json from the -auto directory: the
-// lexically newest BENCH_*.json there is the comparison baseline (the
-// names embed ISO dates, so lexical order is date order) and this run's
-// tables land in BENCH_<today>.json. Explicit -compare/-json win.
+// The -auto run-history plumbing: the store open in the -auto
+// directory (its segments live beside the BENCH_*.json files) and the
+// baseline bench document chosen from it.
+var (
+	autoStore     *runstore.FS
+	autoBase      *jsonReport
+	autoBaseLabel string
+)
+
+// resolveAuto opens the run-history store in the -auto directory,
+// ingests any committed BENCH_*.json files not yet recorded
+// (idempotent: deterministic per-file IDs), and picks the newest bench
+// record *by generation timestamp* as the comparison baseline — not
+// the lexically newest filename, which stops being date order the
+// moment a file name doesn't embed one. This run's tables land in
+// BENCH_<today>.json (unless -json is set) and are recorded in the
+// store after the run. Explicit -compare/-json win.
 func resolveAuto(shared *cliflags.Set) error {
-	if err := os.MkdirAll(*auto, 0o755); err != nil {
-		return err
-	}
-	entries, err := os.ReadDir(*auto)
+	st, err := runstore.OpenFS(*auto, runstore.FSOptions{Metrics: shared.Metrics(), Logger: shared.Logger()})
 	if err != nil {
 		return err
 	}
-	newest := ""
-	for _, e := range entries {
-		name := e.Name()
-		if e.Type().IsRegular() && strings.HasPrefix(name, "BENCH_") && strings.HasSuffix(name, ".json") && name > newest {
-			newest = name
-		}
+	autoStore = st
+	if n, err := runstore.IngestBenchDir(st, *auto, shared.Logger()); err != nil {
+		return err
+	} else if n > 0 {
+		shared.Logger().Info("ingested committed trajectory files", "dir", *auto, "files", n)
 	}
 	if *jsonPath == "" {
 		*jsonPath = filepath.Join(*auto, "BENCH_"+time.Now().UTC().Format("2006-01-02")+".json")
 	}
-	if *compare == "" && newest != "" {
-		*compare = filepath.Join(*auto, newest)
-		if *compare == *jsonPath {
-			shared.Logger().Info("baseline is today's file; this run will overwrite it after comparing", "path", *compare)
-		}
-		shared.Logger().Info("auto-comparing against newest baseline", "baseline", *compare)
-	} else if *compare == "" {
-		shared.Logger().Info("no BENCH_*.json baseline yet; this run seeds the trajectory", "dir", *auto)
+	if *compare != "" {
+		return nil // an explicit baseline wins over the store's newest
 	}
+	rec, err := runstore.Latest(st, runstore.Filter{Kind: runstore.KindBench})
+	if err != nil {
+		return err
+	}
+	if rec == nil || rec.Bench == nil {
+		shared.Logger().Info("no BENCH_*.json baseline yet; this run seeds the trajectory", "dir", *auto)
+		return nil
+	}
+	autoBase, autoBaseLabel = rec.Bench, fmt.Sprintf("%s (store %s)", rec.ID, *auto)
+	if _, err := os.Stat(*jsonPath); err == nil {
+		shared.Logger().Info("baseline is today's file; this run will overwrite it after comparing", "path", *jsonPath)
+	}
+	shared.Logger().Info("auto-comparing against newest baseline",
+		"baseline", rec.ID, "generated", rec.Bench.Generated)
 	return nil
+}
+
+// loadBaseline resolves a -compare argument: a BENCH_*.json document,
+// or a run-store directory whose newest bench record (by generation
+// time) becomes the baseline.
+func loadBaseline(path string) (string, *jsonReport, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		st, err := runstore.OpenFS(path, runstore.FSOptions{})
+		if err != nil {
+			return "", nil, err
+		}
+		defer st.Close()
+		if _, err := runstore.IngestBenchDir(st, path, nil); err != nil {
+			return "", nil, err
+		}
+		rec, err := runstore.Latest(st, runstore.Filter{Kind: runstore.KindBench})
+		if err != nil {
+			return "", nil, err
+		}
+		if rec == nil || rec.Bench == nil {
+			return "", nil, fmt.Errorf("no bench records in run store %s", path)
+		}
+		return fmt.Sprintf("%s (store %s)", rec.ID, path), rec.Bench, nil
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base jsonReport
+	if err := json.Unmarshal(b, &base); err != nil {
+		return "", nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return path, &base, nil
 }
 
 func runTables() error {
@@ -346,21 +422,16 @@ type regression struct {
 	cell string
 }
 
-// compareBaseline loads a BENCH_*.json baseline and prints, per table,
-// the percent delta of every cell present in both the baseline and this
-// run (positive = faster than baseline). Cells only one side has are
-// counted and noted, never compared. Returns the worst regression.
-func compareBaseline(path string, tables []jsonTable) (regression, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return regression{}, fmt.Errorf("reading baseline: %w", err)
-	}
-	var base jsonReport
-	if err := json.Unmarshal(b, &base); err != nil {
-		return regression{}, fmt.Errorf("parsing baseline %s: %w", path, err)
+// compareBaseline prints, per table, the percent delta of every cell
+// present in both the baseline document and this run (positive =
+// faster than baseline). Cells only one side has are counted and
+// noted, never compared. Returns the worst regression.
+func compareBaseline(label string, base *jsonReport, tables []jsonTable) (regression, error) {
+	if base == nil {
+		return regression{}, fmt.Errorf("no baseline document")
 	}
 	fmt.Printf("compare vs %s (baseline: gomaxprocs=%d, window=%s, generated %s)\n",
-		path, base.GOMAXPROCS, base.Window, base.Generated)
+		label, base.GOMAXPROCS, base.Window, base.Generated)
 	if base.GOMAXPROCS != runtime.GOMAXPROCS(0) || base.Window != duration.String() {
 		fmt.Printf("note: baseline settings differ from this run (gomaxprocs=%d, window=%v); deltas are indicative only\n",
 			runtime.GOMAXPROCS(0), *duration)

@@ -19,7 +19,7 @@
 //	POST /streams/{id}/events feed a batch; response = verdict frame
 //	GET  /streams/{id}        poll the frame (?watch=1 streams via SSE)
 //	POST /streams/{id}/close  run end-of-stream checks; final frame
-//	/metrics /statusz /flightz /runsz /debug/pprof/   the ops surface
+//	/metrics /statusz /flightz /runsz /queryz /debug/pprof/   the ops surface
 //
 // Robustness properties (see EXPERIMENTS.md "Checking as a service"):
 // bounded queue with 429 + Retry-After load shedding; per-client
@@ -44,7 +44,23 @@ import (
 	"calgo/internal/obs"
 	"calgo/internal/obs/serve"
 	"calgo/internal/render"
+	"calgo/internal/runstore"
 )
+
+// runLabels is the run-record label set cald publishes (the vocabulary
+// pinned in EXPERIMENTS.md "Run-history store"); empty values are
+// omitted so label selectors stay exact-match.
+func runLabels(spec, mode, engine, object, client string) map[string]string {
+	labels := make(map[string]string, 5)
+	for k, v := range map[string]string{
+		"spec": spec, "mode": mode, "engine": engine, "object": object, "client": client,
+	} {
+		if v != "" {
+			labels[k] = v
+		}
+	}
+	return labels
+}
 
 func main() {
 	os.Exit(run())
@@ -59,6 +75,7 @@ func run() int {
 		burst        = flag.Int("burst", 8, "per-client token-bucket burst")
 		cacheEntries = flag.Int("cache-entries", 1024, "verdict-cache capacity (identical histories answered without re-searching; negative disables)")
 		journalPath  = flag.String("journal", "", "crash-safe job journal path; pending jobs are resumed on restart (\"\" = volatile)")
+		storeDir     = flag.String("store", "", "durable run-history store directory; every completed job and stream verdict is persisted and served across restarts on /runsz and /queryz (\"\" = bounded in-memory ring)")
 		maxBytes     = flag.Int("max-history-bytes", 1<<20, "reject history uploads larger than this before parsing")
 		maxEvents    = flag.Int("max-history-events", 1<<16, "reject histories with more events than this")
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp (and default) for per-job wall-clock deadlines")
@@ -91,7 +108,18 @@ func run() int {
 	}
 	live := obs.NewLiveRun("cald")
 	flight := obs.NewFlightRecorder(cliflags.FlightEvents)
-	ops := serve.New(serve.Config{Tool: "cald", Metrics: metrics, Flight: flight, Live: live})
+	var store runstore.Store
+	if *storeDir != "" {
+		fs, err := runstore.OpenFS(*storeDir, runstore.FSOptions{Metrics: metrics, Logger: logger})
+		if err != nil {
+			logger.Error("opening run-history store", "dir", *storeDir, "err", err)
+			return 2
+		}
+		defer fs.Close()
+		store = fs
+		logger.Info("run-history store open", "dir", *storeDir, "records", fs.Len())
+	}
+	ops := serve.New(serve.Config{Tool: "cald", Metrics: metrics, Flight: flight, Live: live, Store: store})
 
 	mgr, err := jobs.New(jobs.Config{
 		Workers:          *workers,
@@ -115,7 +143,11 @@ func run() int {
 				Verdict: j.Verdict, Detail: j.Detail})
 			doc := render.NewReport("cald", time.Now())
 			doc.Runs = []render.Run{{Name: j.ID, Verdict: j.Verdict, Detail: j.Detail}}
-			ops.AddReport(doc)
+			ops.AddRecord(&runstore.Record{
+				Report: doc,
+				Labels: runLabels(j.Request.Spec, j.Request.Mode, j.Request.Engine,
+					j.Request.Object, j.Client),
+			})
 		},
 	})
 	if err != nil {
@@ -137,6 +169,14 @@ func run() int {
 		OnClose: func(d jobs.StreamDoc) {
 			ops.AddRun(render.Run{Name: d.ID + " " + d.Request.Spec + "/stream",
 				Verdict: d.Verdict.Status.String(), Detail: d.Verdict.String()})
+			doc := render.NewReport("cald", time.Now())
+			doc.Runs = []render.Run{{Name: d.ID,
+				Verdict: d.Verdict.Status.String(), Detail: d.Verdict.String()}}
+			ops.AddRecord(&runstore.Record{
+				Report: doc,
+				Labels: runLabels(d.Request.Spec, "stream", d.Request.Engine,
+					d.Request.Object, d.Client),
+			})
 		},
 	})
 
@@ -154,7 +194,7 @@ func run() int {
 	live.SetPhase("serving")
 	logger.Info("cald serving",
 		"url", fmt.Sprintf("http://%s/", bound),
-		"endpoints", "/jobs /streams /metrics /statusz /flightz /runsz /debug/pprof/")
+		"endpoints", "/jobs /streams /metrics /statusz /flightz /runsz /queryz /debug/pprof/")
 
 	ctx, stop := cliflags.SignalContext()
 	defer stop()

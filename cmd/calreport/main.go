@@ -9,6 +9,16 @@
 //	calreport -o report.json ...             # re-emit calgo.report/v1 JSON
 //	calreport -metrics m.json -trace t.jsonl # assemble a report from a
 //	                                         # saved metrics/flight pair
+//	calreport -store DIR -query EXPR         # query a run-history store
+//
+// -store points at a run-history store directory (as maintained by
+// `cald -store` or `calbench -auto`) and -query asks it a question in
+// the shared query grammar — `runs tool=cald verdict=VIOLATION
+// since=168h` lists matching records, `regressions table=B1 top=5`
+// computes per-cell perf deltas between the two newest trajectory
+// points (see EXPERIMENTS.md "Run-history store"). -o renders the
+// result as an aligned table (stdout), calgo.query/v1 JSON (.json) or
+// Markdown (anything else).
 //
 // The positional argument must be a calgo.report/v1 document as written
 // by any calgo CLI's -report flag. Alternatively -metrics takes a
@@ -50,6 +60,8 @@ func run() int {
 		tracePath   = flag.String("trace", "", "assemble from this saved -trace JSON-lines file (the events become the flight-recorder tail)")
 		tool        = flag.String("tool", "", "tool name to stamp on an assembled report (default: the metrics document's tool)")
 		out         = flag.String("o", "-", "output path; \"-\" = stdout, a .json path re-emits calgo.report/v1 JSON, anything else renders Markdown")
+		storeDir    = flag.String("store", "", "query a run-history store directory (as maintained by cald -store or calbench -auto) instead of rendering a report file")
+		queryExpr   = flag.String("query", "", "with -store: the query expression — e.g. 'runs tool=cald verdict=VIOLATION since=168h' or 'regressions table=B1 top=5' (default: list every record)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: calreport [flags] [report.json]\n")
@@ -57,6 +69,18 @@ func run() int {
 	}
 	shared := cliflags.RegisterOps("calreport")
 	flag.Parse()
+
+	if *storeDir != "" {
+		if err := runQuery(*storeDir, *queryExpr, *out); err != nil {
+			shared.Logger().Error("querying run store", "err", err)
+			return 2
+		}
+		return 0
+	}
+	if *queryExpr != "" {
+		shared.Logger().Error("-query needs -store", "query", *queryExpr)
+		return 2
+	}
 
 	doc, err := load(flag.Args(), *metricsPath, *tracePath, *tool)
 	if err != nil {
@@ -86,6 +110,44 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// runQuery answers a -query expression over a run-history store: the
+// result goes to stdout as an aligned table, to a .json path as the
+// calgo.query/v1 document, or to any other path as Markdown.
+func runQuery(dir, expr, out string) error {
+	st, err := calgo.OpenFSStore(dir, calgo.FSStoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	// Committed BENCH_*.json files beside the store become records on
+	// first sight (idempotent), so a directory of trajectory files is
+	// queryable with no prior bookkeeping run.
+	if _, err := calgo.IngestBenchFiles(st, dir, nil); err != nil {
+		return err
+	}
+	q, err := calgo.ParseRunQuery(expr, time.Now())
+	if err != nil {
+		return err
+	}
+	res, err := calgo.RunQueryOn(st, q)
+	if err != nil {
+		return err
+	}
+	switch {
+	case out == "-":
+		_, err := os.Stdout.WriteString(res.Text())
+		return err
+	case strings.HasSuffix(out, ".json"):
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, append(b, '\n'), 0o644)
+	default:
+		return os.WriteFile(out, []byte(res.Markdown()), 0o644)
+	}
 }
 
 // importSnapshot replays a saved metrics snapshot into a live registry,

@@ -360,12 +360,13 @@ func TestServeEndToEnd(t *testing.T) {
 	if err := s.Finish(0); err != nil {
 		t.Fatal(err)
 	}
-	var reports []calgo.Report
-	if err := json.Unmarshal([]byte(get("/runsz")), &reports); err != nil {
+	var records []calgo.RunRecord
+	if err := json.Unmarshal([]byte(get("/runsz")), &records); err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 1 || reports[0].Exit != 0 || len(reports[0].Runs) != 1 {
-		t.Errorf("/runsz = %+v", reports)
+	if len(records) != 1 || records[0].Report == nil ||
+		records[0].Report.Exit != 0 || len(records[0].Report.Runs) != 1 {
+		t.Errorf("/runsz = %+v", records)
 	}
 	if err := json.Unmarshal([]byte(get("/statusz")), &st); err != nil {
 		t.Fatal(err)

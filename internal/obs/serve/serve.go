@@ -6,7 +6,10 @@
 //	/metrics   Prometheus text exposition of the obs.Metrics registry
 //	/statusz   live run status (JSON, HTML, or SSE with ?watch=1)
 //	/flightz   the flight-recorder ring as JSON lines
-//	/runsz     completed calgo.report/v1 documents from this process
+//	/runsz     completed run records (calgo.run/v1) from the run-history
+//	           store, filterable by ?tool=&verdict=&since=&limit=
+//	/queryz    run-history queries (calgo.query/v1): record listings and
+//	           per-cell bench regressions, as JSON or an HTML table
 //	/debug/    the standard pprof and expvar handlers
 //
 // The server only reads the instruments it is given — the search hot
@@ -29,6 +32,7 @@ import (
 
 	"calgo/internal/obs"
 	"calgo/internal/render"
+	"calgo/internal/runstore"
 )
 
 // StatuszSchema versions the /statusz JSON document; the shape is
@@ -47,6 +51,12 @@ type Config struct {
 	Flight *obs.FlightRecorder
 	// Live backs the run section of /statusz.
 	Live *obs.LiveRun
+	// Store backs /runsz and /queryz. Nil gets a bounded in-memory ring
+	// (runstore.DefaultRingCapacity records, evictions counted on
+	// runstore.evicted), so a long-lived process can no longer grow its
+	// report slice without limit; daemons pass a durable filesystem
+	// store here to serve pre-restart history.
+	Store runstore.Store
 }
 
 // Server is the ops endpoint. Construct with New, mount Handler on any
@@ -56,11 +66,12 @@ type Config struct {
 type Server struct {
 	cfg Config
 
-	mu      sync.Mutex
-	runs    []render.Run
-	notes   []string
-	reports []*render.Report
-	mounts  map[string]http.Handler
+	store runstore.Store
+
+	mu     sync.Mutex
+	runs   []render.Run
+	notes  []string
+	mounts map[string]http.Handler
 
 	srv *http.Server
 	ln  net.Listener
@@ -73,7 +84,21 @@ type Server struct {
 }
 
 // New returns an unstarted server over the given instruments.
-func New(cfg Config) *Server { return &Server{cfg: cfg, closing: make(chan struct{})} }
+func New(cfg Config) *Server {
+	st := cfg.Store
+	if st == nil {
+		st = runstore.NewRing(runstore.DefaultRingCapacity, cfg.Metrics)
+	}
+	return &Server{cfg: cfg, store: st, closing: make(chan struct{})}
+}
+
+// Store returns the run-history store backing /runsz and /queryz.
+func (s *Server) Store() runstore.Store {
+	if s == nil {
+		return nil
+	}
+	return s.store
+}
 
 // Mount registers an additional handler on the ops mux under the given
 // pattern (http.ServeMux syntax), so subsystems like the cald job API
@@ -111,14 +136,23 @@ func (s *Server) AddNote(note string) {
 	s.mu.Unlock()
 }
 
-// AddReport publishes a completed calgo.report/v1 document on /runsz.
+// AddReport publishes a completed calgo.report/v1 document on /runsz,
+// wrapped as a run record in the backing store (which bounds or
+// persists it according to the backend).
 func (s *Server) AddReport(r *render.Report) {
 	if s == nil || r == nil {
 		return
 	}
-	s.mu.Lock()
-	s.reports = append(s.reports, r)
-	s.mu.Unlock()
+	s.AddRecord(&runstore.Record{Tool: r.Tool, Kind: runstore.KindReport, Report: r})
+}
+
+// AddRecord publishes a run record (with caller-chosen labels) on
+// /runsz via the backing store.
+func (s *Server) AddRecord(rec *runstore.Record) {
+	if s == nil || rec == nil {
+		return
+	}
+	_ = s.store.Put(rec) // the store logs/counts its own failures
 }
 
 // Handler returns the ops mux, mountable on any http server.
@@ -129,6 +163,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/flightz", s.handleFlightz)
 	mux.HandleFunc("/runsz", s.handleRunsz)
+	mux.HandleFunc("/queryz", s.handleQueryz)
 	// Delegate /debug/ to the process-wide mux: net/http/pprof and
 	// expvar register there on import.
 	mux.Handle("/debug/", http.DefaultServeMux)
@@ -221,7 +256,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/metrics">/metrics</a> — Prometheus exposition</li>
 <li><a href="/statusz">/statusz</a> — live run status (JSON; <a href="/statusz?format=html">HTML</a>, <a href="/statusz?watch=1">SSE</a>)</li>
 <li><a href="/flightz">/flightz</a> — flight-recorder ring (JSON lines)</li>
-<li><a href="/runsz">/runsz</a> — completed run reports</li>
+<li><a href="/runsz">/runsz</a> — completed run records (?tool=&amp;verdict=&amp;since=&amp;limit=)</li>
+<li><a href="/queryz">/queryz</a> — run-history queries (<a href="/queryz?mode=regressions&amp;format=html">regressions</a>)</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — profiles</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar</li>
 </ul>
@@ -408,13 +444,81 @@ func (s *Server) handleFlightz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleRunsz(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	reports := make([]*render.Report, len(s.reports))
-	copy(reports, s.reports)
-	s.mu.Unlock()
+// handleRunsz serves the run records as a JSON array, filterable by
+// ?tool=&verdict=&kind=&since=&until=&limit= (and repeatable
+// ?label=key:value selectors), newest Limit kept.
+func (s *Server) handleRunsz(w http.ResponseWriter, r *http.Request) {
+	q, err := runstore.QueryFromValues(r.URL.Query(), time.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	records, err := s.store.List(q.Filter)
+	if err != nil {
+		http.Error(w, "runstore: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if records == nil {
+		records = []*runstore.Record{} // an empty store is [], not null
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(reports) //nolint:errcheck // client gone
+	enc.Encode(records) //nolint:errcheck // client gone
+}
+
+// handleQueryz answers run-history queries (calgo.query/v1): record
+// listings (?mode=runs, the default) and per-cell bench regressions
+// (?mode=regressions&baseline=&table=&top=), as JSON or, with
+// ?format=html, a self-contained HTML table.
+func (s *Server) handleQueryz(w http.ResponseWriter, r *http.Request) {
+	q, err := runstore.QueryFromValues(r.URL.Query(), time.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := runstore.Run(s.store, q)
+	if err != nil {
+		http.Error(w, "runstore: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if r.URL.Query().Get("format") == "html" ||
+		(r.URL.Query().Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/html")) {
+		s.htmlQueryz(w, res)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(res) //nolint:errcheck // client gone
+}
+
+// htmlQueryz renders a query result as a zero-asset HTML table.
+func (s *Server) htmlQueryz(w http.ResponseWriter, res *runstore.Result) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html><title>queryz: %[1]s</title>
+<style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}
+td,th{border:1px solid #999;padding:.2em .6em;text-align:left}td.n{text-align:right}</style>
+<h1>queryz — %[1]s (%[2]s)</h1>
+`, html.EscapeString(s.cfg.Tool), html.EscapeString(res.Mode))
+	if res.Mode == runstore.ModeRegressions {
+		fmt.Fprintf(w, "<p>current <code>%s</code> (%s) vs baseline <code>%s</code> (%s); %d comparable cells, %d skipped</p>\n",
+			html.EscapeString(res.CurrentID), html.EscapeString(res.CurrentTime),
+			html.EscapeString(res.BaselineID), html.EscapeString(res.BaselineTime),
+			res.Total, res.Skipped)
+		fmt.Fprint(w, "<table><tr><th>table</th><th>row</th><th>column</th><th>base</th><th>current</th><th>delta</th></tr>\n")
+		for _, d := range res.Deltas {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td class=n>%d</td><td class=n>%.0f</td><td class=n>%.0f</td><td class=n>%+.1f%%</td></tr>\n",
+				html.EscapeString(d.Table), html.EscapeString(d.Row), d.Column, d.Base, d.Cur, d.Pct)
+		}
+		fmt.Fprint(w, "</table>\n")
+		return
+	}
+	fmt.Fprintf(w, "<p>%d matching record(s)</p>\n<table><tr><th>id</th><th>time</th><th>tool</th><th>kind</th><th>verdict</th><th>detail</th></tr>\n", res.Total)
+	for _, run := range res.Runs {
+		fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(run.ID), html.EscapeString(run.Time), html.EscapeString(run.Tool),
+			html.EscapeString(run.Kind), html.EscapeString(run.Verdict), html.EscapeString(run.Detail))
+	}
+	fmt.Fprint(w, "</table>\n")
 }

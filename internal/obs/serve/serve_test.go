@@ -14,6 +14,7 @@ import (
 
 	"calgo/internal/obs"
 	"calgo/internal/render"
+	"calgo/internal/runstore"
 	"calgo/internal/sched"
 )
 
@@ -274,7 +275,7 @@ func TestRunsz(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("runsz status = %d", code)
 	}
-	var docs []*render.Report
+	var docs []*runstore.Record
 	if err := json.Unmarshal([]byte(body), &docs); err != nil || len(docs) != 0 {
 		t.Fatalf("empty runsz = %q (err %v)", body, err)
 	}
@@ -287,11 +288,31 @@ func TestRunsz(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &docs); err != nil {
 		t.Fatal(err)
 	}
-	if len(docs) != 1 || docs[0].Schema != render.ReportSchema || docs[0].Exit != 1 {
+	if len(docs) != 1 || docs[0].Schema != runstore.RecordSchema || docs[0].Kind != runstore.KindReport {
 		t.Fatalf("runsz docs = %+v", docs)
 	}
-	if docs[0].Runs[0].Verdict != "VIOLATION" {
-		t.Fatalf("run = %+v", docs[0].Runs[0])
+	if docs[0].Verdict != "VIOLATION" || docs[0].Tool != "caltest" {
+		t.Fatalf("record = %+v", docs[0])
+	}
+	if docs[0].Report == nil || docs[0].Report.Schema != render.ReportSchema || docs[0].Report.Exit != 1 {
+		t.Fatalf("wrapped report = %+v", docs[0].Report)
+	}
+	if docs[0].Report.Runs[0].Verdict != "VIOLATION" {
+		t.Fatalf("run = %+v", docs[0].Report.Runs[0])
+	}
+
+	// The filter vocabulary: a verdict nothing has yields an empty set,
+	// the verdict the record has yields it back.
+	_, body, _ = get(t, ts.URL+"/runsz?verdict=OK")
+	if err := json.Unmarshal([]byte(body), &docs); err != nil || len(docs) != 0 {
+		t.Fatalf("filtered runsz = %q (err %v)", body, err)
+	}
+	_, body, _ = get(t, ts.URL+"/runsz?verdict=VIOLATION&tool=caltest&limit=5")
+	if err := json.Unmarshal([]byte(body), &docs); err != nil || len(docs) != 1 {
+		t.Fatalf("filtered runsz = %q (err %v)", body, err)
+	}
+	if code, body, _ := get(t, ts.URL+"/runsz?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit: code %d body %q", code, body)
 	}
 }
 
@@ -413,5 +434,135 @@ func TestShutdownDrainsSSE(t *testing.T) {
 	var nilSrv *Server
 	if err := nilSrv.Shutdown(context.Background()); err != nil {
 		t.Fatal("nil Shutdown must be a no-op")
+	}
+}
+
+func benchDoc(gen string, rate float64) *runstore.Bench {
+	return &runstore.Bench{
+		GOMAXPROCS: 4, Window: "60ms", Generated: gen,
+		Tables: []runstore.BenchTable{{
+			ID: "B1", Title: "stack", ColumnLabel: "goroutines", Columns: []int{1},
+			Rows: []runstore.BenchRow{{Name: "treiber", OpsPerSec: []float64{rate}}},
+		}},
+	}
+}
+
+func TestQueryz(t *testing.T) {
+	store := runstore.NewRing(16, nil)
+	for i, gen := range []string{"2026-08-06T00:00:00Z", "2026-08-08T00:00:00Z"} {
+		rec := runstore.BenchRecord(fmt.Sprintf("bench-%d", i), benchDoc(gen, float64(100+100*i)))
+		if err := store.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := testServer(t, Config{Tool: "caltest", Store: store})
+
+	// Default mode lists records as a calgo.query/v1 document.
+	code, body, hdr := get(t, ts.URL+"/queryz")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("queryz = %d %q", code, hdr.Get("Content-Type"))
+	}
+	var res runstore.Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != runstore.QuerySchema || res.Mode != runstore.ModeRuns || res.Total != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Regressions mode computes per-cell deltas: 200 vs 100 = +100%.
+	_, body, _ = get(t, ts.URL+"/queryz?mode=regressions")
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.CurrentID != "bench-1" || res.BaselineID != "bench-0" {
+		t.Fatalf("picked %s vs %s", res.CurrentID, res.BaselineID)
+	}
+	if len(res.Deltas) != 1 || res.Deltas[0].Pct != 100 {
+		t.Fatalf("deltas = %+v", res.Deltas)
+	}
+
+	// HTML rendering.
+	code, body, hdr = get(t, ts.URL+"/queryz?mode=regressions&format=html")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "text/html") {
+		t.Fatalf("html queryz = %d %q", code, hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{"<table>", "treiber", "+100.0%", "bench-0"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("html queryz missing %q", want)
+		}
+	}
+
+	// A bad expression is the client's fault; an unanswerable query
+	// (regressions with no baseline) is unprocessable, not a 500.
+	if code, _, _ := get(t, ts.URL+"/queryz?mode=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad mode = %d", code)
+	}
+	empty := testServer(t, Config{Tool: "caltest"})
+	if code, _, _ := get(t, empty.URL+"/queryz?mode=regressions"); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty regressions = %d", code)
+	}
+}
+
+// TestRunszFSBackedRestart pins the daemon acceptance path: records
+// published before a restart are served by the next server generation
+// from the same store directory.
+func TestRunszFSBackedRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := runstore.OpenFS(dir, runstore.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Tool: "cald", Store: store})
+	rep := render.NewReport("cald", time.Unix(500, 0))
+	rep.Runs = []render.Run{{Name: "job-1", Verdict: "OK"}}
+	srv.AddRecord(&runstore.Record{
+		Report: rep,
+		Labels: map[string]string{"spec": "register", "mode": "cal"},
+	})
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh store over the same directory, a fresh server.
+	store2, err := runstore.OpenFS(dir, runstore.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	ts := httptest.NewServer(New(Config{Tool: "cald", Store: store2}).Handler())
+	defer ts.Close()
+	_, body, _ := get(t, ts.URL+"/runsz?tool=cald&label=spec:register")
+	var recs []*runstore.Record
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Verdict != "OK" || recs[0].Labels["mode"] != "cal" {
+		t.Fatalf("pre-restart records = %+v", recs)
+	}
+	if recs[0].Report == nil || recs[0].Report.Runs[0].Name != "job-1" {
+		t.Fatalf("wrapped report = %+v", recs[0].Report)
+	}
+}
+
+// TestRunszEvictionMetric pins the satellite: the default ring bounds
+// the formerly unbounded report slice and counts evictions on
+// /metrics as calgo_runstore_evicted_total.
+func TestRunszEvictionMetric(t *testing.T) {
+	m := obs.NewMetrics()
+	store := runstore.NewRing(2, m)
+	srv := New(Config{Tool: "caltest", Metrics: m, Store: store})
+	for i := 0; i < 5; i++ {
+		rep := render.NewReport("caltest", time.Unix(int64(600+i), 0))
+		srv.AddReport(rep)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("store len = %d", store.Len())
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	_, body, _ := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "calgo_runstore_evicted_total 3") {
+		t.Fatalf("metrics missing eviction counter:\n%s", body)
 	}
 }

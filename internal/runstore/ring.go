@@ -1,0 +1,106 @@
+package runstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"calgo/internal/obs"
+)
+
+// DefaultRingCapacity bounds the in-process /runsz store when the
+// caller does not choose: enough history for a long fuzz or bench
+// session, small enough that a chatty daemon cannot grow without
+// limit.
+const DefaultRingCapacity = 256
+
+// Ring is the in-memory Store: a bounded record ring ordered by
+// insertion. When full, Put evicts the oldest record and counts it on
+// runstore.evicted (calgo_runstore_evicted_total on /metrics) — the
+// fix for the formerly unbounded per-process report slice.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	seq     int
+	records []*Record // insertion order
+
+	evicted *obs.Counter
+	now     func() time.Time
+}
+
+// NewRing returns a ring store bounded at capacity records (<= 0 uses
+// DefaultRingCapacity). The registry may be nil; when set it receives
+// the runstore.evicted counter.
+func NewRing(capacity int, m *obs.Metrics) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{cap: capacity, evicted: m.Counter("runstore.evicted"), now: time.Now}
+}
+
+// Put upserts rec: an existing ID is replaced in place, a new one is
+// appended, evicting the oldest record once the ring is full.
+func (s *Ring) Put(rec *Record) error {
+	if rec == nil {
+		return fmt.Errorf("runstore: nil record")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.ID == "" {
+		s.seq++
+		rec.ID = fmt.Sprintf("r-%d", s.seq)
+	}
+	rec.normalize(s.now)
+	for i, old := range s.records {
+		if old.ID == rec.ID {
+			s.records[i] = rec
+			return nil
+		}
+	}
+	s.records = append(s.records, rec)
+	for len(s.records) > s.cap {
+		s.records = append(s.records[:0:0], s.records[1:]...)
+		if s.evicted != nil {
+			s.evicted.Inc()
+		}
+	}
+	return nil
+}
+
+// Get fetches a record by ID.
+func (s *Ring) Get(id string) (*Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.records {
+		if r.ID == id {
+			return r, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// List returns the matching records in ascending time order (insertion
+// order breaking ties), newest Limit kept.
+func (s *Ring) List(f Filter) ([]*Record, error) {
+	s.mu.Lock()
+	var out []*Record
+	for _, r := range s.records {
+		if f.Match(r) {
+			out = append(out, r)
+		}
+	}
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TimeNS < out[j].TimeNS })
+	return applyLimit(out, f.Limit), nil
+}
+
+// Len is the number of records currently held.
+func (s *Ring) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Close is a no-op: the ring has nothing to release.
+func (s *Ring) Close() error { return nil }

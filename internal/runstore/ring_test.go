@@ -1,0 +1,155 @@
+package runstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"calgo/internal/obs"
+	"calgo/internal/render"
+)
+
+func reportRecord(tool, verdict string, t time.Time) *Record {
+	rep := render.NewReport(tool, t)
+	rep.Runs = []render.Run{{Name: "in.txt", Verdict: verdict}}
+	return &Record{Tool: tool, TimeNS: t.UnixNano(), Report: rep}
+}
+
+func TestRingBoundsAndEviction(t *testing.T) {
+	m := obs.NewMetrics()
+	s := NewRing(3, m)
+	for i := 0; i < 5; i++ {
+		rec := reportRecord("caltest", "OK", time.Unix(int64(100+i), 0))
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := m.Counter("runstore.evicted").Value(); got != 2 {
+		t.Fatalf("evicted = %d, want 2", got)
+	}
+	// The two oldest are gone, the three newest remain.
+	if _, ok, _ := s.Get("r-1"); ok {
+		t.Fatal("r-1 should have been evicted")
+	}
+	recs, err := s.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].ID != "r-3" || recs[2].ID != "r-5" {
+		t.Fatalf("List = %+v", recs)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TimeNS < recs[i-1].TimeNS {
+			t.Fatalf("List not ascending by time: %v", recs)
+		}
+	}
+}
+
+func TestRingUpsertAndNormalize(t *testing.T) {
+	s := NewRing(0, nil) // nil metrics must be fine; 0 = default capacity
+	rec := reportRecord("caltest", "VIOLATION", time.Unix(50, 0))
+	rec.Tool = "" // derived from the wrapped report at Put time
+	rec.ID = "fixed"
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get("fixed")
+	if !ok {
+		t.Fatal("missing fixed")
+	}
+	// normalize derives tool, verdict, kind and schema from the report.
+	if got.Schema != RecordSchema || got.Kind != KindReport {
+		t.Fatalf("normalized = %+v", got)
+	}
+	if got.Tool != "caltest" || got.Verdict != "VIOLATION" {
+		t.Fatalf("derived tool/verdict = %q/%q", got.Tool, got.Verdict)
+	}
+	// Upsert replaces in place, not append.
+	rec2 := reportRecord("caltest", "OK", time.Unix(60, 0))
+	rec2.ID = "fixed"
+	if err := s.Put(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after upsert = %d", s.Len())
+	}
+	got, _, _ = s.Get("fixed")
+	if got.Verdict != "OK" {
+		t.Fatalf("upserted verdict = %q", got.Verdict)
+	}
+}
+
+func TestRingFilters(t *testing.T) {
+	s := NewRing(16, nil)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 6; i++ {
+		verdict := "OK"
+		if i%2 == 1 {
+			verdict = "VIOLATION"
+		}
+		rec := reportRecord("calcheck", verdict, base.Add(time.Duration(i)*time.Minute))
+		rec.Labels = map[string]string{"spec": fmt.Sprintf("s%d", i%3)}
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		f    Filter
+		want int
+	}{
+		{Filter{}, 6},
+		{Filter{Verdict: "VIOLATION"}, 3},
+		{Filter{Tool: "nope"}, 0},
+		{Filter{Labels: map[string]string{"spec": "s0"}}, 2},
+		{Filter{Since: base.Add(2 * time.Minute)}, 4},
+		{Filter{Until: base.Add(2 * time.Minute)}, 2},
+		{Filter{Since: base.Add(time.Minute), Until: base.Add(4 * time.Minute)}, 3},
+		{Filter{Verdict: "OK", Limit: 2}, 2},
+	}
+	for i, c := range cases {
+		recs, err := s.List(c.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != c.want {
+			t.Errorf("case %d: %d matches, want %d (%+v)", i, len(recs), c.want, c.f)
+		}
+	}
+	// Limit keeps the newest.
+	recs, _ := s.List(Filter{Limit: 2})
+	if len(recs) != 2 || recs[1].TimeNS != base.Add(5*time.Minute).UnixNano() {
+		t.Fatalf("limited = %+v", recs)
+	}
+	// Latest returns the single newest match.
+	rec, err := Latest(s, Filter{Verdict: "OK"})
+	if err != nil || rec == nil || rec.TimeNS != base.Add(4*time.Minute).UnixNano() {
+		t.Fatalf("Latest = %+v (err %v)", rec, err)
+	}
+	if rec, _ := Latest(s, Filter{Tool: "nope"}); rec != nil {
+		t.Fatalf("Latest(no match) = %+v", rec)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	s := NewRing(32, obs.NewMetrics())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = s.Put(reportRecord("caltest", "OK", time.Unix(int64(g*50+i), 0)))
+				_, _ = s.List(Filter{Tool: "caltest", Limit: 5})
+				_, _, _ = s.Get("r-1")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+}

@@ -1,0 +1,210 @@
+// Package runstore is the persistent run-history store behind the obs
+// stack: one queryable substrate for every completed run record the
+// tools produce — calgo.report/v1 documents from checks, explorations
+// and cald jobs, and calbench perf-trajectory tables — replacing the
+// loose BENCH_*.json files and the in-process /runsz slices that used
+// to vanish on exit.
+//
+// The package has two layers:
+//
+//   - Store: a Put/Get/List interface over run records, with two
+//     backends — an in-memory bounded Ring (the default behind every
+//     /runsz endpoint) and a durable filesystem store (append-only
+//     JSON-lines segments with an index sidecar, fsynced writes and
+//     corrupt-line-skipping replay, in the style of the cald jobs
+//     journal).
+//   - Query: label selectors, time ranges and per-cell regression
+//     deltas against a chosen baseline record, serving `calreport
+//     -query`, the /queryz endpoint and `calbench -auto` baseline
+//     selection.
+//
+// Fleet-wide questions like "which B3 cell regressed >5% in 30 days"
+// or "what fraction of cald jobs ended UNKNOWN last week" become one
+// query each; see EXPERIMENTS.md ("Run-history store").
+package runstore
+
+import (
+	"fmt"
+	"time"
+
+	"calgo/internal/render"
+)
+
+// RecordSchema versions the run-record JSON document stored in the
+// filesystem segments and served by /runsz; the shape is specified in
+// EXPERIMENTS.md ("Run-history store").
+const RecordSchema = "calgo.run/v1"
+
+// Record kinds: a report record wraps a calgo.report/v1 document (one
+// check/exploration/job/stream verdict), a bench record wraps one
+// calbench trajectory document (the former BENCH_<date>.json).
+const (
+	KindReport = "report"
+	KindBench  = "bench"
+)
+
+// Record is one completed run in the store: the wrapped document plus
+// the labels the query layer selects on. Tool, Kind, Verdict and the
+// timestamp are first-class; everything run-specific (spec, mode,
+// engine, object, client, ...) goes in Labels. The label vocabulary is
+// pinned in EXPERIMENTS.md.
+type Record struct {
+	Schema string `json:"schema"`
+	// ID is unique within a store. Put assigns "r-<n>" when empty;
+	// putting an existing ID replaces that record (newest wins on
+	// filesystem replay).
+	ID   string `json:"id"`
+	Tool string `json:"tool,omitempty"`
+	// Kind is KindReport or KindBench.
+	Kind string `json:"kind"`
+	// Verdict is the CLI vocabulary (OK, VIOLATION, UNKNOWN) — the worst
+	// verdict of the wrapped report's runs; empty for bench records.
+	Verdict string `json:"verdict,omitempty"`
+	// TimeNS is the record's event time (completion for reports,
+	// generation for bench tables). Put stamps the wall clock when zero.
+	TimeNS int64             `json:"time_unix_ns"`
+	Labels map[string]string `json:"labels,omitempty"`
+
+	// Report is the wrapped calgo.report/v1 document (KindReport).
+	Report *render.Report `json:"report,omitempty"`
+	// Bench is the wrapped perf-trajectory document (KindBench).
+	Bench *Bench `json:"bench,omitempty"`
+}
+
+// Time returns the record's event time.
+func (r *Record) Time() time.Time { return time.Unix(0, r.TimeNS) }
+
+// normalize stamps defaults onto a record at Put time.
+func (r *Record) normalize(now func() time.Time) {
+	if r.Schema == "" {
+		r.Schema = RecordSchema
+	}
+	if r.Kind == "" {
+		if r.Bench != nil {
+			r.Kind = KindBench
+		} else {
+			r.Kind = KindReport
+		}
+	}
+	if r.TimeNS == 0 {
+		r.TimeNS = now().UnixNano()
+	}
+	if r.Tool == "" && r.Report != nil {
+		r.Tool = r.Report.Tool
+	}
+	if r.Verdict == "" && r.Report != nil {
+		r.Verdict = worstVerdict(r.Report)
+	}
+}
+
+// worstVerdict folds a report's per-run verdicts into one word:
+// VIOLATION beats UNKNOWN beats OK; a runless report falls back to the
+// exit-code legend.
+func worstVerdict(rep *render.Report) string {
+	worst := ""
+	rank := map[string]int{"OK": 1, "UNKNOWN": 2, "VIOLATION": 3}
+	for _, run := range rep.Runs {
+		if rank[run.Verdict] > rank[worst] {
+			worst = run.Verdict
+		}
+	}
+	if worst != "" {
+		return worst
+	}
+	switch rep.Exit {
+	case 0:
+		return "OK"
+	case 1:
+		return "VIOLATION"
+	case 3:
+		return "UNKNOWN"
+	}
+	return ""
+}
+
+// Filter selects records. Zero fields match everything; all set fields
+// must match (AND). Label selectors match against the record's Labels
+// map only; Tool/Verdict/Kind/ID match the first-class fields.
+type Filter struct {
+	ID      string
+	Tool    string
+	Verdict string
+	Kind    string
+	Labels  map[string]string
+	// Since/Until bound the record time: Since <= t < Until (zero = open).
+	Since time.Time
+	Until time.Time
+	// Limit keeps only the newest Limit matches (0 = all).
+	Limit int
+}
+
+// Match reports whether r passes the filter (ignoring Limit, which is
+// applied across the result set).
+func (f Filter) Match(r *Record) bool {
+	if r == nil {
+		return false
+	}
+	if f.ID != "" && r.ID != f.ID {
+		return false
+	}
+	if f.Tool != "" && r.Tool != f.Tool {
+		return false
+	}
+	if f.Verdict != "" && r.Verdict != f.Verdict {
+		return false
+	}
+	if f.Kind != "" && r.Kind != f.Kind {
+		return false
+	}
+	for k, v := range f.Labels {
+		if r.Labels[k] != v {
+			return false
+		}
+	}
+	if !f.Since.IsZero() && r.TimeNS < f.Since.UnixNano() {
+		return false
+	}
+	if !f.Until.IsZero() && r.TimeNS >= f.Until.UnixNano() {
+		return false
+	}
+	return true
+}
+
+// Store is the run-history store: Put upserts by record ID (assigning
+// an ID when empty), Get fetches one record, List returns matches in
+// ascending time order (ties by insertion order), applying
+// Filter.Limit to keep the newest. Implementations are safe for
+// concurrent use.
+type Store interface {
+	Put(*Record) error
+	Get(id string) (*Record, bool, error)
+	List(Filter) ([]*Record, error)
+	// Len is the number of live records.
+	Len() int
+	Close() error
+}
+
+// Latest returns the newest record matching f, or nil when none match.
+func Latest(st Store, f Filter) (*Record, error) {
+	f.Limit = 1
+	recs, err := st.List(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	return recs[len(recs)-1], nil
+}
+
+// applyLimit keeps the newest limit records of an ascending-time
+// slice (0 = all).
+func applyLimit(recs []*Record, limit int) []*Record {
+	if limit > 0 && len(recs) > limit {
+		recs = recs[len(recs)-limit:]
+	}
+	return recs
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = fmt.Errorf("runstore: store closed")
