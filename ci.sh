@@ -620,4 +620,135 @@ check_committed_deltas "$explain_dir/queryz.json" "/queryz"
 kill -TERM "$pid5"
 wait "$pid5"
 
+# Smoke the fleet observability plane end to end: two race-built cald
+# daemons with distinct durable stores, each seeded with a two-point
+# bench trajectory over the calgo.storeapi/v1 remote-store protocol
+# (calbench -auto against the daemon URL — no local files involved).
+# A federated calreport regression query must merge both shards
+# worst-first with per-cell origin labels; a third daemon started with
+# -fleet must answer the same question on /queryz?fleet=1. Then one
+# shard dies: the fleet answer must flip to degraded:true and still
+# carry the surviving shard's rows with exact origin attribution.
+echo "== fleet federation smoke =="
+start_cald "$explain_dir/fleet-a.log" -store "$explain_dir/fleet-a"
+url_a="$cald_url"
+pid_a="$cald_pid"
+start_cald "$explain_dir/fleet-b.log" -store "$explain_dir/fleet-b"
+url_b="$cald_url"
+pid_b="$cald_pid"
+for u in "$url_a" "$url_b"; do
+    go run ./cmd/calbench -dur 5ms -table queues -auto "$u" >/dev/null 2>&1
+    seed2=$(go run ./cmd/calbench -dur 5ms -table queues -auto "$u" 2>&1)
+    case "$seed2" in
+    *"delta vs baseline"*) : ;;
+    *)
+        echo "calbench -auto $u did not resolve its baseline from the daemon:" >&2
+        echo "$seed2" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "calbench -auto: both shards seeded over calgo.storeapi/v1, remote baselines resolved"
+
+start_cald "$explain_dir/fleet-c.log" -fleet "$url_a,$url_b"
+url_c="$cald_url"
+pid_c="$cald_pid"
+
+go run ./cmd/calreport -store "$url_a,$url_b" -query "regressions" \
+    -o "$explain_dir/fleet.json"
+python3 -c '
+import json, sys, urllib.request
+from urllib.parse import urlparse
+
+def check_merged(res, hosts):
+    assert res["schema"] == "calgo.query/v1" and res["mode"] == "regressions", res
+    assert not res.get("degraded"), res
+    targets = res["targets"]
+    assert {t["target"] for t in targets} == hosts, targets
+    assert all(not t.get("error") for t in targets), targets
+    deltas = res.get("deltas") or []
+    assert {d["origin"] for d in deltas} == hosts, deltas
+    pcts = [d["delta_pct"] for d in deltas]
+    assert pcts == sorted(pcts), "fleet deltas not worst-first"
+    return len(deltas)
+
+hosts = {urlparse(u).netloc for u in sys.argv[2:4]}
+n = check_merged(json.load(open(sys.argv[1])), hosts)
+fleet_url = sys.argv[4].rstrip("/") + "/queryz?fleet=1&mode=regressions"
+m = check_merged(json.load(urllib.request.urlopen(fleet_url, timeout=30)), hosts)
+print("fleet rollup: %d (calreport) / %d (/queryz?fleet=1) deltas merged "
+      "worst-first from %s" % (n, m, ", ".join(sorted(hosts))))
+' "$explain_dir/fleet.json" "$url_a" "$url_b" "$url_c"
+
+# Kill shard b: the same questions must now degrade honestly instead of
+# failing — partial rows from a, an error attributed to b.
+kill -TERM "$pid_b"
+wait "$pid_b"
+degraded_txt=$(go run ./cmd/calreport -store "$url_a,$url_b" -query "regressions")
+case "$degraded_txt" in
+*"DEGRADED"*) : ;;
+*)
+    echo "federated query with a dead shard did not render DEGRADED:" >&2
+    echo "$degraded_txt" >&2
+    exit 1
+    ;;
+esac
+go run ./cmd/calreport -store "$url_a,$url_b" -query "regressions" \
+    -o "$explain_dir/fleet-degraded.json"
+python3 -c '
+import json, sys, urllib.request
+from urllib.parse import urlparse
+
+def check_degraded(res, live, dead):
+    assert res.get("degraded") is True, res
+    tmap = {t["target"]: t for t in res["targets"]}
+    assert set(tmap) == {live, dead}, tmap
+    assert tmap[dead].get("error"), "dead shard has no attributed error: %r" % tmap
+    assert not tmap[live].get("error"), tmap
+    deltas = res.get("deltas") or []
+    assert deltas and all(d["origin"] == live for d in deltas), deltas
+    return len(deltas)
+
+live, dead = (urlparse(u).netloc for u in sys.argv[2:4])
+n = check_degraded(json.load(open(sys.argv[1])), live, dead)
+fleet_url = sys.argv[4].rstrip("/") + "/queryz?fleet=1&mode=regressions"
+m = check_degraded(json.load(urllib.request.urlopen(fleet_url, timeout=60)), live, dead)
+print("fleet degradation: %d/%d surviving rows, all origin=%s, error pinned on %s"
+      % (n, m, live, dead))
+' "$explain_dir/fleet-degraded.json" "$url_a" "$url_b" "$url_c"
+kill -TERM "$pid_c"
+wait "$pid_c"
+kill -TERM "$pid_a"
+wait "$pid_a"
+echo "fleet smoke: merged rollup, /queryz?fleet=1, degraded partial results"
+
+# Smoke the retention policy on a live daemon: reopen a store that
+# already holds two bench trajectory points under keep-bench 1 with a
+# 1s sweep interval, and watch calgo_runstore_expired_total move on
+# /metrics (the sweep is the same crash-safe tombstone path the unit
+# tests pin).
+echo "== cald retention smoke =="
+ret_dir="$explain_dir/retstore"
+cp -r "$store_dir" "$ret_dir"
+start_cald "$explain_dir/cald-ret.log" -store "$ret_dir" \
+    -retention-keep-bench 1 -retention-interval 1s
+python3 -c '
+import sys, time, urllib.request
+base = sys.argv[1].rstrip("/")
+deadline = time.time() + 30
+while True:
+    text = urllib.request.urlopen(base + "/metrics", timeout=10).read().decode()
+    expired = {line.split()[0]: float(line.split()[1]) for line in text.splitlines()
+               if line.startswith("calgo_runstore_")}
+    if expired.get("calgo_runstore_expired_total", 0) >= 1:
+        assert expired.get("calgo_runstore_retained", 0) >= 1, expired
+        break
+    assert time.time() < deadline, "retention sweep never expired anything: %r" % expired
+    time.sleep(0.5)
+print("retention: calgo_runstore_expired_total = %d, retained gauge = %d"
+      % (expired["calgo_runstore_expired_total"], expired["calgo_runstore_retained"]))
+' "$cald_url"
+kill -TERM "$cald_pid"
+wait "$cald_pid"
+
 echo "CI gate passed."

@@ -20,6 +20,9 @@
 //	GET  /streams/{id}        poll the frame (?watch=1 streams via SSE)
 //	POST /streams/{id}/close  run end-of-stream checks; final frame
 //	/metrics /statusz /flightz /runsz /queryz /debug/pprof/   the ops surface
+//	/storeapi/v1/*            calgo.storeapi/v1 remote-store protocol —
+//	                          every daemon is a federation backend
+//	/queryz?fleet=1           fan the query out across -fleet peers
 //
 // Robustness properties (see EXPERIMENTS.md "Checking as a service"):
 // bounded queue with 429 + Retry-After load shedding; per-client
@@ -76,6 +79,13 @@ func run() int {
 		cacheEntries = flag.Int("cache-entries", 1024, "verdict-cache capacity (identical histories answered without re-searching; negative disables)")
 		journalPath  = flag.String("journal", "", "crash-safe job journal path; pending jobs are resumed on restart (\"\" = volatile)")
 		storeDir     = flag.String("store", "", "durable run-history store directory; every completed job and stream verdict is persisted and served across restarts on /runsz and /queryz (\"\" = bounded in-memory ring)")
+		fleet        = flag.String("fleet", "", "comma-separated peer daemon URLs (http://host:port) backing /queryz?fleet=1: one query fanned out across the fleet, merged by time with origin labels, degrading honestly when peers are down")
+		fleetTimeout = flag.Duration("fleet-timeout", 5*time.Second, "per-peer deadline for fleet fan-out queries")
+		retMaxAge    = flag.Duration("retention-max-age", 0, "expire run records older than this (0 = unbounded); applied crash-safely every -retention-interval")
+		retMaxRecs   = flag.Int("retention-max-records", 0, "keep only the newest N run records overall (0 = unbounded)")
+		retKeepBench = flag.Int("retention-keep-bench", 0, "keep only the newest N bench records (0 = unbounded)")
+		retKeepRep   = flag.Int("retention-keep-report", 0, "keep only the newest N report records (0 = unbounded)")
+		retInterval  = flag.Duration("retention-interval", time.Minute, "how often the retention policy sweeps the run-history store")
 		maxBytes     = flag.Int("max-history-bytes", 1<<20, "reject history uploads larger than this before parsing")
 		maxEvents    = flag.Int("max-history-events", 1<<16, "reject histories with more events than this")
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "clamp (and default) for per-job wall-clock deadlines")
@@ -119,7 +129,20 @@ func run() int {
 		store = fs
 		logger.Info("run-history store open", "dir", *storeDir, "records", fs.Len())
 	}
-	ops := serve.New(serve.Config{Tool: "cald", Metrics: metrics, Flight: flight, Live: live, Store: store})
+	var fleetStore runstore.Store
+	if *fleet != "" {
+		fs, err := runstore.OpenStores(*fleet, runstore.FSOptions{},
+			runstore.FederatedOptions{PerTargetTimeout: *fleetTimeout, Logger: logger})
+		if err != nil {
+			logger.Error("opening fleet targets", "fleet", *fleet, "err", err)
+			return 2
+		}
+		defer fs.Close()
+		fleetStore = fs
+		logger.Info("fleet configured", "targets", *fleet)
+	}
+	ops := serve.New(serve.Config{Tool: "cald", Metrics: metrics, Flight: flight, Live: live,
+		Store: store, Fleet: fleetStore})
 
 	mgr, err := jobs.New(jobs.Config{
 		Workers:          *workers,
@@ -194,10 +217,51 @@ func run() int {
 	live.SetPhase("serving")
 	logger.Info("cald serving",
 		"url", fmt.Sprintf("http://%s/", bound),
-		"endpoints", "/jobs /streams /metrics /statusz /flightz /runsz /queryz /debug/pprof/")
+		"endpoints", "/jobs /streams /metrics /statusz /flightz /runsz /queryz /storeapi/ /debug/pprof/")
 
 	ctx, stop := cliflags.SignalContext()
 	defer stop()
+
+	// Retention: sweep the run-history store on a timer. Tombstones are
+	// fsynced before records drop from view, so a SIGKILL mid-sweep
+	// never resurrects expired history; the runstore.expired counter
+	// (calgo_runstore_expired_total) and runstore.retained gauge track
+	// the policy's effect on /metrics.
+	policy := runstore.Retention{MaxAge: *retMaxAge, MaxRecords: *retMaxRecs}
+	if *retKeepBench > 0 || *retKeepRep > 0 {
+		policy.KeepPerKind = map[string]int{}
+		if *retKeepBench > 0 {
+			policy.KeepPerKind[runstore.KindBench] = *retKeepBench
+		}
+		if *retKeepRep > 0 {
+			policy.KeepPerKind[runstore.KindReport] = *retKeepRep
+		}
+	}
+	if !policy.Empty() {
+		ret, ok := ops.Store().(runstore.Retainer)
+		if !ok {
+			logger.Error("run-history store cannot apply a retention policy", "policy", policy.String())
+			return 2
+		}
+		logger.Info("retention policy active", "policy", policy.String(), "every", *retInterval)
+		go func() {
+			tick := time.NewTicker(*retInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if n, err := ret.Retain(policy); err != nil {
+						logger.Warn("retention sweep failed", "err", err)
+					} else if n > 0 {
+						logger.Info("retention sweep", "expired", n)
+					}
+				}
+			}
+		}()
+	}
+
 	<-ctx.Done()
 	stop() // a second signal now kills the process with default disposition
 

@@ -10,15 +10,22 @@
 //	calreport -metrics m.json -trace t.jsonl # assemble a report from a
 //	                                         # saved metrics/flight pair
 //	calreport -store DIR -query EXPR         # query a run-history store
+//	calreport -store http://a:9,http://b:9 \
+//	          -query "regressions top=5"     # fleet rollup across daemons
 //
-// -store points at a run-history store directory (as maintained by
-// `cald -store` or `calbench -auto`) and -query asks it a question in
-// the shared query grammar — `runs tool=cald verdict=VIOLATION
-// since=168h` lists matching records, `regressions table=B1 top=5`
-// computes per-cell perf deltas between the two newest trajectory
-// points (see EXPERIMENTS.md "Run-history store"). -o renders the
-// result as an aligned table (stdout), calgo.query/v1 JSON (.json) or
-// Markdown (anything else).
+// -store points at a run-history store — a directory (as maintained by
+// `cald -store` or `calbench -auto`), a daemon URL (http://host:port,
+// speaking calgo.storeapi/v1), or a comma-separated list of either,
+// which queries the whole fleet: results merge by time with an origin
+// label per record, regressions re-rank worst-first across shards, and
+// a down daemon degrades the answer (DEGRADED header + per-target
+// errors) instead of failing it. -query asks the question in the
+// shared query grammar — `runs tool=cald verdict=VIOLATION since=168h`
+// lists matching records, `regressions table=B1 top=5` computes
+// per-cell perf deltas between the two newest trajectory points (see
+// EXPERIMENTS.md "Run-history store" and "Fleet observability"). -o
+// renders the result as an aligned table (stdout), calgo.query/v1 JSON
+// (.json) or Markdown (anything else).
 //
 // The positional argument must be a calgo.report/v1 document as written
 // by any calgo CLI's -report flag. Alternatively -metrics takes a
@@ -39,6 +46,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,7 +68,7 @@ func run() int {
 		tracePath   = flag.String("trace", "", "assemble from this saved -trace JSON-lines file (the events become the flight-recorder tail)")
 		tool        = flag.String("tool", "", "tool name to stamp on an assembled report (default: the metrics document's tool)")
 		out         = flag.String("o", "-", "output path; \"-\" = stdout, a .json path re-emits calgo.report/v1 JSON, anything else renders Markdown")
-		storeDir    = flag.String("store", "", "query a run-history store directory (as maintained by cald -store or calbench -auto) instead of rendering a report file")
+		storeSpec   = flag.String("store", "", "query a run-history store instead of rendering a report file: a directory (as maintained by cald -store or calbench -auto), a daemon URL (http://host:port), or a comma-separated fleet of either")
 		queryExpr   = flag.String("query", "", "with -store: the query expression — e.g. 'runs tool=cald verdict=VIOLATION since=168h' or 'regressions table=B1 top=5' (default: list every record)")
 	)
 	flag.Usage = func() {
@@ -70,8 +78,8 @@ func run() int {
 	shared := cliflags.RegisterOps("calreport")
 	flag.Parse()
 
-	if *storeDir != "" {
-		if err := runQuery(*storeDir, *queryExpr, *out); err != nil {
+	if *storeSpec != "" {
+		if err := runQuery(*storeSpec, *queryExpr, *out, shared); err != nil {
 			shared.Logger().Error("querying run store", "err", err)
 			return 2
 		}
@@ -112,26 +120,32 @@ func run() int {
 	return 0
 }
 
-// runQuery answers a -query expression over a run-history store: the
+// runQuery answers a -query expression over a run-history store (a
+// directory, a daemon URL, or a comma-separated fleet of either): the
 // result goes to stdout as an aligned table, to a .json path as the
 // calgo.query/v1 document, or to any other path as Markdown.
-func runQuery(dir, expr, out string) error {
-	st, err := calgo.OpenFSStore(dir, calgo.FSStoreOptions{})
+func runQuery(spec, expr, out string, shared *cliflags.Set) error {
+	st, err := calgo.OpenRunStores(spec, calgo.FSStoreOptions{},
+		calgo.FederatedStoreOptions{Logger: shared.Logger()})
 	if err != nil {
 		return err
 	}
 	defer st.Close()
-	// Committed BENCH_*.json files beside the store become records on
-	// first sight (idempotent), so a directory of trajectory files is
-	// queryable with no prior bookkeeping run.
-	if _, err := calgo.IngestBenchFiles(st, dir, nil); err != nil {
-		return err
+	// A plain local directory additionally ingests committed
+	// BENCH_*.json files beside the store on first sight (idempotent),
+	// so a directory of trajectory files is queryable with no prior
+	// bookkeeping run. Remote and federated specs skip this: daemons
+	// own their stores, and the federated view is read-only.
+	if !strings.Contains(spec, ",") && !calgo.IsRunStoreURL(spec) {
+		if _, err := calgo.IngestBenchFiles(st, spec, nil); err != nil {
+			return err
+		}
 	}
 	q, err := calgo.ParseRunQuery(expr, time.Now())
 	if err != nil {
 		return err
 	}
-	res, err := calgo.RunQueryOn(st, q)
+	res, err := calgo.RunQueryOnContext(context.Background(), st, q)
 	if err != nil {
 		return err
 	}

@@ -20,7 +20,9 @@ import (
 	"math"
 	"math/bits"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -308,6 +310,47 @@ func (m *Metrics) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// BuildInfo resolves the process's build identity: the module version
+// (VCS revision when stamped, else the module version, else "devel")
+// and the Go runtime version. These are the label values of the
+// build_info gauge and the /statusz version fields, letting fleet
+// queries correlate regressions with daemon versions.
+func BuildInfo() (version, goVersion string) {
+	version = "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				version = s.Value[:12]
+			}
+		}
+	}
+	return version, runtime.Version()
+}
+
+// SetBuildInfo registers the conventional build_info gauge — value 1,
+// identity in the labels — under the labeled name
+// `build_info{go_version="...",version="..."}`. The exposition layer
+// keeps the label block intact, so /metrics serves
+// calgo_build_info{...} 1. Safe on a nil registry.
+func (m *Metrics) SetBuildInfo(version, goVersion string) {
+	if m == nil {
+		return
+	}
+	name := fmt.Sprintf("build_info{go_version=%s,version=%s}",
+		quoteLabel(goVersion), quoteLabel(version))
+	m.Gauge(name).Set(1)
+}
+
+// quoteLabel renders a Prometheus label value: double-quoted with \\,
+// \" and \n escaped.
+func quoteLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return `"` + r.Replace(v) + `"`
 }
 
 // SnapshotMemStats records an allocation snapshot into the registry's

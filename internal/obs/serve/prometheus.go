@@ -17,12 +17,15 @@ const promNamePrefix = "calgo_"
 
 // promName mangles a registry metric name into a legal Prometheus metric
 // name: the calgo_ prefix plus the original name with every character
-// outside [a-zA-Z0-9_:] replaced by '_'.
+// outside [a-zA-Z0-9_:] replaced by '_'. A label block — everything
+// from the first '{' on, as written by obs.SetBuildInfo — passes
+// through verbatim; only the name before it is mangled.
 func promName(name string) string {
+	base, labels, labeled := strings.Cut(name, "{")
 	var b strings.Builder
 	b.Grow(len(promNamePrefix) + len(name))
 	b.WriteString(promNamePrefix)
-	for _, r := range name {
+	for _, r := range base {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
 			b.WriteRune(r)
@@ -30,7 +33,26 @@ func promName(name string) string {
 			b.WriteByte('_')
 		}
 	}
+	if labeled {
+		b.WriteByte('{')
+		b.WriteString(labels)
+	}
 	return b.String()
+}
+
+// promFamily splits an exposed name into its family (the HELP/TYPE
+// name) and the label block ("" when unlabeled).
+func promFamily(p string) (family, labels string) {
+	if i := strings.IndexByte(p, '{'); i >= 0 {
+		return p[:i], p[i:]
+	}
+	return p, ""
+}
+
+// promSuffix appends a family suffix ("_total") before any label block.
+func promSuffix(p, suffix string) string {
+	family, labels := promFamily(p)
+	return family + suffix + labels
 }
 
 // WritePrometheus renders the snapshot in the Prometheus text exposition
@@ -39,15 +61,30 @@ func promName(name string) string {
 // Prometheus histograms. Families are emitted in sorted name order so
 // two snapshots of the same state render identically.
 func WritePrometheus(w io.Writer, s obs.Snapshot) error {
+	seen := map[string]bool{} // families with HELP/TYPE already emitted
+	header := func(family, kind, rawName string) error {
+		if seen[family] {
+			return nil
+		}
+		seen[family] = true
+		base, _, _ := strings.Cut(rawName, "{")
+		_, err := fmt.Fprintf(w, "# HELP %s calgo %s %q\n# TYPE %s %s\n",
+			family, kind, base, family, kind)
+		return err
+	}
+
 	names := make([]string, 0, len(s.Counters))
 	for n := range s.Counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		p := promName(n) + "_total"
-		if _, err := fmt.Fprintf(w, "# HELP %s calgo counter %q\n# TYPE %s counter\n%s %d\n",
-			p, n, p, p, s.Counters[n]); err != nil {
+		p := promSuffix(promName(n), "_total")
+		family, _ := promFamily(p)
+		if err := header(family, "counter", n); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", p, s.Counters[n]); err != nil {
 			return err
 		}
 	}
@@ -59,8 +96,11 @@ func WritePrometheus(w io.Writer, s obs.Snapshot) error {
 	sort.Strings(names)
 	for _, n := range names {
 		p := promName(n)
-		if _, err := fmt.Fprintf(w, "# HELP %s calgo gauge %q\n# TYPE %s gauge\n%s %d\n",
-			p, n, p, p, s.Gauges[n]); err != nil {
+		family, _ := promFamily(p)
+		if err := header(family, "gauge", n); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", p, s.Gauges[n]); err != nil {
 			return err
 		}
 	}

@@ -29,9 +29,16 @@ func TestPromName(t *testing.T) {
 // metricNameRe is the Prometheus metric-name grammar.
 var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
-// sampleRe matches one exposition sample line: name, optional single
-// le label, value.
-var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?[0-9.e+]+|\+Inf)$`)
+// sampleRe matches one exposition sample line: name, optional label
+// block, value.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+]+|\+Inf)$`)
+
+// labelBlockRe validates a label block: comma-separated
+// name="escaped-value" pairs.
+var labelBlockRe = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$`)
+
+// leRe extracts a histogram bucket's le value.
+var leRe = regexp.MustCompile(`^\{le="([^"]+)"\}$`)
 
 // parseExposition is a strict text-exposition v0.0.4 parser for the
 // subset WritePrometheus emits. It fails the test on malformed lines,
@@ -80,7 +87,14 @@ func parseExposition(t *testing.T, text string) map[string]float64 {
 			if m == nil {
 				t.Fatalf("line %d: malformed sample: %q", lineno, line)
 			}
-			name, le := m[1], m[3]
+			name, block := m[1], m[2]
+			if block != "" && !labelBlockRe.MatchString(block) {
+				t.Fatalf("line %d: malformed label block %q", lineno, block)
+			}
+			le := ""
+			if lm := leRe.FindStringSubmatch(block); lm != nil {
+				le = lm[1]
+			}
 			fam := family(name)
 			typ, ok := types[fam]
 			if !ok {
@@ -90,12 +104,12 @@ func parseExposition(t *testing.T, text string) map[string]float64 {
 				t.Fatalf("line %d: counter %q without _total suffix", lineno, name)
 			}
 			var v float64
-			if m[4] == "+Inf" {
+			if m[3] == "+Inf" {
 				t.Fatalf("line %d: +Inf is a label value, not a sample value: %q", lineno, line)
 			}
-			v, err := strconv.ParseFloat(m[4], 64)
+			v, err := strconv.ParseFloat(m[3], 64)
 			if err != nil {
-				t.Fatalf("line %d: bad value %q: %v", lineno, m[4], err)
+				t.Fatalf("line %d: bad value %q: %v", lineno, m[3], err)
 			}
 			if strings.HasSuffix(name, "_bucket") && typ == "histogram" {
 				if v < lastBucket[fam] {
@@ -105,8 +119,11 @@ func parseExposition(t *testing.T, text string) map[string]float64 {
 				lastBucket[fam] = v
 			}
 			key := name
-			if le != "" {
+			switch {
+			case le != "":
 				key = name + "{le=" + le + "}"
+			case block != "":
+				key = name + block
 			}
 			if _, dup := samples[key]; dup {
 				t.Fatalf("line %d: duplicate sample %q", lineno, key)
@@ -167,6 +184,27 @@ func TestWritePrometheusValid(t *testing.T) {
 	}
 	if b2.String() != text {
 		t.Error("exposition not deterministic across renders")
+	}
+}
+
+// TestWritePrometheusBuildInfo pins the labeled build_info gauge: the
+// label block survives name mangling, the HELP/TYPE family is the bare
+// name, and the sample still parses under the strict reader.
+func TestWritePrometheusBuildInfo(t *testing.T) {
+	m := obs.NewMetrics()
+	m.SetBuildInfo("abc123def456", "go1.99.7")
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	key := `calgo_build_info{go_version="go1.99.7",version="abc123def456"}`
+	if got := samples[key]; got != 1 {
+		t.Fatalf("build_info sample = %v, want 1 (exposition:\n%s)", got, b.String())
+	}
+	if !strings.Contains(b.String(), "# TYPE calgo_build_info gauge") {
+		t.Errorf("missing unlabeled TYPE family line:\n%s", b.String())
 	}
 }
 

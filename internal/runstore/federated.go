@@ -1,0 +1,361 @@
+package runstore
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Federated is a read-only Store view over N targets (typically Remote
+// clients, one per cald daemon): List and Query fan out concurrently
+// under a per-target deadline and merge by time, stamping each record
+// with its origin. Queries degrade honestly — when some targets fail,
+// the result carries the surviving shards' rows plus `degraded: true`
+// and the per-target error list, instead of failing the whole fleet
+// question; only all targets failing is an error. The contract is
+// specified in EXPERIMENTS.md ("Fleet observability").
+type Federated struct {
+	targets []StoreTarget
+	opts    FederatedOptions
+	log     *slog.Logger
+}
+
+// StoreTarget is one federation member.
+type StoreTarget struct {
+	// Name labels the target's records ("origin" label, delta origin
+	// column). OpenTargets uses the URL's host:port.
+	Name  string
+	Store Store
+}
+
+// FederatedOptions tune NewFederated. The zero value is
+// production-sane.
+type FederatedOptions struct {
+	// PerTargetTimeout bounds each target's answer (default 10s;
+	// < 0 disables) — one slow shard delays, never wedges, the fleet.
+	PerTargetTimeout time.Duration
+	// Logger receives a structured line per degraded fan-out (nil =
+	// silent).
+	Logger *slog.Logger
+}
+
+// NewFederated returns a federated view over the targets. Close closes
+// every target store.
+func NewFederated(targets []StoreTarget, opts FederatedOptions) *Federated {
+	log := opts.Logger
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	return &Federated{targets: targets, opts: opts, log: log}
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrived
+// after this module's Go floor).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Targets returns the member names in fan-out order.
+func (s *Federated) Targets() []string {
+	names := make([]string, len(s.targets))
+	for i, t := range s.targets {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Put fails: the federated view is read-only (write to one member).
+func (s *Federated) Put(*Record) error { return ErrReadOnly }
+
+// perTarget brackets one target call with the per-target deadline.
+func (s *Federated) perTarget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.PerTargetTimeout < 0 {
+		return ctx, func() {}
+	}
+	d := s.opts.PerTargetTimeout
+	if d == 0 {
+		d = 10 * time.Second
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Get fans out and returns the first record found (targets are
+// separate namespaces — the same "r-1" can exist everywhere — so Get
+// across a federation answers "any shard's record with this ID",
+// earliest target winning for determinism).
+func (s *Federated) Get(id string) (*Record, bool, error) {
+	var firstErr error
+	for _, t := range s.targets {
+		rec, ok, err := t.Store.Get(id)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", t.Name, err)
+			}
+			continue
+		}
+		if ok {
+			return withOrigin(rec, t.Name), true, nil
+		}
+	}
+	return nil, false, firstErr
+}
+
+// withOrigin returns a shallow copy of rec whose Labels carry
+// origin=target — a copy, so federation never mutates records shared
+// with an in-process member store.
+func withOrigin(rec *Record, target string) *Record {
+	cp := *rec
+	labels := make(map[string]string, len(rec.Labels)+1)
+	for k, v := range rec.Labels {
+		labels[k] = v
+	}
+	labels["origin"] = target
+	cp.Labels = labels
+	return &cp
+}
+
+// fanout runs fn once per target concurrently, each under the
+// per-target deadline.
+func (s *Federated) fanout(ctx context.Context, fn func(ctx context.Context, i int, t StoreTarget) error) []error {
+	errs := make([]error, len(s.targets))
+	var wg sync.WaitGroup
+	for i, t := range s.targets {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tctx, cancel := s.perTarget(ctx)
+			defer cancel()
+			errs[i] = fn(tctx, i, t)
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// List fans the filter out to every target and merges by time. Unlike
+// Query, List has no degraded channel, so any target failing fails the
+// call; fleet questions that must survive a down shard go through
+// QueryContext.
+func (s *Federated) List(f Filter) ([]*Record, error) {
+	return s.ListContext(context.Background(), f)
+}
+
+// ListContext is List carrying the caller's context.
+func (s *Federated) ListContext(ctx context.Context, f Filter) ([]*Record, error) {
+	perTarget := f
+	perTarget.Limit = 0
+	merged := make([][]*Record, len(s.targets))
+	errs := s.fanout(ctx, func(tctx context.Context, i int, t StoreTarget) error {
+		recs, err := ListContext(tctx, t.Store, perTarget)
+		if err != nil {
+			return err
+		}
+		for j, rec := range recs {
+			recs[j] = withOrigin(rec, t.Name)
+		}
+		merged[i] = recs
+		return nil
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runstore: federated list: %s: %w", s.targets[i].Name, err)
+		}
+	}
+	var out []*Record
+	for _, recs := range merged {
+		out = append(out, recs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TimeNS < out[j].TimeNS })
+	return applyLimit(out, f.Limit), nil
+}
+
+// QueryContext evaluates q on every target (server-side on Remote
+// members) and merges: runs by time with origin labels, regression
+// deltas worst-first with origin columns. Failed targets appear in the
+// result's Targets list with Degraded set; only all targets failing is
+// an error.
+func (s *Federated) QueryContext(ctx context.Context, q Query) (*Result, error) {
+	if len(s.targets) == 0 {
+		return nil, fmt.Errorf("runstore: federated query: no targets")
+	}
+	perTarget := q
+	perTarget.Limit = 0 // post-merge
+	perTarget.Top = 0
+	results := make([]*Result, len(s.targets))
+	errs := s.fanout(ctx, func(tctx context.Context, i int, t StoreTarget) error {
+		res, err := RunContext(tctx, t.Store, perTarget)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	out := &Result{Schema: QuerySchema, Mode: q.Mode}
+	if out.Mode == "" {
+		out.Mode = ModeRuns
+	}
+	answered := 0
+	var lastErr error
+	for i, t := range s.targets {
+		tr := TargetResult{Target: t.Name}
+		switch {
+		case errs[i] != nil:
+			tr.Error = errs[i].Error()
+			out.Degraded = true
+			lastErr = errs[i]
+		case results[i] == nil:
+			tr.Error = "no result"
+			out.Degraded = true
+		default:
+			answered++
+			res := results[i]
+			out.Total += res.Total
+			out.Skipped += res.Skipped
+			switch out.Mode {
+			case ModeRegressions:
+				tr.Records = len(res.Deltas)
+				tr.Baseline = res.BaselineID
+				tr.Current = res.CurrentID
+				for _, d := range res.Deltas {
+					d.Origin = t.Name
+					out.Deltas = append(out.Deltas, d)
+				}
+			default:
+				tr.Records = len(res.Runs)
+				for _, run := range res.Runs {
+					labels := make(map[string]string, len(run.Labels)+1)
+					for k, v := range run.Labels {
+						labels[k] = v
+					}
+					labels["origin"] = t.Name
+					run.Labels = labels
+					out.Runs = append(out.Runs, run)
+				}
+			}
+		}
+		out.Targets = append(out.Targets, tr)
+	}
+	if answered == 0 {
+		return nil, fmt.Errorf("runstore: federated query: all %d target(s) failed: %w", len(s.targets), lastErr)
+	}
+	switch out.Mode {
+	case ModeRegressions:
+		// Worst-first across the fleet; each shard's deltas arrive
+		// pre-sorted, the merge re-establishes the global order.
+		sort.SliceStable(out.Deltas, func(i, j int) bool { return out.Deltas[i].Pct < out.Deltas[j].Pct })
+		if q.Top > 0 && len(out.Deltas) > q.Top {
+			out.Deltas = out.Deltas[:q.Top]
+		}
+	default:
+		sort.SliceStable(out.Runs, func(i, j int) bool { return out.Runs[i].Time < out.Runs[j].Time })
+		if q.Limit > 0 && len(out.Runs) > q.Limit {
+			out.Runs = out.Runs[len(out.Runs)-q.Limit:]
+		}
+	}
+	if out.Degraded {
+		var failed []string
+		for _, tr := range out.Targets {
+			if tr.Error != "" {
+				failed = append(failed, tr.Target)
+			}
+		}
+		s.log.Warn("runstore: degraded federated query",
+			"mode", out.Mode, "targets", len(s.targets), "answered", answered,
+			"failed", strings.Join(failed, ","))
+	}
+	return out, nil
+}
+
+// Len sums the members' live record counts, skipping unreachable ones
+// (a Remote Len of -1).
+func (s *Federated) Len() int {
+	total := 0
+	for _, t := range s.targets {
+		if n := t.Store.Len(); n > 0 {
+			total += n
+		}
+	}
+	return total
+}
+
+// Close closes every member store (the federation owns the Remote
+// clients built for it).
+func (s *Federated) Close() error {
+	var firstErr error
+	for _, t := range s.targets {
+		if err := t.Store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// IsStoreURL reports whether a -store spec element addresses a remote
+// daemon rather than a local directory.
+func IsStoreURL(spec string) bool {
+	return strings.HasPrefix(spec, "http://") || strings.HasPrefix(spec, "https://")
+}
+
+// OpenStores opens a -store spec: a filesystem directory, a daemon URL
+// (http://host:port), or a comma-separated list of either, which opens
+// as a federation (read-only, origin-labeled, degradable queries). One
+// element returns that backend directly.
+func OpenStores(spec string, fsOpts FSOptions, fedOpts FederatedOptions) (Store, error) {
+	parts := strings.Split(spec, ",")
+	targets := make([]StoreTarget, 0, len(parts))
+	cleanup := func() {
+		for _, t := range targets {
+			t.Store.Close() //nolint:errcheck // best-effort unwind
+		}
+	}
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		var (
+			st   Store
+			name string
+			err  error
+		)
+		if strings.Contains(p, "://") && !IsStoreURL(p) {
+			cleanup()
+			return nil, fmt.Errorf("runstore: unsupported scheme in store spec %q (want http:// or https://)", p)
+		}
+		if IsStoreURL(p) {
+			var rc *Remote
+			rc, err = OpenRemote(p, RemoteOptions{})
+			if err == nil {
+				st = rc
+				if u, uerr := url.Parse(p); uerr == nil && u.Host != "" {
+					name = u.Host
+				} else {
+					name = p
+				}
+			}
+		} else {
+			st, err = OpenFS(p, fsOpts)
+			name = p
+		}
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		targets = append(targets, StoreTarget{Name: name, Store: st})
+	}
+	switch len(targets) {
+	case 0:
+		return nil, fmt.Errorf("runstore: empty -store spec")
+	case 1:
+		return targets[0].Store, nil
+	}
+	return NewFederated(targets, fedOpts), nil
+}

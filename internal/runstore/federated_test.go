@@ -1,0 +1,341 @@
+package runstore
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fleetShard is one live test daemon: a ring store behind the storeapi
+// handler, addressed through a Remote client — the exact production
+// topology of a federated query, minus the process boundary.
+type fleetShard struct {
+	name    string
+	backing *Ring
+	srv     *httptest.Server
+}
+
+func newFleetShard(t *testing.T, name string) *fleetShard {
+	t.Helper()
+	backing := NewRing(64, nil)
+	srv := httptest.NewServer(NewAPI(backing, APIOptions{}))
+	t.Cleanup(srv.Close)
+	return &fleetShard{name: name, backing: backing, srv: srv}
+}
+
+func (s *fleetShard) target(t *testing.T) StoreTarget {
+	t.Helper()
+	return StoreTarget{Name: s.name, Store: fastRemote(t, s.srv.URL, RemoteOptions{Retries: 1})}
+}
+
+// TestFederatedListMergesByTime: records from two shards interleave
+// into one ascending-time view, every record stamped with its origin,
+// and Limit keeps the newest across the whole fleet.
+func TestFederatedListMergesByTime(t *testing.T) {
+	a, b := NewRing(16, nil), NewRing(16, nil)
+	for i, st := range []*Ring{a, b, a, b} {
+		if err := st.Put(reportRecord("cald", "OK", time.Unix(int64(1000+i), 0))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed := NewFederated([]StoreTarget{{Name: "a", Store: a}, {Name: "b", Store: b}}, FederatedOptions{})
+	recs, err := fed.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("merged %d records, want 4", len(recs))
+	}
+	wantOrigin := []string{"a", "b", "a", "b"}
+	for i, rec := range recs {
+		if rec.TimeNS != time.Unix(int64(1000+i), 0).UnixNano() {
+			t.Fatalf("record %d out of time order: %d", i, rec.TimeNS)
+		}
+		if rec.Labels["origin"] != wantOrigin[i] {
+			t.Fatalf("record %d origin = %q, want %q", i, rec.Labels["origin"], wantOrigin[i])
+		}
+	}
+	// Origin stamping never mutates the member store's own records.
+	own, _ := a.List(Filter{})
+	if own[0].Labels["origin"] != "" {
+		t.Fatal("origin label leaked into the member store")
+	}
+	// Fleet-wide limit keeps the newest two (one from each shard here).
+	recs, err = fed.List(Filter{Limit: 2})
+	if err != nil || len(recs) != 2 || recs[0].TimeNS != time.Unix(1002, 0).UnixNano() {
+		t.Fatalf("limited merge = %v (err %v)", recs, err)
+	}
+	if fed.Len() != 4 {
+		t.Fatalf("fleet Len = %d", fed.Len())
+	}
+	if err := fed.Put(&Record{}); err != ErrReadOnly {
+		t.Fatalf("federated Put = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestFederatedRegressionsRollup: each shard computes its own deltas
+// server-side; the fleet merge re-ranks them worst-first with an
+// origin per cell and applies top-N after the merge.
+func TestFederatedRegressionsRollup(t *testing.T) {
+	a, b := newFleetShard(t, "a"), newFleetShard(t, "b")
+	// Shard a regresses 50% (100 -> 50 would be -50; use rates so a is
+	// worse), shard b improves.
+	for i, rate := range []float64{100, 40} {
+		gen := time.Unix(int64(2000+i), 0).UTC().Format(time.RFC3339)
+		if err := a.backing.Put(BenchRecord("", benchAt(gen, rate))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, rate := range []float64{100, 150} {
+		gen := time.Unix(int64(2000+i), 0).UTC().Format(time.RFC3339)
+		if err := b.backing.Put(BenchRecord("", benchAt(gen, rate))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed := NewFederated([]StoreTarget{a.target(t), b.target(t)}, FederatedOptions{})
+	res, err := fed.QueryContext(context.Background(), Query{Mode: ModeRegressions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || len(res.Targets) != 2 {
+		t.Fatalf("healthy fleet result = %+v", res)
+	}
+	if len(res.Deltas) != 8 { // 4 cells per shard
+		t.Fatalf("merged %d deltas, want 8", len(res.Deltas))
+	}
+	// Worst-first across shards: every a cell (-60%) before any b cell
+	// (+50%), each attributed to its shard.
+	for i, d := range res.Deltas {
+		want := "a"
+		if i >= 4 {
+			want = "b"
+		}
+		if d.Origin != want {
+			t.Fatalf("delta %d (%+.1f%%) origin = %q, want %q", i, d.Pct, d.Origin, want)
+		}
+		if i > 0 && d.Pct < res.Deltas[i-1].Pct {
+			t.Fatalf("deltas not worst-first at %d", i)
+		}
+	}
+	// top-N applies after the merge, so it picks the fleet-wide worst.
+	res, err = fed.QueryContext(context.Background(), Query{Mode: ModeRegressions, Top: 2})
+	if err != nil || len(res.Deltas) != 2 || res.Deltas[0].Origin != "a" {
+		t.Fatalf("fleet top-2 = %+v (err %v)", res, err)
+	}
+	// The rendered rollup carries the fleet header and origin column.
+	text := res.Text()
+	if !strings.Contains(text, "fleet regressions: 2 target(s)") || !strings.Contains(text, "origin") {
+		t.Fatalf("fleet text = %q", text)
+	}
+}
+
+// TestFederatedShardDownDegrades kills one daemon and proves the
+// honest-partial-results contract: degraded=true, the dead shard's
+// error recorded against its name, and every surviving row attributed
+// to the live shard — never a silent half-answer.
+func TestFederatedShardDownDegrades(t *testing.T) {
+	live := newFleetShard(t, "live")
+	if err := live.backing.Put(reportRecord("cald", "VIOLATION", time.Unix(3000, 0))); err != nil {
+		t.Fatal(err)
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // the shard is down before the fan-out starts
+
+	fed := NewFederated([]StoreTarget{
+		live.target(t),
+		{Name: "dead", Store: fastRemote(t, deadURL, RemoteOptions{Retries: 1})},
+	}, FederatedOptions{})
+
+	res, err := fed.QueryContext(context.Background(), Query{Mode: ModeRuns})
+	if err != nil {
+		t.Fatalf("degraded query must not fail outright: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("degraded flag not set with a shard down")
+	}
+	byName := map[string]TargetResult{}
+	for _, tr := range res.Targets {
+		byName[tr.Target] = tr
+	}
+	if byName["dead"].Error == "" || byName["live"].Error != "" {
+		t.Fatalf("target attribution = %+v", res.Targets)
+	}
+	if len(res.Runs) != 1 || res.Runs[0].Labels["origin"] != "live" {
+		t.Fatalf("surviving rows = %+v", res.Runs)
+	}
+	if !strings.Contains(res.Text(), "DEGRADED") {
+		t.Fatalf("rendered degraded result hides it: %q", res.Text())
+	}
+
+	// List has no degraded channel: a down shard fails it, naming the
+	// shard.
+	if _, err := fed.List(Filter{}); err == nil || !strings.Contains(err.Error(), "dead") {
+		t.Fatalf("federated list with dead shard = %v", err)
+	}
+
+	// All shards down is an error, not an empty success.
+	allDead := NewFederated([]StoreTarget{
+		{Name: "dead", Store: fastRemote(t, deadURL, RemoteOptions{Retries: 1})},
+	}, FederatedOptions{})
+	if _, err := allDead.QueryContext(context.Background(), Query{}); err == nil {
+		t.Fatal("all-shards-down query succeeded")
+	}
+}
+
+// TestFederatedSlowShardTimesOut: a shard that hangs past the
+// per-target deadline degrades the answer instead of wedging the
+// fleet, and the fast shard's rows arrive intact.
+func TestFederatedSlowShardTimesOut(t *testing.T) {
+	fast := newFleetShard(t, "fast")
+	if err := fast.backing.Put(reportRecord("cald", "OK", time.Unix(3100, 0))); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select { // hold the request until the test is over
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(slow.Close)
+
+	fed := NewFederated([]StoreTarget{
+		fast.target(t),
+		{Name: "slow", Store: fastRemote(t, slow.URL, RemoteOptions{Retries: 1, Timeout: -1})},
+	}, FederatedOptions{PerTargetTimeout: 50 * time.Millisecond})
+
+	start := time.Now()
+	res, err := fed.QueryContext(context.Background(), Query{Mode: ModeRuns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fleet query wedged for %v behind the slow shard", elapsed)
+	}
+	if !res.Degraded || len(res.Runs) != 1 || res.Runs[0].Labels["origin"] != "fast" {
+		t.Fatalf("slow-shard result = %+v", res)
+	}
+	for _, tr := range res.Targets {
+		if tr.Target == "slow" && !strings.Contains(tr.Error, "deadline") {
+			t.Fatalf("slow shard error = %q, want a deadline", tr.Error)
+		}
+	}
+}
+
+// TestFederatedTornReplyDegrades: a shard answering garbage (a
+// half-written or wrong-schema body) is a degraded target with the
+// torn reply attributed, never a poisoned merge.
+func TestFederatedTornReplyDegrades(t *testing.T) {
+	good := newFleetShard(t, "good")
+	if err := good.backing.Put(reportRecord("cald", "OK", time.Unix(3200, 0))); err != nil {
+		t.Fatal(err)
+	}
+	torn := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"schema":"calgo.que`)) // crashed mid-encode
+	}))
+	t.Cleanup(torn.Close)
+
+	fed := NewFederated([]StoreTarget{
+		good.target(t),
+		{Name: "torn", Store: fastRemote(t, torn.URL, RemoteOptions{Retries: 1})},
+	}, FederatedOptions{})
+	res, err := fed.QueryContext(context.Background(), Query{Mode: ModeRuns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || len(res.Runs) != 1 || res.Runs[0].Labels["origin"] != "good" {
+		t.Fatalf("torn-shard result = %+v", res)
+	}
+	// A complete-but-wrong-schema reply is torn too.
+	wrong := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"schema":"calgo.nope/v9"}`))
+	}))
+	t.Cleanup(wrong.Close)
+	fed2 := NewFederated([]StoreTarget{
+		good.target(t),
+		{Name: "wrong", Store: fastRemote(t, wrong.URL, RemoteOptions{Retries: 1})},
+	}, FederatedOptions{})
+	res2, err := fed2.QueryContext(context.Background(), Query{Mode: ModeRuns})
+	if err != nil || !res2.Degraded {
+		t.Fatalf("wrong-schema result = %+v (err %v)", res2, err)
+	}
+	for _, tr := range res2.Targets {
+		if tr.Target == "wrong" && !strings.Contains(tr.Error, "torn query reply") {
+			t.Fatalf("wrong-schema error = %q", tr.Error)
+		}
+	}
+}
+
+// TestFederatedGet answers "any shard's record with this ID",
+// earliest target winning, with the origin stamped.
+func TestFederatedGet(t *testing.T) {
+	a, b := NewRing(8, nil), NewRing(8, nil)
+	ra := reportRecord("cald", "OK", time.Unix(4000, 0))
+	if err := a.Put(ra); err != nil {
+		t.Fatal(err)
+	}
+	rb := reportRecord("calfuzz", "OK", time.Unix(4001, 0))
+	rb.ID = ra.ID // same ID in another shard's namespace
+	if err := b.Put(rb); err != nil {
+		t.Fatal(err)
+	}
+	fed := NewFederated([]StoreTarget{{Name: "a", Store: a}, {Name: "b", Store: b}}, FederatedOptions{})
+	got, ok, err := fed.Get(ra.ID)
+	if err != nil || !ok || got.Labels["origin"] != "a" || got.Tool != "cald" {
+		t.Fatalf("Get = %+v (ok %v err %v)", got, ok, err)
+	}
+	if _, ok, _ := fed.Get("absent"); ok {
+		t.Fatal("absent ID found")
+	}
+}
+
+// TestOpenStores covers the -store spec grammar: one directory opens
+// the FS backend directly, one URL a Remote client, a comma list a
+// federation named after its members.
+func TestOpenStores(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStores(dir, FSOptions{}, FederatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*FS); !ok {
+		t.Fatalf("single directory opened %T", st)
+	}
+	st.Close()
+
+	st, err = OpenStores("http://127.0.0.1:1", FSOptions{}, FederatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*Remote); !ok {
+		t.Fatalf("single URL opened %T", st)
+	}
+	st.Close()
+
+	st, err = OpenStores(dir+", http://127.0.0.1:1/", FSOptions{}, FederatedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, ok := st.(*Federated)
+	if !ok {
+		t.Fatalf("comma list opened %T", st)
+	}
+	names := fed.Targets()
+	if len(names) != 2 || names[0] != dir || names[1] != "127.0.0.1:1" {
+		t.Fatalf("federation targets = %v", names)
+	}
+	st.Close()
+
+	for _, bad := range []string{"", " , ", "ftp://nope"} {
+		if _, err := OpenStores(bad, FSOptions{}, FederatedOptions{}); err == nil {
+			t.Errorf("OpenStores(%q) accepted", bad)
+		}
+	}
+}

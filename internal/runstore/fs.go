@@ -2,6 +2,7 @@ package runstore
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -78,11 +79,18 @@ type FS struct {
 	seq        int      // highest numeric r-<n> id seen
 	sincePut   int      // puts since the last index write
 
+	// hookAfterCompactRename, when set (tests only), runs between the
+	// compacted segment's rename and the old segments' removal — the
+	// crash window the retention regression test snapshots.
+	hookAfterCompactRename func()
+
 	cPuts, cPutErrors, cReplayed     *obs.Counter
 	cCorrupt, cIndexRebuilds         *obs.Counter
 	cIndexWrites, cCompactions       *obs.Counter
+	cExpired                         *obs.Counter
 	hPutBytes, hPutNS                *obs.Histogram
 	gRecords, gSegments, gSuperseded *obs.Gauge
+	gRetained                        *obs.Gauge
 }
 
 // fsEntry locates one live record on disk plus the metadata the query
@@ -176,22 +184,24 @@ func OpenFS(dir string, opts FSOptions) (*FS, error) {
 		cIndexRebuilds: m.Counter("runstore.index_rebuilds"),
 		cIndexWrites:   m.Counter("runstore.index_writes"),
 		cCompactions:   m.Counter("runstore.compactions"),
+		cExpired:       m.Counter("runstore.expired"),
 		hPutBytes:      m.Histogram("runstore.put_bytes"),
 		hPutNS:         m.Histogram("runstore.put_ns"),
 		gRecords:       m.Gauge("runstore.records"),
 		gSegments:      m.Gauge("runstore.segments"),
 		gSuperseded:    m.Gauge("runstore.superseded"),
+		gRetained:      m.Gauge("runstore.retained"),
 	}
 	if err := s.replay(); err != nil {
 		return nil, err
 	}
-	if s.superseded >= compactMinGarbage && s.superseded > len(s.byID) {
-		if err := s.compact(); err != nil {
-			return nil, err
-		}
-	}
 	if err := s.openActive(); err != nil {
 		return nil, err
+	}
+	if s.superseded >= compactMinGarbage && s.superseded > len(s.byID) {
+		if err := s.compactLocked(); err != nil {
+			return nil, err
+		}
 	}
 	s.writeIndexLocked()
 	s.gaugesLocked()
@@ -315,10 +325,45 @@ func (s *FS) admit(id string, e fsEntry) {
 		s.order = append(s.order, id)
 	}
 	s.byID[id] = e
+	s.bumpSeq(id)
+}
+
+// admitTombstone folds one on-disk tombstone into the live map: the
+// record (when present) dies, and both its last copy and the tombstone
+// line itself become compactable garbage.
+func (s *FS) admitTombstone(id string) {
+	if id == "" {
+		return
+	}
+	if _, ok := s.byID[id]; ok {
+		delete(s.byID, id)
+		s.dropFromOrder(map[string]bool{id: true})
+		s.superseded += 2
+	} else {
+		s.superseded++ // orphan tombstone (its record was already compacted away)
+	}
+	// Keep the ID sequence monotonic past dead records so a later Put
+	// never reuses a tombstoned "r-<n>".
+	s.bumpSeq(id)
+}
+
+func (s *FS) bumpSeq(id string) {
 	var n int
 	if _, err := fmt.Sscanf(id, "r-%d", &n); err == nil && n > s.seq {
 		s.seq = n
 	}
+}
+
+// dropFromOrder removes the given ids from the first-put order slice,
+// so a future Put of a dead id re-appends exactly once.
+func (s *FS) dropFromOrder(dead map[string]bool) {
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !dead[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
 }
 
 // scanSegment replays segment n from byte offset off, skipping corrupt
@@ -347,6 +392,8 @@ func (s *FS) scanSegment(n int, off int64) (int, error) {
 				s.cCorrupt.Inc()
 				s.log.Warn("runstore: skipping corrupt line",
 					"segment", s.segPath(n), "offset", pos, "bytes", n0)
+			} else if rec.Deleted {
+				s.admitTombstone(rec.ID)
 			} else {
 				s.admit(rec.ID, fsEntry{
 					Seg: n, Off: pos, Len: n0,
@@ -539,13 +586,24 @@ func (s *FS) writeIndexLocked() {
 	s.cIndexWrites.Inc()
 }
 
-// compact rewrites every live record into a fresh segment numbered
-// past all existing ones, then removes the old segments. Crash-safe by
+// compactLocked rewrites every live record into a fresh segment
+// numbered past all existing ones, then removes the old segments (and
+// with them every superseded copy and tombstone). Crash-safe by
 // ordering: the compacted segment is completed and fsynced before any
-// old segment is removed, and replay's newest-occurrence-wins rule
-// means a crash between those steps merely leaves harmless duplicates.
-func (s *FS) compact() error {
+// old segment is removed; replay's newest-occurrence-wins rule means a
+// crash between those steps merely leaves harmless duplicates, and
+// tombstoned records stay dead because their tombstones still sit in
+// the not-yet-removed old segments while the compacted segment simply
+// omits them. The active append handle is sealed first and reopened on
+// the compacted segment, so runtime sweeps (Retain) can compact too.
+func (s *FS) compactLocked() error {
 	start := s.now()
+	if s.active != nil {
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("runstore: sealing segment for compaction: %w", err)
+		}
+		s.active = nil
+	}
 	segs, err := s.segments()
 	if err != nil {
 		return err
@@ -594,6 +652,9 @@ func (s *FS) compact() error {
 	if err := os.Rename(tmp, s.segPath(next)); err != nil {
 		return fmt.Errorf("runstore: compacting: %w", err)
 	}
+	if s.hookAfterCompactRename != nil {
+		s.hookAfterCompactRename()
+	}
 	for _, n := range segs {
 		_ = os.Remove(s.segPath(n))
 	}
@@ -606,7 +667,7 @@ func (s *FS) compact() error {
 	s.log.Info("runstore: compacted",
 		"dir", s.dir, "records", len(s.byID), "dropped", dropped,
 		"bytes", bytes, "dur", s.now().Sub(start))
-	return nil
+	return s.openActive()
 }
 
 // readAt fetches one record's raw line.
@@ -657,10 +718,20 @@ func (s *FS) materializeLocked(e fsEntry) (*Record, error) {
 // Limit kept. Filtering runs on the in-memory metadata; only the
 // matches are read from disk.
 func (s *FS) List(f Filter) ([]*Record, error) {
+	return s.ListContext(context.Background(), f)
+}
+
+// ListContext is List honoring cancellation: the context is checked
+// between disk reads, so a cancelled ops request stops paying I/O for
+// an answer nobody will read.
+func (s *FS) ListContext(ctx context.Context, f Filter) ([]*Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	type cand struct {
 		id string
@@ -679,7 +750,12 @@ func (s *FS) List(f Filter) ([]*Record, error) {
 		matched = matched[len(matched)-f.Limit:]
 	}
 	out := make([]*Record, 0, len(matched))
-	for _, c := range matched {
+	for i, c := range matched {
+		if i%32 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rec, err := s.materializeLocked(c.e)
 		if err != nil {
 			return nil, err
@@ -687,6 +763,70 @@ func (s *FS) List(f Filter) ([]*Record, error) {
 		out = append(out, rec)
 	}
 	return out, nil
+}
+
+// Retain applies a retention policy: expired records get fsynced
+// tombstone lines (one batch, one sync — an acknowledged sweep survives
+// SIGKILL), and when the resulting garbage dominates the live set the
+// store compacts. Returns how many records the sweep expired.
+func (s *FS) Retain(pol Retention) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	metas := make([]retMeta, 0, len(s.byID))
+	for _, id := range s.order {
+		if e, ok := s.byID[id]; ok {
+			metas = append(metas, retMeta{id: id, kind: e.Kind, timeNS: e.TimeNS})
+		}
+	}
+	victims := pol.expire(metas, s.now())
+	if len(victims) == 0 {
+		if s.gRetained != nil {
+			s.gRetained.Set(int64(len(s.byID)))
+		}
+		return 0, nil
+	}
+	var buf []byte
+	dead := make(map[string]bool, len(victims))
+	for _, id := range victims {
+		line, err := json.Marshal(Record{Schema: RecordSchema, ID: id, Deleted: true})
+		if err != nil {
+			return 0, fmt.Errorf("runstore: encoding tombstone: %w", err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		dead[id] = true
+	}
+	if _, err := s.active.Write(buf); err != nil {
+		return 0, fmt.Errorf("runstore: appending tombstones: %w", err)
+	}
+	if err := s.active.Sync(); err != nil {
+		return 0, fmt.Errorf("runstore: syncing tombstones: %w", err)
+	}
+	s.actOff += int64(len(buf))
+	for _, id := range victims {
+		delete(s.byID, id)
+	}
+	s.dropFromOrder(dead)
+	s.superseded += 2 * len(victims) // each dead copy plus its tombstone
+	if s.cExpired != nil {
+		s.cExpired.Add(int64(len(victims)))
+	}
+	if s.superseded >= compactMinGarbage && s.superseded > len(s.byID) {
+		if err := s.compactLocked(); err != nil {
+			return len(victims), err
+		}
+	}
+	s.writeIndexLocked()
+	s.gaugesLocked()
+	if s.gRetained != nil {
+		s.gRetained.Set(int64(len(s.byID)))
+	}
+	s.log.Info("runstore: retention sweep",
+		"dir", s.dir, "expired", len(victims), "retained", len(s.byID), "policy", pol.String())
+	return len(victims), nil
 }
 
 // Len is the number of live records.

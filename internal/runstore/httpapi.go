@@ -1,0 +1,216 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// HTTP store protocol (calgo.storeapi/v1): any process serving it —
+// every cald daemon does, beside /runsz — is a remote run-history
+// backend for Remote clients and Federated fan-out queries. The wire
+// contract is specified in EXPERIMENTS.md ("Fleet observability").
+//
+//	GET  /storeapi/v1/records/{id}   one record, 404 when absent
+//	POST /storeapi/v1/records        upsert one record, returns its ID
+//	GET  /storeapi/v1/records?...    filtered listing (Filter params),
+//	                                 server-side limit clamp
+//	GET  /storeapi/v1/query?...      query evaluation (Query params),
+//	                                 calgo.query/v1 result
+//	GET  /storeapi/v1/len            live record count
+const (
+	// StoreAPISchema versions the protocol's envelope documents.
+	StoreAPISchema = "calgo.storeapi/v1"
+
+	// StoreAPIPrefix is the path prefix every endpoint lives under;
+	// mount the handler at this prefix (trailing slash added) on the
+	// ops mux.
+	StoreAPIPrefix = "/storeapi"
+
+	// DefaultMaxList is the server-side result bound when APIOptions
+	// does not choose: an unbounded (or absurd) client limit is clamped
+	// here so one curl cannot make the daemon serialize its whole
+	// history in one response.
+	DefaultMaxList = 1000
+
+	// maxPutBytes bounds an upserted record's body.
+	maxPutBytes = 8 << 20
+)
+
+// StoreAPIList is the listing envelope: the matches (ascending time,
+// newest Limit kept), the pre-limit total, and whether the server
+// clamped an unbounded request.
+type StoreAPIList struct {
+	Schema  string    `json:"schema"`
+	Total   int       `json:"total"`
+	Clamped bool      `json:"clamped,omitempty"`
+	Records []*Record `json:"records"`
+}
+
+// StoreAPIPut is the upsert reply.
+type StoreAPIPut struct {
+	Schema string `json:"schema"`
+	ID     string `json:"id"`
+}
+
+// StoreAPILen is the record-count reply.
+type StoreAPILen struct {
+	Schema string `json:"schema"`
+	Len    int    `json:"len"`
+}
+
+// APIOptions tune NewAPI. The zero value is production-sane.
+type APIOptions struct {
+	// MaxList clamps every listing and query to this many records /
+	// delta cells (default DefaultMaxList; < 0 disables the clamp).
+	MaxList int
+	// ReadOnly rejects POSTs with 403 — for daemons that expose their
+	// history without accepting foreign records.
+	ReadOnly bool
+	// Logger receives a structured line per upsert (nil = silent).
+	Logger *slog.Logger
+	// Now is the query clock (tests; nil = time.Now).
+	Now func() time.Time
+}
+
+type storeAPI struct {
+	st   Store
+	opts APIOptions
+	mux  *http.ServeMux
+}
+
+// NewAPI returns the calgo.storeapi/v1 handler over st, mountable on
+// an ops mux at StoreAPIPrefix + "/".
+func NewAPI(st Store, opts APIOptions) http.Handler {
+	if opts.MaxList == 0 {
+		opts.MaxList = DefaultMaxList
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	a := &storeAPI{st: st, opts: opts, mux: http.NewServeMux()}
+	a.mux.HandleFunc("GET "+StoreAPIPrefix+"/v1/records/{id}", a.handleGet)
+	a.mux.HandleFunc("POST "+StoreAPIPrefix+"/v1/records", a.handlePut)
+	a.mux.HandleFunc("GET "+StoreAPIPrefix+"/v1/records", a.handleList)
+	a.mux.HandleFunc("GET "+StoreAPIPrefix+"/v1/query", a.handleQuery)
+	a.mux.HandleFunc("GET "+StoreAPIPrefix+"/v1/len", a.handleLen)
+	return a
+}
+
+func (a *storeAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+func (a *storeAPI) reply(w http.ResponseWriter, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // client gone
+}
+
+func (a *storeAPI) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok, err := a.st.Get(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		http.Error(w, fmt.Sprintf("runstore: no record %q", r.PathValue("id")), http.StatusNotFound)
+		return
+	}
+	a.reply(w, rec)
+}
+
+func (a *storeAPI) handlePut(w http.ResponseWriter, r *http.Request) {
+	if a.opts.ReadOnly {
+		http.Error(w, "runstore: store is read-only", http.StatusForbidden)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPutBytes+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxPutBytes {
+		http.Error(w, "record too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		http.Error(w, "decoding record: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if rec.Deleted {
+		http.Error(w, "runstore: tombstones are not accepted over the wire", http.StatusBadRequest)
+		return
+	}
+	if err := a.st.Put(&rec); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if a.opts.Logger != nil {
+		a.opts.Logger.Info("storeapi: put", "id", rec.ID, "tool", rec.Tool, "kind", rec.Kind)
+	}
+	a.reply(w, StoreAPIPut{Schema: StoreAPISchema, ID: rec.ID})
+}
+
+// clamp applies the server-side bound to a client-requested limit:
+// unbounded (0) or over-bound requests are pulled down to MaxList.
+func (a *storeAPI) clamp(requested int) (int, bool) {
+	if a.opts.MaxList < 0 {
+		return requested, false
+	}
+	if requested == 0 || requested > a.opts.MaxList {
+		return a.opts.MaxList, true
+	}
+	return requested, false
+}
+
+func (a *storeAPI) handleList(w http.ResponseWriter, r *http.Request) {
+	q, err := QueryFromValues(r.URL.Query(), a.opts.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f := q.Filter
+	f.Limit = 0
+	recs, err := ListContext(r.Context(), a.st, f)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	eff, bounded := a.clamp(q.Limit)
+	out := applyLimit(recs, eff)
+	if out == nil {
+		out = []*Record{}
+	}
+	a.reply(w, StoreAPIList{
+		Schema:  StoreAPISchema,
+		Total:   len(recs),
+		Clamped: bounded && len(out) < len(recs),
+		Records: out,
+	})
+}
+
+func (a *storeAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, err := QueryFromValues(r.URL.Query(), a.opts.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q.Limit, _ = a.clamp(q.Limit)
+	q.Top, _ = a.clamp(q.Top)
+	res, err := RunContext(r.Context(), a.st, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	a.reply(w, res)
+}
+
+func (a *storeAPI) handleLen(w http.ResponseWriter, _ *http.Request) {
+	a.reply(w, StoreAPILen{Schema: StoreAPISchema, Len: a.st.Len()})
+}

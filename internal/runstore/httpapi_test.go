@@ -1,0 +1,226 @@
+package runstore
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRemote opens a Remote against url with millisecond backoff, so
+// retry-path tests stay quick.
+func fastRemote(t *testing.T, url string, opts RemoteOptions) *Remote {
+	t.Helper()
+	if opts.BaseDelay == 0 {
+		opts.BaseDelay = time.Millisecond
+	}
+	if opts.MaxDelay == 0 {
+		opts.MaxDelay = 5 * time.Millisecond
+	}
+	c, err := OpenRemote(url, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStoreAPIRoundTrip drives the full calgo.storeapi/v1 surface
+// through a Remote client against a live handler: put (with ID
+// write-back), get, 404, filtered list, server-side query, len.
+func TestStoreAPIRoundTrip(t *testing.T) {
+	backing := NewRing(64, nil)
+	srv := httptest.NewServer(NewAPI(backing, APIOptions{}))
+	defer srv.Close()
+	c := fastRemote(t, srv.URL, RemoteOptions{})
+
+	rec := reportRecord("cald", "VIOLATION", time.Unix(4000, 0))
+	rec.Labels = map[string]string{"spec": "queue"}
+	if err := c.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ID == "" {
+		t.Fatal("daemon-assigned ID not written back")
+	}
+	got, ok, err := c.Get(rec.ID)
+	if err != nil || !ok {
+		t.Fatalf("Get(%q) = ok %v, err %v", rec.ID, ok, err)
+	}
+	if got.Tool != "cald" || got.Labels["spec"] != "queue" || got.Report == nil {
+		t.Fatalf("round-tripped record = %+v", got)
+	}
+	if _, ok, err := c.Get("no-such"); err != nil || ok {
+		t.Fatalf("Get(absent) = ok %v, err %v; want false, nil", ok, err)
+	}
+
+	if err := c.Put(reportRecord("calcheck", "OK", time.Unix(4001, 0))); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := c.List(Filter{Verdict: "VIOLATION"})
+	if err != nil || len(recs) != 1 || recs[0].ID != rec.ID {
+		t.Fatalf("List(VIOLATION) = %v (err %v)", recs, err)
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+
+	// Server-side query evaluation: regressions resolve baselines in
+	// the daemon's namespace, and the reply is a calgo.query/v1 doc.
+	for i, rate := range []float64{100, 150} {
+		if err := c.Put(BenchRecord("", benchAt(time.Unix(int64(5000+i), 0).UTC().Format(time.RFC3339), rate))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.QueryContext(context.Background(), Query{Mode: ModeRegressions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != QuerySchema || len(res.Deltas) == 0 || res.Deltas[0].Pct != 50 {
+		t.Fatalf("remote regressions = %+v", res)
+	}
+}
+
+// TestStoreAPIClampsListing pins the server-side result bound: an
+// unbounded listing comes back clamped to MaxList (newest kept), with
+// the envelope carrying the honest pre-limit total and the clamped
+// marker.
+func TestStoreAPIClampsListing(t *testing.T) {
+	backing := NewRing(64, nil)
+	for i := 0; i < 10; i++ {
+		if err := backing.Put(reportRecord("cald", "OK", time.Unix(int64(6000+i), 0))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewAPI(backing, APIOptions{MaxList: 3}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + StoreAPIPrefix + "/v1/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply StoreAPIList
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Schema != StoreAPISchema || reply.Total != 10 || !reply.Clamped {
+		t.Fatalf("envelope = %+v", reply)
+	}
+	if len(reply.Records) != 3 || reply.Records[2].TimeNS != time.Unix(6009, 0).UnixNano() {
+		t.Fatalf("clamped window = %d records, newest %v", len(reply.Records), reply.Records)
+	}
+	// A request under the bound is honoured and not marked clamped.
+	resp2, err := http.Get(srv.URL + StoreAPIPrefix + "/v1/records?" + url.Values{"limit": {"2"}}.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var reply2 StoreAPIList
+	if err := json.NewDecoder(resp2.Body).Decode(&reply2); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply2.Records) != 2 || reply2.Clamped {
+		t.Fatalf("limit=2 reply = %+v", reply2)
+	}
+}
+
+// TestStoreAPIRejects pins the protocol's refusals: read-only daemons
+// 403 upserts, tombstones never cross the wire, and both fail the
+// client fast (no retry burn on permanent 4xx).
+func TestStoreAPIRejects(t *testing.T) {
+	ro := httptest.NewServer(NewAPI(NewRing(4, nil), APIOptions{ReadOnly: true}))
+	defer ro.Close()
+	c := fastRemote(t, ro.URL, RemoteOptions{})
+	if err := c.Put(reportRecord("cald", "OK", time.Unix(1, 0))); err == nil {
+		t.Fatal("read-only daemon accepted a put")
+	}
+
+	rw := httptest.NewServer(NewAPI(NewRing(4, nil), APIOptions{}))
+	defer rw.Close()
+	c2 := fastRemote(t, rw.URL, RemoteOptions{})
+	if err := c2.Put(&Record{Schema: RecordSchema, ID: "r-1", Deleted: true}); err == nil {
+		t.Fatal("tombstone accepted over the wire")
+	}
+}
+
+// TestRemoteRetriesTransient proves the client's production manners:
+// 503s are retried with backoff until the daemon recovers, and the
+// operation then succeeds transparently.
+func TestRemoteRetriesTransient(t *testing.T) {
+	backing := NewRing(8, nil)
+	api := NewAPI(backing, APIOptions{})
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		api.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c := fastRemote(t, srv.URL, RemoteOptions{Retries: 4})
+	if err := c.Put(reportRecord("cald", "OK", time.Unix(7000, 0))); err != nil {
+		t.Fatalf("put through flaky daemon: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (two 503s then success)", got)
+	}
+	if backing.Len() != 1 {
+		t.Fatalf("backing Len = %d", backing.Len())
+	}
+}
+
+// TestRemotePermanentErrorFailsFast: a 4xx reply must not burn the
+// retry budget.
+func TestRemotePermanentErrorFailsFast(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such thing", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	c := fastRemote(t, srv.URL, RemoteOptions{Retries: 4})
+	if _, err := c.List(Filter{}); err == nil {
+		t.Fatal("4xx listing succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+// TestRemoteUnreachable pins the degraded signals of a dead daemon:
+// Len answers -1 (not "empty store"), and reads error rather than
+// fabricate.
+func TestRemoteUnreachable(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	target := srv.URL
+	srv.Close()
+	c := fastRemote(t, target, RemoteOptions{Retries: 1})
+	if n := c.Len(); n != -1 {
+		t.Fatalf("Len of dead daemon = %d, want -1", n)
+	}
+	if _, err := c.List(Filter{}); err == nil {
+		t.Fatal("listing a dead daemon succeeded")
+	}
+}
+
+// TestOpenRemoteValidates rejects specs that cannot address a daemon.
+func TestOpenRemoteValidates(t *testing.T) {
+	for _, bad := range []string{"", "ftp://x", "http://", "not a url"} {
+		if _, err := OpenRemote(bad, RemoteOptions{}); err == nil {
+			t.Errorf("OpenRemote(%q) accepted", bad)
+		}
+	}
+	c, err := OpenRemote("http://127.0.0.1:1/", RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Base() != "http://127.0.0.1:1" {
+		t.Fatalf("Base = %q (trailing slash kept?)", c.Base())
+	}
+}

@@ -1,0 +1,282 @@
+package runstore
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Remote is a Store client over the calgo.storeapi/v1 protocol: any
+// cald daemon (or anything else mounting NewAPI) is a backend. Reads
+// and writes carry the caller's context deadline; transient failures
+// (429/5xx/wire) are retried with jittered exponential backoff,
+// honouring the server's Retry-After when it is the longer wait — the
+// same production manners as the cald jobs client. 4xx request errors
+// surface immediately.
+type Remote struct {
+	base string
+	opts RemoteOptions
+}
+
+// RemoteOptions tune OpenRemote. The zero value is production-sane.
+type RemoteOptions struct {
+	// HTTP is the transport (default: a client with a 30s timeout).
+	HTTP *http.Client
+	// Retries bounds the attempts per operation (default 4).
+	Retries int
+	// BaseDelay seeds the exponential backoff (default 100ms); MaxDelay
+	// caps it (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Timeout bounds each operation when the caller's context carries
+	// no deadline of its own (default 10s; < 0 disables).
+	Timeout time.Duration
+}
+
+// OpenRemote returns a Remote store client for the daemon at base
+// (e.g. http://127.0.0.1:8419).
+func OpenRemote(base string, opts RemoteOptions) (*Remote, error) {
+	u, err := url.Parse(base)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("runstore: bad store URL %q (want http://host:port)", base)
+	}
+	return &Remote{base: strings.TrimRight(base, "/"), opts: opts}, nil
+}
+
+// Base returns the daemon's base URL.
+func (c *Remote) Base() string { return c.base }
+
+func (c *Remote) http() *http.Client {
+	if c.opts.HTTP != nil {
+		return c.opts.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Remote) retries() int {
+	if c.opts.Retries > 0 {
+		return c.opts.Retries
+	}
+	return 4
+}
+
+// withTimeout applies the client's default deadline when the caller
+// brought none.
+func (c *Remote) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.opts.Timeout < 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	d := c.opts.Timeout
+	if d == 0 {
+		d = 10 * time.Second
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// backoff computes the attempt'th jittered exponential delay, raised
+// to the server's Retry-After hint when that is longer. Full jitter on
+// the halved window so synchronized clients desynchronize.
+func (c *Remote) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	base, max := c.opts.BaseDelay, c.opts.MaxDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+// remoteStatusError is a non-2xx reply.
+type remoteStatusError struct {
+	Code int
+	Body string
+}
+
+func (e *remoteStatusError) Error() string {
+	return fmt.Sprintf("storeapi: HTTP %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// do performs one retried request, decoding the 2xx JSON reply into
+// out (skipped when out is nil).
+func (c *Remote) do(ctx context.Context, method, path string, body []byte, out any) error {
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	var lastErr error
+	for attempt := 0; attempt < c.retries(); attempt++ {
+		retryAfter, err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if se, ok := err.(*remoteStatusError); ok &&
+			se.Code >= 400 && se.Code < 500 && se.Code != http.StatusTooManyRequests {
+			return fmt.Errorf("runstore: remote %s: %w", c.base, err) // permanent
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("runstore: remote %s: %w", c.base, ctx.Err())
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		}
+	}
+	return fmt.Errorf("runstore: remote %s: %w", c.base, lastErr)
+}
+
+func (c *Remote) once(ctx context.Context, method, path string, body []byte, out any) (time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		var retryAfter time.Duration
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			retryAfter = time.Duration(s) * time.Second
+		}
+		return retryAfter, &remoteStatusError{Code: resp.StatusCode, Body: string(b)}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for reuse
+		return 0, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return 0, fmt.Errorf("decoding %s reply: %w", path, err)
+	}
+	return 0, nil
+}
+
+// Put upserts rec on the daemon. The daemon assigns the ID when empty,
+// and the assignment is written back into rec — same contract as the
+// local backends.
+func (c *Remote) Put(rec *Record) error {
+	if rec == nil {
+		return fmt.Errorf("runstore: nil record")
+	}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("runstore: encoding record: %w", err)
+	}
+	var reply StoreAPIPut
+	if err := c.do(context.Background(), http.MethodPost, StoreAPIPrefix+"/v1/records", body, &reply); err != nil {
+		return err
+	}
+	if reply.ID != "" {
+		rec.ID = reply.ID
+	}
+	return nil
+}
+
+// Get fetches a record by ID.
+func (c *Remote) Get(id string) (*Record, bool, error) {
+	var rec Record
+	err := c.do(context.Background(), http.MethodGet,
+		StoreAPIPrefix+"/v1/records/"+url.PathEscape(id), nil, &rec)
+	if err != nil {
+		var se *remoteStatusError
+		if asRemoteStatus(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return &rec, true, nil
+}
+
+func asRemoteStatus(err error, target **remoteStatusError) bool {
+	for err != nil {
+		if se, ok := err.(*remoteStatusError); ok {
+			*target = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// List returns the matching records. The server clamps unbounded
+// requests at its own MaxList; the returned slice is the honest
+// (possibly clamped) window, newest kept.
+func (c *Remote) List(f Filter) ([]*Record, error) {
+	return c.ListContext(context.Background(), f)
+}
+
+// ListContext is List carrying the caller's context.
+func (c *Remote) ListContext(ctx context.Context, f Filter) ([]*Record, error) {
+	q := Query{Mode: ModeRuns, Filter: f}
+	var reply StoreAPIList
+	path := StoreAPIPrefix + "/v1/records"
+	if vals := q.Values(); len(vals) > 0 {
+		path += "?" + vals.Encode()
+	}
+	if err := c.do(ctx, http.MethodGet, path, nil, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Records, nil
+}
+
+// QueryContext ships the query for server-side evaluation (the
+// storeapi query endpoint), so regressions baselines resolve against
+// the daemon's own namespace.
+func (c *Remote) QueryContext(ctx context.Context, q Query) (*Result, error) {
+	var res Result
+	path := StoreAPIPrefix + "/v1/query"
+	if vals := q.Values(); len(vals) > 0 {
+		path += "?" + vals.Encode()
+	}
+	if err := c.do(ctx, http.MethodGet, path, nil, &res); err != nil {
+		return nil, err
+	}
+	if res.Schema != QuerySchema {
+		return nil, fmt.Errorf("runstore: remote %s: torn query reply (schema %q)", c.base, res.Schema)
+	}
+	return &res, nil
+}
+
+// Len is the daemon's live record count (-1 when unreachable: the
+// Store interface has no error channel here, and 0 would read as an
+// empty store).
+func (c *Remote) Len() int {
+	var reply StoreAPILen
+	if err := c.do(context.Background(), http.MethodGet, StoreAPIPrefix+"/v1/len", nil, &reply); err != nil {
+		return -1
+	}
+	return reply.Len
+}
+
+// Close is a no-op: the client holds no connection state beyond the
+// transport's idle pool.
+func (c *Remote) Close() error { return nil }

@@ -1,0 +1,240 @@
+package runstore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"calgo/internal/obs"
+)
+
+// kindRecord is a reportRecord with its kind forced (the per-kind
+// retention bound selects on it).
+func kindRecord(kind string, at time.Time) *Record {
+	rec := reportRecord("cald", "OK", at)
+	if kind == KindBench {
+		rec = BenchRecord("", benchAt(at.UTC().Format(time.RFC3339), 100))
+	}
+	return rec
+}
+
+func TestRetentionPolicyBounds(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	metas := []retMeta{
+		{id: "old", kind: KindReport, timeNS: now.Add(-48 * time.Hour).UnixNano()},
+		{id: "mid", kind: KindReport, timeNS: now.Add(-12 * time.Hour).UnixNano()},
+		{id: "new", kind: KindReport, timeNS: now.Add(-time.Hour).UnixNano()},
+	}
+	asSet := func(ids []string) map[string]bool {
+		set := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		return set
+	}
+
+	if got := (Retention{}).expire(metas, now); got != nil {
+		t.Fatalf("empty policy expired %v", got)
+	}
+	if got := asSet((Retention{MaxAge: 24 * time.Hour}).expire(metas, now)); len(got) != 1 || !got["old"] {
+		t.Fatalf("max-age expired %v", got)
+	}
+	if got := asSet((Retention{MaxRecords: 1}).expire(metas, now)); len(got) != 2 || got["new"] {
+		t.Fatalf("max-records expired %v", got)
+	}
+	// Bounds AND together: the union of victims goes.
+	both := Retention{MaxAge: 24 * time.Hour, MaxRecords: 2}
+	if got := asSet(both.expire(metas, now)); len(got) != 1 || !got["old"] {
+		t.Fatalf("combined policy expired %v", got)
+	}
+
+	// Per-kind keep-N only touches the listed kind.
+	mixed := []retMeta{
+		{id: "b1", kind: KindBench, timeNS: now.Add(-3 * time.Hour).UnixNano()},
+		{id: "r1", kind: KindReport, timeNS: now.Add(-2 * time.Hour).UnixNano()},
+		{id: "b2", kind: KindBench, timeNS: now.Add(-time.Hour).UnixNano()},
+	}
+	perKind := Retention{KeepPerKind: map[string]int{KindBench: 1}}
+	if got := asSet(perKind.expire(mixed, now)); len(got) != 1 || !got["b1"] {
+		t.Fatalf("keep-per-kind expired %v", got)
+	}
+
+	// Timestamp ties keep the later insertion — the record List would
+	// also call newest.
+	tied := []retMeta{
+		{id: "first", kind: KindReport, timeNS: now.UnixNano()},
+		{id: "second", kind: KindReport, timeNS: now.UnixNano()},
+	}
+	if got := asSet((Retention{MaxRecords: 1}).expire(tied, now)); len(got) != 1 || !got["first"] {
+		t.Fatalf("tie-break expired %v", got)
+	}
+
+	if (Retention{MaxAge: time.Hour}).Empty() || !(Retention{}).Empty() {
+		t.Fatal("Empty misreports")
+	}
+}
+
+func TestRingRetain(t *testing.T) {
+	m := obs.NewMetrics()
+	s := NewRing(16, m)
+	base := time.Unix(10000, 0)
+	for i := 0; i < 6; i++ {
+		if err := s.Put(reportRecord("cald", "OK", base.Add(time.Duration(i)*time.Hour))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Retain(Retention{MaxRecords: 2})
+	if err != nil || n != 4 {
+		t.Fatalf("Retain = %d (err %v), want 4", n, err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	recs, _ := s.List(Filter{})
+	if recs[0].TimeNS != base.Add(4*time.Hour).UnixNano() {
+		t.Fatalf("kept the wrong records: %v", recs)
+	}
+	if got := m.Counter("runstore.expired").Value(); got != 4 {
+		t.Fatalf("expired counter = %d", got)
+	}
+}
+
+// TestFSRetain drives a full durable sweep: tombstones land fsynced,
+// the live set honours the policy across reopen, and the expired
+// counter and retained gauge move.
+func TestFSRetain(t *testing.T) {
+	dir := t.TempDir()
+	m := obs.NewMetrics()
+	s := openTestFS(t, dir, FSOptions{Metrics: m})
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s.now = func() time.Time { return now }
+	for i := 0; i < 8; i++ {
+		at := now.Add(-time.Duration(8-i) * 24 * time.Hour)
+		if err := s.Put(kindRecord(KindReport, at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		at := now.Add(-time.Duration(3-i) * time.Hour)
+		if err := s.Put(kindRecord(KindBench, at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pol := Retention{MaxAge: 7 * 24 * time.Hour, KeepPerKind: map[string]int{KindBench: 2}}
+	n, err := s.Retain(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One report older than 7d, one bench beyond keep-2.
+	if n != 2 {
+		t.Fatalf("expired %d, want 2", n)
+	}
+	if s.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", s.Len())
+	}
+	if got := m.Counter("runstore.expired").Value(); got != 2 {
+		t.Fatalf("expired counter = %d", got)
+	}
+	if got := m.Gauge("runstore.retained").Value(); got != 9 {
+		t.Fatalf("retained gauge = %d", got)
+	}
+	// An already-conformant store sweeps to zero, idempotently.
+	if n, err := s.Retain(pol); err != nil || n != 0 {
+		t.Fatalf("second sweep = %d (err %v)", n, err)
+	}
+	s.Close()
+
+	// The sweep is durable: expired records stay dead across reopen.
+	s2 := openTestFS(t, dir, FSOptions{})
+	defer s2.Close()
+	if s2.Len() != 9 {
+		t.Fatalf("reopened Len = %d, want 9", s2.Len())
+	}
+	if _, ok, _ := s2.Get("r-1"); ok {
+		t.Fatal("expired record resurrected on reopen")
+	}
+	benches, _ := s2.List(Filter{Kind: KindBench})
+	if len(benches) != 2 {
+		t.Fatalf("bench keep-2 left %d", len(benches))
+	}
+}
+
+// TestFSRetainCompactionCrash is the retention regression pin: force a
+// sweep whose garbage triggers compaction, kill the store in the crash
+// window between the compacted segment landing and the old segments'
+// removal (via the test hook), and prove reopen neither loses live
+// records nor resurrects expired ones — the tombstones in the
+// not-yet-removed old segments keep the dead dead.
+func TestFSRetainCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestFS(t, dir, FSOptions{})
+	base := time.Unix(20000, 0)
+	// compactMinGarbage is the sweep's compaction floor; expire enough
+	// records to clear it (each victim counts its copy plus tombstone)
+	// while the survivors stay fewer than the garbage.
+	victims := compactMinGarbage
+	for i := 0; i < victims+2; i++ {
+		if err := s.Put(reportRecord("cald", "OK", base.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var snapshot string
+	s.hookAfterCompactRename = func() {
+		// The "crash": snapshot the directory exactly between rename and
+		// removal, and replay it into a fresh store below.
+		snap := t.TempDir()
+		copyDir(t, dir, snap)
+		snapshot = snap
+	}
+	n, err := s.Retain(Retention{MaxRecords: 2})
+	if err != nil || n != victims {
+		t.Fatalf("Retain = %d (err %v), want %d", n, err, victims)
+	}
+	if snapshot == "" {
+		t.Fatal("sweep did not compact: the crash window was never open")
+	}
+	s.Close()
+
+	for name, src := range map[string]string{"clean": dir, "crashed": snapshot} {
+		re := openTestFS(t, src, FSOptions{})
+		if re.Len() != 2 {
+			t.Fatalf("%s reopen Len = %d, want 2", name, re.Len())
+		}
+		if _, ok, _ := re.Get("r-1"); ok {
+			t.Fatalf("%s reopen resurrected an expired record", name)
+		}
+		recs, err := re.List(Filter{})
+		if err != nil || len(recs) != 2 {
+			t.Fatalf("%s reopen List = %v (err %v)", name, recs, err)
+		}
+		for _, rec := range recs {
+			if rec.Report == nil {
+				t.Fatalf("%s reopen survivor lost its body: %+v", name, rec)
+			}
+		}
+		re.Close()
+	}
+}
+
+func copyDir(t *testing.T, from, to string) {
+	t.Helper()
+	entries, err := os.ReadDir(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(from, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(to, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

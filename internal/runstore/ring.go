@@ -26,17 +26,22 @@ type Ring struct {
 	records []*Record // insertion order
 
 	evicted *obs.Counter
+	expired *obs.Counter
 	now     func() time.Time
 }
 
 // NewRing returns a ring store bounded at capacity records (<= 0 uses
 // DefaultRingCapacity). The registry may be nil; when set it receives
-// the runstore.evicted counter.
+// the runstore.evicted and runstore.expired counters.
 func NewRing(capacity int, m *obs.Metrics) *Ring {
 	if capacity <= 0 {
 		capacity = DefaultRingCapacity
 	}
-	return &Ring{cap: capacity, evicted: m.Counter("runstore.evicted"), now: time.Now}
+	return &Ring{
+		cap: capacity, now: time.Now,
+		evicted: m.Counter("runstore.evicted"),
+		expired: m.Counter("runstore.expired"),
+	}
 }
 
 // Put upserts rec: an existing ID is replaced in place, a new one is
@@ -93,6 +98,39 @@ func (s *Ring) List(f Filter) ([]*Record, error) {
 	s.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TimeNS < out[j].TimeNS })
 	return applyLimit(out, f.Limit), nil
+}
+
+// Retain applies a retention policy, dropping expired records in
+// place. Returns how many records the sweep expired.
+func (s *Ring) Retain(pol Retention) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metas := make([]retMeta, 0, len(s.records))
+	for _, r := range s.records {
+		metas = append(metas, retMeta{id: r.ID, kind: r.Kind, timeNS: r.TimeNS})
+	}
+	victims := pol.expire(metas, s.now())
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	dead := make(map[string]bool, len(victims))
+	for _, id := range victims {
+		dead[id] = true
+	}
+	kept := s.records[:0]
+	for _, r := range s.records {
+		if !dead[r.ID] {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(s.records); i++ {
+		s.records[i] = nil
+	}
+	s.records = kept
+	if s.expired != nil {
+		s.expired.Add(int64(len(victims)))
+	}
+	return len(victims), nil
 }
 
 // Len is the number of records currently held.

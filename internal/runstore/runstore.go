@@ -24,6 +24,7 @@
 package runstore
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -64,6 +65,13 @@ type Record struct {
 	// generation for bench tables). Put stamps the wall clock when zero.
 	TimeNS int64             `json:"time_unix_ns"`
 	Labels map[string]string `json:"labels,omitempty"`
+
+	// Deleted marks a tombstone line in the filesystem segments: the
+	// newest occurrence of an ID being a tombstone means the record is
+	// gone (retention wrote it), surviving crash-replay by the same
+	// newest-occurrence-wins rule as upserts. Tombstones never surface
+	// from Get/List.
+	Deleted bool `json:"deleted,omitempty"`
 
 	// Report is the wrapped calgo.report/v1 document (KindReport).
 	Report *render.Report `json:"report,omitempty"`
@@ -184,10 +192,146 @@ type Store interface {
 	Close() error
 }
 
+// ContextLister is optionally implemented by stores whose List can
+// honor cancellation mid-scan — the remote client (the HTTP request
+// carries the context), the federated store (the fan-out deadline) and
+// the filesystem backend (checked between disk reads). ListContext is
+// the uniform entry point.
+type ContextLister interface {
+	ListContext(context.Context, Filter) ([]*Record, error)
+}
+
+// ListContext lists via the store's context-aware path when it has
+// one, and otherwise brackets the plain List with cancellation checks,
+// so an ops handler serving a cancelled request never starts (or keeps
+// serving) a doomed scan.
+func ListContext(ctx context.Context, st Store, f Filter) ([]*Record, error) {
+	if cl, ok := st.(ContextLister); ok {
+		return cl.ListContext(ctx, f)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	recs, err := st.List(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// Retention is a store retention policy beyond superseded-record GC.
+// Zero fields are unbounded; set fields AND together — a record
+// survives only if it passes every bound.
+type Retention struct {
+	// MaxAge expires records older than now-MaxAge (0 = no age bound).
+	MaxAge time.Duration
+	// MaxRecords keeps only the newest MaxRecords records overall
+	// (0 = unbounded).
+	MaxRecords int
+	// KeepPerKind keeps only the newest N records of each listed kind
+	// (kinds not listed are unaffected by this bound).
+	KeepPerKind map[string]int
+}
+
+// Empty reports whether the policy bounds nothing.
+func (p Retention) Empty() bool {
+	return p.MaxAge <= 0 && p.MaxRecords <= 0 && len(p.KeepPerKind) == 0
+}
+
+func (p Retention) String() string {
+	if p.Empty() {
+		return "unbounded"
+	}
+	s := ""
+	if p.MaxAge > 0 {
+		s += fmt.Sprintf("max-age=%s ", p.MaxAge)
+	}
+	if p.MaxRecords > 0 {
+		s += fmt.Sprintf("max-records=%d ", p.MaxRecords)
+	}
+	for k, n := range p.KeepPerKind {
+		s += fmt.Sprintf("keep-%s=%d ", k, n)
+	}
+	return s[:len(s)-1]
+}
+
+// retMeta is the slice element expire selects over: just enough of a
+// record to apply the policy without materializing bodies.
+type retMeta struct {
+	id     string
+	kind   string
+	timeNS int64
+}
+
+// expire returns the IDs a policy drops from metas at time now,
+// applying every set bound. Ties on the timestamp keep the later slice
+// element (insertion order), matching List's ordering.
+func (p Retention) expire(metas []retMeta, now time.Time) []string {
+	if p.Empty() || len(metas) == 0 {
+		return nil
+	}
+	// Newest-first by time, later insertion winning ties.
+	ordered := make([]retMeta, len(metas))
+	copy(ordered, metas)
+	for i, j := 0, len(ordered)-1; i < j; i, j = i+1, j-1 {
+		ordered[i], ordered[j] = ordered[j], ordered[i]
+	}
+	stableSortBy(ordered, func(a, b retMeta) bool { return a.timeNS > b.timeNS })
+	cutoff := int64(0)
+	if p.MaxAge > 0 {
+		cutoff = now.Add(-p.MaxAge).UnixNano()
+	}
+	var victims []string
+	perKind := make(map[string]int)
+	for rank, m := range ordered {
+		perKind[m.kind]++
+		switch {
+		case cutoff != 0 && m.timeNS < cutoff:
+			victims = append(victims, m.id)
+		case p.MaxRecords > 0 && rank >= p.MaxRecords:
+			victims = append(victims, m.id)
+		default:
+			if n, ok := p.KeepPerKind[m.kind]; ok && perKind[m.kind] > n {
+				victims = append(victims, m.id)
+			}
+		}
+	}
+	return victims
+}
+
+// stableSortBy is sort.SliceStable without the reflection-heavy
+// closure signature at every call site.
+func stableSortBy[T any](s []T, less func(a, b T) bool) {
+	// Insertion sort: retention sweeps run on metadata slices whose
+	// order is already nearly time-ascending, where this is O(n).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Retainer is implemented by backends that can apply a retention
+// policy; Retain returns how many records the sweep expired.
+type Retainer interface {
+	Retain(Retention) (int, error)
+}
+
+// ErrReadOnly is returned by Put on read-only store views (the
+// federated fan-out store).
+var ErrReadOnly = fmt.Errorf("runstore: store is read-only")
+
 // Latest returns the newest record matching f, or nil when none match.
 func Latest(st Store, f Filter) (*Record, error) {
+	return latestContext(context.Background(), st, f)
+}
+
+func latestContext(ctx context.Context, st Store, f Filter) (*Record, error) {
 	f.Limit = 1
-	recs, err := st.List(f)
+	recs, err := ListContext(ctx, st, f)
 	if err != nil {
 		return nil, err
 	}
